@@ -1,0 +1,87 @@
+//! Quartus-fitter-style text reports (the Logic/RAM/DSP/fmax rows of
+//! Tables 6.5, 6.9, 6.11 and 6.14).
+
+use crate::synth::{BitstreamReport, LsuKind};
+use std::fmt::Write as _;
+
+/// One-line fit summary: `Logic 32% | RAM 21% | DSP 3% | fmax 250 MHz`.
+pub fn fit_summary(r: &BitstreamReport) -> String {
+    let (logic, ram, dsp) = r.utilization;
+    format!(
+        "Logic {logic:.0}% | RAM {ram:.0}% | DSP {dsp:.0}% | fmax {:.0} MHz",
+        r.fmax_mhz
+    )
+}
+
+/// Full multi-kernel fit report.
+pub fn full_report(r: &BitstreamReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Fit report: {} ({} kernels) ===",
+        r.platform,
+        r.kernels.len()
+    );
+    let _ = writeln!(out, "{}", fit_summary(r));
+    let _ = writeln!(
+        out,
+        "Totals: {} ALUT, {} FF, {} RAM, {} DSP (incl. static partition)",
+        r.total_resources.alut, r.total_resources.ff, r.total_resources.ram, r.total_resources.dsp
+    );
+    for k in &r.kernels {
+        let _ = writeln!(
+            out,
+            "  kernel {:<28} II={:<3} {:>8} ALUT {:>6} RAM {:>6} DSP{}",
+            k.name,
+            k.ii,
+            k.resources.alut,
+            k.resources.ram,
+            k.resources.dsp,
+            if k.autorun { "  [autorun]" } else { "" }
+        );
+        for l in &k.lsus {
+            if l.kind == LsuKind::Pipelined {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "    LSU {:<24} {:?} {}x{} bits {}",
+                l.buf,
+                l.kind,
+                l.replication,
+                l.width_bits,
+                if l.is_store { "store" } else { "load" }
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::calib::Calib;
+    use crate::synth::{synthesize, AocOptions};
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tir::compute::{conv2d, ConvDims, ConvSpec};
+
+    #[test]
+    fn report_mentions_kernels_and_lsus() {
+        let k = conv2d(&ConvSpec::base(
+            "conv1",
+            ConvDims::constant(6, 1, 26, 26, 3, 1),
+            false,
+        ));
+        let r = synthesize(
+            &[k],
+            &FpgaPlatform::Arria10Gx.model(),
+            &AocOptions::default(),
+            &Calib::default(),
+        )
+        .unwrap();
+        let text = super::full_report(&r);
+        assert!(text.contains("conv1"));
+        assert!(text.contains("LSU"));
+        assert!(text.contains("fmax"));
+        assert!(super::fit_summary(&r).contains("DSP"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Cycle-level kernel timing (§2.4.4).
+//!
+//! Pipelined loops launch one iteration every `max(II, memory stall)` cycles
+//! plus a fill/drain depth; serial loops multiply their body latency; outer
+//! loops multiply inner costs. Memory stalls come from per-iteration bytes
+//! weighted by the DDR efficiency of each access's coalesced width, with
+//! re-use credit for cached weight streams and a contention surcharge for
+//! replicated narrow LSUs (§2.4.3, §2.4.5).
+
+use crate::calib::Calib;
+use crate::synth::{AocOptions, KernelReport};
+use fpgaccel_device::DeviceModel;
+use fpgaccel_tir::analysis::{AccumKind, NestNode};
+use fpgaccel_tir::Binding;
+
+/// Total cycles one invocation of a kernel takes at `fmax_mhz`, with
+/// symbolic dims resolved through `binding`.
+pub fn kernel_cycles(
+    report: &KernelReport,
+    binding: &Binding,
+    device: &DeviceModel,
+    fmax_mhz: f64,
+    opts: &AocOptions,
+    calib: &Calib,
+) -> f64 {
+    let bpc = device.bytes_per_cycle(fmax_mhz);
+    let body: f64 = report
+        .facts
+        .nest
+        .iter()
+        .map(|n| node_cycles(n, binding, bpc, opts, calib))
+        .sum();
+    // Pipeline fill/drain, charged once per kernel invocation.
+    body + calib.pipeline_depth
+}
+
+/// Seconds for one invocation.
+pub fn kernel_seconds(
+    report: &KernelReport,
+    binding: &Binding,
+    device: &DeviceModel,
+    fmax_mhz: f64,
+    opts: &AocOptions,
+    calib: &Calib,
+) -> f64 {
+    kernel_cycles(report, binding, device, fmax_mhz, opts, calib) / (fmax_mhz * 1e6)
+}
+
+fn node_cycles(node: &NestNode, binding: &Binding, bpc: f64, opts: &AocOptions, calib: &Calib) -> f64 {
+    match node {
+        NestNode::Leaf { .. } => leaf_cost(node, bpc, opts, calib),
+        NestNode::Loop {
+            extent,
+            serial,
+            children,
+            ..
+        } => {
+            // AOC schedules a perfect nest of pipelined loops as one
+            // pipeline: flatten single-child pipelined chains so fill/drain
+            // is charged once per chain, not once per inner-loop entry.
+            let mut trips = extent.eval(binding).max(0) as f64;
+            let mut cur_serial = *serial;
+            let mut cur_children = children;
+            while !cur_serial && cur_children.len() == 1 {
+                if let NestNode::Loop {
+                    extent,
+                    serial,
+                    children,
+                    ..
+                } = &cur_children[0]
+                {
+                    trips *= extent.eval(binding).max(0) as f64;
+                    cur_serial = *serial;
+                    cur_children = children;
+                } else {
+                    break;
+                }
+            }
+            let only_leaves = cur_children
+                .iter()
+                .all(|c| matches!(c, NestNode::Leaf { .. }));
+            if only_leaves && !cur_serial {
+                // Innermost pipelined chain: one launch per per-iter cost,
+                // plus a small per-entry refill.
+                let per_iter: f64 = cur_children
+                    .iter()
+                    .map(|c| leaf_cost(c, bpc, opts, calib))
+                    .sum();
+                trips * per_iter + 2.0
+            } else if cur_serial {
+                let body: f64 = cur_children
+                    .iter()
+                    .map(|c| node_cycles(c, binding, bpc, opts, calib))
+                    .sum();
+                trips * (body + calib.serial_iter_overhead)
+            } else {
+                // Mixed body (e.g. init leaf + reduction loop + writeback
+                // leaf): AOC overlaps the straight-line work of iteration
+                // i+1 with the inner loop of iteration i, so leaves hide
+                // under sibling loops.
+                let loops: f64 = cur_children
+                    .iter()
+                    .filter(|c| matches!(c, NestNode::Loop { .. }))
+                    .map(|c| node_cycles(c, binding, bpc, opts, calib))
+                    .sum();
+                let leaves: f64 = cur_children
+                    .iter()
+                    .filter(|c| matches!(c, NestNode::Leaf { .. }))
+                    .map(|c| leaf_cost(c, bpc, opts, calib))
+                    .sum();
+                trips * loops.max(leaves)
+            }
+        }
+    }
+}
+
+fn leaf_cost(leaf: &NestNode, bpc: f64, opts: &AocOptions, calib: &Calib) -> f64 {
+    let NestNode::Leaf {
+        accum,
+        mem,
+        channel_ops,
+        ops,
+        ..
+    } = leaf
+    else {
+        unreachable!("leaf_cost on a loop");
+    };
+    let ii = match accum {
+        AccumKind::None => 1.0,
+        AccumKind::Private => {
+            if opts.fp_relaxed {
+                calib.ii_private_relaxed
+            } else {
+                calib.ii_private_strict
+            }
+        }
+        AccumKind::Local => calib.ii_local_accum,
+        // A global-memory accumulator chains every unrolled MAC through a
+        // load-add-store round trip — AOC cannot tree-balance through
+        // memory, so unrolling buys the naive schedule nothing (this is why
+        // the thesis' optimizations start by removing the scratchpad,
+        // §5.1.1).
+        AccumKind::Global => calib.ii_global_accum * ops.fmul.max(1) as f64,
+    };
+    let elem_scale = opts.precision.bytes() as f64 / 4.0;
+    let mut mem_cycles = 0.0;
+    for a in mem {
+        let mut bytes = a.bytes as f64 * elem_scale;
+        if a.cached {
+            // Cached burst-coalesced LSU (§2.4.3): repeated reads hit the
+            // BRAM cache; only the miss fraction reaches external memory.
+            // Weight streams fit the cache entirely and hit almost always.
+            bytes /= if a.role == fpgaccel_tir::kernel::BufRole::Weights {
+                calib.weight_cache_reuse
+            } else {
+                calib.lsu_cache_reuse
+            };
+        }
+        mem_cycles += bytes / (bpc * calib.mem_efficiency(a.width_elems));
+        // Arbitration surcharge for replicated narrow LSUs.
+        let replicas = (a.bytes / (4 * a.width_elems).max(1)).max(1);
+        if replicas > 1 && a.width_elems < 16 {
+            mem_cycles += calib.lsu_contention_per_replica * (replicas - 1) as f64;
+        }
+    }
+    ii.max(mem_cycles).max(*channel_ops as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calib;
+    use crate::synth::synthesize_kernel;
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tir::compute::{conv2d, ConvDims, ConvSchedule, ConvSpec};
+
+    fn cycles_of(schedule: ConvSchedule, platform: FpgaPlatform) -> f64 {
+        let mut spec = ConvSpec::base("k", ConvDims::constant(64, 64, 28, 28, 1, 1), false);
+        spec.schedule = schedule;
+        let k = conv2d(&spec);
+        let d = platform.model();
+        let opts = AocOptions::default();
+        let calib = Calib::default();
+        let rep = synthesize_kernel(&k, &d, &opts, &calib);
+        kernel_cycles(&rep, &Binding::empty(), &d, 200.0, &opts, &calib)
+    }
+
+    #[test]
+    fn base_conv_cycle_count_matches_trip_math() {
+        // Base 1x1 conv 64x64x28x28: MACs = 64*28*28*64 = 3.21M; global
+        // accumulator costs ~ii_global_accum per MAC.
+        let c = cycles_of(ConvSchedule::Base, FpgaPlatform::Stratix10Mx);
+        let macs = 64.0 * 28.0 * 28.0 * 64.0;
+        assert!(
+            c > macs * 1.2 && c < macs * 2.5,
+            "base cycles {c} vs macs {macs}"
+        );
+    }
+
+    #[test]
+    fn fused_conv_is_about_ii_times_faster() {
+        let base = cycles_of(ConvSchedule::Base, FpgaPlatform::Stratix10Mx);
+        let fused = cycles_of(
+            ConvSchedule::Fused { unroll_ff: true },
+            FpgaPlatform::Stratix10Mx,
+        );
+        let ratio = base / fused;
+        assert!(
+            (1.2..5.0).contains(&ratio),
+            "fused should win ~II_global: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn tiling_scales_throughput_until_memory_bound() {
+        let fused = cycles_of(
+            ConvSchedule::Fused { unroll_ff: true },
+            FpgaPlatform::Stratix10Sx,
+        );
+        let tiled = cycles_of(
+            ConvSchedule::Tiled {
+                w2vec: 7,
+                c2vec: 4,
+                c1vec: 8,
+            },
+            FpgaPlatform::Stratix10Sx,
+        );
+        let ratio = fused / tiled;
+        // 224x replication, memory-throttled to well below that but still
+        // a large win (Figure 6.3: 64-123x over base).
+        assert!(
+            (20.0..240.0).contains(&ratio),
+            "tiled speedup ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn s10mx_single_pc_is_memory_bound_earlier_than_s10sx() {
+        let t = |p| {
+            cycles_of(
+                ConvSchedule::Tiled {
+                    w2vec: 7,
+                    c2vec: 4,
+                    c1vec: 8,
+                },
+                p,
+            )
+        };
+        // Same kernel, same fmax: the 12.8 GB/s S10MX stalls more than the
+        // 76.8 GB/s S10SX.
+        assert!(t(FpgaPlatform::Stratix10Mx) > t(FpgaPlatform::Stratix10Sx) * 1.3);
+    }
+
+    #[test]
+    fn higher_fmax_means_fewer_seconds_not_fewer_cycles() {
+        let mut spec = ConvSpec::base("k", ConvDims::constant(16, 16, 14, 14, 1, 1), false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        let k = conv2d(&spec);
+        let d = FpgaPlatform::Stratix10Sx.model();
+        let opts = AocOptions::default();
+        let calib = Calib::default();
+        let rep = synthesize_kernel(&k, &d, &opts, &calib);
+        let s_low = kernel_seconds(&rep, &Binding::empty(), &d, 100.0, &opts, &calib);
+        let s_high = kernel_seconds(&rep, &Binding::empty(), &d, 200.0, &opts, &calib);
+        assert!(s_high < s_low);
+    }
+}

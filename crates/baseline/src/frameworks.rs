@@ -1,0 +1,136 @@
+//! Calibrated performance models of the reference frameworks
+//! (Tables 6.10/6.12/6.15, Figures 6.4–6.7).
+//!
+//! Anchor FPS values are the thesis' measurements on the dual Xeon 8280 and
+//! the GTX 1060; thread scaling follows the curves the thesis describes:
+//! MobileNet/ResNet scale near-linearly then saturate ("near-linear
+//! improvements ... up to 16 threads", §6.4.2), while LeNet *degrades* with
+//! added threads ("We observe a decrease in performance as the number of
+//! threads increase", §6.4.1 footnote 8) because its layers are too small to
+//! amortize synchronization.
+
+use fpgaccel_tensor::models::Model;
+
+/// A reference software stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Framework {
+    /// Keras/TensorFlow 2.1 on the Xeon 8280 with its default thread pool
+    /// (TF used 4 threads for LeNet and all 112 for the larger nets,
+    /// §6.2 footnote 2).
+    TfCpu,
+    /// TVM v0.7 LLVM-CPU backend with an explicit thread count (1..=56).
+    TvmCpu {
+        /// Worker threads.
+        threads: u32,
+    },
+    /// TensorFlow + cuDNN 7.6 on the GTX 1060.
+    TfCudnn,
+}
+
+impl Framework {
+    /// Label used in the thesis tables.
+    pub fn label(self) -> String {
+        match self {
+            Framework::TfCpu => "TF-CPU".to_string(),
+            Framework::TvmCpu { threads } => format!("TVM-{threads}T"),
+            Framework::TfCudnn => "TF-cuDNN".to_string(),
+        }
+    }
+}
+
+/// Per-model anchors from the thesis tables:
+/// `(tf_cpu, tvm_1t, tvm_peak, tvm_peak_threads, cudnn)`.
+fn anchors(model: Model) -> (f64, f64, f64, f64, f64) {
+    match model {
+        // Table 6.10: TF-CPU 1075, TVM-1T 2345 (best), TF-cuDNN 1604.
+        Model::LeNet5 => (1075.0, 2345.0, 2345.0, 1.0, 1604.0),
+        // Table 6.12: TF-CPU 21.6, TVM 15.6 (1T) -> 90.1 (16T), cuDNN 43.7.
+        Model::MobileNetV1 => (21.6, 15.6, 90.1, 16.0, 43.7),
+        // Table 6.15: TF-CPU 16.3, TVM 5.8 -> 54.3 (56T), cuDNN 46.5.
+        Model::ResNet18 => (16.3, 5.8, 54.3, 56.0, 46.5),
+        // Table 6.15: TF-CPU 10.7, TVM 1.2 -> 13.7 (56T), cuDNN 31.7.
+        Model::ResNet34 => (10.7, 1.2, 13.7, 56.0, 31.7),
+    }
+}
+
+/// FPS of a reference framework on a model, per the calibrated model.
+///
+/// # Panics
+/// Panics on a zero thread count.
+pub fn reference_fps(model: Model, fw: Framework) -> f64 {
+    let (tf_cpu, tvm_1t, tvm_peak, peak_threads, cudnn) = anchors(model);
+    match fw {
+        Framework::TfCpu => tf_cpu,
+        Framework::TfCudnn => cudnn,
+        Framework::TvmCpu { threads } => {
+            assert!(threads > 0, "thread count must be positive");
+            let t = threads as f64;
+            if model == Model::LeNet5 {
+                // LeNet: threading hurts (§6.4.1). Mild power-law decay.
+                tvm_1t * t.powf(-0.30)
+            } else {
+                // Power-law ramp through (1, tvm_1t) and
+                // (peak_threads, tvm_peak), flat beyond the peak.
+                let alpha = (tvm_peak / tvm_1t).ln() / peak_threads.ln();
+                let t_eff = t.min(peak_threads);
+                tvm_1t * t_eff.powf(alpha)
+            }
+        }
+    }
+}
+
+/// The thread sweep plotted in Figures 6.4–6.7 (1..=56 threads).
+pub fn tvm_thread_sweep(model: Model) -> Vec<(u32, f64)> {
+    (1..=56)
+        .map(|t| (t, reference_fps(model, Framework::TvmCpu { threads: t })))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_table_values() {
+        assert_eq!(reference_fps(Model::LeNet5, Framework::TfCpu), 1075.0);
+        assert_eq!(reference_fps(Model::LeNet5, Framework::TfCudnn), 1604.0);
+        assert_eq!(
+            reference_fps(Model::LeNet5, Framework::TvmCpu { threads: 1 }),
+            2345.0
+        );
+        assert_eq!(reference_fps(Model::MobileNetV1, Framework::TfCpu), 21.6);
+        let m16 = reference_fps(Model::MobileNetV1, Framework::TvmCpu { threads: 16 });
+        assert!((m16 - 90.1).abs() < 0.5);
+        let r56 = reference_fps(Model::ResNet18, Framework::TvmCpu { threads: 56 });
+        assert!((r56 - 54.3).abs() < 0.5);
+        let r34 = reference_fps(Model::ResNet34, Framework::TvmCpu { threads: 56 });
+        assert!((r34 - 13.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn lenet_degrades_with_threads() {
+        let f1 = reference_fps(Model::LeNet5, Framework::TvmCpu { threads: 1 });
+        let f8 = reference_fps(Model::LeNet5, Framework::TvmCpu { threads: 8 });
+        let f56 = reference_fps(Model::LeNet5, Framework::TvmCpu { threads: 56 });
+        assert!(f1 > f8 && f8 > f56);
+    }
+
+    #[test]
+    fn big_nets_scale_then_saturate() {
+        let f1 = reference_fps(Model::MobileNetV1, Framework::TvmCpu { threads: 1 });
+        let f8 = reference_fps(Model::MobileNetV1, Framework::TvmCpu { threads: 8 });
+        let f16 = reference_fps(Model::MobileNetV1, Framework::TvmCpu { threads: 16 });
+        let f56 = reference_fps(Model::MobileNetV1, Framework::TvmCpu { threads: 56 });
+        assert!(f8 > 2.0 * f1);
+        assert!(f16 > f8);
+        assert!((f56 - f16).abs() < 1e-9, "flat beyond the measured peak");
+    }
+
+    #[test]
+    fn sweep_covers_56_threads() {
+        let s = tvm_thread_sweep(Model::ResNet34);
+        assert_eq!(s.len(), 56);
+        assert_eq!(s[0].0, 1);
+        assert_eq!(s[55].0, 56);
+    }
+}

@@ -1,0 +1,43 @@
+//! `repro` — regenerates every table and figure of the thesis evaluation.
+//!
+//! ```text
+//! cargo run --release -p fpgaccel-bench --bin repro -- all
+//! cargo run --release -p fpgaccel-bench --bin repro -- tab6_9 fig6_3
+//! cargo run --release -p fpgaccel-bench --bin repro -- --list
+//! ```
+
+use fpgaccel_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] [all | <experiment id>...]");
+        eprintln!("experiments:");
+        for (name, _) in experiments::ALL_EXPERIMENTS {
+            eprintln!("  {name}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in experiments::ALL_EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments::ALL_EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The thesis-reported numbers, transcribed from Chapter 6, used to print
+//! paper-vs-measured comparisons. Nothing here feeds the models — these are
+//! the *targets*, kept separate from the calibration constants by design.
+
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+
+/// Table 6.9/6.11/6.14: baseline (naive) FPS per model and platform.
+/// `None` = did not synthesize.
+pub fn base_fps(model: Model, platform: FpgaPlatform) -> Option<f64> {
+    use FpgaPlatform::*;
+    use Model::*;
+    match (model, platform) {
+        (LeNet5, Stratix10Mx) => Some(564.0),
+        (LeNet5, Stratix10Sx) => Some(524.0),
+        (LeNet5, Arria10Gx) => Some(402.0),
+        (MobileNetV1, Stratix10Mx) => Some(0.21),
+        (MobileNetV1, Stratix10Sx) => Some(0.17),
+        (MobileNetV1, Arria10Gx) => None,
+        (ResNet18, Stratix10Mx) => Some(6.83e-3),
+        (ResNet18, Stratix10Sx) => Some(8.3e-3),
+        (ResNet34, Stratix10Mx) => Some(3.2e-3),
+        (ResNet34, Stratix10Sx) => Some(4.01e-3),
+        (ResNet18 | ResNet34, Arria10Gx) => None,
+    }
+}
+
+/// Table 6.9/6.11/6.14: optimized FPS per model and platform.
+pub fn optimized_fps(model: Model, platform: FpgaPlatform) -> Option<f64> {
+    use FpgaPlatform::*;
+    use Model::*;
+    match (model, platform) {
+        (LeNet5, Stratix10Mx) => Some(1706.0),
+        (LeNet5, Stratix10Sx) => Some(4917.0),
+        (LeNet5, Arria10Gx) => Some(2653.0),
+        (MobileNetV1, Stratix10Mx) => Some(17.7),
+        (MobileNetV1, Stratix10Sx) => Some(30.3),
+        (MobileNetV1, Arria10Gx) => Some(18.0),
+        (ResNet18, Stratix10Mx) => Some(4.1),
+        (ResNet18, Stratix10Sx) => Some(7.04),
+        (ResNet34, Stratix10Mx) => Some(2.6),
+        (ResNet34, Stratix10Sx) => Some(4.6),
+        (ResNet18 | ResNet34, Arria10Gx) => None,
+    }
+}
+
+/// Table 6.5: LeNet bitstream area rows
+/// `(logic %, RAM %, DSP %, fmax MHz)` per (bitstream label, platform).
+pub fn lenet_area(label: &str, platform: FpgaPlatform) -> Option<(f64, f64, f64, f64)> {
+    use FpgaPlatform::*;
+    type AreaRow = (&'static str, FpgaPlatform, (f64, f64, f64, f64));
+    let rows: &[AreaRow] = &[
+        ("Base", Stratix10Mx, (32.0, 21.0, 3.0, 250.0)),
+        ("Base", Stratix10Sx, (32.0, 21.0, 3.0, 209.0)),
+        ("Base", Arria10Gx, (39.0, 81.0, 8.0, 201.0)),
+        ("Unrolling", Stratix10Mx, (44.0, 38.0, 7.0, 259.0)),
+        ("Unrolling", Stratix10Sx, (32.0, 23.0, 5.0, 202.0)),
+        ("Unrolling", Arria10Gx, (45.0, 83.0, 13.0, 210.0)),
+        ("Channels", Stratix10Mx, (32.0, 26.0, 6.0, 318.0)),
+        ("Channels", Stratix10Sx, (24.0, 18.0, 5.0, 234.0)),
+        ("Channels", Arria10Gx, (29.0, 45.0, 21.0, 192.0)),
+        ("Autorun", Stratix10Mx, (32.0, 26.0, 6.0, 307.0)),
+        ("Autorun", Stratix10Sx, (24.0, 18.0, 5.0, 220.0)),
+        ("Autorun", Arria10Gx, (28.0, 45.0, 21.0, 200.0)),
+        ("TVM-Autorun", Stratix10Mx, (36.0, 26.0, 4.0, 300.0)),
+        ("TVM-Autorun", Stratix10Sx, (25.0, 19.0, 5.0, 218.0)),
+        ("TVM-Autorun", Arria10Gx, (36.0, 37.0, 14.0, 217.0)),
+    ];
+    rows.iter()
+        .find(|(l, p, _)| *l == label && *p == platform)
+        .map(|(_, _, v)| *v)
+}
+
+/// Table 6.6: the seven 1x1-conv tiling configurations on the Arria 10:
+/// `(w2vec, c2vec, c1vec, logic %, ram %, dsps, fmax MHz)`.
+pub const TABLE_6_6: &[(usize, usize, usize, f64, f64, u64, f64)] = &[
+    (7, 4, 8, 35.0, 36.0, 275, 195.0),
+    (7, 4, 16, 40.0, 57.0, 531, 168.0),
+    (7, 8, 4, 33.0, 34.0, 267, 213.0),
+    (7, 8, 8, 34.0, 47.0, 507, 194.0),
+    (7, 8, 16, 48.0, 67.0, 987, 137.0),
+    (7, 16, 4, 42.0, 48.0, 507, 180.0),
+    (7, 16, 8, 45.0, 63.0, 971, 141.0),
+];
+
+/// Figure 6.3: speedups over the base schedule for configurations 1 and 7
+/// ("between a factor of 64x and 123x", §6.3.2).
+pub const FIG_6_3_SPEEDUP_RANGE: (f64, f64) = (64.0, 123.0);
+
+/// One Table 6.8 row: `(op, flop share, s10mx gflops, s10sx gflops,
+/// a10 gflops, s10mx time share, s10sx time share, a10 time share)`.
+pub type MobileNetOpRow = (&'static str, f64, f64, f64, f64, f64, f64, f64);
+
+/// Table 6.8: MobileNet per-op average GFLOPS and runtime share.
+pub const TABLE_6_8: &[MobileNetOpRow] = &[
+    ("1x1 conv", 0.948, 43.99, 88.20, 57.20, 0.476, 0.302, 0.363),
+    ("3x3 DW conv", 0.031, 1.81, 1.72, 1.65, 0.288, 0.445, 0.338),
+    ("3x3 conv", 0.019, 4.23, 8.48, 6.54, 0.082, 0.063, 0.060),
+    ("dense", 0.002, 2.49, 4.24, 3.07, 0.013, 0.012, 0.012),
+    ("pad", 0.0, 0.0, 0.0, 0.0, 0.127, 0.155, 0.207),
+];
+
+/// Table 6.16 (ResNet-34 rows): per-op GFLOPS and time share on the S10SX:
+/// `(op, flop share, s10sx gflops, s10sx time share)`.
+pub const TABLE_6_16_R34_S10SX: &[(&str, f64, f64, f64)] = &[
+    ("3x3 s=1", 0.912, 70.36, 0.499),
+    ("3x3 s=2", 0.047, 17.82, 0.093),
+    ("7x7", 0.032, 9.72, 0.112),
+    ("1x1", 0.009, 2.91, 0.102),
+    ("pad", 0.0, 0.0, 0.180),
+];
+
+/// Tables 6.17–6.19: related-work comparison anchors.
+pub mod relwork {
+    /// DiCecco et al. (Caffeinated FPGAs): geomean 3x3-conv effective
+    /// GFLOPS on the Virtex 7, 32b float, batched.
+    pub const DICECCO_3X3_GFLOPS: f64 = 50.0;
+    /// Hadjis et al.: LeNet latency (ms) and ResNet-50 GFLOPS on the VU9P.
+    pub const HADJIS_LENET_MS: f64 = 0.656;
+    /// Hadjis et al. ResNet-50 throughput.
+    pub const HADJIS_RESNET50_GFLOPS: f64 = 36.1;
+    /// Hadjis et al. ResNet-50 latency (ms).
+    pub const HADJIS_RESNET50_MS: f64 = 216.0;
+    /// DNNWeaver AlexNet GFLOPS on the Arria 10 GX115 (via Venieris et al.).
+    pub const DNNWEAVER_ALEXNET_GFLOPS: f64 = 184.33;
+    /// DNNWeaver LeNet speedup over a 4-core Xeon E3.
+    pub const DNNWEAVER_LENET_VS_CPU: f64 = 12.0;
+    /// Thesis-reported cross-work ratios (§6.6.2).
+    pub const THESIS_VS_DICECCO: f64 = 1.41;
+    /// LeNet latency speedup vs Hadjis et al.
+    pub const THESIS_VS_HADJIS_LENET: f64 = 3.23;
+    /// MobileNet/AlexNet GFLOPS ratio vs DNNWeaver.
+    pub const THESIS_VS_DNNWEAVER: f64 = 0.11;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_platform_combination_is_classified() {
+        for m in Model::ALL {
+            for p in FpgaPlatform::ALL {
+                // Optimized succeeds everywhere except ResNet on the A10.
+                let expect_ok =
+                    !(p == FpgaPlatform::Arria10Gx && matches!(m, Model::ResNet18 | Model::ResNet34));
+                assert_eq!(optimized_fps(m, p).is_some(), expect_ok, "{m:?} {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lenet_area_table_is_complete() {
+        for label in ["Base", "Unrolling", "Channels", "Autorun", "TVM-Autorun"] {
+            for p in FpgaPlatform::ALL {
+                assert!(lenet_area(label, p).is_some(), "{label} {p}");
+            }
+        }
+        assert!(lenet_area("Nope", FpgaPlatform::Arria10Gx).is_none());
+    }
+
+    #[test]
+    fn table_6_8_flop_shares_sum_to_one() {
+        let total: f64 = TABLE_6_8.iter().map(|r| r.1).sum();
+        assert!((total - 1.0).abs() < 0.01);
+    }
+}

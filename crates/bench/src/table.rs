@@ -1,0 +1,113 @@
+//! Minimal aligned-column text tables for the experiment reports.
+
+/// A simple text table builder with a title, header and aligned columns.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut v: Vec<String> = cells.to_vec();
+        v.resize(self.header.len(), String::new());
+        self.rows.push(v);
+        self
+    }
+
+    /// Appends a row of string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate().take(ncols) {
+                line.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional float (`-` when absent).
+pub fn opt(v: Option<f64>) -> String {
+    v.map(f).unwrap_or_else(|| "-".to_string())
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.0}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row_str(&["a", "1"]);
+        t.row_str(&["longer", "2.5"]);
+        let s = t.render();
+        assert!(s.contains("### Demo"));
+        assert!(s.contains("| name   | value |"));
+        assert!(s.contains("| longer | 2.5   |"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1234.5), "1234"); // round-half-even
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.0123), "0.012");
+        assert_eq!(opt(None), "-");
+        assert_eq!(pct(48.6), "49%");
+    }
+}

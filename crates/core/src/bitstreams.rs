@@ -1,0 +1,97 @@
+//! Canned bitstream configurations matching the thesis evaluation tables.
+
+use crate::options::{OptimizationConfig, TilingPreset};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+
+/// The LeNet bitstream ladder of Table 6.4, in order: Base, Unrolling,
+/// Channels, Autorun, TVM-Autorun.
+pub fn lenet_ladder() -> Vec<OptimizationConfig> {
+    vec![
+        OptimizationConfig::base(),
+        OptimizationConfig::unrolling(),
+        OptimizationConfig::channels(),
+        OptimizationConfig::autorun(),
+        OptimizationConfig::tvm_autorun(),
+    ]
+}
+
+/// The seven 1x1-convolution tiling configurations of Table 6.6
+/// (`W_2vec / C_2vec / C_1vec`).
+pub const TABLE_6_6_TILINGS: &[(usize, usize, usize)] = &[
+    (7, 4, 8),
+    (7, 4, 16),
+    (7, 8, 4),
+    (7, 8, 8),
+    (7, 8, 16),
+    (7, 16, 4),
+    (7, 16, 8),
+];
+
+/// The per-platform 1x1 tiling deployed for MobileNetV1 (§6.3.2 / Table 6.7):
+/// S10MX 7/32/4, S10SX 7/16/4, A10 7/8/8.
+pub fn mobilenet_tile(platform: FpgaPlatform) -> (usize, usize, usize) {
+    match platform {
+        FpgaPlatform::Stratix10Mx => (7, 32, 4),
+        FpgaPlatform::Stratix10Sx => (7, 16, 4),
+        FpgaPlatform::Arria10Gx => (7, 8, 8),
+    }
+}
+
+/// The optimized folded configuration for a model on a platform
+/// (Tables 6.7/6.13); LeNet maps to the pipelined TVM-Autorun + CE
+/// configuration of Table 6.4.
+pub fn optimized_config(model: Model, platform: FpgaPlatform) -> OptimizationConfig {
+    match model {
+        Model::LeNet5 => OptimizationConfig::tvm_autorun().with_concurrent(),
+        Model::MobileNetV1 => OptimizationConfig::folded(TilingPreset::MobileNet {
+            one_by_one: mobilenet_tile(platform),
+        }),
+        Model::ResNet18 | Model::ResNet34 => {
+            OptimizationConfig::folded(TilingPreset::ResNet)
+        }
+    }
+}
+
+/// The naive baseline configuration for a model (pipelined Base for LeNet,
+/// folded Base for the larger networks).
+pub fn baseline_config(model: Model) -> OptimizationConfig {
+    match model {
+        Model::LeNet5 => OptimizationConfig::base(),
+        _ => OptimizationConfig::folded_base(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_five_rungs_in_table_order() {
+        let l = lenet_ladder();
+        let labels: Vec<&str> = l.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["Base", "Unrolling", "Channels", "Autorun", "TVM-Autorun"]
+        );
+    }
+
+    #[test]
+    fn platform_tiles_match_section_6_3_2() {
+        assert_eq!(mobilenet_tile(FpgaPlatform::Stratix10Mx), (7, 32, 4));
+        assert_eq!(mobilenet_tile(FpgaPlatform::Stratix10Sx), (7, 16, 4));
+        assert_eq!(mobilenet_tile(FpgaPlatform::Arria10Gx), (7, 8, 8));
+    }
+
+    #[test]
+    fn table_6_6_has_seven_configs() {
+        assert_eq!(TABLE_6_6_TILINGS.len(), 7);
+        assert!(TABLE_6_6_TILINGS.iter().all(|t| t.0 == 7));
+    }
+
+    #[test]
+    fn optimized_lenet_is_pipelined_concurrent() {
+        let c = optimized_config(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+        assert!(c.concurrent && c.channels && c.autorun);
+    }
+}

@@ -1,0 +1,373 @@
+//! Deployments: a synthesized accelerator plus its host execution plan,
+//! coupling real tensor computation with the simulated timeline.
+
+use crate::kernels::{FoldedPlan, PipelinedStage};
+use crate::options::OptimizationConfig;
+use fpgaccel_aoc::{report as aoc_report, BitstreamReport, Calib};
+use fpgaccel_device::DeviceModel;
+use fpgaccel_runtime::{Breakdown, EventKind, Sim};
+use fpgaccel_tensor::flops::node_flops;
+use fpgaccel_tensor::graph::Graph;
+use fpgaccel_tensor::Tensor;
+use fpgaccel_tir::Binding;
+use std::collections::HashMap;
+
+/// The host execution plan.
+#[derive(Clone, Debug)]
+pub enum ExecutionPlan {
+    /// Layer-pipelined stages (§6.3.1).
+    Pipelined(Vec<PipelinedStage>),
+    /// Time-multiplexed parameterized kernels (§6.3.2).
+    Folded(FoldedPlan),
+}
+
+/// One inference result.
+#[derive(Clone, Debug)]
+pub struct InferResult {
+    /// The network output (computed with real arithmetic).
+    pub output: Tensor,
+    /// Simulated end-to-end latency on the FPGA, seconds (including host
+    /// overheads and transfers).
+    pub simulated_seconds: f64,
+}
+
+/// Statistics from a simulated batch run.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Images processed.
+    pub images: usize,
+    /// Simulated wall-clock seconds for the whole batch.
+    pub seconds: f64,
+    /// Frames per second (§6.1.2).
+    pub fps: f64,
+    /// Network GFLOP/s (§6.1.2: FPS x FLOPs-per-pass).
+    pub gflops: f64,
+    /// Event-class breakdown (Figure 6.2).
+    pub breakdown: Breakdown,
+    /// Device-busy seconds per kernel.
+    pub kernel_seconds: HashMap<String, f64>,
+    /// FLOPs attributed to each kernel across the batch.
+    pub kernel_flops: HashMap<String, u64>,
+    /// The full simulated event timeline (for event-level analysis and the
+    /// Figure 6.2-style plots).
+    pub events: Vec<fpgaccel_runtime::SimEvent>,
+}
+
+impl BatchStats {
+    /// Per-kernel GFLOP/s (Tables 6.8/6.16).
+    pub fn kernel_gflops(&self, kernel: &str) -> f64 {
+        let secs = self.kernel_seconds.get(kernel).copied().unwrap_or(0.0);
+        let flops = self.kernel_flops.get(kernel).copied().unwrap_or(0) as f64;
+        if secs > 0.0 {
+            flops / secs / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Share of total kernel-busy time spent in a kernel (Tables 6.8/6.16).
+    pub fn kernel_time_share(&self, kernel: &str) -> f64 {
+        let total: f64 = self.kernel_seconds.values().sum();
+        if total > 0.0 {
+            self.kernel_seconds.get(kernel).copied().unwrap_or(0.0) / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A compiled, synthesized, deployable accelerator.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The fused network graph (functional semantics + parameters).
+    pub graph: Graph,
+    /// Host execution plan.
+    pub plan: ExecutionPlan,
+    /// Synthesis result.
+    pub bitstream: BitstreamReport,
+    /// Target device model.
+    pub device: DeviceModel,
+    /// Configuration this was compiled with.
+    pub config: OptimizationConfig,
+    /// Timing calibration.
+    pub calib: Calib,
+}
+
+impl Deployment {
+    /// Assembles a deployment from its parts. Normally produced by
+    /// [`crate::Flow::compile`]; public so downstream users (and the
+    /// integration tests) can deploy hand-built plans.
+    pub fn new(
+        graph: Graph,
+        plan: ExecutionPlan,
+        bitstream: BitstreamReport,
+        device: DeviceModel,
+        config: OptimizationConfig,
+        calib: Calib,
+    ) -> Self {
+        Deployment {
+            graph,
+            plan,
+            bitstream,
+            device,
+            config,
+            calib,
+        }
+    }
+
+    /// Network FLOPs per forward pass.
+    pub fn flops(&self) -> u64 {
+        fpgaccel_tensor::flops::graph_flops(&self.graph)
+    }
+
+    /// One-line Quartus-style fit summary.
+    pub fn fit_summary(&self) -> String {
+        aoc_report::fit_summary(&self.bitstream)
+    }
+
+    /// Full fit report.
+    pub fn fit_report(&self) -> String {
+        aoc_report::full_report(&self.bitstream)
+    }
+
+    /// One-time deployment cost: transferring all network parameters to
+    /// device global memory.
+    pub fn setup_seconds(&self) -> f64 {
+        let bytes = 4 * self.graph.param_count() as u64;
+        self.device
+            .link
+            .transfer_seconds(bytes, fpgaccel_device::TransferDir::Write)
+    }
+
+    /// Runs one inference: real output tensor + simulated single-image
+    /// latency.
+    pub fn infer(&self, input: &Tensor) -> InferResult {
+        let output = self.graph.execute(input);
+        let stats = self.simulate_batch(1);
+        InferResult {
+            output,
+            simulated_seconds: stats.seconds,
+        }
+    }
+
+    /// Classifies an input.
+    pub fn classify(&self, input: &Tensor) -> usize {
+        self.graph.execute(input).argmax()
+    }
+
+    /// Simulates a steady-state batch of `n` images through the host plan
+    /// and collects throughput statistics.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn simulate_batch(&self, n: usize) -> BatchStats {
+        assert!(n > 0, "batch must contain at least one image");
+        let mut sim = Sim::new(
+            self.device.clone(),
+            self.config.aoc,
+            self.calib.clone(),
+            self.bitstream.fmax_mhz,
+        );
+        sim.profiling = self.config.profiling;
+        let in_bytes = 4 * self.graph.input_shape().numel() as u64;
+        let out_bytes = 4 * self.graph.nodes[self.graph.output].out_shape.numel() as u64;
+
+        // Map kernel name -> flops per single invocation set, accumulated
+        // while enqueueing.
+        let mut kernel_flops: HashMap<String, u64> = HashMap::new();
+
+        match &self.plan {
+            ExecutionPlan::Pipelined(stages) => {
+                let q_io = sim.create_queue();
+                // The custom host uses a separate queue for read-backs so
+                // input writes of image i+1 overlap output reads of image i
+                // (§5.2 asynchronous enqueuing).
+                let q_read = if self.config.concurrent {
+                    sim.create_queue()
+                } else {
+                    q_io
+                };
+                let queues: Vec<_> = stages
+                    .iter()
+                    .map(|_| {
+                        if self.config.concurrent {
+                            sim.create_queue()
+                        } else {
+                            q_io
+                        }
+                    })
+                    .collect();
+                // Without channels, cross-queue dependencies can only be
+                // enforced through CL events the host waits on, so
+                // concurrency buys nothing for a global-memory chain (§4.8:
+                // kernels "may also be synchronized in software using CL
+                // events"; Figure 6.1 shows CE paying off only on the
+                // channel-enabled bitstreams).
+                let serial_sync =
+                    !self.config.concurrent || !self.config.channels || self.config.profiling;
+                for _ in 0..n {
+                    let write_ev = sim.enqueue_write(q_io, "input", in_bytes, &[]);
+                    let mut prev = write_ev;
+                    let mut prev_is_transfer = true;
+                    for (stage, &q) in stages.iter().zip(&queues) {
+                        let report = self.bitstream.kernel(&stage.kernel.name);
+                        let flops =
+                            node_flops(&self.graph, &self.graph.nodes[stage.node_id]);
+                        *kernel_flops.entry(stage.kernel.name.clone()).or_default() += flops;
+                        let ev = if stage.autorun {
+                            sim.autorun_stage(report, &Binding::empty(), &[prev])
+                        } else if self.config.channels && !prev_is_transfer {
+                            sim.enqueue_kernel(q, report, &Binding::empty(), &[], &[prev])
+                        } else {
+                            sim.enqueue_kernel(q, report, &Binding::empty(), &[prev], &[])
+                        };
+                        if serial_sync {
+                            sim.wait(ev);
+                        }
+                        prev = ev;
+                        prev_is_transfer = false;
+                    }
+                    let read_ev = sim.enqueue_read(q_read, "output", out_bytes, &[prev]);
+                    if !serial_sync {
+                        // Even the asynchronous host must process each
+                        // image's completion (result retrieval/verification,
+                        // §5.2) — one task-overhead per image.
+                        sim.host_work(self.calib.task_overhead(self.device.platform));
+                    } else {
+                        sim.wait(read_ev);
+                    }
+                }
+            }
+            ExecutionPlan::Folded(plan) => {
+                let q = sim.create_queue();
+                for _ in 0..n {
+                    let write_ev = sim.enqueue_write(q, "input", in_bytes, &[]);
+                    let mut prev = write_ev;
+                    for inv in &plan.invocations {
+                        let report = self.bitstream.kernel(&inv.kernel_name);
+                        let flops = node_flops(&self.graph, &self.graph.nodes[inv.node_id]);
+                        *kernel_flops.entry(inv.kernel_name.clone()).or_default() += flops;
+                        prev = sim.enqueue_kernel(q, report, &inv.binding, &[prev], &[]);
+                    }
+                    let read_ev = sim.enqueue_read(q, "output", out_bytes, &[prev]);
+                    sim.wait(read_ev);
+                }
+            }
+        }
+        sim.finish();
+
+        let seconds = sim
+            .events()
+            .iter()
+            .map(|e| e.end)
+            .fold(0.0f64, f64::max)
+            .max(sim.now());
+        let breakdown = Breakdown::of(sim.events());
+        let mut kernel_seconds: HashMap<String, f64> = HashMap::new();
+        for e in sim.events() {
+            if matches!(e.kind, EventKind::Kernel | EventKind::Autorun) {
+                *kernel_seconds.entry(e.name.clone()).or_default() += e.duration();
+            }
+        }
+        let fps = n as f64 / seconds;
+        let gflops = fps * self.flops() as f64 / 1e9;
+        BatchStats {
+            images: n,
+            seconds,
+            fps,
+            gflops,
+            breakdown,
+            kernel_seconds,
+            kernel_flops,
+            events: sim.events().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use crate::options::{OptimizationConfig, TilingPreset};
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tensor::models::Model;
+    use fpgaccel_tensor::{data, Shape};
+
+    fn lenet(platform: FpgaPlatform, cfg: &OptimizationConfig) -> Deployment {
+        Flow::new(Model::LeNet5, platform).compile(cfg).unwrap()
+    }
+
+    #[test]
+    fn infer_returns_probabilities_and_time() {
+        let d = lenet(FpgaPlatform::Stratix10Sx, &OptimizationConfig::tvm_autorun());
+        let r = d.infer(&data::synthetic_digit(4, 0));
+        assert_eq!(r.output.shape(), &Shape::d1(10));
+        assert!((r.output.sum() - 1.0).abs() < 1e-5);
+        assert!(r.simulated_seconds > 0.0 && r.simulated_seconds < 0.1);
+    }
+
+    #[test]
+    fn optimizations_ladder_improves_lenet_fps() {
+        // The Figure 6.1 property: each added optimization helps, and
+        // concurrent execution helps most.
+        let p = FpgaPlatform::Stratix10Sx;
+        let fps = |cfg: &OptimizationConfig| {
+            lenet(p, cfg).simulate_batch(64).fps
+        };
+        let base = fps(&OptimizationConfig::base());
+        let unroll = fps(&OptimizationConfig::unrolling());
+        let autorun = fps(&OptimizationConfig::autorun());
+        let ce = fps(&OptimizationConfig::tvm_autorun().with_concurrent());
+        assert!(unroll > base, "unrolling {unroll} !> base {base}");
+        assert!(autorun >= unroll, "autorun {autorun} !>= unroll {unroll}");
+        assert!(ce > 1.5 * autorun, "CE {ce} !>> autorun {autorun}");
+        // End-to-end ladder in the thesis ballpark (9-10x on the S10SX).
+        let ladder = ce / base;
+        assert!(
+            (3.0..40.0).contains(&ladder),
+            "ladder {ladder} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn batch_throughput_beats_single_image_latency() {
+        let d = lenet(
+            FpgaPlatform::Stratix10Sx,
+            &OptimizationConfig::tvm_autorun().with_concurrent(),
+        );
+        let one = d.simulate_batch(1).seconds;
+        let many = d.simulate_batch(50);
+        assert!(many.seconds / 50.0 < one, "pipelining should amortize");
+        assert!(many.fps > 0.0);
+    }
+
+    #[test]
+    fn folded_mobilenet_profiles_per_kernel() {
+        let d = Flow::new(Model::MobileNetV1, FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::folded(TilingPreset::MobileNet {
+                one_by_one: (7, 16, 4),
+            }))
+            .unwrap();
+        let stats = d.simulate_batch(2);
+        assert!(stats.fps > 0.1, "fps {}", stats.fps);
+        // 1x1 convolutions dominate FLOPs; pads have zero FLOPs but
+        // nonzero time (Table 6.8).
+        let one = stats.kernel_gflops("conv2d_1x1_s1_relu6");
+        assert!(one > 1.0, "1x1 gflops {one}");
+        assert_eq!(stats.kernel_gflops("pad_any"), 0.0);
+        assert!(stats.kernel_time_share("pad_any") > 0.02);
+        let share_sum: f64 = stats
+            .kernel_seconds
+            .keys()
+            .map(|k| stats.kernel_time_share(k))
+            .sum();
+        assert!((share_sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn setup_transfers_all_parameters_once() {
+        let d = lenet(FpgaPlatform::Stratix10Sx, &OptimizationConfig::base());
+        let s = d.setup_seconds();
+        assert!(s > 0.0 && s < 0.1);
+    }
+}

@@ -1,0 +1,173 @@
+//! A model-guided design-space explorer over tiling factors.
+//!
+//! §4.11: "A design space explorer would benefit ... We leave resource
+//! modeling and exploration for a DSE to future work." With synthesis taking
+//! microseconds in the AOC model instead of 5–12 hours, the exploration the
+//! thesis could not afford becomes trivial — this module implements it.
+//! Used by the Table 6.6/Figure 6.3 sweep and `examples/design_space.rs`.
+
+use crate::flow::Flow;
+use crate::options::{OptimizationConfig, TilingPreset};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+
+/// Outcome of evaluating one 1x1-convolution tiling configuration.
+#[derive(Clone, Debug)]
+pub struct DsePoint {
+    /// `(W_2vec, C_2vec, C_1vec)`.
+    pub tile: (usize, usize, usize),
+    /// Successful synthesis + simulation, or the failure reason.
+    pub result: Result<DseMetrics, String>,
+}
+
+/// Metrics for a successfully synthesized configuration.
+#[derive(Clone, Debug)]
+pub struct DseMetrics {
+    /// DSP blocks used by the whole bitstream.
+    pub dsps: u64,
+    /// Achieved clock.
+    pub fmax_mhz: f64,
+    /// Utilization percentages (logic, RAM, DSP).
+    pub utilization: (f64, f64, f64),
+    /// Simulated seconds per image for the full network, when the complete
+    /// kernel set also synthesizes on this platform.
+    pub seconds_per_image: Option<f64>,
+    /// Device-busy seconds of the 1x1-convolution kernel per image.
+    pub conv1x1_seconds: f64,
+}
+
+/// Evaluates a list of 1x1 tiling candidates for a model/platform.
+///
+/// Matching the Table 6.6 methodology, each candidate is synthesized as a
+/// bitstream containing *only* the parameterized 1x1-convolution kernel
+/// ("We optimize a parameterized 1x1 convolution kernel ... on the
+/// Arria 10", §6.3.2) and timed over all the network's 1x1 layers;
+/// `seconds_per_image` additionally reports full-network latency when the
+/// complete kernel set also fits.
+pub fn sweep_1x1(
+    model: Model,
+    platform: FpgaPlatform,
+    tiles: &[(usize, usize, usize)],
+) -> Vec<DsePoint> {
+    use crate::kernels::build_folded;
+    use fpgaccel_aoc::synthesize;
+    use fpgaccel_runtime::Sim;
+
+    let flow = Flow::new(model, platform);
+    let device = platform.model();
+    let graph = model.build().fuse().materialize_padding();
+    tiles
+        .iter()
+        .map(|&tile| {
+            let cfg = OptimizationConfig::folded(TilingPreset::Custom1x1 { tile });
+            let result = (|| -> Result<DseMetrics, String> {
+                let plan = build_folded(&graph, &cfg).map_err(|e| e.to_string())?;
+                let only_1x1: Vec<_> = plan
+                    .kernels
+                    .iter()
+                    .filter(|k| k.name.starts_with("conv2d_1x1"))
+                    .cloned()
+                    .collect();
+                if only_1x1.is_empty() {
+                    return Err("model has no 1x1 convolutions".to_string());
+                }
+                let bitstream = synthesize(&only_1x1, &device, &cfg.aoc, &flow.calib)
+                    .map_err(|e| e.to_string())?;
+                // Time every 1x1 layer once through the lone kernel.
+                let mut sim = Sim::new(
+                    device.clone(),
+                    cfg.aoc,
+                    flow.calib.clone(),
+                    bitstream.fmax_mhz,
+                );
+                let q = sim.create_queue();
+                let mut prev = None;
+                for inv in plan
+                    .invocations
+                    .iter()
+                    .filter(|i| i.kernel_name.starts_with("conv2d_1x1"))
+                {
+                    let deps: Vec<_> = prev.into_iter().collect();
+                    prev = Some(sim.enqueue_kernel(
+                        q,
+                        bitstream.kernel(&inv.kernel_name),
+                        &inv.binding,
+                        &deps,
+                        &[],
+                    ));
+                }
+                sim.finish();
+                let conv1x1_seconds = sim
+                    .events()
+                    .iter()
+                    .map(fpgaccel_runtime::SimEvent::duration)
+                    .sum();
+
+                let seconds_per_image = flow
+                    .compile(&cfg)
+                    .ok()
+                    .map(|d| d.simulate_batch(1).seconds);
+                Ok(DseMetrics {
+                    dsps: bitstream.total_resources.dsp,
+                    fmax_mhz: bitstream.fmax_mhz,
+                    utilization: bitstream.utilization,
+                    seconds_per_image,
+                    conv1x1_seconds,
+                })
+            })();
+            DsePoint { tile, result }
+        })
+        .collect()
+}
+
+/// Picks the candidate minimizing whole-network latency among those that
+/// synthesize — the selection rule of §6.3.2 ("high improvement ... without
+/// severely degraded fmax") made automatic.
+pub fn explore(
+    model: Model,
+    platform: FpgaPlatform,
+    tiles: &[(usize, usize, usize)],
+) -> Option<(usize, usize, usize)> {
+    sweep_1x1(model, platform, tiles)
+        .into_iter()
+        .filter_map(|p| {
+            p.result
+                .ok()
+                .and_then(|m| m.seconds_per_image.map(|s| (p.tile, s)))
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(tile, _)| tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstreams::TABLE_6_6_TILINGS;
+
+    #[test]
+    fn sweep_reports_dsp_growth_with_tile_size() {
+        let points = sweep_1x1(
+            Model::MobileNetV1,
+            FpgaPlatform::Arria10Gx,
+            &[(7, 4, 8), (7, 8, 16)],
+        );
+        let m0 = points[0].result.as_ref().unwrap();
+        let m1 = points[1].result.as_ref().unwrap();
+        // Figure 6.3: DSPs grow with the tile, fmax drops.
+        assert!(m1.dsps > 2 * m0.dsps);
+        assert!(m1.fmax_mhz < m0.fmax_mhz);
+    }
+
+    #[test]
+    fn explorer_picks_a_fitting_configuration() {
+        let best = explore(
+            Model::MobileNetV1,
+            FpgaPlatform::Arria10Gx,
+            TABLE_6_6_TILINGS,
+        )
+        .expect("at least one configuration fits the A10");
+        assert!(TABLE_6_6_TILINGS.contains(&best));
+        // The winner should use a non-trivial amount of parallelism.
+        assert!(best.1 * best.2 >= 16, "best {best:?} too small");
+    }
+}

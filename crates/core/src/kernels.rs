@@ -1,0 +1,676 @@
+//! Lowering graph nodes to OpenCL kernels: per-layer kernels for pipelined
+//! execution, grouped parameterized kernels for folded execution (§3.1,
+//! §4.9, §5.3).
+
+use crate::options::OptimizationConfig;
+use fpgaccel_tensor::graph::{Graph, Node, NodeId, Op};
+use fpgaccel_tensor::ops::Activation;
+use fpgaccel_tir::compute::{
+    self, ConvDims, ConvSchedule, ConvSpec, DenseSchedule, DenseSpec, EpilogueSpec, IoMode,
+    PoolKind,
+};
+use fpgaccel_tir::{Binding, Dim, Kernel};
+
+/// One stage of a pipelined deployment.
+#[derive(Clone, Debug)]
+pub struct PipelinedStage {
+    /// Graph node implemented by this kernel.
+    pub node_id: NodeId,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Declared autorun (§4.7).
+    pub autorun: bool,
+}
+
+/// One kernel invocation of a folded deployment.
+#[derive(Clone, Debug)]
+pub struct Invocation {
+    /// Graph node computed by this invocation.
+    pub node_id: NodeId,
+    /// Kernel executed.
+    pub kernel_name: String,
+    /// Symbolic-dimension arguments (§5.3).
+    pub binding: Binding,
+}
+
+/// The kernel set + schedule of a folded deployment.
+#[derive(Clone, Debug)]
+pub struct FoldedPlan {
+    /// Unique kernels (parameterized conv groups, the parameterized pad,
+    /// and fixed per-node kernels).
+    pub kernels: Vec<Kernel>,
+    /// Layer execution order.
+    pub invocations: Vec<Invocation>,
+}
+
+/// Identity of a parameterized convolution group: the thesis groups
+/// "convolutions with the same stride and filter size" (§4.9); activation
+/// and depthwise-ness must also match because they are baked into the
+/// datapath.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GroupKey {
+    /// Depthwise convolution.
+    pub depthwise: bool,
+    /// Filter size `F`.
+    pub f: usize,
+    /// Stride `S`.
+    pub s: usize,
+    /// Fused activation.
+    pub activation: Activation,
+}
+
+impl GroupKey {
+    /// Kernel name for this group (e.g. `conv2d_3x3_s1_relu`).
+    pub fn kernel_name(&self) -> String {
+        let op = if self.depthwise { "conv2d_dw" } else { "conv2d" };
+        let act = match self.activation {
+            Activation::None => "id",
+            Activation::Relu => "relu",
+            Activation::Relu6 => "relu6",
+        };
+        format!("{op}_{f}x{f}_s{s}_{act}", f = self.f, s = self.s)
+    }
+}
+
+/// Problems constructing a plan (tile divisibility, unsupported layouts).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanError(pub String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn conv_geometry(graph: &Graph, node: &Node) -> (usize, usize, usize, usize, usize, usize, bool) {
+    let Op::Conv2d {
+        out_channels,
+        kernel,
+        stride,
+        pad,
+        depthwise,
+    } = node.op
+    else {
+        panic!("conv_geometry on non-conv node");
+    };
+    assert_eq!(pad, 0, "padding must be materialized before lowering (§3.1)");
+    let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+    (
+        out_channels,
+        in_shape.dim(0),
+        node.out_shape.dim(1),
+        node.out_shape.dim(2),
+        kernel,
+        stride,
+        depthwise,
+    )
+}
+
+fn epilogue_of(node: &Node) -> EpilogueSpec {
+    EpilogueSpec {
+        bias: node.bias.is_some(),
+        bn: node.fused.bn.is_some(),
+        residual: node.fused.add_from.is_some(),
+        activation: node.fused.activation,
+    }
+}
+
+/// Builds per-layer kernels for a pipelined deployment. The graph must be a
+/// linear chain (§3.1 pipelines activations layer to layer).
+///
+/// # Errors
+/// Returns [`PlanError`] for non-chain graphs or indivisible dense unrolls.
+pub fn build_pipelined(
+    graph: &Graph,
+    config: &OptimizationConfig,
+) -> Result<Vec<PipelinedStage>, PlanError> {
+    let nodes: Vec<&Node> = graph.kernel_nodes().collect();
+    // Linear-chain check: every kernel consumes exactly the previous node.
+    for (i, n) in nodes.iter().enumerate() {
+        if n.inputs.len() != 1 || n.fused.add_from.is_some() {
+            return Err(PlanError(format!(
+                "pipelined execution requires a linear chain; node `{}` has \
+                 residual/multi-input structure",
+                n.name
+            )));
+        }
+        let expected_input = if i == 0 { 0 } else { nodes[i - 1].id };
+        if n.inputs[0] != expected_input {
+            return Err(PlanError(format!(
+                "pipelined execution requires a linear chain; node `{}` skips a layer",
+                n.name
+            )));
+        }
+    }
+
+    let last = nodes.len() - 1;
+    let mut dense_seen = 0usize;
+    let mut stages = Vec::with_capacity(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        let in_numel = graph.nodes[node.inputs[0]].out_shape.numel();
+        let out_numel = node.out_shape.numel();
+        // Channel depths sized to the producer's output feature map so the
+        // FIFO never stalls the producer (§4.11).
+        let io_in = if config.channels && i > 0 {
+            IoMode::channel(format!("ch_{}", i - 1), in_numel)
+        } else {
+            IoMode::Global
+        };
+        let io_out = if config.channels && i < last {
+            IoMode::channel(format!("ch_{i}"), out_numel)
+        } else {
+            IoMode::Global
+        };
+
+        let mut kernel = lower_node(graph, node, io_in, io_out, config, &mut dense_seen)?;
+        let autorun = config.autorun && kernel.autorun_eligible();
+        if autorun {
+            kernel.mark_autorun();
+        }
+        stages.push(PipelinedStage {
+            node_id: node.id,
+            kernel,
+            autorun,
+        });
+    }
+    Ok(stages)
+}
+
+fn lower_node(
+    graph: &Graph,
+    node: &Node,
+    io_in: IoMode,
+    io_out: IoMode,
+    config: &OptimizationConfig,
+    dense_seen: &mut usize,
+) -> Result<Kernel, PlanError> {
+    let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+    Ok(match &node.op {
+        Op::Conv2d { .. } => {
+            let (c2, c1, h2, w2, f, s, dw) = conv_geometry(graph, node);
+            let spec = ConvSpec {
+                name: node.name.clone(),
+                dims: ConvDims::constant(c2, c1, h2, w2, f, s).with_input(
+                    Dim::Const(in_shape.dim(1)),
+                    Dim::Const(in_shape.dim(2)),
+                ),
+                depthwise: dw,
+                epilogue: epilogue_of(node),
+                io_in,
+                io_out,
+                schedule: if config.optimized_schedules {
+                    ConvSchedule::Fused { unroll_ff: true }
+                } else {
+                    ConvSchedule::Base
+                },
+                explicit_strides: false,
+            };
+            compute::conv2d(&spec)
+        }
+        Op::Dense { units } => {
+            let n = in_shape.dim(0);
+            let schedule = match config.dense_unroll.get(*dense_seen) {
+                Some(&factor) if config.optimized_schedules => {
+                    if !n.is_multiple_of(factor) {
+                        return Err(PlanError(format!(
+                            "dense unroll factor {factor} does not divide N = {n} for `{}`",
+                            node.name
+                        )));
+                    }
+                    DenseSchedule::Unrolled { factor }
+                }
+                _ => DenseSchedule::Base,
+            };
+            *dense_seen += 1;
+            compute::dense(&DenseSpec {
+                name: node.name.clone(),
+                m: Dim::Const(*units),
+                n: Dim::Const(n),
+                epilogue: epilogue_of(node),
+                io_in,
+                io_out,
+                schedule,
+            })
+        }
+        Op::MaxPool {
+            window,
+            stride,
+            pad,
+        } => {
+            assert_eq!(*pad, 0, "pool padding must be materialized");
+            compute::pool(
+                &node.name,
+                PoolKind::Max,
+                in_shape.dim(0),
+                in_shape.dim(1),
+                in_shape.dim(2),
+                *window,
+                *stride,
+                io_in,
+                io_out,
+            )
+        }
+        Op::AvgPool {
+            window,
+            stride,
+            pad,
+        } => {
+            assert_eq!(*pad, 0, "pool padding must be materialized");
+            compute::pool(
+                &node.name,
+                PoolKind::Avg,
+                in_shape.dim(0),
+                in_shape.dim(1),
+                in_shape.dim(2),
+                *window,
+                *stride,
+                io_in,
+                io_out,
+            )
+        }
+        Op::Pad { pad } => compute::pad(
+            &node.name,
+            in_shape.dim(0),
+            in_shape.dim(1),
+            in_shape.dim(2),
+            *pad,
+            io_in,
+            io_out,
+        ),
+        Op::Flatten => compute::copy(&node.name, in_shape.numel(), io_in, io_out),
+        Op::Softmax => compute::softmax(
+            &node.name,
+            in_shape.dim(0),
+            io_in,
+            io_out,
+            config.optimized_schedules,
+        ),
+        other => {
+            return Err(PlanError(format!(
+                "op {:?} should have been fused before lowering",
+                other.kind_name()
+            )))
+        }
+    })
+}
+
+/// Builds the folded plan: parameterized conv groups keyed by
+/// (depthwise, F, S, activation), one parameterized pad kernel, and fixed
+/// kernels for the remaining layers.
+///
+/// # Errors
+/// Returns [`PlanError`] when a layer's dimensions are not divisible by the
+/// group's tile factors (§4.11 requirement 2).
+pub fn build_folded(graph: &Graph, config: &OptimizationConfig) -> Result<FoldedPlan, PlanError> {
+    if !config.parameterized {
+        return build_folded_per_layer(graph, config);
+    }
+    // Pass 1: collect conv groups and their epilogue unions.
+    #[derive(Default, Clone)]
+    struct GroupInfo {
+        bias: bool,
+        bn: bool,
+        residual: bool,
+    }
+    let mut group_order: Vec<GroupKey> = Vec::new();
+    let mut groups: std::collections::HashMap<GroupKey, GroupInfo> =
+        std::collections::HashMap::new();
+    let mut needs_pad = false;
+    for node in graph.kernel_nodes() {
+        match &node.op {
+            Op::Conv2d {
+                kernel,
+                stride,
+                depthwise,
+                ..
+            } => {
+                let key = GroupKey {
+                    depthwise: *depthwise,
+                    f: *kernel,
+                    s: *stride,
+                    activation: node.fused.activation,
+                };
+                let info = groups.entry(key).or_insert_with(|| {
+                    group_order.push(key);
+                    GroupInfo::default()
+                });
+                info.bias |= node.bias.is_some();
+                info.bn |= node.fused.bn.is_some();
+                info.residual |= node.fused.add_from.is_some();
+            }
+            Op::Pad { .. } => needs_pad = true,
+            _ => {}
+        }
+    }
+
+    // Pass 2: materialize group kernels.
+    let mut kernels: Vec<Kernel> = Vec::new();
+    for key in &group_order {
+        let info = &groups[key];
+        let dims = ConvDims {
+            c2: Dim::sym("ff"),
+            c1: if key.depthwise {
+                Dim::sym("ff")
+            } else {
+                Dim::sym("rc")
+            },
+            h2: Dim::sym("hh"),
+            w2: Dim::sym("ww"),
+            h1: Dim::sym("ih"),
+            w1: Dim::sym("iw"),
+            f: key.f,
+            s: key.s,
+        };
+        let spec = ConvSpec {
+            name: key.kernel_name(),
+            dims,
+            depthwise: key.depthwise,
+            epilogue: EpilogueSpec {
+                bias: info.bias,
+                bn: info.bn,
+                residual: info.residual,
+                activation: key.activation,
+            },
+            io_in: IoMode::Global,
+            io_out: IoMode::Global,
+            schedule: if config.optimized_schedules {
+                config.tiling.schedule(key.depthwise, key.f, key.s)
+            } else {
+                ConvSchedule::Base
+            },
+            // The flow applies the Listing 5.11 stride-1 coalescing
+            // workaround unless the ablation switch keeps TVM's raw
+            // symbolic strides (Listing 5.10).
+            explicit_strides: config.explicit_strides,
+        };
+        kernels.push(compute::conv2d(&spec));
+    }
+    if needs_pad {
+        kernels.push(compute::pad_param("pad_any"));
+    }
+
+    // Pass 3: fixed kernels + the invocation schedule.
+    let mut invocations = Vec::new();
+    let mut dense_seen = 0usize;
+    for node in graph.kernel_nodes() {
+        match &node.op {
+            Op::Conv2d {
+                kernel: f,
+                stride,
+                depthwise,
+                ..
+            } => {
+                let key = GroupKey {
+                    depthwise: *depthwise,
+                    f: *f,
+                    s: *stride,
+                    activation: node.fused.activation,
+                };
+                let (c2, c1, h2, w2, _, _, dw) = conv_geometry(graph, node);
+                if config.optimized_schedules {
+                    if let ConvSchedule::Tiled {
+                        w2vec,
+                        c2vec,
+                        c1vec,
+                    } = config.tiling.schedule(key.depthwise, key.f, key.s)
+                    {
+                        let check = |what: &str, v: usize, tile: usize| {
+                            if !v.is_multiple_of(tile) {
+                                Err(PlanError(format!(
+                                    "layer `{}`: {what} = {v} not divisible by tile {tile}",
+                                    node.name
+                                )))
+                            } else {
+                                Ok(())
+                            }
+                        };
+                        check("W2", w2, w2vec)?;
+                        check("C2", c2, c2vec)?;
+                        if !dw {
+                            check("C1", c1, c1vec)?;
+                        }
+                    }
+                }
+                let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+                let mut binding = Binding::empty();
+                binding.set("ff", c2);
+                if !dw {
+                    binding.set("rc", c1);
+                }
+                binding.set("hh", h2);
+                binding.set("ww", w2);
+                binding.set("ih", in_shape.dim(1));
+                binding.set("iw", in_shape.dim(2));
+                invocations.push(Invocation {
+                    node_id: node.id,
+                    kernel_name: key.kernel_name(),
+                    binding,
+                });
+            }
+            Op::Pad { pad } => {
+                let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+                let mut binding = Binding::empty();
+                binding.set("pc", in_shape.dim(0));
+                binding.set("ph", in_shape.dim(1));
+                binding.set("pw", in_shape.dim(2));
+                binding.set("pp", *pad);
+                invocations.push(Invocation {
+                    node_id: node.id,
+                    kernel_name: "pad_any".into(),
+                    binding,
+                });
+            }
+            _ => {
+                // Fixed single-layer kernel (pools, dense, softmax, flatten).
+                let mut cfg = config.clone();
+                if let Some(factor) = config.tiling.dense_unroll() {
+                    let n = graph.nodes[node.inputs[0]].out_shape.dim(0);
+                    cfg.dense_unroll = if config.optimized_schedules && n.is_multiple_of(factor) {
+                        vec![factor; 8]
+                    } else {
+                        vec![]
+                    };
+                }
+                let kernel = lower_node(
+                    graph,
+                    node,
+                    IoMode::Global,
+                    IoMode::Global,
+                    &cfg,
+                    &mut dense_seen,
+                )?;
+                invocations.push(Invocation {
+                    node_id: node.id,
+                    kernel_name: kernel.name.clone(),
+                    binding: Binding::empty(),
+                });
+                kernels.push(kernel);
+            }
+        }
+    }
+
+    Ok(FoldedPlan {
+        kernels,
+        invocations,
+    })
+}
+
+/// TVM's default one-kernel-per-layer folded mapping (§3.2): every node
+/// gets a constant-shape kernel with global I/O. This is the naive baseline
+/// whose LSU area exhausts the Arria 10 for MobileNet/ResNet.
+fn build_folded_per_layer(
+    graph: &Graph,
+    config: &OptimizationConfig,
+) -> Result<FoldedPlan, PlanError> {
+    let mut kernels = Vec::new();
+    let mut invocations = Vec::new();
+    let mut dense_seen = 0usize;
+    for node in graph.kernel_nodes() {
+        let kernel = lower_node(
+            graph,
+            node,
+            IoMode::Global,
+            IoMode::Global,
+            config,
+            &mut dense_seen,
+        )?;
+        invocations.push(Invocation {
+            node_id: node.id,
+            kernel_name: kernel.name.clone(),
+            binding: Binding::empty(),
+        });
+        kernels.push(kernel);
+    }
+    Ok(FoldedPlan {
+        kernels,
+        invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::TilingPreset;
+    use fpgaccel_tensor::models::Model;
+
+    fn lenet_graph() -> Graph {
+        Model::LeNet5.build().fuse().materialize_padding()
+    }
+
+    #[test]
+    fn lenet_pipelined_has_nine_stages() {
+        let g = lenet_graph();
+        let stages = build_pipelined(&g, &OptimizationConfig::tvm_autorun()).unwrap();
+        // conv1, pool1, conv2, pool2, flatten, dense1-3, softmax.
+        assert_eq!(stages.len(), 9);
+        // Pool and flatten stages are autorun (Table 6.4).
+        let autoruns: Vec<&str> = stages
+            .iter()
+            .filter(|s| s.autorun)
+            .map(|s| s.kernel.name.as_str())
+            .collect();
+        assert_eq!(autoruns, vec!["pool1", "pool2", "flatten"]);
+    }
+
+    #[test]
+    fn base_config_uses_global_io_everywhere() {
+        let g = lenet_graph();
+        let stages = build_pipelined(&g, &OptimizationConfig::base()).unwrap();
+        for s in &stages {
+            assert!(s.kernel.chan_in.is_empty() && s.kernel.chan_out.is_empty());
+            assert!(!s.autorun);
+        }
+    }
+
+    #[test]
+    fn channel_config_wires_a_chain() {
+        let g = lenet_graph();
+        let stages = build_pipelined(&g, &OptimizationConfig::channels()).unwrap();
+        // First reads global, last writes global, interior channelized.
+        assert!(stages.first().unwrap().kernel.chan_in.is_empty());
+        assert!(stages.last().unwrap().kernel.chan_out.is_empty());
+        for w in stages.windows(2) {
+            let out = &w[0].kernel.chan_out;
+            let inp = &w[1].kernel.chan_in;
+            assert_eq!(out.len(), 1);
+            assert_eq!(inp.len(), 1);
+            assert_eq!(out[0].name, inp[0].name);
+        }
+    }
+
+    #[test]
+    fn resnet_rejects_pipelined_mode() {
+        let g = Model::ResNet18.build().fuse().materialize_padding();
+        let err = build_pipelined(&g, &OptimizationConfig::tvm_autorun()).unwrap_err();
+        assert!(err.0.contains("linear chain"), "{err}");
+    }
+
+    #[test]
+    fn mobilenet_folded_groups_match_table_6_7() {
+        let g = Model::MobileNetV1.build().fuse().materialize_padding();
+        let plan = build_folded(
+            &g,
+            &OptimizationConfig::folded(TilingPreset::MobileNet {
+                one_by_one: (7, 16, 4),
+            }),
+        )
+        .unwrap();
+        let names: Vec<&str> = plan.kernels.iter().map(|k| k.name.as_str()).collect();
+        // The parameterized groups of Table 6.7.
+        assert!(names.contains(&"conv2d_1x1_s1_relu6"));
+        assert!(names.contains(&"conv2d_dw_3x3_s1_relu6"));
+        assert!(names.contains(&"conv2d_dw_3x3_s2_relu6"));
+        assert!(names.contains(&"conv2d_3x3_s2_relu6"));
+        assert!(names.contains(&"pad_any"));
+        assert!(names.contains(&"fc"));
+        assert!(names.contains(&"softmax"));
+        // 27 convolutions collapse into 4 parameterized kernels.
+        let conv_kernels = names.iter().filter(|n| n.starts_with("conv2d")).count();
+        assert_eq!(conv_kernels, 4);
+        // Every conv layer is an invocation of one of them.
+        let conv_invocations = plan
+            .invocations
+            .iter()
+            .filter(|i| i.kernel_name.starts_with("conv2d"))
+            .count();
+        assert_eq!(conv_invocations, 27);
+    }
+
+    #[test]
+    fn resnet_folded_groups_match_table_6_13() {
+        let g = Model::ResNet18.build().fuse().materialize_padding();
+        let plan = build_folded(&g, &OptimizationConfig::folded(TilingPreset::ResNet)).unwrap();
+        let names: Vec<&str> = plan.kernels.iter().map(|k| k.name.as_str()).collect();
+        assert!(names.contains(&"conv2d_7x7_s2_relu"));
+        assert!(names.contains(&"conv2d_3x3_s1_relu"));
+        assert!(names.contains(&"conv2d_3x3_s2_relu"));
+        assert!(names.contains(&"conv2d_1x1_s2_id"));
+        assert!(names.contains(&"pad_any"));
+        assert!(names.contains(&"pool1"));
+        assert!(names.contains(&"pool"));
+    }
+
+    #[test]
+    fn folded_bindings_carry_layer_shapes() {
+        let g = Model::ResNet18.build().fuse().materialize_padding();
+        let plan = build_folded(&g, &OptimizationConfig::folded(TilingPreset::ResNet)).unwrap();
+        let conv1 = plan
+            .invocations
+            .iter()
+            .find(|i| g.nodes[i.node_id].name == "conv1")
+            .unwrap();
+        assert_eq!(conv1.binding.get("ff"), 64);
+        assert_eq!(conv1.binding.get("rc"), 3);
+        assert_eq!(conv1.binding.get("hh"), 112);
+    }
+
+    #[test]
+    fn indivisible_tiles_are_rejected() {
+        let g = Model::MobileNetV1.build().fuse().materialize_padding();
+        // c2vec = 48 does not divide MobileNet's 64-channel layers.
+        let err = build_folded(
+            &g,
+            &OptimizationConfig::folded(TilingPreset::MobileNet {
+                one_by_one: (7, 48, 4),
+            }),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("not divisible"), "{err}");
+    }
+
+    #[test]
+    fn residual_union_marks_group_kernels() {
+        let g = Model::ResNet18.build().fuse().materialize_padding();
+        let plan = build_folded(&g, &OptimizationConfig::folded(TilingPreset::ResNet)).unwrap();
+        let k = plan
+            .kernels
+            .iter()
+            .find(|k| k.name == "conv2d_3x3_s1_relu")
+            .unwrap();
+        // The group contains conv_b layers with fused residual adds, so the
+        // shared kernel carries a `res` argument.
+        assert!(k.bufs.iter().any(|b| b.name == "res"));
+    }
+}

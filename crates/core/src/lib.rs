@@ -1,0 +1,39 @@
+//! # fpgaccel-core
+//!
+//! The thesis' primary contribution: an end-to-end compilation flow from a
+//! CNN model description to a (simulated) FPGA accelerator (Chapter 3).
+//!
+//! The flow imports a model graph, runs the Relay-style fusion and
+//! padding-materialization passes, lowers every layer to OpenCL kernels
+//! through the selected schedules (Chapter 5), synthesizes the kernel set
+//! with the AOC model, and wires a host execution plan in one of the two
+//! modes of §3.1:
+//!
+//! * **Pipelined execution** (`ExecMode::Pipelined`): one kernel per layer,
+//!   activations stream through Intel channels, weight-free kernels run
+//!   autorun, and one command queue per kernel gives concurrent execution —
+//!   the LeNet deployment of §6.3.1.
+//! * **Folded execution** (`ExecMode::Folded`): convolutions grouped by
+//!   (operation, filter size, stride) into parameterized symbolic-shape
+//!   kernels that are time-multiplexed across layers through global memory —
+//!   the MobileNet/ResNet deployments of §6.3.2/§6.4.3.
+//!
+//! [`Deployment`] couples the simulated timeline (the `fpgaccel-runtime`
+//! event simulation driven by the AOC timing model) with real tensor data
+//! (the graph executor), and [`verify`] proves, end to end, that the exact
+//! generated kernels — run through the IR interpreter — compute the same
+//! numbers.
+
+#![warn(missing_docs)]
+
+pub mod bitstreams;
+pub mod deploy;
+pub mod dse;
+pub mod flow;
+pub mod kernels;
+pub mod options;
+pub mod verify;
+
+pub use deploy::{BatchStats, Deployment, InferResult};
+pub use flow::{Flow, FlowError};
+pub use options::{ExecMode, OptimizationConfig, TilingPreset};

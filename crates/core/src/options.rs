@@ -1,0 +1,406 @@
+//! Optimization configurations — the knobs of Table 4.1 and the bitstream
+//! ladder of Table 6.4.
+
+use fpgaccel_aoc::AocOptions;
+use fpgaccel_tir::compute::ConvSchedule;
+
+/// The two execution modes of §3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One kernel per layer, channel-connected, all kernels concurrently
+    /// resident (small networks).
+    Pipelined,
+    /// Parameterized kernels time-multiplexed across layers through global
+    /// memory (large networks).
+    Folded,
+}
+
+/// Tiling/unroll factor tables for folded deployments (Tables 6.6/6.7/6.13).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TilingPreset {
+    /// No tiling: every kernel keeps the default TVM schedule (the folded
+    /// *base* bitstreams of Tables 6.11/6.14).
+    Naive,
+    /// MobileNetV1 (Table 6.7): 1x1 convs tiled `W2/C2/C1`, the 3x3 stem
+    /// tiled `C1,F,F = 3x3x3`, depthwise convs tiled `W2,F,F = 7x3x3`,
+    /// dense unrolled by 32.
+    MobileNet {
+        /// `(W_2vec, C_2vec, C_1vec)` for the 1x1 convolutions — per
+        /// platform: S10MX 7/32/4, S10SX 7/16/4, A10 7/8/8.
+        one_by_one: (usize, usize, usize),
+    },
+    /// ResNet-18/34 (Table 6.13): 7x7 stem unrolled `F,F`; 3x3 convs tiled
+    /// `W2,C1,F,F = 7/8/3/3`; 1x1 projections unrolled `C1 = 8`; dense
+    /// unrolled by 32.
+    ResNet,
+    /// A custom 1x1 tiling (used by the Table 6.6 sweep and the DSE).
+    Custom1x1 {
+        /// `(W_2vec, C_2vec, C_1vec)`.
+        tile: (usize, usize, usize),
+    },
+    /// AlexNet (extension; not a thesis deployment): 11x11 and 5x5 stems
+    /// unrolled `F,F` only (their input-channel counts do not divide
+    /// evenly), 3x3 convs unrolled `C1 = 4`, dense unrolled by 32.
+    AlexNet,
+    /// One tiling applied to every convolution group (`c2vec` only for 1x1
+    /// kernels, `c1vec` skipped for depthwise). Useful for custom networks
+    /// whose dimensions the MobileNet/ResNet presets do not divide.
+    Uniform {
+        /// `W_2vec`.
+        w2vec: usize,
+        /// `C_2vec` (1x1 kernels only).
+        c2vec: usize,
+        /// `C_1vec` (non-depthwise kernels).
+        c1vec: usize,
+    },
+}
+
+impl TilingPreset {
+    /// The convolution schedule for a folded group with filter `f`, stride
+    /// `s`, depthwise flag `dw`.
+    pub fn schedule(&self, dw: bool, f: usize, s: usize) -> ConvSchedule {
+        match self {
+            TilingPreset::Naive => ConvSchedule::Base,
+            TilingPreset::MobileNet { one_by_one } => {
+                if dw {
+                    // 3x3 DW conv tiled W2,F,F = 7x3x3 (Table 6.7).
+                    ConvSchedule::Tiled {
+                        w2vec: 7,
+                        c2vec: 1,
+                        c1vec: 1,
+                    }
+                } else if f == 1 {
+                    ConvSchedule::Tiled {
+                        w2vec: one_by_one.0,
+                        c2vec: one_by_one.1,
+                        c1vec: one_by_one.2,
+                    }
+                } else {
+                    // The 3x3 stem: C1,F,F = 3x3x3 (Table 6.7).
+                    ConvSchedule::Tiled {
+                        w2vec: 1,
+                        c2vec: 1,
+                        c1vec: 3,
+                    }
+                }
+            }
+            TilingPreset::ResNet => {
+                if f == 7 {
+                    // 7x7 conv: unroll F,F only (Table 6.13).
+                    ConvSchedule::Tiled {
+                        w2vec: 1,
+                        c2vec: 1,
+                        c1vec: 1,
+                    }
+                } else if f == 3 {
+                    // 3x3 convs (either stride): 7/8/3/3 (Table 6.13).
+                    ConvSchedule::Tiled {
+                        w2vec: 7,
+                        c2vec: 1,
+                        c1vec: 8,
+                    }
+                } else {
+                    // 1x1 projections: unroll C1 = 8 (Table 6.13).
+                    let _ = s;
+                    ConvSchedule::Tiled {
+                        w2vec: 1,
+                        c2vec: 1,
+                        c1vec: 8,
+                    }
+                }
+            }
+            TilingPreset::AlexNet => {
+                let _ = s;
+                if f >= 5 {
+                    ConvSchedule::Tiled {
+                        w2vec: 1,
+                        c2vec: 1,
+                        c1vec: 1,
+                    }
+                } else {
+                    ConvSchedule::Tiled {
+                        w2vec: 1,
+                        c2vec: 1,
+                        c1vec: 4,
+                    }
+                }
+            }
+            TilingPreset::Custom1x1 { tile } => {
+                if !dw && f == 1 {
+                    ConvSchedule::Tiled {
+                        w2vec: tile.0,
+                        c2vec: tile.1,
+                        c1vec: tile.2,
+                    }
+                } else {
+                    TilingPreset::MobileNet {
+                        one_by_one: *tile,
+                    }
+                    .schedule(dw, f, s)
+                }
+            }
+            TilingPreset::Uniform {
+                w2vec,
+                c2vec,
+                c1vec,
+            } => ConvSchedule::Tiled {
+                w2vec: *w2vec,
+                c2vec: if !dw && f == 1 { *c2vec } else { 1 },
+                c1vec: if dw { 1 } else { *c1vec },
+            },
+        }
+    }
+
+    /// Dense-layer unroll factor.
+    pub fn dense_unroll(&self) -> Option<usize> {
+        match self {
+            TilingPreset::Naive => None,
+            // Table 6.7 / §6.4.3: dense unrolled by 32.
+            _ => Some(32),
+        }
+    }
+}
+
+/// A complete optimization configuration — one "bitstream" of the
+/// evaluation.
+#[derive(Clone, Debug)]
+pub struct OptimizationConfig {
+    /// Display label (Table 6.4 names).
+    pub label: String,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Optimized schedules: activation fusion into the producing loop,
+    /// cached writes (private accumulators), `F x F` unrolling, and the
+    /// softmax loop-invariant code motion (§4.3–§4.5, §5.1).
+    pub optimized_schedules: bool,
+    /// Per-dense-layer unroll factors in layer order (empty = no unroll).
+    /// LeNet's ladder uses 40/40/4 (Table 6.4).
+    pub dense_unroll: Vec<usize>,
+    /// Move activations between kernels over Intel channels (§4.6).
+    pub channels: bool,
+    /// Declare weight-free channel kernels autorun (§4.7). Requires
+    /// `channels`.
+    pub autorun: bool,
+    /// One command queue per kernel + asynchronous enqueues (§4.8).
+    pub concurrent: bool,
+    /// Folded mode only: group convolutions into parameterized
+    /// symbolic-shape kernels (§4.9). When `false`, TVM's default
+    /// one-kernel-per-layer mapping is kept — which "can easily exhaust
+    /// resources" (§3.2) and is why the naive MobileNet/ResNet designs do
+    /// not fit the Arria 10.
+    pub parameterized: bool,
+    /// Folded-mode tiling table.
+    pub tiling: TilingPreset,
+    /// Emit parameterized kernels with the raw symbolic strides TVM
+    /// generates (Listing 5.10) instead of applying the stride-1 coalescing
+    /// workaround (Listing 5.11). AOC then cannot prove accesses contiguous
+    /// and infers replicated non-aligned LSUs — the §5.3 caveat, kept as an
+    /// ablation switch.
+    pub explicit_strides: bool,
+    /// Float-operation flags (§4.10) — on for every thesis bitstream.
+    pub aoc: AocOptions,
+    /// Enable the OpenCL event profiler (§5.2). Profiling requires events
+    /// to complete before their timestamps can be read, so it forces
+    /// synchronous execution and adds per-event host overhead —
+    /// "Asynchronous OpenCL task enqueuing and concurrent execution is
+    /// disabled when the ... profiler is enabled".
+    pub profiling: bool,
+}
+
+impl OptimizationConfig {
+    /// Table 6.4 `Base`: the untouched TVM flow.
+    pub fn base() -> Self {
+        OptimizationConfig {
+            label: "Base".into(),
+            mode: ExecMode::Pipelined,
+            optimized_schedules: false,
+            dense_unroll: vec![],
+            channels: false,
+            autorun: false,
+            concurrent: false,
+            parameterized: false,
+            tiling: TilingPreset::Naive,
+            explicit_strides: false,
+            aoc: AocOptions::default(),
+            profiling: false,
+        }
+    }
+
+    /// Table 6.4 `Unrolling`: conv inner product unrolled (`F x F`),
+    /// dense layers unrolled 40/40/4.
+    pub fn unrolling() -> Self {
+        OptimizationConfig {
+            label: "Unrolling".into(),
+            optimized_schedules: true,
+            dense_unroll: vec![40, 40, 4],
+            ..Self::base()
+        }
+    }
+
+    /// Table 6.4 `Channels`: + output feature maps moved over buffered
+    /// channels, activations fused with the channel write.
+    pub fn channels() -> Self {
+        OptimizationConfig {
+            label: "Channels".into(),
+            channels: true,
+            ..Self::unrolling()
+        }
+    }
+
+    /// Table 6.4 `Autorun`: + pooling/flatten kernels declared autorun.
+    pub fn autorun() -> Self {
+        OptimizationConfig {
+            label: "Autorun".into(),
+            autorun: true,
+            ..Self::channels()
+        }
+    }
+
+    /// Table 6.4 `TVM-Autorun`: the same optimizations with
+    /// unrolling/fusion/write-caches applied by TVM schedule primitives
+    /// rather than by hand (§6.3.1 validates the automation).
+    pub fn tvm_autorun() -> Self {
+        OptimizationConfig {
+            label: "TVM-Autorun".into(),
+            ..Self::autorun()
+        }
+    }
+
+    /// Folded-mode naive deployment (the MobileNet/ResNet "Base" rows):
+    /// one kernel per layer, default schedules.
+    pub fn folded_base() -> Self {
+        OptimizationConfig {
+            label: "Folded-Base".into(),
+            mode: ExecMode::Folded,
+            optimized_schedules: false,
+            dense_unroll: vec![],
+            channels: false,
+            autorun: false,
+            concurrent: false,
+            parameterized: false,
+            tiling: TilingPreset::Naive,
+            explicit_strides: false,
+            aoc: AocOptions::default(),
+            profiling: false,
+        }
+    }
+
+    /// Folded-mode optimized deployment: parameterized kernels + a tiling
+    /// preset.
+    pub fn folded(tiling: TilingPreset) -> Self {
+        OptimizationConfig {
+            label: "Folded-Optimized".into(),
+            optimized_schedules: true,
+            parameterized: true,
+            tiling,
+            ..Self::folded_base()
+        }
+    }
+
+    /// Enables concurrent execution (the `[CE]` series of Figure 6.1).
+    pub fn with_concurrent(mut self) -> Self {
+        self.concurrent = true;
+        self.label = format!("{} [CE]", self.label);
+        self
+    }
+
+    /// Enables the OpenCL event profiler (§5.2) — disables asynchronous
+    /// execution and adds per-event host overhead.
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
+        self.label = format!("{} [profiled]", self.label);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let base = OptimizationConfig::base();
+        assert!(!base.optimized_schedules && !base.channels && !base.autorun);
+        let unroll = OptimizationConfig::unrolling();
+        assert!(unroll.optimized_schedules && !unroll.channels);
+        assert_eq!(unroll.dense_unroll, vec![40, 40, 4]);
+        let chan = OptimizationConfig::channels();
+        assert!(chan.channels && !chan.autorun);
+        let auto = OptimizationConfig::autorun();
+        assert!(auto.channels && auto.autorun);
+    }
+
+    #[test]
+    fn mobilenet_preset_matches_table_6_7() {
+        let t = TilingPreset::MobileNet {
+            one_by_one: (7, 16, 4),
+        };
+        assert_eq!(
+            t.schedule(false, 1, 1),
+            ConvSchedule::Tiled {
+                w2vec: 7,
+                c2vec: 16,
+                c1vec: 4
+            }
+        );
+        assert_eq!(
+            t.schedule(true, 3, 2),
+            ConvSchedule::Tiled {
+                w2vec: 7,
+                c2vec: 1,
+                c1vec: 1
+            }
+        );
+        assert_eq!(
+            t.schedule(false, 3, 2),
+            ConvSchedule::Tiled {
+                w2vec: 1,
+                c2vec: 1,
+                c1vec: 3
+            }
+        );
+        assert_eq!(t.dense_unroll(), Some(32));
+    }
+
+    #[test]
+    fn resnet_preset_matches_table_6_13() {
+        let t = TilingPreset::ResNet;
+        assert_eq!(
+            t.schedule(false, 3, 1),
+            ConvSchedule::Tiled {
+                w2vec: 7,
+                c2vec: 1,
+                c1vec: 8
+            }
+        );
+        assert_eq!(
+            t.schedule(false, 7, 2),
+            ConvSchedule::Tiled {
+                w2vec: 1,
+                c2vec: 1,
+                c1vec: 1
+            }
+        );
+        assert_eq!(
+            t.schedule(false, 1, 2),
+            ConvSchedule::Tiled {
+                w2vec: 1,
+                c2vec: 1,
+                c1vec: 8
+            }
+        );
+    }
+
+    #[test]
+    fn naive_preset_keeps_base_schedules() {
+        assert_eq!(TilingPreset::Naive.schedule(false, 1, 1), ConvSchedule::Base);
+        assert_eq!(TilingPreset::Naive.dense_unroll(), None);
+    }
+
+    #[test]
+    fn ce_suffix_marks_label() {
+        let c = OptimizationConfig::autorun().with_concurrent();
+        assert!(c.concurrent);
+        assert!(c.label.ends_with("[CE]"));
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end functional verification: runs the *exact* generated kernels
+//! through the IR interpreter — channels and all — and compares against the
+//! reference graph execution (the "output verification" capability of the
+//! custom host code, §5.2).
+//!
+//! This closes the loop between simulated time and real data: the kernels
+//! the AOC model synthesized are the kernels whose arithmetic is checked.
+
+use crate::deploy::{Deployment, ExecutionPlan};
+use fpgaccel_tensor::graph::NodeId;
+use fpgaccel_tensor::Tensor;
+use fpgaccel_tir::interp::Interp;
+use fpgaccel_tir::kernel::{BufRole, Kernel};
+use fpgaccel_tir::Binding;
+use std::collections::HashMap;
+
+/// Verifies a deployment against the reference graph on one input.
+///
+/// Interprets every kernel in plan order (interpretation cost grows with
+/// network FLOPs — intended for LeNet-scale networks and unit-test graphs).
+///
+/// # Errors
+/// Returns a description of the first mismatching element, or of a missing
+/// binding/buffer.
+pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<(), String> {
+    let activations = d.graph.execute_all(input);
+    let expected = &activations[&d.graph.output];
+
+    let mut interp = Interp::new();
+    // Per-node outputs observed from the kernels themselves.
+    let mut outputs: HashMap<NodeId, Vec<f32>> = HashMap::new();
+    outputs.insert(0, input.data().to_vec());
+
+    let runs: Vec<(NodeId, &Kernel, Binding)> = match &d.plan {
+        ExecutionPlan::Pipelined(stages) => stages
+            .iter()
+            .map(|s| (s.node_id, &s.kernel, Binding::empty()))
+            .collect(),
+        ExecutionPlan::Folded(plan) => plan
+            .invocations
+            .iter()
+            .map(|inv| {
+                let k = plan
+                    .kernels
+                    .iter()
+                    .find(|k| k.name == inv.kernel_name)
+                    .expect("invocation kernel exists");
+                (inv.node_id, k, inv.binding.clone())
+            })
+            .collect(),
+    };
+
+    for (node_id, kernel, binding) in runs {
+        let node = &d.graph.nodes[node_id];
+        let mut inputs: HashMap<String, Vec<f32>> = HashMap::new();
+        for buf in kernel.global_bufs() {
+            let expected_len = buf.resolved_len(&binding);
+            let data: Vec<f32> = match buf.role {
+                BufRole::Input => outputs
+                    .get(&node.inputs[0])
+                    .ok_or_else(|| {
+                        format!("`{}`: producer output unavailable", node.name)
+                    })?
+                    .clone(),
+                BufRole::Weights => node
+                    .weights
+                    .as_ref()
+                    .ok_or_else(|| format!("`{}`: missing weights", node.name))?
+                    .data()
+                    .to_vec(),
+                // Group kernels carry the *union* epilogue; members without
+                // a given parameter bind the identity.
+                BufRole::Bias => node
+                    .bias
+                    .clone()
+                    .unwrap_or_else(|| vec![0.0; expected_len]),
+                BufRole::BnScale => node
+                    .fused
+                    .bn
+                    .as_ref()
+                    .map(|(s, _)| s.clone())
+                    .unwrap_or_else(|| vec![1.0; expected_len]),
+                BufRole::BnShift => node
+                    .fused
+                    .bn
+                    .as_ref()
+                    .map(|(_, b)| b.clone())
+                    .unwrap_or_else(|| vec![0.0; expected_len]),
+                BufRole::Residual => match node.fused.add_from {
+                    Some(src) => activations
+                        .get(&src)
+                        .map(|t| t.data().to_vec())
+                        .ok_or_else(|| format!("`{}`: residual source missing", node.name))?,
+                    None => vec![0.0; expected_len],
+                },
+                BufRole::Output | BufRole::Scratch => continue,
+            };
+            if data.len() != expected_len {
+                return Err(format!(
+                    "`{}`: buffer `{}` expects {expected_len} elements, got {}",
+                    node.name,
+                    buf.name,
+                    data.len()
+                ));
+            }
+            inputs.insert(buf.name.clone(), data);
+        }
+
+        let result = interp.run(kernel, &binding, &inputs);
+        if let Some(out_buf) = kernel
+            .bufs
+            .iter()
+            .find(|b| b.role == BufRole::Output && b.scope == fpgaccel_tir::Scope::Global)
+        {
+            outputs.insert(node_id, result[&out_buf.name].clone());
+        }
+    }
+
+    let got = outputs
+        .get(&d.graph.output)
+        .ok_or("final kernel produced no global output")?;
+    if got.len() != expected.numel() {
+        return Err(format!(
+            "output length mismatch: kernels {} vs graph {}",
+            got.len(),
+            expected.numel()
+        ));
+    }
+    for (i, (&g, &e)) in got.iter().zip(expected.data()).enumerate() {
+        let tol = 1e-4 + rtol * e.abs().max(g.abs());
+        if (g - e).abs() > tol {
+            return Err(format!(
+                "output[{i}] mismatch: kernels {g} vs reference {e}"
+            ));
+        }
+    }
+    // Channels must drain completely — leftover elements mean a deadlocked
+    // or mis-sized pipeline.
+    for (name, fifo) in &interp.channels {
+        if !fifo.is_empty() {
+            return Err(format!(
+                "channel `{name}` retained {} elements after the pass",
+                fifo.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use crate::options::OptimizationConfig;
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tensor::data;
+    use fpgaccel_tensor::models::Model;
+
+    #[test]
+    fn lenet_base_kernels_compute_the_reference_output() {
+        let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::base())
+            .unwrap();
+        verify_deployment(&d, &data::synthetic_digit(2, 0), 1e-3).unwrap();
+    }
+
+    #[test]
+    fn lenet_channelized_autorun_kernels_compute_the_reference_output() {
+        let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::tvm_autorun().with_concurrent())
+            .unwrap();
+        verify_deployment(&d, &data::synthetic_digit(8, 1), 1e-3).unwrap();
+    }
+
+    #[test]
+    fn classification_agrees_with_reference_engine() {
+        let d = Flow::new(Model::LeNet5, FpgaPlatform::Arria10Gx)
+            .compile(&OptimizationConfig::tvm_autorun())
+            .unwrap();
+        let engine = fpgaccel_baseline::ReferenceEngine::new(Model::LeNet5);
+        for i in 0..5 {
+            let x = data::synthetic_digit(i, 42);
+            assert_eq!(d.classify(&x), engine.classify(&x));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! FPGA device models (Tables 6.1 and 6.2).
+
+use crate::link::HostLink;
+use std::fmt;
+
+/// The three evaluation FPGA platforms (§6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpgaPlatform {
+    /// Intel PAC with Arria 10 GX (`fpga-pac-a10`), DDR4, PCIe 3x8.
+    Arria10Gx,
+    /// Intel PAC D5005 with Stratix 10 SX (`fpga-pac-s10`), DDR4, PCIe 3x16.
+    Stratix10Sx,
+    /// Intel Stratix 10 MX HBM development kit (engineering sample,
+    /// experimental BSP; only one HBM pseudo-channel used, §6.2).
+    Stratix10Mx,
+}
+
+impl FpgaPlatform {
+    /// All platforms in the order the thesis tables list them
+    /// (S10MX, S10SX, A10).
+    pub const ALL: [FpgaPlatform; 3] = [
+        FpgaPlatform::Stratix10Mx,
+        FpgaPlatform::Stratix10Sx,
+        FpgaPlatform::Arria10Gx,
+    ];
+
+    /// Short label used throughout the thesis tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FpgaPlatform::Arria10Gx => "A10",
+            FpgaPlatform::Stratix10Sx => "S10SX",
+            FpgaPlatform::Stratix10Mx => "S10MX",
+        }
+    }
+
+    /// Full device model.
+    pub fn model(self) -> DeviceModel {
+        DeviceModel::of(self)
+    }
+}
+
+impl fmt::Display for FpgaPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An FPGA resource vector (ALUTs, flip-flops, RAM blocks, DSP blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Adaptive look-up tables.
+    pub alut: u64,
+    /// Flip-flop registers.
+    pub ff: u64,
+    /// M20K RAM blocks.
+    pub ram: u64,
+    /// DSP blocks.
+    pub dsp: u64,
+}
+
+#[allow(clippy::should_implement_trait)] // explicit, non-operator arithmetic on resource vectors
+impl Resources {
+    /// Component-wise sum.
+    pub fn add(self, other: Resources) -> Resources {
+        Resources {
+            alut: self.alut + other.alut,
+            ff: self.ff + other.ff,
+            ram: self.ram + other.ram,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+
+    /// Scales all components.
+    pub fn scale(self, k: u64) -> Resources {
+        Resources {
+            alut: self.alut * k,
+            ff: self.ff * k,
+            ram: self.ram * k,
+            dsp: self.dsp * k,
+        }
+    }
+
+    /// Component-wise `<=`.
+    pub fn fits_in(self, budget: Resources) -> bool {
+        self.alut <= budget.alut
+            && self.ff <= budget.ff
+            && self.ram <= budget.ram
+            && self.dsp <= budget.dsp
+    }
+
+    /// Names the first component exceeding the budget, if any. Checked in
+    /// the order the thesis reports fit failures: BRAM first (§6.4.3 — the
+    /// ResNet designs fail the A10 "due to insufficient BRAMs"), then logic.
+    pub fn first_overflow(self, budget: Resources) -> Option<&'static str> {
+        if self.ram > budget.ram {
+            Some("BRAM")
+        } else if self.alut > budget.alut {
+            Some("logic (ALUTs)")
+        } else if self.ff > budget.ff {
+            Some("registers (FFs)")
+        } else if self.dsp > budget.dsp {
+            Some("DSP blocks")
+        } else {
+            None
+        }
+    }
+
+    /// Percentage utilizations against a total, in table order
+    /// (logic, ram, dsp), as the thesis fit reports print them.
+    pub fn percentages(self, total: Resources) -> (f64, f64, f64) {
+        let pct = |a: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                100.0 * a as f64 / b as f64
+            }
+        };
+        (
+            pct(self.alut, total.alut),
+            pct(self.ram, total.ram),
+            pct(self.dsp, total.dsp),
+        )
+    }
+}
+
+/// A complete FPGA platform model.
+#[derive(Clone, Debug)]
+pub struct DeviceModel {
+    /// Which platform this models.
+    pub platform: FpgaPlatform,
+    /// Total chip resources (Table 6.2).
+    pub total: Resources,
+    /// Static partition (shell/BSP) consumption (Table 6.2).
+    pub static_partition: Resources,
+    /// Theoretical peak external-memory bandwidth in bytes/second as the
+    /// flow can actually use it (Table 6.1; the S10MX BSP supports no
+    /// implicit HBM banking so a single 12.8 GB/s pseudo-channel is used,
+    /// §6.2).
+    pub ext_mem_bw: f64,
+    /// Quartus version major*10+minor (171 = 17.1). Quartus < 19.1
+    /// auto-unrolls small-trip-count loops (§6.3.1 footnote 4).
+    pub quartus_version: u32,
+    /// Usable device global-memory capacity in bytes (Table 6.1). The
+    /// S10MX BSP supports no implicit HBM banking, so only the single
+    /// 256 MB pseudo-channel the flow allocates from is usable (§6.2).
+    pub global_mem_bytes: u64,
+    /// Host link (PCIe + BSP DMA path).
+    pub link: HostLink,
+    /// Nominal fmax in MHz a small design achieves on this board/Quartus
+    /// combination (calibrated against the Base rows of Table 6.5).
+    pub base_fmax_mhz: f64,
+}
+
+impl DeviceModel {
+    /// Builds the published model for a platform.
+    pub fn of(platform: FpgaPlatform) -> DeviceModel {
+        match platform {
+            FpgaPlatform::Arria10Gx => DeviceModel {
+                platform,
+                total: Resources {
+                    alut: 740_500,
+                    ff: 1_481_000,
+                    ram: 2_336,
+                    dsp: 1_518,
+                },
+                static_partition: Resources {
+                    alut: 113_900,
+                    ff: 227_800,
+                    ram: 377,
+                    dsp: 0,
+                },
+                ext_mem_bw: 34.1e9,
+                quartus_version: 171,
+                global_mem_bytes: 8 << 30,
+                link: HostLink::pcie_gen3(8, platform),
+                base_fmax_mhz: 220.0,
+            },
+            FpgaPlatform::Stratix10Sx => DeviceModel {
+                platform,
+                total: Resources {
+                    alut: 1_666_240,
+                    ff: 3_457_330,
+                    ram: 11_254,
+                    dsp: 5_760,
+                },
+                static_partition: Resources {
+                    alut: 200_000,
+                    ff: 275_150,
+                    ram: 467,
+                    dsp: 0,
+                },
+                ext_mem_bw: 76.8e9,
+                quartus_version: 181,
+                global_mem_bytes: 32 << 30,
+                link: HostLink::pcie_gen3(16, platform),
+                base_fmax_mhz: 225.0,
+            },
+            FpgaPlatform::Stratix10Mx => DeviceModel {
+                platform,
+                total: Resources {
+                    alut: 1_405_440,
+                    ff: 2_810_880,
+                    ram: 6_847,
+                    dsp: 3_960,
+                },
+                static_partition: Resources {
+                    alut: 13_132,
+                    ff: 20_030,
+                    ram: 112,
+                    dsp: 0,
+                },
+                // One HBM2 pseudo-channel: 12.8 GB/s (§6.2).
+                ext_mem_bw: 12.8e9,
+                quartus_version: 191,
+                // One 256 MB pseudo-channel (§6.2).
+                global_mem_bytes: 256 << 20,
+                link: HostLink::pcie_gen3(8, platform),
+                base_fmax_mhz: 270.0,
+            },
+        }
+    }
+
+    /// Resources left for the kernel system after the static partition.
+    pub fn kernel_budget(&self) -> Resources {
+        Resources {
+            alut: self.total.alut - self.static_partition.alut,
+            ff: self.total.ff - self.static_partition.ff,
+            ram: self.total.ram - self.static_partition.ram,
+            dsp: self.total.dsp - self.static_partition.dsp,
+        }
+    }
+
+    /// Whether this Quartus version auto-unrolls small-trip-count loops
+    /// (§6.3.1 footnote 4: versions < 19.1 do).
+    pub fn auto_unrolls_small_loops(&self) -> bool {
+        self.quartus_version < 191
+    }
+
+    /// External-memory bytes deliverable per clock cycle at `fmax_mhz`.
+    pub fn bytes_per_cycle(&self, fmax_mhz: f64) -> f64 {
+        self.ext_mem_bw / (fmax_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_6_2_inventories() {
+        let a10 = FpgaPlatform::Arria10Gx.model();
+        assert_eq!(a10.total.dsp, 1518);
+        assert_eq!(a10.total.ram, 2336);
+        let s10sx = FpgaPlatform::Stratix10Sx.model();
+        assert_eq!(s10sx.total.dsp, 5760);
+        assert_eq!(s10sx.total.alut, 1_666_240);
+        let s10mx = FpgaPlatform::Stratix10Mx.model();
+        assert_eq!(s10mx.total.dsp, 3960);
+        // Static partitions: A10 15% logic, S10MX 1%.
+        let (a_pct, _, _) = a10.static_partition.percentages(a10.total);
+        assert!((14.0..16.5).contains(&a_pct));
+        let (m_pct, _, _) = s10mx.static_partition.percentages(s10mx.total);
+        assert!(m_pct < 2.0);
+    }
+
+    #[test]
+    fn quartus_auto_unroll_rule_matches_footnote_4() {
+        assert!(FpgaPlatform::Arria10Gx.model().auto_unrolls_small_loops());
+        assert!(FpgaPlatform::Stratix10Sx.model().auto_unrolls_small_loops());
+        assert!(!FpgaPlatform::Stratix10Mx.model().auto_unrolls_small_loops());
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_table_6_1() {
+        // Usable bandwidth: S10SX (4-bank DDR4) > A10 (2-bank) > S10MX (1 PC).
+        let bw = |p: FpgaPlatform| p.model().ext_mem_bw;
+        assert!(bw(FpgaPlatform::Stratix10Sx) > bw(FpgaPlatform::Arria10Gx));
+        assert!(bw(FpgaPlatform::Arria10Gx) > bw(FpgaPlatform::Stratix10Mx));
+    }
+
+    #[test]
+    fn arria10_bytes_per_cycle_matches_section_4_11() {
+        // §4.11: 34.1 GB/s at 250 MHz ~= 136.4 bytes/cycle (~32 floats).
+        let a10 = FpgaPlatform::Arria10Gx.model();
+        let bpc = a10.bytes_per_cycle(250.0);
+        assert!((136.0..137.0).contains(&bpc));
+    }
+
+    #[test]
+    fn resource_arithmetic() {
+        let a = Resources {
+            alut: 10,
+            ff: 20,
+            ram: 2,
+            dsp: 1,
+        };
+        let b = a.scale(3);
+        assert_eq!(b.dsp, 3);
+        assert!(a.fits_in(b));
+        assert!(!b.fits_in(a));
+        assert_eq!(b.first_overflow(a), Some("BRAM"));
+        assert_eq!(a.first_overflow(b), None);
+    }
+
+    #[test]
+    fn kernel_budget_subtracts_static() {
+        let m = FpgaPlatform::Arria10Gx.model();
+        assert_eq!(m.kernel_budget().alut, 740_500 - 113_900);
+        assert_eq!(m.kernel_budget().dsp, 1518);
+    }
+}

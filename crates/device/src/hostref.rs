@@ -1,0 +1,102 @@
+//! Reference CPU/GPU platform descriptors (Table 6.3).
+//!
+//! These describe the hosts the thesis compares against. The *framework
+//! performance models* (TF-CPU, TVM-nT, TF-cuDNN) live in
+//! `fpgaccel-baseline`; this module only records the hardware facts.
+
+/// The Xeon 8280 evaluation host (Table 6.3).
+#[derive(Clone, Debug)]
+pub struct CpuDescriptor {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical sockets.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// Threads per core (SMT).
+    pub threads_per_core: u32,
+    /// Base clock, GHz.
+    pub base_ghz: f64,
+    /// Max turbo clock, GHz.
+    pub turbo_ghz: f64,
+    /// AVX-512 FMA units per core (2 on Cascade Lake Platinum).
+    pub avx512_fma_units: u32,
+}
+
+impl CpuDescriptor {
+    /// The dual-socket Xeon Platinum 8280 of Table 6.3.
+    pub fn xeon_8280() -> CpuDescriptor {
+        CpuDescriptor {
+            name: "Intel Xeon Platinum 8280 (2x28c/112t, Cascade Lake)",
+            sockets: 2,
+            cores_per_socket: 28,
+            threads_per_core: 2,
+            base_ghz: 2.7,
+            turbo_ghz: 4.0,
+            avx512_fma_units: 2,
+        }
+    }
+
+    /// Total hardware threads.
+    pub fn total_threads(&self) -> u32 {
+        self.sockets * self.cores_per_socket * self.threads_per_core
+    }
+
+    /// Peak single-precision FLOP/s with AVX-512 FMA on all cores at a
+    /// sustained all-core clock.
+    pub fn peak_sp_flops(&self, all_core_ghz: f64) -> f64 {
+        let cores = (self.sockets * self.cores_per_socket) as f64;
+        // 16 f32 lanes * 2 (FMA) * units.
+        cores * all_core_ghz * 1e9 * 16.0 * 2.0 * self.avx512_fma_units as f64
+    }
+}
+
+/// The GTX 1060 evaluation GPU (Table 6.3).
+#[derive(Clone, Debug)]
+pub struct GpuDescriptor {
+    /// Marketing name.
+    pub name: &'static str,
+    /// CUDA cores.
+    pub cuda_cores: u32,
+    /// Boost clock, GHz.
+    pub boost_ghz: f64,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+}
+
+impl GpuDescriptor {
+    /// The NVIDIA GTX 1060 6 GB of Table 6.3.
+    pub fn gtx_1060() -> GpuDescriptor {
+        GpuDescriptor {
+            name: "NVIDIA GTX 1060 6GB (Pascal, cuDNN 7.6)",
+            cuda_cores: 1280,
+            boost_ghz: 1.7,
+            mem_bw: 192.0e9,
+        }
+    }
+
+    /// Peak single-precision FLOP/s (2 ops per core-cycle).
+    pub fn peak_sp_flops(&self) -> f64 {
+        self.cuda_cores as f64 * self.boost_ghz * 1e9 * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_thread_count_matches_table_6_3() {
+        assert_eq!(CpuDescriptor::xeon_8280().total_threads(), 112);
+    }
+
+    #[test]
+    fn peak_flops_magnitudes_are_sane() {
+        // Xeon 8280 x2 @ ~2.1 GHz all-core AVX-512: ~7.5 TFLOP/s.
+        let cpu = CpuDescriptor::xeon_8280().peak_sp_flops(2.1);
+        assert!((6e12..9e12).contains(&cpu));
+        // GTX 1060: ~4.4 TFLOP/s.
+        let gpu = GpuDescriptor::gtx_1060().peak_sp_flops();
+        assert!((4e12..5e12).contains(&gpu));
+    }
+}

@@ -1,0 +1,16 @@
+//! # fpgaccel-device
+//!
+//! Platform models for the three evaluation FPGAs (§6.2, Tables 6.1/6.2) and
+//! the reference CPU/GPU hosts (Table 6.3). These carry the exact published
+//! resource inventories, memory bandwidths, PCIe links, Quartus versions and
+//! host-transfer characteristics — the quantities every experiment in the
+//! thesis is a function of. See DESIGN.md §1 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod fpga;
+pub mod hostref;
+pub mod link;
+
+pub use fpga::{DeviceModel, FpgaPlatform, Resources};
+pub use link::{HostLink, TransferDir};

@@ -1,0 +1,133 @@
+//! Host ↔ device buffer-transfer model (Appendix A, §6.3.1).
+//!
+//! Appendix A of the thesis measures buffer transfer speeds per platform and
+//! §6.3.1 attributes the S10MX's poor LeNet showing to its "reduced
+//! host-to-device bandwidth ... particularly for writes" (the board is an
+//! engineering sample with an experimental, unsupported BSP). The model is a
+//! standard latency + size/bandwidth curve with an efficiency ramp for small
+//! buffers (DMA setup amortization), calibrated per platform and direction.
+
+use crate::fpga::FpgaPlatform;
+
+/// Transfer direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host to device (`clEnqueueWriteBuffer`).
+    Write,
+    /// Device to host (`clEnqueueReadBuffer`).
+    Read,
+}
+
+/// A host link model.
+#[derive(Clone, Debug)]
+pub struct HostLink {
+    /// Fixed per-transfer latency for writes, seconds (driver + DMA setup).
+    pub write_latency_s: f64,
+    /// Fixed per-transfer latency for reads, seconds.
+    pub read_latency_s: f64,
+    /// Asymptotic write bandwidth, bytes/second.
+    pub write_bw: f64,
+    /// Asymptotic read bandwidth, bytes/second.
+    pub read_bw: f64,
+    /// Buffer size (bytes) at which half the asymptotic bandwidth is
+    /// reached (DMA efficiency ramp).
+    pub half_speed_bytes: f64,
+}
+
+impl HostLink {
+    /// PCIe Gen3 xN link with platform-specific BSP behaviour.
+    pub fn pcie_gen3(lanes: u32, platform: FpgaPlatform) -> HostLink {
+        // Gen3 is ~0.985 GB/s per lane raw; BSP DMA engines reach 55–75% of
+        // that in practice.
+        let raw = 0.985e9 * lanes as f64;
+        match platform {
+            FpgaPlatform::Arria10Gx => HostLink {
+                write_latency_s: 18e-6,
+                read_latency_s: 22e-6,
+                write_bw: raw * 0.70,
+                read_bw: raw * 0.65,
+                half_speed_bytes: 64.0 * 1024.0,
+            },
+            FpgaPlatform::Stratix10Sx => HostLink {
+                write_latency_s: 14e-6,
+                read_latency_s: 18e-6,
+                write_bw: raw * 0.72,
+                read_bw: raw * 0.68,
+                half_speed_bytes: 64.0 * 1024.0,
+            },
+            // Engineering sample + experimental BSP: dramatically slower
+            // writes (§6.3.1, Figure 6.2, Appendix A).
+            FpgaPlatform::Stratix10Mx => HostLink {
+                write_latency_s: 480e-6,
+                read_latency_s: 60e-6,
+                write_bw: 0.45e9,
+                read_bw: 1.6e9,
+                half_speed_bytes: 32.0 * 1024.0,
+            },
+        }
+    }
+
+    /// Time in seconds to move `bytes` in `dir`.
+    pub fn transfer_seconds(&self, bytes: u64, dir: TransferDir) -> f64 {
+        let (lat, bw) = match dir {
+            TransferDir::Write => (self.write_latency_s, self.write_bw),
+            TransferDir::Read => (self.read_latency_s, self.read_bw),
+        };
+        // Efficiency ramp: eff = size / (size + half_speed_bytes).
+        let size = bytes as f64;
+        let eff = size / (size + self.half_speed_bytes);
+        let eff_bw = (bw * eff).max(1.0);
+        lat + size / eff_bw
+    }
+
+    /// Effective bandwidth (bytes/s) for a transfer of `bytes`, as
+    /// Appendix A plots it.
+    pub fn effective_bandwidth(&self, bytes: u64, dir: TransferDir) -> f64 {
+        bytes as f64 / self.transfer_seconds(bytes, dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_grows_with_buffer_size() {
+        let l = HostLink::pcie_gen3(16, FpgaPlatform::Stratix10Sx);
+        let small = l.effective_bandwidth(4 * 1024, TransferDir::Write);
+        let big = l.effective_bandwidth(64 * 1024 * 1024, TransferDir::Write);
+        assert!(big > 10.0 * small);
+        // Asymptote below raw link speed.
+        assert!(big < 16.0 * 0.985e9);
+    }
+
+    #[test]
+    fn s10mx_writes_are_much_slower_than_s10sx() {
+        // §6.3.1: the S10MX spends far longer on write events.
+        let mx = HostLink::pcie_gen3(8, FpgaPlatform::Stratix10Mx);
+        let sx = HostLink::pcie_gen3(16, FpgaPlatform::Stratix10Sx);
+        let bytes = 3 * 224 * 224 * 4; // one ImageNet input
+        let t_mx = mx.transfer_seconds(bytes, TransferDir::Write);
+        let t_sx = sx.transfer_seconds(bytes, TransferDir::Write);
+        assert!(t_mx > 5.0 * t_sx, "mx={t_mx} sx={t_sx}");
+    }
+
+    #[test]
+    fn s10mx_reads_faster_than_its_writes() {
+        let mx = HostLink::pcie_gen3(8, FpgaPlatform::Stratix10Mx);
+        let bytes = 1024 * 1024;
+        assert!(
+            mx.transfer_seconds(bytes, TransferDir::Read)
+                < mx.transfer_seconds(bytes, TransferDir::Write)
+        );
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let l = HostLink::pcie_gen3(8, FpgaPlatform::Arria10Gx);
+        let t4 = l.transfer_seconds(4, TransferDir::Write);
+        let t4k = l.transfer_seconds(4096, TransferDir::Write);
+        // A 1000x larger buffer costs < 3x the time at this scale.
+        assert!(t4k < 3.0 * t4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Event-profile summaries (the Figure 6.2 kernel/write/read breakdown).
+
+use crate::sim::{EventKind, SimEvent};
+
+/// Aggregated time per event class, as the thesis plots for the baseline
+/// and autorun LeNet bitstreams (Figure 6.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Seconds spent in kernel execution events.
+    pub kernel_s: f64,
+    /// Seconds spent in host→device writes.
+    pub write_s: f64,
+    /// Seconds spent in device→host reads.
+    pub read_s: f64,
+    /// Wall-clock span from the first queued to the last end.
+    pub span_s: f64,
+}
+
+impl Breakdown {
+    /// Aggregates a slice of events.
+    pub fn of(events: &[SimEvent]) -> Breakdown {
+        let mut b = Breakdown::default();
+        let mut first = f64::INFINITY;
+        let mut last = 0.0f64;
+        for e in events {
+            first = first.min(e.queued);
+            last = last.max(e.end);
+            match e.kind {
+                EventKind::Kernel | EventKind::Autorun => b.kernel_s += e.duration(),
+                EventKind::Write => b.write_s += e.duration(),
+                EventKind::Read => b.read_s += e.duration(),
+            }
+        }
+        if last > first {
+            b.span_s = last - first;
+        }
+        b
+    }
+
+    /// Fractions of busy time (kernel, write, read); zeros when idle.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.kernel_s + self.write_s + self.read_s;
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.kernel_s / total,
+            self.write_s / total,
+            self.read_s / total,
+        )
+    }
+
+    /// Overhead share of the span: time not covered by device activity
+    /// (host/queueing/profiling — the dominant cost for baseline LeNet,
+    /// §6.3.1/Figure 6.2).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.span_s <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - (self.kernel_s + self.write_s + self.read_s) / self.span_s).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, start: f64, end: f64) -> SimEvent {
+        SimEvent {
+            name: "e".into(),
+            kind,
+            queued: start,
+            submit: start,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_kind() {
+        let events = vec![
+            ev(EventKind::Write, 0.0, 1.0),
+            ev(EventKind::Kernel, 1.0, 4.0),
+            ev(EventKind::Read, 4.0, 4.5),
+        ];
+        let b = Breakdown::of(&events);
+        assert_eq!(b.kernel_s, 3.0);
+        assert_eq!(b.write_s, 1.0);
+        assert_eq!(b.read_s, 0.5);
+        assert_eq!(b.span_s, 4.5);
+        let (k, w, r) = b.fractions();
+        assert!((k - 3.0 / 4.5).abs() < 1e-9);
+        assert!((w - 1.0 / 4.5).abs() < 1e-9);
+        assert!((r - 0.5 / 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_counts_idle_span() {
+        let events = vec![
+            ev(EventKind::Kernel, 0.0, 1.0),
+            // 3-second idle gap (host overhead), then another kernel.
+            ev(EventKind::Kernel, 4.0, 5.0),
+        ];
+        let b = Breakdown::of(&events);
+        assert!((b.overhead_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let b = Breakdown::of(&[]);
+        assert_eq!(b, Breakdown::default());
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,530 @@
+//! The discrete-event host/device simulation.
+
+use fpgaccel_aoc::{kernel_cycles, AocOptions, Calib, KernelReport};
+use fpgaccel_device::{DeviceModel, TransferDir};
+use fpgaccel_tir::Binding;
+use std::collections::HashMap;
+
+/// Index of a command queue.
+pub type QueueId = usize;
+/// Index of an event.
+pub type EventId = usize;
+
+/// What an event represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// `clEnqueueTask` kernel execution.
+    Kernel,
+    /// `clEnqueueWriteBuffer` host-to-device transfer.
+    Write,
+    /// `clEnqueueReadBuffer` device-to-host transfer.
+    Read,
+    /// An autorun kernel's implicit pipeline stage (§4.7).
+    Autorun,
+}
+
+/// One simulated OpenCL event with the four profiling timestamps (seconds).
+#[derive(Clone, Debug)]
+pub struct SimEvent {
+    /// Operation label (kernel or buffer name).
+    pub name: String,
+    /// Kind.
+    pub kind: EventKind,
+    /// `CL_PROFILING_COMMAND_QUEUED`.
+    pub queued: f64,
+    /// `CL_PROFILING_COMMAND_SUBMIT`.
+    pub submit: f64,
+    /// `CL_PROFILING_COMMAND_START`.
+    pub start: f64,
+    /// `CL_PROFILING_COMMAND_END`.
+    pub end: f64,
+}
+
+impl SimEvent {
+    /// Execution duration (start → end).
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The simulation context: one device, its clock model, queues and events.
+pub struct Sim {
+    /// Device being driven.
+    pub device: DeviceModel,
+    /// AOC options the bitstream was built with.
+    pub opts: AocOptions,
+    /// Calibration set.
+    pub calib: Calib,
+    /// Bitstream clock (MHz) — from the synthesis report.
+    pub fmax_mhz: f64,
+    /// OpenCL event profiler enabled (§5.2: adds host overhead per event).
+    pub profiling: bool,
+    host_clock: f64,
+    queue_last_end: Vec<f64>,
+    kernel_busy: HashMap<String, f64>,
+    events: Vec<SimEvent>,
+}
+
+impl Sim {
+    /// Creates a simulation for a synthesized bitstream clock.
+    pub fn new(device: DeviceModel, opts: AocOptions, calib: Calib, fmax_mhz: f64) -> Self {
+        Sim {
+            device,
+            opts,
+            calib,
+            fmax_mhz,
+            profiling: false,
+            host_clock: 0.0,
+            queue_last_end: Vec::new(),
+            kernel_busy: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates a command queue (§4.8: one per kernel enables concurrency).
+    pub fn create_queue(&mut self) -> QueueId {
+        self.queue_last_end.push(0.0);
+        self.queue_last_end.len() - 1
+    }
+
+    /// Current host time.
+    pub fn now(&self) -> f64 {
+        self.host_clock
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// An event by id.
+    pub fn event(&self, id: EventId) -> &SimEvent {
+        &self.events[id]
+    }
+
+    fn host_enqueue_cost(&self) -> f64 {
+        self.calib.async_enqueue_s
+            + if self.profiling {
+                self.calib.profiling_event_s
+            } else {
+                0.0
+            }
+    }
+
+    fn dep_floor(&self, after: &[EventId], piped: &[EventId]) -> (f64, f64) {
+        // Returns (earliest start, minimum end).
+        let mut start = 0.0f64;
+        let mut end_floor = 0.0f64;
+        for &d in after {
+            start = start.max(self.events[d].end);
+        }
+        for &d in piped {
+            // Channel-coupled stage: may overlap its producer but can start
+            // only once data begins flowing and cannot finish before the
+            // producer finishes (§4.6).
+            start = start.max(self.events[d].start + 1e-7);
+            end_floor = end_floor.max(self.events[d].end + 1e-7);
+        }
+        (start, end_floor)
+    }
+
+    fn push(&mut self, ev: SimEvent) -> EventId {
+        self.events.push(ev);
+        self.events.len() - 1
+    }
+
+    /// Enqueues a host→device buffer write of `bytes` on `queue`.
+    pub fn enqueue_write(
+        &mut self,
+        queue: QueueId,
+        name: &str,
+        bytes: u64,
+        after: &[EventId],
+    ) -> EventId {
+        self.enqueue_transfer(queue, name, bytes, TransferDir::Write, after)
+    }
+
+    /// Enqueues a device→host buffer read of `bytes` on `queue`.
+    pub fn enqueue_read(
+        &mut self,
+        queue: QueueId,
+        name: &str,
+        bytes: u64,
+        after: &[EventId],
+    ) -> EventId {
+        self.enqueue_transfer(queue, name, bytes, TransferDir::Read, after)
+    }
+
+    fn enqueue_transfer(
+        &mut self,
+        queue: QueueId,
+        name: &str,
+        bytes: u64,
+        dir: TransferDir,
+        after: &[EventId],
+    ) -> EventId {
+        let queued = self.host_clock;
+        self.host_clock += self.host_enqueue_cost();
+        let (dep_start, _) = self.dep_floor(after, &[]);
+        // Submission pipelines: the driver hands the command to the device
+        // while the queue's predecessor is still running.
+        let submit = self.host_clock;
+        let start = submit.max(dep_start).max(self.queue_last_end[queue]);
+        let dur = self.device.link.transfer_seconds(bytes, dir);
+        let end = start + dur;
+        self.queue_last_end[queue] = end;
+        self.push(SimEvent {
+            name: name.to_string(),
+            kind: match dir {
+                TransferDir::Write => EventKind::Write,
+                TransferDir::Read => EventKind::Read,
+            },
+            queued,
+            submit,
+            start,
+            end,
+        })
+    }
+
+    /// Enqueues a kernel task (`clEnqueueTask`) on `queue`.
+    ///
+    /// `after` are global-memory (event) dependencies; `piped` are
+    /// channel-coupled producers this kernel may overlap.
+    pub fn enqueue_kernel(
+        &mut self,
+        queue: QueueId,
+        report: &KernelReport,
+        binding: &Binding,
+        after: &[EventId],
+        piped: &[EventId],
+    ) -> EventId {
+        let queued = self.host_clock;
+        self.host_clock += self.host_enqueue_cost();
+        let (dep_start, end_floor) = self.dep_floor(after, piped);
+        // Submission pipelines with the predecessor's execution; only the
+        // in-order *start* waits for the queue.
+        let submit = self.host_clock;
+        // Dispatch latency: the queue→device task-launch turnaround. It is
+        // latency, not occupancy — back-to-back launches hide it behind the
+        // predecessor's execution (§4.7/§4.8); a host that synchronizes
+        // after every task (the TVM-generated runtime) pays it in full.
+        let dispatch_ready = submit + self.calib.task_overhead(self.device.platform);
+        let busy = self
+            .kernel_busy
+            .get(&report.name)
+            .copied()
+            .unwrap_or(0.0);
+        let start = dispatch_ready
+            .max(dep_start)
+            .max(busy)
+            .max(self.queue_last_end[queue]);
+        let dur = self.kernel_duration(report, binding);
+        let end = (start + dur).max(end_floor);
+        self.queue_last_end[queue] = end;
+        self.kernel_busy.insert(report.name.clone(), end);
+        self.push(SimEvent {
+            name: report.name.clone(),
+            kind: EventKind::Kernel,
+            queued,
+            submit,
+            start,
+            end,
+        })
+    }
+
+    /// Registers an autorun stage (§4.7): no host cost, no dispatch latency;
+    /// it begins when its channel producers begin and runs its duration.
+    pub fn autorun_stage(
+        &mut self,
+        report: &KernelReport,
+        binding: &Binding,
+        piped: &[EventId],
+    ) -> EventId {
+        let (dep_start, end_floor) = self.dep_floor(&[], piped);
+        let busy = self
+            .kernel_busy
+            .get(&report.name)
+            .copied()
+            .unwrap_or(0.0);
+        let start = dep_start.max(busy);
+        let dur = self.kernel_duration(report, binding);
+        let end = (start + dur).max(end_floor);
+        self.kernel_busy.insert(report.name.clone(), end);
+        let queued = start;
+        self.push(SimEvent {
+            name: report.name.clone(),
+            kind: EventKind::Autorun,
+            queued,
+            submit: start,
+            start,
+            end,
+        })
+    }
+
+    /// Kernel execution duration in seconds.
+    pub fn kernel_duration(&self, report: &KernelReport, binding: &Binding) -> f64 {
+        kernel_cycles(
+            report,
+            binding,
+            &self.device,
+            self.fmax_mhz,
+            &self.opts,
+            &self.calib,
+        ) / (self.fmax_mhz * 1e6)
+    }
+
+    /// Blocks the host until everything enqueued so far completed
+    /// (`clFinish` across all queues).
+    pub fn finish(&mut self) {
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.end)
+            .fold(self.host_clock, f64::max);
+        self.host_clock = end;
+    }
+
+    /// Blocks the host until an event completes (`clWaitForEvents`), adding
+    /// the completion-processing cost.
+    pub fn wait(&mut self, ev: EventId) {
+        self.host_clock = self.host_clock.max(self.events[ev].end);
+        if self.profiling {
+            self.host_clock += self.calib.profiling_event_s;
+        }
+    }
+
+    /// Advances the host clock by an explicit amount (host-side work such as
+    /// output verification, §5.2).
+    pub fn host_work(&mut self, seconds: f64) {
+        self.host_clock += seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpgaccel_aoc::synthesize_kernel;
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tir::compute::{conv2d, ConvDims, ConvSchedule, ConvSpec};
+
+    fn setup() -> (Sim, KernelReport, KernelReport) {
+        let device = FpgaPlatform::Stratix10Sx.model();
+        let opts = AocOptions::default();
+        let calib = Calib::default();
+        let mut spec = ConvSpec::base("conv_a", ConvDims::constant(8, 4, 10, 10, 3, 1), false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        let ra = synthesize_kernel(&conv2d(&spec), &device, &opts, &calib);
+        spec.name = "conv_b".into();
+        let rb = synthesize_kernel(&conv2d(&spec), &device, &opts, &calib);
+        (Sim::new(device, opts, calib, 200.0), ra, rb)
+    }
+
+    #[test]
+    fn in_order_queue_serializes() {
+        let (mut sim, ra, rb) = setup();
+        let q = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q, &ra, &Binding::empty(), &[], &[]);
+        let e2 = sim.enqueue_kernel(q, &rb, &Binding::empty(), &[], &[]);
+        assert!(sim.event(e2).start >= sim.event(e1).end);
+    }
+
+    #[test]
+    fn separate_queues_overlap_independent_kernels() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[], &[]);
+        // Concurrent execution: the second starts before the first ends.
+        assert!(sim.event(e2).start < sim.event(e1).end);
+    }
+
+    #[test]
+    fn after_dependency_orders_across_queues() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[e1], &[]);
+        assert!(sim.event(e2).start >= sim.event(e1).end);
+    }
+
+    #[test]
+    fn piped_dependency_overlaps_but_finishes_after() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[], &[e1]);
+        assert!(sim.event(e2).start < sim.event(e1).end, "overlap expected");
+        assert!(sim.event(e2).end > sim.event(e1).end, "cannot finish first");
+    }
+
+    #[test]
+    fn kernel_busy_serializes_reuse_across_images() {
+        let (mut sim, ra, _) = setup();
+        let q = sim.create_queue();
+        let mut prev_end = 0.0;
+        for _ in 0..4 {
+            let e = sim.enqueue_kernel(q, &ra, &Binding::empty(), &[], &[]);
+            assert!(sim.event(e).start >= prev_end);
+            prev_end = sim.event(e).end;
+        }
+    }
+
+    #[test]
+    fn autorun_has_no_host_cost() {
+        let (mut sim, ra, _) = setup();
+        let before = sim.now();
+        sim.autorun_stage(&ra, &Binding::empty(), &[]);
+        assert_eq!(sim.now(), before);
+    }
+
+    #[test]
+    fn steady_state_pipeline_converges_to_bottleneck() {
+        // Stream 20 images through a 2-stage pipeline: throughput must be
+        // bottleneck-stage-limited, not sum-of-stages-limited.
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let dur_a = sim.kernel_duration(&ra, &Binding::empty());
+        let n = 20;
+        let mut last = None;
+        for _ in 0..n {
+            let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+            let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[], &[e1]);
+            last = Some(e2);
+        }
+        sim.finish();
+        let total = sim.event(last.unwrap()).end;
+        let per_image = total / n as f64;
+        // Two equal stages pipelined: per-image ~= one stage (+ overheads),
+        // certainly below 1.7 stages.
+        assert!(
+            per_image < 1.7 * dur_a + 50e-6,
+            "per_image {per_image} vs stage {dur_a}"
+        );
+    }
+
+    #[test]
+    fn transfers_use_link_model_and_record_events() {
+        let (mut sim, _, _) = setup();
+        let q = sim.create_queue();
+        let w = sim.enqueue_write(q, "input", 1 << 20, &[]);
+        let r = sim.enqueue_read(q, "output", 1 << 20, &[w]);
+        assert!(sim.event(w).duration() > 0.0);
+        assert!(sim.event(r).start >= sim.event(w).end);
+        assert_eq!(sim.events().len(), 2);
+    }
+
+    #[test]
+    fn profiling_adds_host_overhead() {
+        let (mut sim, ra, _) = setup();
+        let q = sim.create_queue();
+        sim.profiling = true;
+        let e = sim.enqueue_kernel(q, &ra, &Binding::empty(), &[], &[]);
+        let t0 = sim.now();
+        sim.wait(e);
+        assert!(sim.now() > t0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use fpgaccel_aoc::synthesize_kernel;
+    use fpgaccel_device::FpgaPlatform;
+    use fpgaccel_tir::compute::{conv2d, ConvDims, ConvSchedule, ConvSpec};
+
+    fn report(platform: FpgaPlatform) -> KernelReport {
+        let device = platform.model();
+        let mut spec = ConvSpec::base("k", ConvDims::constant(4, 4, 6, 6, 3, 1), false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        synthesize_kernel(
+            &conv2d(&spec),
+            &device,
+            &AocOptions::default(),
+            &Calib::default(),
+        )
+    }
+
+    #[test]
+    fn host_work_advances_the_clock_monotonically() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Arria10Gx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let t0 = sim.now();
+        sim.host_work(1e-3);
+        assert!((sim.now() - t0 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finish_reaches_the_latest_event_end() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let q = sim.create_queue();
+        let r = report(FpgaPlatform::Stratix10Sx);
+        let e = sim.enqueue_kernel(q, &r, &Binding::empty(), &[], &[]);
+        assert!(sim.now() < sim.event(e).end, "host runs ahead of device");
+        sim.finish();
+        assert!(sim.now() >= sim.event(e).end);
+    }
+
+    #[test]
+    fn wait_is_idempotent_for_completed_events() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let q = sim.create_queue();
+        let r = report(FpgaPlatform::Stratix10Sx);
+        let e = sim.enqueue_kernel(q, &r, &Binding::empty(), &[], &[]);
+        sim.wait(e);
+        let t = sim.now();
+        sim.wait(e);
+        assert_eq!(sim.now(), t, "waiting again must not advance time");
+    }
+
+    #[test]
+    fn event_timestamps_are_ordered() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Arria10Gx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let q = sim.create_queue();
+        let w = sim.enqueue_write(q, "in", 4096, &[]);
+        let r = report(FpgaPlatform::Arria10Gx);
+        let k = sim.enqueue_kernel(q, &r, &Binding::empty(), &[w], &[]);
+        for &id in &[w, k] {
+            let e = sim.event(id);
+            assert!(e.queued <= e.submit);
+            assert!(e.submit <= e.start);
+            assert!(e.start <= e.end);
+        }
+    }
+
+    #[test]
+    fn faster_platform_host_dispatches_sooner() {
+        // Dispatch latency is per platform (Calib::task_overhead): the A10
+        // host is the slowest of the three.
+        let start_of = |p: FpgaPlatform| {
+            let mut sim = Sim::new(p.model(), AocOptions::default(), Calib::default(), 200.0);
+            let q = sim.create_queue();
+            let r = report(p);
+            let e = sim.enqueue_kernel(q, &r, &Binding::empty(), &[], &[]);
+            sim.event(e).start
+        };
+        assert!(start_of(FpgaPlatform::Arria10Gx) > start_of(FpgaPlatform::Stratix10Sx));
+    }
+}

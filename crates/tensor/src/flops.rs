@@ -1,0 +1,100 @@
+//! FLOP and parameter accounting (§2.1.2, §6.1.2).
+//!
+//! Following the thesis, a multiply-accumulate counts as **two** floating
+//! point operations ("Calculations of FP operations in this work consider
+//! addition and multiplication to be separate operations", §6.1.2
+//! footnote 1), and pooling/padding/flatten layers contribute zero FLOPs.
+
+use crate::graph::{Graph, Node, Op};
+
+/// FLOPs for a standard convolution producing `[c2, h2, w2]` from `c1` input
+/// channels with an `f x f` filter: `2 * c2*h2*w2*c1*f*f` (§2.1.2).
+pub fn conv2d_flops(c2: usize, h2: usize, w2: usize, c1: usize, f: usize) -> u64 {
+    2 * (c2 * h2 * w2 * c1 * f * f) as u64
+}
+
+/// FLOPs for a depthwise convolution: `2 * c2*h2*w2*f*f` (§2.1.2).
+pub fn depthwise_flops(c2: usize, h2: usize, w2: usize, f: usize) -> u64 {
+    2 * (c2 * h2 * w2 * f * f) as u64
+}
+
+/// FLOPs for a dense layer `[m, n]`: `2 * m*n`.
+pub fn dense_flops(m: usize, n: usize) -> u64 {
+    2 * (m * n) as u64
+}
+
+/// FLOPs attributed to one graph node.
+pub fn node_flops(g: &Graph, node: &Node) -> u64 {
+    let in_shape = |i: usize| &g.nodes[node.inputs[i]].out_shape;
+    match &node.op {
+        Op::Conv2d {
+            kernel, depthwise, ..
+        } => {
+            let out = &node.out_shape;
+            let (c2, h2, w2) = (out.dim(0), out.dim(1), out.dim(2));
+            if *depthwise {
+                depthwise_flops(c2, h2, w2, *kernel)
+            } else {
+                conv2d_flops(c2, h2, w2, in_shape(0).dim(0), *kernel)
+            }
+        }
+        Op::Dense { units } => dense_flops(*units, in_shape(0).dim(0)),
+        // Softmax: exp + subtract + divide per element plus the reductions;
+        // the thesis counts only MAC-type FLOPs toward network totals, and so
+        // do we (softmax contribution is negligible for all three networks).
+        _ => 0,
+    }
+}
+
+/// Total FLOPs for one forward pass of the network.
+pub fn graph_flops(g: &Graph) -> u64 {
+    g.nodes.iter().map(|n| node_flops(g, n)).sum()
+}
+
+/// Formats a FLOP count like the thesis tables (`389K`, `1.11G`, ...).
+pub fn format_flops(fp: u64) -> String {
+    if fp >= 1_000_000_000 {
+        format!("{:.2}G", fp as f64 / 1e9)
+    } else if fp >= 1_000_000 {
+        format!("{:.2}M", fp as f64 / 1e6)
+    } else if fp >= 1_000 {
+        format!("{:.0}K", fp as f64 / 1e3)
+    } else {
+        fp.to_string()
+    }
+}
+
+/// Formats a parameter count like the thesis tables (`60K`, `4.2M`, ...).
+pub fn format_params(p: usize) -> String {
+    if p >= 1_000_000 {
+        format!("{:.1}M", p as f64 / 1e6)
+    } else if p >= 1_000 {
+        format!("{:.0}K", p as f64 / 1e3)
+    } else {
+        p.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_flops_formula() {
+        // Listing 2.1 cost: C2*H2*W2*C1*F*F MACs.
+        assert_eq!(conv2d_flops(2, 3, 3, 1, 3), (2 * 2 * 3 * 3) * 9);
+    }
+
+    #[test]
+    fn dense_flops_formula() {
+        assert_eq!(dense_flops(120, 400), 2 * 120 * 400);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_flops(389_000), "389K");
+        assert_eq!(format_flops(1_110_000_000), "1.11G");
+        assert_eq!(format_params(60_000), "60K");
+        assert_eq!(format_params(4_200_000), "4.2M");
+    }
+}

@@ -1,0 +1,790 @@
+//! A Relay-like computation-graph IR (§2.5, §3.1).
+//!
+//! Models imported from the [`crate::models`] zoo are plain graphs of one
+//! operator per node. Two passes mirror what TVM does before kernel
+//! generation:
+//!
+//! * [`Graph::fuse`] — operator fusion: ReLU/ReLU6, folded batch norms, bias
+//!   adds and residual additions are fused into the producing
+//!   convolution/dense node, so "a distinct kernel \[is\] generated for each
+//!   convolution, dense, padding, and softmax layer" (§3.1).
+//! * [`Graph::materialize_padding`] — padded convolutions are split into an
+//!   explicit zero-padding kernel followed by an unpadded convolution, the
+//!   form TVM's codegen emits and whose cost the thesis measures
+//!   (Tables 6.8/6.16).
+
+use crate::ops::{self, Activation, Conv2dParams};
+use crate::shape::{conv_out_shape, Shape};
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Index of a node within its graph.
+pub type NodeId = usize;
+
+/// Graph operators. One node = one Relay op before fusion; after fusion,
+/// epilogues live in [`Node::fused`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// The graph input placeholder.
+    Input,
+    /// 2-D convolution (`depthwise = true` for depthwise separable filters).
+    Conv2d {
+        /// Output channels `K`.
+        out_channels: usize,
+        /// Filter size `F` (square).
+        kernel: usize,
+        /// Stride `S`.
+        stride: usize,
+        /// Zero padding `P`.
+        pad: usize,
+        /// Depthwise convolution flag.
+        depthwise: bool,
+    },
+    /// Fully-connected layer with `units` outputs.
+    Dense {
+        /// Output length `M`.
+        units: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Window size.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Explicit zero padding (materialized from padded convolutions).
+    Pad {
+        /// Rings of zeros.
+        pad: usize,
+    },
+    /// Flatten CHW to a vector.
+    Flatten,
+    /// ReLU activation node (fusable).
+    Relu,
+    /// ReLU6 activation node (fusable).
+    Relu6,
+    /// Folded batch normalization node (fusable).
+    BatchNorm,
+    /// Residual addition of two inputs (fusable into the second conv).
+    Add,
+    /// Softmax output layer (kept as its own kernel, §5.1.3).
+    Softmax,
+}
+
+impl Op {
+    /// Human-readable operator kind, used in kernel names and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv2d {
+                depthwise: true, ..
+            } => "conv2d_dw",
+            Op::Conv2d { .. } => "conv2d",
+            Op::Dense { .. } => "dense",
+            Op::MaxPool { .. } => "maxpool",
+            Op::AvgPool { .. } => "avgpool",
+            Op::Pad { .. } => "pad",
+            Op::Flatten => "flatten",
+            Op::Relu => "relu",
+            Op::Relu6 => "relu6",
+            Op::BatchNorm => "batchnorm",
+            Op::Add => "add",
+            Op::Softmax => "softmax",
+        }
+    }
+}
+
+/// Epilogue fused onto a convolution/dense node by [`Graph::fuse`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FusedEpilogue {
+    /// Fused activation function.
+    pub activation: Activation,
+    /// Fused folded batch norm `(scale, shift)` per output channel.
+    pub bn: Option<(Vec<f32>, Vec<f32>)>,
+    /// Fused residual addition: the other operand's node id.
+    pub add_from: Option<NodeId>,
+}
+
+impl FusedEpilogue {
+    /// True if nothing is fused.
+    pub fn is_empty(&self) -> bool {
+        self.activation == Activation::None && self.bn.is_none() && self.add_from.is_none()
+    }
+}
+
+/// One operator instance with its parameters.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Index in [`Graph::nodes`].
+    pub id: NodeId,
+    /// Layer name (e.g. `conv1`, `conv_8_dw`).
+    pub name: String,
+    /// Operator.
+    pub op: Op,
+    /// Producer node ids (one for most ops, two for `Add`).
+    pub inputs: Vec<NodeId>,
+    /// Convolution/dense weights.
+    pub weights: Option<Tensor>,
+    /// Bias.
+    pub bias: Option<Vec<f32>>,
+    /// Standalone folded batch-norm parameters (before fusion).
+    pub bn: Option<(Vec<f32>, Vec<f32>)>,
+    /// Fused epilogue (populated by [`Graph::fuse`]).
+    pub fused: FusedEpilogue,
+    /// Output shape.
+    pub out_shape: Shape,
+}
+
+impl Node {
+    /// Number of trainable parameters carried by this node.
+    pub fn param_count(&self) -> usize {
+        self.weights.as_ref().map_or(0, Tensor::numel)
+            + self.bias.as_ref().map_or(0, Vec::len)
+            + self.bn.as_ref().map_or(0, |(s, b)| s.len() + b.len())
+            + self
+                .fused
+                .bn
+                .as_ref()
+                .map_or(0, |(s, b)| s.len() + b.len())
+    }
+}
+
+/// A feed-forward computation graph (the thesis deploys unidirectional CNNs,
+/// §2.1.1). Nodes are stored in topological order.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Network name (`lenet5`, `mobilenet_v1`, ...).
+    pub name: String,
+    /// Topologically-ordered nodes; `nodes[0]` is the input.
+    pub nodes: Vec<Node>,
+    /// Output node id.
+    pub output: NodeId,
+}
+
+impl Graph {
+    /// Creates a graph with a single input node of the given shape.
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        Graph {
+            name: name.into(),
+            nodes: vec![Node {
+                id: 0,
+                name: "input".into(),
+                op: Op::Input,
+                inputs: vec![],
+                weights: None,
+                bias: None,
+                bn: None,
+                fused: FusedEpilogue::default(),
+                out_shape: input_shape,
+            }],
+            output: 0,
+        }
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.nodes[0].out_shape
+    }
+
+    /// Appends a node, inferring its output shape; returns its id and marks
+    /// it as the graph output.
+    ///
+    /// # Panics
+    /// Panics if inputs are out of range or shapes are inconsistent.
+    pub fn push(&mut self, name: impl Into<String>, op: Op, inputs: Vec<NodeId>) -> NodeId {
+        self.push_with_params(name, op, inputs, None, None, None)
+    }
+
+    /// Appends a node with weights/bias/bn parameters.
+    ///
+    /// # Panics
+    /// Panics if inputs are out of range or shapes are inconsistent.
+    pub fn push_with_params(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: Vec<NodeId>,
+        weights: Option<Tensor>,
+        bias: Option<Vec<f32>>,
+        bn: Option<(Vec<f32>, Vec<f32>)>,
+    ) -> NodeId {
+        for &i in &inputs {
+            assert!(i < self.nodes.len(), "input node {i} does not exist");
+        }
+        let out_shape = self.infer_shape(&op, &inputs, weights.as_ref());
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            name: name.into(),
+            op,
+            inputs,
+            weights,
+            bias,
+            bn,
+            fused: FusedEpilogue::default(),
+            out_shape,
+        });
+        self.output = id;
+        id
+    }
+
+    fn infer_shape(&self, op: &Op, inputs: &[NodeId], weights: Option<&Tensor>) -> Shape {
+        let in_shape = |i: usize| &self.nodes[inputs[i]].out_shape;
+        match op {
+            Op::Input => unreachable!("input nodes are created by Graph::new"),
+            Op::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                pad,
+                depthwise,
+            } => {
+                let s = in_shape(0);
+                if *depthwise {
+                    assert_eq!(
+                        *out_channels,
+                        s.dim(0),
+                        "depthwise conv cannot change channel count"
+                    );
+                }
+                if let Some(w) = weights {
+                    assert_eq!(w.shape().dim(0), *out_channels, "weight K mismatch");
+                    assert_eq!(w.shape().dim(2), *kernel, "weight F mismatch");
+                }
+                conv_out_shape(s, *out_channels, *kernel, *stride, *pad)
+            }
+            Op::Dense { units } => {
+                assert_eq!(in_shape(0).rank(), 1, "dense input must be flattened");
+                Shape::d1(*units)
+            }
+            Op::MaxPool {
+                window,
+                stride,
+                pad,
+            }
+            | Op::AvgPool {
+                window,
+                stride,
+                pad,
+            } => {
+                let s = in_shape(0);
+                conv_out_shape(s, s.dim(0), *window, *stride, *pad)
+            }
+            Op::Pad { pad } => {
+                let s = in_shape(0);
+                Shape::chw(s.dim(0), s.dim(1) + 2 * pad, s.dim(2) + 2 * pad)
+            }
+            Op::Flatten => Shape::d1(in_shape(0).numel()),
+            Op::Relu | Op::Relu6 | Op::BatchNorm | Op::Softmax => in_shape(0).clone(),
+            Op::Add => {
+                assert_eq!(inputs.len(), 2, "add takes two inputs");
+                assert_eq!(in_shape(0), in_shape(1), "add operand shape mismatch");
+                in_shape(0).clone()
+            }
+        }
+    }
+
+    /// Per-node consumer counts.
+    pub fn use_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for &i in &n.inputs {
+                counts[i] += 1;
+            }
+        }
+        counts[self.output] += 1; // the graph result is a use
+        counts
+    }
+
+    /// Executes the graph on `input`, returning the output tensor.
+    ///
+    /// Handles both fused and unfused graphs.
+    ///
+    /// # Panics
+    /// Panics if `input` does not match the graph input shape.
+    pub fn execute(&self, input: &Tensor) -> Tensor {
+        self.execute_all(input)
+            .remove(&self.output)
+            .expect("output node evaluated")
+    }
+
+    /// Executes the graph and returns every node's activation (per-layer
+    /// activation dump, one of the host-code debugging capabilities of §5.2).
+    pub fn execute_all(&self, input: &Tensor) -> HashMap<NodeId, Tensor> {
+        assert_eq!(
+            input.shape(),
+            self.input_shape(),
+            "graph input shape mismatch"
+        );
+        let mut vals: HashMap<NodeId, Tensor> = HashMap::new();
+        vals.insert(0, input.clone());
+        for node in &self.nodes[1..] {
+            let out = self.eval_node(node, &vals);
+            vals.insert(node.id, out);
+        }
+        vals
+    }
+
+    fn eval_node(&self, node: &Node, vals: &HashMap<NodeId, Tensor>) -> Tensor {
+        let arg = |i: usize| &vals[&node.inputs[i]];
+        let mut out = match &node.op {
+            Op::Input => unreachable!(),
+            Op::Conv2d {
+                stride,
+                pad,
+                depthwise,
+                ..
+            } => {
+                let p = Conv2dParams {
+                    stride: *stride,
+                    pad: *pad,
+                    bias: node.bias.clone(),
+                    bn: node.fused.bn.clone(),
+                    activation: if node.fused.add_from.is_some() {
+                        // Activation must come after the residual add; apply later.
+                        Activation::None
+                    } else {
+                        node.fused.activation
+                    },
+                };
+                let w = node.weights.as_ref().expect("conv weights");
+                if *depthwise {
+                    ops::depthwise_conv2d(arg(0), w, &p)
+                } else {
+                    // Algorithm choice is transparent: im2col+GEMM for
+                    // reduction-heavy layers, direct otherwise.
+                    ops::conv2d_auto(arg(0), w, &p)
+                }
+            }
+            Op::Dense { .. } => ops::dense(
+                arg(0),
+                node.weights.as_ref().expect("dense weights"),
+                node.bias.as_deref(),
+                node.fused.activation,
+            ),
+            Op::MaxPool {
+                window,
+                stride,
+                pad,
+            } => ops::maxpool2d(arg(0), *window, *stride, *pad),
+            Op::AvgPool {
+                window,
+                stride,
+                pad,
+            } => ops::avgpool2d(arg(0), *window, *stride, *pad),
+            Op::Pad { pad } => ops::pad2d(arg(0), *pad),
+            Op::Flatten => arg(0).clone().flatten(),
+            Op::Relu => ops::relu(arg(0)),
+            Op::Relu6 => ops::relu6(arg(0)),
+            Op::BatchNorm => {
+                let (s, b) = node.bn.as_ref().expect("bn params");
+                ops::batchnorm(arg(0), s, b)
+            }
+            Op::Add => ops::add(arg(0), arg(1)),
+            Op::Softmax => ops::softmax(arg(0)),
+        };
+        // Fused residual add (+ deferred activation).
+        if let Some(other) = node.fused.add_from {
+            out = ops::add(&out, &vals[&other]);
+            if node.fused.activation != Activation::None {
+                out = match node.fused.activation {
+                    Activation::Relu => ops::relu(&out),
+                    Activation::Relu6 => ops::relu6(&out),
+                    Activation::None => out,
+                };
+            }
+        }
+        out
+    }
+
+    /// The Relay-style operator-fusion pass (§3.1).
+    ///
+    /// Folds, in producer order, each fusable chain
+    /// `conv/dense -> [BatchNorm] -> [Add] -> [ReLU/ReLU6]` into the
+    /// producing node's [`FusedEpilogue`], removing the standalone nodes.
+    /// Only single-consumer edges are fused.
+    ///
+    /// Returns a new graph; the receiver is unchanged.
+    pub fn fuse(&self) -> Graph {
+        let mut g = self.clone();
+        loop {
+            let uses = g.use_counts();
+            let mut fused_one = false;
+            for id in 1..g.nodes.len() {
+                let (op, inputs) = (g.nodes[id].op.clone(), g.nodes[id].inputs.clone());
+                let fusable_into = |g: &Graph, p: NodeId| {
+                    matches!(g.nodes[p].op, Op::Conv2d { .. } | Op::Dense { .. })
+                };
+                match op {
+                    Op::Relu | Op::Relu6 => {
+                        let p = inputs[0];
+                        if uses[p] == 1
+                            && fusable_into(&g, p)
+                            && g.nodes[p].fused.activation == Activation::None
+                        {
+                            g.nodes[p].fused.activation = if op == Op::Relu {
+                                Activation::Relu
+                            } else {
+                                Activation::Relu6
+                            };
+                            g.remove_node(id, p);
+                            fused_one = true;
+                            break;
+                        }
+                    }
+                    Op::BatchNorm => {
+                        let p = inputs[0];
+                        // BN fuses only if nothing else is fused yet (it must
+                        // precede the activation/add mathematically).
+                        if uses[p] == 1 && fusable_into(&g, p) && g.nodes[p].fused.is_empty() {
+                            g.nodes[p].fused.bn = g.nodes[id].bn.clone();
+                            g.remove_node(id, p);
+                            fused_one = true;
+                            break;
+                        }
+                    }
+                    Op::Add => {
+                        // Fuse the add into whichever operand is a conv/dense
+                        // with a single consumer and no activation fused past
+                        // the add point yet.
+                        for (slot, &p) in inputs.iter().enumerate() {
+                            if uses[p] == 1
+                                && fusable_into(&g, p)
+                                && g.nodes[p].fused.activation == Activation::None
+                                && g.nodes[p].fused.add_from.is_none()
+                            {
+                                let other = inputs[1 - slot];
+                                g.nodes[p].fused.add_from = Some(other);
+                                g.remove_node(id, p);
+                                fused_one = true;
+                                break;
+                            }
+                        }
+                        if fused_one {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !fused_one {
+                return g;
+            }
+        }
+    }
+
+    /// Removes node `id`, redirecting its consumers to `replacement` (the
+    /// node its value was fused into) and renumbering all ids. Used by the
+    /// fusion pass.
+    fn remove_node(&mut self, id: NodeId, replacement: NodeId) {
+        let remap = |n: NodeId| -> NodeId {
+            let n = if n == id { replacement } else { n };
+            if n > id {
+                n - 1
+            } else {
+                n
+            }
+        };
+        self.nodes.remove(id);
+        for (new_id, node) in self.nodes.iter_mut().enumerate() {
+            node.id = new_id;
+            for i in node.inputs.iter_mut() {
+                *i = remap(*i);
+            }
+            if let Some(a) = node.fused.add_from {
+                node.fused.add_from = Some(remap(a));
+            }
+        }
+        self.output = remap(self.output);
+    }
+
+    /// Splits every padded convolution into `Pad` + unpadded `Conv2d`,
+    /// matching the kernels TVM's codegen emits (§3.1, Tables 6.8/6.16).
+    ///
+    /// Returns a new graph; the receiver is unchanged.
+    pub fn materialize_padding(&self) -> Graph {
+        let mut g = Graph::new(self.name.clone(), self.input_shape().clone());
+        // old id -> new id of the node producing the equivalent value
+        let mut map: Vec<NodeId> = vec![0; self.nodes.len()];
+        for node in &self.nodes[1..] {
+            let new_inputs: Vec<NodeId> = node.inputs.iter().map(|&i| map[i]).collect();
+            let new_id = match &node.op {
+                Op::Conv2d {
+                    out_channels,
+                    kernel,
+                    stride,
+                    pad,
+                    depthwise,
+                } if *pad > 0 => {
+                    let pad_id = g.push(
+                        format!("{}_pad", node.name),
+                        Op::Pad { pad: *pad },
+                        vec![new_inputs[0]],
+                    );
+                    let conv_id = g.push_with_params(
+                        node.name.clone(),
+                        Op::Conv2d {
+                            out_channels: *out_channels,
+                            kernel: *kernel,
+                            stride: *stride,
+                            pad: 0,
+                            depthwise: *depthwise,
+                        },
+                        vec![pad_id],
+                        node.weights.clone(),
+                        node.bias.clone(),
+                        node.bn.clone(),
+                    );
+                    g.nodes[conv_id].fused = FusedEpilogue {
+                        add_from: node.fused.add_from.map(|a| map[a]),
+                        ..node.fused.clone()
+                    };
+                    conv_id
+                }
+                // Padded max pooling also splits into pad + pool. Zero
+                // padding is equivalent to -inf padding here because pooled
+                // inputs are post-ReLU (non-negative) in the networks under
+                // study (ResNet's stem pool).
+                Op::MaxPool {
+                    window,
+                    stride,
+                    pad,
+                } if *pad > 0 => {
+                    let pad_id = g.push(
+                        format!("{}_pad", node.name),
+                        Op::Pad { pad: *pad },
+                        vec![new_inputs[0]],
+                    );
+                    g.push(
+                        node.name.clone(),
+                        Op::MaxPool {
+                            window: *window,
+                            stride: *stride,
+                            pad: 0,
+                        },
+                        vec![pad_id],
+                    )
+                }
+                _ => {
+                    let id = g.push_with_params(
+                        node.name.clone(),
+                        node.op.clone(),
+                        new_inputs,
+                        node.weights.clone(),
+                        node.bias.clone(),
+                        node.bn.clone(),
+                    );
+                    g.nodes[id].fused = FusedEpilogue {
+                        add_from: node.fused.add_from.map(|a| map[a]),
+                        ..node.fused.clone()
+                    };
+                    id
+                }
+            };
+            map[node.id] = new_id;
+        }
+        g.output = map[self.output];
+        g
+    }
+
+    /// Total trainable parameters in the network.
+    pub fn param_count(&self) -> usize {
+        self.nodes.iter().map(Node::param_count).sum()
+    }
+
+    /// Nodes that become kernels after fusion (everything except `Input`).
+    pub fn kernel_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.op != Op::Input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_conv_graph() -> Graph {
+        let mut g = Graph::new("tiny", Shape::chw(1, 6, 6));
+        let w = Tensor::random(Shape::kcff(4, 1, 3), 1, 0.5);
+        let c = g.push_with_params(
+            "conv1",
+            Op::Conv2d {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+                depthwise: false,
+            },
+            vec![0],
+            Some(w),
+            None,
+            None,
+        );
+        let r = g.push("relu1", Op::Relu, vec![c]);
+        let f = g.push("flatten", Op::Flatten, vec![r]);
+        let wd = Tensor::random(Shape::d2(3, 64), 2, 0.1);
+        let d = g.push_with_params("dense1", Op::Dense { units: 3 }, vec![f], Some(wd), None, None);
+        g.push("softmax", Op::Softmax, vec![d]);
+        g
+    }
+
+    #[test]
+    fn shapes_infer_through_the_graph() {
+        let g = tiny_conv_graph();
+        assert_eq!(g.nodes[1].out_shape, Shape::chw(4, 4, 4));
+        assert_eq!(g.nodes[3].out_shape, Shape::d1(64));
+        assert_eq!(g.nodes[g.output].out_shape, Shape::d1(3));
+    }
+
+    #[test]
+    fn execute_produces_probabilities() {
+        let g = tiny_conv_graph();
+        let x = Tensor::random(Shape::chw(1, 6, 6), 3, 1.0);
+        let y = g.execute(&x);
+        assert!((y.sum() - 1.0).abs() < 1e-5);
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn fusion_removes_relu_and_preserves_semantics() {
+        let g = tiny_conv_graph();
+        let fused = g.fuse();
+        assert!(fused.nodes.iter().all(|n| n.op != Op::Relu));
+        assert_eq!(fused.nodes.len(), g.nodes.len() - 1);
+        assert_eq!(
+            fused
+                .nodes
+                .iter()
+                .find(|n| n.name == "conv1")
+                .unwrap()
+                .fused
+                .activation,
+            Activation::Relu
+        );
+        let x = Tensor::random(Shape::chw(1, 6, 6), 4, 1.0);
+        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn residual_add_fuses_and_preserves_semantics() {
+        // x -> conv_a --------\
+        //   -> conv_b -> add --+--> relu
+        let mut g = Graph::new("res", Shape::chw(2, 5, 5));
+        let wa = Tensor::random(Shape::kcff(2, 2, 1), 5, 0.5);
+        let wb = Tensor::random(Shape::kcff(2, 2, 1), 6, 0.5);
+        let a = g.push_with_params(
+            "conv_a",
+            Op::Conv2d {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                depthwise: false,
+            },
+            vec![0],
+            Some(wa),
+            None,
+            None,
+        );
+        let b = g.push_with_params(
+            "conv_b",
+            Op::Conv2d {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                depthwise: false,
+            },
+            vec![a],
+            Some(wb),
+            None,
+            None,
+        );
+        let s = g.push("add", Op::Add, vec![b, a]);
+        g.push("relu", Op::Relu, vec![s]);
+
+        let fused = g.fuse();
+        assert!(fused.nodes.iter().all(|n| n.op != Op::Add && n.op != Op::Relu));
+        let convb = fused.nodes.iter().find(|n| n.name == "conv_b").unwrap();
+        assert!(convb.fused.add_from.is_some());
+        assert_eq!(convb.fused.activation, Activation::Relu);
+
+        let x = Tensor::random(Shape::chw(2, 5, 5), 7, 1.0);
+        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn batchnorm_fuses_before_activation() {
+        let mut g = Graph::new("bn", Shape::chw(1, 4, 4));
+        let w = Tensor::random(Shape::kcff(2, 1, 3), 8, 0.5);
+        let c = g.push_with_params(
+            "conv",
+            Op::Conv2d {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 0,
+                depthwise: false,
+            },
+            vec![0],
+            Some(w),
+            None,
+            None,
+        );
+        let bn = g.push_with_params(
+            "bn",
+            Op::BatchNorm,
+            vec![c],
+            None,
+            None,
+            Some((vec![1.5, 0.5], vec![0.1, -0.1])),
+        );
+        g.push("relu", Op::Relu, vec![bn]);
+        let fused = g.fuse();
+        assert_eq!(fused.nodes.len(), 2); // input + conv
+        let conv = &fused.nodes[1];
+        assert!(conv.fused.bn.is_some());
+        assert_eq!(conv.fused.activation, Activation::Relu);
+        let x = Tensor::random(Shape::chw(1, 4, 4), 9, 1.0);
+        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn materialize_padding_splits_conv() {
+        let mut g = Graph::new("p", Shape::chw(1, 4, 4));
+        let w = Tensor::random(Shape::kcff(2, 1, 3), 10, 0.5);
+        g.push_with_params(
+            "conv",
+            Op::Conv2d {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                depthwise: false,
+            },
+            vec![0],
+            Some(w),
+            None,
+            None,
+        );
+        let m = g.materialize_padding();
+        assert_eq!(m.nodes.len(), 3);
+        assert!(matches!(m.nodes[1].op, Op::Pad { pad: 1 }));
+        assert!(matches!(
+            m.nodes[2].op,
+            Op::Conv2d { pad: 0, .. }
+        ));
+        let x = Tensor::random(Shape::chw(1, 4, 4), 11, 1.0);
+        assert!(crate::allclose(&g.execute(&x), &m.execute(&x), 1e-6, 1e-6));
+    }
+}

@@ -1,0 +1,122 @@
+//! Pooling layers (§2.1.2).
+
+use crate::shape::conv_out_shape;
+#[cfg(test)]
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+fn pool2d<F: Fn(&[f32]) -> f32>(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    pad: usize,
+    reduce: F,
+    pad_value: f32,
+) -> Tensor {
+    assert_eq!(input.shape().rank(), 3, "pool input must be CHW");
+    let (c, h1, w1) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+    );
+    let out_shape = conv_out_shape(input.shape(), c, window, stride, pad);
+    let (h2, w2) = (out_shape.dim(1), out_shape.dim(2));
+    let mut out = Tensor::zeros(out_shape);
+    let mut patch = Vec::with_capacity(window * window);
+    for ch in 0..c {
+        for yy in 0..h2 {
+            for xx in 0..w2 {
+                patch.clear();
+                for ry in 0..window {
+                    for rx in 0..window {
+                        let iy = (stride * yy + ry) as isize - pad as isize;
+                        let ix = (stride * xx + rx) as isize - pad as isize;
+                        if iy < 0 || iy >= h1 as isize || ix < 0 || ix >= w1 as isize {
+                            patch.push(pad_value);
+                        } else {
+                            patch.push(input.at(&[ch, iy as usize, ix as usize]));
+                        }
+                    }
+                }
+                let v = reduce(&patch);
+                out.set(&[ch, yy, xx], v);
+            }
+        }
+    }
+    out
+}
+
+/// Max pooling over an `F x F` window.
+pub fn maxpool2d(input: &Tensor, window: usize, stride: usize, pad: usize) -> Tensor {
+    pool2d(
+        input,
+        window,
+        stride,
+        pad,
+        |p| p.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        f32::NEG_INFINITY,
+    )
+}
+
+/// Average pooling over an `F x F` window. Padding contributes zeros to the
+/// average with the full window size as the divisor (TVM's
+/// `count_include_pad` default for the networks under study).
+pub fn avgpool2d(input: &Tensor, window: usize, stride: usize, pad: usize) -> Tensor {
+    pool2d(
+        input,
+        window,
+        stride,
+        pad,
+        |p| p.iter().sum::<f32>() / p.len() as f32,
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2_stride2() {
+        let input = Tensor::from_vec(
+            Shape::chw(1, 4, 4),
+            (0..16).map(|v| v as f32).collect(),
+        );
+        let y = maxpool2d(&input, 2, 2, 0);
+        assert_eq!(y.shape(), &Shape::chw(1, 2, 2));
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avgpool_full_window_is_mean() {
+        let input = Tensor::from_vec(Shape::chw(1, 2, 2), vec![1., 2., 3., 4.]);
+        let y = avgpool2d(&input, 2, 1, 0);
+        assert_eq!(y.data(), &[2.5]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_sees_interior_values() {
+        // Negative interior; padding is -inf for max so it never wins.
+        let input = Tensor::full(Shape::chw(1, 2, 2), -1.0);
+        let y = maxpool2d(&input, 3, 2, 1);
+        assert_eq!(y.shape(), &Shape::chw(1, 1, 1));
+        assert_eq!(y.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn pool_preserves_channel_independence() {
+        let mut input = Tensor::zeros(Shape::chw(2, 2, 2));
+        input.set(&[0, 0, 0], 5.0);
+        input.set(&[1, 1, 1], 9.0);
+        let y = maxpool2d(&input, 2, 2, 0);
+        assert_eq!(y.data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn mobilenet_global_avgpool_shape() {
+        // MobileNet pool (Table 2.2): 1024x7x7 -> 1024x1x1 with 7x7 s1.
+        let input = Tensor::random(Shape::chw(8, 7, 7), 5, 1.0);
+        let y = avgpool2d(&input, 7, 1, 0);
+        assert_eq!(y.shape(), &Shape::chw(8, 1, 1));
+    }
+}

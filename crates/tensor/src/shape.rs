@@ -1,0 +1,183 @@
+//! Tensor shapes and the CNN dimension arithmetic of §2.1.2.
+
+use std::fmt;
+
+/// A dense tensor shape (row-major).
+///
+/// CNN feature maps use `[C, H, W]` (the thesis fixes batch `N = 1`), weights
+/// use `[K, C, F, F]`, dense weights use `[M, N]` and vectors use `[N]`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// 1-D shape.
+    pub fn d1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// 2-D shape.
+    pub fn d2(a: usize, b: usize) -> Self {
+        Shape(vec![a, b])
+    }
+
+    /// Channel-first feature-map shape `[C, H, W]`.
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        Shape(vec![c, h, w])
+    }
+
+    /// Convolution weight shape `[K, C, F, F]`.
+    pub fn kcff(k: usize, c: usize, f: usize) -> Self {
+        Shape(vec![k, c, f, f])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (product of all dims; 1 for scalar shapes).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The dims as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Linear offset of a multi-index.
+    ///
+    /// # Panics
+    /// Panics (with debug assertions) if the index rank or any coordinate is
+    /// out of range.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.0.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (d, (&i, &n)) in idx.iter().zip(&self.0).enumerate() {
+            debug_assert!(i < n, "index {i} out of range {n} in dim {d}");
+            off = off * n + i;
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", parts.join("x"))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+/// Output spatial size of a convolution/pooling window sweep:
+/// `(in + 2*pad - window) / stride + 1` (§2.1.2).
+///
+/// # Panics
+/// Panics if the window does not fit the (padded) input.
+pub fn conv_out_dim(input: usize, window: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= window,
+        "window {window} larger than padded input {padded}"
+    );
+    (padded - window) / stride + 1
+}
+
+/// Output feature-map shape of a (possibly depthwise) convolution.
+pub fn conv_out_shape(
+    in_shape: &Shape,
+    out_channels: usize,
+    window: usize,
+    stride: usize,
+    pad: usize,
+) -> Shape {
+    assert_eq!(in_shape.rank(), 3, "conv input must be CHW");
+    Shape::chw(
+        out_channels,
+        conv_out_dim(in_shape.dim(1), window, stride, pad),
+        conv_out_dim(in_shape.dim(2), window, stride, pad),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape(vec![5, 7, 3]);
+        let st = s.strides();
+        for a in 0..5 {
+            for b in 0..7 {
+                for c in 0..3 {
+                    assert_eq!(s.offset(&[a, b, c]), a * st[0] + b * st[1] + c * st[2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_dims_match_thesis_examples() {
+        // Figure 2.1: 5x5 input, 3x3 filter, S=1, P=0 -> 3x3 output.
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+        // LeNet conv1 (Table 2.1): 28 -> 26 with 3x3 s1 p0.
+        assert_eq!(conv_out_dim(28, 3, 1, 0), 26);
+        // MobileNet conv_1 (Table 2.2): 224 -> 112 with 3x3 s2 p1.
+        assert_eq!(conv_out_dim(224, 3, 2, 1), 112);
+        // ResNet conv1 (Table 2.3): 224 -> 112 with 7x7 s2 p3.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn conv_dim_rejects_oversized_window() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_is_x_separated() {
+        assert_eq!(Shape::chw(16, 5, 5).to_string(), "16x5x5");
+    }
+}

@@ -1,0 +1,231 @@
+//! Dense `f32` tensors.
+
+use crate::shape::Shape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// This is the single data type flowing through the whole reproduction; the
+/// thesis deploys the accelerators in 32-bit floating point "for generality"
+/// (§1.1, footnote 2).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape} ({} elements)",
+            data.len(),
+            shape.numel()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Deterministic pseudo-random tensor with elements uniform in
+    /// `[-scale, scale]`. Used for weights and the random ImageNet-size
+    /// inputs of §6.1.1.
+    pub fn random(shape: Shape, seed: u64, scale: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = shape.numel();
+        let data = (0..n).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Tensor { shape, data }
+    }
+
+    /// Deterministic He-style initialization for convolution/dense weights:
+    /// uniform with scale `sqrt(2 / fan_in)`. Keeps activations in a sane
+    /// range through deep networks so softmax outputs stay finite.
+    pub fn he_init(shape: Shape, fan_in: usize, seed: u64) -> Self {
+        let scale = (2.0 / fan_in.max(1) as f32).sqrt();
+        Self::random(shape, seed, scale)
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(self, shape: Shape) -> Self {
+        assert_eq!(
+            self.shape.numel(),
+            shape.numel(),
+            "reshape {} -> {shape} changes element count",
+            self.shape
+        );
+        Tensor {
+            shape,
+            data: self.data,
+        }
+    }
+
+    /// Flattens to 1-D (the LeNet `flatten` layer, Table 2.1).
+    pub fn flatten(self) -> Self {
+        let n = self.numel();
+        self.reshape(Shape::d1(n))
+    }
+
+    /// Index of the maximum element (classification argmax).
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Returns true if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Size of the tensor in bytes when stored as `f32` in an OpenCL buffer.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, {} elems", self.shape, self.numel())?;
+        if self.numel() <= 8 {
+            write!(f, ", {:?}", self.data)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(Shape::chw(2, 3, 3));
+        assert_eq!(z.numel(), 18);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full(Shape::d1(4), 2.5);
+        assert_eq!(f.sum(), 10.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_seeded() {
+        let a = Tensor::random(Shape::d2(8, 8), 42, 1.0);
+        let b = Tensor::random(Shape::d2(8, 8), 42, 1.0);
+        let c = Tensor::random(Shape::d2(8, 8), 43, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(Shape::chw(2, 3, 4));
+        t.set(&[1, 2, 3], 7.0);
+        assert_eq!(t.at(&[1, 2, 3]), 7.0);
+        assert_eq!(t.data()[12 + 2 * 4 + 3], 7.0);
+    }
+
+    #[test]
+    fn argmax_picks_first_max() {
+        let t = Tensor::from_vec(Shape::d1(5), vec![0.0, 3.0, 3.0, -1.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape(Shape::chw(1, 2, 3));
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &Shape::chw(1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        Tensor::zeros(Shape::d1(5)).reshape(Shape::d1(6));
+    }
+
+    #[test]
+    fn he_init_scale_shrinks_with_fan_in() {
+        let big = Tensor::he_init(Shape::d1(128), 8, 1);
+        let small = Tensor::he_init(Shape::d1(128), 512, 1);
+        let amax = |t: &Tensor| t.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(amax(&small) < amax(&big));
+    }
+}

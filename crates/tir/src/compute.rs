@@ -1,0 +1,1663 @@
+//! Kernel generators: each operator's *compute function* lowered through a
+//! selectable *schedule*, exactly mirroring the default and optimized
+//! schedules of Chapter 5.
+//!
+//! | Generator | Base schedule | Optimized schedule |
+//! |---|---|---|
+//! | convolution | Listing 5.1 (global scratchpad, separate writeback) | Listing 5.2 (fused + cached writes + `F*F` unroll), Listings 5.3/5.4 (tiled in `xx`/`rc`/`ax1`) |
+//! | depthwise conv | same pattern | tiled `W2 x F x F` (Table 6.7) |
+//! | dense | Listing 5.5 | Listing 5.6 (strip-mined + unrolled + cached dot) |
+//! | softmax | Listing 5.7 (invariants recomputed) | Listing 5.8 (loop-invariant code motion) |
+//! | pooling | direct window sweep | channelized/autorun variant |
+//! | padding | TVM's modulo-addressed guarded copy (§6.3.2) | — |
+//!
+//! Every generator supports three I/O modes (§4.6): global buffers, channel
+//! input (with the local re-use cache the thesis describes: "if a kernel
+//! needs to re-use data that it is consuming from a channel, it needs to
+//! store channel reads into local memory"), and channel output.
+//!
+//! Parameterized kernels (§4.9/§5.3) use symbolic [`Dim`]s that become
+//! integer kernel arguments; `explicit_strides` reproduces the Listing 5.10
+//! codegen whose symbolic strides defeat coalescing, and its Listing 5.11
+//! workaround.
+
+use crate::dim::Dim;
+use crate::expr::{BExpr, IExpr, VExpr};
+use crate::kernel::{BufRole, BufferDecl, ChannelDecl, Kernel};
+use crate::stmt::Stmt;
+use fpgaccel_tensor::ops::Activation;
+
+/// Where a kernel's activations come from / go to (§4.6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum IoMode {
+    /// Global-memory buffer.
+    Global,
+    /// Intel OpenCL channel with the given name and FIFO depth.
+    Channel {
+        /// Channel name.
+        name: String,
+        /// FIFO depth in elements.
+        depth: usize,
+    },
+}
+
+impl IoMode {
+    /// Channel helper.
+    pub fn channel(name: impl Into<String>, depth: usize) -> IoMode {
+        IoMode::Channel {
+            name: name.into(),
+            depth,
+        }
+    }
+
+    fn decl(&self) -> Option<ChannelDecl> {
+        match self {
+            IoMode::Global => None,
+            IoMode::Channel { name, depth } => Some(ChannelDecl {
+                name: name.clone(),
+                depth: *depth,
+            }),
+        }
+    }
+}
+
+/// The fused epilogue a kernel applies to each output element (§3.1, §5.1.1).
+#[derive(Clone, Debug, Default)]
+pub struct EpilogueSpec {
+    /// Add a per-output-channel bias.
+    pub bias: bool,
+    /// Apply a folded batch norm (scale/shift per output channel).
+    pub bn: bool,
+    /// Add a residual operand read from global memory at the output index.
+    pub residual: bool,
+    /// Final activation.
+    pub activation: Activation,
+}
+
+impl EpilogueSpec {
+    /// Bias + activation.
+    pub fn bias_act(activation: Activation) -> Self {
+        EpilogueSpec {
+            bias: true,
+            activation,
+            ..Default::default()
+        }
+    }
+
+    /// Applies the epilogue to an accumulated value. `ch` indexes the output
+    /// channel, `out_idx` the flattened output element (for residuals).
+    fn apply(&self, acc: VExpr, ch: &IExpr, out_idx: &IExpr) -> VExpr {
+        let mut v = acc;
+        if self.bias {
+            v = v.add(VExpr::load("bias", ch.clone()));
+        }
+        if self.bn {
+            v = v
+                .mul(VExpr::load("bn_scale", ch.clone()))
+                .add(VExpr::load("bn_shift", ch.clone()));
+        }
+        if self.residual {
+            v = v.add(VExpr::load("res", out_idx.clone()));
+        }
+        match self.activation {
+            Activation::None => v,
+            Activation::Relu => v.max(VExpr::Const(0.0)),
+            Activation::Relu6 => v.max(VExpr::Const(0.0)).min(VExpr::Const(6.0)),
+        }
+    }
+
+    fn push_bufs(&self, bufs: &mut Vec<BufferDecl>, c2: &IExpr, out_len: &IExpr) {
+        if self.bias {
+            bufs.push(BufferDecl::global("bias", BufRole::Bias, c2.clone()));
+        }
+        if self.bn {
+            bufs.push(BufferDecl::global("bn_scale", BufRole::BnScale, c2.clone()));
+            bufs.push(BufferDecl::global("bn_shift", BufRole::BnShift, c2.clone()));
+        }
+        if self.residual {
+            bufs.push(BufferDecl::global("res", BufRole::Residual, out_len.clone()));
+        }
+    }
+}
+
+/// Convolution geometry. The input is assumed pre-padded (padding is a
+/// separate kernel, §3.1). Input spatial dims are carried explicitly —
+/// for strided convolutions the buffer can be larger than `s*(h2-1)+f`
+/// (floor division in the output-size formula), and the row stride must
+/// match the real layout.
+#[derive(Clone, Debug)]
+pub struct ConvDims {
+    /// Output channels `K` (`C_2`).
+    pub c2: Dim,
+    /// Input channels `C_1`.
+    pub c1: Dim,
+    /// Output height `H_2`.
+    pub h2: Dim,
+    /// Output width `W_2`.
+    pub w2: Dim,
+    /// Input height `H_1` (post-padding).
+    pub h1: Dim,
+    /// Input width `W_1` (post-padding).
+    pub w1: Dim,
+    /// Filter size `F`.
+    pub f: usize,
+    /// Stride `S`.
+    pub s: usize,
+}
+
+impl ConvDims {
+    /// Fully-constant dims with the minimal input size `s*(h2-1) + f`.
+    pub fn constant(c2: usize, c1: usize, h2: usize, w2: usize, f: usize, s: usize) -> Self {
+        ConvDims {
+            c2: Dim::Const(c2),
+            c1: Dim::Const(c1),
+            h2: Dim::Const(h2),
+            w2: Dim::Const(w2),
+            h1: Dim::Const(s * (h2 - 1) + f),
+            w1: Dim::Const(s * (w2 - 1) + f),
+            f,
+            s,
+        }
+    }
+
+    /// Overrides the input spatial dims (the actual buffer layout).
+    pub fn with_input(mut self, h1: Dim, w1: Dim) -> Self {
+        self.h1 = h1;
+        self.w1 = w1;
+        self
+    }
+
+    fn h1(&self) -> IExpr {
+        IExpr::dim(&self.h1)
+    }
+
+    fn w1(&self) -> IExpr {
+        IExpr::dim(&self.w1)
+    }
+
+    fn in_len(&self) -> IExpr {
+        IExpr::dim(&self.c1).mul(self.h1()).mul(self.w1())
+    }
+
+    fn out_len(&self) -> IExpr {
+        IExpr::dim(&self.c2)
+            .mul(IExpr::dim(&self.h2))
+            .mul(IExpr::dim(&self.w2))
+    }
+
+    fn weight_len(&self, depthwise: bool) -> IExpr {
+        let ff = IExpr::Const((self.f * self.f) as i64);
+        if depthwise {
+            IExpr::dim(&self.c2).mul(ff)
+        } else {
+            IExpr::dim(&self.c2).mul(IExpr::dim(&self.c1)).mul(ff)
+        }
+    }
+
+    fn symbols(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for d in [&self.c2, &self.c1, &self.h2, &self.w2, &self.h1, &self.w1] {
+            if let Dim::Sym(s) = d {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Schedule choice for convolution kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConvSchedule {
+    /// Listing 5.1: the default TVM schedule — global scratchpad
+    /// accumulation, separate activation/writeback loop, no unrolling.
+    Base,
+    /// Listing 5.2: fused epilogue, private-register accumulator (cached
+    /// writes), `ry`/`rx` fully unrolled when `unroll_ff`.
+    Fused {
+        /// Unroll the `F x F` reduction.
+        unroll_ff: bool,
+    },
+    /// Listings 5.3/5.4: additionally tiled + unrolled along output columns
+    /// (`w2vec`), input channels (`c1vec`) and — for 1x1 convolutions —
+    /// output channels (`c2vec`). Tile factors must divide the (runtime)
+    /// extents (§4.11 requirement 2).
+    Tiled {
+        /// `W_2vec`.
+        w2vec: usize,
+        /// `C_2vec` (1 for non-1x1 kernels).
+        c2vec: usize,
+        /// `C_1vec`.
+        c1vec: usize,
+    },
+}
+
+/// Full convolution kernel specification.
+#[derive(Clone, Debug)]
+pub struct ConvSpec {
+    /// Kernel name.
+    pub name: String,
+    /// Geometry.
+    pub dims: ConvDims,
+    /// Depthwise convolution.
+    pub depthwise: bool,
+    /// Fused epilogue.
+    pub epilogue: EpilogueSpec,
+    /// Input source.
+    pub io_in: IoMode,
+    /// Output sink.
+    pub io_out: IoMode,
+    /// Schedule.
+    pub schedule: ConvSchedule,
+    /// Reproduce the Listing 5.10 symbolic-stride codegen (defeats
+    /// coalescing); `false` applies the Listing 5.11 stride-1 workaround.
+    pub explicit_strides: bool,
+}
+
+impl ConvSpec {
+    /// A constant-shape convolution with global I/O and base schedule.
+    pub fn base(name: impl Into<String>, dims: ConvDims, depthwise: bool) -> Self {
+        ConvSpec {
+            name: name.into(),
+            dims,
+            depthwise,
+            epilogue: EpilogueSpec::default(),
+            io_in: IoMode::Global,
+            io_out: IoMode::Global,
+            schedule: ConvSchedule::Base,
+            explicit_strides: false,
+        }
+    }
+}
+
+/// Generates a convolution kernel per the spec.
+///
+/// # Panics
+/// Panics if constant tile factors do not divide constant extents, or a
+/// tiled depthwise kernel requests `c1vec`/`c2vec` > 1.
+pub fn conv2d(spec: &ConvSpec) -> Kernel {
+    match &spec.schedule {
+        ConvSchedule::Base => conv2d_base(spec),
+        ConvSchedule::Fused { unroll_ff } => conv2d_fused(spec, *unroll_ff),
+        ConvSchedule::Tiled { w2vec, c2vec, c1vec } => {
+            conv2d_tiled(spec, *w2vec, *c2vec, *c1vec)
+        }
+    }
+}
+
+/// Shared buffer/channel scaffolding for convolution kernels. Returns the
+/// kernel shell plus the name of the buffer input loads should target.
+fn conv_shell(spec: &ConvSpec) -> (Kernel, String) {
+    let d = &spec.dims;
+    let mut k = Kernel::new(spec.name.clone(), Stmt::Block(vec![]));
+    let mut pre = Vec::new();
+    let in_buf_name = match &spec.io_in {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("in_fm", BufRole::Input, d.in_len()));
+            "in_fm".to_string()
+        }
+        IoMode::Channel { .. } => {
+            // §4.6: channel data must be staged into local memory for re-use.
+            k.bufs.push(BufferDecl::local("in_cache", d.in_len()));
+            k.chan_in.push(spec.io_in.decl().unwrap());
+            let chan = match &spec.io_in {
+                IoMode::Channel { name, .. } => name.clone(),
+                IoMode::Global => unreachable!(),
+            };
+            pre.push(Stmt::for_(
+                "i0",
+                d.in_len(),
+                Stmt::store(
+                    "in_cache",
+                    IExpr::var("i0"),
+                    VExpr::ReadChannel(chan),
+                ),
+            ));
+            "in_cache".to_string()
+        }
+    };
+    k.bufs.push(BufferDecl::global(
+        "w",
+        BufRole::Weights,
+        d.weight_len(spec.depthwise),
+    ));
+    spec.epilogue
+        .push_bufs(&mut k.bufs, &IExpr::dim(&d.c2), &d.out_len());
+    if spec.io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_fm", BufRole::Output, d.out_len()));
+    } else {
+        k.chan_out.push(spec.io_out.decl().unwrap());
+    }
+    k.int_params = d.symbols();
+    if spec.explicit_strides {
+        k.int_params.push("stride_x".to_string());
+    }
+    k.body = Stmt::Block(pre);
+    (k, in_buf_name)
+}
+
+/// Flattened input index `rc*H1*W1 + iy*W1 + ix`, honoring the
+/// `explicit_strides` mode for the innermost term.
+fn conv_in_idx(spec: &ConvSpec, rc: IExpr, iy: IExpr, ix: IExpr) -> IExpr {
+    let d = &spec.dims;
+    let ix = if spec.explicit_strides {
+        // Listing 5.10: the innermost subscript is scaled by a symbolic
+        // stride argument (always 1 at runtime, but AOC cannot know).
+        ix.mul(IExpr::var("stride_x"))
+    } else {
+        ix
+    };
+    rc.mul(d.h1()).mul(d.w1()).add(iy.mul(d.w1())).add(ix)
+}
+
+fn out_idx(d: &ConvDims, ax1: IExpr, yy: IExpr, xx: IExpr) -> IExpr {
+    ax1.mul(IExpr::dim(&d.h2))
+        .mul(IExpr::dim(&d.w2))
+        .add(yy.mul(IExpr::dim(&d.w2)))
+        .add(xx)
+}
+
+fn weight_idx(spec: &ConvSpec, ax1: IExpr, rc: IExpr, ry: IExpr, rx: IExpr) -> IExpr {
+    let d = &spec.dims;
+    let ff = IExpr::Const((d.f * d.f) as i64);
+    let fy = ry.mul(IExpr::Const(d.f as i64)).add(rx);
+    if spec.depthwise {
+        ax1.mul(ff).add(fy)
+    } else {
+        ax1.mul(IExpr::dim(&d.c1))
+            .mul(ff.clone())
+            .add(rc.mul(ff))
+            .add(fy)
+    }
+}
+
+fn emit_out(spec: &ConvSpec, idx: IExpr, val: VExpr) -> Stmt {
+    match &spec.io_out {
+        IoMode::Global => Stmt::store("out_fm", idx, val),
+        IoMode::Channel { name, .. } => Stmt::WriteChannel {
+            chan: name.clone(),
+            val,
+        },
+    }
+}
+
+/// Listing 5.1: the naive TVM HLS schedule.
+fn conv2d_base(spec: &ConvSpec) -> Kernel {
+    let d = &spec.dims;
+    let (mut k, in_buf) = conv_shell(spec);
+    // Global scratchpad holding one output channel's accumulations.
+    k.bufs.push(BufferDecl::global(
+        "scratchpad",
+        BufRole::Scratch,
+        IExpr::dim(&d.h2).mul(IExpr::dim(&d.w2)),
+    ));
+    let sp_idx = IExpr::var("yy")
+        .mul(IExpr::dim(&d.w2))
+        .add(IExpr::var("xx"));
+    let iy = IExpr::var("yy")
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("ry"));
+    let ix = IExpr::var("xx")
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("rx"));
+    let acc = VExpr::load("scratchpad", sp_idx.clone()).add(
+        VExpr::load(
+            &in_buf,
+            conv_in_idx(spec, IExpr::var("rc"), iy, ix),
+        )
+        .mul(VExpr::load(
+            "w",
+            weight_idx(
+                spec,
+                IExpr::var("ax1"),
+                IExpr::var("rc"),
+                IExpr::var("ry"),
+                IExpr::var("rx"),
+            ),
+        )),
+    );
+    let reduction = Stmt::for_(
+        "yy",
+        IExpr::dim(&d.h2),
+        Stmt::for_(
+            "xx",
+            IExpr::dim(&d.w2),
+            Stmt::block(vec![
+                Stmt::store("scratchpad", sp_idx.clone(), VExpr::Const(0.0)),
+                Stmt::for_(
+                    "rc",
+                    if spec.depthwise {
+                        IExpr::Const(1)
+                    } else {
+                        IExpr::dim(&d.c1)
+                    },
+                    Stmt::for_(
+                        "ry",
+                        IExpr::Const(d.f as i64),
+                        Stmt::for_("rx", IExpr::Const(d.f as i64), {
+                            if spec.depthwise {
+                                // Depthwise reads channel ax1, not rc.
+                                let iy = IExpr::var("yy")
+                                    .mul(IExpr::Const(d.s as i64))
+                                    .add(IExpr::var("ry"));
+                                let ix = IExpr::var("xx")
+                                    .mul(IExpr::Const(d.s as i64))
+                                    .add(IExpr::var("rx"));
+                                Stmt::store(
+                                    "scratchpad",
+                                    sp_idx.clone(),
+                                    VExpr::load("scratchpad", sp_idx.clone()).add(
+                                        VExpr::load(
+                                            &in_buf,
+                                            conv_in_idx(spec, IExpr::var("ax1"), iy, ix),
+                                        )
+                                        .mul(VExpr::load(
+                                            "w",
+                                            weight_idx(
+                                                spec,
+                                                IExpr::var("ax1"),
+                                                IExpr::Const(0),
+                                                IExpr::var("ry"),
+                                                IExpr::var("rx"),
+                                            ),
+                                        )),
+                                    ),
+                                )
+                            } else {
+                                Stmt::store("scratchpad", sp_idx.clone(), acc.clone())
+                            }
+                        }),
+                    ),
+                ),
+            ]),
+        ),
+    );
+    // Separate writeback loop — the data dependency that defeats pipelining
+    // (§5.1.1).
+    let wb_idx = IExpr::var("ax2")
+        .mul(IExpr::dim(&d.w2))
+        .add(IExpr::var("ax3"));
+    let writeback = Stmt::for_(
+        "ax2",
+        IExpr::dim(&d.h2),
+        Stmt::for_("ax3", IExpr::dim(&d.w2), {
+            let o = out_idx(d, IExpr::var("ax1"), IExpr::var("ax2"), IExpr::var("ax3"));
+            let v = spec
+                .epilogue
+                .apply(VExpr::load("scratchpad", wb_idx), &IExpr::var("ax1"), &o);
+            emit_out(spec, o, v)
+        }),
+    );
+    let main = Stmt::for_(
+        "ax1",
+        IExpr::dim(&d.c2),
+        Stmt::block(vec![reduction, writeback]),
+    );
+    attach_body(&mut k, main);
+    k
+}
+
+/// Listing 5.2: fused epilogue + private accumulator + `F x F` unroll.
+fn conv2d_fused(spec: &ConvSpec, unroll_ff: bool) -> Kernel {
+    let d = &spec.dims;
+    let (mut k, in_buf) = conv_shell(spec);
+    k.bufs.push(BufferDecl::private("tmp", IExpr::Const(1)));
+
+    let iy = IExpr::var("yy")
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("ry"));
+    let ix = IExpr::var("xx")
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("rx"));
+    let in_ch = if spec.depthwise {
+        IExpr::var("ax1")
+    } else {
+        IExpr::var("rc")
+    };
+    let mac = Stmt::store(
+        "tmp",
+        IExpr::Const(0),
+        VExpr::load("tmp", IExpr::Const(0)).add(
+            VExpr::load(&in_buf, conv_in_idx(spec, in_ch, iy, ix)).mul(VExpr::load(
+                "w",
+                weight_idx(
+                    spec,
+                    IExpr::var("ax1"),
+                    if spec.depthwise {
+                        IExpr::Const(0)
+                    } else {
+                        IExpr::var("rc")
+                    },
+                    IExpr::var("ry"),
+                    IExpr::var("rx"),
+                ),
+            )),
+        ),
+    );
+    let mk_ff = |body: Stmt| {
+        let ry = if unroll_ff {
+            Stmt::unrolled("rx", IExpr::Const(d.f as i64), body)
+        } else {
+            Stmt::for_("rx", IExpr::Const(d.f as i64), body)
+        };
+        if unroll_ff {
+            Stmt::unrolled("ry", IExpr::Const(d.f as i64), ry)
+        } else {
+            Stmt::for_("ry", IExpr::Const(d.f as i64), ry)
+        }
+    };
+    let reduction = if spec.depthwise {
+        mk_ff(mac)
+    } else {
+        Stmt::for_("rc", IExpr::dim(&d.c1), mk_ff(mac))
+    };
+    let o = out_idx(d, IExpr::var("ax1"), IExpr::var("yy"), IExpr::var("xx"));
+    let body = Stmt::for_(
+        "ax1",
+        IExpr::dim(&d.c2),
+        Stmt::for_(
+            "yy",
+            IExpr::dim(&d.h2),
+            Stmt::for_(
+                "xx",
+                IExpr::dim(&d.w2),
+                Stmt::block(vec![
+                    Stmt::store("tmp", IExpr::Const(0), VExpr::Const(0.0)),
+                    reduction,
+                    emit_out(
+                        spec,
+                        o.clone(),
+                        spec.epilogue.apply(
+                            VExpr::load("tmp", IExpr::Const(0)),
+                            &IExpr::var("ax1"),
+                            &o,
+                        ),
+                    ),
+                ]),
+            ),
+        ),
+    );
+    attach_body(&mut k, body);
+    k
+}
+
+/// Listings 5.3/5.4: tiled + unrolled in `xx` (`w2vec`), `rc` (`c1vec`) and
+/// `ax1` (`c2vec`, 1x1 kernels), with list-initialized private accumulators.
+fn conv2d_tiled(spec: &ConvSpec, w2vec: usize, c2vec: usize, c1vec: usize) -> Kernel {
+    let d = &spec.dims;
+    if spec.depthwise {
+        assert_eq!(c1vec, 1, "depthwise kernels tile only W2/F/F (Table 6.7)");
+        assert_eq!(c2vec, 1, "depthwise kernels tile only W2/F/F (Table 6.7)");
+    }
+    check_divides(&d.w2, w2vec, "w2vec");
+    check_divides(&d.c2, c2vec, "c2vec");
+    if !spec.depthwise {
+        check_divides(&d.c1, c1vec, "c1vec");
+    }
+
+    let (mut k, in_buf) = conv_shell(spec);
+    k.bufs.push(BufferDecl::private(
+        "tmp",
+        IExpr::Const((c2vec * w2vec) as i64),
+    ));
+
+    let ax1 = IExpr::var("ax1o")
+        .mul(IExpr::Const(c2vec as i64))
+        .add(IExpr::var("ax1i"));
+    let xx = IExpr::var("xxo")
+        .mul(IExpr::Const(w2vec as i64))
+        .add(IExpr::var("xxi"));
+    let rc = IExpr::var("rco")
+        .mul(IExpr::Const(c1vec as i64))
+        .add(IExpr::var("rci"));
+    let tmp_idx = IExpr::var("ax1i")
+        .mul(IExpr::Const(w2vec as i64))
+        .add(IExpr::var("xxi"));
+
+    let iy = IExpr::var("yy")
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("ry"));
+    let ix = xx.clone().mul(IExpr::Const(d.s as i64)).add(IExpr::var("rx"));
+    let in_ch = if spec.depthwise { ax1.clone() } else { rc.clone() };
+    let mac = Stmt::store(
+        "tmp",
+        tmp_idx.clone(),
+        VExpr::load("tmp", tmp_idx.clone()).add(
+            VExpr::load(&in_buf, conv_in_idx(spec, in_ch, iy, ix)).mul(VExpr::load(
+                "w",
+                weight_idx(
+                    spec,
+                    ax1.clone(),
+                    if spec.depthwise {
+                        IExpr::Const(0)
+                    } else {
+                        rc.clone()
+                    },
+                    IExpr::var("ry"),
+                    IExpr::var("rx"),
+                ),
+            )),
+        ),
+    );
+
+    // Innermost unrolled group: ax1i, xxi, rci, ry, rx (all fully unrolled,
+    // §5.1.1 "We always fully unroll the inner loops").
+    let mut inner = Stmt::unrolled("rx", IExpr::Const(d.f as i64), mac);
+    inner = Stmt::unrolled("ry", IExpr::Const(d.f as i64), inner);
+    if !spec.depthwise {
+        inner = Stmt::unrolled("rci", IExpr::Const(c1vec as i64), inner);
+    }
+    inner = Stmt::unrolled("xxi", IExpr::Const(w2vec as i64), inner);
+    inner = Stmt::unrolled("ax1i", IExpr::Const(c2vec as i64), inner);
+
+    let reduction = if spec.depthwise {
+        inner
+    } else {
+        Stmt::for_(
+            "rco",
+            IExpr::dim(&d.c1).div(IExpr::Const(c1vec as i64)),
+            inner,
+        )
+    };
+
+    // Zero-initialization of the accumulator tile (the "list initialization"
+    // of Listing 5.3) and the unrolled writeback.
+    let init = Stmt::unrolled(
+        "ax1i",
+        IExpr::Const(c2vec as i64),
+        Stmt::unrolled(
+            "xxi",
+            IExpr::Const(w2vec as i64),
+            Stmt::store("tmp", tmp_idx.clone(), VExpr::Const(0.0)),
+        ),
+    );
+    let o = out_idx(d, ax1.clone(), IExpr::var("yy"), xx.clone());
+    let writeback = Stmt::unrolled(
+        "ax1i",
+        IExpr::Const(c2vec as i64),
+        Stmt::unrolled("xxi", IExpr::Const(w2vec as i64), {
+            emit_out(
+                spec,
+                o.clone(),
+                spec.epilogue
+                    .apply(VExpr::load("tmp", tmp_idx.clone()), &ax1, &o),
+            )
+        }),
+    );
+
+    let body = Stmt::for_(
+        "ax1o",
+        IExpr::dim(&d.c2).div(IExpr::Const(c2vec as i64)),
+        Stmt::for_(
+            "yy",
+            IExpr::dim(&d.h2),
+            Stmt::for_(
+                "xxo",
+                IExpr::dim(&d.w2).div(IExpr::Const(w2vec as i64)),
+                Stmt::block(vec![init, reduction, writeback]),
+            ),
+        ),
+    );
+    attach_body(&mut k, body);
+    k
+}
+
+fn check_divides(dim: &Dim, factor: usize, what: &str) {
+    if let Some(n) = dim.as_const() {
+        assert!(
+            n % factor == 0,
+            "{what} = {factor} does not divide extent {n} (§4.11 requirement 2)"
+        );
+    }
+}
+
+fn attach_body(k: &mut Kernel, main: Stmt) {
+    let pre = std::mem::replace(&mut k.body, Stmt::Block(vec![]));
+    k.body = match pre {
+        Stmt::Block(mut v) => {
+            v.push(main);
+            Stmt::block(v)
+        }
+        other => Stmt::block(vec![other, main]),
+    };
+}
+
+/// Dense-layer schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DenseSchedule {
+    /// Listing 5.5: scalar reduction through a global `dot` scratchpad.
+    Base,
+    /// Listing 5.6: reduction strip-mined by `factor` and unrolled, dot
+    /// product cached in a private register, input vector cached in BRAM.
+    Unrolled {
+        /// Strip-mine/unroll factor (must divide the input length).
+        factor: usize,
+    },
+}
+
+/// Dense (fully-connected) layer specification.
+#[derive(Clone, Debug)]
+pub struct DenseSpec {
+    /// Kernel name.
+    pub name: String,
+    /// Output length `M`.
+    pub m: Dim,
+    /// Input length `N`.
+    pub n: Dim,
+    /// Fused epilogue (residuals unsupported for dense).
+    pub epilogue: EpilogueSpec,
+    /// Input source.
+    pub io_in: IoMode,
+    /// Output sink.
+    pub io_out: IoMode,
+    /// Schedule.
+    pub schedule: DenseSchedule,
+}
+
+/// Generates a dense kernel.
+///
+/// # Panics
+/// Panics if the unroll factor does not divide a constant `N`.
+pub fn dense(spec: &DenseSpec) -> Kernel {
+    let n_len = IExpr::dim(&spec.n);
+    let m_len = IExpr::dim(&spec.m);
+    let mut k = Kernel::new(spec.name.clone(), Stmt::Block(vec![]));
+    let mut pre = Vec::new();
+    let in_buf = match &spec.io_in {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("in_v", BufRole::Input, n_len.clone()));
+            "in_v".to_string()
+        }
+        IoMode::Channel { name, .. } => {
+            k.bufs.push(BufferDecl::local("in_cache", n_len.clone()));
+            k.chan_in.push(spec.io_in.decl().unwrap());
+            pre.push(Stmt::for_(
+                "i0",
+                n_len.clone(),
+                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(name.clone())),
+            ));
+            "in_cache".to_string()
+        }
+    };
+    k.bufs.push(BufferDecl::global(
+        "w",
+        BufRole::Weights,
+        m_len.clone().mul(n_len.clone()),
+    ));
+    spec.epilogue.push_bufs(&mut k.bufs, &m_len, &m_len);
+    if spec.io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_v", BufRole::Output, m_len.clone()));
+    } else {
+        k.chan_out.push(spec.io_out.decl().unwrap());
+    }
+    for d in [&spec.m, &spec.n] {
+        if let Dim::Sym(s) = d {
+            if !k.int_params.contains(s) {
+                k.int_params.push(s.clone());
+            }
+        }
+    }
+
+    let emit = |idx: IExpr, val: VExpr| -> Stmt {
+        match &spec.io_out {
+            IoMode::Global => Stmt::store("out_v", idx, val),
+            IoMode::Channel { name, .. } => Stmt::WriteChannel {
+                chan: name.clone(),
+                val,
+            },
+        }
+    };
+
+    let body = match &spec.schedule {
+        DenseSchedule::Base => {
+            k.bufs
+                .push(BufferDecl::global("dot", BufRole::Scratch, IExpr::Const(1)));
+            let w_idx = IExpr::var("j").mul(n_len.clone()).add(IExpr::var("kk"));
+            Stmt::for_(
+                "j",
+                m_len.clone(),
+                Stmt::block(vec![
+                    Stmt::store("dot", IExpr::Const(0), VExpr::Const(0.0)),
+                    Stmt::for_(
+                        "kk",
+                        n_len.clone(),
+                        Stmt::store(
+                            "dot",
+                            IExpr::Const(0),
+                            VExpr::load("dot", IExpr::Const(0)).add(
+                                VExpr::load(&in_buf, IExpr::var("kk"))
+                                    .mul(VExpr::load("w", w_idx)),
+                            ),
+                        ),
+                    ),
+                    emit(
+                        IExpr::var("j"),
+                        spec.epilogue.apply(
+                            VExpr::load("dot", IExpr::Const(0)),
+                            &IExpr::var("j"),
+                            &IExpr::var("j"),
+                        ),
+                    ),
+                ]),
+            )
+        }
+        DenseSchedule::Unrolled { factor } => {
+            if let Some(n) = spec.n.as_const() {
+                assert!(
+                    n % factor == 0,
+                    "dense unroll factor {factor} does not divide N = {n}"
+                );
+            }
+            k.bufs
+                .push(BufferDecl::private("dot", IExpr::Const(1)));
+            let kk = IExpr::var("ko")
+                .mul(IExpr::Const(*factor as i64))
+                .add(IExpr::var("ki"));
+            let w_idx = IExpr::var("j").mul(n_len.clone()).add(kk.clone());
+            Stmt::for_(
+                "j",
+                m_len.clone(),
+                Stmt::block(vec![
+                    Stmt::store("dot", IExpr::Const(0), VExpr::Const(0.0)),
+                    Stmt::for_(
+                        "ko",
+                        n_len.clone().div(IExpr::Const(*factor as i64)),
+                        Stmt::unrolled(
+                            "ki",
+                            IExpr::Const(*factor as i64),
+                            Stmt::store(
+                                "dot",
+                                IExpr::Const(0),
+                                VExpr::load("dot", IExpr::Const(0)).add(
+                                    VExpr::load(&in_buf, kk).mul(VExpr::load("w", w_idx)),
+                                ),
+                            ),
+                        ),
+                    ),
+                    emit(
+                        IExpr::var("j"),
+                        spec.epilogue.apply(
+                            VExpr::load("dot", IExpr::Const(0)),
+                            &IExpr::var("j"),
+                            &IExpr::var("j"),
+                        ),
+                    ),
+                ]),
+            )
+        }
+    };
+    pre.push(body);
+    k.body = Stmt::block(pre);
+    k
+}
+
+/// Generates a softmax kernel (§5.1.3).
+///
+/// `optimized = false` reproduces Listing 5.7: the maximum and the exp-sum
+/// are recomputed inside the output loop despite being loop-invariant.
+/// `optimized = true` applies loop-invariant code motion (Listing 5.8).
+pub fn softmax(name: &str, n: usize, io_in: IoMode, io_out: IoMode, optimized: bool) -> Kernel {
+    let n_e = IExpr::Const(n as i64);
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    let mut pre = Vec::new();
+    let in_buf = match &io_in {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("in_v", BufRole::Input, n_e.clone()));
+            "in_v".to_string()
+        }
+        IoMode::Channel { name: cn, .. } => {
+            k.bufs.push(BufferDecl::local("in_cache", n_e.clone()));
+            k.chan_in.push(io_in.decl().unwrap());
+            pre.push(Stmt::for_(
+                "i0",
+                n_e.clone(),
+                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
+            ));
+            "in_cache".to_string()
+        }
+    };
+    if io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_v", BufRole::Output, n_e.clone()));
+    } else {
+        k.chan_out.push(io_out.decl().unwrap());
+    }
+    k.bufs.push(BufferDecl::local("t_exp", n_e.clone()));
+    k.bufs.push(BufferDecl::private("t_max", IExpr::Const(1)));
+    k.bufs.push(BufferDecl::private("t_sum", IExpr::Const(1)));
+
+    let compute_max = Stmt::block(vec![
+        Stmt::store("t_max", IExpr::Const(0), VExpr::Const(-3.402823e38)),
+        Stmt::for_(
+            "kk",
+            n_e.clone(),
+            Stmt::store(
+                "t_max",
+                IExpr::Const(0),
+                VExpr::load("t_max", IExpr::Const(0))
+                    .max(VExpr::load(&in_buf, IExpr::var("kk"))),
+            ),
+        ),
+    ]);
+    let compute_exp = Stmt::for_(
+        "i1",
+        n_e.clone(),
+        Stmt::store(
+            "t_exp",
+            IExpr::var("i1"),
+            VExpr::Exp(Box::new(
+                VExpr::load(&in_buf, IExpr::var("i1"))
+                    .sub(VExpr::load("t_max", IExpr::Const(0))),
+            )),
+        ),
+    );
+    let compute_sum = Stmt::block(vec![
+        Stmt::store("t_sum", IExpr::Const(0), VExpr::Const(0.0)),
+        Stmt::for_(
+            "k1",
+            n_e.clone(),
+            Stmt::store(
+                "t_sum",
+                IExpr::Const(0),
+                VExpr::load("t_sum", IExpr::Const(0))
+                    .add(VExpr::load("t_exp", IExpr::var("k1"))),
+            ),
+        ),
+    ]);
+    let emit = |idx: IExpr, val: VExpr| match &io_out {
+        IoMode::Global => Stmt::store("out_v", idx, val),
+        IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+            chan: cn.clone(),
+            val,
+        },
+    };
+    let norm = |iv: &str| {
+        emit(
+            IExpr::var(iv),
+            VExpr::load("t_exp", IExpr::var(iv)).div(VExpr::load("t_sum", IExpr::Const(0))),
+        )
+    };
+
+    let body = if optimized {
+        // Listing 5.8: invariants hoisted, each phase runs once.
+        Stmt::block(vec![compute_max, compute_exp, compute_sum, norm("i2")])
+            .pipe(|s| wrap_norm_loop(s, n_e.clone()))
+    } else {
+        // Listing 5.7: the whole pipeline recomputed for every output.
+        Stmt::for_(
+            "i1o",
+            n_e.clone(),
+            Stmt::block(vec![
+                compute_max,
+                compute_exp,
+                compute_sum,
+                emit(
+                    IExpr::var("i1o"),
+                    VExpr::load("t_exp", IExpr::var("i1o"))
+                        .div(VExpr::load("t_sum", IExpr::Const(0))),
+                ),
+            ]),
+        )
+    };
+    pre.push(body);
+    k.body = Stmt::block(pre);
+    k
+}
+
+trait Pipe: Sized {
+    fn pipe<T>(self, f: impl FnOnce(Self) -> T) -> T {
+        f(self)
+    }
+}
+impl Pipe for Stmt {}
+
+fn wrap_norm_loop(block: Stmt, n: IExpr) -> Stmt {
+    // The final normalization loop of Listing 5.8 wraps only the last
+    // statement; the invariant phases stay outside.
+    match block {
+        Stmt::Block(mut v) => {
+            let last = v.pop().expect("non-empty block");
+            v.push(Stmt::for_("i2", n, last));
+            Stmt::block(v)
+        }
+        other => other,
+    }
+}
+
+/// Pooling flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the operator's full hyper-parameter list
+/// Generates a pooling kernel over `[c, h1, w1]` with an `window x window`
+/// sweep. Channel-I/O pooling kernels have no global buffers and are the
+/// thesis' canonical autorun kernels (§4.7, Table 4.1).
+pub fn pool(
+    name: &str,
+    kind: PoolKind,
+    c: usize,
+    h1: usize,
+    w1: usize,
+    window: usize,
+    stride: usize,
+    io_in: IoMode,
+    io_out: IoMode,
+) -> Kernel {
+    let h2 = (h1 - window) / stride + 1;
+    let w2 = (w1 - window) / stride + 1;
+    let in_len = IExpr::Const((c * h1 * w1) as i64);
+    let out_len = IExpr::Const((c * h2 * w2) as i64);
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    let mut pre = Vec::new();
+    let in_buf = match &io_in {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
+            "in_fm".to_string()
+        }
+        IoMode::Channel { name: cn, .. } => {
+            k.bufs.push(BufferDecl::local("in_cache", in_len.clone()));
+            k.chan_in.push(io_in.decl().unwrap());
+            pre.push(Stmt::for_(
+                "i0",
+                in_len,
+                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
+            ));
+            "in_cache".to_string()
+        }
+    };
+    if io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_fm", BufRole::Output, out_len));
+    } else {
+        k.chan_out.push(io_out.decl().unwrap());
+    }
+    k.bufs.push(BufferDecl::private("acc", IExpr::Const(1)));
+
+    let in_idx = IExpr::var("ch")
+        .mul(IExpr::Const((h1 * w1) as i64))
+        .add(
+            IExpr::var("yy")
+                .mul(IExpr::Const(stride as i64))
+                .add(IExpr::var("ry"))
+                .mul(IExpr::Const(w1 as i64)),
+        )
+        .add(
+            IExpr::var("xx")
+                .mul(IExpr::Const(stride as i64))
+                .add(IExpr::var("rx")),
+        );
+    let reduce = match kind {
+        PoolKind::Max => Stmt::store(
+            "acc",
+            IExpr::Const(0),
+            VExpr::load("acc", IExpr::Const(0)).max(VExpr::load(&in_buf, in_idx)),
+        ),
+        PoolKind::Avg => Stmt::store(
+            "acc",
+            IExpr::Const(0),
+            VExpr::load("acc", IExpr::Const(0)).add(VExpr::load(&in_buf, in_idx)),
+        ),
+    };
+    let init_val = match kind {
+        PoolKind::Max => VExpr::Const(f32::MIN),
+        PoolKind::Avg => VExpr::Const(0.0),
+    };
+    let result = match kind {
+        PoolKind::Max => VExpr::load("acc", IExpr::Const(0)),
+        PoolKind::Avg => VExpr::load("acc", IExpr::Const(0))
+            .div(VExpr::Const((window * window) as f32)),
+    };
+    let o = IExpr::var("ch")
+        .mul(IExpr::Const((h2 * w2) as i64))
+        .add(IExpr::var("yy").mul(IExpr::Const(w2 as i64)))
+        .add(IExpr::var("xx"));
+    let emit = match &io_out {
+        IoMode::Global => Stmt::store("out_fm", o, result),
+        IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+            chan: cn.clone(),
+            val: result,
+        },
+    };
+    let body = Stmt::for_(
+        "ch",
+        IExpr::Const(c as i64),
+        Stmt::for_(
+            "yy",
+            IExpr::Const(h2 as i64),
+            Stmt::for_(
+                "xx",
+                IExpr::Const(w2 as i64),
+                Stmt::block(vec![
+                    Stmt::store("acc", IExpr::Const(0), init_val.clone()),
+                    Stmt::unrolled(
+                        "ry",
+                        IExpr::Const(window as i64),
+                        Stmt::unrolled("rx", IExpr::Const(window as i64), reduce.clone()),
+                    ),
+                    emit.clone(),
+                ]),
+            ),
+        ),
+    );
+    pre.push(body);
+    k.body = Stmt::block(pre);
+    k
+}
+
+/// Generates TVM's zero-padding kernel: a flat output loop with `/`/`%`
+/// index reconstruction and a guarded select — "the generated padding kernel
+/// uses modulo addressing and a conditional ... which does not generate
+/// efficient hardware" (§6.3.2).
+pub fn pad(name: &str, c: usize, h: usize, w: usize, p: usize, io_in: IoMode, io_out: IoMode) -> Kernel {
+    let (h2, w2) = (h + 2 * p, w + 2 * p);
+    let in_len = IExpr::Const((c * h * w) as i64);
+    let out_len = IExpr::Const((c * h2 * w2) as i64);
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    let mut pre = Vec::new();
+    let in_buf = match &io_in {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
+            "in_fm".to_string()
+        }
+        IoMode::Channel { name: cn, .. } => {
+            k.bufs.push(BufferDecl::local("in_cache", in_len.clone()));
+            k.chan_in.push(io_in.decl().unwrap());
+            pre.push(Stmt::for_(
+                "i0",
+                in_len,
+                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
+            ));
+            "in_cache".to_string()
+        }
+    };
+    if io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_fm", BufRole::Output, out_len.clone()));
+    } else {
+        k.chan_out.push(io_out.decl().unwrap());
+    }
+
+    let plane = IExpr::Const((h2 * w2) as i64);
+    let ch = IExpr::var("i").div(plane.clone());
+    let rem = IExpr::var("i").rem(plane);
+    let y = rem.clone().div(IExpr::Const(w2 as i64));
+    let x = rem.rem(IExpr::Const(w2 as i64));
+    let pe = IExpr::Const(p as i64);
+    let in_bounds = BExpr::Ge(y.clone(), pe.clone())
+        .and(BExpr::Lt(y.clone(), IExpr::Const((h + p) as i64)))
+        .and(BExpr::Ge(x.clone(), pe.clone()))
+        .and(BExpr::Lt(x.clone(), IExpr::Const((w + p) as i64)));
+    let src_idx = ch
+        .mul(IExpr::Const((h * w) as i64))
+        .add(y.sub(pe.clone()).mul(IExpr::Const(w as i64)))
+        .add(x.sub(pe));
+    let val = VExpr::Select(
+        Box::new(in_bounds),
+        Box::new(VExpr::load(&in_buf, src_idx)),
+        Box::new(VExpr::Const(0.0)),
+    );
+    let body = Stmt::for_("i", out_len, match &io_out {
+        IoMode::Global => Stmt::store("out_fm", IExpr::var("i"), val),
+        IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+            chan: cn.clone(),
+            val,
+        },
+    });
+    pre.push(body);
+    k.body = Stmt::block(pre);
+    k
+}
+
+/// Generates the *parameterized* zero-padding kernel used in folded mode
+/// (§4.9): channels `pc`, input `ph x pw`, padding `pp` are symbolic integer
+/// arguments so one kernel serves every padded layer of the network. The
+/// symbolic `/`/`%` index reconstruction makes every access non-aligned and
+/// modulo-addressed — the worst-case hardware the thesis measures at
+/// 8–22% of folded runtime (Tables 6.8/6.16).
+pub fn pad_param(name: &str) -> Kernel {
+    let (pc, ph, pw, pp) = (
+        IExpr::var("pc"),
+        IExpr::var("ph"),
+        IExpr::var("pw"),
+        IExpr::var("pp"),
+    );
+    let h2 = ph.clone().add(IExpr::Const(2).mul(pp.clone()));
+    let w2 = pw.clone().add(IExpr::Const(2).mul(pp.clone()));
+    let in_len = pc.clone().mul(ph.clone()).mul(pw.clone());
+    let out_len = pc.mul(h2.clone()).mul(w2.clone());
+
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    k.bufs
+        .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
+    k.bufs
+        .push(BufferDecl::global("out_fm", BufRole::Output, out_len.clone()));
+    k.int_params = vec!["pc".into(), "ph".into(), "pw".into(), "pp".into()];
+
+    let plane = h2.mul(w2.clone());
+    let ch = IExpr::var("i").div(plane.clone());
+    let rem = IExpr::var("i").rem(plane);
+    let y = rem.clone().div(w2.clone());
+    let x = rem.rem(w2);
+    let in_bounds = BExpr::Ge(y.clone(), IExpr::var("pp"))
+        .and(BExpr::Lt(
+            y.clone(),
+            IExpr::var("ph").add(IExpr::var("pp")),
+        ))
+        .and(BExpr::Ge(x.clone(), IExpr::var("pp")))
+        .and(BExpr::Lt(
+            x.clone(),
+            IExpr::var("pw").add(IExpr::var("pp")),
+        ));
+    let src_idx = ch
+        .mul(IExpr::var("ph").mul(IExpr::var("pw")))
+        .add(y.sub(IExpr::var("pp")).mul(IExpr::var("pw")))
+        .add(x.sub(IExpr::var("pp")));
+    let val = VExpr::Select(
+        Box::new(in_bounds),
+        Box::new(VExpr::load("in_fm", src_idx)),
+        Box::new(VExpr::Const(0.0)),
+    );
+    k.body = Stmt::for_("i", out_len, Stmt::store("out_fm", IExpr::var("i"), val));
+    k
+}
+
+/// Generates a flatten/copy kernel (LeNet's `flatten` stage): in channel
+/// mode it is a pure passthrough, autorun-eligible.
+pub fn copy(name: &str, n: usize, io_in: IoMode, io_out: IoMode) -> Kernel {
+    let len = IExpr::Const(n as i64);
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    let val: VExpr = match &io_in {
+        IoMode::Global => {
+            k.bufs.push(BufferDecl::global("in_v", BufRole::Input, len.clone()));
+            VExpr::load("in_v", IExpr::var("i"))
+        }
+        IoMode::Channel { name: cn, .. } => {
+            k.chan_in.push(io_in.decl().unwrap());
+            VExpr::ReadChannel(cn.clone())
+        }
+    };
+    let body = match &io_out {
+        IoMode::Global => {
+            k.bufs
+                .push(BufferDecl::global("out_v", BufRole::Output, len.clone()));
+            Stmt::for_("i", len, Stmt::store("out_v", IExpr::var("i"), val))
+        }
+        IoMode::Channel { name: cn, .. } => {
+            k.chan_out.push(io_out.decl().unwrap());
+            Stmt::for_(
+                "i",
+                len,
+                Stmt::WriteChannel {
+                    chan: cn.clone(),
+                    val,
+                },
+            )
+        }
+    };
+    k.body = body;
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AccumKind};
+    use crate::dim::Binding;
+    use crate::interp::Interp;
+    use fpgaccel_tensor::ops::{self, Conv2dParams};
+    use fpgaccel_tensor::{Shape, Tensor};
+    use std::collections::HashMap;
+
+    fn run_conv(spec: &ConvSpec, input: &Tensor, weights: &Tensor) -> Vec<f32> {
+        let k = conv2d(spec);
+        let mut inputs = HashMap::new();
+        inputs.insert("in_fm".to_string(), input.data().to_vec());
+        inputs.insert("w".to_string(), weights.data().to_vec());
+        let out = Interp::new().run(&k, &Binding::empty(), &inputs);
+        out["out_fm"].clone()
+    }
+
+    #[test]
+    fn base_and_fused_conv_match_reference() {
+        let dims = ConvDims::constant(4, 3, 5, 5, 3, 1);
+        let input = Tensor::random(Shape::chw(3, 7, 7), 1, 1.0);
+        let weights = Tensor::random(Shape::kcff(4, 3, 3), 2, 0.5);
+        let expect = ops::conv2d(&input, &weights, &Conv2dParams::plain(1, 0));
+
+        for schedule in [
+            ConvSchedule::Base,
+            ConvSchedule::Fused { unroll_ff: true },
+            ConvSchedule::Tiled {
+                w2vec: 5,
+                c2vec: 2,
+                c1vec: 3,
+            },
+        ] {
+            let mut spec = ConvSpec::base("conv_t", dims.clone(), false);
+            spec.schedule = schedule.clone();
+            let got = run_conv(&spec, &input, &weights);
+            for (g, e) in got.iter().zip(expect.data()) {
+                assert!(
+                    (g - e).abs() < 1e-4,
+                    "{schedule:?} mismatch: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_conv_matches_reference() {
+        let dims = ConvDims::constant(2, 3, 3, 3, 3, 2);
+        let input = Tensor::random(Shape::chw(3, 7, 7), 3, 1.0);
+        let weights = Tensor::random(Shape::kcff(2, 3, 3), 4, 0.5);
+        let expect = ops::conv2d(&input, &weights, &Conv2dParams::plain(2, 0));
+        let mut spec = ConvSpec::base("conv_s2", dims, false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        let got = run_conv(&spec, &input, &weights);
+        for (g, e) in got.iter().zip(expect.data()) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn depthwise_conv_matches_reference() {
+        let dims = ConvDims::constant(3, 3, 4, 4, 3, 1);
+        let input = Tensor::random(Shape::chw(3, 6, 6), 5, 1.0);
+        let weights = Tensor::random(Shape(vec![3, 1, 3, 3]), 6, 0.5);
+        let expect = ops::depthwise_conv2d(&input, &weights, &Conv2dParams::plain(1, 0));
+        for schedule in [
+            ConvSchedule::Base,
+            ConvSchedule::Tiled {
+                w2vec: 4,
+                c2vec: 1,
+                c1vec: 1,
+            },
+        ] {
+            let mut spec = ConvSpec::base("dw", dims.clone(), true);
+            spec.schedule = schedule;
+            let got = run_conv(&spec, &input, &weights);
+            for (g, e) in got.iter().zip(expect.data()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_bias_bn_relu_applies() {
+        let dims = ConvDims::constant(2, 1, 2, 2, 1, 1);
+        let mut spec = ConvSpec::base("epi", dims, false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        spec.epilogue = EpilogueSpec {
+            bias: true,
+            bn: true,
+            residual: false,
+            activation: Activation::Relu,
+        };
+        let k = conv2d(&spec);
+        let mut inputs = HashMap::new();
+        inputs.insert("in_fm".to_string(), vec![1.0; 4]);
+        inputs.insert("w".to_string(), vec![2.0, -2.0]);
+        inputs.insert("bias".to_string(), vec![0.5, 0.0]);
+        inputs.insert("bn_scale".to_string(), vec![2.0, 1.0]);
+        inputs.insert("bn_shift".to_string(), vec![0.0, -1.0]);
+        let out = Interp::new().run(&k, &Binding::empty(), &inputs);
+        // ch0: relu((1*2 + 0.5)*2 + 0) = 5; ch1: relu(-2*1 - 1) = 0.
+        assert_eq!(out["out_fm"], vec![5.0, 5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn base_schedule_has_global_accumulation_fused_has_private() {
+        let dims = ConvDims::constant(4, 3, 5, 5, 3, 1);
+        let base = conv2d(&ConvSpec::base("b", dims.clone(), false));
+        assert_eq!(analyze(&base).accum, AccumKind::Global);
+        let mut spec = ConvSpec::base("f", dims, false);
+        spec.schedule = ConvSchedule::Fused { unroll_ff: true };
+        assert_eq!(analyze(&conv2d(&spec)).accum, AccumKind::Private);
+    }
+
+    #[test]
+    fn parameterized_conv_executes_multiple_layer_shapes() {
+        // One symbolic kernel reused for two different layer shapes (§4.9).
+        let dims = ConvDims {
+            c2: Dim::sym("ff"),
+            c1: Dim::sym("rc"),
+            h2: Dim::sym("hh"),
+            w2: Dim::sym("ww"),
+            h1: Dim::sym("ih"),
+            w1: Dim::sym("iw"),
+            f: 1,
+            s: 1,
+        };
+        let mut spec = ConvSpec::base("conv1x1_param", dims, false);
+        spec.schedule = ConvSchedule::Tiled {
+            w2vec: 2,
+            c2vec: 2,
+            c1vec: 2,
+        };
+        let k = conv2d(&spec);
+        assert!(k.int_params.contains(&"ff".to_string()));
+
+        for (ff, rc, hw) in [(4usize, 2usize, 4usize), (2, 4, 6)] {
+            let input = Tensor::random(Shape::chw(rc, hw, hw), 7, 1.0);
+            let weights = Tensor::random(Shape::kcff(ff, rc, 1), 8, 0.5);
+            let expect = ops::conv2d(&input, &weights, &Conv2dParams::plain(1, 0));
+            let binding = Binding::of(&[
+                ("ff", ff), ("rc", rc), ("hh", hw), ("ww", hw), ("ih", hw), ("iw", hw),
+            ]);
+            let mut inputs = HashMap::new();
+            inputs.insert("in_fm".to_string(), input.data().to_vec());
+            inputs.insert("w".to_string(), weights.data().to_vec());
+            let out = Interp::new().run(&k, &binding, &inputs);
+            for (g, e) in out["out_fm"].iter().zip(expect.data()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_schedules_match_reference() {
+        let (m, n) = (6usize, 8usize);
+        let x = Tensor::random(Shape::d1(n), 11, 1.0);
+        let w = Tensor::random(Shape::d2(m, n), 12, 0.5);
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.1).collect();
+        let expect = ops::dense(&x, &w, Some(&bias), Activation::Relu);
+
+        for schedule in [DenseSchedule::Base, DenseSchedule::Unrolled { factor: 4 }] {
+            let spec = DenseSpec {
+                name: "fc".into(),
+                m: Dim::Const(m),
+                n: Dim::Const(n),
+                epilogue: EpilogueSpec::bias_act(Activation::Relu),
+                io_in: IoMode::Global,
+                io_out: IoMode::Global,
+                schedule,
+            };
+            let k = dense(&spec);
+            let mut inputs = HashMap::new();
+            inputs.insert("in_v".to_string(), x.data().to_vec());
+            inputs.insert("w".to_string(), w.data().to_vec());
+            inputs.insert("bias".to_string(), bias.clone());
+            let out = Interp::new().run(&k, &Binding::empty(), &inputs);
+            for (g, e) in out["out_v"].iter().zip(expect.data()) {
+                assert!((g - e).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_schedules_match_reference() {
+        let n = 10;
+        let x = Tensor::random(Shape::d1(n), 13, 3.0);
+        let expect = ops::softmax(&x);
+        for optimized in [false, true] {
+            let k = softmax("sm", n, IoMode::Global, IoMode::Global, optimized);
+            let mut inputs = HashMap::new();
+            inputs.insert("in_v".to_string(), x.data().to_vec());
+            let out = Interp::new().run(&k, &Binding::empty(), &inputs);
+            for (g, e) in out["out_v"].iter().zip(expect.data()) {
+                assert!((g - e).abs() < 1e-5, "optimized={optimized}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_kernels_match_reference() {
+        let input = Tensor::random(Shape::chw(2, 6, 6), 14, 1.0);
+        let kmax = pool("mp", PoolKind::Max, 2, 6, 6, 2, 2, IoMode::Global, IoMode::Global);
+        let mut inputs = HashMap::new();
+        inputs.insert("in_fm".to_string(), input.data().to_vec());
+        let out = Interp::new().run(&kmax, &Binding::empty(), &inputs);
+        let expect = ops::maxpool2d(&input, 2, 2, 0);
+        assert_eq!(out["out_fm"], expect.data());
+
+        let kavg = pool("ap", PoolKind::Avg, 2, 6, 6, 3, 3, IoMode::Global, IoMode::Global);
+        let out = Interp::new().run(&kavg, &Binding::empty(), &inputs);
+        let expect = ops::avgpool2d(&input, 3, 3, 0);
+        for (g, e) in out["out_fm"].iter().zip(expect.data()) {
+            assert!((g - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn pad_param_matches_reference_for_multiple_shapes() {
+        let k = pad_param("pad_any");
+        for (c, h, w, p) in [(2usize, 4usize, 5usize, 1usize), (3, 6, 6, 3)] {
+            let input = Tensor::random(Shape::chw(c, h, w), 42, 1.0);
+            let binding = Binding::of(&[("pc", c), ("ph", h), ("pw", w), ("pp", p)]);
+            let mut inputs = HashMap::new();
+            inputs.insert("in_fm".to_string(), input.data().to_vec());
+            let out = Interp::new().run(&k, &binding, &inputs);
+            let expect = ops::pad2d(&input, p);
+            assert_eq!(out["out_fm"], expect.data());
+        }
+        let facts = analyze(&k);
+        let in_access = facts.accesses.iter().find(|a| a.buf == "in_fm").unwrap();
+        assert!(in_access.modulo_addressing);
+        assert!(in_access.symbolic_stride);
+    }
+
+    #[test]
+    fn pad_kernel_matches_reference_and_uses_modulo() {
+        let input = Tensor::random(Shape::chw(2, 4, 5), 15, 1.0);
+        let k = pad("pd", 2, 4, 5, 1, IoMode::Global, IoMode::Global);
+        let mut inputs = HashMap::new();
+        inputs.insert("in_fm".to_string(), input.data().to_vec());
+        let out = Interp::new().run(&k, &Binding::empty(), &inputs);
+        let expect = ops::pad2d(&input, 1);
+        assert_eq!(out["out_fm"], expect.data());
+        let facts = analyze(&k);
+        assert!(facts
+            .accesses
+            .iter()
+            .any(|a| a.modulo_addressing),);
+    }
+
+    #[test]
+    fn channel_pipeline_of_pool_is_autorun_eligible() {
+        let mut k = pool(
+            "mp_c",
+            PoolKind::Max,
+            2,
+            4,
+            4,
+            2,
+            2,
+            IoMode::channel("c_in", 64),
+            IoMode::channel("c_out", 64),
+        );
+        assert!(k.autorun_eligible());
+        k.mark_autorun();
+
+        // Functional check through channels.
+        let input = Tensor::random(Shape::chw(2, 4, 4), 16, 1.0);
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .entry("c_in".to_string())
+            .or_default()
+            .extend(input.data().iter().copied());
+        interp.run(&k, &Binding::empty(), &HashMap::new());
+        let got: Vec<f32> = interp.channels["c_out"].iter().copied().collect();
+        let expect = ops::maxpool2d(&input, 2, 2, 0);
+        assert_eq!(got, expect.data());
+    }
+
+    #[test]
+    fn copy_channel_to_global_drains() {
+        let k = copy("flat", 5, IoMode::channel("cc", 8), IoMode::Global);
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .entry("cc".to_string())
+            .or_default()
+            .extend([1.0, 2.0, 3.0, 4.0, 5.0]);
+        let out = interp.run(&k, &Binding::empty(), &HashMap::new());
+        assert_eq!(out["out_v"], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn tiled_conv_rejects_indivisible_factors() {
+        let dims = ConvDims::constant(4, 3, 5, 5, 3, 1);
+        let mut spec = ConvSpec::base("bad", dims, false);
+        spec.schedule = ConvSchedule::Tiled {
+            w2vec: 2,
+            c2vec: 1,
+            c1vec: 1,
+        };
+        conv2d(&spec);
+    }
+
+    #[test]
+    fn explicit_strides_mark_symbolic_access() {
+        let dims = ConvDims {
+            c2: Dim::sym("ff"),
+            c1: Dim::sym("rc"),
+            h2: Dim::sym("hh"),
+            w2: Dim::sym("ww"),
+            h1: Dim::sym("ih"),
+            w1: Dim::sym("iw"),
+            f: 3,
+            s: 1,
+        };
+        let mut spec = ConvSpec::base("sym_strides", dims, false);
+        spec.schedule = ConvSchedule::Tiled {
+            w2vec: 7,
+            c2vec: 1,
+            c1vec: 4,
+        };
+        spec.explicit_strides = true;
+        let k = conv2d(&spec);
+        let facts = analyze(&k);
+        let in_access = facts
+            .accesses
+            .iter()
+            .find(|a| a.buf == "in_fm" && !a.is_store)
+            .unwrap();
+        assert!(in_access.symbolic_stride);
+
+        // With the Listing 5.11 workaround, rx still coalesces: width > 1.
+        spec.explicit_strides = false;
+        let k2 = conv2d(&spec);
+        let facts2 = analyze(&k2);
+        let in2 = facts2
+            .accesses
+            .iter()
+            .find(|a| a.buf == "in_fm" && !a.is_store)
+            .unwrap();
+        assert!(in2.width_elems >= 3, "rx+xxi should coalesce");
+    }
+}

@@ -1,0 +1,60 @@
+//! The 1x1-convolution tiling design-space exploration: the Table 6.6 /
+//! Figure 6.3 sweep, plus the automatic explorer the thesis leaves to
+//! future work (§4.11: "We leave resource modeling and exploration for a
+//! DSE to future work") — affordable here because synthesis is simulated.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use fpgaccel::core::bitstreams::TABLE_6_6_TILINGS;
+use fpgaccel::core::dse::{explore, sweep_1x1};
+use fpgaccel::device::FpgaPlatform;
+use fpgaccel::tensor::models::Model;
+
+fn main() {
+    println!("Table 6.6 sweep on the Arria 10 (1x1-conv kernel only):");
+    for p in sweep_1x1(
+        Model::MobileNetV1,
+        FpgaPlatform::Arria10Gx,
+        TABLE_6_6_TILINGS,
+    ) {
+        let (w2, c2, c1) = p.tile;
+        match p.result {
+            Ok(m) => println!(
+                "  {w2}/{c2:>2}/{c1:>2}: {:>4} DSPs, fmax {:>3.0} MHz, 1x1 time {:>6.2} ms, \
+                 full net {}",
+                m.dsps,
+                m.fmax_mhz,
+                m.conv1x1_seconds * 1e3,
+                m.seconds_per_image
+                    .map(|s| format!("{:.1} ms", s * 1e3))
+                    .unwrap_or_else(|| "does not fit".into()),
+            ),
+            Err(e) => println!("  {w2}/{c2:>2}/{c1:>2}: {e}"),
+        }
+    }
+
+    // The automatic explorer: a much wider candidate grid than the thesis
+    // hand-picked, evaluated per platform in milliseconds.
+    let mut grid = Vec::new();
+    for &c2 in &[1usize, 2, 4, 8, 16, 32] {
+        for &c1 in &[1usize, 2, 4, 8, 16] {
+            grid.push((7usize, c2, c1));
+        }
+    }
+    println!("\nAutomatic DSE over a {}-point grid:", grid.len());
+    for platform in FpgaPlatform::ALL {
+        match explore(Model::MobileNetV1, platform, &grid) {
+            Some((w2, c2, c1)) => {
+                println!("  {platform}: best full-network tiling = {w2}/{c2}/{c1}")
+            }
+            None => println!("  {platform}: no candidate fits"),
+        }
+    }
+    println!(
+        "\nThe thesis hand-picked 7/32/4, 7/16/4 and 7/8/8 for the S10MX, S10SX and\n\
+         A10 (§6.3.2) under the same constraints the explorer enforces: divisibility,\n\
+         fit, routing, and fmax degradation."
+    );
+}

@@ -1,0 +1,50 @@
+//! The full Table 6.4 optimization ladder for pipelined LeNet-5 on all
+//! three FPGAs, with the Figure 6.2-style event-profile breakdown — the
+//! §6.3.1 experiment end to end.
+//!
+//! ```text
+//! cargo run --release --example lenet_pipeline
+//! ```
+
+use fpgaccel::core::bitstreams::lenet_ladder;
+use fpgaccel::core::Flow;
+use fpgaccel::device::FpgaPlatform;
+use fpgaccel::tensor::models::Model;
+
+fn main() {
+    for platform in FpgaPlatform::ALL {
+        println!("== {platform} ==");
+        let flow = Flow::new(Model::LeNet5, platform);
+        let mut base_fps = None;
+        for cfg in lenet_ladder() {
+            for concurrent in [false, true] {
+                let cfg = if concurrent {
+                    cfg.clone().with_concurrent()
+                } else {
+                    cfg.clone()
+                };
+                let d = flow.compile(&cfg).expect("LeNet fits");
+                let stats = d.simulate_batch(500);
+                let base = *base_fps.get_or_insert(stats.fps);
+                let (k, w, r) = stats.breakdown.fractions();
+                println!(
+                    "  {:<18} {:>7.0} FPS ({:>5.2}x base) | busy: {:>2.0}% kernel {:>2.0}% wr {:>2.0}% rd | {}",
+                    cfg.label,
+                    stats.fps,
+                    stats.fps / base,
+                    k * 100.0,
+                    w * 100.0,
+                    r * 100.0,
+                    d.fit_summary()
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "Thesis (§6.3.1): unrolling, channels and autorun each help; concurrent\n\
+         execution with channels implements layer-pipelined inference and gives the\n\
+         largest jump (up to ~10x over base); automation via TVM primitives matches\n\
+         the hand-applied kernels."
+    );
+}

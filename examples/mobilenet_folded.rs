@@ -1,0 +1,72 @@
+//! Folded MobileNetV1 deployment (§6.3.2): parameterized symbolic-shape
+//! kernels grouped per Table 6.7, time-multiplexed across the 27
+//! convolution layers, with the per-op GFLOPS/runtime profile of Table 6.8.
+//!
+//! ```text
+//! cargo run --release --example mobilenet_folded
+//! ```
+
+use fpgaccel::core::bitstreams::{baseline_config, optimized_config};
+use fpgaccel::core::deploy::ExecutionPlan;
+use fpgaccel::core::Flow;
+use fpgaccel::device::FpgaPlatform;
+use fpgaccel::tensor::models::Model;
+
+fn main() {
+    for platform in FpgaPlatform::ALL {
+        println!("== {platform} ==");
+        let flow = Flow::new(Model::MobileNetV1, platform);
+
+        match flow.compile(&baseline_config(Model::MobileNetV1)) {
+            Ok(d) => {
+                let s = d.simulate_batch(2);
+                println!("  naive (one kernel per layer): {:.3} FPS | {}", s.fps, d.fit_summary());
+            }
+            Err(e) => println!("  naive (one kernel per layer): {e}"),
+        }
+
+        let cfg = optimized_config(Model::MobileNetV1, platform);
+        let d = flow
+            .compile(&cfg)
+            .expect("parameterized kernels fit all three platforms (§6.3.2)");
+        if let ExecutionPlan::Folded(plan) = &d.plan {
+            let conv_kernels = plan
+                .kernels
+                .iter()
+                .filter(|k| k.name.starts_with("conv2d"))
+                .count();
+            let conv_invocations = plan
+                .invocations
+                .iter()
+                .filter(|i| i.kernel_name.starts_with("conv2d"))
+                .count();
+            println!(
+                "  folded: {conv_invocations} conv layers time-multiplexed onto \
+                 {conv_kernels} parameterized kernels"
+            );
+        }
+        let stats = d.simulate_batch(4);
+        println!(
+            "  optimized: {:.1} FPS, {:.1} GFLOPS | {}",
+            stats.fps, stats.gflops, d.fit_summary()
+        );
+        println!("  per-kernel profile (share of device-busy time):");
+        let total: f64 = stats.kernel_seconds.values().sum();
+        let mut rows: Vec<_> = stats.kernel_seconds.iter().collect();
+        rows.sort_by(|a, b| b.1.total_cmp(a.1));
+        for (k, secs) in rows.iter().take(6) {
+            println!(
+                "    {:<24} {:>5.1}%  {:>7.2} GFLOPS",
+                k,
+                100.0 * *secs / total,
+                stats.kernel_gflops(k)
+            );
+        }
+        println!();
+    }
+    println!(
+        "Thesis: 1x1 convolutions dominate FLOPs but the depthwise and zero-padding\n\
+         kernels dominate runtime — the padding kernels do no arithmetic at all yet\n\
+         cost 13-21% of every forward pass (Table 6.8)."
+    );
+}

@@ -1,0 +1,123 @@
+//! Golden tests for the generated OpenCL C: the artifacts a user of the
+//! real flow would hand to AOC. These lock the code shapes of the thesis
+//! listings (naive scratchpad kernels, fused/cached-write kernels, tiled
+//! kernels with `#pragma unroll`, channelized autorun programs, symbolic
+//! parameterized kernels).
+
+use fpgaccel::core::bitstreams::optimized_config;
+use fpgaccel::core::deploy::ExecutionPlan;
+use fpgaccel::core::{Flow, OptimizationConfig};
+use fpgaccel::device::FpgaPlatform;
+use fpgaccel::tensor::models::Model;
+use fpgaccel::tir::codegen::{emit_kernel, emit_program};
+
+fn lenet_program(cfg: &OptimizationConfig) -> String {
+    let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+        .compile(cfg)
+        .unwrap();
+    match &d.plan {
+        ExecutionPlan::Pipelined(stages) => {
+            let ks: Vec<_> = stages.iter().map(|s| &s.kernel).collect();
+            emit_program(&ks)
+        }
+        ExecutionPlan::Folded(plan) => {
+            let ks: Vec<_> = plan.kernels.iter().collect();
+            emit_program(&ks)
+        }
+    }
+}
+
+/// The naive program: scratchpad accumulation, separate writeback loops,
+/// no pragmas, no channels — Listing 5.1's structure.
+#[test]
+fn base_lenet_program_has_listing_5_1_structure() {
+    let src = lenet_program(&OptimizationConfig::base());
+    // Global scratchpad argument on the conv kernels.
+    assert!(src.contains("global float* restrict scratchpad"));
+    // The accumulation reloads the scratchpad (the II-killing dependency).
+    assert!(src.contains("scratchpad[((yy * 26) + xx)] = (scratchpad[((yy * 26) + xx)]"));
+    // No Intel extensions in the naive flow (pool windows are the only
+    // generator-level unrolls).
+    assert!(!src.contains("channel float"));
+    assert!(!src.contains("autorun"));
+    let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+        .compile(&OptimizationConfig::base())
+        .unwrap();
+    if let ExecutionPlan::Pipelined(stages) = &d.plan {
+        for stage in stages {
+            if stage.kernel.name.starts_with("conv") || stage.kernel.name.starts_with("dense") {
+                let k = emit_kernel(&stage.kernel);
+                assert!(!k.contains("#pragma unroll"), "{} unrolled", stage.kernel.name);
+            }
+        }
+    }
+    // One kernel per layer.
+    for name in [
+        "conv1", "pool1", "conv2", "pool2", "flatten", "dense1", "dense2", "dense3", "softmax",
+    ] {
+        assert!(src.contains(&format!("kernel void {name}(")), "{name} missing");
+    }
+}
+
+/// The optimized pipelined program: channels with depths, autorun pools,
+/// unroll pragmas, private accumulators — Listings 4.13/4.14/5.2.
+#[test]
+fn optimized_lenet_program_has_channelized_structure() {
+    let src = lenet_program(&optimized_config(Model::LeNet5, FpgaPlatform::Stratix10Sx));
+    assert!(src.contains("#pragma OPENCL EXTENSION cl_intel_channels : enable"));
+    // Buffered channels sized to the producer output feature map (§4.11):
+    // conv1 produces 6*26*26 = 4056 floats.
+    assert!(src.contains("channel float ch_0 __attribute__((depth(4056)));"));
+    assert!(src.contains("__attribute__((autorun))"));
+    assert!(src.contains("__attribute__((max_global_work_dim(0)))"));
+    assert!(src.contains("#pragma unroll"));
+    assert!(src.contains("write_channel_intel"));
+    assert!(src.contains("read_channel_intel"));
+    // Cached writes: private accumulator, no scratchpad argument.
+    assert!(src.contains("float tmp[1];"));
+    assert!(!src.contains("restrict scratchpad"));
+    // Fused activation at the channel write (Table 6.4 "Channels" note).
+    assert!(src.contains("max((tmp[0]"));
+}
+
+/// The folded MobileNet program: symbolic integer arguments and
+/// symbolically-bounded loops (Listing 5.10's shape), one kernel per
+/// (op, F, S) group.
+#[test]
+fn folded_mobilenet_program_is_parameterized() {
+    let d = Flow::new(Model::MobileNetV1, FpgaPlatform::Stratix10Sx)
+        .compile(&optimized_config(
+            Model::MobileNetV1,
+            FpgaPlatform::Stratix10Sx,
+        ))
+        .unwrap();
+    let ExecutionPlan::Folded(plan) = &d.plan else {
+        panic!("expected folded plan");
+    };
+    let one = plan
+        .kernels
+        .iter()
+        .find(|k| k.name == "conv2d_1x1_s1_relu6")
+        .expect("1x1 group kernel");
+    let src = emit_kernel(one);
+    // Symbolic dims become integer kernel arguments.
+    for p in ["int ff", "int rc", "int hh", "int ww", "int ih", "int iw"] {
+        assert!(src.contains(p), "missing arg {p} in:\n{src}");
+    }
+    // Loop bounds are symbolic expressions, not constants.
+    assert!(src.contains("ax1o < (ff / 16)"));
+    assert!(src.contains("rco < (rc / 4)"));
+    // The parameterized pad kernel exists and uses modulo addressing.
+    let pad = plan.kernels.iter().find(|k| k.name == "pad_any").unwrap();
+    let pad_src = emit_kernel(pad);
+    assert!(pad_src.contains('%'));
+    assert!(pad_src.contains("? in_fm["));
+}
+
+/// Emitted programs are deterministic (golden stability).
+#[test]
+fn codegen_is_deterministic() {
+    let a = lenet_program(&OptimizationConfig::autorun());
+    let b = lenet_program(&OptimizationConfig::autorun());
+    assert_eq!(a, b);
+}
