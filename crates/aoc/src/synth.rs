@@ -554,8 +554,8 @@ pub fn synthesize(
         let u = (h.finish() % 10_000) as f64 / 10_000.0;
         1.0 + calib.fmax_jitter * (2.0 * u - 1.0)
     };
-    let fmax = (device.base_fmax_mhz * (1.0 - degradation).max(0.2) * jitter)
-        .max(calib.fmax_floor_mhz);
+    let fmax =
+        (device.base_fmax_mhz * (1.0 - degradation).max(0.2) * jitter).max(calib.fmax_floor_mhz);
 
     let utilization = total.percentages(device.total);
     Ok(BitstreamReport {
@@ -774,12 +774,7 @@ mod tests {
         let d = dev(FpgaPlatform::Stratix10Sx);
         let calib = Calib::default();
         let f32r = synthesize_kernel(&k, &d, &AocOptions::default(), &calib);
-        let i8r = synthesize_kernel(
-            &k,
-            &d,
-            &AocOptions::with_precision(Precision::Int8),
-            &calib,
-        );
+        let i8r = synthesize_kernel(&k, &d, &AocOptions::with_precision(Precision::Int8), &calib);
         assert!(i8r.resources.dsp <= f32r.resources.dsp / 2 + 2);
         assert!(i8r.resources.ram < f32r.resources.ram);
         assert!(i8r.routing_pressure_bits() < f32r.routing_pressure_bits());

@@ -46,7 +46,13 @@ pub fn kernel_seconds(
     kernel_cycles(report, binding, device, fmax_mhz, opts, calib) / (fmax_mhz * 1e6)
 }
 
-fn node_cycles(node: &NestNode, binding: &Binding, bpc: f64, opts: &AocOptions, calib: &Calib) -> f64 {
+fn node_cycles(
+    node: &NestNode,
+    binding: &Binding,
+    bpc: f64,
+    opts: &AocOptions,
+    calib: &Calib,
+) -> f64 {
     match node {
         NestNode::Leaf { .. } => leaf_cost(node, bpc, opts, calib),
         NestNode::Loop {

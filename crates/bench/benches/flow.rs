@@ -1,39 +1,34 @@
-//! Criterion benches over the compilation flow and the event simulation:
+//! Wall-clock benches over the compilation flow and the event simulation:
 //! synthesis cost per network, steady-state batch simulation, the DSE sweep,
 //! and ablations of the float-operation flags (§4.10).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpgaccel_aoc::AocOptions;
+use fpgaccel_bench::timing::bench;
 use fpgaccel_core::bitstreams::{optimized_config, TABLE_6_6_TILINGS};
 use fpgaccel_core::{dse, Flow, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flow_compile");
-    g.sample_size(10);
+fn bench_compile() {
     for (m, p) in [
         (Model::LeNet5, FpgaPlatform::Stratix10Sx),
         (Model::MobileNetV1, FpgaPlatform::Stratix10Sx),
         (Model::ResNet34, FpgaPlatform::Stratix10Sx),
     ] {
-        g.bench_function(m.name(), |b| {
-            let flow = Flow::new(m, p);
-            let cfg = optimized_config(m, p);
-            b.iter(|| flow.compile(&cfg).unwrap())
+        let flow = Flow::new(m, p);
+        let cfg = optimized_config(m, p);
+        bench(&format!("flow_compile/{}", m.name()), 2, 3, || {
+            flow.compile(&cfg).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batch_simulation");
-    g.sample_size(10);
+fn bench_simulation() {
     let lenet = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
         .compile(&OptimizationConfig::tvm_autorun().with_concurrent())
         .unwrap();
-    g.bench_function("lenet_100_images", |b| {
-        b.iter(|| lenet.simulate_batch(100))
+    bench("batch_simulation/lenet_100_images", 5, 5, || {
+        lenet.simulate_batch(100)
     });
     let mobilenet = Flow::new(Model::MobileNetV1, FpgaPlatform::Stratix10Sx)
         .compile(&optimized_config(
@@ -41,51 +36,46 @@ fn bench_simulation(c: &mut Criterion) {
             FpgaPlatform::Stratix10Sx,
         ))
         .unwrap();
-    g.bench_function("mobilenet_3_images", |b| {
-        b.iter(|| mobilenet.simulate_batch(3))
+    bench("batch_simulation/mobilenet_3_images", 5, 5, || {
+        mobilenet.simulate_batch(3)
     });
-    g.finish();
 }
 
-fn bench_dse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("design_space");
-    g.sample_size(10);
-    g.bench_function("table_6_6_sweep", |b| {
-        b.iter(|| {
-            dse::sweep_1x1(
-                Model::MobileNetV1,
-                FpgaPlatform::Arria10Gx,
-                TABLE_6_6_TILINGS,
-            )
-        })
+fn bench_dse() {
+    bench("design_space/table_6_6_sweep", 1, 3, || {
+        dse::sweep_1x1(
+            Model::MobileNetV1,
+            FpgaPlatform::Arria10Gx,
+            TABLE_6_6_TILINGS,
+        )
     });
-    g.finish();
 }
 
 /// Ablation: -fp-relaxed/-fpc off vs on (§4.10). The strict-IEEE bitstream
 /// cannot infer the single-cycle accumulator, so simulated throughput drops.
-fn bench_float_flags_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_fp_flags");
-    g.sample_size(10);
-    for (label, aoc) in [("relaxed", AocOptions::default()), ("strict", AocOptions::strict())] {
+fn bench_float_flags_ablation() {
+    for (label, aoc) in [
+        ("relaxed", AocOptions::default()),
+        ("strict", AocOptions::strict()),
+    ] {
         let mut cfg = OptimizationConfig::tvm_autorun().with_concurrent();
         cfg.aoc = aoc;
         let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
             .compile(&cfg)
             .unwrap();
         let fps = d.simulate_batch(100).fps;
-        g.bench_function(format!("lenet_{label}_{fps:.0}fps"), |b| {
-            b.iter(|| d.simulate_batch(20))
-        });
+        bench(
+            &format!("ablation_fp_flags/lenet_{label}_{fps:.0}fps"),
+            5,
+            5,
+            || d.simulate_batch(20),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_compile,
-    bench_simulation,
-    bench_dse,
-    bench_float_flags_ablation
-);
-criterion_main!(benches);
+fn main() {
+    bench_compile();
+    bench_simulation();
+    bench_dse();
+    bench_float_flags_ablation();
+}

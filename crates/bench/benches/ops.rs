@@ -1,9 +1,9 @@
-//! Criterion benches over the real Rust substrate: the reference operators,
+//! Wall-clock benches over the real Rust substrate: the reference operators,
 //! the IR interpreter, and full-network inference. These measure genuine
 //! computation on the host (not simulated FPGA time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fpgaccel_baseline::ReferenceEngine;
+use fpgaccel_bench::timing::bench;
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::ops::{self, Activation, Conv2dParams};
 use fpgaccel_tensor::{data, Shape, Tensor};
@@ -12,57 +12,53 @@ use fpgaccel_tir::interp::Interp;
 use fpgaccel_tir::Binding;
 use std::collections::HashMap;
 
-fn bench_conv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conv2d");
+fn bench_conv() {
     // LeNet conv2: 16x11x11 out over 6 channels of 3x3.
     let input = Tensor::random(Shape::chw(6, 13, 13), 1, 1.0);
     let w = Tensor::random(Shape::kcff(16, 6, 3), 2, 0.5);
     let p = Conv2dParams::plain(1, 0);
-    g.throughput(Throughput::Elements(16 * 11 * 11 * 6 * 9));
-    g.bench_function("lenet_conv2", |b| {
-        b.iter(|| ops::conv2d(&input, &w, &p))
-    });
+    bench("conv2d/lenet_conv2", 50, 5, || ops::conv2d(&input, &w, &p));
     // One MobileNet 1x1 stage: 128 <- 128 @ 28x28.
     let input = Tensor::random(Shape::chw(128, 28, 28), 3, 1.0);
     let w = Tensor::random(Shape::kcff(128, 128, 1), 4, 0.1);
-    g.throughput(Throughput::Elements(128 * 28 * 28 * 128));
-    g.bench_function("mobilenet_1x1_128", |b| {
-        b.iter(|| ops::conv2d(&input, &w, &p))
+    bench("conv2d/mobilenet_1x1_128", 5, 5, || {
+        ops::conv2d(&input, &w, &p)
     });
     // Depthwise 3x3 @ 56x56 over 128 channels.
     let input = Tensor::random(Shape::chw(128, 58, 58), 5, 1.0);
     let w = Tensor::random(Shape(vec![128, 1, 3, 3]), 6, 0.5);
-    g.bench_function("depthwise_3x3_128", |b| {
-        b.iter(|| ops::depthwise_conv2d(&input, &w, &p))
+    bench("conv2d/depthwise_3x3_128", 10, 5, || {
+        ops::depthwise_conv2d(&input, &w, &p)
     });
-    g.finish();
 }
 
-fn bench_conv_algorithms(c: &mut Criterion) {
+fn bench_conv_algorithms() {
     // Direct vs im2col+GEMM on a MobileNet-sized 1x1 stage — the lowering
     // the CPU baselines use.
     let input = Tensor::random(Shape::chw(256, 14, 14), 20, 1.0);
     let w = Tensor::random(Shape::kcff(256, 256, 1), 21, 0.1);
     let p = Conv2dParams::plain(1, 0);
-    let mut g = c.benchmark_group("conv_algorithm");
-    g.bench_function("direct", |b| b.iter(|| ops::conv2d(&input, &w, &p)));
-    g.bench_function("im2col_gemm", |b| b.iter(|| ops::conv2d_im2col(&input, &w, &p)));
-    g.finish();
+    bench("conv_algorithm/direct", 5, 5, || {
+        ops::conv2d(&input, &w, &p)
+    });
+    bench("conv_algorithm/im2col_gemm", 5, 5, || {
+        ops::conv2d_im2col(&input, &w, &p)
+    });
 }
 
-fn bench_dense_softmax_pad(c: &mut Criterion) {
+fn bench_dense_softmax_pad() {
     let x = Tensor::random(Shape::d1(1024), 7, 1.0);
     let w = Tensor::random(Shape::d2(1000, 1024), 8, 0.05);
-    c.bench_function("dense_1000x1024", |b| {
-        b.iter(|| ops::dense(&x, &w, None, Activation::None))
+    bench("dense_1000x1024", 20, 5, || {
+        ops::dense(&x, &w, None, Activation::None)
     });
     let logits = Tensor::random(Shape::d1(1000), 9, 4.0);
-    c.bench_function("softmax_1000", |b| b.iter(|| ops::softmax(&logits)));
+    bench("softmax_1000", 200, 5, || ops::softmax(&logits));
     let fm = Tensor::random(Shape::chw(64, 56, 56), 10, 1.0);
-    c.bench_function("pad2d_64x56x56", |b| b.iter(|| ops::pad2d(&fm, 1)));
+    bench("pad2d_64x56x56", 20, 5, || ops::pad2d(&fm, 1));
 }
 
-fn bench_interpreter_vs_native(c: &mut Criterion) {
+fn bench_interpreter_vs_native() {
     // The same small convolution through the IR interpreter and natively.
     let dims = ConvDims::constant(8, 8, 10, 10, 3, 1);
     let input = Tensor::random(Shape::chw(8, 12, 12), 11, 1.0);
@@ -73,36 +69,30 @@ fn bench_interpreter_vs_native(c: &mut Criterion) {
     let mut inputs = HashMap::new();
     inputs.insert("in_fm".to_string(), input.data().to_vec());
     inputs.insert("w".to_string(), w.data().to_vec());
-
-    let mut g = c.benchmark_group("interp_vs_native");
-    g.bench_function("interpreter", |b| {
-        b.iter(|| Interp::new().run(&kernel, &Binding::empty(), &inputs))
+    bench("interp_vs_native/interpreter", 2, 3, || {
+        Interp::new().run(&kernel, &Binding::empty(), &inputs)
     });
     let p = Conv2dParams::plain(1, 0);
-    g.bench_function("native", |b| b.iter(|| ops::conv2d(&input, &w, &p)));
-    g.finish();
+    bench("interp_vs_native/native", 50, 5, || {
+        ops::conv2d(&input, &w, &p)
+    });
 }
 
-fn bench_networks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("forward_pass");
-    g.sample_size(10);
+fn bench_networks() {
     let lenet = ReferenceEngine::new(Model::LeNet5);
     let digit = data::synthetic_digit(3, 0);
-    g.bench_function("lenet5", |b| b.iter(|| lenet.infer(&digit)));
+    bench("forward_pass/lenet5", 20, 5, || lenet.infer(&digit));
     let mobilenet = ReferenceEngine::new(Model::MobileNetV1);
     let img = data::imagenet_input(0);
-    g.bench_with_input(BenchmarkId::new("mobilenet_v1", "224"), &img, |b, x| {
-        b.iter(|| mobilenet.infer(x))
+    bench("forward_pass/mobilenet_v1_224", 1, 3, || {
+        mobilenet.infer(&img)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_conv,
-    bench_conv_algorithms,
-    bench_dense_softmax_pad,
-    bench_interpreter_vs_native,
-    bench_networks
-);
-criterion_main!(benches);
+fn main() {
+    bench_conv();
+    bench_conv_algorithms();
+    bench_dense_softmax_pad();
+    bench_interpreter_vs_native();
+    bench_networks();
+}

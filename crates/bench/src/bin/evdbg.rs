@@ -10,14 +10,25 @@ fn main() {
     let stats = d.simulate_batch(3);
     println!("fps={:.0} spb={:.6}", stats.fps, stats.seconds);
     for e in stats.events.iter().take(25) {
-        println!("{:<10} {:?} q={:>9.1} s={:>9.1} e={:>9.1} dur={:>9.1}",
-            e.name, e.kind, e.queued*1e6, e.start*1e6, e.end*1e6, e.duration()*1e6);
+        println!(
+            "{:<10} {:?} q={:>9.1} s={:>9.1} e={:>9.1} dur={:>9.1}",
+            e.name,
+            e.kind,
+            e.queued * 1e6,
+            e.start * 1e6,
+            e.end * 1e6,
+            e.duration() * 1e6
+        );
     }
     for (k, s) in &stats.kernel_seconds {
         println!("{:<12} total {:>9.1}us", k, s * 1e6 / 3.0);
     }
-    println!("breakdown: kernel {:.1}us write {:.1}us read {:.1}us span {:.1}us overhead {:.2}",
-        stats.breakdown.kernel_s*1e6/3.0, stats.breakdown.write_s*1e6/3.0,
-        stats.breakdown.read_s*1e6/3.0, stats.breakdown.span_s*1e6/3.0,
-        stats.breakdown.overhead_fraction());
+    println!(
+        "breakdown: kernel {:.1}us write {:.1}us read {:.1}us span {:.1}us overhead {:.2}",
+        stats.breakdown.kernel_s * 1e6 / 3.0,
+        stats.breakdown.write_s * 1e6 / 3.0,
+        stats.breakdown.read_s * 1e6 / 3.0,
+        stats.breakdown.span_s * 1e6 / 3.0,
+        stats.breakdown.overhead_fraction()
+    );
 }

@@ -13,7 +13,11 @@ fn main() {
     for p in FpgaPlatform::ALL {
         for cfg in lenet_ladder() {
             for ce in [false, true] {
-                let cfg = if ce { cfg.clone().with_concurrent() } else { cfg.clone() };
+                let cfg = if ce {
+                    cfg.clone().with_concurrent()
+                } else {
+                    cfg.clone()
+                };
                 match Flow::new(Model::LeNet5, p).compile(&cfg) {
                     Ok(d) => {
                         let s = d.simulate_batch(200);
@@ -39,7 +43,9 @@ fn main() {
                 ("opt ", optimized_config(m, p), paper::optimized_fps(m, p)),
             ] {
                 let n = if m == Model::LeNet5 { 200 } else { 3 };
-                let got = Flow::new(m, p).compile(&cfg).map(|d| (d.simulate_batch(n), d.fit_summary()));
+                let got = Flow::new(m, p)
+                    .compile(&cfg)
+                    .map(|d| (d.simulate_batch(n), d.fit_summary()));
                 match (got, target) {
                     (Ok((s, fit)), Some(t)) => println!(
                         "{:<12} {:<6} {kind} model {:>10.3} fps  paper {:>10.3}  ratio {:>5.2}  [{fit}]",

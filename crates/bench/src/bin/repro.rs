@@ -25,7 +25,10 @@ fn main() {
         return;
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        experiments::ALL_EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+        experiments::ALL_EXPERIMENTS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect()
     } else {
         args.iter().map(String::as_str).collect()
     };

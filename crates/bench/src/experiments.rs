@@ -37,7 +37,14 @@ pub fn platforms() -> String {
     let mut t = Table::new(
         "Tables 6.1/6.2 — FPGA platforms",
         &[
-            "platform", "ALUTs", "FFs", "RAMs", "DSPs", "ext BW GB/s", "Quartus", "base fmax",
+            "platform",
+            "ALUTs",
+            "FFs",
+            "RAMs",
+            "DSPs",
+            "ext BW GB/s",
+            "Quartus",
+            "base fmax",
         ],
     );
     for p in FpgaPlatform::ALL {
@@ -94,7 +101,14 @@ pub fn fig6_1() -> String {
 pub fn fig6_2() -> String {
     let mut t = Table::new(
         "Figure 6.2 — event-profile breakdown (share of device-busy time)",
-        &["platform", "bitstream", "kernel", "write", "read", "host overhead of span"],
+        &[
+            "platform",
+            "bitstream",
+            "kernel",
+            "write",
+            "read",
+            "host overhead of span",
+        ],
     );
     for p in FpgaPlatform::ALL {
         for cfg in [OptimizationConfig::base(), OptimizationConfig::autorun()] {
@@ -122,7 +136,15 @@ pub fn fig6_2() -> String {
 pub fn tab6_5() -> String {
     let mut t = Table::new(
         "Table 6.5 — LeNet bitstream area (model | paper)",
-        &["platform", "bitstream", "logic", "RAM", "DSP", "fmax", "paper (logic/RAM/DSP/fmax)"],
+        &[
+            "platform",
+            "bitstream",
+            "logic",
+            "RAM",
+            "DSP",
+            "fmax",
+            "paper (logic/RAM/DSP/fmax)",
+        ],
     );
     for p in FpgaPlatform::ALL {
         for cfg in lenet_ladder() {
@@ -150,11 +172,23 @@ pub fn fig6_3() -> String {
     let mut t = Table::new(
         "Table 6.6 / Figure 6.3 — 1x1-conv tiling sweep, Arria 10 (model | paper)",
         &[
-            "cfg", "W2/C2/C1", "DSPs", "fmax", "logic", "RAM", "1x1 time/img",
-            "speedup vs base", "paper DSP", "paper fmax",
+            "cfg",
+            "W2/C2/C1",
+            "DSPs",
+            "fmax",
+            "logic",
+            "RAM",
+            "1x1 time/img",
+            "speedup vs base",
+            "paper DSP",
+            "paper fmax",
         ],
     );
-    let points = sweep_1x1(Model::MobileNetV1, FpgaPlatform::Arria10Gx, TABLE_6_6_TILINGS);
+    let points = sweep_1x1(
+        Model::MobileNetV1,
+        FpgaPlatform::Arria10Gx,
+        TABLE_6_6_TILINGS,
+    );
     // Base-schedule 1x1 time for the speedup column.
     let base = sweep_base_1x1_seconds();
     for (i, pnt) in points.iter().enumerate() {
@@ -217,7 +251,13 @@ fn sweep_base_1x1_seconds() -> f64 {
         .iter()
         .filter(|i| i.kernel_name.starts_with("conv2d_1x1"))
     {
-        sim.enqueue_kernel(q, bitstream.kernel(&inv.kernel_name), &inv.binding, &[], &[]);
+        sim.enqueue_kernel(
+            q,
+            bitstream.kernel(&inv.kernel_name),
+            &inv.binding,
+            &[],
+            &[],
+        );
     }
     sim.events()
         .iter()
@@ -282,7 +322,12 @@ fn per_op_table(
 ) -> String {
     let mut t = Table::new(
         title,
-        &["op", "% of FP ops", "GFLOPS per platform", "time share per platform"],
+        &[
+            "op",
+            "% of FP ops",
+            "GFLOPS per platform",
+            "time share per platform",
+        ],
     );
     let mut stats = Vec::new();
     for &p in platforms {
@@ -337,7 +382,14 @@ pub fn tab6_8() -> String {
     );
     let mut p = Table::new(
         "Table 6.8 — paper values",
-        &["op", "% FP ops", "S10MX GF", "S10SX GF", "A10 GF", "time shares (MX/SX/A10)"],
+        &[
+            "op",
+            "% FP ops",
+            "S10MX GF",
+            "S10SX GF",
+            "A10 GF",
+            "time shares (MX/SX/A10)",
+        ],
     );
     for r in paper::TABLE_6_8 {
         p.row(&[
@@ -366,7 +418,15 @@ fn inference_table(model: Model) -> String {
             format_flops(graph_flops(&g)),
             format_params(g.param_count()),
         ),
-        &["platform", "config", "FPS", "GFLOPS", "speedup", "fit", "paper FPS"],
+        &[
+            "platform",
+            "config",
+            "FPS",
+            "GFLOPS",
+            "speedup",
+            "fit",
+            "paper FPS",
+        ],
     );
     for p in FpgaPlatform::ALL {
         let mut base_fps = None;
@@ -425,7 +485,14 @@ fn comparison_table(model: Model) -> String {
             "{} vs reference platforms (FPGA speedup over each framework)",
             model.name()
         ),
-        &["platform", "FPGA FPS", "vs TF-CPU", "vs TVM-1T", "vs TVM-peak", "vs TF-cuDNN"],
+        &[
+            "platform",
+            "FPGA FPS",
+            "vs TF-CPU",
+            "vs TVM-1T",
+            "vs TVM-peak",
+            "vs TF-cuDNN",
+        ],
     );
     let tf = reference_fps(model, Framework::TfCpu);
     let tvm1 = reference_fps(model, Framework::TvmCpu { threads: 1 });
@@ -656,7 +723,10 @@ pub fn tab6_19() -> String {
     );
     t.row(&[
         "LeNet speedup vs CPU".into(),
-        format!("{:.0}x (4-core Xeon E3)", paper::relwork::DNNWEAVER_LENET_VS_CPU),
+        format!(
+            "{:.0}x (4-core Xeon E3)",
+            paper::relwork::DNNWEAVER_LENET_VS_CPU
+        ),
         format!("{vs_cpu:.2}x (Xeon 8280)"),
     ]);
     t.row(&[
@@ -711,7 +781,15 @@ pub fn quantization() -> String {
     use fpgaccel_aoc::Precision;
     let mut t = Table::new(
         "§8.1 what-if — reduced-precision datapaths (model extension)",
-        &["network", "platform", "precision", "outcome", "FPS", "DSP", "RAM"],
+        &[
+            "network",
+            "platform",
+            "precision",
+            "outcome",
+            "FPS",
+            "DSP",
+            "RAM",
+        ],
     );
     for (model, platform) in [
         (Model::MobileNetV1, FpgaPlatform::Arria10Gx),
@@ -917,6 +995,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("alexnet", alexnet),
     ("ablations", ablations),
     ("host_engine", host_engine),
+    ("serve", crate::serving::serve),
 ];
 
 /// Runs one experiment by id.

@@ -3,7 +3,7 @@
 //! The benchmark harness regenerating every table and figure of the thesis
 //! evaluation (Chapter 6 + Appendix A). The `repro` binary prints each
 //! experiment side by side with the thesis-reported values from [`paper`];
-//! the Criterion benches under `benches/` measure the real Rust substrate.
+//! the wall-clock benches under `benches/` measure the real Rust substrate.
 //!
 //! Run `cargo run -p fpgaccel-bench --bin repro --release -- all` to
 //! regenerate everything, or pass an experiment id (`fig6_1`, `tab6_9`,
@@ -13,4 +13,6 @@
 
 pub mod experiments;
 pub mod paper;
+pub mod serving;
 pub mod table;
+pub mod timing;

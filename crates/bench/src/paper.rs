@@ -142,8 +142,8 @@ mod tests {
         for m in Model::ALL {
             for p in FpgaPlatform::ALL {
                 // Optimized succeeds everywhere except ResNet on the A10.
-                let expect_ok =
-                    !(p == FpgaPlatform::Arria10Gx && matches!(m, Model::ResNet18 | Model::ResNet34));
+                let expect_ok = !(p == FpgaPlatform::Arria10Gx
+                    && matches!(m, Model::ResNet18 | Model::ResNet34));
                 assert_eq!(optimized_fps(m, p).is_some(), expect_ok, "{m:?} {p:?}");
             }
         }

@@ -1,0 +1,62 @@
+//! A small wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds hermetically (no registry access), so the benches
+//! use this self-contained warm-up + median-of-samples loop instead of
+//! Criterion. Invoke with `cargo bench`; each bench prints one line per
+//! measured function.
+
+use std::time::Instant;
+
+/// Times `f`, printing `name: median per-iteration time` over `samples`
+/// samples of `iters` iterations each (after one warm-up sample).
+pub fn bench<T, F: FnMut() -> T>(name: &str, iters: usize, samples: usize, mut f: F) {
+    let iters = iters.max(1);
+    let samples = samples.max(1);
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<40} {}", humanize(median));
+}
+
+fn humanize(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn humanize_picks_sane_units() {
+        assert_eq!(humanize(2.5), "2.500 s");
+        assert_eq!(humanize(2.5e-3), "2.500 ms");
+        assert_eq!(humanize(2.5e-6), "2.500 us");
+        assert_eq!(humanize(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut n = 0u64;
+        bench("noop", 2, 2, || n += 1);
+        assert!(n >= 4);
+    }
+}

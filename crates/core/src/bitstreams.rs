@@ -47,9 +47,7 @@ pub fn optimized_config(model: Model, platform: FpgaPlatform) -> OptimizationCon
         Model::MobileNetV1 => OptimizationConfig::folded(TilingPreset::MobileNet {
             one_by_one: mobilenet_tile(platform),
         }),
-        Model::ResNet18 | Model::ResNet34 => {
-            OptimizationConfig::folded(TilingPreset::ResNet)
-        }
+        Model::ResNet18 | Model::ResNet34 => OptimizationConfig::folded(TilingPreset::ResNet),
     }
 }
 

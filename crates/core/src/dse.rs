@@ -103,10 +103,8 @@ pub fn sweep_1x1(
                     .map(fpgaccel_runtime::SimEvent::duration)
                     .sum();
 
-                let seconds_per_image = flow
-                    .compile(&cfg)
-                    .ok()
-                    .map(|d| d.simulate_batch(1).seconds);
+                let seconds_per_image =
+                    flow.compile(&cfg).ok().map(|d| d.simulate_batch(1).seconds);
                 Ok(DseMetrics {
                     dsps: bitstream.total_resources.dsp,
                     fmax_mhz: bitstream.fmax_mhz,

@@ -133,8 +133,8 @@ impl Flow {
         let activation_bytes: u64 = match config.mode {
             ExecMode::Pipelined => {
                 // Only the network input/output live in global memory.
-                elem * (graph.input_shape().numel()
-                    + graph.nodes[graph.output].out_shape.numel()) as u64
+                elem * (graph.input_shape().numel() + graph.nodes[graph.output].out_shape.numel())
+                    as u64
             }
             ExecMode::Folded => {
                 elem * graph
@@ -177,9 +177,9 @@ mod tests {
                 OptimizationConfig::base(),
                 OptimizationConfig::tvm_autorun().with_concurrent(),
             ] {
-                let d = flow.compile(&cfg).unwrap_or_else(|e| {
-                    panic!("LeNet/{p}/{} failed: {e}", cfg.label)
-                });
+                let d = flow
+                    .compile(&cfg)
+                    .unwrap_or_else(|e| panic!("LeNet/{p}/{} failed: {e}", cfg.label));
                 assert!(d.bitstream.fmax_mhz > 100.0);
             }
         }
@@ -190,7 +190,9 @@ mod tests {
         // §6.3.2: "For the Arria 10, the network does not synthesize due to
         // insufficient board resources."
         let flow = Flow::new(Model::MobileNetV1, FpgaPlatform::Arria10Gx);
-        let err = flow.compile(&OptimizationConfig::folded_base()).unwrap_err();
+        let err = flow
+            .compile(&OptimizationConfig::folded_base())
+            .unwrap_err();
         match err {
             FlowError::Synthesis(SynthesisError::ResourceOverflow { .. }) => {}
             other => panic!("expected resource overflow, got {other:?}"),
@@ -263,7 +265,14 @@ mod memory_tests {
         let mut g = Graph::new("fat", Shape::d1(8192));
         // 16384 x 8192 f32 weights = 512 MB > 256 MB.
         let w = Tensor::zeros(Shape::d2(16384, 8192));
-        g.push_with_params("fc", Op::Dense { units: 16384 }, vec![0], Some(w), None, None);
+        g.push_with_params(
+            "fc",
+            Op::Dense { units: 16384 },
+            vec![0],
+            Some(w),
+            None,
+            None,
+        );
         let mut cfg = OptimizationConfig::folded_base();
         cfg.mode = ExecMode::Folded;
         let err = Flow::for_graph(g.clone(), FpgaPlatform::Stratix10Mx)

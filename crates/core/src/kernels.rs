@@ -62,7 +62,11 @@ pub struct GroupKey {
 impl GroupKey {
     /// Kernel name for this group (e.g. `conv2d_3x3_s1_relu`).
     pub fn kernel_name(&self) -> String {
-        let op = if self.depthwise { "conv2d_dw" } else { "conv2d" };
+        let op = if self.depthwise {
+            "conv2d_dw"
+        } else {
+            "conv2d"
+        };
         let act = match self.activation {
             Activation::None => "id",
             Activation::Relu => "relu",
@@ -95,7 +99,10 @@ fn conv_geometry(graph: &Graph, node: &Node) -> (usize, usize, usize, usize, usi
     else {
         panic!("conv_geometry on non-conv node");
     };
-    assert_eq!(pad, 0, "padding must be materialized before lowering (§3.1)");
+    assert_eq!(
+        pad, 0,
+        "padding must be materialized before lowering (§3.1)"
+    );
     let in_shape = &graph.nodes[node.inputs[0]].out_shape;
     (
         out_channels,
@@ -192,10 +199,8 @@ fn lower_node(
             let (c2, c1, h2, w2, f, s, dw) = conv_geometry(graph, node);
             let spec = ConvSpec {
                 name: node.name.clone(),
-                dims: ConvDims::constant(c2, c1, h2, w2, f, s).with_input(
-                    Dim::Const(in_shape.dim(1)),
-                    Dim::Const(in_shape.dim(2)),
-                ),
+                dims: ConvDims::constant(c2, c1, h2, w2, f, s)
+                    .with_input(Dim::Const(in_shape.dim(1)), Dim::Const(in_shape.dim(2))),
                 depthwise: dw,
                 epilogue: epilogue_of(node),
                 io_in,

@@ -34,6 +34,6 @@ pub mod kernels;
 pub mod options;
 pub mod verify;
 
-pub use deploy::{BatchStats, Deployment, InferResult};
+pub use deploy::{BatchLatencyModel, BatchStats, Deployment, ExecutionPlan, InferResult};
 pub use flow::{Flow, FlowError};
 pub use options::{ExecMode, OptimizationConfig, TilingPreset};

@@ -133,10 +133,7 @@ impl TilingPreset {
                         c1vec: tile.2,
                     }
                 } else {
-                    TilingPreset::MobileNet {
-                        one_by_one: *tile,
-                    }
-                    .schedule(dw, f, s)
+                    TilingPreset::MobileNet { one_by_one: *tile }.schedule(dw, f, s)
                 }
             }
             TilingPreset::Uniform {
@@ -393,7 +390,10 @@ mod tests {
 
     #[test]
     fn naive_preset_keeps_base_schedules() {
-        assert_eq!(TilingPreset::Naive.schedule(false, 1, 1), ConvSchedule::Base);
+        assert_eq!(
+            TilingPreset::Naive.schedule(false, 1, 1),
+            ConvSchedule::Base
+        );
         assert_eq!(TilingPreset::Naive.dense_unroll(), None);
     }
 

@@ -58,9 +58,7 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
             let data: Vec<f32> = match buf.role {
                 BufRole::Input => outputs
                     .get(&node.inputs[0])
-                    .ok_or_else(|| {
-                        format!("`{}`: producer output unavailable", node.name)
-                    })?
+                    .ok_or_else(|| format!("`{}`: producer output unavailable", node.name))?
                     .clone(),
                 BufRole::Weights => node
                     .weights
@@ -70,10 +68,7 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
                     .to_vec(),
                 // Group kernels carry the *union* epilogue; members without
                 // a given parameter bind the identity.
-                BufRole::Bias => node
-                    .bias
-                    .clone()
-                    .unwrap_or_else(|| vec![0.0; expected_len]),
+                BufRole::Bias => node.bias.clone().unwrap_or_else(|| vec![0.0; expected_len]),
                 BufRole::BnScale => node
                     .fused
                     .bn

@@ -32,6 +32,8 @@
 
 pub mod profile;
 pub mod sim;
+pub mod stats;
 
 pub use profile::Breakdown;
-pub use sim::{EventId, EventKind, QueueId, Sim, SimEvent};
+pub use sim::{EventId, EventKind, EventRetention, QueueId, Sim, SimEvent};
+pub use stats::{quantile_sorted, LatencyQuantiles};

@@ -47,6 +47,24 @@ impl SimEvent {
     }
 }
 
+/// How many completed events the simulation keeps addressable.
+///
+/// Profiling-style analyses walk the full timeline, but a serving process
+/// streaming millions of images must not grow an unbounded event log. With
+/// [`EventRetention::Recent`] the simulation folds every event into running
+/// aggregates (identical, bit for bit, to aggregating the full trace) and
+/// keeps only a ring of the newest events for dependency resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventRetention {
+    /// Keep every event (the default; required by consumers that inspect
+    /// the whole trace, e.g. the DSE sweeps and `evdbg`).
+    Full,
+    /// Keep only the most recent `n` events; older ones are dropped after
+    /// being folded into the running aggregates. Dependencies may only
+    /// reference retained events.
+    Recent(usize),
+}
+
 /// The simulation context: one device, its clock model, queues and events.
 pub struct Sim {
     /// Device being driven.
@@ -59,10 +77,23 @@ pub struct Sim {
     pub fmax_mhz: f64,
     /// OpenCL event profiler enabled (§5.2: adds host overhead per event).
     pub profiling: bool,
+    /// Event-log retention policy (see [`EventRetention`]).
+    pub retention: EventRetention,
     host_clock: f64,
     queue_last_end: Vec<f64>,
     kernel_busy: HashMap<String, f64>,
     events: Vec<SimEvent>,
+    /// Events dropped from the front of `events` under `Recent` retention.
+    dropped: usize,
+    // Running aggregates over every event ever pushed, accumulated in push
+    // order — the same order `Breakdown::of` iterates, so `breakdown()`
+    // matches a full-trace aggregation exactly.
+    agg_kernel_s: f64,
+    agg_write_s: f64,
+    agg_read_s: f64,
+    agg_first: f64,
+    agg_last: f64,
+    kernel_seconds: HashMap<String, f64>,
 }
 
 impl Sim {
@@ -74,10 +105,18 @@ impl Sim {
             calib,
             fmax_mhz,
             profiling: false,
+            retention: EventRetention::Full,
             host_clock: 0.0,
             queue_last_end: Vec::new(),
             kernel_busy: HashMap::new(),
             events: Vec::new(),
+            dropped: 0,
+            agg_kernel_s: 0.0,
+            agg_write_s: 0.0,
+            agg_read_s: 0.0,
+            agg_first: f64::INFINITY,
+            agg_last: 0.0,
+            kernel_seconds: HashMap::new(),
         }
     }
 
@@ -92,14 +131,53 @@ impl Sim {
         self.host_clock
     }
 
-    /// All recorded events.
+    /// All retained events (the full trace under [`EventRetention::Full`]).
     pub fn events(&self) -> &[SimEvent] {
         &self.events
     }
 
     /// An event by id.
+    ///
+    /// # Panics
+    /// Panics if the event was dropped under [`EventRetention::Recent`].
     pub fn event(&self, id: EventId) -> &SimEvent {
-        &self.events[id]
+        assert!(
+            id >= self.dropped,
+            "event {id} was dropped (retention keeps the last {} events)",
+            self.events.len()
+        );
+        &self.events[id - self.dropped]
+    }
+
+    /// Total number of events ever recorded, including dropped ones.
+    pub fn events_recorded(&self) -> usize {
+        self.dropped + self.events.len()
+    }
+
+    /// Latest `end` timestamp over the whole event history.
+    pub fn last_event_end(&self) -> f64 {
+        self.agg_last
+    }
+
+    /// Running time-breakdown over every event ever pushed. Identical to
+    /// `Breakdown::of(self.events())` under full retention, and still exact
+    /// when old events have been dropped.
+    pub fn breakdown(&self) -> crate::profile::Breakdown {
+        crate::profile::Breakdown {
+            kernel_s: self.agg_kernel_s,
+            write_s: self.agg_write_s,
+            read_s: self.agg_read_s,
+            span_s: if self.agg_last > self.agg_first {
+                self.agg_last - self.agg_first
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Running device-busy seconds per kernel over the whole history.
+    pub fn kernel_seconds(&self) -> &HashMap<String, f64> {
+        &self.kernel_seconds
     }
 
     fn host_enqueue_cost(&self) -> f64 {
@@ -116,21 +194,39 @@ impl Sim {
         let mut start = 0.0f64;
         let mut end_floor = 0.0f64;
         for &d in after {
-            start = start.max(self.events[d].end);
+            start = start.max(self.event(d).end);
         }
         for &d in piped {
             // Channel-coupled stage: may overlap its producer but can start
             // only once data begins flowing and cannot finish before the
             // producer finishes (§4.6).
-            start = start.max(self.events[d].start + 1e-7);
-            end_floor = end_floor.max(self.events[d].end + 1e-7);
+            start = start.max(self.event(d).start + 1e-7);
+            end_floor = end_floor.max(self.event(d).end + 1e-7);
         }
         (start, end_floor)
     }
 
     fn push(&mut self, ev: SimEvent) -> EventId {
+        self.agg_first = self.agg_first.min(ev.queued);
+        self.agg_last = self.agg_last.max(ev.end);
+        match ev.kind {
+            EventKind::Kernel | EventKind::Autorun => {
+                self.agg_kernel_s += ev.duration();
+                *self.kernel_seconds.entry(ev.name.clone()).or_default() += ev.duration();
+            }
+            EventKind::Write => self.agg_write_s += ev.duration(),
+            EventKind::Read => self.agg_read_s += ev.duration(),
+        }
         self.events.push(ev);
-        self.events.len() - 1
+        if let EventRetention::Recent(n) = self.retention {
+            let cap = n.max(1);
+            if self.events.len() > cap {
+                let excess = self.events.len() - cap;
+                self.events.drain(..excess);
+                self.dropped += excess;
+            }
+        }
+        self.dropped + self.events.len() - 1
     }
 
     /// Enqueues a host→device buffer write of `bytes` on `queue`.
@@ -209,11 +305,7 @@ impl Sim {
         // predecessor's execution (§4.7/§4.8); a host that synchronizes
         // after every task (the TVM-generated runtime) pays it in full.
         let dispatch_ready = submit + self.calib.task_overhead(self.device.platform);
-        let busy = self
-            .kernel_busy
-            .get(&report.name)
-            .copied()
-            .unwrap_or(0.0);
+        let busy = self.kernel_busy.get(&report.name).copied().unwrap_or(0.0);
         let start = dispatch_ready
             .max(dep_start)
             .max(busy)
@@ -241,11 +333,7 @@ impl Sim {
         piped: &[EventId],
     ) -> EventId {
         let (dep_start, end_floor) = self.dep_floor(&[], piped);
-        let busy = self
-            .kernel_busy
-            .get(&report.name)
-            .copied()
-            .unwrap_or(0.0);
+        let busy = self.kernel_busy.get(&report.name).copied().unwrap_or(0.0);
         let start = dep_start.max(busy);
         let dur = self.kernel_duration(report, binding);
         let end = (start + dur).max(end_floor);
@@ -276,18 +364,13 @@ impl Sim {
     /// Blocks the host until everything enqueued so far completed
     /// (`clFinish` across all queues).
     pub fn finish(&mut self) {
-        let end = self
-            .events
-            .iter()
-            .map(|e| e.end)
-            .fold(self.host_clock, f64::max);
-        self.host_clock = end;
+        self.host_clock = self.host_clock.max(self.agg_last);
     }
 
     /// Blocks the host until an event completes (`clWaitForEvents`), adding
     /// the completion-processing cost.
     pub fn wait(&mut self, ev: EventId) {
-        self.host_clock = self.host_clock.max(self.events[ev].end);
+        self.host_clock = self.host_clock.max(self.event(ev).end);
         if self.profiling {
             self.host_clock += self.calib.profiling_event_s;
         }
@@ -512,6 +595,102 @@ mod more_tests {
             assert!(e.submit <= e.start);
             assert!(e.start <= e.end);
         }
+    }
+
+    #[test]
+    fn recent_retention_matches_full_aggregates() {
+        // Stream enough images that the ring drops events; the running
+        // breakdown must equal a full-trace aggregation bit for bit.
+        let run = |retention: EventRetention| {
+            let mut sim = Sim::new(
+                FpgaPlatform::Stratix10Sx.model(),
+                AocOptions::default(),
+                Calib::default(),
+                200.0,
+            );
+            sim.retention = retention;
+            let q = sim.create_queue();
+            let r = report(FpgaPlatform::Stratix10Sx);
+            for _ in 0..40 {
+                let w = sim.enqueue_write(q, "in", 4096, &[]);
+                let k = sim.enqueue_kernel(q, &r, &Binding::empty(), &[w], &[]);
+                let rd = sim.enqueue_read(q, "out", 4096, &[k]);
+                sim.wait(rd);
+            }
+            sim.finish();
+            (sim.breakdown(), sim.now(), sim.events_recorded())
+        };
+        let (full_b, full_now, full_n) = run(EventRetention::Full);
+        let (ring_b, ring_now, ring_n) = run(EventRetention::Recent(8));
+        assert_eq!(full_b, ring_b);
+        assert_eq!(full_now, ring_now);
+        assert_eq!(full_n, ring_n);
+        assert_eq!(full_n, 120);
+    }
+
+    #[test]
+    fn recent_retention_bounds_the_event_log() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        sim.retention = EventRetention::Recent(6);
+        let q = sim.create_queue();
+        for i in 0..50 {
+            sim.enqueue_write(q, &format!("w{i}"), 1024, &[]);
+        }
+        assert_eq!(sim.events().len(), 6);
+        assert_eq!(sim.events_recorded(), 50);
+        // The retained window is the newest events, ids still stable.
+        assert_eq!(sim.events()[0].name, "w44");
+        assert_eq!(sim.event(49).name, "w49");
+    }
+
+    #[test]
+    #[should_panic(expected = "was dropped")]
+    fn dropped_events_are_not_addressable() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        sim.retention = EventRetention::Recent(2);
+        let q = sim.create_queue();
+        let first = sim.enqueue_write(q, "w", 1024, &[]);
+        for _ in 0..4 {
+            sim.enqueue_write(q, "w", 1024, &[]);
+        }
+        let _ = sim.event(first);
+    }
+
+    #[test]
+    fn running_breakdown_equals_full_trace_aggregation() {
+        let mut sim = Sim::new(
+            FpgaPlatform::Arria10Gx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let q = sim.create_queue();
+        let r = report(FpgaPlatform::Arria10Gx);
+        for _ in 0..5 {
+            let w = sim.enqueue_write(q, "in", 2048, &[]);
+            let k = sim.enqueue_kernel(q, &r, &Binding::empty(), &[w], &[]);
+            sim.enqueue_read(q, "out", 2048, &[k]);
+        }
+        let running = sim.breakdown();
+        let full = crate::profile::Breakdown::of(sim.events());
+        assert_eq!(running, full);
+        let from_events: f64 = sim
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Kernel | EventKind::Autorun))
+            .map(|e| e.duration())
+            .sum();
+        assert_eq!(sim.kernel_seconds()["k"], from_events);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Order statistics over latency samples, shared by the batch simulator
+//! and the serving metrics.
+
+/// Latency quantiles over a set of per-image (or per-request) completion
+/// times, seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyQuantiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl LatencyQuantiles {
+    /// Computes the quantiles from unsorted samples; all-zero when empty.
+    pub fn of(samples: &[f64]) -> LatencyQuantiles {
+        if samples.is_empty() {
+            return LatencyQuantiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencyQuantiles {
+            p50: quantile_sorted(&sorted, 0.50),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample set. `q` in [0, 1];
+/// returns 0.0 for an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_values() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile_sorted(&s, 0.50), 50.0);
+        assert_eq!(quantile_sorted(&s, 0.95), 95.0);
+        assert_eq!(quantile_sorted(&s, 0.99), 99.0);
+        assert_eq!(quantile_sorted(&s, 1.0), 100.0);
+        assert_eq!(quantile_sorted(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_handle_small_and_empty_sets() {
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.99), 7.0);
+        assert_eq!(LatencyQuantiles::of(&[]), LatencyQuantiles::default());
+        let q = LatencyQuantiles::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.max, 3.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let samples: Vec<f64> = (0..37).map(|i| ((i * 7919) % 101) as f64).collect();
+        let q = LatencyQuantiles::of(&samples);
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max);
+    }
+}

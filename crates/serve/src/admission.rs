@@ -1,0 +1,103 @@
+//! Admission control: bounded queues with load shedding.
+//!
+//! An overloaded accelerator pool must fail fast rather than queue without
+//! bound — a request that would blow its deadline anyway only wastes device
+//! time. Two mechanisms: a per-model queue capacity rejecting arrivals when
+//! the backlog is full (backpressure), and deadline-based shedding at
+//! dispatch time using the calibrated completion estimate.
+
+/// Admission-control policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Maximum outstanding requests per model (queued plus dispatched but
+    /// not yet complete); arrivals beyond this are shed.
+    pub queue_capacity: usize,
+    /// Default relative deadline applied to requests that carry none,
+    /// seconds. `None` disables deadline shedding for such requests.
+    pub default_deadline_s: Option<f64>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_capacity: 64,
+            default_deadline_s: None,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Whether a new arrival fits into a queue currently `depth` deep.
+    pub fn admit(&self, depth: usize) -> bool {
+        depth < self.queue_capacity.max(1)
+    }
+
+    /// The absolute completion deadline for a request arriving at
+    /// `arrival_s` carrying `deadline_s` (relative); `None` when neither
+    /// the request nor the policy imposes one.
+    pub fn absolute_deadline(&self, arrival_s: f64, deadline_s: Option<f64>) -> Option<f64> {
+        deadline_s
+            .or(self.default_deadline_s)
+            .map(|d| arrival_s + d)
+    }
+
+    /// Whether a request must be shed because its deadline precedes the
+    /// expected completion.
+    pub fn deadline_missed(
+        &self,
+        arrival_s: f64,
+        deadline_s: Option<f64>,
+        expected_completion_s: f64,
+    ) -> bool {
+        match self.absolute_deadline(arrival_s, deadline_s) {
+            Some(d) => expected_completion_s > d,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_below_capacity_only() {
+        let p = AdmissionPolicy {
+            queue_capacity: 2,
+            default_deadline_s: None,
+        };
+        assert!(p.admit(0));
+        assert!(p.admit(1));
+        assert!(!p.admit(2));
+        assert!(!p.admit(100));
+    }
+
+    #[test]
+    fn zero_capacity_still_admits_one() {
+        let p = AdmissionPolicy {
+            queue_capacity: 0,
+            default_deadline_s: None,
+        };
+        assert!(p.admit(0), "capacity clamps to 1");
+        assert!(!p.admit(1));
+    }
+
+    #[test]
+    fn request_deadline_overrides_the_default() {
+        let p = AdmissionPolicy {
+            queue_capacity: 8,
+            default_deadline_s: Some(1.0),
+        };
+        // Request's own tighter deadline wins.
+        assert!(p.deadline_missed(10.0, Some(0.1), 10.2));
+        // Policy default applies when the request carries none.
+        assert!(!p.deadline_missed(10.0, None, 10.9));
+        assert!(p.deadline_missed(10.0, None, 11.1));
+    }
+
+    #[test]
+    fn no_deadline_never_sheds() {
+        let p = AdmissionPolicy::default();
+        assert!(!p.deadline_missed(0.0, None, f64::MAX));
+    }
+}

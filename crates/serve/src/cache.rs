@@ -1,0 +1,132 @@
+//! The deployment cache: compiled bitstreams keyed by
+//! (model, platform, optimization config).
+//!
+//! Synthesis is by far the most expensive step of bringing a model onto a
+//! device, and a serving pool deploys the same model onto several devices
+//! (and re-deploys it after reconfiguration). The cache makes every compile
+//! after the first a lookup returning a shared [`Arc<Deployment>`].
+
+use fpgaccel_core::{Deployment, Flow, FlowError, OptimizationConfig};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cache of compiled deployments.
+#[derive(Default)]
+pub struct DeploymentCache {
+    entries: HashMap<String, Arc<Deployment>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DeploymentCache {
+    /// An empty cache.
+    pub fn new() -> DeploymentCache {
+        DeploymentCache::default()
+    }
+
+    /// The cache key. `OptimizationConfig` carries only plain data, so its
+    /// `Debug` rendering is a faithful structural key.
+    fn key(model: Model, platform: FpgaPlatform, config: &OptimizationConfig) -> String {
+        format!("{model:?}/{platform:?}/{config:?}")
+    }
+
+    /// Returns the cached deployment for the triple, compiling (and
+    /// caching) it on first use.
+    pub fn get_or_compile(
+        &mut self,
+        model: Model,
+        platform: FpgaPlatform,
+        config: &OptimizationConfig,
+    ) -> Result<Arc<Deployment>, FlowError> {
+        let key = Self::key(model, platform, config);
+        if let Some(d) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(d));
+        }
+        let d = Arc::new(Flow::new(model, platform).compile(config)?);
+        self.misses += 1;
+        self.entries.insert(key, Arc::clone(&d));
+        Ok(d)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (actual compiles) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct cached deployments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_triple_hits_and_shares() {
+        let mut c = DeploymentCache::new();
+        let cfg = OptimizationConfig::tvm_autorun();
+        let a = c
+            .get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &cfg)
+            .unwrap();
+        let b = c
+            .get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &cfg)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses(), c.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_config_or_platform_misses() {
+        let mut c = DeploymentCache::new();
+        let cfg = OptimizationConfig::tvm_autorun();
+        c.get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &cfg)
+            .unwrap();
+        c.get_or_compile(Model::LeNet5, FpgaPlatform::Arria10Gx, &cfg)
+            .unwrap();
+        c.get_or_compile(
+            Model::LeNet5,
+            FpgaPlatform::Stratix10Sx,
+            &cfg.clone().with_concurrent(),
+        )
+        .unwrap();
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 3, 3));
+    }
+
+    #[test]
+    fn second_compile_is_at_least_10x_faster() {
+        // The acceptance-criteria wall-clock check: a cache hit must beat
+        // recompilation by an order of magnitude.
+        let mut c = DeploymentCache::new();
+        let cfg = fpgaccel_core::bitstreams::optimized_config(
+            Model::MobileNetV1,
+            FpgaPlatform::Stratix10Sx,
+        );
+        let t0 = std::time::Instant::now();
+        c.get_or_compile(Model::MobileNetV1, FpgaPlatform::Stratix10Sx, &cfg)
+            .unwrap();
+        let cold = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        c.get_or_compile(Model::MobileNetV1, FpgaPlatform::Stratix10Sx, &cfg)
+            .unwrap();
+        let warm = t1.elapsed();
+        assert!(
+            warm * 10 <= cold,
+            "cache hit {warm:?} not 10x faster than compile {cold:?}"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Seeded load generation: open-loop Poisson arrival traces.
+//!
+//! Open-loop traffic issues requests at times independent of the server's
+//! responses (modelling a large client population), which is what exposes
+//! overload behaviour; closed-loop traffic (a fixed client pool) is driven
+//! by [`crate::service::Server::run_closed_loop`].
+
+use crate::service::Request;
+use fpgaccel_tensor::models::Model;
+use fpgaccel_tensor::rng::Rng64;
+
+/// Generates `n` requests with exponential inter-arrival gaps at
+/// `rate_rps` requests/second, choosing each request's model uniformly
+/// from `models`. Deterministic in `seed`; ids are `0..n` in arrival
+/// order.
+pub fn open_loop_poisson(seed: u64, rate_rps: f64, n: usize, models: &[Model]) -> Vec<Request> {
+    assert!(rate_rps > 0.0, "offered load must be positive");
+    assert!(!models.is_empty(), "need at least one model");
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|i| {
+            t += rng.exponential(rate_rps);
+            Request {
+                id: i as u64,
+                model: models[rng.below(models.len() as u64) as usize],
+                arrival_s: t,
+                deadline_s: None,
+                input: None,
+            }
+        })
+        .collect()
+}
+
+/// Applies a relative deadline to every request of a trace.
+pub fn with_deadline(mut requests: Vec<Request>, deadline_s: f64) -> Vec<Request> {
+    for r in &mut requests {
+        r.deadline_s = Some(deadline_s);
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_ordered() {
+        let a = open_loop_poisson(7, 100.0, 200, &[Model::LeNet5, Model::MobileNetV1]);
+        let b = open_loop_poisson(7, 100.0, 200, &[Model::LeNet5, Model::MobileNetV1]);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.model, y.model);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+    }
+
+    #[test]
+    fn mean_rate_approaches_the_offered_rate() {
+        let n = 4000;
+        let trace = open_loop_poisson(11, 250.0, n, &[Model::LeNet5]);
+        let span = trace.last().unwrap().arrival_s;
+        let rate = n as f64 / span;
+        assert!((rate - 250.0).abs() / 250.0 < 0.06, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn both_models_appear() {
+        let trace = open_loop_poisson(3, 10.0, 100, &[Model::LeNet5, Model::MobileNetV1]);
+        assert!(trace.iter().any(|r| r.model == Model::LeNet5));
+        assert!(trace.iter().any(|r| r.model == Model::MobileNetV1));
+    }
+
+    #[test]
+    fn deadlines_apply_to_every_request() {
+        let trace = with_deadline(open_loop_poisson(1, 10.0, 20, &[Model::LeNet5]), 0.05);
+        assert!(trace.iter().all(|r| r.deadline_s == Some(0.05)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Service metrics: bounded-memory latency histograms, throughput, queue
+//! depth, batch-size distribution and shed counters.
+
+use fpgaccel_runtime::stats::quantile_sorted;
+
+/// Smallest representable latency (bucket 0 upper bound), seconds.
+const BASE_S: f64 = 1e-7;
+/// Buckets per octave (resolution `2^(1/8)` ≈ 9% relative error).
+const PER_OCTAVE: f64 = 8.0;
+/// Bucket count: covers `1e-7 s · 2^(256/8)` ≈ 430 s.
+const BUCKETS: usize = 256;
+
+/// A log-bucketed latency histogram with bounded memory.
+///
+/// Buckets grow geometrically by `2^(1/8)`, so quantile estimates carry at
+/// most ~9% relative error regardless of how many samples are recorded —
+/// the standard serving-histogram trade-off.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    max_s: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            max_s: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket(latency_s: f64) -> usize {
+        if latency_s <= BASE_S {
+            return 0;
+        }
+        let idx = ((latency_s / BASE_S).log2() * PER_OCTAVE).ceil() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper latency bound of a bucket, seconds.
+    fn upper_bound(bucket: usize) -> f64 {
+        BASE_S * (bucket as f64 / PER_OCTAVE).exp2()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_s: f64) {
+        self.counts[Self::bucket(latency_s)] += 1;
+        self.total += 1;
+        self.max_s = self.max_s.max(latency_s);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum recorded latency, seconds.
+    pub fn max(&self) -> f64 {
+        self.max_s
+    }
+
+    /// Nearest-rank quantile estimate (bucket upper bound), seconds.
+    /// Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i);
+            }
+        }
+        self.max_s
+    }
+}
+
+/// Aggregated service-level metrics for one serving run.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// End-to-end request latencies (arrival → completion).
+    pub latency: LatencyHistogram,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Requests shed at dispatch (deadline unmeetable).
+    pub shed_deadline: u64,
+    /// Batches dispatched, indexed by batch size (index 0 unused).
+    pub batch_sizes: Vec<u64>,
+    /// Maximum instantaneous queue depth observed across all model queues.
+    pub peak_queue_depth: usize,
+    /// Simulated span of the run, seconds (first arrival → last completion).
+    pub span_s: f64,
+}
+
+impl ServiceMetrics {
+    /// Fresh metrics.
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Shed fraction of all admitted-or-shed requests.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.completed + self.shed();
+        if total == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / total as f64
+        }
+    }
+
+    /// Completed requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.span_s > 0.0 {
+            self.completed as f64 / self.span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean dispatched batch size.
+    pub fn mean_batch_size(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0u64);
+        for (size, &count) in self.batch_sizes.iter().enumerate() {
+            n += count;
+            sum += size as u64 * count;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    pub(crate) fn record_batch(&mut self, size: usize) {
+        if self.batch_sizes.len() <= size {
+            self.batch_sizes.resize(size + 1, 0);
+        }
+        self.batch_sizes[size] += 1;
+    }
+}
+
+/// Exact nearest-rank quantiles from raw samples — for tests validating the
+/// histogram approximation (re-exported convenience over `runtime::stats`).
+pub fn exact_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    quantile_sorted(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_exact_within_resolution() {
+        let mut h = LatencyHistogram::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 37e-6).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_quantile(&samples, q);
+            let approx = h.quantile(q);
+            assert!(approx >= exact, "upper-bound estimate must not undershoot");
+            assert!(
+                approx <= exact * 1.10,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.max() - 37e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.25) <= BASE_S);
+        assert_eq!(h.quantile(1.0), LatencyHistogram::upper_bound(BUCKETS - 1));
+    }
+
+    #[test]
+    fn metrics_aggregate_batches_and_sheds() {
+        let mut m = ServiceMetrics::new();
+        m.record_batch(1);
+        m.record_batch(4);
+        m.record_batch(4);
+        m.completed = 9;
+        m.shed_queue_full = 2;
+        m.shed_deadline = 1;
+        m.span_s = 3.0;
+        assert_eq!(m.shed(), 3);
+        assert!((m.shed_rate() - 0.25).abs() < 1e-12);
+        assert!((m.mean_batch_size() - 3.0).abs() < 1e-12);
+        assert!((m.throughput_rps() - 3.0).abs() < 1e-12);
+    }
+}

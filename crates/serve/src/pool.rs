@@ -1,0 +1,242 @@
+//! The device pool: several FPGAs, each holding one or more deployed
+//! models, with shortest-expected-completion dispatch.
+
+use crate::cache::DeploymentCache;
+use fpgaccel_core::{BatchLatencyModel, Deployment, FlowError, OptimizationConfig};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Batch size used to calibrate each deployment's [`BatchLatencyModel`].
+const CALIBRATION_PROBE: usize = 16;
+
+/// One FPGA in the pool with its deployed models.
+pub struct PooledDevice {
+    /// Human-readable name, e.g. `s10sx-0`.
+    pub name: String,
+    /// The FPGA platform.
+    pub platform: FpgaPlatform,
+    deployments: HashMap<Model, Arc<Deployment>>,
+    latency_models: HashMap<Model, BatchLatencyModel>,
+    /// Simulated seconds per deployed batch size, memoized — dispatching
+    /// re-runs the same discrete-event simulation for identical sizes.
+    batch_seconds: HashMap<(Model, usize), f64>,
+    /// Simulated time until which the device executes already-dispatched
+    /// batches.
+    busy_until_s: f64,
+}
+
+impl PooledDevice {
+    fn new(name: String, platform: FpgaPlatform) -> PooledDevice {
+        PooledDevice {
+            name,
+            platform,
+            deployments: HashMap::new(),
+            latency_models: HashMap::new(),
+            batch_seconds: HashMap::new(),
+            busy_until_s: 0.0,
+        }
+    }
+
+    /// The deployment serving `model`, if deployed here.
+    pub fn deployment(&self, model: Model) -> Option<&Arc<Deployment>> {
+        self.deployments.get(&model)
+    }
+
+    /// Calibrated latency model for `model`, if deployed here.
+    pub fn latency_model(&self, model: Model) -> Option<BatchLatencyModel> {
+        self.latency_models.get(&model).copied()
+    }
+
+    /// Simulated execution seconds for a batch of `n` images of `model`
+    /// (exact `simulate_batch` result, memoized per size).
+    pub fn batch_seconds(&mut self, model: Model, n: usize) -> f64 {
+        let d = Arc::clone(&self.deployments[&model]);
+        *self
+            .batch_seconds
+            .entry((model, n))
+            .or_insert_with(|| d.simulate_batch(n).seconds)
+    }
+
+    /// When the device becomes idle, simulated seconds.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until_s
+    }
+}
+
+/// A choice made by the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dispatch {
+    /// Index of the chosen device in the pool.
+    pub device: usize,
+    /// When the batch starts (device ready, but not before `now`).
+    pub start_s: f64,
+    /// Predicted completion from the calibrated latency model.
+    pub expected_completion_s: f64,
+}
+
+/// A pool of FPGAs sharing a deployment cache.
+pub struct DevicePool {
+    devices: Vec<PooledDevice>,
+    cache: DeploymentCache,
+}
+
+impl Default for DevicePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DevicePool {
+    /// An empty pool.
+    pub fn new() -> DevicePool {
+        DevicePool {
+            devices: Vec::new(),
+            cache: DeploymentCache::new(),
+        }
+    }
+
+    /// Adds a device to the pool; returns its index. Names are
+    /// `<platform>-<n>` by position.
+    pub fn add_device(&mut self, platform: FpgaPlatform) -> usize {
+        let n = self
+            .devices
+            .iter()
+            .filter(|d| d.platform == platform)
+            .count();
+        let name = format!("{}-{n}", platform.label().to_lowercase());
+        self.devices.push(PooledDevice::new(name, platform));
+        self.devices.len() - 1
+    }
+
+    /// Deploys `model` with `config` onto device `device`, compiling
+    /// through the shared cache and calibrating the latency model.
+    pub fn deploy(
+        &mut self,
+        device: usize,
+        model: Model,
+        config: &OptimizationConfig,
+    ) -> Result<(), FlowError> {
+        let platform = self.devices[device].platform;
+        let d = self.cache.get_or_compile(model, platform, config)?;
+        let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
+        let dev = &mut self.devices[device];
+        dev.deployments.insert(model, d);
+        dev.latency_models.insert(model, lm);
+        Ok(())
+    }
+
+    /// The devices in the pool.
+    pub fn devices(&self) -> &[PooledDevice] {
+        &self.devices
+    }
+
+    /// Mutable device access (the server updates `busy_until`).
+    pub(crate) fn device_mut(&mut self, i: usize) -> &mut PooledDevice {
+        &mut self.devices[i]
+    }
+
+    /// The shared deployment cache.
+    pub fn cache(&self) -> &DeploymentCache {
+        &self.cache
+    }
+
+    /// Picks the device with the shortest expected completion for a batch
+    /// of `n` images of `model` dispatched at `now` — least-loaded wins,
+    /// weighted by each device's calibrated per-image latency. Ties break
+    /// to the lowest index for determinism. `None` if no device serves the
+    /// model.
+    pub fn dispatch(&self, model: Model, n: usize, now_s: f64) -> Option<Dispatch> {
+        let mut best: Option<Dispatch> = None;
+        for (i, dev) in self.devices.iter().enumerate() {
+            let Some(lm) = dev.latency_models.get(&model) else {
+                continue;
+            };
+            let start_s = now_s.max(dev.busy_until_s);
+            let expected_completion_s = start_s + lm.seconds(n);
+            if best.is_none_or(|b| expected_completion_s < b.expected_completion_s) {
+                best = Some(Dispatch {
+                    device: i,
+                    start_s,
+                    expected_completion_s,
+                });
+            }
+        }
+        best
+    }
+
+    /// Marks a device busy executing until `until_s`.
+    pub(crate) fn commit(&mut self, device: usize, until_s: f64) {
+        let d = &mut self.devices[device];
+        d.busy_until_s = d.busy_until_s.max(until_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpgaccel_core::bitstreams::optimized_config;
+
+    fn pool_with_two_s10(model: Model) -> DevicePool {
+        let mut pool = DevicePool::new();
+        let cfg = optimized_config(model, FpgaPlatform::Stratix10Sx);
+        let a = pool.add_device(FpgaPlatform::Stratix10Sx);
+        let b = pool.add_device(FpgaPlatform::Stratix10Sx);
+        pool.deploy(a, model, &cfg).unwrap();
+        pool.deploy(b, model, &cfg).unwrap();
+        pool
+    }
+
+    #[test]
+    fn deploying_same_model_twice_reuses_the_cache() {
+        let pool = pool_with_two_s10(Model::LeNet5);
+        assert_eq!(pool.cache().misses(), 1);
+        assert_eq!(pool.cache().hits(), 1);
+        assert!(Arc::ptr_eq(
+            pool.devices()[0].deployment(Model::LeNet5).unwrap(),
+            pool.devices()[1].deployment(Model::LeNet5).unwrap()
+        ));
+    }
+
+    #[test]
+    fn dispatch_prefers_the_idle_device() {
+        let mut pool = pool_with_two_s10(Model::LeNet5);
+        let first = pool.dispatch(Model::LeNet5, 4, 0.0).unwrap();
+        assert_eq!(first.device, 0, "tie breaks to lowest index");
+        pool.commit(first.device, 1.0);
+        let second = pool.dispatch(Model::LeNet5, 4, 0.0).unwrap();
+        assert_eq!(second.device, 1, "busy device loses");
+        assert_eq!(second.start_s, 0.0);
+    }
+
+    #[test]
+    fn dispatch_prefers_the_faster_platform_when_idle() {
+        let mut pool = DevicePool::new();
+        let slow = pool.add_device(FpgaPlatform::Arria10Gx);
+        let fast = pool.add_device(FpgaPlatform::Stratix10Sx);
+        let m = Model::LeNet5;
+        pool.deploy(slow, m, &optimized_config(m, FpgaPlatform::Arria10Gx))
+            .unwrap();
+        pool.deploy(fast, m, &optimized_config(m, FpgaPlatform::Stratix10Sx))
+            .unwrap();
+        let d = pool.dispatch(m, 8, 0.0).unwrap();
+        assert_eq!(d.device, fast);
+    }
+
+    #[test]
+    fn dispatch_returns_none_for_undeployed_models() {
+        let pool = pool_with_two_s10(Model::LeNet5);
+        assert!(pool.dispatch(Model::MobileNetV1, 1, 0.0).is_none());
+    }
+
+    #[test]
+    fn batch_seconds_memoizes_the_simulation() {
+        let mut pool = pool_with_two_s10(Model::LeNet5);
+        let dev = pool.device_mut(0);
+        let a = dev.batch_seconds(Model::LeNet5, 8);
+        let b = dev.batch_seconds(Model::LeNet5, 8);
+        assert_eq!(a, b);
+        assert!(dev.batch_seconds(Model::LeNet5, 16) > a);
+    }
+}

@@ -1,0 +1,376 @@
+//! The serving event loop: admission → dynamic batching → dispatch over
+//! the device pool, all in deterministic simulated time.
+
+use crate::admission::AdmissionPolicy;
+use crate::batcher::{BatchPolicy, DynamicBatcher};
+use crate::metrics::ServiceMetrics;
+use crate::pool::DevicePool;
+use fpgaccel_tensor::models::Model;
+use fpgaccel_tensor::rng::Rng64;
+use fpgaccel_tensor::Tensor;
+use std::collections::HashMap;
+
+/// One inference request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the outcome.
+    pub id: u64,
+    /// Which network to run.
+    pub model: Model,
+    /// Arrival time, simulated seconds.
+    pub arrival_s: f64,
+    /// Relative completion deadline, seconds (overrides the admission
+    /// policy's default).
+    pub deadline_s: Option<f64>,
+    /// Input tensor. `None` runs the request timing-only (load-generator
+    /// traffic); `Some` computes the real network output.
+    pub input: Option<Tensor>,
+}
+
+/// A successfully served request.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// Model served.
+    pub model: Model,
+    /// Pool index of the device that executed the batch.
+    pub device: usize,
+    /// Arrival time, seconds.
+    pub arrival_s: f64,
+    /// Completion time, seconds.
+    pub completion_s: f64,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Network output, when the request carried an input.
+    pub output: Option<Tensor>,
+}
+
+impl Completion {
+    /// End-to-end latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The model's queue was at capacity on arrival.
+    QueueFull,
+    /// The expected completion exceeded the deadline at dispatch time.
+    Deadline,
+    /// No device in the pool serves the model.
+    Unserved,
+}
+
+/// A shed request.
+#[derive(Clone, Copy, Debug)]
+pub struct Shed {
+    /// Request id.
+    pub id: u64,
+    /// Model requested.
+    pub model: Model,
+    /// Shed time, seconds.
+    pub time_s: f64,
+    /// Why.
+    pub reason: ShedReason,
+}
+
+/// Everything a serving run produced.
+pub struct RunResult {
+    /// Completed requests, in completion order.
+    pub completions: Vec<Completion>,
+    /// Shed requests, in shed order.
+    pub sheds: Vec<Shed>,
+    /// Aggregated metrics.
+    pub metrics: ServiceMetrics,
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeConfig {
+    /// Dynamic-batching policy (applied per model).
+    pub batch: BatchPolicy,
+    /// Admission-control policy.
+    pub admission: AdmissionPolicy,
+}
+
+struct ModelState {
+    model: Model,
+    batcher: DynamicBatcher,
+    /// Completion times of dispatched-but-unfinished requests; together
+    /// with the queue this is the outstanding work admission bounds.
+    inflight: Vec<f64>,
+}
+
+/// A multi-device inference server over simulated time.
+pub struct Server {
+    pool: DevicePool,
+    cfg: ServeConfig,
+    // Per-model state in a Vec (not a HashMap) so every iteration order is
+    // deterministic.
+    states: Vec<ModelState>,
+    completions: Vec<Completion>,
+    sheds: Vec<Shed>,
+    /// (request id, resolution time) in recording order — the response
+    /// stream closed-loop clients consume.
+    resolutions: Vec<(u64, f64)>,
+    metrics: ServiceMetrics,
+    first_arrival_s: f64,
+    last_event_s: f64,
+}
+
+impl Server {
+    /// A server over a configured pool.
+    pub fn new(pool: DevicePool, cfg: ServeConfig) -> Server {
+        Server {
+            pool,
+            cfg,
+            states: Vec::new(),
+            completions: Vec::new(),
+            sheds: Vec::new(),
+            resolutions: Vec::new(),
+            metrics: ServiceMetrics::new(),
+            first_arrival_s: f64::INFINITY,
+            last_event_s: 0.0,
+        }
+    }
+
+    /// The pool (for inspection after a run).
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    fn state_idx(&mut self, model: Model) -> usize {
+        if let Some(i) = self.states.iter().position(|s| s.model == model) {
+            return i;
+        }
+        self.states.push(ModelState {
+            model,
+            batcher: DynamicBatcher::new(self.cfg.batch),
+            inflight: Vec::new(),
+        });
+        self.states.len() - 1
+    }
+
+    /// Earliest wait-timer expiry over all non-empty queues (value, index).
+    fn next_timer(&self) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if let Some(d) = s.batcher.flush_deadline() {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+        best
+    }
+
+    fn handle_arrival(&mut self, req: Request) {
+        self.first_arrival_s = self.first_arrival_s.min(req.arrival_s);
+        self.last_event_s = self.last_event_s.max(req.arrival_s);
+        if self.pool.dispatch(req.model, 1, req.arrival_s).is_none() {
+            self.shed(req.id, req.model, req.arrival_s, ShedReason::Unserved);
+            return;
+        }
+        let t = req.arrival_s;
+        let i = self.state_idx(req.model);
+        let s = &mut self.states[i];
+        // Outstanding work = still queued + dispatched but not yet
+        // complete; bounding it (not just the queue) is what pushes back
+        // on a producer outrunning the pool.
+        s.inflight.retain(|&c| c > t);
+        let depth = s.batcher.len() + s.inflight.len();
+        if !self.cfg.admission.admit(depth) {
+            self.shed(req.id, req.model, t, ShedReason::QueueFull);
+            return;
+        }
+        let full = self.states[i].batcher.push(req);
+        self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(depth + 1);
+        if full {
+            self.flush(i, t);
+        }
+    }
+
+    fn shed(&mut self, id: u64, model: Model, time_s: f64, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull | ShedReason::Unserved => self.metrics.shed_queue_full += 1,
+            ShedReason::Deadline => self.metrics.shed_deadline += 1,
+        }
+        self.sheds.push(Shed {
+            id,
+            model,
+            time_s,
+            reason,
+        });
+        self.resolutions.push((id, time_s));
+    }
+
+    /// Dispatches the batch forming in `states[i]` at simulated time `t`.
+    fn flush(&mut self, i: usize, t: f64) {
+        let model = self.states[i].model;
+        let mut batch = self.states[i].batcher.take_batch();
+        if batch.is_empty() {
+            return;
+        }
+        // Expected completion from the calibrated latency model drives both
+        // device choice and deadline shedding.
+        let d = self
+            .pool
+            .dispatch(model, batch.len(), t)
+            .expect("arrival admitted only when the model is served");
+        let adm = self.cfg.admission;
+        let before = batch.len();
+        let mut kept = Vec::with_capacity(batch.len());
+        for r in batch.drain(..) {
+            if adm.deadline_missed(r.arrival_s, r.deadline_s, d.expected_completion_s) {
+                self.shed(r.id, model, t, ShedReason::Deadline);
+            } else {
+                kept.push(r);
+            }
+        }
+        let batch = kept;
+        if batch.is_empty() {
+            return;
+        }
+        // Shedding shrank the batch: re-score so the commitment matches
+        // what actually executes.
+        let d = if batch.len() != before {
+            self.pool.dispatch(model, batch.len(), t).unwrap()
+        } else {
+            d
+        };
+        let dev = self.pool.device_mut(d.device);
+        let exec_s = dev.batch_seconds(model, batch.len());
+        let completion_s = d.start_s + exec_s;
+        let deployment = dev
+            .deployment(model)
+            .map(std::sync::Arc::clone)
+            .expect("dispatch chose a device serving the model");
+        self.pool.commit(d.device, completion_s);
+        self.last_event_s = self.last_event_s.max(completion_s);
+        self.metrics.record_batch(batch.len());
+        let size = batch.len();
+        self.states[i]
+            .inflight
+            .extend(std::iter::repeat_n(completion_s, size));
+        for r in batch {
+            let output = r.input.as_ref().map(|x| deployment.graph.execute(x));
+            self.metrics.latency.record(completion_s - r.arrival_s);
+            self.metrics.completed += 1;
+            self.resolutions.push((r.id, completion_s));
+            self.completions.push(Completion {
+                id: r.id,
+                model,
+                device: d.device,
+                arrival_s: r.arrival_s,
+                completion_s,
+                batch_size: size,
+                output,
+            });
+        }
+    }
+
+    /// Flushes every queue whose wait timer expires at or before `t`.
+    fn advance_until(&mut self, t: f64) {
+        while let Some((deadline, i)) = self.next_timer() {
+            if deadline > t {
+                break;
+            }
+            self.flush(i, deadline);
+        }
+    }
+
+    fn finish(mut self) -> RunResult {
+        self.advance_until(f64::INFINITY);
+        self.metrics.span_s = if self.first_arrival_s.is_finite() {
+            (self.last_event_s - self.first_arrival_s).max(0.0)
+        } else {
+            0.0
+        };
+        RunResult {
+            completions: self.completions,
+            sheds: self.sheds,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Serves a pre-generated (open-loop) request trace to exhaustion.
+    /// Requests are processed in arrival order regardless of input order.
+    pub fn run_open_loop(mut self, mut requests: Vec<Request>) -> RunResult {
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
+        for req in requests {
+            self.advance_until(req.arrival_s);
+            self.handle_arrival(req);
+        }
+        self.finish()
+    }
+
+    /// Serves `total` requests from `clients` closed-loop clients. Each
+    /// client issues a request for `model`, waits for its completion (or
+    /// shed), thinks an exponential time with mean `think_s`, and repeats.
+    pub fn run_closed_loop(
+        mut self,
+        model: Model,
+        clients: usize,
+        think_s: f64,
+        total: usize,
+        seed: u64,
+    ) -> RunResult {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let think = think_s.max(1e-9);
+        // Next issue time per client; INFINITY while blocked on a response.
+        // Clients start staggered by one think time each.
+        let mut next_issue: Vec<f64> = (0..clients.max(1))
+            .map(|_| rng.exponential(1.0 / think))
+            .collect();
+        // request id -> client waiting on it
+        let mut waiting: HashMap<u64, usize> = HashMap::new();
+        let mut issued = 0usize;
+        let mut delivered = 0usize;
+
+        loop {
+            // Deliver any responses recorded since the last turn: the
+            // owning client starts thinking at the resolution time.
+            while delivered < self.resolutions.len() {
+                let (id, at) = self.resolutions[delivered];
+                delivered += 1;
+                if let Some(c) = waiting.remove(&id) {
+                    next_issue[c] = at + rng.exponential(1.0 / think);
+                }
+            }
+            let next_client = if issued < total {
+                next_issue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.is_finite())
+                    .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                    .map(|(c, &t)| (t, c))
+            } else {
+                None
+            };
+            match (next_client, self.next_timer()) {
+                // Issue next request when it precedes every queue timer.
+                (Some((tc, c)), timer) if timer.is_none_or(|(tt, _)| tc <= tt) => {
+                    let id = issued as u64;
+                    issued += 1;
+                    waiting.insert(id, c);
+                    next_issue[c] = f64::INFINITY;
+                    self.handle_arrival(Request {
+                        id,
+                        model,
+                        arrival_s: tc,
+                        deadline_s: None,
+                        input: None,
+                    });
+                }
+                (_, Some((tt, i))) => self.flush(i, tt),
+                // No client ready and no queued work: the run is complete
+                // (the guard above always fires when no timer is armed).
+                _ => break,
+            }
+        }
+        self.finish()
+    }
+}

@@ -9,10 +9,9 @@
 //! and correctness is validated against the reference engine on identical
 //! inputs.
 
+use crate::rng::Rng64;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// MNIST image side length.
 pub const MNIST_SIDE: usize = 28;
@@ -22,13 +21,16 @@ pub const IMAGENET_SIDE: usize = 224;
 /// A synthetic 1x28x28 "digit": class-dependent sinusoidal stroke pattern
 /// plus seeded noise, normalized to `[0, 1]`.
 pub fn synthetic_digit(class: usize, seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(class as u64));
+    let mut rng = Rng64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(class as u64));
     let mut data = Vec::with_capacity(MNIST_SIDE * MNIST_SIDE);
-    let (fy, fx) = (0.3 + 0.15 * (class % 5) as f32, 0.2 + 0.1 * (class / 5) as f32);
+    let (fy, fx) = (
+        0.3 + 0.15 * (class % 5) as f32,
+        0.2 + 0.1 * (class / 5) as f32,
+    );
     for y in 0..MNIST_SIDE {
         for x in 0..MNIST_SIDE {
             let stroke = ((y as f32 * fy).sin() * (x as f32 * fx).cos()).abs();
-            let noise: f32 = rng.gen_range(0.0..0.15);
+            let noise: f32 = rng.range(0.0, 0.15);
             data.push((stroke * 0.85 + noise).min(1.0));
         }
     }
@@ -44,11 +46,11 @@ pub fn digit_batch(n: usize, seed: u64) -> Vec<Tensor> {
 
 /// A seeded random 3x224x224 ImageNet-size input in `[0, 1]`.
 pub fn imagenet_input(seed: u64) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let n = 3 * IMAGENET_SIDE * IMAGENET_SIDE;
     Tensor::from_vec(
         Shape::chw(3, IMAGENET_SIDE, IMAGENET_SIDE),
-        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect(),
+        (0..n).map(|_| rng.uniform()).collect(),
     )
 }
 

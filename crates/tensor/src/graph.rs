@@ -152,11 +152,7 @@ impl Node {
         self.weights.as_ref().map_or(0, Tensor::numel)
             + self.bias.as_ref().map_or(0, Vec::len)
             + self.bn.as_ref().map_or(0, |(s, b)| s.len() + b.len())
-            + self
-                .fused
-                .bn
-                .as_ref()
-                .map_or(0, |(s, b)| s.len() + b.len())
+            + self.fused.bn.as_ref().map_or(0, |(s, b)| s.len() + b.len())
     }
 }
 
@@ -633,7 +629,14 @@ mod tests {
         let r = g.push("relu1", Op::Relu, vec![c]);
         let f = g.push("flatten", Op::Flatten, vec![r]);
         let wd = Tensor::random(Shape::d2(3, 64), 2, 0.1);
-        let d = g.push_with_params("dense1", Op::Dense { units: 3 }, vec![f], Some(wd), None, None);
+        let d = g.push_with_params(
+            "dense1",
+            Op::Dense { units: 3 },
+            vec![f],
+            Some(wd),
+            None,
+            None,
+        );
         g.push("softmax", Op::Softmax, vec![d]);
         g
     }
@@ -672,7 +675,12 @@ mod tests {
             Activation::Relu
         );
         let x = Tensor::random(Shape::chw(1, 6, 6), 4, 1.0);
-        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-6, 1e-6));
+        assert!(crate::allclose(
+            &g.execute(&x),
+            &fused.execute(&x),
+            1e-6,
+            1e-6
+        ));
     }
 
     #[test]
@@ -714,13 +722,21 @@ mod tests {
         g.push("relu", Op::Relu, vec![s]);
 
         let fused = g.fuse();
-        assert!(fused.nodes.iter().all(|n| n.op != Op::Add && n.op != Op::Relu));
+        assert!(fused
+            .nodes
+            .iter()
+            .all(|n| n.op != Op::Add && n.op != Op::Relu));
         let convb = fused.nodes.iter().find(|n| n.name == "conv_b").unwrap();
         assert!(convb.fused.add_from.is_some());
         assert_eq!(convb.fused.activation, Activation::Relu);
 
         let x = Tensor::random(Shape::chw(2, 5, 5), 7, 1.0);
-        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-5, 1e-6));
+        assert!(crate::allclose(
+            &g.execute(&x),
+            &fused.execute(&x),
+            1e-5,
+            1e-6
+        ));
     }
 
     #[test]
@@ -756,7 +772,12 @@ mod tests {
         assert!(conv.fused.bn.is_some());
         assert_eq!(conv.fused.activation, Activation::Relu);
         let x = Tensor::random(Shape::chw(1, 4, 4), 9, 1.0);
-        assert!(crate::allclose(&g.execute(&x), &fused.execute(&x), 1e-5, 1e-6));
+        assert!(crate::allclose(
+            &g.execute(&x),
+            &fused.execute(&x),
+            1e-5,
+            1e-6
+        ));
     }
 
     #[test]
@@ -780,10 +801,7 @@ mod tests {
         let m = g.materialize_padding();
         assert_eq!(m.nodes.len(), 3);
         assert!(matches!(m.nodes[1].op, Op::Pad { pad: 1 }));
-        assert!(matches!(
-            m.nodes[2].op,
-            Op::Conv2d { pad: 0, .. }
-        ));
+        assert!(matches!(m.nodes[2].op, Op::Conv2d { pad: 0, .. }));
         let x = Tensor::random(Shape::chw(1, 4, 4), 11, 1.0);
         assert!(crate::allclose(&g.execute(&x), &m.execute(&x), 1e-6, 1e-6));
     }

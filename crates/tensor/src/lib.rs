@@ -34,6 +34,8 @@ pub mod flops;
 pub mod graph;
 pub mod models;
 pub mod ops;
+pub mod par;
+pub mod rng;
 pub mod shape;
 pub mod tensor;
 

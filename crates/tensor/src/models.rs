@@ -22,8 +22,15 @@ fn layer_seed(model: &str, layer: &str) -> u64 {
 fn bn_params(model: &str, layer: &str, channels: usize) -> (Vec<f32>, Vec<f32>) {
     // Mild per-channel scale/shift so fusion correctness is actually
     // exercised, while keeping activations stable through deep stacks.
-    let t = Tensor::random(Shape::d1(2 * channels), layer_seed(model, layer) ^ 0xBEEF, 1.0);
-    let scale = t.data()[..channels].iter().map(|v| 0.9 + 0.2 * v.abs()).collect();
+    let t = Tensor::random(
+        Shape::d1(2 * channels),
+        layer_seed(model, layer) ^ 0xBEEF,
+        1.0,
+    );
+    let scale = t.data()[..channels]
+        .iter()
+        .map(|v| 0.9 + 0.2 * v.abs())
+        .collect();
     let shift = t.data()[channels..].iter().map(|v| 0.05 * v).collect();
     (scale, shift)
 }
@@ -126,7 +133,14 @@ impl Builder {
         )
     }
 
-    fn dwconv(&mut self, name: &str, from: NodeId, kernel: usize, stride: usize, pad: usize) -> NodeId {
+    fn dwconv(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> NodeId {
         let c = self.g.nodes[from].out_shape.dim(0);
         let w = Tensor::he_init(
             Shape(vec![c, 1, kernel, kernel]),

@@ -6,7 +6,6 @@ use crate::shape::conv_out_shape;
 #[cfg(test)]
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Hyper-parameters of a convolution (§2.1.2): stride `S`, zero-padding `P`,
 /// and the fused epilogue (bias + activation) the flow attaches after the
@@ -85,36 +84,34 @@ pub fn conv2d(input: &Tensor, weights: &Tensor, p: &Conv2dParams) -> Tensor {
     let wdata = weights.data();
 
     let mut out = vec![0.0f32; k * h2 * w2];
-    out.par_chunks_mut(h2 * w2)
-        .enumerate()
-        .for_each(|(ax1, plane)| {
-            for yy in 0..h2 {
-                for xx in 0..w2 {
-                    let mut acc = 0.0f32;
-                    for rc in 0..c1 {
-                        for ry in 0..f {
-                            // Signed coordinate before padding removal.
-                            let iy = (p.stride * yy + ry) as isize - p.pad as isize;
-                            if iy < 0 || iy >= h1 as isize {
+    crate::par::for_each_chunk_mut(&mut out, h2 * w2, |ax1, plane| {
+        for yy in 0..h2 {
+            for xx in 0..w2 {
+                let mut acc = 0.0f32;
+                for rc in 0..c1 {
+                    for ry in 0..f {
+                        // Signed coordinate before padding removal.
+                        let iy = (p.stride * yy + ry) as isize - p.pad as isize;
+                        if iy < 0 || iy >= h1 as isize {
+                            continue;
+                        }
+                        for rx in 0..f {
+                            let ix = (p.stride * xx + rx) as isize - p.pad as isize;
+                            if ix < 0 || ix >= w1 as isize {
                                 continue;
                             }
-                            for rx in 0..f {
-                                let ix = (p.stride * xx + rx) as isize - p.pad as isize;
-                                if ix < 0 || ix >= w1 as isize {
-                                    continue;
-                                }
-                                let iv = idata
-                                    [rc * istride[0] + iy as usize * istride[1] + ix as usize];
-                                let wv = wdata
-                                    [ax1 * wstride[0] + rc * wstride[1] + ry * wstride[2] + rx];
-                                acc += iv * wv;
-                            }
+                            let iv =
+                                idata[rc * istride[0] + iy as usize * istride[1] + ix as usize];
+                            let wv =
+                                wdata[ax1 * wstride[0] + rc * wstride[1] + ry * wstride[2] + rx];
+                            acc += iv * wv;
                         }
                     }
-                    plane[yy * w2 + xx] = p.epilogue(ax1, acc);
                 }
+                plane[yy * w2 + xx] = p.epilogue(ax1, acc);
             }
-        });
+        }
+    });
     Tensor::from_vec(out_shape, out)
 }
 
@@ -140,7 +137,7 @@ pub fn depthwise_conv2d(input: &Tensor, weights: &Tensor, p: &Conv2dParams) -> T
     let wdata = weights.data();
 
     let mut out = vec![0.0f32; c * h2 * w2];
-    out.par_chunks_mut(h2 * w2).enumerate().for_each(|(ch, plane)| {
+    crate::par::for_each_chunk_mut(&mut out, h2 * w2, |ch, plane| {
         for yy in 0..h2 {
             for xx in 0..w2 {
                 let mut acc = 0.0f32;
@@ -194,10 +191,7 @@ mod tests {
     #[test]
     fn hand_computed_3x3() {
         // 1x3x3 input = 1..9, single 3x3 all-ones filter: output = sum = 45.
-        let input = Tensor::from_vec(
-            Shape::chw(1, 3, 3),
-            (1..=9).map(|v| v as f32).collect(),
-        );
+        let input = Tensor::from_vec(Shape::chw(1, 3, 3), (1..=9).map(|v| v as f32).collect());
         let w = Tensor::full(Shape::kcff(1, 1, 3), 1.0);
         let y = conv2d(&input, &w, &Conv2dParams::plain(1, 0));
         assert_eq!(y.data(), &[45.0]);

@@ -52,10 +52,7 @@ mod tests {
     #[test]
     fn matrix_vector_identity() {
         let x = Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]);
-        let w = Tensor::from_vec(
-            Shape::d2(3, 3),
-            vec![1., 0., 0., 0., 1., 0., 0., 0., 1.],
-        );
+        let w = Tensor::from_vec(Shape::d2(3, 3), vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
         let y = dense(&x, &w, None, Activation::None);
         assert_eq!(y.data(), x.data());
     }

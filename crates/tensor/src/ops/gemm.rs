@@ -9,7 +9,6 @@
 use super::conv::Conv2dParams;
 use crate::shape::{conv_out_shape, Shape};
 use crate::tensor::Tensor;
-use rayon::prelude::*;
 
 /// Dense row-major matrix multiply `C[m x n] = A[m x k] * B[k x n]`,
 /// rayon-parallel over rows of `A`.
@@ -25,7 +24,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+    crate::par::for_each_chunk_mut(&mut out, n, |i, row| {
         let arow = &ad[i * k..(i + 1) * k];
         // k-outer accumulation keeps the inner loop contiguous over B.
         for (kk, &av) in arow.iter().enumerate() {
@@ -56,7 +55,7 @@ pub fn im2col(input: &Tensor, f: usize, stride: usize, pad: usize) -> Tensor {
     let cols = h2 * w2;
     let idata = input.data();
     let mut m = vec![0.0f32; rows * cols];
-    m.par_chunks_mut(cols).enumerate().for_each(|(row, dst)| {
+    crate::par::for_each_chunk_mut(&mut m, cols, |row, dst| {
         let rc = row / (f * f);
         let ry = (row / f) % f;
         let rx = row % f;
@@ -146,7 +145,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimensions")]
     fn matmul_rejects_mismatch() {
-        matmul(&Tensor::zeros(Shape::d2(2, 3)), &Tensor::zeros(Shape::d2(2, 3)));
+        matmul(
+            &Tensor::zeros(Shape::d2(2, 3)),
+            &Tensor::zeros(Shape::d2(2, 3)),
+        );
     }
 
     #[test]
@@ -179,7 +181,10 @@ mod tests {
             stride: 2,
             pad: 1,
             bias: Some((0..5).map(|i| i as f32 * 0.1).collect()),
-            bn: Some(((0..5).map(|i| 1.0 + 0.05 * i as f32).collect(), vec![0.2; 5])),
+            bn: Some((
+                (0..5).map(|i| 1.0 + 0.05 * i as f32).collect(),
+                vec![0.2; 5],
+            )),
             activation: Activation::Relu,
         };
         let direct = conv2d(&input, &w, &p);

@@ -16,8 +16,8 @@ mod pool;
 
 pub use activation::{relu, relu6, softmax, Activation};
 pub use conv::{conv2d, depthwise_conv2d, Conv2dParams};
-pub use gemm::{conv2d_auto, conv2d_im2col, im2col, matmul};
 pub use dense::dense;
+pub use gemm::{conv2d_auto, conv2d_im2col, im2col, matmul};
 pub use pad::pad2d;
 pub use pool::{avgpool2d, maxpool2d};
 
@@ -82,9 +82,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn add_rejects_mismatched_shapes() {
-        add(
-            &Tensor::zeros(Shape::d1(3)),
-            &Tensor::zeros(Shape::d1(4)),
-        );
+        add(&Tensor::zeros(Shape::d1(3)), &Tensor::zeros(Shape::d1(4)));
     }
 }

@@ -78,10 +78,7 @@ mod tests {
 
     #[test]
     fn maxpool_2x2_stride2() {
-        let input = Tensor::from_vec(
-            Shape::chw(1, 4, 4),
-            (0..16).map(|v| v as f32).collect(),
-        );
+        let input = Tensor::from_vec(Shape::chw(1, 4, 4), (0..16).map(|v| v as f32).collect());
         let y = maxpool2d(&input, 2, 2, 0);
         assert_eq!(y.shape(), &Shape::chw(1, 2, 2));
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);

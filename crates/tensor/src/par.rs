@@ -1,0 +1,109 @@
+//! Scoped-thread data parallelism, replacing the external `rayon`
+//! dependency.
+//!
+//! The reference operators only ever need one shape of parallelism: split a
+//! flat output buffer into equal disjoint chunks and fill each chunk
+//! independently. `std::thread::scope` covers that without a work-stealing
+//! runtime; chunks are handed out through a shared iterator so imbalanced
+//! chunk costs (e.g. convolution rows with different padding overlap) still
+//! load-balance.
+//!
+//! Results are bit-identical to the sequential loop regardless of thread
+//! count or scheduling: each chunk is written by exactly one closure call
+//! with no cross-chunk accumulation.
+
+use std::sync::Mutex;
+
+/// Elements below this count run sequentially — thread spawn/join costs more
+/// than the work itself for small tensors (LeNet-sized planes).
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Splits `data` into chunks of `size` elements (the last may be shorter)
+/// and calls `f(chunk_index, chunk)` for each, in parallel when the buffer
+/// is large enough to pay for threads.
+///
+/// # Panics
+/// Panics if `size == 0` while `data` is non-empty.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(size > 0, "chunk size must be positive");
+    let n_chunks = data.len().div_ceil(size);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_chunks);
+    if threads <= 1 || data.len() < PAR_THRESHOLD {
+        for (i, chunk) in data.chunks_mut(size).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let work = Mutex::new(data.chunks_mut(size).enumerate());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = work.lock().unwrap().next();
+                match next {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_fill() {
+        let mut par = vec![0usize; 100_000];
+        for_each_chunk_mut(&mut par, 97, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 1_000_000 + j;
+            }
+        });
+        let mut seq = vec![0usize; 100_000];
+        for (i, chunk) in seq.chunks_mut(97).enumerate() {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 1_000_000 + j;
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn small_buffers_run_inline() {
+        let mut data = vec![1.0f32; 64];
+        for_each_chunk_mut(&mut data, 16, |_, chunk| {
+            for v in chunk {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn empty_buffer_is_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        for_each_chunk_mut(&mut data, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_processed() {
+        let mut data = vec![0u8; 10];
+        for_each_chunk_mut(&mut data, 4, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v = i as u8 + 1;
+            }
+        });
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+}

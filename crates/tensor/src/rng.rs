@@ -1,0 +1,133 @@
+//! A minimal deterministic PRNG, replacing the external `rand` dependency.
+//!
+//! The reproduction only needs seeded, reproducible streams of uniform
+//! floats (synthetic inputs, weight initialization, Poisson arrivals in the
+//! serving load generator); it never needs cryptographic quality. SplitMix64
+//! (Steele, Lea & Flood, OOPSLA 2014) passes BigCrush, is four lines long,
+//! and makes the whole workspace hermetic — no registry access required to
+//! build.
+//!
+//! Streams are stable across platforms and Rust versions: every draw is
+//! integer arithmetic plus one `u32 -> f32` conversion with an exact result.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`: the top 24 bits scaled by 2^-24, so every
+    /// value is exactly representable and the stream is bit-reproducible.
+    pub fn uniform(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits (for simulated-time
+    /// arithmetic such as exponential inter-arrival sampling).
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` by 128-bit multiply (Lemire's method —
+    /// bias is below 2^-64, irrelevant for workload shuffling).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// An exponentially distributed `f64` with the given rate (mean `1/rate`)
+    /// — Poisson-process inter-arrival times.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        // 1 - u in (0, 1] avoids ln(0).
+        -(1.0 - self.uniform_f64()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        let mut c = Rng64::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = Rng64::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.range(-2.5, 2.5);
+            assert!((-2.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = Rng64::seed_from_u64(9);
+        let rate = 50.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = Rng64::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,8 +1,7 @@
 //! Dense `f32` tensors.
 
+use crate::rng::Rng64;
 use crate::shape::Shape;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A dense, row-major, `f32` tensor.
@@ -54,9 +53,9 @@ impl Tensor {
     /// `[-scale, scale]`. Used for weights and the random ImageNet-size
     /// inputs of §6.1.1.
     pub fn random(shape: Shape, seed: u64, scale: f32) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let n = shape.numel();
-        let data = (0..n).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..n).map(|_| rng.range(-scale, scale)).collect();
         Tensor { shape, data }
     }
 

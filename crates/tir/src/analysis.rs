@@ -14,7 +14,7 @@
 //! * a recursive [`NestNode`] timing skeleton with symbolic trip counts the
 //!   timing model resolves per layer binding.
 
-use crate::expr::{Coeff, IExpr, VExpr, VBinOp};
+use crate::expr::{Coeff, IExpr, VBinOp, VExpr};
 use crate::kernel::{BufRole, Kernel, Scope};
 use crate::stmt::{LoopAttr, Stmt};
 
@@ -219,11 +219,7 @@ impl<'a> Cx<'a> {
         self.loops
             .iter()
             .filter(|l| l.attr == LoopAttr::Unrolled)
-            .map(|l| {
-                l.extent
-                    .eval(&crate::dim::Binding::empty())
-                    .max(0) as u64
-            })
+            .map(|l| l.extent.eval(&crate::dim::Binding::empty()).max(0) as u64)
             .product()
     }
 
@@ -598,14 +594,20 @@ mod tests {
                 IExpr::Const(4),
                 Stmt::store(
                     "c",
-                    IExpr::var("i_o").mul(IExpr::Const(4)).add(IExpr::var("i_i")),
+                    IExpr::var("i_o")
+                        .mul(IExpr::Const(4))
+                        .add(IExpr::var("i_i")),
                     VExpr::load(
                         "a",
-                        IExpr::var("i_o").mul(IExpr::Const(4)).add(IExpr::var("i_i")),
+                        IExpr::var("i_o")
+                            .mul(IExpr::Const(4))
+                            .add(IExpr::var("i_i")),
                     )
                     .add(VExpr::load(
                         "b",
-                        IExpr::var("i_o").mul(IExpr::Const(4)).add(IExpr::var("i_i")),
+                        IExpr::var("i_o")
+                            .mul(IExpr::Const(4))
+                            .add(IExpr::var("i_i")),
                     )),
                 ),
             ),
@@ -691,8 +693,7 @@ mod tests {
                     buf,
                     IExpr::Const(0),
                     VExpr::load(buf, IExpr::Const(0)).add(
-                        VExpr::load("a", IExpr::var("rc"))
-                            .mul(VExpr::load("w", IExpr::var("rc"))),
+                        VExpr::load("a", IExpr::var("rc")).mul(VExpr::load("w", IExpr::var("rc"))),
                     ),
                 ),
             )
@@ -731,7 +732,13 @@ mod tests {
             BufferDecl::global("y", BufRole::Output, IExpr::Const(100)),
         ];
         let f = analyze(&k);
-        assert!(f.accesses.iter().find(|a| a.buf == "x").unwrap().modulo_addressing);
+        assert!(
+            f.accesses
+                .iter()
+                .find(|a| a.buf == "x")
+                .unwrap()
+                .modulo_addressing
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! real flow would inspect, and it demonstrates each optimization exactly as
 //! the thesis listings do. See `examples/codegen_tour.rs`.
 
-use crate::expr::{BExpr, IExpr, VExpr, VBinOp};
+use crate::expr::{BExpr, IExpr, VBinOp, VExpr};
 use crate::kernel::{ChannelDecl, Kernel, Scope};
 use crate::stmt::{LoopAttr, Stmt};
 use std::fmt::Write as _;

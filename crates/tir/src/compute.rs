@@ -115,7 +115,11 @@ impl EpilogueSpec {
             bufs.push(BufferDecl::global("bn_shift", BufRole::BnShift, c2.clone()));
         }
         if self.residual {
-            bufs.push(BufferDecl::global("res", BufRole::Residual, out_len.clone()));
+            bufs.push(BufferDecl::global(
+                "res",
+                BufRole::Residual,
+                out_len.clone(),
+            ));
         }
     }
 }
@@ -280,9 +284,11 @@ pub fn conv2d(spec: &ConvSpec) -> Kernel {
     match &spec.schedule {
         ConvSchedule::Base => conv2d_base(spec),
         ConvSchedule::Fused { unroll_ff } => conv2d_fused(spec, *unroll_ff),
-        ConvSchedule::Tiled { w2vec, c2vec, c1vec } => {
-            conv2d_tiled(spec, *w2vec, *c2vec, *c1vec)
-        }
+        ConvSchedule::Tiled {
+            w2vec,
+            c2vec,
+            c1vec,
+        } => conv2d_tiled(spec, *w2vec, *c2vec, *c1vec),
     }
 }
 
@@ -309,11 +315,7 @@ fn conv_shell(spec: &ConvSpec) -> (Kernel, String) {
             pre.push(Stmt::for_(
                 "i0",
                 d.in_len(),
-                Stmt::store(
-                    "in_cache",
-                    IExpr::var("i0"),
-                    VExpr::ReadChannel(chan),
-                ),
+                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(chan)),
             ));
             "in_cache".to_string()
         }
@@ -404,11 +406,7 @@ fn conv2d_base(spec: &ConvSpec) -> Kernel {
         .mul(IExpr::Const(d.s as i64))
         .add(IExpr::var("rx"));
     let acc = VExpr::load("scratchpad", sp_idx.clone()).add(
-        VExpr::load(
-            &in_buf,
-            conv_in_idx(spec, IExpr::var("rc"), iy, ix),
-        )
-        .mul(VExpr::load(
+        VExpr::load(&in_buf, conv_in_idx(spec, IExpr::var("rc"), iy, ix)).mul(VExpr::load(
             "w",
             weight_idx(
                 spec,
@@ -620,8 +618,15 @@ fn conv2d_tiled(spec: &ConvSpec, w2vec: usize, c2vec: usize, c1vec: usize) -> Ke
     let iy = IExpr::var("yy")
         .mul(IExpr::Const(d.s as i64))
         .add(IExpr::var("ry"));
-    let ix = xx.clone().mul(IExpr::Const(d.s as i64)).add(IExpr::var("rx"));
-    let in_ch = if spec.depthwise { ax1.clone() } else { rc.clone() };
+    let ix = xx
+        .clone()
+        .mul(IExpr::Const(d.s as i64))
+        .add(IExpr::var("rx"));
+    let in_ch = if spec.depthwise {
+        ax1.clone()
+    } else {
+        rc.clone()
+    };
     let mac = Stmt::store(
         "tmp",
         tmp_idx.clone(),
@@ -778,7 +783,11 @@ pub fn dense(spec: &DenseSpec) -> Kernel {
             pre.push(Stmt::for_(
                 "i0",
                 n_len.clone(),
-                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(name.clone())),
+                Stmt::store(
+                    "in_cache",
+                    IExpr::var("i0"),
+                    VExpr::ReadChannel(name.clone()),
+                ),
             ));
             "in_cache".to_string()
         }
@@ -830,8 +839,7 @@ pub fn dense(spec: &DenseSpec) -> Kernel {
                             "dot",
                             IExpr::Const(0),
                             VExpr::load("dot", IExpr::Const(0)).add(
-                                VExpr::load(&in_buf, IExpr::var("kk"))
-                                    .mul(VExpr::load("w", w_idx)),
+                                VExpr::load(&in_buf, IExpr::var("kk")).mul(VExpr::load("w", w_idx)),
                             ),
                         ),
                     ),
@@ -853,8 +861,7 @@ pub fn dense(spec: &DenseSpec) -> Kernel {
                     "dense unroll factor {factor} does not divide N = {n}"
                 );
             }
-            k.bufs
-                .push(BufferDecl::private("dot", IExpr::Const(1)));
+            k.bufs.push(BufferDecl::private("dot", IExpr::Const(1)));
             let kk = IExpr::var("ko")
                 .mul(IExpr::Const(*factor as i64))
                 .add(IExpr::var("ki"));
@@ -873,9 +880,8 @@ pub fn dense(spec: &DenseSpec) -> Kernel {
                             Stmt::store(
                                 "dot",
                                 IExpr::Const(0),
-                                VExpr::load("dot", IExpr::Const(0)).add(
-                                    VExpr::load(&in_buf, kk).mul(VExpr::load("w", w_idx)),
-                                ),
+                                VExpr::load("dot", IExpr::Const(0))
+                                    .add(VExpr::load(&in_buf, kk).mul(VExpr::load("w", w_idx))),
                             ),
                         ),
                     ),
@@ -940,8 +946,7 @@ pub fn softmax(name: &str, n: usize, io_in: IoMode, io_out: IoMode, optimized: b
             Stmt::store(
                 "t_max",
                 IExpr::Const(0),
-                VExpr::load("t_max", IExpr::Const(0))
-                    .max(VExpr::load(&in_buf, IExpr::var("kk"))),
+                VExpr::load("t_max", IExpr::Const(0)).max(VExpr::load(&in_buf, IExpr::var("kk"))),
             ),
         ),
     ]);
@@ -952,8 +957,7 @@ pub fn softmax(name: &str, n: usize, io_in: IoMode, io_out: IoMode, optimized: b
             "t_exp",
             IExpr::var("i1"),
             VExpr::Exp(Box::new(
-                VExpr::load(&in_buf, IExpr::var("i1"))
-                    .sub(VExpr::load("t_max", IExpr::Const(0))),
+                VExpr::load(&in_buf, IExpr::var("i1")).sub(VExpr::load("t_max", IExpr::Const(0))),
             )),
         ),
     );
@@ -965,8 +969,7 @@ pub fn softmax(name: &str, n: usize, io_in: IoMode, io_out: IoMode, optimized: b
             Stmt::store(
                 "t_sum",
                 IExpr::Const(0),
-                VExpr::load("t_sum", IExpr::Const(0))
-                    .add(VExpr::load("t_exp", IExpr::var("k1"))),
+                VExpr::load("t_sum", IExpr::Const(0)).add(VExpr::load("t_exp", IExpr::var("k1"))),
             ),
         ),
     ]);
@@ -1116,8 +1119,9 @@ pub fn pool(
     };
     let result = match kind {
         PoolKind::Max => VExpr::load("acc", IExpr::Const(0)),
-        PoolKind::Avg => VExpr::load("acc", IExpr::Const(0))
-            .div(VExpr::Const((window * window) as f32)),
+        PoolKind::Avg => {
+            VExpr::load("acc", IExpr::Const(0)).div(VExpr::Const((window * window) as f32))
+        }
     };
     let o = IExpr::var("ch")
         .mul(IExpr::Const((h2 * w2) as i64))
@@ -1160,7 +1164,15 @@ pub fn pool(
 /// index reconstruction and a guarded select — "the generated padding kernel
 /// uses modulo addressing and a conditional ... which does not generate
 /// efficient hardware" (§6.3.2).
-pub fn pad(name: &str, c: usize, h: usize, w: usize, p: usize, io_in: IoMode, io_out: IoMode) -> Kernel {
+pub fn pad(
+    name: &str,
+    c: usize,
+    h: usize,
+    w: usize,
+    p: usize,
+    io_in: IoMode,
+    io_out: IoMode,
+) -> Kernel {
     let (h2, w2) = (h + 2 * p, w + 2 * p);
     let in_len = IExpr::Const((c * h * w) as i64);
     let out_len = IExpr::Const((c * h2 * w2) as i64);
@@ -1184,8 +1196,11 @@ pub fn pad(name: &str, c: usize, h: usize, w: usize, p: usize, io_in: IoMode, io
         }
     };
     if io_out == IoMode::Global {
-        k.bufs
-            .push(BufferDecl::global("out_fm", BufRole::Output, out_len.clone()));
+        k.bufs.push(BufferDecl::global(
+            "out_fm",
+            BufRole::Output,
+            out_len.clone(),
+        ));
     } else {
         k.chan_out.push(io_out.decl().unwrap());
     }
@@ -1209,13 +1224,17 @@ pub fn pad(name: &str, c: usize, h: usize, w: usize, p: usize, io_in: IoMode, io
         Box::new(VExpr::load(&in_buf, src_idx)),
         Box::new(VExpr::Const(0.0)),
     );
-    let body = Stmt::for_("i", out_len, match &io_out {
-        IoMode::Global => Stmt::store("out_fm", IExpr::var("i"), val),
-        IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
-            chan: cn.clone(),
-            val,
+    let body = Stmt::for_(
+        "i",
+        out_len,
+        match &io_out {
+            IoMode::Global => Stmt::store("out_fm", IExpr::var("i"), val),
+            IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+                chan: cn.clone(),
+                val,
+            },
         },
-    });
+    );
     pre.push(body);
     k.body = Stmt::block(pre);
     k
@@ -1242,8 +1261,11 @@ pub fn pad_param(name: &str) -> Kernel {
     let mut k = Kernel::new(name, Stmt::Block(vec![]));
     k.bufs
         .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
-    k.bufs
-        .push(BufferDecl::global("out_fm", BufRole::Output, out_len.clone()));
+    k.bufs.push(BufferDecl::global(
+        "out_fm",
+        BufRole::Output,
+        out_len.clone(),
+    ));
     k.int_params = vec!["pc".into(), "ph".into(), "pw".into(), "pp".into()];
 
     let plane = h2.mul(w2.clone());
@@ -1252,15 +1274,9 @@ pub fn pad_param(name: &str) -> Kernel {
     let y = rem.clone().div(w2.clone());
     let x = rem.rem(w2);
     let in_bounds = BExpr::Ge(y.clone(), IExpr::var("pp"))
-        .and(BExpr::Lt(
-            y.clone(),
-            IExpr::var("ph").add(IExpr::var("pp")),
-        ))
+        .and(BExpr::Lt(y.clone(), IExpr::var("ph").add(IExpr::var("pp"))))
         .and(BExpr::Ge(x.clone(), IExpr::var("pp")))
-        .and(BExpr::Lt(
-            x.clone(),
-            IExpr::var("pw").add(IExpr::var("pp")),
-        ));
+        .and(BExpr::Lt(x.clone(), IExpr::var("pw").add(IExpr::var("pp"))));
     let src_idx = ch
         .mul(IExpr::var("ph").mul(IExpr::var("pw")))
         .add(y.sub(IExpr::var("pp")).mul(IExpr::var("pw")))
@@ -1281,7 +1297,8 @@ pub fn copy(name: &str, n: usize, io_in: IoMode, io_out: IoMode) -> Kernel {
     let mut k = Kernel::new(name, Stmt::Block(vec![]));
     let val: VExpr = match &io_in {
         IoMode::Global => {
-            k.bufs.push(BufferDecl::global("in_v", BufRole::Input, len.clone()));
+            k.bufs
+                .push(BufferDecl::global("in_v", BufRole::Input, len.clone()));
             VExpr::load("in_v", IExpr::var("i"))
         }
         IoMode::Channel { name: cn, .. } => {
@@ -1350,10 +1367,7 @@ mod tests {
             spec.schedule = schedule.clone();
             let got = run_conv(&spec, &input, &weights);
             for (g, e) in got.iter().zip(expect.data()) {
-                assert!(
-                    (g - e).abs() < 1e-4,
-                    "{schedule:?} mismatch: {g} vs {e}"
-                );
+                assert!((g - e).abs() < 1e-4, "{schedule:?} mismatch: {g} vs {e}");
             }
         }
     }
@@ -1455,7 +1469,12 @@ mod tests {
             let weights = Tensor::random(Shape::kcff(ff, rc, 1), 8, 0.5);
             let expect = ops::conv2d(&input, &weights, &Conv2dParams::plain(1, 0));
             let binding = Binding::of(&[
-                ("ff", ff), ("rc", rc), ("hh", hw), ("ww", hw), ("ih", hw), ("iw", hw),
+                ("ff", ff),
+                ("rc", rc),
+                ("hh", hw),
+                ("ww", hw),
+                ("ih", hw),
+                ("iw", hw),
             ]);
             let mut inputs = HashMap::new();
             inputs.insert("in_fm".to_string(), input.data().to_vec());
@@ -1516,14 +1535,34 @@ mod tests {
     #[test]
     fn pool_kernels_match_reference() {
         let input = Tensor::random(Shape::chw(2, 6, 6), 14, 1.0);
-        let kmax = pool("mp", PoolKind::Max, 2, 6, 6, 2, 2, IoMode::Global, IoMode::Global);
+        let kmax = pool(
+            "mp",
+            PoolKind::Max,
+            2,
+            6,
+            6,
+            2,
+            2,
+            IoMode::Global,
+            IoMode::Global,
+        );
         let mut inputs = HashMap::new();
         inputs.insert("in_fm".to_string(), input.data().to_vec());
         let out = Interp::new().run(&kmax, &Binding::empty(), &inputs);
         let expect = ops::maxpool2d(&input, 2, 2, 0);
         assert_eq!(out["out_fm"], expect.data());
 
-        let kavg = pool("ap", PoolKind::Avg, 2, 6, 6, 3, 3, IoMode::Global, IoMode::Global);
+        let kavg = pool(
+            "ap",
+            PoolKind::Avg,
+            2,
+            6,
+            6,
+            3,
+            3,
+            IoMode::Global,
+            IoMode::Global,
+        );
         let out = Interp::new().run(&kavg, &Binding::empty(), &inputs);
         let expect = ops::avgpool2d(&input, 3, 3, 0);
         for (g, e) in out["out_fm"].iter().zip(expect.data()) {
@@ -1559,10 +1598,7 @@ mod tests {
         let expect = ops::pad2d(&input, 1);
         assert_eq!(out["out_fm"], expect.data());
         let facts = analyze(&k);
-        assert!(facts
-            .accesses
-            .iter()
-            .any(|a| a.modulo_addressing),);
+        assert!(facts.accesses.iter().any(|a| a.modulo_addressing),);
     }
 
     #[test]

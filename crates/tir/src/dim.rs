@@ -71,12 +71,7 @@ impl Binding {
 
     /// Builds a binding from `(symbol, value)` pairs.
     pub fn of(pairs: &[(&str, usize)]) -> Self {
-        Binding(
-            pairs
-                .iter()
-                .map(|&(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Binding(pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Adds/overwrites a symbol.

@@ -386,7 +386,10 @@ mod tests {
     #[test]
     fn subst_replaces_variable() {
         let e = IExpr::var("i").mul(IExpr::Const(4)).add(IExpr::var("j"));
-        let s = e.subst("i", &IExpr::var("io").mul(IExpr::Const(2)).add(IExpr::var("ii")));
+        let s = e.subst(
+            "i",
+            &IExpr::var("io").mul(IExpr::Const(2)).add(IExpr::var("ii")),
+        );
         assert_eq!(s.eval(&env(&[("io", 1), ("ii", 1), ("j", 5)])), 17);
     }
 
@@ -423,12 +426,12 @@ mod tests {
         let idx = IExpr::var("rco")
             .add(IExpr::var("rci"))
             .mul(IExpr::Const(h * w))
+            .add(IExpr::var("yy").add(IExpr::var("ry")).mul(IExpr::Const(w)))
             .add(
-                IExpr::var("yy")
-                    .add(IExpr::var("ry"))
-                    .mul(IExpr::Const(w)),
-            )
-            .add(IExpr::var("xxo").add(IExpr::var("xxi")).add(IExpr::var("rx")));
+                IExpr::var("xxo")
+                    .add(IExpr::var("xxi"))
+                    .add(IExpr::var("rx")),
+            );
         // rci: replicate (stride H*W); ry: replicate (stride W);
         // xxi and rx: coalesce (stride 1). Matches §5.1.1's C1vec*F LSUs of
         // W2vec*F-wide reads.
@@ -440,10 +443,8 @@ mod tests {
 
     #[test]
     fn bexpr_eval() {
-        let b = BExpr::Lt(IExpr::var("i"), IExpr::Const(4)).and(BExpr::Ge(
-            IExpr::var("i"),
-            IExpr::Const(0),
-        ));
+        let b = BExpr::Lt(IExpr::var("i"), IExpr::Const(4))
+            .and(BExpr::Ge(IExpr::var("i"), IExpr::Const(0)));
         assert!(b.eval(&env(&[("i", 2)])));
         assert!(!b.eval(&env(&[("i", 9)])));
     }

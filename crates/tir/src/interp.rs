@@ -9,9 +9,9 @@
 //! before consumers (sequential dataflow order).
 
 use crate::dim::Binding;
-use crate::expr::{BExpr, VExpr, VBinOp};
 #[cfg(test)]
 use crate::expr::IExpr;
+use crate::expr::{BExpr, VBinOp, VExpr};
 use crate::kernel::{BufRole, Kernel, Scope};
 use crate::stmt::Stmt;
 use std::collections::{HashMap, VecDeque};
@@ -165,9 +165,7 @@ impl Interp {
                 .channels
                 .get_mut(chan)
                 .and_then(VecDeque::pop_front)
-                .unwrap_or_else(|| {
-                    panic!("read from empty channel `{chan}` (hardware deadlock)")
-                }),
+                .unwrap_or_else(|| panic!("read from empty channel `{chan}` (hardware deadlock)")),
             VExpr::FromInt(i) => i.eval(env) as f32,
         }
     }

@@ -203,11 +203,8 @@ mod tests {
         assert!(k.autorun);
 
         let mut k2 = Kernel::new("conv", trivial_body());
-        k2.bufs.push(BufferDecl::global(
-            "w",
-            BufRole::Weights,
-            IExpr::Const(64),
-        ));
+        k2.bufs
+            .push(BufferDecl::global("w", BufRole::Weights, IExpr::Const(64)));
         assert!(!k2.autorun_eligible());
     }
 

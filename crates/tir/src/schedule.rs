@@ -204,10 +204,7 @@ fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
                                 var: a.clone(),
                                 extent: e1.clone(),
                                 attr: *attr,
-                                body: Box::new(Stmt::block(vec![
-                                    b1.as_ref().clone(),
-                                    second,
-                                ])),
+                                body: Box::new(Stmt::block(vec![b1.as_ref().clone(), second])),
                             });
                             i += 2;
                             continue;
@@ -293,12 +290,9 @@ fn hoist_inner(stmt: &Stmt, var: &str, found: &mut bool) -> Stmt {
             attr: *attr,
             body: Box::new(hoist_inner(body, var, found)),
         },
-        Stmt::Block(stmts) => Stmt::block(
-            stmts
-                .iter()
-                .map(|s| hoist_inner(s, var, found))
-                .collect(),
-        ),
+        Stmt::Block(stmts) => {
+            Stmt::block(stmts.iter().map(|s| hoist_inner(s, var, found)).collect())
+        }
         Stmt::If { cond, body } => Stmt::If {
             cond: cond.clone(),
             body: Box::new(hoist_inner(body, var, found)),
@@ -369,14 +363,12 @@ pub fn subst_stmt(stmt: &Stmt, var: &str, replacement: &IExpr) -> Stmt {
             BExpr::Lt(x, y) => BExpr::Lt(x.subst(var, r), y.subst(var, r)),
             BExpr::Ge(x, y) => BExpr::Ge(x.subst(var, r), y.subst(var, r)),
             BExpr::Eq(x, y) => BExpr::Eq(x.subst(var, r), y.subst(var, r)),
-            BExpr::And(x, y) => BExpr::And(
-                Box::new(subst_b(x, var, r)),
-                Box::new(subst_b(y, var, r)),
-            ),
-            BExpr::Or(x, y) => BExpr::Or(
-                Box::new(subst_b(x, var, r)),
-                Box::new(subst_b(y, var, r)),
-            ),
+            BExpr::And(x, y) => {
+                BExpr::And(Box::new(subst_b(x, var, r)), Box::new(subst_b(y, var, r)))
+            }
+            BExpr::Or(x, y) => {
+                BExpr::Or(Box::new(subst_b(x, var, r)), Box::new(subst_b(y, var, r)))
+            }
         }
     }
     match stmt {
@@ -442,7 +434,9 @@ mod tests {
     fn split_creates_outer_inner_pair() {
         let s = split(&vecadd_loop(64), "i", 4);
         match &s {
-            Stmt::For { var, extent, body, .. } => {
+            Stmt::For {
+                var, extent, body, ..
+            } => {
                 assert_eq!(var, "i_o");
                 assert_eq!(extent, &IExpr::Const(16));
                 match body.as_ref() {
@@ -631,8 +625,7 @@ mod tests {
                 Stmt::store(
                     "b",
                     IExpr::var("i"),
-                    VExpr::load("a", IExpr::var("i"))
-                        .div(VExpr::load("a_max", IExpr::Const(0))),
+                    VExpr::load("a", IExpr::var("i")).div(VExpr::load("a_max", IExpr::Const(0))),
                 ),
             ]),
         );

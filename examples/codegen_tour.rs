@@ -8,12 +8,12 @@
 //! cargo run --release --example codegen_tour
 //! ```
 
+use fpgaccel::tensor::ops::Activation;
 use fpgaccel::tir::codegen::{emit_kernel, emit_program};
 use fpgaccel::tir::compute::{
     conv2d, pool, softmax, ConvDims, ConvSchedule, ConvSpec, EpilogueSpec, IoMode, PoolKind,
 };
 use fpgaccel::tir::Dim;
-use fpgaccel::tensor::ops::Activation;
 
 fn banner(title: &str) {
     println!("\n// ============================================================");
@@ -64,7 +64,13 @@ fn main() {
         IoMode::channel("ch_1", 1014),
     );
     pool_k.mark_autorun();
-    let sm = softmax("softmax_stage", 10, IoMode::channel("ch_1", 1014), IoMode::Global, true);
+    let sm = softmax(
+        "softmax_stage",
+        10,
+        IoMode::channel("ch_1", 1014),
+        IoMode::Global,
+        true,
+    );
     println!("{}", emit_program(&[&conv_k, &pool_k, &sm]));
 
     banner("Listing 5.10/5.11 — parameterized symbolic-shape kernel (folded mode)");

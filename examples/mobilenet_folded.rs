@@ -20,7 +20,11 @@ fn main() {
         match flow.compile(&baseline_config(Model::MobileNetV1)) {
             Ok(d) => {
                 let s = d.simulate_batch(2);
-                println!("  naive (one kernel per layer): {:.3} FPS | {}", s.fps, d.fit_summary());
+                println!(
+                    "  naive (one kernel per layer): {:.3} FPS | {}",
+                    s.fps,
+                    d.fit_summary()
+                );
             }
             Err(e) => println!("  naive (one kernel per layer): {e}"),
         }
@@ -48,7 +52,9 @@ fn main() {
         let stats = d.simulate_batch(4);
         println!(
             "  optimized: {:.1} FPS, {:.1} GFLOPS | {}",
-            stats.fps, stats.gflops, d.fit_summary()
+            stats.fps,
+            stats.gflops,
+            d.fit_summary()
         );
         println!("  per-kernel profile (share of device-busy time):");
         let total: f64 = stats.kernel_seconds.values().sum();

@@ -21,6 +21,8 @@
 //! * [`runtime`] — the OpenCL-style host runtime over a simulated clock.
 //! * [`core`] — the end-to-end compilation flow (the paper's contribution).
 //! * [`baseline`] — the real Rust reference engine and framework models.
+//! * [`serve`] — multi-device inference serving: device pool, dynamic
+//!   batching, admission control, deployment cache.
 //!
 //! ## Quickstart
 //!
@@ -48,5 +50,6 @@ pub use fpgaccel_baseline as baseline;
 pub use fpgaccel_core as core;
 pub use fpgaccel_device as device;
 pub use fpgaccel_runtime as runtime;
+pub use fpgaccel_serve as serve;
 pub use fpgaccel_tensor as tensor;
 pub use fpgaccel_tir as tir;

@@ -47,7 +47,11 @@ fn base_lenet_program_has_listing_5_1_structure() {
         for stage in stages {
             if stage.kernel.name.starts_with("conv") || stage.kernel.name.starts_with("dense") {
                 let k = emit_kernel(&stage.kernel);
-                assert!(!k.contains("#pragma unroll"), "{} unrolled", stage.kernel.name);
+                assert!(
+                    !k.contains("#pragma unroll"),
+                    "{} unrolled",
+                    stage.kernel.name
+                );
             }
         }
     }
@@ -55,7 +59,10 @@ fn base_lenet_program_has_listing_5_1_structure() {
     for name in [
         "conv1", "pool1", "conv2", "pool2", "flatten", "dense1", "dense2", "dense3", "softmax",
     ] {
-        assert!(src.contains(&format!("kernel void {name}(")), "{name} missing");
+        assert!(
+            src.contains(&format!("kernel void {name}(")),
+            "{name} missing"
+        );
     }
 }
 

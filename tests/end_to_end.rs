@@ -330,7 +330,11 @@ fn profiling_reduces_throughput() {
         .simulate_batch(100)
         .fps;
     let profiled = flow
-        .compile(&OptimizationConfig::tvm_autorun().with_concurrent().with_profiling())
+        .compile(
+            &OptimizationConfig::tvm_autorun()
+                .with_concurrent()
+                .with_profiling(),
+        )
         .unwrap()
         .simulate_batch(100)
         .fps;
