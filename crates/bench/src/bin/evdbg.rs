@@ -1,16 +1,39 @@
 //! Event-timeline debugger for calibration.
+//!
+//! Prints the first events of a concurrent LeNet batch with their four
+//! profiling timestamps, plus per-kernel totals and the breakdown.
+//! `-v` dumps every event instead of the first 25; `-q` silences the
+//! dump; `--trace [path]` additionally exports the run as a Chrome
+//! trace-event JSON timeline (default `trace_evdbg.json`).
+
+use fpgaccel_bench::log;
 use fpgaccel_core::{Flow, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::{chrome_trace_json, Tracer};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    log::init(&mut args);
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| "trace_evdbg.json".into())
+    });
+    let tracer = if trace_path.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+
     let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+        .with_tracer(&tracer)
         .compile(&OptimizationConfig::tvm_autorun().with_concurrent())
         .unwrap();
-    let stats = d.simulate_batch(3);
-    println!("fps={:.0} spb={:.6}", stats.fps, stats.seconds);
-    for e in stats.events.iter().take(25) {
-        println!(
+    let stats = d.simulate_batch_traced(3, &tracer, "evdbg LeNet x3");
+    log::out(&format!("fps={:.0} spb={:.6}", stats.fps, stats.seconds));
+    for (i, e) in stats.events.iter().enumerate() {
+        let line = format!(
             "{:<10} {:?} q={:>9.1} s={:>9.1} e={:>9.1} dur={:>9.1}",
             e.name,
             e.kind,
@@ -19,16 +42,30 @@ fn main() {
             e.end * 1e6,
             e.duration() * 1e6
         );
+        if i < 25 {
+            log::out(&line);
+        } else {
+            log::debug(&line);
+        }
     }
     for (k, s) in &stats.kernel_seconds {
-        println!("{:<12} total {:>9.1}us", k, s * 1e6 / 3.0);
+        log::out(&format!("{:<12} total {:>9.1}us", k, s * 1e6 / 3.0));
     }
-    println!(
+    log::out(&format!(
         "breakdown: kernel {:.1}us write {:.1}us read {:.1}us span {:.1}us overhead {:.2}",
         stats.breakdown.kernel_s * 1e6 / 3.0,
         stats.breakdown.write_s * 1e6 / 3.0,
         stats.breakdown.read_s * 1e6 / 3.0,
         stats.breakdown.span_s * 1e6 / 3.0,
         stats.breakdown.overhead_fraction()
-    );
+    ));
+
+    if let Some(path) = trace_path {
+        let json = chrome_trace_json(&tracer);
+        if let Err(e) = std::fs::write(&path, &json) {
+            log::error(&format!("cannot write {path}: {e}"));
+            std::process::exit(1);
+        }
+        log::note(&format!("wrote {path} ({} bytes)", json.len()));
+    }
 }

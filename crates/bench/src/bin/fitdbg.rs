@@ -1,15 +1,18 @@
 //! Calibration scratchpad: prints modeled vs thesis-reported FPS and area
 //! for every (model, platform, config). Not part of the public harness —
-//! `repro` is — but kept for tuning `aoc::calib`.
+//! `repro` is — but kept for tuning `aoc::calib`. `-q` silences the dump;
+//! `-v` is accepted for symmetry with the other binaries.
 
-use fpgaccel_bench::paper;
+use fpgaccel_bench::{log, paper};
 use fpgaccel_core::bitstreams::{baseline_config, lenet_ladder, optimized_config};
 use fpgaccel_core::Flow;
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
 
 fn main() {
-    println!("=== LeNet ladder (Figure 6.1), batch=200 ===");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    log::init(&mut args);
+    log::out("=== LeNet ladder (Figure 6.1), batch=200 ===");
     for p in FpgaPlatform::ALL {
         for cfg in lenet_ladder() {
             for ce in [false, true] {
@@ -21,21 +24,21 @@ fn main() {
                 match Flow::new(Model::LeNet5, p).compile(&cfg) {
                     Ok(d) => {
                         let s = d.simulate_batch(200);
-                        println!(
+                        log::out(&format!(
                             "{:<6} {:<18} fps {:>9.1}   [{}]",
                             p.label(),
                             cfg.label,
                             s.fps,
                             d.fit_summary()
-                        );
+                        ));
                     }
-                    Err(e) => println!("{:<6} {:<18} FAILED: {e}", p.label(), cfg.label),
+                    Err(e) => log::out(&format!("{:<6} {:<18} FAILED: {e}", p.label(), cfg.label)),
                 }
             }
         }
     }
 
-    println!("\n=== Endpoints vs paper ===");
+    log::out("\n=== Endpoints vs paper ===");
     for m in Model::ALL {
         for p in FpgaPlatform::ALL {
             for (kind, cfg, target) in [
@@ -47,30 +50,30 @@ fn main() {
                     .compile(&cfg)
                     .map(|d| (d.simulate_batch(n), d.fit_summary()));
                 match (got, target) {
-                    (Ok((s, fit)), Some(t)) => println!(
+                    (Ok((s, fit)), Some(t)) => log::out(&format!(
                         "{:<12} {:<6} {kind} model {:>10.3} fps  paper {:>10.3}  ratio {:>5.2}  [{fit}]",
                         m.name(),
                         p.label(),
                         s.fps,
                         t,
                         s.fps / t
-                    ),
-                    (Ok((s, _)), None) => println!(
+                    )),
+                    (Ok((s, _)), None) => log::out(&format!(
                         "{:<12} {:<6} {kind} model {:>10.3} fps  paper: DID NOT FIT (MISMATCH)",
                         m.name(),
                         p.label(),
                         s.fps
-                    ),
-                    (Err(_), None) => println!(
+                    )),
+                    (Err(_), None) => log::out(&format!(
                         "{:<12} {:<6} {kind} does not fit (matches paper)",
                         m.name(),
                         p.label()
-                    ),
-                    (Err(e), Some(t)) => println!(
+                    )),
+                    (Err(e), Some(t)) => log::out(&format!(
                         "{:<12} {:<6} {kind} FAILED ({e}) but paper reports {t} (MISMATCH)",
                         m.name(),
                         p.label()
-                    ),
+                    )),
                 }
             }
         }

@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod log;
 pub mod paper;
 pub mod serving;
 pub mod table;
 pub mod timing;
+pub mod tracing;

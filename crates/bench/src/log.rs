@@ -1,0 +1,134 @@
+//! A tiny leveled logger for the bench binaries.
+//!
+//! Experiment reports are the *product* of `repro` and print straight to
+//! stdout, byte-identical run to run. Everything else the binaries say —
+//! usage errors, progress notes, per-step detail, the diagnostic dumps of
+//! `evdbg`/`fitdbg` — goes through this logger, so `-q` silences the
+//! chatter and `-v` turns on detail without touching the reports.
+//!
+//! The level starts at [`Level::Normal`], can be preset through the
+//! `FPGACCEL_LOG` environment variable (`quiet` | `normal` | `verbose`),
+//! and explicit `-q`/`-v` flags win over the environment.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity, ordered from silent to chatty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Errors only.
+    Quiet = 0,
+    /// Errors plus regular output and one-line notes (the default).
+    Normal = 1,
+    /// Everything, including per-step detail.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Normal as u8);
+
+/// The current level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Quiet,
+        2 => Level::Verbose,
+        _ => Level::Normal,
+    }
+}
+
+/// Sets the level directly.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+fn parse(name: &str) -> Option<Level> {
+    match name {
+        "quiet" | "q" | "0" => Some(Level::Quiet),
+        "normal" | "1" => Some(Level::Normal),
+        "verbose" | "v" | "2" => Some(Level::Verbose),
+        _ => None,
+    }
+}
+
+/// Initializes the level from `FPGACCEL_LOG` and from `-q`/`--quiet` /
+/// `-v`/`--verbose` flags, which are stripped out of `args` so the
+/// binaries' positional parsing never sees them. Flags beat the
+/// environment; the last flag wins. Returns the resulting level.
+pub fn init(args: &mut Vec<String>) -> Level {
+    let mut level = std::env::var("FPGACCEL_LOG")
+        .ok()
+        .and_then(|v| parse(&v.to_lowercase()))
+        .unwrap_or(Level::Normal);
+    args.retain(|a| match a.as_str() {
+        "-q" | "--quiet" => {
+            level = Level::Quiet;
+            false
+        }
+        "-v" | "--verbose" => {
+            level = Level::Verbose;
+            false
+        }
+        _ => true,
+    });
+    set_level(level);
+    level
+}
+
+/// An error — always printed to stderr, even under `-q`.
+pub fn error(msg: &str) {
+    eprintln!("{msg}");
+}
+
+/// Regular tool output (stdout, suppressed by `-q`). The diagnostic
+/// dumps of `evdbg`/`fitdbg` print here so their default output stays
+/// byte-identical while `-q` can still silence them.
+pub fn out(msg: &str) {
+    if level() >= Level::Normal {
+        println!("{msg}");
+    }
+}
+
+/// A one-line progress note (stderr, suppressed by `-q`).
+pub fn note(msg: &str) {
+    if level() >= Level::Normal {
+        eprintln!("{msg}");
+    }
+}
+
+/// Per-step detail (stdout, only under `-v`).
+pub fn debug(msg: &str) {
+    if level() >= Level::Verbose {
+        println!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_stripped_and_take_effect() {
+        // Serialize against other tests touching the global level.
+        let mut args: Vec<String> = ["fig6_2", "-v", "all"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(init(&mut args), Level::Verbose);
+        assert_eq!(args, vec!["fig6_2".to_string(), "all".to_string()]);
+
+        let mut args: Vec<String> = vec!["-v".into(), "--quiet".into()];
+        assert_eq!(init(&mut args), Level::Quiet, "last flag wins");
+        assert!(args.is_empty());
+
+        let mut none: Vec<String> = vec!["trace".into()];
+        init(&mut none);
+        assert_eq!(none, vec!["trace".to_string()]);
+        set_level(Level::Normal);
+    }
+
+    #[test]
+    fn levels_order_quiet_below_verbose() {
+        assert!(Level::Quiet < Level::Normal);
+        assert!(Level::Normal < Level::Verbose);
+        assert_eq!(parse("verbose"), Some(Level::Verbose));
+        assert_eq!(parse("bogus"), None);
+    }
+}

@@ -19,6 +19,7 @@ use fpgaccel_serve::{
     AdmissionPolicy, BatchPolicy, DevicePool, Request, RunResult, ServeConfig, Server,
 };
 use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::Tracer;
 
 const SEED: u64 = 0x5E21;
 /// Simulated trace duration per run, seconds.
@@ -46,7 +47,13 @@ fn admission() -> AdmissionPolicy {
 
 /// Builds the three-device pool serving both models.
 pub fn build_pool() -> DevicePool {
+    build_pool_traced(&Tracer::disabled())
+}
+
+/// [`build_pool`] recording deploy and compile spans on `tracer`.
+pub fn build_pool_traced(tracer: &Tracer) -> DevicePool {
     let mut pool = DevicePool::new();
+    pool.set_tracer(tracer);
     for p in [
         FpgaPlatform::Stratix10Sx,
         FpgaPlatform::Stratix10Mx,
@@ -116,6 +123,23 @@ fn serve_trace(trace: Vec<Request>, batch: BatchPolicy) -> RunResult {
             admission: admission(),
         },
     )
+    .run_open_loop(trace)
+}
+
+/// One fully traced serving run — the co-served mix at 1.0x offered
+/// load, deploys included — recording spans on `tracer`. This is the
+/// timeline behind `repro trace serve`.
+pub fn traced_run(tracer: &Tracer) -> RunResult {
+    let pool = build_pool_traced(tracer);
+    let trace = mixed_trace(&pool, 1.0);
+    Server::new(
+        pool,
+        ServeConfig {
+            batch: batched(),
+            admission: admission(),
+        },
+    )
+    .with_tracer(tracer)
     .run_open_loop(trace)
 }
 

@@ -1,0 +1,109 @@
+//! Timeline export: traced experiment runs serialized as Chrome
+//! trace-event JSON.
+//!
+//! `repro trace <experiment>` writes these files; load them in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Each simulated run
+//! gets its own process track with one lane per command queue, every
+//! `SimEvent` rendered as the three nested queued/submit/run slices of
+//! its four OpenCL profiling timestamps (§5.2), and the compile flow's
+//! phases on a shared track.
+
+use fpgaccel_core::{BatchStats, Flow, OptimizationConfig};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::{chrome_trace_json, Tracer};
+
+/// Batch size of the traced Figure 6.2 runs (matches the experiment).
+const FIG6_2_BATCH: usize = 50;
+
+/// Experiment ids with a timeline export, in `repro trace` order.
+pub const TRACEABLE: &[&str] = &["fig6_2", "serve"];
+
+/// The Chrome trace for experiment `id`, or `None` when the experiment
+/// has no timeline export (see [`TRACEABLE`]).
+pub fn trace_experiment(id: &str) -> Option<String> {
+    match id {
+        "fig6_2" => Some(fig6_2_trace()),
+        "serve" => Some(serve_trace()),
+        _ => None,
+    }
+}
+
+/// Traces one Figure 6.2 cell — LeNet under `cfg` on `platform` — and
+/// returns the Chrome JSON next to the live run's stats, so callers can
+/// cross-check a `Breakdown` recomputed from the export against the
+/// live aggregation.
+pub fn fig6_2_cell(platform: FpgaPlatform, cfg: &OptimizationConfig) -> (String, BatchStats) {
+    let tracer = Tracer::enabled();
+    let d = Flow::new(Model::LeNet5, platform)
+        .with_tracer(&tracer)
+        .compile(cfg)
+        .expect("LeNet fits everywhere");
+    let stats = d.simulate_batch_traced(
+        FIG6_2_BATCH,
+        &tracer,
+        &format!("{} {}", platform.label(), cfg.label),
+    );
+    (chrome_trace_json(&tracer), stats)
+}
+
+/// The full Figure 6.2 timeline: LeNet base and autorun bitstreams on
+/// every platform, one process track per run.
+pub fn fig6_2_trace() -> String {
+    let tracer = Tracer::enabled();
+    for p in FpgaPlatform::ALL {
+        for cfg in [OptimizationConfig::base(), OptimizationConfig::autorun()] {
+            let d = Flow::new(Model::LeNet5, p)
+                .with_tracer(&tracer)
+                .compile(&cfg)
+                .expect("LeNet fits everywhere");
+            d.simulate_batch_traced(
+                FIG6_2_BATCH,
+                &tracer,
+                &format!("{} {}", p.label(), cfg.label),
+            );
+        }
+    }
+    chrome_trace_json(&tracer)
+}
+
+/// The serving timeline: the co-served LeNet+MobileNet mix at 1.0x
+/// offered load — deploys (cache hits and misses), per-request lanes,
+/// batch execution on the device lanes, and shed markers.
+pub fn serve_trace() -> String {
+    let tracer = Tracer::enabled();
+    crate::serving::traced_run(&tracer);
+    chrome_trace_json(&tracer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpgaccel_trace::json::Json;
+
+    #[test]
+    fn every_traceable_id_resolves_and_others_do_not() {
+        for id in TRACEABLE {
+            assert!(
+                crate::experiments::ALL_EXPERIMENTS
+                    .iter()
+                    .any(|(name, _)| name == id),
+                "traceable id {id} is not a known experiment"
+            );
+        }
+        assert!(trace_experiment("platforms").is_none());
+        assert!(trace_experiment("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fig6_2_cell_exports_nonempty_valid_json() {
+        let (json, stats) = fig6_2_cell(FpgaPlatform::Stratix10Sx, &OptimizationConfig::autorun());
+        assert!(stats.fps > 0.0);
+        let v = Json::parse(&json).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert!(events.len() > 100, "only {} events", events.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Golden tests for the timeline export: the Chrome trace written for
+//! Figure 6.2 must be valid JSON, and a `Breakdown` recomputed from the
+//! exported baseline-LeNet timeline must reproduce the live run — the
+//! overhead-dominated shape of §6.3.1 included.
+
+use fpgaccel_bench::tracing;
+use fpgaccel_core::OptimizationConfig;
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_runtime::Breakdown;
+use fpgaccel_trace::json::Json;
+
+#[test]
+fn exported_baseline_timeline_reproduces_figure_6_2() {
+    let (json, stats) = tracing::fig6_2_cell(FpgaPlatform::Arria10Gx, &OptimizationConfig::base());
+    let live = &stats.breakdown;
+    let b = Breakdown::from_chrome_trace(&json).expect("exported trace round-trips");
+    assert!((b.kernel_s - live.kernel_s).abs() < 1e-9, "kernel_s");
+    assert!((b.write_s - live.write_s).abs() < 1e-9, "write_s");
+    assert!((b.read_s - live.read_s).abs() < 1e-9, "read_s");
+    assert!((b.span_s - live.span_s).abs() < 1e-9, "span_s");
+    // The baseline bitstream's defining shape: kernel times are short and
+    // most of the span is host overhead (§6.3.1, Figure 6.2).
+    assert!(
+        b.overhead_fraction() > 0.5,
+        "baseline LeNet must be overhead-dominated, got {:.2}",
+        b.overhead_fraction()
+    );
+    assert!(
+        (b.overhead_fraction() - live.overhead_fraction()).abs() < 1e-9,
+        "overhead fraction drifted through export"
+    );
+}
+
+#[test]
+fn trace_experiment_emits_valid_chrome_json_for_every_traceable_id() {
+    for id in tracing::TRACEABLE {
+        let json = tracing::trace_experiment(id).expect("traceable");
+        let v = Json::parse(&json).unwrap_or_else(|e| panic!("{id}: invalid JSON: {e}"));
+        assert_eq!(
+            v.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms"),
+            "{id}: displayTimeUnit"
+        );
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{id}: no traceEvents array"));
+        assert!(!events.is_empty(), "{id}: empty trace");
+        // Every event carries the mandatory Chrome trace-event fields.
+        for e in events {
+            assert!(e.get("ph").and_then(Json::as_str).is_some(), "{id}: ph");
+            assert!(e.get("pid").and_then(Json::as_f64).is_some(), "{id}: pid");
+            assert!(e.get("name").and_then(Json::as_str).is_some(), "{id}: name");
+        }
+        // Metadata names the tracks, so Perfetto shows readable lanes.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("ph").and_then(Json::as_str) == Some("M")),
+            "{id}: no track metadata"
+        );
+    }
+}

@@ -10,6 +10,7 @@ use fpgaccel_tensor::flops::node_flops;
 use fpgaccel_tensor::graph::Graph;
 use fpgaccel_tensor::Tensor;
 use fpgaccel_tir::Binding;
+use fpgaccel_trace::Tracer;
 use std::collections::HashMap;
 
 /// The host execution plan.
@@ -202,6 +203,16 @@ impl Deployment {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn simulate_batch(&self, n: usize) -> BatchStats {
+        self.simulate_batch_traced(n, &Tracer::disabled(), "")
+    }
+
+    /// [`Deployment::simulate_batch`] with every simulated OpenCL event
+    /// also recorded on `tracer` as nested queued/submit/run slices, under
+    /// a device track group named `label` (see `fpgaccel_runtime::timeline`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn simulate_batch_traced(&self, n: usize, tracer: &Tracer, label: &str) -> BatchStats {
         assert!(n > 0, "batch must contain at least one image");
         let mut sim = Sim::new(
             self.device.clone(),
@@ -210,6 +221,14 @@ impl Deployment {
             self.bitstream.fmax_mhz,
         );
         sim.profiling = self.config.profiling;
+        if tracer.is_enabled() {
+            let label = if label.is_empty() {
+                format!("{} {} x{}", self.device.platform, self.config.label, n)
+            } else {
+                label.to_string()
+            };
+            sim.set_tracer(tracer, &label);
+        }
         // Profiling analyses need the full timeline; otherwise keep only a
         // window of the newest events (all dependencies stay within the
         // current image) so long serving runs use bounded memory.
@@ -459,6 +478,38 @@ mod tests {
         assert!(err < 0.15, "prediction off by {:.1}%", err * 100.0);
         // More images always predicted slower.
         assert!(m.seconds(10) < m.seconds(11));
+    }
+
+    #[test]
+    fn traced_compile_and_batch_record_spans() {
+        let tracer = fpgaccel_trace::Tracer::enabled();
+        let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+            .with_tracer(&tracer)
+            .compile(&OptimizationConfig::tvm_autorun())
+            .unwrap();
+        let compile_spans = tracer.span_count();
+        // compile, import, schedule+codegen, memory check, aoc synthesis.
+        assert!(compile_spans >= 5, "got {compile_spans} flow phases");
+        let stats = d.simulate_batch_traced(2, &tracer, "lenet-s10sx");
+        let spans = tracer.events();
+        // Three slices per simulated event, on top of the flow phases.
+        assert_eq!(spans.len() - compile_spans, 3 * stats.events.len());
+        // The run-slice busy time equals the live breakdown's busy time.
+        let busy_us: f64 = spans
+            .iter()
+            .filter(|s| s.args.iter().any(|(k, v)| k == "phase" && v == "run"))
+            .map(|s| s.dur_us)
+            .sum();
+        let live = stats.breakdown.kernel_s + stats.breakdown.write_s + stats.breakdown.read_s;
+        assert!((busy_us / 1e6 - live).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untraced_batch_records_nothing() {
+        let d = lenet(FpgaPlatform::Stratix10Sx, &OptimizationConfig::base());
+        let tracer = fpgaccel_trace::Tracer::disabled();
+        d.simulate_batch_traced(1, &tracer, "x");
+        assert_eq!(tracer.span_count(), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use fpgaccel_aoc::{synthesize, Calib, SynthesisError};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tir::Kernel;
+use fpgaccel_trace::Tracer;
 
 /// Why a compilation fails.
 #[derive(Clone, Debug)]
@@ -71,6 +72,8 @@ pub struct Flow {
     pub platform: FpgaPlatform,
     /// AOC-model calibration (default unless overridden for ablations).
     pub calib: Calib,
+    /// Span recorder for compile phases; disabled (zero-cost) by default.
+    pub tracer: Tracer,
 }
 
 impl Flow {
@@ -80,6 +83,7 @@ impl Flow {
             source: FlowSource::Model(model),
             platform,
             calib: Calib::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -91,7 +95,15 @@ impl Flow {
             source: FlowSource::Graph(Box::new(graph)),
             platform,
             calib: Calib::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; subsequent [`Flow::compile`] calls record a span
+    /// per flow phase (import, scheduling, memory check, synthesis).
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     /// Compiles the model under a configuration: frontend import → fusion →
@@ -103,25 +115,35 @@ impl Flow {
     /// does not synthesize for the platform (the thesis' naive MobileNet and
     /// all ResNet deployments fail on the Arria 10, §6.4.2/§6.4.3).
     pub fn compile(&self, config: &OptimizationConfig) -> Result<Deployment, FlowError> {
+        let _compile = self.tracer.phase(
+            "flow",
+            &format!("compile {}/{}", config.label, self.platform),
+        );
         // Frontend + Relay passes (§3.1).
-        let graph = match &self.source {
-            FlowSource::Model(m) => m.build(),
-            FlowSource::Graph(g) => g.as_ref().clone(),
-        }
-        .fuse()
-        .materialize_padding();
+        let graph = {
+            let _p = self.tracer.phase("flow", "import");
+            match &self.source {
+                FlowSource::Model(m) => m.build(),
+                FlowSource::Graph(g) => g.as_ref().clone(),
+            }
+            .fuse()
+            .materialize_padding()
+        };
         let device = self.platform.model();
 
-        let (plan, kernel_list): (ExecutionPlan, Vec<Kernel>) = match config.mode {
-            ExecMode::Pipelined => {
-                let stages = build_pipelined(&graph, config)?;
-                let kernels = stages.iter().map(|s| s.kernel.clone()).collect();
-                (ExecutionPlan::Pipelined(stages), kernels)
-            }
-            ExecMode::Folded => {
-                let plan = build_folded(&graph, config)?;
-                let kernels = plan.kernels.clone();
-                (ExecutionPlan::Folded(plan), kernels)
+        let (plan, kernel_list): (ExecutionPlan, Vec<Kernel>) = {
+            let _p = self.tracer.phase("flow", "schedule+codegen");
+            match config.mode {
+                ExecMode::Pipelined => {
+                    let stages = build_pipelined(&graph, config)?;
+                    let kernels = stages.iter().map(|s| s.kernel.clone()).collect();
+                    (ExecutionPlan::Pipelined(stages), kernels)
+                }
+                ExecMode::Folded => {
+                    let plan = build_folded(&graph, config)?;
+                    let kernels = plan.kernels.clone();
+                    (ExecutionPlan::Folded(plan), kernels)
+                }
             }
         };
 
@@ -144,14 +166,20 @@ impl Flow {
             }
         };
         let required = weight_bytes + activation_bytes;
-        if required > device.global_mem_bytes {
-            return Err(FlowError::GlobalMemory {
-                required,
-                available: device.global_mem_bytes,
-            });
+        {
+            let _p = self.tracer.phase("flow", "memory check");
+            if required > device.global_mem_bytes {
+                return Err(FlowError::GlobalMemory {
+                    required,
+                    available: device.global_mem_bytes,
+                });
+            }
         }
 
-        let bitstream = synthesize(&kernel_list, &device, &config.aoc, &self.calib)?;
+        let bitstream = {
+            let _p = self.tracer.phase("flow", "aoc synthesis");
+            synthesize(&kernel_list, &device, &config.aoc, &self.calib)?
+        };
         Ok(Deployment::new(
             graph,
             plan,

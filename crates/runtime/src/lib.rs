@@ -33,7 +33,9 @@
 pub mod profile;
 pub mod sim;
 pub mod stats;
+pub mod timeline;
 
 pub use profile::Breakdown;
 pub use sim::{EventId, EventKind, EventRetention, QueueId, Sim, SimEvent};
 pub use stats::{quantile_sorted, LatencyQuantiles};
+pub use timeline::{export_events, record_event};

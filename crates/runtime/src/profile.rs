@@ -1,6 +1,7 @@
 //! Event-profile summaries (the Figure 6.2 kernel/write/read breakdown).
 
 use crate::sim::{EventKind, SimEvent};
+use fpgaccel_trace::json::Json;
 
 /// Aggregated time per event class, as the thesis plots for the baseline
 /// and autorun LeNet bitstreams (Figure 6.2).
@@ -37,6 +38,66 @@ impl Breakdown {
         b
     }
 
+    /// Recomputes a breakdown from an exported Chrome trace-event JSON
+    /// string (the inverse of [`crate::timeline::export_events`] followed by
+    /// [`fpgaccel_trace::chrome_trace_json`]).
+    ///
+    /// Only `ph:"X"` slices whose `args.phase` is `"run"` contribute busy
+    /// time — those are the `[start, end]` device-execution intervals, the
+    /// same quantity [`Breakdown::of`] sums from live [`SimEvent`]s. The
+    /// span is measured from the earliest `phase:"queued"` slice start to
+    /// the latest slice end. Slices without a `phase` arg (e.g. compile
+    /// phases sharing the trace) are ignored.
+    pub fn from_chrome_trace(json: &str) -> Result<Breakdown, String> {
+        let root = Json::parse(json)?;
+        let events = root
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "missing traceEvents array".to_string())?;
+        let mut b = Breakdown::default();
+        let mut first = f64::INFINITY;
+        let mut last = f64::NEG_INFINITY;
+        for e in events {
+            if e.get("ph").and_then(Json::as_str) != Some("X") {
+                continue;
+            }
+            let phase = match e
+                .get("args")
+                .and_then(|a| a.get("phase"))
+                .and_then(Json::as_str)
+            {
+                Some(p) => p,
+                None => continue,
+            };
+            let ts = e
+                .get("ts")
+                .and_then(Json::as_f64)
+                .ok_or("slice missing ts")?;
+            let dur = e
+                .get("dur")
+                .and_then(Json::as_f64)
+                .ok_or("slice missing dur")?;
+            last = last.max((ts + dur) / 1e6);
+            if phase == "queued" {
+                first = first.min(ts / 1e6);
+            }
+            if phase != "run" {
+                continue;
+            }
+            let dur_s = dur / 1e6;
+            match e.get("cat").and_then(Json::as_str) {
+                Some("kernel") | Some("autorun") => b.kernel_s += dur_s,
+                Some("write") => b.write_s += dur_s,
+                Some("read") => b.read_s += dur_s,
+                other => return Err(format!("unknown slice category {other:?}")),
+            }
+        }
+        if last > first {
+            b.span_s = last - first;
+        }
+        Ok(b)
+    }
+
     /// Fractions of busy time (kernel, write, read); zeros when idle.
     pub fn fractions(&self) -> (f64, f64, f64) {
         let total = self.kernel_s + self.write_s + self.read_s;
@@ -69,6 +130,7 @@ mod tests {
         SimEvent {
             name: "e".into(),
             kind,
+            queue: None,
             queued: start,
             submit: start,
             start,
@@ -110,5 +172,62 @@ mod tests {
         let b = Breakdown::of(&[]);
         assert_eq!(b, Breakdown::default());
         assert_eq!(b.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_chrome_trace_matches_live_breakdown() {
+        let events = vec![
+            SimEvent {
+                name: "wr".into(),
+                kind: EventKind::Write,
+                queue: Some(0),
+                queued: 0.0,
+                submit: 0.1e-3,
+                start: 0.2e-3,
+                end: 1.0e-3,
+            },
+            SimEvent {
+                name: "conv".into(),
+                kind: EventKind::Kernel,
+                queue: Some(0),
+                queued: 1.0e-3,
+                submit: 1.1e-3,
+                start: 1.5e-3,
+                end: 4.0e-3,
+            },
+            SimEvent {
+                name: "pipe".into(),
+                kind: EventKind::Autorun,
+                queue: None,
+                queued: 1.5e-3,
+                submit: 1.5e-3,
+                start: 1.5e-3,
+                end: 3.9e-3,
+            },
+            SimEvent {
+                name: "rd".into(),
+                kind: EventKind::Read,
+                queue: Some(1),
+                queued: 4.0e-3,
+                submit: 4.2e-3,
+                start: 4.3e-3,
+                end: 4.7e-3,
+            },
+        ];
+        let live = Breakdown::of(&events);
+        let tracer = fpgaccel_trace::Tracer::enabled();
+        crate::timeline::export_events(&tracer, "dev", &events);
+        let json = fpgaccel_trace::chrome_trace_json(&tracer);
+        let b = Breakdown::from_chrome_trace(&json).expect("parse");
+        assert!((b.kernel_s - live.kernel_s).abs() < 1e-9);
+        assert!((b.write_s - live.write_s).abs() < 1e-9);
+        assert!((b.read_s - live.read_s).abs() < 1e-9);
+        assert!((b.span_s - live.span_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_chrome_trace_rejects_garbage() {
+        assert!(Breakdown::from_chrome_trace("not json").is_err());
+        assert!(Breakdown::from_chrome_trace("{\"a\":1}").is_err());
     }
 }

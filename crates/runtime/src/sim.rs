@@ -3,6 +3,7 @@
 use fpgaccel_aoc::{kernel_cycles, AocOptions, Calib, KernelReport};
 use fpgaccel_device::{DeviceModel, TransferDir};
 use fpgaccel_tir::Binding;
+use fpgaccel_trace::Tracer;
 use std::collections::HashMap;
 
 /// Index of a command queue.
@@ -30,6 +31,9 @@ pub struct SimEvent {
     pub name: String,
     /// Kind.
     pub kind: EventKind,
+    /// Command queue the event was enqueued on (`None` for autorun stages,
+    /// which are never enqueued).
+    pub queue: Option<QueueId>,
     /// `CL_PROFILING_COMMAND_QUEUED`.
     pub queued: f64,
     /// `CL_PROFILING_COMMAND_SUBMIT`.
@@ -79,6 +83,8 @@ pub struct Sim {
     pub profiling: bool,
     /// Event-log retention policy (see [`EventRetention`]).
     pub retention: EventRetention,
+    tracer: Tracer,
+    trace_pid: u32,
     host_clock: f64,
     queue_last_end: Vec<f64>,
     kernel_busy: HashMap<String, f64>,
@@ -106,6 +112,8 @@ impl Sim {
             fmax_mhz,
             profiling: false,
             retention: EventRetention::Full,
+            tracer: Tracer::disabled(),
+            trace_pid: 0,
             host_clock: 0.0,
             queue_last_end: Vec::new(),
             kernel_busy: HashMap::new(),
@@ -120,10 +128,42 @@ impl Sim {
         }
     }
 
+    /// Attaches a span tracer: every event pushed from here on is recorded
+    /// live as nested profiling slices on a device track group named
+    /// `label` (see [`crate::timeline`]). Live recording works under any
+    /// [`EventRetention`] — the trace stays complete even when the event
+    /// ring drops old entries.
+    pub fn set_tracer(&mut self, tracer: &Tracer, label: &str) {
+        self.tracer = tracer.clone();
+        if self.tracer.is_enabled() {
+            self.trace_pid = self.tracer.alloc_pid(label);
+            for q in 0..self.queue_last_end.len() {
+                self.tracer.set_thread_name(
+                    self.trace_pid,
+                    crate::timeline::queue_track(q),
+                    &format!("queue {q}"),
+                );
+            }
+        }
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Creates a command queue (§4.8: one per kernel enables concurrency).
     pub fn create_queue(&mut self) -> QueueId {
         self.queue_last_end.push(0.0);
-        self.queue_last_end.len() - 1
+        let q = self.queue_last_end.len() - 1;
+        if self.tracer.is_enabled() {
+            self.tracer.set_thread_name(
+                self.trace_pid,
+                crate::timeline::queue_track(q),
+                &format!("queue {q}"),
+            );
+        }
+        q
     }
 
     /// Current host time.
@@ -207,6 +247,7 @@ impl Sim {
     }
 
     fn push(&mut self, ev: SimEvent) -> EventId {
+        crate::timeline::record_event(&self.tracer, self.trace_pid, &ev);
         self.agg_first = self.agg_first.min(ev.queued);
         self.agg_last = self.agg_last.max(ev.end);
         match ev.kind {
@@ -275,6 +316,7 @@ impl Sim {
                 TransferDir::Write => EventKind::Write,
                 TransferDir::Read => EventKind::Read,
             },
+            queue: Some(queue),
             queued,
             submit,
             start,
@@ -317,6 +359,7 @@ impl Sim {
         self.push(SimEvent {
             name: report.name.clone(),
             kind: EventKind::Kernel,
+            queue: Some(queue),
             queued,
             submit,
             start,
@@ -342,6 +385,7 @@ impl Sim {
         self.push(SimEvent {
             name: report.name.clone(),
             kind: EventKind::Autorun,
+            queue: None,
             queued,
             submit: start,
             start,
@@ -626,6 +670,59 @@ mod more_tests {
         assert_eq!(full_now, ring_now);
         assert_eq!(full_n, ring_n);
         assert_eq!(full_n, 120);
+    }
+
+    #[test]
+    fn seeded_random_workloads_keep_running_aggregates_exact() {
+        // Property-style check over seeded random workloads: whatever mix
+        // of transfers and kernels lands on however many queues, the
+        // running aggregates under bounded retention must equal a
+        // full-trace `Breakdown::of` bit for bit.
+        fn xorshift(s: &mut u64) -> u64 {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        }
+        for seed in [0x5EED_u64, 1, 42, 0xDEAD_BEEF] {
+            let run = |retention: EventRetention| {
+                let mut rng = seed;
+                let mut sim = Sim::new(
+                    FpgaPlatform::Stratix10Sx.model(),
+                    AocOptions::default(),
+                    Calib::default(),
+                    200.0,
+                );
+                sim.retention = retention;
+                let queues = [sim.create_queue(), sim.create_queue(), sim.create_queue()];
+                let r = report(FpgaPlatform::Stratix10Sx);
+                let mut last = None;
+                for _ in 0..60 {
+                    let q = queues[(xorshift(&mut rng) % 3) as usize];
+                    let deps: Vec<EventId> = last.into_iter().collect();
+                    let bytes = 1u64 << (8 + xorshift(&mut rng) % 8);
+                    last = Some(match xorshift(&mut rng) % 3 {
+                        0 => sim.enqueue_write(q, "in", bytes, &deps),
+                        1 => sim.enqueue_kernel(q, &r, &Binding::empty(), &deps, &[]),
+                        _ => sim.enqueue_read(q, "out", bytes, &deps),
+                    });
+                }
+                sim.finish();
+                sim
+            };
+            let full = run(EventRetention::Full);
+            let ring = run(EventRetention::Recent(7));
+            // Same seed, same schedule: running aggregates agree with the
+            // full trace and with each other, exactly.
+            assert_eq!(
+                full.breakdown(),
+                crate::profile::Breakdown::of(full.events())
+            );
+            assert_eq!(full.breakdown(), ring.breakdown(), "seed {seed:#x}");
+            assert_eq!(full.now(), ring.now(), "seed {seed:#x}");
+            assert_eq!(full.events_recorded(), ring.events_recorded());
+            assert!(ring.events().len() <= 7);
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Exporting simulated OpenCL events onto a [`Tracer`] timeline.
+//!
+//! Each [`SimEvent`] becomes three *nested* slices on its device's
+//! per-queue track, one per profiling interval of the OpenCL event model
+//! (§5.2):
+//!
+//! ```text
+//! [queued ......................... end]   phase = "queued"
+//!     [submit ..................... end]   phase = "submit"
+//!            [start ............... end]   phase = "run"
+//! ```
+//!
+//! Containment always holds (`queued ≤ submit ≤ start ≤ end`), so trace
+//! viewers render the host-side wait (queued→submit), the dispatch wait
+//! (submit→start) and the device execution (start→end) as a stack — the
+//! Figure 6.2 breakdown, readable per event. Autorun stages, which are
+//! never enqueued on a queue, get their own track 0.
+
+use crate::sim::{EventKind, QueueId, SimEvent};
+use fpgaccel_trace::Tracer;
+
+/// Track id reserved for autorun pipeline stages.
+pub const AUTORUN_TRACK: u32 = 0;
+
+/// Track id of a command queue.
+pub fn queue_track(queue: QueueId) -> u32 {
+    queue as u32 + 1
+}
+
+/// The trace category for an event kind.
+pub fn kind_category(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Kernel => "kernel",
+        EventKind::Autorun => "autorun",
+        EventKind::Write => "write",
+        EventKind::Read => "read",
+    }
+}
+
+/// Records one simulated event as its three nested profiling slices.
+pub fn record_event(tracer: &Tracer, pid: u32, ev: &SimEvent) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let tid = ev.queue.map(queue_track).unwrap_or(AUTORUN_TRACK);
+    let cat = kind_category(ev.kind);
+    for (phase, start) in [
+        ("queued", ev.queued),
+        ("submit", ev.submit),
+        ("run", ev.start),
+    ] {
+        tracer.span_args(
+            pid,
+            tid,
+            cat,
+            &ev.name,
+            start,
+            ev.end,
+            &[("phase", phase.to_string())],
+        );
+    }
+}
+
+/// Exports a recorded event trace onto `tracer` as a new device track
+/// group named `label`, naming every queue track that appears. Returns the
+/// allocated process id (0 when the tracer is disabled).
+pub fn export_events(tracer: &Tracer, label: &str, events: &[SimEvent]) -> u32 {
+    if !tracer.is_enabled() {
+        return 0;
+    }
+    let pid = tracer.alloc_pid(label);
+    name_queue_tracks(tracer, pid, events);
+    for ev in events {
+        record_event(tracer, pid, ev);
+    }
+    pid
+}
+
+/// Names the autorun track and every queue track present in `events`.
+pub fn name_queue_tracks(tracer: &Tracer, pid: u32, events: &[SimEvent]) {
+    let mut queues: Vec<QueueId> = events.iter().filter_map(|e| e.queue).collect();
+    queues.sort_unstable();
+    queues.dedup();
+    if events.iter().any(|e| e.queue.is_none()) {
+        tracer.set_thread_name(pid, AUTORUN_TRACK, "autorun stages");
+    }
+    for q in queues {
+        tracer.set_thread_name(pid, queue_track(q), &format!("queue {q}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, queue: Option<QueueId>) -> SimEvent {
+        SimEvent {
+            name: "k".into(),
+            kind,
+            queue,
+            queued: 1e-6,
+            submit: 2e-6,
+            start: 3e-6,
+            end: 7e-6,
+        }
+    }
+
+    #[test]
+    fn each_event_yields_three_nested_slices() {
+        let t = Tracer::enabled();
+        export_events(&t, "dev", &[ev(EventKind::Kernel, Some(0))]);
+        let spans = t.events();
+        assert_eq!(spans.len(), 3);
+        // All end together; starts are ordered queued <= submit <= run.
+        let ends: Vec<f64> = spans.iter().map(|s| s.ts_us + s.dur_us).collect();
+        assert!(ends.iter().all(|&e| (e - 7.0).abs() < 1e-9));
+        assert!(spans[0].ts_us <= spans[1].ts_us && spans[1].ts_us <= spans[2].ts_us);
+        assert!(spans.iter().all(|s| s.cat == "kernel"));
+        assert!(spans.iter().all(|s| s.tid == queue_track(0)));
+    }
+
+    #[test]
+    fn autorun_stages_land_on_their_own_track() {
+        let t = Tracer::enabled();
+        export_events(&t, "dev", &[ev(EventKind::Autorun, None)]);
+        assert!(t.events().iter().all(|s| s.tid == AUTORUN_TRACK));
+        assert!(t.events().iter().all(|s| s.cat == "autorun"));
+    }
+
+    #[test]
+    fn disabled_tracer_short_circuits() {
+        let t = Tracer::disabled();
+        assert_eq!(
+            export_events(&t, "dev", &[ev(EventKind::Kernel, Some(0))]),
+            0
+        );
+        assert_eq!(t.span_count(), 0);
+    }
+}

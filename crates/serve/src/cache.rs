@@ -9,6 +9,7 @@
 use fpgaccel_core::{Deployment, Flow, FlowError, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::{Tracer, PID_SERVE};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -40,12 +41,39 @@ impl DeploymentCache {
         platform: FpgaPlatform,
         config: &OptimizationConfig,
     ) -> Result<Arc<Deployment>, FlowError> {
+        self.get_or_compile_traced(model, platform, config, &Tracer::disabled())
+    }
+
+    /// [`DeploymentCache::get_or_compile`] recording a deploy phase span
+    /// (labelled hit or miss) on `tracer`; a miss also records the compile
+    /// flow's phases.
+    pub fn get_or_compile_traced(
+        &mut self,
+        model: Model,
+        platform: FpgaPlatform,
+        config: &OptimizationConfig,
+        tracer: &Tracer,
+    ) -> Result<Arc<Deployment>, FlowError> {
         let key = Self::key(model, platform, config);
         if let Some(d) = self.entries.get(&key) {
             self.hits += 1;
+            let _p = tracer.phase_on(
+                PID_SERVE,
+                "deploy",
+                &format!("deploy {model:?}/{platform} (cache hit)"),
+            );
             return Ok(Arc::clone(d));
         }
-        let d = Arc::new(Flow::new(model, platform).compile(config)?);
+        let _p = tracer.phase_on(
+            PID_SERVE,
+            "deploy",
+            &format!("deploy {model:?}/{platform} (cache miss)"),
+        );
+        let d = Arc::new(
+            Flow::new(model, platform)
+                .with_tracer(tracer)
+                .compile(config)?,
+        );
         self.misses += 1;
         self.entries.insert(key, Arc::clone(&d));
         Ok(d)

@@ -68,8 +68,9 @@ impl LatencyHistogram {
         self.max_s
     }
 
-    /// Nearest-rank quantile estimate (bucket upper bound), seconds.
-    /// Returns 0.0 when empty.
+    /// Nearest-rank quantile estimate (bucket upper bound, clamped to the
+    /// maximum recorded sample so a lone sample never reports a latency
+    /// above anything observed), seconds. Returns 0.0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -79,7 +80,7 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::upper_bound(i);
+                return Self::upper_bound(i).min(self.max_s);
             }
         }
         self.max_s
@@ -198,6 +199,19 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.25) <= BASE_S);
         assert_eq!(h.quantile(1.0), LatencyHistogram::upper_bound(BUCKETS - 1));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_the_maximum_sample() {
+        // A single sample sits strictly inside its bucket; the estimate
+        // must clamp to the sample, not report the bucket's upper bound.
+        let mut h = LatencyHistogram::new();
+        h.record(3.0e-5);
+        assert_eq!(h.quantile(1.0), 3.0e-5);
+        assert_eq!(h.quantile(0.5), 3.0e-5);
+        // Still an upper bound with many samples.
+        h.record(1.0e-5);
+        assert!(h.quantile(1.0) <= h.max());
     }
 
     #[test]

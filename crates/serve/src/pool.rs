@@ -5,6 +5,7 @@ use crate::cache::DeploymentCache;
 use fpgaccel_core::{BatchLatencyModel, Deployment, FlowError, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::Tracer;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -25,6 +26,8 @@ pub struct PooledDevice {
     /// Simulated time until which the device executes already-dispatched
     /// batches.
     busy_until_s: f64,
+    /// Accumulated batch-execution seconds (for utilization metrics).
+    busy_s: f64,
 }
 
 impl PooledDevice {
@@ -36,6 +39,7 @@ impl PooledDevice {
             latency_models: HashMap::new(),
             batch_seconds: HashMap::new(),
             busy_until_s: 0.0,
+            busy_s: 0.0,
         }
     }
 
@@ -63,6 +67,12 @@ impl PooledDevice {
     pub fn busy_until(&self) -> f64 {
         self.busy_until_s
     }
+
+    /// Total simulated seconds spent executing batches. Divided by a run's
+    /// span this is the device's busy-fraction utilization.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_s
+    }
 }
 
 /// A choice made by the dispatcher.
@@ -80,6 +90,7 @@ pub struct Dispatch {
 pub struct DevicePool {
     devices: Vec<PooledDevice>,
     cache: DeploymentCache,
+    tracer: Tracer,
 }
 
 impl Default for DevicePool {
@@ -94,7 +105,14 @@ impl DevicePool {
         DevicePool {
             devices: Vec::new(),
             cache: DeploymentCache::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; subsequent [`DevicePool::deploy`] calls record
+    /// deploy phase spans (with cache hit/miss) and compile-flow phases.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Adds a device to the pool; returns its index. Names are
@@ -119,7 +137,9 @@ impl DevicePool {
         config: &OptimizationConfig,
     ) -> Result<(), FlowError> {
         let platform = self.devices[device].platform;
-        let d = self.cache.get_or_compile(model, platform, config)?;
+        let d = self
+            .cache
+            .get_or_compile_traced(model, platform, config, &self.tracer)?;
         let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
         let dev = &mut self.devices[device];
         dev.deployments.insert(model, d);
@@ -166,10 +186,11 @@ impl DevicePool {
         best
     }
 
-    /// Marks a device busy executing until `until_s`.
-    pub(crate) fn commit(&mut self, device: usize, until_s: f64) {
+    /// Marks a device busy executing from `start_s` until `until_s`.
+    pub(crate) fn commit(&mut self, device: usize, start_s: f64, until_s: f64) {
         let d = &mut self.devices[device];
         d.busy_until_s = d.busy_until_s.max(until_s);
+        d.busy_s += (until_s - start_s).max(0.0);
     }
 }
 
@@ -204,10 +225,20 @@ mod tests {
         let mut pool = pool_with_two_s10(Model::LeNet5);
         let first = pool.dispatch(Model::LeNet5, 4, 0.0).unwrap();
         assert_eq!(first.device, 0, "tie breaks to lowest index");
-        pool.commit(first.device, 1.0);
+        pool.commit(first.device, 0.0, 1.0);
         let second = pool.dispatch(Model::LeNet5, 4, 0.0).unwrap();
         assert_eq!(second.device, 1, "busy device loses");
         assert_eq!(second.start_s, 0.0);
+    }
+
+    #[test]
+    fn commit_accumulates_busy_seconds() {
+        let mut pool = pool_with_two_s10(Model::LeNet5);
+        assert_eq!(pool.devices()[0].busy_seconds(), 0.0);
+        pool.commit(0, 0.0, 1.5);
+        pool.commit(0, 2.0, 2.25);
+        assert!((pool.devices()[0].busy_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(pool.devices()[1].busy_seconds(), 0.0);
     }
 
     #[test]

@@ -8,7 +8,17 @@ use crate::pool::DevicePool;
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::rng::Rng64;
 use fpgaccel_tensor::Tensor;
+use fpgaccel_trace::{Registry, Tracer, PID_SERVE};
 use std::collections::HashMap;
+
+/// Latency-histogram bucket bounds for the metrics registry, seconds.
+const LATENCY_BOUNDS_S: &[f64] = &[
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+/// Batch-size histogram bounds for the metrics registry.
+const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// Serve-pid track of the first per-device lane (`64 + device index`).
+const DEVICE_LANE_BASE: u32 = 64;
 
 /// One inference request.
 #[derive(Clone, Debug)]
@@ -85,6 +95,10 @@ pub struct RunResult {
     pub sheds: Vec<Shed>,
     /// Aggregated metrics.
     pub metrics: ServiceMetrics,
+    /// The unified metrics registry the run published into (counters,
+    /// latency/batch histograms, shed counters, queue-depth peak, cache
+    /// hit/miss, per-device busy-fraction utilization).
+    pub registry: Registry,
 }
 
 /// Server configuration.
@@ -117,6 +131,8 @@ pub struct Server {
     /// stream closed-loop clients consume.
     resolutions: Vec<(u64, f64)>,
     metrics: ServiceMetrics,
+    registry: Registry,
+    tracer: Tracer,
     first_arrival_s: f64,
     last_event_s: f64,
 }
@@ -132,9 +148,35 @@ impl Server {
             sheds: Vec::new(),
             resolutions: Vec::new(),
             metrics: ServiceMetrics::new(),
+            registry: Registry::new(),
+            tracer: Tracer::disabled(),
             first_arrival_s: f64::INFINITY,
             last_event_s: 0.0,
         }
+    }
+
+    /// Attaches a tracer recording per-request and per-batch spans on the
+    /// serving track group (simulated time).
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Server {
+        self.tracer = tracer.clone();
+        if self.tracer.is_enabled() {
+            self.tracer.set_process_name(PID_SERVE, "serving");
+            for (i, dev) in self.pool.devices().iter().enumerate() {
+                self.tracer.set_thread_name(
+                    PID_SERVE,
+                    DEVICE_LANE_BASE + i as u32,
+                    &format!("device {}", dev.name),
+                );
+            }
+        }
+        self
+    }
+
+    /// Publishes metrics into an existing registry instead of a fresh one
+    /// (lets several runs or subsystems share one exposition).
+    pub fn with_registry(mut self, registry: &Registry) -> Server {
+        self.registry = registry.clone();
+        self
     }
 
     /// The pool (for inspection after a run).
@@ -151,7 +193,13 @@ impl Server {
             batcher: DynamicBatcher::new(self.cfg.batch),
             inflight: Vec::new(),
         });
-        self.states.len() - 1
+        let i = self.states.len() - 1;
+        self.tracer.set_thread_name(
+            PID_SERVE,
+            1 + i as u32,
+            &format!("requests {}", model.name()),
+        );
+        i
     }
 
     /// Earliest wait-timer expiry over all non-empty queues (value, index).
@@ -175,7 +223,8 @@ impl Server {
             return;
         }
         let t = req.arrival_s;
-        let i = self.state_idx(req.model);
+        let model = req.model;
+        let i = self.state_idx(model);
         let s = &mut self.states[i];
         // Outstanding work = still queued + dispatched but not yet
         // complete; bounding it (not just the queue) is what pushes back
@@ -188,15 +237,48 @@ impl Server {
         }
         let full = self.states[i].batcher.push(req);
         self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(depth + 1);
+        self.registry.gauge_max(
+            "serve_queue_depth_peak",
+            "Peak outstanding requests per model (queued + inflight).",
+            &[("model", model.name())],
+            (depth + 1) as f64,
+        );
         if full {
             self.flush(i, t);
         }
+    }
+
+    /// Serve-pid request lane of a model (0 when the model has no state).
+    fn lane(&self, model: Model) -> u32 {
+        self.states
+            .iter()
+            .position(|s| s.model == model)
+            .map_or(0, |i| 1 + i as u32)
     }
 
     fn shed(&mut self, id: u64, model: Model, time_s: f64, reason: ShedReason) {
         match reason {
             ShedReason::QueueFull | ShedReason::Unserved => self.metrics.shed_queue_full += 1,
             ShedReason::Deadline => self.metrics.shed_deadline += 1,
+        }
+        let label = match reason {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Deadline => "deadline",
+            ShedReason::Unserved => "unserved",
+        };
+        self.registry.counter_inc(
+            "serve_requests_shed_total",
+            "Requests shed, by model and reason.",
+            &[("model", model.name()), ("reason", label)],
+        );
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                PID_SERVE,
+                self.lane(model),
+                "shed",
+                &format!("shed req {id} ({label})"),
+                time_s,
+            );
         }
         self.sheds.push(Shed {
             id,
@@ -248,10 +330,35 @@ impl Server {
             .deployment(model)
             .map(std::sync::Arc::clone)
             .expect("dispatch chose a device serving the model");
-        self.pool.commit(d.device, completion_s);
+        let device_name = dev.name.clone();
+        self.pool.commit(d.device, d.start_s, completion_s);
         self.last_event_s = self.last_event_s.max(completion_s);
         self.metrics.record_batch(batch.len());
         let size = batch.len();
+        self.registry.histogram_observe(
+            "serve_batch_size",
+            "Dispatched batch sizes.",
+            &[("model", model.name())],
+            BATCH_BOUNDS,
+            size as f64,
+        );
+        if self.tracer.is_enabled() {
+            self.tracer.span_args(
+                PID_SERVE,
+                DEVICE_LANE_BASE + d.device as u32,
+                "batch",
+                &format!("{} x{size}", model.name()),
+                d.start_s,
+                completion_s,
+                &[
+                    ("dispatch_s", format!("{t}")),
+                    (
+                        "expected_completion_s",
+                        format!("{}", d.expected_completion_s),
+                    ),
+                ],
+            );
+        }
         self.states[i]
             .inflight
             .extend(std::iter::repeat_n(completion_s, size));
@@ -259,6 +366,33 @@ impl Server {
             let output = r.input.as_ref().map(|x| deployment.graph.execute(x));
             self.metrics.latency.record(completion_s - r.arrival_s);
             self.metrics.completed += 1;
+            self.registry.counter_inc(
+                "serve_requests_completed_total",
+                "Requests completed, by model.",
+                &[("model", model.name())],
+            );
+            self.registry.histogram_observe(
+                "serve_request_latency_seconds",
+                "End-to-end request latency (arrival to completion).",
+                &[("model", model.name())],
+                LATENCY_BOUNDS_S,
+                completion_s - r.arrival_s,
+            );
+            if self.tracer.is_enabled() {
+                self.tracer.span_args(
+                    PID_SERVE,
+                    1 + i as u32,
+                    "request",
+                    &format!("req {}", r.id),
+                    r.arrival_s,
+                    completion_s,
+                    &[
+                        ("device", device_name.clone()),
+                        ("batch", size.to_string()),
+                        ("dispatch_s", format!("{t}")),
+                    ],
+                );
+            }
             self.resolutions.push((r.id, completion_s));
             self.completions.push(Completion {
                 id: r.id,
@@ -289,10 +423,49 @@ impl Server {
         } else {
             0.0
         };
+        self.registry.gauge_set(
+            "serve_span_seconds",
+            "Simulated span of the run (first arrival to last completion).",
+            &[],
+            self.metrics.span_s,
+        );
+        let cache = self.pool.cache();
+        self.registry.counter_add(
+            "serve_deploy_cache_hits_total",
+            "Deployment-cache hits.",
+            &[],
+            cache.hits() as f64,
+        );
+        self.registry.counter_add(
+            "serve_deploy_cache_misses_total",
+            "Deployment-cache misses (actual compiles).",
+            &[],
+            cache.misses() as f64,
+        );
+        for dev in self.pool.devices() {
+            self.registry.gauge_set(
+                "serve_device_busy_seconds",
+                "Simulated seconds the device spent executing batches.",
+                &[("device", &dev.name)],
+                dev.busy_seconds(),
+            );
+            let util = if self.metrics.span_s > 0.0 {
+                dev.busy_seconds() / self.metrics.span_s
+            } else {
+                0.0
+            };
+            self.registry.gauge_set(
+                "serve_device_utilization",
+                "Busy fraction of the run span, per device.",
+                &[("device", &dev.name)],
+                util,
+            );
+        }
         RunResult {
             completions: self.completions,
             sheds: self.sheds,
             metrics: self.metrics,
+            registry: self.registry,
         }
     }
 

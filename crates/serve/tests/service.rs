@@ -199,6 +199,87 @@ fn closed_loop_serves_every_request() {
     assert!(result.metrics.mean_batch_size() > 1.0);
 }
 
+#[test]
+fn traced_run_records_spans_and_registry_agrees_with_metrics() {
+    let tracer = fpgaccel_trace::Tracer::enabled();
+    let mut pool = DevicePool::new();
+    pool.set_tracer(&tracer);
+    let dcfg = optimized_config(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+    for _ in 0..2 {
+        let d = pool.add_device(FpgaPlatform::Stratix10Sx);
+        pool.deploy(d, Model::LeNet5, &dcfg).unwrap();
+    }
+    // Second deploy hits the cache: one miss (with compile phases), one hit.
+    let deploy_spans = tracer.span_count();
+    assert!(deploy_spans >= 2, "deploy phases missing: {deploy_spans}");
+
+    let trace = open_loop_poisson(11, 3000.0, 100, &[Model::LeNet5]);
+    let server = Server::new(pool, cfg(8, 1e-3, 16)).with_tracer(&tracer);
+    let result = server.run_open_loop(trace);
+
+    let spans = tracer.events();
+    let requests = spans.iter().filter(|s| s.cat == "request").count();
+    let sheds = spans.iter().filter(|s| s.cat == "shed").count();
+    let batches = spans.iter().filter(|s| s.cat == "batch").count();
+    assert_eq!(requests, result.completions.len());
+    assert_eq!(sheds, result.sheds.len());
+    assert_eq!(
+        batches as u64,
+        result.metrics.batch_sizes.iter().sum::<u64>()
+    );
+
+    // The registry agrees with ServiceMetrics.
+    let r = &result.registry;
+    assert_eq!(
+        r.value("serve_requests_completed_total", &[("model", "LeNet-5")]),
+        Some(result.metrics.completed as f64)
+    );
+    let (lat_sum, lat_count) = r
+        .histogram_sum_count("serve_request_latency_seconds", &[("model", "LeNet-5")])
+        .unwrap();
+    assert_eq!(lat_count, result.metrics.completed);
+    assert!(lat_sum > 0.0);
+    let shed_total: f64 = [("queue-full"), ("deadline"), ("unserved")]
+        .iter()
+        .filter_map(|reason| {
+            r.value(
+                "serve_requests_shed_total",
+                &[("model", "LeNet-5"), ("reason", reason)],
+            )
+        })
+        .sum();
+    assert_eq!(shed_total, result.metrics.shed() as f64);
+    assert_eq!(
+        r.value("serve_queue_depth_peak", &[("model", "LeNet-5")]),
+        Some(result.metrics.peak_queue_depth as f64)
+    );
+    assert_eq!(r.value("serve_deploy_cache_hits_total", &[]), Some(1.0));
+    assert_eq!(r.value("serve_deploy_cache_misses_total", &[]), Some(1.0));
+    for dev in ["s10sx-0", "s10sx-1"] {
+        let util = r
+            .value("serve_device_utilization", &[("device", dev)])
+            .unwrap();
+        assert!(
+            (0.0..=1.0).contains(&util) && util > 0.0,
+            "{dev} utilization {util}"
+        );
+    }
+    // Expositions render and the JSON one parses.
+    assert!(r
+        .render_prometheus()
+        .contains("# TYPE serve_request_latency_seconds histogram"));
+    fpgaccel_trace::json::Json::parse(&r.render_json()).expect("valid registry JSON");
+}
+
+#[test]
+fn untraced_run_records_no_spans() {
+    let tracer = fpgaccel_trace::Tracer::disabled();
+    let server = Server::new(lenet_pool(1), cfg(4, 1e-3, 64)).with_tracer(&tracer);
+    let result = server.run_open_loop((0..8).map(|i| req(i, i as f64 * 1e-4)).collect());
+    assert_eq!(result.completions.len(), 8);
+    assert_eq!(tracer.span_count(), 0);
+}
+
 /// The seeded property test: a shuffled mix of requests through the pool
 /// produces exactly the outputs of direct `Deployment::infer` calls.
 #[test]

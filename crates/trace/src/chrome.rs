@@ -1,0 +1,138 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output is the "JSON object format" of the Trace Event spec: a
+//! top-level object with a `traceEvents` array of metadata (`ph:"M"`) and
+//! complete (`ph:"X"`) events, timestamps in microseconds. Load it in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+
+use crate::tracer::Tracer;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON number (finite values only; non-finite
+/// values, which have no JSON encoding, collapse to 0).
+pub(crate) fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Serializes everything a [`Tracer`] recorded as Chrome trace-event JSON.
+///
+/// A disabled tracer yields a valid trace with an empty `traceEvents`
+/// array.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    let mut entries: Vec<String> = Vec::new();
+    tracer.with_inner(|i| {
+        for (pid, name) in &i.process_names {
+            entries.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for (pid, tid, name) in &i.thread_names {
+            entries.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+        }
+        for e in &i.events {
+            let args = if e.args.is_empty() {
+                String::new()
+            } else {
+                let fields: Vec<String> = e
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                    .collect();
+                format!(",\"args\":{{{}}}", fields.join(","))
+            };
+            entries.push(format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{}{args}}}",
+                escape(&e.name),
+                escape(&e.cat),
+                e.pid,
+                e.tid,
+                number(e.ts_us),
+                number(e.dur_us),
+            ));
+        }
+    });
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn export_round_trips_through_the_json_parser() {
+        let t = Tracer::enabled();
+        let pid = t.alloc_pid("s10sx");
+        t.set_thread_name(pid, 0, "queue 0");
+        t.span_args(
+            pid,
+            0,
+            "kernel",
+            "conv \"a\"\n",
+            1e-6,
+            3e-6,
+            &[("phase", "run".to_string())],
+        );
+        let j = Json::parse(&chrome_trace_json(&t)).expect("valid JSON");
+        let events = j.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3); // process_name, thread_name, span
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("name").unwrap().as_str(), Some("conv \"a\"\n"));
+        assert!((span.get("ts").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-9);
+        assert!((span.get("dur").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert_eq!(
+            span.get("args").unwrap().get("phase").unwrap().as_str(),
+            Some("run")
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_exports_an_empty_trace() {
+        let j = Json::parse(&chrome_trace_json(&Tracer::disabled())).unwrap();
+        assert_eq!(
+            j.get("traceEvents").unwrap().as_array().unwrap().len(),
+            0,
+            "no events expected"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_never_reach_the_output() {
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+        assert_eq!(number(2.5), "2.5");
+    }
+}

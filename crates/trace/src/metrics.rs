@@ -1,0 +1,435 @@
+//! A unified metrics registry: counters, gauges and histograms with label
+//! sets, rendered as Prometheus text exposition or JSON.
+//!
+//! The registry is a cheap cloneable handle; every subsystem (serving
+//! pool, batcher, deployment cache, device simulations) publishes into the
+//! same instance. Families and label sets are stored in sorted maps, so
+//! both expositions are deterministic — a rendered registry is a pure
+//! function of the metric updates that fed it.
+
+use crate::chrome::{escape, number};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing total.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+    /// Cumulative-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Hist {
+    /// Ascending bucket upper bounds (an implicit `+Inf` bucket follows).
+    bounds: Vec<f64>,
+    /// Cumulative counts per bound, plus the `+Inf` bucket at the end.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Series {
+    Value(f64),
+    Histogram(Hist),
+}
+
+#[derive(Clone, Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Keyed by the canonical label rendering (sorted by label name).
+    series: BTreeMap<String, (Vec<(String, String)>, Series)>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    families: BTreeMap<String, Family>,
+}
+
+/// A registry of metric families. Clones share the same storage.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+/// Canonical key for a label set: sorted by label name.
+fn label_key(labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
+    let mut sorted: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    sorted.sort();
+    let key = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    (key, sorted)
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn update(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        f: impl FnOnce(&mut Series),
+        fresh: impl FnOnce() -> Series,
+    ) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let family = inner.families.entry(name.to_string()).or_insert(Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` re-registered as {kind:?}, was {:?}",
+            family.kind
+        );
+        let (key, sorted) = label_key(labels);
+        let (_, series) = family
+            .series
+            .entry(key)
+            .or_insert_with(|| (sorted, fresh()));
+        f(series);
+    }
+
+    /// Adds `v` (≥ 0) to a counter.
+    pub fn counter_add(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.update(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            |s| {
+                if let Series::Value(total) = s {
+                    *total += v.max(0.0);
+                }
+            },
+            || Series::Value(0.0),
+        );
+    }
+
+    /// Increments a counter by one.
+    pub fn counter_inc(&self, name: &str, help: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, help, labels, 1.0);
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.update(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            |s| {
+                if let Series::Value(val) = s {
+                    *val = v;
+                }
+            },
+            || Series::Value(0.0),
+        );
+    }
+
+    /// Raises a gauge to `v` if `v` exceeds its current value (peak
+    /// tracking).
+    pub fn gauge_max(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
+        self.update(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            |s| {
+                if let Series::Value(val) = s {
+                    *val = val.max(v);
+                }
+            },
+            || Series::Value(0.0),
+        );
+    }
+
+    /// Records an observation into a histogram with the given ascending
+    /// bucket upper bounds (the `+Inf` bucket is implicit).
+    pub fn histogram_observe(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        v: f64,
+    ) {
+        self.update(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            |s| {
+                if let Series::Histogram(h) = s {
+                    for (i, &b) in h.bounds.iter().enumerate() {
+                        if v <= b {
+                            h.counts[i] += 1;
+                        }
+                    }
+                    *h.counts.last_mut().expect("+Inf bucket") += 1;
+                    h.sum += v;
+                    h.count += 1;
+                }
+            },
+            || {
+                Series::Histogram(Hist {
+                    bounds: bounds.to_vec(),
+                    counts: vec![0; bounds.len() + 1],
+                    sum: 0.0,
+                    count: 0,
+                })
+            },
+        );
+    }
+
+    /// Reads back a counter or gauge value (`None` for unknown series).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let (key, _) = label_key(labels);
+        match &inner.families.get(name)?.series.get(&key)?.1 {
+            Series::Value(v) => Some(*v),
+            Series::Histogram(_) => None,
+        }
+    }
+
+    /// Reads back a histogram's `(sum, count)`.
+    pub fn histogram_sum_count(&self, name: &str, labels: &[(&str, &str)]) -> Option<(f64, u64)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let (key, _) = label_key(labels);
+        match &inner.families.get(name)?.series.get(&key)?.1 {
+            Series::Histogram(h) => Some((h.sum, h.count)),
+            Series::Value(_) => None,
+        }
+    }
+
+    /// Number of registered families.
+    pub fn family_count(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").families.len()
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for (name, family) in &inner.families {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.label()));
+            for (labels, series) in family.series.values() {
+                match series {
+                    Series::Value(v) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            number(*v)
+                        ));
+                    }
+                    Series::Histogram(h) => {
+                        for (i, &c) in h.counts.iter().enumerate() {
+                            let le = h
+                                .bounds
+                                .get(i)
+                                .map(|b| number(*b))
+                                .unwrap_or_else(|| "+Inf".to_string());
+                            out.push_str(&format!(
+                                "{name}_bucket{} {c}\n",
+                                render_labels(labels, Some(("le", le)))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels, None),
+                            number(h.sum)
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            render_labels(labels, None),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: `{family: {kind, help, series: [{labels, ...}]}}`.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut families = Vec::new();
+        for (name, family) in &inner.families {
+            let mut series_out = Vec::new();
+            for (labels, series) in family.series.values() {
+                let labels_json = labels
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let body = match series {
+                    Series::Value(v) => format!("\"value\":{}", number(*v)),
+                    Series::Histogram(h) => {
+                        let bounds = h.bounds.iter().map(|b| number(*b)).collect::<Vec<_>>();
+                        let counts = h.counts.iter().map(u64::to_string).collect::<Vec<_>>();
+                        format!(
+                            "\"le\":[{}],\"bucket_counts\":[{}],\"sum\":{},\"count\":{}",
+                            bounds.join(","),
+                            counts.join(","),
+                            number(h.sum),
+                            h.count
+                        )
+                    }
+                };
+                series_out.push(format!("{{\"labels\":{{{labels_json}}},{body}}}"));
+            }
+            families.push(format!(
+                "\"{}\":{{\"kind\":\"{}\",\"help\":\"{}\",\"series\":[{}]}}",
+                escape(name),
+                family.kind.label(),
+                escape(&family.help),
+                series_out.join(",")
+            ));
+        }
+        format!("{{{}}}\n", families.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Registry::new();
+        r.counter_inc("requests_total", "requests", &[("model", "lenet5")]);
+        r.counter_add("requests_total", "requests", &[("model", "lenet5")], 2.0);
+        r.counter_inc("requests_total", "requests", &[("model", "mobilenet")]);
+        assert_eq!(r.value("requests_total", &[("model", "lenet5")]), Some(3.0));
+        assert_eq!(
+            r.value("requests_total", &[("model", "mobilenet")]),
+            Some(1.0)
+        );
+        assert_eq!(r.value("requests_total", &[("model", "resnet")]), None);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        r.counter_inc("x_total", "x", &[("a", "1"), ("b", "2")]);
+        r.counter_inc("x_total", "x", &[("b", "2"), ("a", "1")]);
+        assert_eq!(r.value("x_total", &[("a", "1"), ("b", "2")]), Some(2.0));
+    }
+
+    #[test]
+    fn gauges_set_and_track_peaks() {
+        let r = Registry::new();
+        r.gauge_set("depth", "queue depth", &[], 4.0);
+        r.gauge_set("depth", "queue depth", &[], 2.0);
+        assert_eq!(r.value("depth", &[]), Some(2.0));
+        r.gauge_max("peak", "peak depth", &[], 5.0);
+        r.gauge_max("peak", "peak depth", &[], 3.0);
+        assert_eq!(r.value("peak", &[]), Some(5.0));
+    }
+
+    #[test]
+    fn histograms_fill_cumulative_buckets() {
+        let r = Registry::new();
+        let bounds = [1e-3, 1e-2, 1e-1];
+        for v in [5e-4, 5e-3, 5e-2, 5.0] {
+            r.histogram_observe("latency_seconds", "latency", &[], &bounds, v);
+        }
+        assert_eq!(r.histogram_sum_count("latency_seconds", &[]), {
+            Some((5e-4 + 5e-3 + 5e-2 + 5.0, 4))
+        });
+        let text = r.render_prometheus();
+        assert!(text.contains("latency_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.01\"} 2\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"0.1\"} 3\n"));
+        assert!(text.contains("latency_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("latency_seconds_count 4\n"));
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_typed() {
+        let r = Registry::new();
+        r.gauge_set("b_gauge", "second", &[("dev", "s10sx-0")], 0.5);
+        r.counter_inc("a_total", "first", &[]);
+        let text = r.render_prometheus();
+        // Families render sorted by name regardless of insertion order.
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_gauge").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("# TYPE b_gauge gauge"));
+        assert!(text.contains("b_gauge{dev=\"s10sx-0\"} 0.5"));
+        assert_eq!(text, r.render_prometheus());
+    }
+
+    #[test]
+    fn json_exposition_parses_and_round_trips_values() {
+        let r = Registry::new();
+        r.counter_add("served_total", "served", &[("model", "lenet5")], 7.0);
+        r.histogram_observe("lat", "lat", &[], &[1.0], 0.5);
+        let j = Json::parse(&r.render_json()).expect("valid JSON");
+        let fam = j.get("served_total").unwrap();
+        assert_eq!(fam.get("kind").unwrap().as_str(), Some("counter"));
+        let series = fam.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series[0].get("value").unwrap().as_f64(), Some(7.0));
+        let hist = j
+            .get("lat")
+            .unwrap()
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_conflicts_are_programming_errors() {
+        let r = Registry::new();
+        r.counter_inc("m", "m", &[]);
+        r.gauge_set("m", "m", &[], 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Span recording over caller-supplied clocks.
+//!
+//! A [`Tracer`] is a cheap cloneable handle. The enabled variant shares a
+//! mutex-guarded event buffer; the disabled variant is a `None` and every
+//! recording call returns after one branch — no lock, no allocation — so
+//! instrumented hot paths cost nothing in production runs.
+//!
+//! Two clocks coexist in one trace:
+//!
+//! * **Simulated seconds** for runtime and serving spans: the caller passes
+//!   the discrete-event timestamps directly ([`Tracer::span`]).
+//! * **Phase ticks** for compile-time work (model import, scheduling,
+//!   codegen, synthesis), where no simulated clock exists: [`Tracer::phase`]
+//!   returns an RAII guard and stamps the span from a monotonic counter,
+//!   one tick per begin/end. Deliberately not wall time — `Instant::now`
+//!   would make traces non-reproducible.
+
+use std::sync::{Arc, Mutex};
+
+/// Process id of the compilation-flow track group.
+pub const PID_FLOW: u32 = 1;
+/// Process id of the serving-layer track group.
+pub const PID_SERVE: u32 = 2;
+/// First process id handed out by [`Tracer::alloc_pid`] (device sims).
+const PID_DYNAMIC_BASE: u32 = 16;
+
+/// One recorded span (a Chrome trace-event "complete" event).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Slice label.
+    pub name: String,
+    /// Category (e.g. `kernel`, `write`, `read`, `phase`, `request`).
+    pub cat: String,
+    /// Track group (device / subsystem).
+    pub pid: u32,
+    /// Track within the group (queue / lane).
+    pub tid: u32,
+    /// Start, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds (0 for instant markers).
+    pub dur_us: f64,
+    /// Key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+pub(crate) struct Inner {
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) process_names: Vec<(u32, String)>,
+    pub(crate) thread_names: Vec<(u32, u32, String)>,
+    next_pid: u32,
+    /// The phase clock: advanced one tick per phase begin/end.
+    seq: u64,
+    /// Open phases (LIFO — closed by [`PhaseGuard`] drop order).
+    pending: Vec<(String, String, u32, u64, u32)>,
+}
+
+/// A span recorder. Clones share the same buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                next_pid: PID_DYNAMIC_BASE,
+                ..Inner::default()
+            }))),
+        }
+    }
+
+    /// A no-op tracer: every call is a single branch, nothing is allocated.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub(crate) fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("tracer poisoned")))
+    }
+
+    /// Allocates a fresh process id named `name` (0 when disabled).
+    pub fn alloc_pid(&self, name: &str) -> u32 {
+        self.with_inner(|i| {
+            let pid = i.next_pid;
+            i.next_pid += 1;
+            i.process_names.push((pid, name.to_string()));
+            pid
+        })
+        .unwrap_or(0)
+    }
+
+    /// Names a track group (idempotent per pid; last write wins).
+    pub fn set_process_name(&self, pid: u32, name: &str) {
+        self.with_inner(|i| {
+            i.process_names.retain(|(p, _)| *p != pid);
+            i.process_names.push((pid, name.to_string()));
+        });
+    }
+
+    /// Names a track within a group.
+    pub fn set_thread_name(&self, pid: u32, tid: u32, name: &str) {
+        self.with_inner(|i| {
+            i.thread_names.retain(|(p, t, _)| (*p, *t) != (pid, tid));
+            i.thread_names.push((pid, tid, name.to_string()));
+        });
+    }
+
+    /// Records a complete span over simulated seconds.
+    pub fn span(&self, pid: u32, tid: u32, cat: &str, name: &str, start_s: f64, end_s: f64) {
+        self.span_args(pid, tid, cat, name, start_s, end_s, &[]);
+    }
+
+    /// Records a complete span with annotations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_args(
+        &self,
+        pid: u32,
+        tid: u32,
+        cat: &str,
+        name: &str,
+        start_s: f64,
+        end_s: f64,
+        args: &[(&str, String)],
+    ) {
+        self.with_inner(|i| {
+            i.events.push(TraceEvent {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                pid,
+                tid,
+                ts_us: start_s * 1e6,
+                dur_us: (end_s - start_s).max(0.0) * 1e6,
+                args: args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+        });
+    }
+
+    /// Records a zero-duration marker (e.g. a shed decision).
+    pub fn instant(&self, pid: u32, tid: u32, cat: &str, name: &str, t_s: f64) {
+        self.span(pid, tid, cat, name, t_s, t_s);
+    }
+
+    /// Opens a phase span on the compile-flow track, stamped from the
+    /// monotonic phase counter. The returned guard closes it on drop.
+    pub fn phase(&self, cat: &str, name: &str) -> PhaseGuard {
+        self.phase_on(PID_FLOW, cat, name)
+    }
+
+    /// Opens a phase span on an explicit track group.
+    pub fn phase_on(&self, pid: u32, cat: &str, name: &str) -> PhaseGuard {
+        let open = self
+            .with_inner(|i| {
+                i.seq += 1;
+                let depth = i.pending.len() as u32;
+                let start = i.seq;
+                i.pending
+                    .push((cat.to_string(), name.to_string(), pid, start, depth));
+            })
+            .is_some();
+        PhaseGuard {
+            tracer: self.clone(),
+            open,
+        }
+    }
+
+    fn end_phase(&self) {
+        self.with_inner(|i| {
+            i.seq += 1;
+            let end = i.seq;
+            if let Some((cat, name, pid, start, depth)) = i.pending.pop() {
+                i.events.push(TraceEvent {
+                    name,
+                    cat,
+                    pid,
+                    tid: depth,
+                    ts_us: start as f64,
+                    dur_us: (end - start) as f64,
+                    args: Vec::new(),
+                });
+            }
+        });
+    }
+
+    /// Number of spans recorded so far (0 for a disabled tracer, always).
+    pub fn span_count(&self) -> usize {
+        self.with_inner(|i| i.events.len()).unwrap_or(0)
+    }
+
+    /// Snapshot of the recorded spans.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.with_inner(|i| i.events.clone()).unwrap_or_default()
+    }
+}
+
+/// RAII guard closing a phase span opened by [`Tracer::phase`].
+pub struct PhaseGuard {
+    tracer: Tracer,
+    open: bool,
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if self.open {
+            self.tracer.end_phase();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.span(1, 0, "kernel", "k", 0.0, 1.0);
+        t.instant(1, 0, "shed", "s", 2.0);
+        {
+            let _g = t.phase("compile", "import");
+        }
+        assert!(!t.is_enabled());
+        assert_eq!(t.span_count(), 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.alloc_pid("dev"), 0);
+    }
+
+    #[test]
+    fn spans_record_microsecond_timestamps() {
+        let t = Tracer::enabled();
+        t.span(3, 1, "write", "input", 0.5e-6, 2.5e-6);
+        let ev = &t.events()[0];
+        assert!((ev.ts_us - 0.5).abs() < 1e-12);
+        assert!((ev.dur_us - 2.0).abs() < 1e-12);
+        assert_eq!((ev.pid, ev.tid), (3, 1));
+    }
+
+    #[test]
+    fn phases_nest_by_guard_scope() {
+        let t = Tracer::enabled();
+        {
+            let _outer = t.phase("compile", "flow");
+            let _inner = t.phase("compile", "synthesis");
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        // Inner closes first and sits one level deeper.
+        assert_eq!(evs[0].name, "synthesis");
+        assert_eq!(evs[0].tid, 1);
+        assert_eq!(evs[1].name, "flow");
+        assert_eq!(evs[1].tid, 0);
+        // Containment: outer covers inner on the phase clock.
+        assert!(evs[1].ts_us <= evs[0].ts_us);
+        assert!(evs[1].ts_us + evs[1].dur_us >= evs[0].ts_us + evs[0].dur_us);
+    }
+
+    #[test]
+    fn clones_share_the_buffer_and_pids_are_unique() {
+        let t = Tracer::enabled();
+        let u = t.clone();
+        let a = t.alloc_pid("dev-a");
+        let b = u.alloc_pid("dev-b");
+        assert_ne!(a, b);
+        u.span(a, 0, "kernel", "k", 0.0, 1.0);
+        assert_eq!(t.span_count(), 1);
+    }
+}
