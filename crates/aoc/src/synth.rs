@@ -15,7 +15,7 @@ use std::hash::{Hash, Hasher};
 /// for closing the gap to hand-optimized accelerators (§6.5, §8.1): int8
 /// packs two operations per DSP in the 18x18 mode and quarters every LSU
 /// width and cache footprint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Precision {
     /// 32-bit IEEE float (the thesis' deployments).
     #[default]
@@ -199,6 +199,19 @@ impl BitstreamReport {
             .iter()
             .find(|k| k.name == name)
             .unwrap_or_else(|| panic!("no kernel `{name}` in bitstream"))
+    }
+
+    /// Worst per-kernel routing pressure in the bitstream — the quantity the
+    /// router compares against [`Calib::routing_fanout_bits`], and a feature
+    /// the auto-tuner's cost model learns from.
+    ///
+    /// [`Calib::routing_fanout_bits`]: crate::Calib::routing_fanout_bits
+    pub fn routing_pressure_bits(&self) -> u64 {
+        self.kernels
+            .iter()
+            .map(KernelReport::routing_pressure_bits)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -996,6 +996,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("ablations", ablations),
     ("host_engine", host_engine),
     ("serve", crate::serving::serve),
+    ("tune", crate::tune::tune),
 ];
 
 /// Runs one experiment by id.

@@ -18,3 +18,4 @@ pub mod serving;
 pub mod table;
 pub mod timing;
 pub mod tracing;
+pub mod tune;

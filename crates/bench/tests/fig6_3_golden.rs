@@ -1,0 +1,23 @@
+//! Guard for the `dse` → tuner-enumerative-mode refactor: the Table 6.6 /
+//! Figure 6.3 report must stay byte-identical to the committed reference
+//! output in `docs/repro_output.txt`.
+
+#[test]
+fn fig6_3_report_matches_the_golden_output_byte_for_byte() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/repro_output.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden output present");
+    let start = golden
+        .find("### Table 6.6")
+        .expect("golden file contains the Table 6.6 section");
+    let end = start
+        + golden[start..]
+            .find("\n### Table 6.7")
+            .expect("golden file contains the following section");
+    let expected = golden[start..end].trim_end_matches('\n');
+    let actual = fpgaccel_bench::experiments::fig6_3();
+    assert_eq!(
+        actual.trim_end_matches('\n'),
+        expected,
+        "fig6_3 diverged from docs/repro_output.txt after the DSE refactor"
+    );
+}

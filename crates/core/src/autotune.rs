@@ -1,0 +1,278 @@
+//! Flow-side glue for the `fpgaccel-tune` auto-scheduler.
+//!
+//! `fpgaccel-tune` deliberately knows nothing about the compile flow — its
+//! search engine evaluates candidates through the [`Evaluate`] trait. This
+//! module supplies the flow-backed implementation ([`FlowEvaluator`]),
+//! extracts the 1x1-convolution loop extents the proposal generator
+//! validates against, derives tuning-database keys, and offers the one-call
+//! [`tune_model`] entry point. [`Flow::with_tuned_config`] closes the loop:
+//! a flow (or the serving layer's deployment cache) deploys the tuned
+//! configuration straight from the database without ever searching.
+
+use crate::flow::Flow;
+use crate::options::{OptimizationConfig, TilingPreset};
+use fpgaccel_aoc::{synthesize, AocOptions, Precision};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::graph::{Graph, Op};
+use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::{Registry, Tracer};
+use fpgaccel_tune::{
+    shape_signature, Candidate, Conv1x1Shape, DbKey, EvalError, Evaluate, Measured, SearchConfig,
+    SearchSpace, TuneError, TuneOutcome, Tuner, TuningDb,
+};
+
+/// Loop extents of every (non-depthwise) 1x1 convolution in a fused,
+/// padding-materialized graph — what the tuner's legality checks and shape
+/// signature are computed from.
+pub fn conv1x1_shapes(graph: &Graph) -> Vec<Conv1x1Shape> {
+    graph
+        .nodes
+        .iter()
+        .filter_map(|n| match n.op {
+            Op::Conv2d {
+                out_channels,
+                kernel: 1,
+                depthwise: false,
+                ..
+            } => Some(Conv1x1Shape {
+                layer: n.name.clone(),
+                w2: n.out_shape.dim(2),
+                h2: n.out_shape.dim(1),
+                c2: out_channels,
+                c1: graph.nodes[n.inputs[0]].out_shape.dim(0),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The tuning-database key for a graph on a platform at a precision:
+/// *(model, layer-shape signature, platform, precision)*.
+pub fn db_key(graph: &Graph, platform: FpgaPlatform, precision: Precision) -> DbKey {
+    DbKey {
+        model: graph.name.clone(),
+        shape_sig: shape_signature(&conv1x1_shapes(graph)),
+        platform: format!("{platform:?}"),
+        precision,
+    }
+}
+
+/// The flow-backed candidate evaluator: synthesizes the 1x1-only bitstream,
+/// times every 1x1 layer through it, and reports full-network latency when
+/// the complete kernel set also fits — exactly the Table 6.6 methodology.
+///
+/// `Sync` by construction; each [`Evaluate::evaluate`] call clones its own
+/// [`Flow`], so the tuner's worker threads never share mutable state.
+pub struct FlowEvaluator {
+    flow: Flow,
+    graph: Graph,
+}
+
+impl FlowEvaluator {
+    /// An evaluator for `flow`, importing the graph once up front.
+    pub fn new(flow: &Flow) -> FlowEvaluator {
+        FlowEvaluator {
+            graph: flow.import_graph(),
+            flow: flow.clone(),
+        }
+    }
+
+    /// The imported (fused, padding-materialized) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The search space for this model/platform pair: the 1x1 layer
+    /// extents, the device's kernel-partition resource inventory, and its
+    /// routing fanout capacity.
+    pub fn space(&self) -> SearchSpace {
+        let device = self.flow.platform.model();
+        SearchSpace::new(
+            conv1x1_shapes(&self.graph),
+            device.kernel_budget(),
+            self.flow.calib.routing_fanout_bits(self.flow.platform),
+        )
+    }
+
+    /// The tuning-database key this evaluator's results belong under.
+    pub fn key(&self, precision: Precision) -> DbKey {
+        db_key(&self.graph, self.flow.platform, precision)
+    }
+}
+
+impl Evaluate for FlowEvaluator {
+    fn evaluate(&self, c: &Candidate) -> Result<Measured, EvalError> {
+        use crate::kernels::build_folded;
+        use fpgaccel_runtime::Sim;
+
+        // Each evaluation owns its own flow (workers never share one).
+        let flow = self.flow.clone();
+        let device = flow.platform.model();
+        let mut cfg = OptimizationConfig::folded(TilingPreset::Custom1x1 { tile: c.tile });
+        cfg.aoc = AocOptions::with_precision(c.precision);
+
+        let plan = build_folded(&self.graph, &cfg).map_err(|e| EvalError(e.to_string()))?;
+        let only_1x1: Vec<_> = plan
+            .kernels
+            .iter()
+            .filter(|k| k.name.starts_with("conv2d_1x1"))
+            .cloned()
+            .collect();
+        if only_1x1.is_empty() {
+            return Err(EvalError("model has no 1x1 convolutions".to_string()));
+        }
+        let bitstream = synthesize(&only_1x1, &device, &cfg.aoc, &flow.calib)
+            .map_err(|e| EvalError(e.to_string()))?;
+
+        // Time every 1x1 layer once through the lone kernel.
+        let mut sim = Sim::new(
+            device.clone(),
+            cfg.aoc,
+            flow.calib.clone(),
+            bitstream.fmax_mhz,
+        );
+        let q = sim.create_queue();
+        let mut prev = None;
+        for inv in plan
+            .invocations
+            .iter()
+            .filter(|i| i.kernel_name.starts_with("conv2d_1x1"))
+        {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(sim.enqueue_kernel(
+                q,
+                bitstream.kernel(&inv.kernel_name),
+                &inv.binding,
+                &deps,
+                &[],
+            ));
+        }
+        sim.finish();
+        let conv1x1_seconds = sim
+            .events()
+            .iter()
+            .map(fpgaccel_runtime::SimEvent::duration)
+            .sum();
+
+        let seconds_per_image = flow.compile(&cfg).ok().map(|d| d.simulate_batch(1).seconds);
+        Ok(Measured {
+            seconds_per_image,
+            conv1x1_seconds,
+            dsps: bitstream.total_resources.dsp,
+            ram_blocks: bitstream.total_resources.ram,
+            fmax_mhz: bitstream.fmax_mhz,
+            utilization: bitstream.utilization,
+            routing_bits: bitstream.routing_pressure_bits(),
+        })
+    }
+}
+
+/// Tunes a zoo model for a platform in one call: warm database lookup,
+/// search on a miss, winner recorded back into `db`. Spans land on the
+/// tracer's tune track, `tune_*` metrics in `registry`.
+///
+/// # Errors
+/// [`TuneError`] when the model has no 1x1 convolutions or nothing fits.
+pub fn tune_model(
+    model: Model,
+    platform: FpgaPlatform,
+    config: SearchConfig,
+    db: &mut TuningDb,
+    tracer: &Tracer,
+    registry: &Registry,
+) -> Result<TuneOutcome, TuneError> {
+    let flow = Flow::new(model, platform).with_tracer(tracer);
+    let eval = FlowEvaluator::new(&flow);
+    let key = eval.key(Precision::F32);
+    let tuner = Tuner::new(eval.space(), config)
+        .with_tracer(tracer.clone())
+        .with_registry(registry.clone());
+    tuner.tune(&key, db, &eval)
+}
+
+impl Flow {
+    /// The tuned deployment configuration for this flow's model/platform
+    /// from a tuning database, or `None` when nothing has been tuned yet.
+    /// The warm path: no search, no evaluation — just a keyed lookup.
+    pub fn with_tuned_config(&self, db: &TuningDb) -> Option<OptimizationConfig> {
+        let graph = self.import_graph();
+        let key = db_key(&graph, self.platform, Precision::F32);
+        let rec = db.lookup(&key)?;
+        let mut cfg = OptimizationConfig::folded(TilingPreset::Custom1x1 { tile: rec.tile });
+        cfg.label = "Folded-Tuned".into();
+        cfg.aoc = AocOptions::with_precision(key.precision);
+        Some(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpgaccel_tune::TuneRecord;
+
+    #[test]
+    fn mobilenet_shapes_give_the_table_6_6_axis_ladders() {
+        let graph = Flow::new(Model::MobileNetV1, FpgaPlatform::Arria10Gx).import_graph();
+        let shapes = conv1x1_shapes(&graph);
+        assert!(!shapes.is_empty());
+        let eval = FlowEvaluator::new(&Flow::new(Model::MobileNetV1, FpgaPlatform::Arria10Gx));
+        let (w2s, c2s, c1s) = eval.space().axis_factors();
+        // Every Table 6.6 hand-picked factor is on the legal ladders.
+        assert!(w2s.contains(&7));
+        for &(w2, c2, c1) in crate::bitstreams::TABLE_6_6_TILINGS {
+            assert!(w2s.contains(&w2) && c2s.contains(&c2) && c1s.contains(&c1));
+        }
+    }
+
+    #[test]
+    fn evaluator_matches_the_legacy_dse_on_one_point() {
+        let flow = Flow::new(Model::MobileNetV1, FpgaPlatform::Arria10Gx);
+        let eval = FlowEvaluator::new(&flow);
+        let m = eval.evaluate(&Candidate::new((7, 8, 8))).unwrap();
+        let legacy =
+            crate::dse::sweep_1x1(Model::MobileNetV1, FpgaPlatform::Arria10Gx, &[(7, 8, 8)]);
+        let l = legacy[0].result.as_ref().unwrap();
+        assert_eq!(m.dsps, l.dsps);
+        assert_eq!(m.fmax_mhz, l.fmax_mhz);
+        assert_eq!(m.conv1x1_seconds, l.conv1x1_seconds);
+        assert_eq!(m.seconds_per_image, l.seconds_per_image);
+    }
+
+    #[test]
+    fn tuned_config_deploys_from_the_database_and_compiles() {
+        let flow = Flow::new(Model::MobileNetV1, FpgaPlatform::Arria10Gx);
+        let mut db = TuningDb::new();
+        assert!(flow.with_tuned_config(&db).is_none());
+        let key = db_key(&flow.import_graph(), flow.platform, Precision::F32);
+        db.insert(
+            key,
+            TuneRecord {
+                tile: (7, 8, 8),
+                seconds_per_image: 0.02,
+                conv1x1_seconds: 0.01,
+                dsps: 504,
+                fmax_mhz: 190.0,
+                evaluations: 84,
+            },
+        );
+        let cfg = flow.with_tuned_config(&db).expect("record present");
+        assert_eq!(cfg.label, "Folded-Tuned");
+        flow.compile(&cfg)
+            .expect("tuned config compiles on the A10");
+    }
+
+    #[test]
+    fn lenet_has_nothing_to_tune() {
+        let mut db = TuningDb::new();
+        let err = tune_model(
+            Model::LeNet5,
+            FpgaPlatform::Arria10Gx,
+            SearchConfig::default(),
+            &mut db,
+            &Tracer::disabled(),
+            &Registry::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TuneError::EmptySpace(_)));
+    }
+}

@@ -3,13 +3,19 @@
 //! §4.11: "A design space explorer would benefit ... We leave resource
 //! modeling and exploration for a DSE to future work." With synthesis taking
 //! microseconds in the AOC model instead of 5–12 hours, the exploration the
-//! thesis could not afford becomes trivial — this module implements it.
-//! Used by the Table 6.6/Figure 6.3 sweep and `examples/design_space.rs`.
+//! thesis could not afford becomes trivial. Since the `fpgaccel-tune`
+//! subsystem landed, this module is a thin wrapper over the tuner's
+//! *enumerative* mode: candidates are evaluated by the same
+//! [`FlowEvaluator`] the guided search uses, fanned out across worker
+//! threads by [`fpgaccel_tune::enumerate`], with results (and error
+//! strings) identical to the original serial implementation. Used by the
+//! Table 6.6/Figure 6.3 sweep and `examples/design_space.rs`.
 
+use crate::autotune::FlowEvaluator;
 use crate::flow::Flow;
-use crate::options::{OptimizationConfig, TilingPreset};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
+use fpgaccel_tune::{enumerate, Candidate};
 
 /// Outcome of evaluating one 1x1-convolution tiling configuration.
 #[derive(Clone, Debug)]
@@ -49,71 +55,22 @@ pub fn sweep_1x1(
     platform: FpgaPlatform,
     tiles: &[(usize, usize, usize)],
 ) -> Vec<DsePoint> {
-    use crate::kernels::build_folded;
-    use fpgaccel_aoc::synthesize;
-    use fpgaccel_runtime::Sim;
-
-    let flow = Flow::new(model, platform);
-    let device = platform.model();
-    let graph = model.build().fuse().materialize_padding();
-    tiles
-        .iter()
-        .map(|&tile| {
-            let cfg = OptimizationConfig::folded(TilingPreset::Custom1x1 { tile });
-            let result = (|| -> Result<DseMetrics, String> {
-                let plan = build_folded(&graph, &cfg).map_err(|e| e.to_string())?;
-                let only_1x1: Vec<_> = plan
-                    .kernels
-                    .iter()
-                    .filter(|k| k.name.starts_with("conv2d_1x1"))
-                    .cloned()
-                    .collect();
-                if only_1x1.is_empty() {
-                    return Err("model has no 1x1 convolutions".to_string());
-                }
-                let bitstream = synthesize(&only_1x1, &device, &cfg.aoc, &flow.calib)
-                    .map_err(|e| e.to_string())?;
-                // Time every 1x1 layer once through the lone kernel.
-                let mut sim = Sim::new(
-                    device.clone(),
-                    cfg.aoc,
-                    flow.calib.clone(),
-                    bitstream.fmax_mhz,
-                );
-                let q = sim.create_queue();
-                let mut prev = None;
-                for inv in plan
-                    .invocations
-                    .iter()
-                    .filter(|i| i.kernel_name.starts_with("conv2d_1x1"))
-                {
-                    let deps: Vec<_> = prev.into_iter().collect();
-                    prev = Some(sim.enqueue_kernel(
-                        q,
-                        bitstream.kernel(&inv.kernel_name),
-                        &inv.binding,
-                        &deps,
-                        &[],
-                    ));
-                }
-                sim.finish();
-                let conv1x1_seconds = sim
-                    .events()
-                    .iter()
-                    .map(fpgaccel_runtime::SimEvent::duration)
-                    .sum();
-
-                let seconds_per_image =
-                    flow.compile(&cfg).ok().map(|d| d.simulate_batch(1).seconds);
-                Ok(DseMetrics {
-                    dsps: bitstream.total_resources.dsp,
-                    fmax_mhz: bitstream.fmax_mhz,
-                    utilization: bitstream.utilization,
-                    seconds_per_image,
-                    conv1x1_seconds,
+    let eval = FlowEvaluator::new(&Flow::new(model, platform));
+    let cands: Vec<Candidate> = tiles.iter().map(|&tile| Candidate::new(tile)).collect();
+    enumerate(&cands, &eval, 0)
+        .into_iter()
+        .zip(tiles)
+        .map(|(result, &tile)| DsePoint {
+            tile,
+            result: result
+                .map(|m| DseMetrics {
+                    dsps: m.dsps,
+                    fmax_mhz: m.fmax_mhz,
+                    utilization: m.utilization,
+                    seconds_per_image: m.seconds_per_image,
+                    conv1x1_seconds: m.conv1x1_seconds,
                 })
-            })();
-            DsePoint { tile, result }
+                .map_err(|e| e.0),
         })
         .collect()
 }

@@ -106,6 +106,18 @@ impl Flow {
         self
     }
 
+    /// Runs just the frontend: model import, Relay-style fusion and padding
+    /// materialization — the graph every later stage (and the auto-tuner's
+    /// shape extraction) consumes.
+    pub fn import_graph(&self) -> fpgaccel_tensor::graph::Graph {
+        match &self.source {
+            FlowSource::Model(m) => m.build(),
+            FlowSource::Graph(g) => g.as_ref().clone(),
+        }
+        .fuse()
+        .materialize_padding()
+    }
+
     /// Compiles the model under a configuration: frontend import → fusion →
     /// padding materialization → kernel generation → AOC synthesis →
     /// deployable accelerator.
@@ -122,12 +134,7 @@ impl Flow {
         // Frontend + Relay passes (§3.1).
         let graph = {
             let _p = self.tracer.phase("flow", "import");
-            match &self.source {
-                FlowSource::Model(m) => m.build(),
-                FlowSource::Graph(g) => g.as_ref().clone(),
-            }
-            .fuse()
-            .materialize_padding()
+            self.import_graph()
         };
         let device = self.platform.model();
 

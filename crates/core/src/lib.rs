@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod bitstreams;
 pub mod deploy;
 pub mod dse;
@@ -34,6 +35,7 @@ pub mod kernels;
 pub mod options;
 pub mod verify;
 
+pub use autotune::{conv1x1_shapes, db_key, tune_model, FlowEvaluator};
 pub use deploy::{BatchLatencyModel, BatchStats, Deployment, ExecutionPlan, InferResult};
 pub use flow::{Flow, FlowError};
 pub use options::{ExecMode, OptimizationConfig, TilingPreset};

@@ -79,6 +79,24 @@ impl DeploymentCache {
         Ok(d)
     }
 
+    /// Like [`DeploymentCache::get_or_compile`], but deploys the *tuned*
+    /// configuration from an auto-tuner database when one exists for this
+    /// model/platform (falling back to `fallback` otherwise). The tuned
+    /// lookup is a pure keyed read — no search, no candidate evaluation —
+    /// so warm serving start-up pays only the (cached) compile.
+    pub fn get_or_compile_tuned(
+        &mut self,
+        model: Model,
+        platform: FpgaPlatform,
+        db: &fpgaccel_tune::TuningDb,
+        fallback: &OptimizationConfig,
+    ) -> Result<Arc<Deployment>, FlowError> {
+        let config = Flow::new(model, platform)
+            .with_tuned_config(db)
+            .unwrap_or_else(|| fallback.clone());
+        self.get_or_compile(model, platform, &config)
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -133,6 +151,52 @@ mod tests {
         )
         .unwrap();
         assert_eq!((c.hits(), c.misses(), c.len()), (0, 3, 3));
+    }
+
+    #[test]
+    fn tuned_deploys_use_the_database_config() {
+        use fpgaccel_aoc::Precision;
+        use fpgaccel_core::{db_key, TilingPreset};
+        use fpgaccel_tune::{TuneRecord, TuningDb};
+
+        let model = Model::MobileNetV1;
+        let platform = FpgaPlatform::Stratix10Sx;
+        let fallback = fpgaccel_core::bitstreams::optimized_config(model, platform);
+        let mut c = DeploymentCache::new();
+
+        // Empty database: the fallback config deploys.
+        let plain = c
+            .get_or_compile_tuned(model, platform, &TuningDb::new(), &fallback)
+            .unwrap();
+        assert_eq!(plain.config.label, fallback.label);
+
+        // A tuned record switches the deployment to the database tiling.
+        let mut db = TuningDb::new();
+        let graph = Flow::new(model, platform).import_graph();
+        db.insert(
+            db_key(&graph, platform, Precision::F32),
+            TuneRecord {
+                tile: (7, 8, 4),
+                seconds_per_image: 0.004,
+                conv1x1_seconds: 0.002,
+                dsps: 1000,
+                fmax_mhz: 300.0,
+                evaluations: 42,
+            },
+        );
+        let tuned = c
+            .get_or_compile_tuned(model, platform, &db, &fallback)
+            .unwrap();
+        assert_eq!(tuned.config.label, "Folded-Tuned");
+        assert_eq!(
+            tuned.config.tiling,
+            TilingPreset::Custom1x1 { tile: (7, 8, 4) }
+        );
+        // Distinct configs cache separately; repeating the tuned deploy hits.
+        assert_eq!(c.misses(), 2);
+        c.get_or_compile_tuned(model, platform, &db, &fallback)
+            .unwrap();
+        assert_eq!(c.hits(), 1);
     }
 
     #[test]

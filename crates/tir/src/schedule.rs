@@ -11,6 +11,70 @@
 use crate::expr::IExpr;
 use crate::stmt::{LoopAttr, Stmt};
 
+/// Why a schedule primitive cannot be applied to a statement — the
+/// structured form of the legality checks, so callers (the auto-tuner's
+/// proposal generator, the folded planner) can reject a candidate *before*
+/// synthesis instead of panicking mid-rewrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// `var` names no loop in the statement.
+    NoSuchLoop {
+        /// The missing loop variable.
+        var: String,
+    },
+    /// A constant trip count is not evenly divisible by the split factor
+    /// (requirement 2 of §4.11 — the flow generates no epilogue loops).
+    NotDivisible {
+        /// The loop variable.
+        var: String,
+        /// Its constant extent.
+        extent: i64,
+        /// The requested split factor.
+        factor: usize,
+    },
+    /// No adjacent `first`/`second` loop pair exists to fuse.
+    NoAdjacentPair {
+        /// First loop variable.
+        first: String,
+        /// Second loop variable.
+        second: String,
+    },
+    /// An adjacent pair exists but the trip counts differ.
+    ExtentMismatch {
+        /// First loop variable.
+        first: String,
+        /// Second loop variable.
+        second: String,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NoSuchLoop { var } => write!(f, "no loop named `{var}`"),
+            ScheduleError::NotDivisible {
+                var,
+                extent,
+                factor,
+            } => write!(
+                f,
+                "extent {extent} of `{var}` not divisible by {factor} \
+                 (the flow avoids epilogue loops, §4.11)"
+            ),
+            ScheduleError::NoAdjacentPair { first, second } => {
+                write!(f, "no adjacent `{first}`/`{second}` pair found")
+            }
+            ScheduleError::ExtentMismatch { first, second } => write!(
+                f,
+                "extents of `{first}` and `{second}` differ \
+                 (peel iterations first, §4.3)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Strip-mines the loop named `var` by `factor`: replaces
 /// `for var in 0..E` with `for var_o in 0..E/factor { for var_i in 0..factor }`
 /// and substitutes `var := var_o * factor + var_i` in the body (§4.2,
@@ -25,15 +89,38 @@ use crate::stmt::{LoopAttr, Stmt};
 ///
 /// # Panics
 /// Panics if a constant extent is not divisible by `factor`, or if `var`
-/// does not name a loop in `stmt`.
+/// does not name a loop in `stmt`. Use [`try_split`] for the fallible form.
 pub fn split(stmt: &Stmt, var: &str, factor: usize) -> Stmt {
-    let mut found = false;
-    let out = split_inner(stmt, var, factor, &mut found);
-    assert!(found, "split: no loop named `{var}`");
-    out
+    try_split(stmt, var, factor).unwrap_or_else(|e| panic!("split: {e}"))
 }
 
-fn split_inner(stmt: &Stmt, var: &str, factor: usize, found: &mut bool) -> Stmt {
+/// [`split`] returning a structured [`ScheduleError`] instead of panicking
+/// on an indivisible constant extent or a missing loop. The tuner's
+/// proposal generator uses this to validate candidate factors against loop
+/// extents before synthesis.
+///
+/// # Errors
+/// [`ScheduleError::NotDivisible`] or [`ScheduleError::NoSuchLoop`].
+pub fn try_split(stmt: &Stmt, var: &str, factor: usize) -> Result<Stmt, ScheduleError> {
+    let mut found = false;
+    let mut err = None;
+    let out = split_inner(stmt, var, factor, &mut found, &mut err);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if !found {
+        return Err(ScheduleError::NoSuchLoop { var: var.into() });
+    }
+    Ok(out)
+}
+
+fn split_inner(
+    stmt: &Stmt,
+    var: &str,
+    factor: usize,
+    found: &mut bool,
+    err: &mut Option<ScheduleError>,
+) -> Stmt {
     match stmt {
         Stmt::For {
             var: v,
@@ -43,11 +130,14 @@ fn split_inner(stmt: &Stmt, var: &str, factor: usize, found: &mut bool) -> Stmt 
         } if v == var => {
             *found = true;
             if let IExpr::Const(e) = extent {
-                assert!(
-                    (*e as usize).is_multiple_of(factor),
-                    "split: extent {e} of `{var}` not divisible by {factor} \
-                     (the flow avoids epilogue loops, §4.11)"
-                );
+                if !(*e as usize).is_multiple_of(factor) {
+                    *err = Some(ScheduleError::NotDivisible {
+                        var: var.into(),
+                        extent: *e,
+                        factor,
+                    });
+                    return stmt.clone();
+                }
             }
             let (vo, vi) = (format!("{var}_o"), format!("{var}_i"));
             let outer_extent = extent.clone().div(IExpr::Const(factor as i64));
@@ -76,17 +166,17 @@ fn split_inner(stmt: &Stmt, var: &str, factor: usize, found: &mut bool) -> Stmt 
             var: v.clone(),
             extent: extent.clone(),
             attr: *attr,
-            body: Box::new(split_inner(body, var, factor, found)),
+            body: Box::new(split_inner(body, var, factor, found, err)),
         },
         Stmt::Block(stmts) => Stmt::Block(
             stmts
                 .iter()
-                .map(|s| split_inner(s, var, factor, found))
+                .map(|s| split_inner(s, var, factor, found, err))
                 .collect(),
         ),
         Stmt::If { cond, body } => Stmt::If {
             cond: cond.clone(),
-            body: Box::new(split_inner(body, var, factor, found)),
+            body: Box::new(split_inner(body, var, factor, found, err)),
         },
         other => other.clone(),
     }
@@ -95,24 +185,49 @@ fn split_inner(stmt: &Stmt, var: &str, factor: usize, found: &mut bool) -> Stmt 
 /// Marks the loop named `var` as unrolled (`#pragma unroll`, §4.1).
 ///
 /// # Panics
-/// Panics if `var` does not name a loop.
+/// Panics if `var` does not name a loop. Use [`try_unroll`] for the
+/// fallible form.
 pub fn unroll(stmt: &Stmt, var: &str) -> Stmt {
     set_attr(stmt, var, LoopAttr::Unrolled)
+}
+
+/// [`unroll`] returning [`ScheduleError::NoSuchLoop`] instead of panicking.
+///
+/// # Errors
+/// [`ScheduleError::NoSuchLoop`].
+pub fn try_unroll(stmt: &Stmt, var: &str) -> Result<Stmt, ScheduleError> {
+    try_set_attr(stmt, var, LoopAttr::Unrolled)
 }
 
 /// Marks the loop named `var` as explicitly serial (`#pragma unroll 1`).
 ///
 /// # Panics
-/// Panics if `var` does not name a loop.
+/// Panics if `var` does not name a loop. Use [`try_serialize`] for the
+/// fallible form.
 pub fn serialize(stmt: &Stmt, var: &str) -> Stmt {
     set_attr(stmt, var, LoopAttr::Serial)
 }
 
+/// [`serialize`] returning [`ScheduleError::NoSuchLoop`] instead of
+/// panicking.
+///
+/// # Errors
+/// [`ScheduleError::NoSuchLoop`].
+pub fn try_serialize(stmt: &Stmt, var: &str) -> Result<Stmt, ScheduleError> {
+    try_set_attr(stmt, var, LoopAttr::Serial)
+}
+
 fn set_attr(stmt: &Stmt, var: &str, new_attr: LoopAttr) -> Stmt {
+    try_set_attr(stmt, var, new_attr).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn try_set_attr(stmt: &Stmt, var: &str, new_attr: LoopAttr) -> Result<Stmt, ScheduleError> {
     let mut found = false;
     let out = set_attr_inner(stmt, var, new_attr, &mut found);
-    assert!(found, "no loop named `{var}`");
-    out
+    if !found {
+        return Err(ScheduleError::NoSuchLoop { var: var.into() });
+    }
+    Ok(out)
 }
 
 fn set_attr_inner(stmt: &Stmt, var: &str, new_attr: LoopAttr, found: &mut bool) -> Stmt {
@@ -162,21 +277,46 @@ fn set_attr_inner(stmt: &Stmt, var: &str, new_attr: LoopAttr, found: &mut bool) 
 /// element-wise epilogues, which are always legal.
 ///
 /// # Panics
-/// Panics if no such adjacent pair exists or the extents differ.
+/// Panics if no such adjacent pair exists or the extents differ. Use
+/// [`try_fuse_loops`] for the fallible form.
 pub fn fuse_loops(stmt: &Stmt, v1: &str, v2: &str) -> Stmt {
-    let mut found = false;
-    let out = fuse_inner(stmt, v1, v2, &mut found);
-    assert!(found, "fuse_loops: no adjacent `{v1}`/`{v2}` pair found");
-    out
+    try_fuse_loops(stmt, v1, v2).unwrap_or_else(|e| panic!("fuse_loops: {e}"))
 }
 
-fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
+/// [`fuse_loops`] returning a structured [`ScheduleError`] instead of
+/// panicking when the pair is absent or the extents differ.
+///
+/// # Errors
+/// [`ScheduleError::NoAdjacentPair`] or [`ScheduleError::ExtentMismatch`].
+pub fn try_fuse_loops(stmt: &Stmt, v1: &str, v2: &str) -> Result<Stmt, ScheduleError> {
+    let mut found = false;
+    let mut err = None;
+    let out = fuse_inner(stmt, v1, v2, &mut found, &mut err);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if !found {
+        return Err(ScheduleError::NoAdjacentPair {
+            first: v1.into(),
+            second: v2.into(),
+        });
+    }
+    Ok(out)
+}
+
+fn fuse_inner(
+    stmt: &Stmt,
+    v1: &str,
+    v2: &str,
+    found: &mut bool,
+    err: &mut Option<ScheduleError>,
+) -> Stmt {
     match stmt {
         Stmt::Block(stmts) => {
             let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
             let mut i = 0;
             while i < stmts.len() {
-                if !*found && i + 1 < stmts.len() {
+                if !*found && err.is_none() && i + 1 < stmts.len() {
                     if let (
                         Stmt::For {
                             var: a,
@@ -193,11 +333,15 @@ fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
                     ) = (&stmts[i], &stmts[i + 1])
                     {
                         if a == v1 && b == v2 {
-                            assert_eq!(
-                                e1, e2,
-                                "fuse_loops: extents of `{v1}` and `{v2}` differ \
-                                 (peel iterations first, §4.3)"
-                            );
+                            if e1 != e2 {
+                                *err = Some(ScheduleError::ExtentMismatch {
+                                    first: v1.into(),
+                                    second: v2.into(),
+                                });
+                                out.push(stmts[i].clone());
+                                i += 1;
+                                continue;
+                            }
                             *found = true;
                             let second = subst_stmt(b2, v2, &IExpr::var(v1));
                             out.push(Stmt::For {
@@ -211,7 +355,7 @@ fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
                         }
                     }
                 }
-                out.push(fuse_inner(&stmts[i], v1, v2, found));
+                out.push(fuse_inner(&stmts[i], v1, v2, found, err));
                 i += 1;
             }
             Stmt::Block(out)
@@ -225,11 +369,11 @@ fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
             var: var.clone(),
             extent: extent.clone(),
             attr: *attr,
-            body: Box::new(fuse_inner(body, v1, v2, found)),
+            body: Box::new(fuse_inner(body, v1, v2, found, err)),
         },
         Stmt::If { cond, body } => Stmt::If {
             cond: cond.clone(),
-            body: Box::new(fuse_inner(body, v1, v2, found)),
+            body: Box::new(fuse_inner(body, v1, v2, found, err)),
         },
         other => other.clone(),
     }
@@ -242,12 +386,24 @@ fn fuse_inner(stmt: &Stmt, v1: &str, v2: &str, found: &mut bool) -> Stmt {
 /// which is exactly the softmax max/denominator pattern of §5.1.3.
 ///
 /// # Panics
-/// Panics if `var` names no loop.
+/// Panics if `var` names no loop. Use [`try_hoist_invariants`] for the
+/// fallible form.
 pub fn hoist_invariants(stmt: &Stmt, var: &str) -> Stmt {
+    try_hoist_invariants(stmt, var).unwrap_or_else(|e| panic!("hoist_invariants: {e}"))
+}
+
+/// [`hoist_invariants`] returning [`ScheduleError::NoSuchLoop`] instead of
+/// panicking.
+///
+/// # Errors
+/// [`ScheduleError::NoSuchLoop`].
+pub fn try_hoist_invariants(stmt: &Stmt, var: &str) -> Result<Stmt, ScheduleError> {
     let mut found = false;
     let out = hoist_inner(stmt, var, &mut found);
-    assert!(found, "hoist_invariants: no loop named `{var}`");
-    out
+    if !found {
+        return Err(ScheduleError::NoSuchLoop { var: var.into() });
+    }
+    Ok(out)
 }
 
 fn hoist_inner(stmt: &Stmt, var: &str, found: &mut bool) -> Stmt {
@@ -331,6 +487,26 @@ fn stmt_uses_var(stmt: &Stmt, var: &str) -> bool {
         Stmt::If { cond, body } => bexpr_uses(cond, var) || stmt_uses_var(body, var),
         Stmt::WriteChannel { .. } => true,
     }
+}
+
+/// Collects every loop in the statement as `(var, constant extent)` pairs;
+/// symbolic extents yield `None`. The auto-tuner's proposal generator
+/// enumerates legal split factors from these extents instead of discovering
+/// illegality as a panic mid-rewrite.
+pub fn loop_extents(stmt: &Stmt) -> Vec<(String, Option<i64>)> {
+    let mut out = Vec::new();
+    stmt.visit(&mut |s| {
+        if let Stmt::For { var, extent, .. } = s {
+            out.push((
+                var.clone(),
+                match extent {
+                    IExpr::Const(e) => Some(*e),
+                    _ => None,
+                },
+            ));
+        }
+    });
+    out
 }
 
 /// Substitutes a loop variable by an index expression throughout a statement.
@@ -455,6 +631,71 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn split_rejects_indivisible_factor() {
         split(&vecadd_loop(10), "i", 4);
+    }
+
+    #[test]
+    fn try_split_returns_structured_errors() {
+        assert_eq!(
+            try_split(&vecadd_loop(10), "i", 4),
+            Err(ScheduleError::NotDivisible {
+                var: "i".into(),
+                extent: 10,
+                factor: 4
+            })
+        );
+        assert_eq!(
+            try_split(&vecadd_loop(8), "j", 2),
+            Err(ScheduleError::NoSuchLoop { var: "j".into() })
+        );
+        assert!(try_split(&vecadd_loop(8), "i", 2).is_ok());
+    }
+
+    #[test]
+    fn try_fuse_and_try_unroll_return_structured_errors() {
+        let block = Stmt::block(vec![
+            Stmt::for_(
+                "i",
+                IExpr::Const(8),
+                Stmt::store("a", IExpr::var("i"), VExpr::Const(1.0)),
+            ),
+            Stmt::for_(
+                "j",
+                IExpr::Const(4),
+                Stmt::store("b", IExpr::var("j"), VExpr::Const(2.0)),
+            ),
+        ]);
+        assert_eq!(
+            try_fuse_loops(&block, "i", "j"),
+            Err(ScheduleError::ExtentMismatch {
+                first: "i".into(),
+                second: "j".into()
+            })
+        );
+        assert_eq!(
+            try_fuse_loops(&block, "i", "k"),
+            Err(ScheduleError::NoAdjacentPair {
+                first: "i".into(),
+                second: "k".into()
+            })
+        );
+        assert_eq!(
+            try_unroll(&vecadd_loop(8), "nope"),
+            Err(ScheduleError::NoSuchLoop { var: "nope".into() })
+        );
+        assert_eq!(
+            try_hoist_invariants(&vecadd_loop(8), "nope"),
+            Err(ScheduleError::NoSuchLoop { var: "nope".into() })
+        );
+    }
+
+    #[test]
+    fn loop_extents_lists_constant_trip_counts() {
+        let s = split(&vecadd_loop(64), "i", 4);
+        let ext = loop_extents(&s);
+        assert_eq!(
+            ext,
+            vec![("i_o".to_string(), Some(16)), ("i_i".to_string(), Some(4))]
+        );
     }
 
     #[test]

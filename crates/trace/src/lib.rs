@@ -35,4 +35,4 @@ pub mod tracer;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::Registry;
-pub use tracer::{PhaseGuard, TraceEvent, Tracer, PID_FLOW, PID_SERVE};
+pub use tracer::{PhaseGuard, TraceEvent, Tracer, PID_FLOW, PID_SERVE, PID_TUNE};

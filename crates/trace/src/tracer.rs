@@ -21,6 +21,8 @@ use std::sync::{Arc, Mutex};
 pub const PID_FLOW: u32 = 1;
 /// Process id of the serving-layer track group.
 pub const PID_SERVE: u32 = 2;
+/// Process id of the auto-tuner track group.
+pub const PID_TUNE: u32 = 3;
 /// First process id handed out by [`Tracer::alloc_pid`] (device sims).
 const PID_DYNAMIC_BASE: u32 = 16;
 

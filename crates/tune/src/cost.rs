@@ -1,0 +1,289 @@
+//! The analytical cost model guiding the search.
+//!
+//! Four predictors per candidate — DSPs, RAM blocks, routing pressure,
+//! fmax — plus a latency estimate composed from them. Each predictor is
+//! seeded from the analytic priors of the AOC synthesis model (one DSP per
+//! `F32` MAC lane, quadratic fmax degradation in the DSP fraction, §2.4.5
+//! / §6.5) and refined online: every evaluated point's `BitstreamReport`
+//! resources and simulated latency re-fit the affine resource laws, the
+//! degradation coefficient, and a global multiplicative latency bias by
+//! least squares. The model never replaces evaluation — it only *ranks*
+//! unevaluated candidates, so only its ordering has to be right.
+
+use crate::candidate::{Candidate, SearchSpace};
+
+/// What one evaluated point teaches the model.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// The evaluated candidate.
+    pub candidate: Candidate,
+    /// Observed full-network seconds per image, when the complete kernel
+    /// set synthesized (`None` refines only the resource laws).
+    pub seconds: Option<f64>,
+    /// DSP blocks of the synthesized 1x1 bitstream.
+    pub dsps: u64,
+    /// RAM blocks of the synthesized 1x1 bitstream.
+    pub ram_blocks: u64,
+    /// Achieved clock.
+    pub fmax_mhz: f64,
+    /// Worst per-kernel routing pressure (bits).
+    pub routing_bits: u64,
+}
+
+/// Least-squares fit of `y ≈ a + b·x` (falls back to the prior when the
+/// points are degenerate).
+fn fit_affine(points: &[(f64, f64)], prior: (f64, f64)) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return prior;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-9 {
+        return prior;
+    }
+    let b = (n * sxy - sx * sy) / det;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Least-squares slope of `y ≈ b·x` through the origin.
+fn fit_slope(points: &[(f64, f64)], prior: f64) -> f64 {
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    if sxx < 1e-12 {
+        return prior;
+    }
+    points.iter().map(|p| p.0 * p.1).sum::<f64>() / sxx
+}
+
+/// The cost model: analytic priors refined by observed synthesis reports.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    total_macs: f64,
+    dsp_budget: f64,
+    ram_budget: f64,
+    routing_capacity: f64,
+    /// `dsps ≈ dsp_law.0 + dsp_law.1 · dsp_lanes`.
+    dsp_law: (f64, f64),
+    /// `ram ≈ ram_law.0 + ram_law.1 · lanes`.
+    ram_law: (f64, f64),
+    /// `routing_bits ≈ routing_law · (c2vec · c1vec)`.
+    routing_law: f64,
+    /// Undegraded clock estimate (MHz).
+    base_fmax_mhz: f64,
+    /// `fmax ≈ base · (1 − alpha · dsp_frac²)` — the §6.5 observation that
+    /// large tilings "severely degrade fmax".
+    fmax_alpha: f64,
+    /// Multiplicative correction from predicted to observed latency.
+    latency_bias: f64,
+    observations: Vec<Observation>,
+}
+
+impl CostModel {
+    /// Priors only — no observations yet.
+    pub fn new(space: &SearchSpace) -> CostModel {
+        CostModel {
+            total_macs: space.total_macs() as f64,
+            dsp_budget: space.budget.dsp as f64,
+            ram_budget: space.budget.ram as f64,
+            routing_capacity: space.routing_capacity_bits as f64,
+            // Prior: one DSP per F32 MAC lane, no constant overhead.
+            dsp_law: (0.0, 1.0),
+            // Prior: RAM grows slowly with lanes; start permissive.
+            ram_law: (0.0, 0.0),
+            routing_law: 0.0,
+            base_fmax_mhz: 200.0,
+            fmax_alpha: 0.5,
+            latency_bias: 1.0,
+            observations: Vec::new(),
+        }
+    }
+
+    /// DSP lanes a candidate consumes (precision packs MACs per DSP).
+    fn dsp_lanes(c: &Candidate) -> f64 {
+        c.lanes() as f64 / c.precision.macs_per_dsp() as f64
+    }
+
+    /// Predicted `(dsps, ram_blocks, routing_bits)`.
+    pub fn predict_resources(&self, c: &Candidate) -> (f64, f64, f64) {
+        let dsp = self.dsp_law.0 + self.dsp_law.1 * Self::dsp_lanes(c);
+        let ram = self.ram_law.0 + self.ram_law.1 * c.lanes() as f64;
+        let routing = self.routing_law * (c.tile.1 * c.tile.2) as f64;
+        (dsp.max(0.0), ram.max(0.0), routing.max(0.0))
+    }
+
+    /// Predicted achieved clock in MHz.
+    pub fn predict_fmax_mhz(&self, c: &Candidate) -> f64 {
+        let (dsp, _, _) = self.predict_resources(c);
+        let frac = (dsp / self.dsp_budget).min(1.5);
+        (self.base_fmax_mhz * (1.0 - self.fmax_alpha * frac * frac)).max(20.0)
+    }
+
+    /// Predicted full-network seconds per image — the ranking objective.
+    pub fn predict_seconds(&self, c: &Candidate) -> f64 {
+        let cycles = self.total_macs / c.lanes() as f64;
+        self.latency_bias * cycles / (self.predict_fmax_mhz(c) * 1e6)
+    }
+
+    /// True when the predictors say the candidate fits the device (used to
+    /// prune proposals before spending an evaluation on them).
+    pub fn predict_fits(&self, c: &Candidate) -> bool {
+        let (dsp, ram, routing) = self.predict_resources(c);
+        dsp <= self.dsp_budget && ram <= self.ram_budget && {
+            self.routing_law == 0.0 || routing <= self.routing_capacity
+        }
+    }
+
+    /// Number of points observed so far.
+    pub fn observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Folds one evaluated point in and re-fits every predictor.
+    pub fn observe(&mut self, obs: Observation) {
+        self.observations.push(obs);
+
+        let dsp_pts: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .map(|o| (Self::dsp_lanes(&o.candidate), o.dsps as f64))
+            .collect();
+        self.dsp_law = fit_affine(&dsp_pts, self.dsp_law);
+
+        let ram_pts: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .map(|o| (o.candidate.lanes() as f64, o.ram_blocks as f64))
+            .collect();
+        self.ram_law = fit_affine(&ram_pts, self.ram_law);
+
+        let routing_pts: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .map(|o| {
+                (
+                    (o.candidate.tile.1 * o.candidate.tile.2) as f64,
+                    o.routing_bits as f64,
+                )
+            })
+            .collect();
+        self.routing_law = fit_slope(&routing_pts, self.routing_law);
+
+        // The least-degraded observation approximates the undegraded clock.
+        self.base_fmax_mhz = self
+            .observations
+            .iter()
+            .map(|o| o.fmax_mhz)
+            .fold(self.base_fmax_mhz.min(250.0), f64::max);
+        let alpha_pts: Vec<(f64, f64)> = self
+            .observations
+            .iter()
+            .map(|o| {
+                let frac = (o.dsps as f64 / self.dsp_budget).min(1.5);
+                (frac * frac, 1.0 - o.fmax_mhz / self.base_fmax_mhz)
+            })
+            .collect();
+        self.fmax_alpha = fit_slope(&alpha_pts, self.fmax_alpha).clamp(0.0, 4.0);
+
+        // Geometric-mean ratio of observed to raw-model latency.
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        let snapshot: Vec<(Candidate, f64)> = self
+            .observations
+            .iter()
+            .filter_map(|o| o.seconds.map(|s| (o.candidate, s)))
+            .collect();
+        for (c, observed) in snapshot {
+            let raw = (self.total_macs / c.lanes() as f64) / (self.predict_fmax_mhz(&c) * 1e6);
+            if raw > 0.0 && observed > 0.0 {
+                log_sum += (observed / raw).ln();
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.latency_bias = (log_sum / n as f64).exp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Conv1x1Shape;
+    use fpgaccel_device::Resources;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(
+            vec![Conv1x1Shape {
+                layer: "l".into(),
+                w2: 14,
+                h2: 14,
+                c2: 64,
+                c1: 64,
+            }],
+            Resources {
+                alut: 400_000,
+                ff: 800_000,
+                ram: 2_000,
+                dsp: 1_500,
+            },
+            20_000,
+        )
+    }
+
+    #[test]
+    fn prior_prefers_more_parallelism_until_the_budget() {
+        let m = CostModel::new(&space());
+        let small = Candidate::new((1, 2, 2));
+        let big = Candidate::new((7, 8, 8));
+        assert!(m.predict_seconds(&big) < m.predict_seconds(&small));
+        assert!(m.predict_fits(&small));
+        // 7*64*64 lanes = 28k DSPs >> 1.5k: the prior already prunes it.
+        assert!(!m.predict_fits(&Candidate::new((7, 64, 64))));
+    }
+
+    #[test]
+    fn observations_refit_the_resource_laws() {
+        let mut m = CostModel::new(&space());
+        // Synthetic ground truth: dsps = 100 + 2*lanes, fmax 220 flat.
+        for tile in [(1, 2, 2), (7, 4, 4), (7, 8, 8)] {
+            let c = Candidate::new(tile);
+            m.observe(Observation {
+                candidate: c,
+                seconds: Some(1e-3),
+                dsps: 100 + 2 * c.lanes(),
+                ram_blocks: 50 + c.lanes() / 2,
+                fmax_mhz: 220.0,
+                routing_bits: 64 * (tile.1 * tile.2) as u64,
+            });
+        }
+        let (dsp, _, routing) = m.predict_resources(&Candidate::new((7, 4, 8)));
+        let lanes = 7.0 * 4.0 * 8.0;
+        assert!((dsp - (100.0 + 2.0 * lanes)).abs() < 1.0, "dsp law {dsp}");
+        assert!((routing - 64.0 * 32.0).abs() < 1.0, "routing law {routing}");
+        assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn latency_bias_calibrates_to_observed_seconds() {
+        let mut m = CostModel::new(&space());
+        let c = Candidate::new((7, 4, 4));
+        let raw = m.predict_seconds(&c);
+        m.observe(Observation {
+            candidate: c,
+            seconds: Some(raw * 3.0),
+            dsps: c.lanes(),
+            ram_blocks: 10,
+            fmax_mhz: 200.0,
+            routing_bits: 100,
+        });
+        let refined = m.predict_seconds(&c);
+        assert!(
+            (refined / (raw * 3.0) - 1.0).abs() < 0.35,
+            "bias did not calibrate: raw {raw}, refined {refined}"
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! The persistent tuning database.
+//!
+//! A flat JSON file of best-known records keyed by *(model, layer-shape
+//! signature, platform, precision)*. The flow and the serving layer's
+//! deployment cache look configs up here before ever considering a search;
+//! the tuner inserts (keeping the better of old and new) after a search
+//! completes. Written by hand-rolled formatting and read back with
+//! [`fpgaccel_trace::json`], so the crate stays dependency-free and the
+//! file round-trips exactly.
+
+use crate::candidate::Candidate;
+use fpgaccel_aoc::Precision;
+use fpgaccel_trace::json::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const DB_VERSION: u64 = 1;
+
+/// What a tuning record is keyed by.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DbKey {
+    /// Model name (the imported graph's name, e.g. `mobilenet_v1`).
+    pub model: String,
+    /// Layer-shape signature from [`crate::shape_signature`] — two models
+    /// with identical 1x1 extents share tuned configs.
+    pub shape_sig: String,
+    /// Target platform (`Debug` rendering of `FpgaPlatform`).
+    pub platform: String,
+    /// Numeric precision the record was tuned for.
+    pub precision: Precision,
+}
+
+impl DbKey {
+    /// Canonical flat id used for map ordering and JSON matching.
+    pub fn id(&self) -> String {
+        format!(
+            "{}|{}|{}|{:?}",
+            self.model, self.shape_sig, self.platform, self.precision
+        )
+    }
+}
+
+/// One best-known tuned configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneRecord {
+    /// Winning `(W_2vec, C_2vec, C_1vec)` tiling.
+    pub tile: (usize, usize, usize),
+    /// Simulated full-network seconds per image with that tiling.
+    pub seconds_per_image: f64,
+    /// Device-busy 1x1-convolution seconds per image.
+    pub conv1x1_seconds: f64,
+    /// DSP blocks of the 1x1-only bitstream.
+    pub dsps: u64,
+    /// Achieved clock.
+    pub fmax_mhz: f64,
+    /// Candidate evaluations the producing search spent.
+    pub evaluations: usize,
+}
+
+impl TuneRecord {
+    /// The tuned candidate this record deploys at `precision`.
+    pub fn candidate(&self, precision: Precision) -> Candidate {
+        Candidate {
+            tile: self.tile,
+            precision,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The database: an ordered map from [`DbKey`] to the best [`TuneRecord`]
+/// seen for it.
+#[derive(Clone, Debug, Default)]
+pub struct TuningDb {
+    records: BTreeMap<DbKey, TuneRecord>,
+}
+
+impl TuningDb {
+    /// An empty database.
+    pub fn new() -> TuningDb {
+        TuningDb::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Best-known record for a key, if any.
+    pub fn lookup(&self, key: &DbKey) -> Option<&TuneRecord> {
+        self.records.get(key)
+    }
+
+    /// Iterates records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&DbKey, &TuneRecord)> {
+        self.records.iter()
+    }
+
+    /// Inserts a record, keeping whichever of the existing and new record
+    /// has the lower latency. Returns true when `record` became (or stayed)
+    /// the stored one because it is at least as good.
+    pub fn insert(&mut self, key: DbKey, record: TuneRecord) -> bool {
+        match self.records.get(&key) {
+            Some(old) if old.seconds_per_image <= record.seconds_per_image => false,
+            _ => {
+                self.records.insert(key, record);
+                true
+            }
+        }
+    }
+
+    /// Renders the database as its canonical JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"version\": {DB_VERSION},\n  \"records\": ["
+        ));
+        for (i, (k, r)) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"model\": \"{}\", \"shape_sig\": \"{}\", \"platform\": \"{}\", \
+                 \"precision\": \"{:?}\", \"tile\": [{}, {}, {}], \
+                 \"seconds_per_image\": {}, \"conv1x1_seconds\": {}, \"dsps\": {}, \
+                 \"fmax_mhz\": {}, \"evaluations\": {}}}",
+                escape(&k.model),
+                escape(&k.shape_sig),
+                escape(&k.platform),
+                k.precision,
+                r.tile.0,
+                r.tile.1,
+                r.tile.2,
+                r.seconds_per_image,
+                r.conv1x1_seconds,
+                r.dsps,
+                r.fmax_mhz,
+                r.evaluations
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a database from its JSON document.
+    ///
+    /// # Errors
+    /// A message describing the first malformed field, or an unsupported
+    /// version.
+    pub fn from_json(src: &str) -> Result<TuningDb, String> {
+        let doc = Json::parse(src)?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or("missing `version`")?;
+        if version as u64 != DB_VERSION {
+            return Err(format!("unsupported tuning-db version {version}"));
+        }
+        let records = doc
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or("missing `records` array")?;
+        let mut db = TuningDb::new();
+        for (i, rec) in records.iter().enumerate() {
+            let field = |name: &str| -> Result<&Json, String> {
+                rec.get(name).ok_or(format!("record {i}: missing `{name}`"))
+            };
+            let text = |name: &str| -> Result<String, String> {
+                field(name)?
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or(format!("record {i}: `{name}` not a string"))
+            };
+            let num = |name: &str| -> Result<f64, String> {
+                field(name)?
+                    .as_f64()
+                    .ok_or(format!("record {i}: `{name}` not a number"))
+            };
+            let precision = match text("precision")?.as_str() {
+                "F32" => Precision::F32,
+                "Int16" => Precision::Int16,
+                "Int8" => Precision::Int8,
+                other => return Err(format!("record {i}: unknown precision `{other}`")),
+            };
+            let tile_arr = field("tile")?
+                .as_array()
+                .ok_or(format!("record {i}: `tile` not an array"))?;
+            if tile_arr.len() != 3 {
+                return Err(format!("record {i}: `tile` must have 3 factors"));
+            }
+            let factor = |j: usize| -> Result<usize, String> {
+                tile_arr[j]
+                    .as_f64()
+                    .map(|f| f as usize)
+                    .ok_or(format!("record {i}: tile[{j}] not a number"))
+            };
+            let key = DbKey {
+                model: text("model")?,
+                shape_sig: text("shape_sig")?,
+                platform: text("platform")?,
+                precision,
+            };
+            let record = TuneRecord {
+                tile: (factor(0)?, factor(1)?, factor(2)?),
+                seconds_per_image: num("seconds_per_image")?,
+                conv1x1_seconds: num("conv1x1_seconds")?,
+                dsps: num("dsps")? as u64,
+                fmax_mhz: num("fmax_mhz")?,
+                evaluations: num("evaluations")? as usize,
+            };
+            db.insert(key, record);
+        }
+        Ok(db)
+    }
+
+    /// Loads a database from `path`; a missing file is an empty database
+    /// (first run), a malformed file is an error.
+    ///
+    /// # Errors
+    /// I/O failures other than not-found, or a parse failure.
+    pub fn load(path: &Path) -> Result<TuningDb, String> {
+        match std::fs::read_to_string(path) {
+            Ok(src) => TuningDb::from_json(&src),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuningDb::new()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Writes the database to `path` (creating parent directories).
+    ///
+    /// # Errors
+    /// Any I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, self.to_json()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> DbKey {
+        DbKey {
+            model: "mobilenet_v1".into(),
+            shape_sig: "n13-deadbeef".into(),
+            platform: "Arria10Gx".into(),
+            precision: Precision::F32,
+        }
+    }
+
+    fn record(tile: (usize, usize, usize), s: f64) -> TuneRecord {
+        TuneRecord {
+            tile,
+            seconds_per_image: s,
+            conv1x1_seconds: s * 0.6,
+            dsps: 504,
+            fmax_mhz: 187.5,
+            evaluations: 84,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012345678901234));
+        db.insert(
+            DbKey {
+                platform: "Stratix10Gx".into(),
+                ..key()
+            },
+            record((7, 16, 8), 0.006),
+        );
+        let text = db.to_json();
+        let back = TuningDb::from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup(&key()), db.lookup(&key()));
+        // Canonical rendering is stable through a round trip.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn insert_keeps_the_better_record() {
+        let mut db = TuningDb::new();
+        assert!(db.insert(key(), record((7, 8, 8), 0.010)));
+        assert!(
+            !db.insert(key(), record((7, 4, 4), 0.020)),
+            "worse record must not replace"
+        );
+        assert_eq!(db.lookup(&key()).unwrap().tile, (7, 8, 8));
+        assert!(db.insert(key(), record((7, 16, 8), 0.005)));
+        assert_eq!(db.lookup(&key()).unwrap().tile, (7, 16, 8));
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_empty_db_and_save_round_trips() {
+        let dir = std::env::temp_dir().join("fpgaccel-tune-db-test");
+        let path = dir.join("nested").join("db.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(TuningDb::load(&path).unwrap().is_empty());
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012));
+        db.save(&path).unwrap();
+        let back = TuningDb::load(&path).unwrap();
+        assert_eq!(back.lookup(&key()).unwrap().tile, (7, 8, 8));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        assert!(TuningDb::from_json("{").is_err());
+        assert!(TuningDb::from_json("{\"version\": 99, \"records\": []}")
+            .unwrap_err()
+            .contains("version"));
+        let missing = "{\"version\": 1, \"records\": [{\"model\": \"m\"}]}";
+        let err = TuningDb::from_json(missing).unwrap_err();
+        assert!(err.contains("record 0: missing"), "{err}");
+    }
+}

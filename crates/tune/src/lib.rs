@@ -1,0 +1,47 @@
+//! # fpgaccel-tune
+//!
+//! The cost-model-guided auto-scheduler — the design-space exploration the
+//! thesis defers in §4.11 ("We leave resource modeling and exploration for
+//! a DSE to future work"), made affordable by the microsecond-scale AOC
+//! synthesis model and built as a production subsystem:
+//!
+//! * [`candidate`] — schedule candidates (1x1-conv tiling triples ×
+//!   numeric precision) and the **proposal generator**: a [`SearchSpace`]
+//!   that enumerates only candidates whose factors divide every layer's
+//!   loop extents, returning a structured [`LegalityError`] for anything
+//!   else *before* synthesis is attempted.
+//! * [`cost`] — the **analytical cost model**: DSP/RAM/fmax/routing
+//!   predictors seeded from the AOC synthesis model's analytic priors and
+//!   refined online from observed `BitstreamReport` numbers + simulated
+//!   latency of evaluated points.
+//! * [`search`] — the **search engine**: beam search ranked by the cost
+//!   model plus an evolutionary refinement loop, evaluating candidates in
+//!   parallel across `std::thread` workers through the [`Evaluate`] trait
+//!   (implemented flow-side so each evaluation owns its own compile flow).
+//! * [`db`] — the **persistent tuning database**: JSON records keyed by
+//!   (model, layer-shape signature, platform, precision), parsed back with
+//!   `fpgaccel_trace::json`, so flows and serving deployment caches reuse
+//!   tuned configs without re-searching.
+//! * [`tuner`] — the [`Tuner`] façade gluing warm database lookup, the
+//!   search engine, and `fpgaccel_trace` spans/metrics together.
+//!
+//! The crate is deliberately independent of `fpgaccel-core`: the evaluator
+//! is a trait, so the core flow implements it (and `core::dse` becomes a
+//! thin wrapper over [`enumerate`], the tuner's enumerative mode) without a
+//! dependency cycle.
+
+#![warn(missing_docs)]
+
+pub mod candidate;
+pub mod cost;
+pub mod db;
+pub mod search;
+pub mod tuner;
+
+pub use candidate::{
+    divisors, shape_signature, Candidate, Conv1x1Shape, LegalityError, SearchSpace,
+};
+pub use cost::{CostModel, Observation};
+pub use db::{DbKey, TuneRecord, TuningDb};
+pub use search::{enumerate, EvalError, Evaluate, Measured, SearchConfig};
+pub use tuner::{TuneError, TuneOutcome, Tuner};

@@ -1,0 +1,514 @@
+//! The search engine: cost-model-ranked beam search plus an evolutionary
+//! refinement loop, with parallel candidate evaluation.
+//!
+//! Evaluation is abstracted behind [`Evaluate`] so the engine stays
+//! independent of the compile flow (`fpgaccel-core` implements the trait
+//! and each worker evaluation owns its own flow). Parallelism is plain
+//! `std::thread::scope` workers pulling candidate indices from an atomic
+//! counter; results land in their candidate's slot, so the outcome is
+//! byte-identical regardless of thread interleaving.
+
+use crate::candidate::{Candidate, SearchSpace};
+use crate::cost::{CostModel, Observation};
+use fpgaccel_tensor::rng::Rng64;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What evaluating one candidate measured (mirrors the Table 6.6 columns).
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// Simulated seconds per image for the full network, when the complete
+    /// kernel set also synthesizes on the platform.
+    pub seconds_per_image: Option<f64>,
+    /// Device-busy seconds of the 1x1-convolution kernel per image.
+    pub conv1x1_seconds: f64,
+    /// DSP blocks of the 1x1-only bitstream.
+    pub dsps: u64,
+    /// RAM blocks of the 1x1-only bitstream.
+    pub ram_blocks: u64,
+    /// Achieved clock.
+    pub fmax_mhz: f64,
+    /// Utilization percentages (logic, RAM, DSP).
+    pub utilization: (f64, f64, f64),
+    /// Worst per-kernel routing pressure (bits).
+    pub routing_bits: u64,
+}
+
+impl Measured {
+    /// The search objective: full-network latency, infinity when the
+    /// complete network does not fit.
+    pub fn objective(&self) -> f64 {
+        self.seconds_per_image.unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Why evaluating a candidate failed (plan construction or synthesis); the
+/// payload keeps the exact flow error rendering so enumerative callers
+/// reproduce their historical output byte for byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A candidate evaluator. Implementations must be callable from several
+/// worker threads at once; the flow-backed evaluator clones a fresh
+/// compile flow per call.
+pub trait Evaluate: Sync {
+    /// Synthesizes/simulates one candidate.
+    ///
+    /// # Errors
+    /// [`EvalError`] when the plan cannot be built or synthesis fails.
+    fn evaluate(&self, c: &Candidate) -> Result<Measured, EvalError>;
+}
+
+/// The tuner's enumerative mode: evaluates every candidate, in order, with
+/// up to `workers` threads (`0` = one per available core). This is what
+/// `core::dse::sweep_1x1` wraps.
+pub fn enumerate(
+    cands: &[Candidate],
+    eval: &dyn Evaluate,
+    workers: usize,
+) -> Vec<Result<Measured, EvalError>> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        workers
+    }
+    .min(cands.len().max(1));
+
+    if workers <= 1 || cands.len() <= 1 {
+        return cands.iter().map(|c| eval.evaluate(c)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<Measured, EvalError>>>> =
+        Mutex::new(vec![None; cands.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cands.len() {
+                    break;
+                }
+                let r = eval.evaluate(&cands[i]);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.expect("every candidate evaluated"))
+        .collect()
+}
+
+/// Search-budget and shape knobs.
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Hard cap on candidate evaluations (the thesis-scale bound: 200
+    /// evaluations instead of 200 × 5–12 h of real synthesis).
+    pub max_evaluations: usize,
+    /// Candidates evaluated per beam round.
+    pub beam_width: usize,
+    /// Beam rounds (cost model re-ranks between rounds).
+    pub beam_rounds: usize,
+    /// Evolutionary refinement rounds after the beam.
+    pub evo_rounds: usize,
+    /// Offspring evaluated per evolutionary round.
+    pub population: usize,
+    /// Worker threads for parallel evaluation (`0` = one per core).
+    pub workers: usize,
+    /// Seed for the evolutionary mutations (fixed → reproducible runs).
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_evaluations: 200,
+            beam_width: 8,
+            beam_rounds: 3,
+            evo_rounds: 3,
+            population: 8,
+            workers: 0,
+            seed: 0x7EAE_5EED,
+        }
+    }
+}
+
+/// Everything the search evaluated plus the incumbent.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// Best feasible candidate and its measurement, if any candidate's
+    /// full network fit the platform.
+    pub best: Option<(Candidate, Measured)>,
+    /// Evaluations actually spent.
+    pub evaluations: usize,
+    /// Every evaluated candidate with its outcome, in evaluation order.
+    pub evaluated: Vec<(Candidate, Result<Measured, EvalError>)>,
+}
+
+/// Runs beam search + evolutionary refinement over `space`.
+///
+/// Each round ranks the not-yet-evaluated legal proposals with the cost
+/// model, evaluates the top `beam_width` in parallel, and feeds every
+/// result back into the model; the evolutionary loop then mutates and
+/// recombines the best evaluated tilings along their legal factor ladders.
+/// Deterministic for a fixed seed: ranking ties break on proposal order
+/// and results are reduced in candidate order.
+///
+/// `on_round` is called once per completed round with `(round_label,
+/// evaluations_so_far, best_objective_so_far)` — the tuner hooks tracing
+/// and metrics in there without this module depending on them.
+pub fn search(
+    space: &SearchSpace,
+    cfg: &SearchConfig,
+    eval: &dyn Evaluate,
+    mut on_round: impl FnMut(&str, usize, f64),
+) -> SearchResult {
+    let proposals = match space.proposals() {
+        Ok(p) => p,
+        Err(_) => {
+            return SearchResult {
+                best: None,
+                evaluations: 0,
+                evaluated: Vec::new(),
+            }
+        }
+    };
+    let mut model = CostModel::new(space);
+    let mut seen: HashSet<Candidate> = HashSet::new();
+    let mut evaluated: Vec<(Candidate, Result<Measured, EvalError>)> = Vec::new();
+    let mut spent = 0usize;
+
+    let mut run_batch = |batch: Vec<Candidate>,
+                         label: &str,
+                         model: &mut CostModel,
+                         seen: &mut HashSet<Candidate>,
+                         evaluated: &mut Vec<(Candidate, Result<Measured, EvalError>)>,
+                         spent: &mut usize| {
+        if batch.is_empty() {
+            return;
+        }
+        let results = enumerate(&batch, eval, cfg.workers);
+        for (c, r) in batch.into_iter().zip(results) {
+            seen.insert(c);
+            *spent += 1;
+            if let Ok(m) = &r {
+                model.observe(Observation {
+                    candidate: c,
+                    seconds: m.seconds_per_image,
+                    dsps: m.dsps,
+                    ram_blocks: m.ram_blocks,
+                    fmax_mhz: m.fmax_mhz,
+                    routing_bits: m.routing_bits,
+                });
+            }
+            evaluated.push((c, r));
+        }
+        let best = best_objective(evaluated);
+        on_round(label, *spent, best);
+    };
+
+    // Beam rounds: rank the frontier by predicted latency, evaluate the top.
+    for round in 0..cfg.beam_rounds {
+        if spent >= cfg.max_evaluations {
+            break;
+        }
+        let mut frontier: Vec<(usize, &Candidate)> = proposals
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !seen.contains(c) && model.predict_fits(c))
+            .collect();
+        if frontier.is_empty() {
+            break;
+        }
+        frontier.sort_by(|(ia, a), (ib, b)| {
+            model
+                .predict_seconds(a)
+                .total_cmp(&model.predict_seconds(b))
+                .then(ia.cmp(ib))
+        });
+        let take = cfg
+            .beam_width
+            .min(cfg.max_evaluations - spent)
+            .min(frontier.len());
+        let batch: Vec<Candidate> = frontier[..take].iter().map(|(_, c)| **c).collect();
+        run_batch(
+            batch,
+            &format!("beam round {round}"),
+            &mut model,
+            &mut seen,
+            &mut evaluated,
+            &mut spent,
+        );
+    }
+
+    // Evolutionary refinement: mutate/recombine elites along the legal
+    // factor ladders.
+    let (w2s, c2s, c1s) = space.axis_factors();
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
+    for round in 0..cfg.evo_rounds {
+        if spent >= cfg.max_evaluations {
+            break;
+        }
+        let mut elites: Vec<(Candidate, f64)> = evaluated
+            .iter()
+            .filter_map(|(c, r)| {
+                r.as_ref()
+                    .ok()
+                    .and_then(|m| m.seconds_per_image)
+                    .map(|s| (*c, s))
+            })
+            .collect();
+        if elites.is_empty() {
+            break;
+        }
+        elites.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.tile.cmp(&b.0.tile)));
+        elites.truncate((cfg.population / 2).max(2));
+
+        let mut offspring: Vec<Candidate> = Vec::new();
+        for (parent, _) in &elites {
+            offspring.push(mutate(parent, &w2s, &c2s, &c1s, &mut rng));
+            offspring.push(mutate(parent, &w2s, &c2s, &c1s, &mut rng));
+        }
+        for pair in elites.windows(2) {
+            offspring.push(crossover(&pair[0].0, &pair[1].0, &mut rng));
+        }
+        offspring.retain(|c| space.validate(c).is_ok());
+        let mut fresh: Vec<Candidate> = Vec::new();
+        for c in offspring {
+            if !seen.contains(&c) && !fresh.contains(&c) {
+                fresh.push(c);
+            }
+        }
+        fresh.truncate(cfg.population.min(cfg.max_evaluations - spent));
+        if fresh.is_empty() {
+            continue;
+        }
+        run_batch(
+            fresh,
+            &format!("evolution round {round}"),
+            &mut model,
+            &mut seen,
+            &mut evaluated,
+            &mut spent,
+        );
+    }
+
+    let best = evaluated
+        .iter()
+        .filter_map(|(c, r)| {
+            r.as_ref()
+                .ok()
+                .filter(|m| m.seconds_per_image.is_some())
+                .map(|m| (*c, m.clone()))
+        })
+        .min_by(|a, b| {
+            a.1.objective()
+                .total_cmp(&b.1.objective())
+                .then(a.0.tile.cmp(&b.0.tile))
+        });
+    SearchResult {
+        best,
+        evaluations: spent,
+        evaluated,
+    }
+}
+
+fn best_objective(evaluated: &[(Candidate, Result<Measured, EvalError>)]) -> f64 {
+    evaluated
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().and_then(|m| m.seconds_per_image))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Moves one tile axis a step along its legal factor ladder.
+fn mutate(
+    c: &Candidate,
+    w2s: &[usize],
+    c2s: &[usize],
+    c1s: &[usize],
+    rng: &mut Rng64,
+) -> Candidate {
+    let mut tile = c.tile;
+    let axis = rng.below(3);
+    let step = |ladder: &[usize], cur: usize, rng: &mut Rng64| -> usize {
+        let i = ladder.iter().position(|&f| f == cur).unwrap_or(0);
+        let up = rng.below(2) == 0;
+        let j = if up {
+            (i + 1).min(ladder.len() - 1)
+        } else {
+            i.saturating_sub(1)
+        };
+        ladder[j]
+    };
+    match axis {
+        0 => tile.0 = step(w2s, tile.0, rng),
+        1 => tile.1 = step(c2s, tile.1, rng),
+        _ => tile.2 = step(c1s, tile.2, rng),
+    }
+    Candidate {
+        tile,
+        precision: c.precision,
+    }
+}
+
+/// Mixes two parents' axes.
+fn crossover(a: &Candidate, b: &Candidate, rng: &mut Rng64) -> Candidate {
+    let pick = |x: usize, y: usize, rng: &mut Rng64| if rng.below(2) == 0 { x } else { y };
+    Candidate {
+        tile: (
+            pick(a.tile.0, b.tile.0, rng),
+            pick(a.tile.1, b.tile.1, rng),
+            pick(a.tile.2, b.tile.2, rng),
+        ),
+        precision: a.precision,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Conv1x1Shape;
+    use fpgaccel_device::Resources;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Synthetic evaluator with an analytic optimum inside the legal grid:
+    /// latency falls with lanes until the DSP budget, then the network
+    /// stops fitting.
+    struct Synthetic {
+        calls: AtomicUsize,
+        dsp_budget: u64,
+    }
+
+    impl Evaluate for Synthetic {
+        fn evaluate(&self, c: &Candidate) -> Result<Measured, EvalError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let lanes = c.lanes();
+            let dsps = 50 + lanes;
+            let fmax = 220.0 / (1.0 + (lanes as f64 / 600.0).powi(2));
+            let fits = dsps <= self.dsp_budget;
+            let seconds = 1.0e9 / (lanes as f64 * fmax * 1e6);
+            Ok(Measured {
+                seconds_per_image: fits.then_some(seconds),
+                conv1x1_seconds: seconds * 0.8,
+                dsps,
+                ram_blocks: 100 + lanes / 4,
+                fmax_mhz: fmax,
+                utilization: (10.0, 10.0, dsps as f64 / 15.0),
+                routing_bits: 40 * (c.tile.1 * c.tile.2) as u64,
+            })
+        }
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(
+            vec![
+                Conv1x1Shape {
+                    layer: "a".into(),
+                    w2: 28,
+                    h2: 28,
+                    c2: 64,
+                    c1: 32,
+                },
+                Conv1x1Shape {
+                    layer: "b".into(),
+                    w2: 14,
+                    h2: 14,
+                    c2: 128,
+                    c1: 64,
+                },
+            ],
+            Resources {
+                alut: 400_000,
+                ff: 800_000,
+                ram: 2_000,
+                dsp: 1_000,
+            },
+            20_000,
+        )
+    }
+
+    #[test]
+    fn enumerate_preserves_candidate_order_across_workers() {
+        let eval = Synthetic {
+            calls: AtomicUsize::new(0),
+            dsp_budget: 1_000,
+        };
+        let cands: Vec<Candidate> = space().proposals().unwrap();
+        let serial = enumerate(&cands, &eval, 1);
+        let parallel = enumerate(&cands, &eval, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.as_ref().unwrap().dsps,
+                p.as_ref().unwrap().dsps,
+                "order not preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn search_finds_the_synthetic_optimum_within_budget() {
+        let eval = Synthetic {
+            calls: AtomicUsize::new(0),
+            dsp_budget: 1_000,
+        };
+        let cfg = SearchConfig {
+            max_evaluations: 60,
+            ..SearchConfig::default()
+        };
+        let r = search(&space(), &cfg, &eval, |_, _, _| {});
+        let (best, m) = r.best.expect("feasible candidate exists");
+        assert!(r.evaluations <= 60);
+        assert_eq!(r.evaluations, eval.calls.load(Ordering::Relaxed));
+        // Exhaustive reference: the true best of the legal grid.
+        let all = space().proposals().unwrap();
+        let truth = all
+            .iter()
+            .filter_map(|c| {
+                eval.evaluate(c)
+                    .ok()
+                    .and_then(|m| m.seconds_per_image.map(|s| (*c, s)))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert!(
+            m.objective() <= truth.1 * 1.001,
+            "search best {best} ({:.3e}s) worse than grid best {} ({:.3e}s)",
+            m.objective(),
+            truth.0,
+            truth.1
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_fixed_seed() {
+        let eval = Synthetic {
+            calls: AtomicUsize::new(0),
+            dsp_budget: 1_000,
+        };
+        let cfg = SearchConfig {
+            max_evaluations: 40,
+            workers: 4,
+            ..SearchConfig::default()
+        };
+        let a = search(&space(), &cfg, &eval, |_, _, _| {});
+        let b = search(&space(), &cfg, &eval, |_, _, _| {});
+        let tiles = |r: &SearchResult| r.evaluated.iter().map(|(c, _)| c.tile).collect::<Vec<_>>();
+        assert_eq!(tiles(&a), tiles(&b));
+        assert_eq!(
+            a.best.as_ref().unwrap().0.tile,
+            b.best.as_ref().unwrap().0.tile
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`baseline`] — the real Rust reference engine and framework models.
 //! * [`serve`] — multi-device inference serving: device pool, dynamic
 //!   batching, admission control, deployment cache.
+//! * [`tune`] — the cost-model-guided auto-scheduler: legality-checked
+//!   proposal generation, beam + evolutionary search, persistent tuning
+//!   database.
+//! * [`trace`] — span tracing, Perfetto timeline export, metrics registry.
 //!
 //! ## Quickstart
 //!
@@ -53,3 +57,5 @@ pub use fpgaccel_runtime as runtime;
 pub use fpgaccel_serve as serve;
 pub use fpgaccel_tensor as tensor;
 pub use fpgaccel_tir as tir;
+pub use fpgaccel_trace as trace;
+pub use fpgaccel_tune as tune;

@@ -1,0 +1,136 @@
+//! Acceptance tests for the `fpgaccel-tune` auto-scheduler: on the
+//! Arria 10 GX the tuner must find a MobileNetV1 1x1-convolution
+//! configuration at least as fast as the hand-tuned Table 6.7 deployment
+//! within a bounded evaluation budget, and a warm tuning-database lookup
+//! must skip the search entirely.
+
+use fpgaccel::core::bitstreams::mobilenet_tile;
+use fpgaccel::core::{tune_model, Flow, FlowEvaluator, OptimizationConfig, TilingPreset};
+use fpgaccel::device::FpgaPlatform;
+use fpgaccel::tensor::models::Model;
+use fpgaccel::trace::{Registry, Tracer, PID_TUNE};
+use fpgaccel::tune::{Candidate, Evaluate, SearchConfig, TuningDb};
+
+const BUDGET: usize = 200;
+
+fn config() -> SearchConfig {
+    SearchConfig {
+        max_evaluations: BUDGET,
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn tuner_matches_or_beats_the_hand_tuned_mobilenet_deployment() {
+    let model = Model::MobileNetV1;
+    let platform = FpgaPlatform::Arria10Gx;
+
+    // Hand-tuned reference: the thesis' 7/8/8 deployment (Table 6.7),
+    // simulated at batch 1.
+    let flow = Flow::new(model, platform);
+    let hand = flow
+        .compile(&OptimizationConfig::folded(TilingPreset::MobileNet {
+            one_by_one: mobilenet_tile(platform),
+        }))
+        .expect("hand-tuned MobileNet fits the A10");
+    let hand_seconds = hand.simulate_batch(1).seconds;
+
+    let tracer = Tracer::enabled();
+    let registry = Registry::default();
+    let mut db = TuningDb::new();
+    let out = tune_model(model, platform, config(), &mut db, &tracer, &registry).unwrap();
+
+    assert!(!out.from_cache);
+    assert!(
+        out.evaluations <= BUDGET,
+        "search spent {} evaluations, budget {BUDGET}",
+        out.evaluations
+    );
+    assert!(
+        out.seconds_per_image <= hand_seconds * (1.0 + 1e-9),
+        "tuned {}s/img worse than hand-tuned {hand_seconds}s/img",
+        out.seconds_per_image
+    );
+    // The tuning run is observable: spans on the tune track, counters in
+    // the registry.
+    assert!(tracer.events().iter().any(|e| e.pid == PID_TUNE));
+    assert!(registry
+        .value(
+            "tune_evaluations_total",
+            &[("model", "mobilenet_v1"), ("platform", "Arria10Gx")]
+        )
+        .is_some_and(|v| v as usize == out.evaluations));
+}
+
+#[test]
+fn warm_database_lookup_skips_the_search_and_deploys() {
+    let model = Model::MobileNetV1;
+    let platform = FpgaPlatform::Arria10Gx;
+    let dir = std::env::temp_dir().join("fpgaccel-autotune-accept");
+    let path = dir.join("tune_db.json");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold search, persisted.
+    let mut db = TuningDb::new();
+    let cold = tune_model(
+        model,
+        platform,
+        config(),
+        &mut db,
+        &Tracer::disabled(),
+        &Registry::default(),
+    )
+    .unwrap();
+    db.save(&path).unwrap();
+
+    // Warm run from the reloaded database: zero evaluations, same tile.
+    let mut reloaded = TuningDb::load(&path).unwrap();
+    let warm = tune_model(
+        model,
+        platform,
+        config(),
+        &mut reloaded,
+        &Tracer::disabled(),
+        &Registry::default(),
+    )
+    .unwrap();
+    assert!(warm.from_cache, "second run must hit the tuning database");
+    assert_eq!(warm.evaluations, 0, "warm lookup must not search");
+    assert!(warm.evaluated.is_empty());
+    assert_eq!(warm.candidate.tile, cold.candidate.tile);
+    assert_eq!(warm.seconds_per_image, cold.seconds_per_image);
+
+    // The tuned config deploys end to end through the flow.
+    let flow = Flow::new(model, platform);
+    let cfg = flow
+        .with_tuned_config(&reloaded)
+        .expect("database holds this model/platform");
+    assert_eq!(cfg.label, "Folded-Tuned");
+    let d = flow.compile(&cfg).expect("tuned config compiles");
+    let tuned_seconds = d.simulate_batch(1).seconds;
+    assert!((tuned_seconds - warm.seconds_per_image).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tuned_candidate_agrees_with_direct_evaluation() {
+    // The record the tuner persists must describe exactly what the
+    // evaluator measures for that candidate (no stale or averaged numbers).
+    let model = Model::MobileNetV1;
+    let platform = FpgaPlatform::Arria10Gx;
+    let mut db = TuningDb::new();
+    let out = tune_model(
+        model,
+        platform,
+        config(),
+        &mut db,
+        &Tracer::disabled(),
+        &Registry::default(),
+    )
+    .unwrap();
+    let eval = FlowEvaluator::new(&Flow::new(model, platform));
+    let m = eval.evaluate(&Candidate::new(out.candidate.tile)).unwrap();
+    assert_eq!(m.seconds_per_image, Some(out.seconds_per_image));
+    assert_eq!(m.dsps, out.dsps);
+    assert_eq!(m.fmax_mhz, out.fmax_mhz);
+}

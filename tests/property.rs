@@ -265,6 +265,103 @@ fn split_unroll_preserve_semantics() {
     }
 }
 
+/// The full schedule chain the auto-tuner composes — `fuse_loops` →
+/// `try_split` → `unroll` → `hoist_invariants` — preserves loop-nest
+/// semantics at *every* intermediate step, for randomized extents, split
+/// factors and data. The nest is the tuner's worst case: two adjacent
+/// equal-extent loops inside an outer loop whose body starts with a
+/// loop-invariant store.
+#[test]
+fn schedule_chain_preserves_semantics_at_each_step() {
+    use fpgaccel::tir::kernel::{BufRole, BufferDecl, Kernel};
+    use fpgaccel::tir::schedule::{hoist_invariants, try_split, unroll};
+    use fpgaccel::tir::{IExpr, Stmt, VExpr};
+
+    let mut rng = Rng64::seed_from_u64(0xC0_4408);
+    for case in 0..CASES {
+        let m = 1 + rng.below(6) as usize;
+        let n = 4 * (1 + rng.below(6) as usize);
+        let factor = pick(&mut rng, &divisors(n));
+        let scale = 0.25 + (rng.below(8) as f32) * 0.25;
+        let seed = rng.next_u64() % 1000;
+
+        // for o in 0..m:
+        //     tmp[0] = scale                      (invariant in o)
+        //     for i in 0..n: out[o*n+i]  = a[o*n+i] * tmp[0]
+        //     for j in 0..n: out[o*n+j] += b[j]   (element-wise: fusible)
+        let row = |v: &str| {
+            IExpr::var("o")
+                .mul(IExpr::Const(n as i64))
+                .add(IExpr::var(v))
+        };
+        let base = Stmt::for_(
+            "o",
+            IExpr::Const(m as i64),
+            Stmt::block(vec![
+                Stmt::store("tmp", IExpr::Const(0), VExpr::Const(scale)),
+                Stmt::for_(
+                    "i",
+                    IExpr::Const(n as i64),
+                    Stmt::store(
+                        "out",
+                        row("i"),
+                        VExpr::load("a", row("i")).mul(VExpr::load("tmp", IExpr::Const(0))),
+                    ),
+                ),
+                Stmt::for_(
+                    "j",
+                    IExpr::Const(n as i64),
+                    Stmt::store(
+                        "out",
+                        row("j"),
+                        VExpr::load("out", row("j")).add(VExpr::load("b", IExpr::var("j"))),
+                    ),
+                ),
+            ]),
+        );
+        let fused = fpgaccel::tir::schedule::fuse_loops(&base, "i", "j");
+        let split_ = try_split(&fused, "i", factor)
+            .unwrap_or_else(|e| panic!("case {case}: split by divisor {factor} of {n}: {e}"));
+        let unrolled = unroll(&split_, "i_i");
+        let hoisted = hoist_invariants(&unrolled, "o");
+
+        let mk = |b: &Stmt| {
+            let mut k = Kernel::new("chain", b.clone());
+            k.bufs = vec![
+                BufferDecl::global("a", BufRole::Input, IExpr::Const((m * n) as i64)),
+                BufferDecl::global("b", BufRole::Weights, IExpr::Const(n as i64)),
+                BufferDecl::private("tmp", IExpr::Const(1)),
+                BufferDecl::global("out", BufRole::Output, IExpr::Const((m * n) as i64)),
+            ];
+            k
+        };
+        let a = Tensor::random(Shape::d1(m * n), seed, 1.0);
+        let b = Tensor::random(Shape::d1(n), seed ^ 11, 1.0);
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), a.data().to_vec());
+        inputs.insert("b".to_string(), b.data().to_vec());
+        let expect: Vec<f32> = (0..m * n)
+            .map(|idx| a.data()[idx] * scale + b.data()[idx % n])
+            .collect();
+
+        for (stage, stmt) in [
+            ("base", &base),
+            ("fused", &fused),
+            ("split", &split_),
+            ("unrolled", &unrolled),
+            ("hoisted", &hoisted),
+        ] {
+            let out = Interp::new().run(&mk(stmt), &Binding::empty(), &inputs);
+            let got = Tensor::from_vec(Shape::d1(m * n), out["out"].clone());
+            let want = Tensor::from_vec(Shape::d1(m * n), expect.clone());
+            assert!(
+                allclose(&got, &want, 1e-5, 1e-6),
+                "case {case}: stage {stage} m={m} n={n} factor={factor} mismatch"
+            );
+        }
+    }
+}
+
 /// Fusion + padding materialization preserve network semantics on
 /// randomized small conv networks.
 #[test]
