@@ -997,6 +997,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("host_engine", host_engine),
     ("serve", crate::serving::serve),
     ("tune", crate::tune::tune),
+    ("chaos", crate::chaos::chaos),
 ];
 
 /// Runs one experiment by id.

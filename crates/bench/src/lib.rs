@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod log;
 pub mod paper;

@@ -31,14 +31,14 @@ const MOBILENET_DEADLINE_S: f64 = 4.0;
 
 const SERVED: [Model; 2] = [Model::LeNet5, Model::MobileNetV1];
 
-fn batched() -> BatchPolicy {
+pub(crate) fn batched() -> BatchPolicy {
     BatchPolicy {
         max_batch: 8,
         max_wait_s: 2e-3,
     }
 }
 
-fn admission() -> AdmissionPolicy {
+pub(crate) fn admission() -> AdmissionPolicy {
     AdmissionPolicy {
         queue_capacity: 64,
         default_deadline_s: None,
@@ -52,8 +52,18 @@ pub fn build_pool() -> DevicePool {
 
 /// [`build_pool`] recording deploy and compile spans on `tracer`.
 pub fn build_pool_traced(tracer: &Tracer) -> DevicePool {
+    build_pool_injected(tracer, &fpgaccel_fault::FaultInjector::disabled())
+}
+
+/// [`build_pool_traced`] with a fault injector installed *before* the
+/// deploys, so synthesis flakes in the plan hit the deploy path.
+pub(crate) fn build_pool_injected(
+    tracer: &Tracer,
+    injector: &fpgaccel_fault::FaultInjector,
+) -> DevicePool {
     let mut pool = DevicePool::new();
     pool.set_tracer(tracer);
+    pool.set_fault_injector(injector);
     for p in [
         FpgaPlatform::Stratix10Sx,
         FpgaPlatform::Stratix10Mx,
@@ -94,7 +104,7 @@ pub fn model_capacity_rps(pool: &DevicePool, model: Model) -> f64 {
 
 /// One Poisson stream per model at `mult` times that model's capacity,
 /// merged into a single trace with unique ids and per-model deadlines.
-fn mixed_trace(pool: &DevicePool, mult: f64) -> Vec<Request> {
+pub(crate) fn mixed_trace(pool: &DevicePool, mult: f64) -> Vec<Request> {
     let mut trace = Vec::new();
     for (slot, (&model, deadline)) in SERVED
         .iter()
@@ -121,6 +131,7 @@ fn serve_trace(trace: Vec<Request>, batch: BatchPolicy) -> RunResult {
         ServeConfig {
             batch,
             admission: admission(),
+            fault: Default::default(),
         },
     )
     .run_open_loop(trace)
@@ -137,6 +148,7 @@ pub fn traced_run(tracer: &Tracer) -> RunResult {
         ServeConfig {
             batch: batched(),
             admission: admission(),
+            fault: Default::default(),
         },
     )
     .with_tracer(tracer)

@@ -1,0 +1,17 @@
+//! Guard for the fault-injection refactor of the serving stack: with no
+//! injector installed, the `serve` experiment report must stay
+//! byte-identical to the committed reference in `docs/serve_golden.txt`
+//! (captured before the fault layer existed).
+
+#[test]
+fn serve_report_matches_the_golden_output_byte_for_byte() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/serve_golden.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden output present");
+    // `repro serve` prints the report with one trailing println newline.
+    let actual = format!("{}\n", fpgaccel_bench::serving::serve());
+    assert_eq!(
+        actual, golden,
+        "the serve report diverged from docs/serve_golden.txt — the fault layer must be \
+         a byte-level no-op when disabled"
+    );
+}

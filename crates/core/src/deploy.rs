@@ -5,6 +5,7 @@ use crate::kernels::{FoldedPlan, PipelinedStage};
 use crate::options::OptimizationConfig;
 use fpgaccel_aoc::{report as aoc_report, BitstreamReport, Calib};
 use fpgaccel_device::DeviceModel;
+use fpgaccel_fault::FaultInjector;
 use fpgaccel_runtime::{Breakdown, EventRetention, LatencyQuantiles, Sim};
 use fpgaccel_tensor::flops::node_flops;
 use fpgaccel_tensor::graph::Graph;
@@ -213,6 +214,34 @@ impl Deployment {
     /// # Panics
     /// Panics if `n == 0`.
     pub fn simulate_batch_traced(&self, n: usize, tracer: &Tracer, label: &str) -> BatchStats {
+        self.simulate_batch_full(n, tracer, label, &FaultInjector::disabled(), "")
+    }
+
+    /// [`Deployment::simulate_batch`] under a fault injector: transfers see
+    /// the plan's active stalls and kernels see pending device hangs, both
+    /// addressed to `target` in the injector's time view. A hung batch comes
+    /// back with `seconds >= fpgaccel_fault::HANG_WATCHDOG_S`, which is how
+    /// callers distinguish "device hung" from "batch was slow".
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn simulate_batch_faulted(
+        &self,
+        n: usize,
+        injector: &FaultInjector,
+        target: &str,
+    ) -> BatchStats {
+        self.simulate_batch_full(n, &Tracer::disabled(), "", injector, target)
+    }
+
+    fn simulate_batch_full(
+        &self,
+        n: usize,
+        tracer: &Tracer,
+        label: &str,
+        injector: &FaultInjector,
+        fault_target: &str,
+    ) -> BatchStats {
         assert!(n > 0, "batch must contain at least one image");
         let mut sim = Sim::new(
             self.device.clone(),
@@ -228,6 +257,9 @@ impl Deployment {
                 label.to_string()
             };
             sim.set_tracer(tracer, &label);
+        }
+        if injector.is_enabled() {
+            sim.set_fault_injector(injector, fault_target);
         }
         // Profiling analyses need the full timeline; otherwise keep only a
         // window of the newest events (all dependencies stay within the
@@ -375,6 +407,33 @@ mod tests {
         assert_eq!(r.output.shape(), &Shape::d1(10));
         assert!((r.output.sum() - 1.0).abs() < 1e-5);
         assert!(r.simulated_seconds > 0.0 && r.simulated_seconds < 0.1);
+    }
+
+    #[test]
+    fn faulted_batch_detects_hangs_and_is_deterministic() {
+        use fpgaccel_fault::{FaultEvent, FaultKind, FaultPlan, HANG_WATCHDOG_S};
+        let d = lenet(
+            FpgaPlatform::Stratix10Sx,
+            &OptimizationConfig::tvm_autorun().with_concurrent(),
+        );
+        let clean = d.simulate_batch(8);
+        // Disabled injector: byte-identical to the plain path.
+        let disabled = d.simulate_batch_faulted(8, &FaultInjector::disabled(), "dev");
+        assert_eq!(clean.seconds, disabled.seconds);
+        assert_eq!(clean.latencies, disabled.latencies);
+        // A hang mid-batch pushes the batch past the watchdog.
+        let plan = FaultPlan::new(
+            0,
+            vec![FaultEvent {
+                at_s: clean.seconds * 0.5,
+                target: "dev".into(),
+                kind: FaultKind::DeviceHang,
+            }],
+        );
+        let hung = d.simulate_batch_faulted(8, &FaultInjector::new(plan.clone()), "dev");
+        assert!(hung.seconds >= HANG_WATCHDOG_S);
+        let hung2 = d.simulate_batch_faulted(8, &FaultInjector::new(plan), "dev");
+        assert_eq!(hung.seconds, hung2.seconds, "same plan, same timeline");
     }
 
     #[test]

@@ -27,8 +27,10 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
     let expected = &activations[&d.graph.output];
 
     let mut interp = Interp::new();
-    // Per-node outputs observed from the kernels themselves.
+    // Per-node outputs observed from the kernels themselves, and the
+    // global buffer each came out of (for mismatch reports).
     let mut outputs: HashMap<NodeId, Vec<f32>> = HashMap::new();
+    let mut out_bufs: HashMap<NodeId, (String, BufRole)> = HashMap::new();
     outputs.insert(0, input.data().to_vec());
 
     let runs: Vec<(NodeId, &Kernel, Binding)> = match &d.plan {
@@ -108,6 +110,7 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
             .find(|b| b.role == BufRole::Output && b.scope == fpgaccel_tir::Scope::Global)
         {
             outputs.insert(node_id, result[&out_buf.name].clone());
+            out_bufs.insert(node_id, (out_buf.name.clone(), out_buf.role));
         }
     }
 
@@ -121,12 +124,31 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
             expected.numel()
         ));
     }
-    for (i, (&g, &e)) in got.iter().zip(expected.data()).enumerate() {
-        let tol = 1e-4 + rtol * e.abs().max(g.abs());
-        if (g - e).abs() > tol {
-            return Err(format!(
-                "output[{i}] mismatch: kernels {g} vs reference {e}"
-            ));
+    // Compare every node's observed output against its reference
+    // activation, in graph order, so a mismatch is pinned to the first
+    // node that diverged — not just discovered at the network output.
+    let mut checked: Vec<NodeId> = outputs.keys().copied().filter(|&n| n != 0).collect();
+    checked.sort_unstable();
+    for node_id in checked {
+        let Some(reference) = activations.get(&node_id) else {
+            continue;
+        };
+        let observed = &outputs[&node_id];
+        if observed.len() != reference.numel() {
+            // Partial/tiled intermediate buffers are only comparable at
+            // the network output, which the length check above covers.
+            continue;
+        }
+        let (buf_name, buf_role) = &out_bufs[&node_id];
+        for (i, (&g, &e)) in observed.iter().zip(reference.data()).enumerate() {
+            let tol = 1e-4 + rtol * e.abs().max(g.abs());
+            if (g - e).abs() > tol {
+                return Err(format!(
+                    "node {node_id} (`{}`): buffer `{buf_name}` ({buf_role:?}) element {i}: \
+                     kernels {g} vs reference {e}",
+                    d.graph.nodes[node_id].name
+                ));
+            }
         }
     }
     // Channels must drain completely — leftover elements mean a deadlocked
@@ -165,6 +187,22 @@ mod tests {
             .compile(&OptimizationConfig::tvm_autorun().with_concurrent())
             .unwrap();
         verify_deployment(&d, &data::synthetic_digit(8, 1), 1e-3).unwrap();
+    }
+
+    #[test]
+    fn mismatch_reports_node_buffer_and_element() {
+        let d = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::base())
+            .unwrap();
+        // A negative tolerance fails every non-trivial comparison, so the
+        // report must pin the *first* diverging node — with its id, the
+        // buffer it came out of, and the flat element index — rather than
+        // only being discovered at the network output.
+        let err = verify_deployment(&d, &data::synthetic_digit(2, 0), -1.0).unwrap_err();
+        assert!(err.starts_with("node "), "missing node id: {err}");
+        assert!(err.contains("buffer `"), "missing buffer name: {err}");
+        assert!(err.contains("(Output)"), "missing buffer role: {err}");
+        assert!(err.contains("element "), "missing element index: {err}");
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! The injector handle instrumented components query, and the retry/backoff
+//! policy recovery machinery shares.
+
+use crate::plan::{FaultKind, FaultPlan};
+use std::sync::{Arc, Mutex};
+
+/// Bounded retry with exponential backoff, in simulated seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per request/operation after the first failure.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds.
+    pub backoff_base_s: f64,
+    /// Multiplier applied per further attempt.
+    pub backoff_mult: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 1e-3,
+            backoff_mult: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based), seconds.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * self.backoff_mult.powi(attempt.saturating_sub(1) as i32)
+    }
+}
+
+struct Inner {
+    plan: FaultPlan,
+    /// One-shot events (corruption, synth flakes, reprogram failures) that
+    /// have already fired.
+    consumed: Vec<bool>,
+    /// Total fault injections observed (for reporting).
+    injected: u64,
+}
+
+/// A cheap cloneable handle over one [`FaultPlan`].
+///
+/// Clones share the plan and its consumed-event state, so one-shot faults
+/// fire exactly once no matter how many components hold the handle. Each
+/// handle additionally carries a *view*: a time offset (mapping a local
+/// sim clock onto plan time) and a hang floor (hang events at or before it
+/// are considered repaired). [`FaultInjector::disabled`] answers every
+/// query with the fault-free value after a single branch.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Mutex<Inner>>>,
+    offset_s: f64,
+    hang_floor_s: f64,
+}
+
+impl FaultInjector {
+    /// A no-op injector: every query returns the fault-free answer.
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// An injector over `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let n = plan.events.len();
+        FaultInjector {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                plan,
+                consumed: vec![false; n],
+                injected: 0,
+            }))),
+            offset_s: 0.0,
+            hang_floor_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Whether a plan is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A view of the same plan shifted by `offset_s` (local query time +
+    /// offset = plan time) with hangs at or before `hang_floor_s` (plan
+    /// time) masked as repaired. State stays shared with the parent handle.
+    pub fn view(&self, offset_s: f64, hang_floor_s: f64) -> FaultInjector {
+        FaultInjector {
+            inner: self.inner.clone(),
+            offset_s,
+            hang_floor_s,
+        }
+    }
+
+    /// A copy of the plan (empty when disabled).
+    pub fn plan(&self) -> FaultPlan {
+        self.with_inner(|i| i.plan.clone()).unwrap_or_default()
+    }
+
+    /// Total fault injections observed so far.
+    pub fn injected(&self) -> u64 {
+        self.with_inner(|i| i.injected).unwrap_or(0)
+    }
+
+    fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("fault injector poisoned")))
+    }
+
+    /// Multiplier on a transfer starting at local time `t_s` against
+    /// `target` — the product of every active [`FaultKind::TransferStall`].
+    /// 1.0 when no stall covers the instant.
+    pub fn transfer_scale(&self, target: &str, t_s: f64) -> f64 {
+        let t = t_s + self.offset_s;
+        self.with_inner(|i| {
+            let mut scale = 1.0;
+            for e in &i.plan.events {
+                if let FaultKind::TransferStall { factor, for_s } = e.kind {
+                    if e.matches(target) && e.at_s <= t && t < e.at_s + for_s {
+                        scale *= factor;
+                        i.injected += 1;
+                    }
+                }
+            }
+            scale
+        })
+        .unwrap_or(1.0)
+    }
+
+    /// Earliest unrepaired [`FaultKind::DeviceHang`] against `target` at or
+    /// before local time `end_s` (in *local* time), if any. Hangs at or
+    /// before the handle's hang floor are masked.
+    pub fn hang_before(&self, target: &str, end_s: f64) -> Option<f64> {
+        let end = end_s + self.offset_s;
+        let floor = self.hang_floor_s;
+        self.with_inner(|i| {
+            i.plan
+                .events
+                .iter()
+                .find(|e| {
+                    matches!(e.kind, FaultKind::DeviceHang)
+                        && e.matches(target)
+                        && e.at_s > floor
+                        && e.at_s <= end
+                })
+                .map(|e| e.at_s)
+        })
+        .flatten()
+        .map(|at| at - self.offset_s)
+    }
+
+    /// Consumes one [`FaultKind::TransferCorrupt`] against `target` inside
+    /// the local window `[start_s, end_s]`, if one is pending.
+    pub fn take_corruption(&self, target: &str, start_s: f64, end_s: f64) -> bool {
+        let (lo, hi) = (start_s + self.offset_s, end_s + self.offset_s);
+        self.take_one(|e| {
+            matches!(e.kind, FaultKind::TransferCorrupt)
+                && e.matches(target)
+                && lo <= e.at_s
+                && e.at_s <= hi
+        })
+    }
+
+    /// Consumes one pending [`FaultKind::SynthFlake`] against `target`.
+    pub fn take_synth_flake(&self, target: &str) -> bool {
+        self.take_one(|e| matches!(e.kind, FaultKind::SynthFlake) && e.matches(target))
+    }
+
+    /// Consumes one pending [`FaultKind::ReprogramFail`] against `target`.
+    pub fn take_reprogram_fail(&self, target: &str) -> bool {
+        self.take_one(|e| matches!(e.kind, FaultKind::ReprogramFail) && e.matches(target))
+    }
+
+    fn take_one(&self, pred: impl Fn(&crate::plan::FaultEvent) -> bool) -> bool {
+        self.with_inner(|i| {
+            for (idx, e) in i.plan.events.iter().enumerate() {
+                if !i.consumed[idx] && pred(e) {
+                    i.consumed[idx] = true;
+                    i.injected += 1;
+                    return true;
+                }
+            }
+            false
+        })
+        .unwrap_or(false)
+    }
+
+    /// Whether any fault could still affect `target` in the local window
+    /// `[start_s, end_s]` — a cheap pre-check letting callers keep the
+    /// fault-free fast path (memoized timings) when nothing is scheduled.
+    pub fn affects(&self, target: &str, start_s: f64, end_s: f64) -> bool {
+        let (lo, hi) = (start_s + self.offset_s, end_s + self.offset_s);
+        let floor = self.hang_floor_s;
+        self.with_inner(|i| {
+            i.plan
+                .events
+                .iter()
+                .enumerate()
+                .any(|(idx, e)| match e.kind {
+                    FaultKind::DeviceHang => e.matches(target) && e.at_s > floor && e.at_s <= hi,
+                    FaultKind::TransferStall { for_s, .. } => {
+                        e.matches(target) && e.at_s <= hi && lo < e.at_s + for_s
+                    }
+                    FaultKind::TransferCorrupt => {
+                        !i.consumed[idx] && e.matches(target) && lo <= e.at_s && e.at_s <= hi
+                    }
+                    _ => false,
+                })
+        })
+        .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(
+            0,
+            vec![
+                FaultEvent {
+                    at_s: 0.10,
+                    target: "dev-a".into(),
+                    kind: FaultKind::DeviceHang,
+                },
+                FaultEvent {
+                    at_s: 0.20,
+                    target: "dev-a".into(),
+                    kind: FaultKind::TransferStall {
+                        factor: 3.0,
+                        for_s: 0.05,
+                    },
+                },
+                FaultEvent {
+                    at_s: 0.30,
+                    target: "dev-b".into(),
+                    kind: FaultKind::TransferCorrupt,
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    target: "*".into(),
+                    kind: FaultKind::SynthFlake,
+                },
+                FaultEvent {
+                    at_s: 0.0,
+                    target: "dev-a".into(),
+                    kind: FaultKind::ReprogramFail,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn disabled_injector_is_fault_free() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        assert_eq!(inj.transfer_scale("x", 1.0), 1.0);
+        assert_eq!(inj.hang_before("x", f64::INFINITY), None);
+        assert!(!inj.take_corruption("x", 0.0, 1e9));
+        assert!(!inj.take_synth_flake("x"));
+        assert!(!inj.take_reprogram_fail("x"));
+        assert!(!inj.affects("x", 0.0, 1e9));
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn stalls_scale_only_inside_their_window_and_target() {
+        let inj = FaultInjector::new(plan());
+        assert_eq!(inj.transfer_scale("dev-a", 0.19), 1.0);
+        assert_eq!(inj.transfer_scale("dev-a", 0.22), 3.0);
+        assert_eq!(inj.transfer_scale("dev-a", 0.26), 1.0, "stall expired");
+        assert_eq!(inj.transfer_scale("dev-b", 0.22), 1.0, "other target");
+    }
+
+    #[test]
+    fn hangs_respect_the_floor_and_window() {
+        let inj = FaultInjector::new(plan());
+        assert_eq!(inj.hang_before("dev-a", 0.05), None, "not yet");
+        assert_eq!(inj.hang_before("dev-a", 0.50), Some(0.10));
+        assert_eq!(inj.hang_before("dev-b", 0.50), None);
+        // Repaired view: the hang is masked.
+        let repaired = inj.view(0.0, 0.10);
+        assert_eq!(repaired.hang_before("dev-a", 0.50), None);
+    }
+
+    #[test]
+    fn one_shot_events_are_consumed_exactly_once_across_clones() {
+        let inj = FaultInjector::new(plan());
+        let other = inj.clone();
+        assert!(inj.take_corruption("dev-b", 0.0, 1.0));
+        assert!(!other.take_corruption("dev-b", 0.0, 1.0), "already fired");
+        assert!(other.take_synth_flake("anything"), "wildcard matches");
+        assert!(!inj.take_synth_flake("anything"));
+        assert!(inj.take_reprogram_fail("dev-a"));
+        assert!(!inj.take_reprogram_fail("dev-a"));
+        assert_eq!(inj.injected(), 3);
+    }
+
+    #[test]
+    fn shifted_views_map_local_time_onto_plan_time() {
+        let inj = FaultInjector::new(plan());
+        // A batch starting at plan-time 0.18 sees the stall 0.04 in.
+        let v = inj.view(0.18, f64::NEG_INFINITY);
+        assert_eq!(v.transfer_scale("dev-a", 0.04), 3.0);
+        assert_eq!(v.transfer_scale("dev-a", 0.00), 1.0);
+        // The hang at plan 0.10 appears at local -0.08, i.e. already due.
+        assert_eq!(v.hang_before("dev-a", 0.0), Some(0.10 - 0.18));
+    }
+
+    #[test]
+    fn affects_is_a_faithful_pre_check() {
+        let inj = FaultInjector::new(plan());
+        assert!(inj.affects("dev-a", 0.0, 0.5), "hang + stall in window");
+        assert!(!inj.affects("dev-b", 0.0, 0.2), "corruption at 0.3");
+        assert!(inj.affects("dev-b", 0.25, 0.35));
+        assert!(inj.take_corruption("dev-b", 0.0, 1.0));
+        assert!(
+            !inj.affects("dev-b", 0.25, 0.35),
+            "consumed corruption no longer affects"
+        );
+        let repaired = inj.view(0.0, 0.10);
+        assert!(
+            repaired.affects("dev-a", 0.15, 0.30),
+            "stall still active after repair"
+        );
+        assert!(!repaired.affects("dev-a", 0.26, 0.30));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 1e-3,
+            backoff_mult: 2.0,
+        };
+        assert!((r.backoff_s(1) - 1e-3).abs() < 1e-15);
+        assert!((r.backoff_s(2) - 2e-3).abs() < 1e-15);
+        assert!((r.backoff_s(3) - 4e-3).abs() < 1e-15);
+    }
+}

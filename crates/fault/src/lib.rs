@@ -1,0 +1,33 @@
+//! # fpgaccel-fault
+//!
+//! Seeded, deterministic fault injection for the simulated FPGA stack.
+//!
+//! Everything in this workspace runs in simulated time, so faults do too: a
+//! [`FaultPlan`] is a schedule of fault events (device hangs, transfer
+//! stalls, transfer corruption, reprogram failures, synthesis flakes)
+//! stamped in sim-seconds against named targets. A [`FaultInjector`] is a
+//! cheap cloneable handle over one plan — modeled on
+//! `fpgaccel_trace::Tracer` — that the runtime simulator, the device pool
+//! and the deployment cache query at well-defined points. The disabled
+//! injector answers every query in one branch with the fault-free value, so
+//! instrumented paths cost nothing (and stay byte-identical) in normal
+//! runs.
+//!
+//! Determinism is the whole point: the same seed produces the same plan,
+//! the same plan produces the same injections, and the consuming state
+//! (one-shot corruption/flake/reprogram events) lives behind the shared
+//! handle, so two identical runs observe identical fault sequences.
+
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+
+pub use inject::{FaultInjector, RetryPolicy};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+
+/// Simulated seconds a hung kernel occupies before the host watchdog could
+/// ever consider it finished. Any simulated duration at or above this value
+/// means "the device hung" — real completions are orders of magnitude
+/// shorter.
+pub const HANG_WATCHDOG_S: f64 = 1.0e3;

@@ -1,0 +1,263 @@
+//! Fault plans: seeded schedules of fault events in simulated time.
+
+/// What goes wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The device stops making progress: kernels dispatched after (or
+    /// spanning) the event never complete until the device is reprogrammed.
+    DeviceHang,
+    /// Host↔device transfers slow down by `factor` for `for_s` seconds
+    /// (a congested or degraded link).
+    TransferStall {
+        /// Multiplier on transfer duration while the stall is active.
+        factor: f64,
+        /// How long the stall lasts, seconds.
+        for_s: f64,
+    },
+    /// One batch's read-back is corrupted; host-side output verification
+    /// (§5.2) detects it and the requests must be re-executed.
+    TransferCorrupt,
+    /// One reprogram attempt of the target device fails.
+    ReprogramFail,
+    /// One synthesis/compile of a deployment flakes and must be retried.
+    SynthFlake,
+}
+
+impl FaultKind {
+    /// Short stable label (used in tables, metrics and trace spans).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DeviceHang => "hang",
+            FaultKind::TransferStall { .. } => "stall",
+            FaultKind::TransferCorrupt => "corrupt",
+            FaultKind::ReprogramFail => "reprogram-fail",
+            FaultKind::SynthFlake => "synth-flake",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, simulated seconds.
+    pub at_s: f64,
+    /// Target name: a device (`s10sx-0`), a deployment key, or `*` to match
+    /// any target.
+    pub target: String,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether this event applies to `target`.
+    pub fn matches(&self, target: &str) -> bool {
+        self.target == "*" || self.target == target
+    }
+}
+
+/// Knobs for seeded plan generation.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Target names faults are spread across.
+    pub targets: Vec<String>,
+    /// Time window faults land in, seconds.
+    pub duration_s: f64,
+    /// Device hangs to schedule.
+    pub hangs: usize,
+    /// Transfer stalls to schedule.
+    pub stalls: usize,
+    /// Transfer corruptions to schedule.
+    pub corruptions: usize,
+    /// Reprogram failures to schedule.
+    pub reprogram_fails: usize,
+    /// Synthesis flakes to schedule.
+    pub synth_flakes: usize,
+}
+
+impl FaultSpec {
+    /// Spreads a total fault budget over the kinds: stalls and corruptions
+    /// are common, hangs and reprogram failures rarer, flakes rarest.
+    pub fn budget(budget: usize, targets: &[&str], duration_s: f64) -> FaultSpec {
+        let b = budget.max(1);
+        FaultSpec {
+            targets: targets.iter().map(|s| s.to_string()).collect(),
+            duration_s,
+            hangs: b / 6,
+            stalls: b - b / 6 - b / 4 - b / 6 - b / 8,
+            corruptions: b / 4,
+            reprogram_fails: b / 6,
+            synth_flakes: b / 8,
+        }
+    }
+}
+
+/// A deterministic fault schedule, sorted by time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The schedule, ordered by `(at_s, target, kind label)`.
+    pub events: Vec<FaultEvent>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan from explicit events (sorted into canonical order).
+    pub fn new(seed: u64, mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by(|a, b| {
+            a.at_s
+                .total_cmp(&b.at_s)
+                .then_with(|| a.target.cmp(&b.target))
+                .then_with(|| a.kind.label().cmp(b.kind.label()))
+        });
+        FaultPlan { seed, events }
+    }
+
+    /// Generates a seeded schedule: same `(seed, spec)` → same plan,
+    /// always.
+    pub fn generate(seed: u64, spec: &FaultSpec) -> FaultPlan {
+        let mut st = seed ^ 0x000F_A017_5EED;
+        let mut events = Vec::new();
+        let pick = |st: &mut u64, targets: &[String]| -> String {
+            if targets.is_empty() {
+                "*".to_string()
+            } else {
+                targets[(splitmix(st) % targets.len() as u64) as usize].clone()
+            }
+        };
+        let mut emit = |st: &mut u64, n: usize, make: &dyn Fn(&mut u64) -> FaultKind| {
+            for _ in 0..n {
+                let at_s = uniform(st) * spec.duration_s;
+                let target = pick(st, &spec.targets);
+                let kind = make(st);
+                events.push(FaultEvent { at_s, target, kind });
+            }
+        };
+        emit(&mut st, spec.hangs, &|_| FaultKind::DeviceHang);
+        emit(&mut st, spec.stalls, &|st| FaultKind::TransferStall {
+            factor: 2.0 + 4.0 * uniform(st),
+            for_s: spec.duration_s * (0.05 + 0.15 * uniform(st)),
+        });
+        emit(&mut st, spec.corruptions, &|_| FaultKind::TransferCorrupt);
+        emit(&mut st, spec.reprogram_fails, &|_| FaultKind::ReprogramFail);
+        emit(&mut st, spec.synth_flakes, &|_| FaultKind::SynthFlake);
+        FaultPlan::new(seed, events)
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the schedule as fixed-width table rows (one per event),
+    /// byte-stable for a given plan.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let detail = match &e.kind {
+                FaultKind::TransferStall { factor, for_s } => {
+                    format!("x{factor:.2} for {:.1} ms", for_s * 1e3)
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:>2}  {:>9.3} ms  {:<10}  {:<14}  {detail}\n",
+                i + 1,
+                e.at_s * 1e3,
+                e.target,
+                e.kind.label(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec {
+            targets: vec!["dev-a".into(), "dev-b".into()],
+            duration_s: 1.0,
+            hangs: 2,
+            stalls: 3,
+            corruptions: 2,
+            reprogram_fails: 2,
+            synth_flakes: 1,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FaultPlan::generate(42, &spec());
+        let b = FaultPlan::generate(42, &spec());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        let c = FaultPlan::generate(43, &spec());
+        assert_ne!(a, c, "different seed must move the schedule");
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_inside_the_window() {
+        let p = FaultPlan::generate(7, &spec());
+        for w in p.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s);
+        }
+        for e in &p.events {
+            assert!((0.0..=1.0).contains(&e.at_s));
+            assert!(e.target == "dev-a" || e.target == "dev-b");
+        }
+    }
+
+    #[test]
+    fn wildcard_targets_match_everything() {
+        let e = FaultEvent {
+            at_s: 0.0,
+            target: "*".into(),
+            kind: FaultKind::SynthFlake,
+        };
+        assert!(e.matches("anything"));
+        let d = FaultEvent {
+            at_s: 0.0,
+            target: "dev-a".into(),
+            kind: FaultKind::DeviceHang,
+        };
+        assert!(d.matches("dev-a"));
+        assert!(!d.matches("dev-b"));
+    }
+
+    #[test]
+    fn budget_spec_spreads_all_kinds() {
+        let s = FaultSpec::budget(24, &["x"], 0.5);
+        assert_eq!(
+            s.hangs + s.stalls + s.corruptions + s.reprogram_fails + s.synth_flakes,
+            24
+        );
+        assert!(s.stalls >= s.hangs);
+        let p = FaultPlan::generate(1, &s);
+        assert_eq!(p.len(), 24);
+    }
+}

@@ -2,6 +2,7 @@
 
 use fpgaccel_aoc::{kernel_cycles, AocOptions, Calib, KernelReport};
 use fpgaccel_device::{DeviceModel, TransferDir};
+use fpgaccel_fault::{FaultInjector, HANG_WATCHDOG_S};
 use fpgaccel_tir::Binding;
 use fpgaccel_trace::Tracer;
 use std::collections::HashMap;
@@ -85,6 +86,8 @@ pub struct Sim {
     pub retention: EventRetention,
     tracer: Tracer,
     trace_pid: u32,
+    fault: FaultInjector,
+    fault_target: String,
     host_clock: f64,
     queue_last_end: Vec<f64>,
     kernel_busy: HashMap<String, f64>,
@@ -114,6 +117,8 @@ impl Sim {
             retention: EventRetention::Full,
             tracer: Tracer::disabled(),
             trace_pid: 0,
+            fault: FaultInjector::disabled(),
+            fault_target: String::new(),
             host_clock: 0.0,
             queue_last_end: Vec::new(),
             kernel_busy: HashMap::new(),
@@ -150,6 +155,22 @@ impl Sim {
     /// The attached tracer (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a fault injector: from here on transfers consult the plan's
+    /// active stalls and kernels consult pending device hangs, both under
+    /// the injector's time view, with faults addressed to `target`. A hung
+    /// kernel's event ends [`HANG_WATCHDOG_S`] past its start so callers can
+    /// recognize the hang from the timeline. With the disabled injector the
+    /// timeline is byte-identical to an uninstrumented run.
+    pub fn set_fault_injector(&mut self, injector: &FaultInjector, target: &str) {
+        self.fault = injector.clone();
+        self.fault_target = target.to_string();
+    }
+
+    /// The attached fault injector (disabled by default).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
     }
 
     /// Creates a command queue (§4.8: one per kernel enables concurrency).
@@ -307,7 +328,10 @@ impl Sim {
         // while the queue's predecessor is still running.
         let submit = self.host_clock;
         let start = submit.max(dep_start).max(self.queue_last_end[queue]);
-        let dur = self.device.link.transfer_seconds(bytes, dir);
+        let mut dur = self.device.link.transfer_seconds(bytes, dir);
+        if self.fault.is_enabled() {
+            dur *= self.fault.transfer_scale(&self.fault_target, start);
+        }
         let end = start + dur;
         self.queue_last_end[queue] = end;
         self.push(SimEvent {
@@ -353,7 +377,14 @@ impl Sim {
             .max(busy)
             .max(self.queue_last_end[queue]);
         let dur = self.kernel_duration(report, binding);
-        let end = (start + dur).max(end_floor);
+        let mut end = (start + dur).max(end_floor);
+        if self.fault.is_enabled() {
+            if let Some(hang_s) = self.fault.hang_before(&self.fault_target, end) {
+                // The device stopped making progress: the command never
+                // completes; the watchdog interval marks the event as hung.
+                end = start.max(hang_s) + HANG_WATCHDOG_S;
+            }
+        }
         self.queue_last_end[queue] = end;
         self.kernel_busy.insert(report.name.clone(), end);
         self.push(SimEvent {
@@ -379,7 +410,12 @@ impl Sim {
         let busy = self.kernel_busy.get(&report.name).copied().unwrap_or(0.0);
         let start = dep_start.max(busy);
         let dur = self.kernel_duration(report, binding);
-        let end = (start + dur).max(end_floor);
+        let mut end = (start + dur).max(end_floor);
+        if self.fault.is_enabled() {
+            if let Some(hang_s) = self.fault.hang_before(&self.fault_target, end) {
+                end = start.max(hang_s) + HANG_WATCHDOG_S;
+            }
+        }
         self.kernel_busy.insert(report.name.clone(), end);
         let queued = start;
         self.push(SimEvent {
@@ -788,6 +824,140 @@ mod more_tests {
             .map(|e| e.duration())
             .sum();
         assert_eq!(sim.kernel_seconds()["k"], from_events);
+    }
+
+    #[test]
+    fn disabled_fault_injector_leaves_the_timeline_byte_identical() {
+        let run = |attach: bool| {
+            let mut sim = Sim::new(
+                FpgaPlatform::Stratix10Sx.model(),
+                AocOptions::default(),
+                Calib::default(),
+                200.0,
+            );
+            if attach {
+                sim.set_fault_injector(&FaultInjector::disabled(), "dev");
+            }
+            let q = sim.create_queue();
+            let r = report(FpgaPlatform::Stratix10Sx);
+            for _ in 0..6 {
+                let w = sim.enqueue_write(q, "in", 4096, &[]);
+                let k = sim.enqueue_kernel(q, &r, &Binding::empty(), &[w], &[]);
+                sim.enqueue_read(q, "out", 4096, &[k]);
+            }
+            sim.finish();
+            let stamps: Vec<(f64, f64, f64, f64)> = sim
+                .events()
+                .iter()
+                .map(|e| (e.queued, e.submit, e.start, e.end))
+                .collect();
+            (stamps, sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn transfer_stalls_scale_only_covered_transfers() {
+        use fpgaccel_fault::{FaultEvent, FaultKind, FaultPlan};
+        let base = {
+            let mut sim = Sim::new(
+                FpgaPlatform::Stratix10Sx.model(),
+                AocOptions::default(),
+                Calib::default(),
+                200.0,
+            );
+            let q = sim.create_queue();
+            let e = sim.enqueue_write(q, "in", 1 << 20, &[]);
+            sim.event(e).duration()
+        };
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let inj = FaultInjector::new(FaultPlan::new(
+            0,
+            vec![FaultEvent {
+                at_s: 0.0,
+                target: "dev".into(),
+                kind: FaultKind::TransferStall {
+                    factor: 3.0,
+                    for_s: 0.5,
+                },
+            }],
+        ));
+        sim.set_fault_injector(&inj, "dev");
+        let q = sim.create_queue();
+        let stalled = sim.enqueue_write(q, "in", 1 << 20, &[]);
+        assert!((sim.event(stalled).duration() - 3.0 * base).abs() < 1e-12);
+        // Past the stall window the link recovers.
+        sim.host_work(1.0);
+        let clean = sim.enqueue_write(q, "in", 1 << 20, &[]);
+        assert!((sim.event(clean).duration() - base).abs() < 1e-12);
+        assert!(inj.injected() > 0);
+    }
+
+    #[test]
+    fn device_hangs_inflate_kernel_ends_past_the_watchdog() {
+        use fpgaccel_fault::{FaultEvent, FaultKind, FaultPlan};
+        let mut sim = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        let inj = FaultInjector::new(FaultPlan::new(
+            0,
+            vec![FaultEvent {
+                at_s: 0.0,
+                target: "dev".into(),
+                kind: FaultKind::DeviceHang,
+            }],
+        ));
+        sim.set_fault_injector(&inj, "dev");
+        let q = sim.create_queue();
+        let r = report(FpgaPlatform::Stratix10Sx);
+        let e = sim.enqueue_kernel(q, &r, &Binding::empty(), &[], &[]);
+        assert!(sim.event(e).duration() >= HANG_WATCHDOG_S);
+        // A repaired view (hang floor past the event) masks the hang.
+        let mut sim2 = Sim::new(
+            FpgaPlatform::Stratix10Sx.model(),
+            AocOptions::default(),
+            Calib::default(),
+            200.0,
+        );
+        sim2.set_fault_injector(&inj.view(0.0, 0.0), "dev");
+        let q2 = sim2.create_queue();
+        let e2 = sim2.enqueue_kernel(q2, &r, &Binding::empty(), &[], &[]);
+        assert!(sim2.event(e2).duration() < HANG_WATCHDOG_S);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use fpgaccel_fault::{FaultPlan, FaultSpec};
+        let spec = FaultSpec::budget(8, &["dev"], 0.1);
+        let run = || {
+            let inj = FaultInjector::new(FaultPlan::generate(9, &spec));
+            let mut sim = Sim::new(
+                FpgaPlatform::Stratix10Sx.model(),
+                AocOptions::default(),
+                Calib::default(),
+                200.0,
+            );
+            sim.set_fault_injector(&inj, "dev");
+            let q = sim.create_queue();
+            let r = report(FpgaPlatform::Stratix10Sx);
+            for _ in 0..10 {
+                let w = sim.enqueue_write(q, "in", 1 << 16, &[]);
+                let k = sim.enqueue_kernel(q, &r, &Binding::empty(), &[w], &[]);
+                sim.enqueue_read(q, "out", 1 << 16, &[k]);
+            }
+            sim.finish();
+            let stamps: Vec<(f64, f64)> = sim.events().iter().map(|e| (e.start, e.end)).collect();
+            (stamps, sim.now(), inj.injected())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

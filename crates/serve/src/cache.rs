@@ -19,6 +19,7 @@ pub struct DeploymentCache {
     entries: HashMap<String, Arc<Deployment>>,
     hits: u64,
     misses: u64,
+    flakes: u64,
 }
 
 impl DeploymentCache {
@@ -79,6 +80,36 @@ impl DeploymentCache {
         Ok(d)
     }
 
+    /// [`DeploymentCache::get_or_compile_traced`] under a fault injector:
+    /// pending synthesis-flake events addressed to this platform (or `*`)
+    /// each cost one failed compile attempt, retried up to `max_retries`
+    /// times with a retry span per attempt. Flakes beyond the retry budget
+    /// are left pending (the compile proceeds; a later deploy may consume
+    /// them), so this never fails because of a flake — only real
+    /// [`FlowError`]s propagate.
+    pub fn get_or_compile_resilient(
+        &mut self,
+        model: Model,
+        platform: FpgaPlatform,
+        config: &OptimizationConfig,
+        tracer: &Tracer,
+        injector: &fpgaccel_fault::FaultInjector,
+        max_retries: u32,
+    ) -> Result<Arc<Deployment>, FlowError> {
+        let target = format!("{platform:?}");
+        let mut flakes = 0u32;
+        while flakes < max_retries && injector.take_synth_flake(&target) {
+            flakes += 1;
+            self.flakes += 1;
+            let _p = tracer.phase_on(
+                PID_SERVE,
+                "deploy",
+                &format!("synth-flake {model:?}/{platform} (retry {flakes})"),
+            );
+        }
+        self.get_or_compile_traced(model, platform, config, tracer)
+    }
+
     /// Like [`DeploymentCache::get_or_compile`], but deploys the *tuned*
     /// configuration from an auto-tuner database when one exists for this
     /// model/platform (falling back to `fallback` otherwise). The tuned
@@ -105,6 +136,11 @@ impl DeploymentCache {
     /// Cache misses (actual compiles) so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Synthesis flakes absorbed by retries so far.
+    pub fn synth_flakes(&self) -> u64 {
+        self.flakes
     }
 
     /// Number of distinct cached deployments.

@@ -44,5 +44,8 @@ pub use admission::AdmissionPolicy;
 pub use batcher::{BatchPolicy, DynamicBatcher};
 pub use cache::DeploymentCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
-pub use pool::{DevicePool, Dispatch, PooledDevice};
-pub use service::{Completion, Request, RunResult, ServeConfig, Server, Shed, ShedReason};
+pub use pool::{BatchOutcome, DeviceHealth, DevicePool, Dispatch, PooledDevice, Recovery};
+pub use service::{
+    Completion, Failure, FaultPolicy, RecoveryEvent, Request, RunResult, ServeConfig, Server, Shed,
+    ShedReason,
+};

@@ -98,6 +98,11 @@ pub struct ServiceMetrics {
     pub shed_queue_full: u64,
     /// Requests shed at dispatch (deadline unmeetable).
     pub shed_deadline: u64,
+    /// Requests that failed after exhausting their retry budget (fault
+    /// injection only; always 0 in fault-free runs).
+    pub failed: u64,
+    /// Retry re-enqueues after a faulted batch (timeouts + corruption).
+    pub retried: u64,
     /// Batches dispatched, indexed by batch size (index 0 unused).
     pub batch_sizes: Vec<u64>,
     /// Maximum instantaneous queue depth observed across all model queues.

@@ -4,6 +4,7 @@
 use crate::cache::DeploymentCache;
 use fpgaccel_core::{BatchLatencyModel, Deployment, FlowError, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fault::{FaultInjector, HANG_WATCHDOG_S};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_trace::Tracer;
 use std::collections::HashMap;
@@ -11,6 +12,74 @@ use std::sync::Arc;
 
 /// Batch size used to calibrate each deployment's [`BatchLatencyModel`].
 const CALIBRATION_PROBE: usize = 16;
+
+/// Synthesis retries against flaky compiles before giving up on the flake
+/// (the compile itself then proceeds normally).
+const SYNTH_RETRIES: u32 = 3;
+
+/// Health of a pooled device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeviceHealth {
+    /// Serving normally.
+    Healthy,
+    /// Hung, being reprogrammed; returns to service at `until_s`.
+    Quarantined {
+        /// When the reprogram completes, simulated seconds.
+        until_s: f64,
+    },
+    /// Every reprogram attempt failed; permanently out of the pool.
+    Lost,
+}
+
+impl DeviceHealth {
+    /// Short stable label (metrics / reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceHealth::Healthy => "healthy",
+            DeviceHealth::Quarantined { .. } => "quarantined",
+            DeviceHealth::Lost => "lost",
+        }
+    }
+}
+
+/// How one dispatched batch actually ended under fault injection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchOutcome {
+    /// Completed normally.
+    Done {
+        /// Completion time, simulated seconds.
+        completion_s: f64,
+    },
+    /// The device hung; the host watchdog declared the batch dead.
+    TimedOut {
+        /// When the watchdog fired, simulated seconds.
+        fail_s: f64,
+        /// When the device actually hung, simulated seconds.
+        hang_s: f64,
+    },
+    /// The batch finished but its read-back failed host-side output
+    /// verification (§5.2) — results are unusable.
+    Corrupted {
+        /// Completion (and detection) time, simulated seconds.
+        completion_s: f64,
+    },
+}
+
+/// The record of one quarantine: the reprogram attempts made on a hung
+/// device and whether it returned to service.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    /// Pool index of the device.
+    pub device: usize,
+    /// When the watchdog declared the device hung.
+    pub fail_s: f64,
+    /// When the device actually hung (plan time).
+    pub hang_s: f64,
+    /// Reprogram attempts as `(start_s, end_s, succeeded)`.
+    pub attempts: Vec<(f64, f64, bool)>,
+    /// When the device returns to service; `None` means it was lost.
+    pub until_s: Option<f64>,
+}
 
 /// One FPGA in the pool with its deployed models.
 pub struct PooledDevice {
@@ -28,6 +97,10 @@ pub struct PooledDevice {
     busy_until_s: f64,
     /// Accumulated batch-execution seconds (for utilization metrics).
     busy_s: f64,
+    health: DeviceHealth,
+    /// Hang events at or before this plan time are repaired (the device was
+    /// reprogrammed since).
+    cleared_s: f64,
 }
 
 impl PooledDevice {
@@ -40,6 +113,8 @@ impl PooledDevice {
             batch_seconds: HashMap::new(),
             busy_until_s: 0.0,
             busy_s: 0.0,
+            health: DeviceHealth::Healthy,
+            cleared_s: f64::NEG_INFINITY,
         }
     }
 
@@ -73,6 +148,20 @@ impl PooledDevice {
     pub fn busy_seconds(&self) -> f64 {
         self.busy_s
     }
+
+    /// Current health.
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// Health as observed at simulated time `t` (a quarantine whose
+    /// reprogram finished by `t` reads as healthy again).
+    pub fn health_at(&self, t: f64) -> DeviceHealth {
+        match self.health {
+            DeviceHealth::Quarantined { until_s } if until_s <= t => DeviceHealth::Healthy,
+            h => h,
+        }
+    }
 }
 
 /// A choice made by the dispatcher.
@@ -91,6 +180,7 @@ pub struct DevicePool {
     devices: Vec<PooledDevice>,
     cache: DeploymentCache,
     tracer: Tracer,
+    fault: FaultInjector,
 }
 
 impl Default for DevicePool {
@@ -106,6 +196,7 @@ impl DevicePool {
             devices: Vec::new(),
             cache: DeploymentCache::new(),
             tracer: Tracer::disabled(),
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -113,6 +204,19 @@ impl DevicePool {
     /// deploy phase spans (with cache hit/miss) and compile-flow phases.
     pub fn set_tracer(&mut self, tracer: &Tracer) {
         self.tracer = tracer.clone();
+    }
+
+    /// Attaches a fault injector: batch executions, synthesis and device
+    /// reprogramming from here on consult the injector's plan. The disabled
+    /// injector (the default) leaves every path byte-identical to an
+    /// uninstrumented pool.
+    pub fn set_fault_injector(&mut self, injector: &FaultInjector) {
+        self.fault = injector.clone();
+    }
+
+    /// The attached fault injector (disabled by default).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
     }
 
     /// Adds a device to the pool; returns its index. Names are
@@ -137,9 +241,19 @@ impl DevicePool {
         config: &OptimizationConfig,
     ) -> Result<(), FlowError> {
         let platform = self.devices[device].platform;
-        let d = self
-            .cache
-            .get_or_compile_traced(model, platform, config, &self.tracer)?;
+        let d = if self.fault.is_enabled() {
+            self.cache.get_or_compile_resilient(
+                model,
+                platform,
+                config,
+                &self.tracer,
+                &self.fault,
+                SYNTH_RETRIES,
+            )?
+        } else {
+            self.cache
+                .get_or_compile_traced(model, platform, config, &self.tracer)?
+        };
         let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
         let dev = &mut self.devices[device];
         dev.deployments.insert(model, d);
@@ -170,6 +284,9 @@ impl DevicePool {
     pub fn dispatch(&self, model: Model, n: usize, now_s: f64) -> Option<Dispatch> {
         let mut best: Option<Dispatch> = None;
         for (i, dev) in self.devices.iter().enumerate() {
+            if dev.health == DeviceHealth::Lost {
+                continue;
+            }
             let Some(lm) = dev.latency_models.get(&model) else {
                 continue;
             };
@@ -191,6 +308,128 @@ impl DevicePool {
         let d = &mut self.devices[device];
         d.busy_until_s = d.busy_until_s.max(until_s);
         d.busy_s += (until_s - start_s).max(0.0);
+    }
+
+    /// Whether any non-lost device serves `model`.
+    pub fn serves(&self, model: Model) -> bool {
+        self.devices
+            .iter()
+            .any(|d| d.health != DeviceHealth::Lost && d.latency_models.contains_key(&model))
+    }
+
+    /// Earliest time at or after `now_s` any non-lost device serving
+    /// `model` is free. `None` when no such device exists.
+    pub fn earliest_available_s(&self, model: Model, now_s: f64) -> Option<f64> {
+        self.devices
+            .iter()
+            .filter(|d| d.health != DeviceHealth::Lost && d.latency_models.contains_key(&model))
+            .map(|d| now_s.max(d.busy_until_s))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Executes a dispatched batch of `n` images of `model` on `device`
+    /// starting at `start_s`, under the attached fault injector.
+    ///
+    /// Without faults in play this is exactly the memoized
+    /// [`PooledDevice::batch_seconds`] fast path. When the plan has events
+    /// covering the window, the batch is re-simulated under the injector's
+    /// time view: a simulated duration past the hang watchdog becomes
+    /// [`BatchOutcome::TimedOut`] (declared `timeout_mult` × the clean
+    /// execution time after start, never earlier than the hang itself), and
+    /// a consumed corruption event becomes [`BatchOutcome::Corrupted`].
+    pub(crate) fn execute_batch(
+        &mut self,
+        device: usize,
+        model: Model,
+        n: usize,
+        start_s: f64,
+        timeout_mult: f64,
+    ) -> BatchOutcome {
+        let base = self.devices[device].batch_seconds(model, n);
+        if !self.fault.is_enabled() {
+            return BatchOutcome::Done {
+                completion_s: start_s + base,
+            };
+        }
+        let name = self.devices[device].name.clone();
+        let cleared = self.devices[device].cleared_s;
+        let timeout = timeout_mult.max(1.0) * base;
+        let view = self.fault.view(start_s, cleared);
+        if !view.affects(&name, 0.0, timeout) {
+            return BatchOutcome::Done {
+                completion_s: start_s + base,
+            };
+        }
+        let d = Arc::clone(&self.devices[device].deployments[&model]);
+        let stats = d.simulate_batch_faulted(n, &view, &name);
+        if stats.seconds >= HANG_WATCHDOG_S {
+            let hang_s = view
+                .hang_before(&name, stats.seconds)
+                .map(|h| h + start_s)
+                .unwrap_or(start_s);
+            return BatchOutcome::TimedOut {
+                fail_s: (start_s + timeout).max(hang_s),
+                hang_s,
+            };
+        }
+        let completion_s = start_s + stats.seconds;
+        if self.fault.take_corruption(&name, start_s, completion_s) {
+            return BatchOutcome::Corrupted { completion_s };
+        }
+        BatchOutcome::Done { completion_s }
+    }
+
+    /// Quarantines a hung device and reprograms it: up to `max_attempts`
+    /// reprogram attempts of `reprogram_s` each, consuming the plan's
+    /// pending reprogram-failure events. On success the device returns to
+    /// service (hangs up to the reprogram completion are repaired); if every
+    /// attempt fails the device is lost. Returns `None` when the hang was
+    /// already repaired by an earlier quarantine (two batches observed the
+    /// same hang) or the device is already lost.
+    pub(crate) fn quarantine(
+        &mut self,
+        device: usize,
+        fail_s: f64,
+        hang_s: f64,
+        reprogram_s: f64,
+        max_attempts: u32,
+    ) -> Option<Recovery> {
+        let name = self.devices[device].name.clone();
+        {
+            let d = &self.devices[device];
+            if d.health == DeviceHealth::Lost || hang_s <= d.cleared_s {
+                return None;
+            }
+        }
+        let mut attempts = Vec::new();
+        let mut t = fail_s;
+        for _ in 0..max_attempts.max(1) {
+            let ok = !self.fault.take_reprogram_fail(&name);
+            attempts.push((t, t + reprogram_s, ok));
+            t += reprogram_s;
+            if ok {
+                let d = &mut self.devices[device];
+                d.health = DeviceHealth::Quarantined { until_s: t };
+                d.cleared_s = d.cleared_s.max(t);
+                d.busy_until_s = d.busy_until_s.max(t);
+                return Some(Recovery {
+                    device,
+                    fail_s,
+                    hang_s,
+                    attempts,
+                    until_s: Some(t),
+                });
+            }
+        }
+        let d = &mut self.devices[device];
+        d.health = DeviceHealth::Lost;
+        Some(Recovery {
+            device,
+            fail_s,
+            hang_s,
+            attempts,
+            until_s: None,
+        })
     }
 }
 

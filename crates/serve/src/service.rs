@@ -4,7 +4,8 @@
 use crate::admission::AdmissionPolicy;
 use crate::batcher::{BatchPolicy, DynamicBatcher};
 use crate::metrics::ServiceMetrics;
-use crate::pool::DevicePool;
+use crate::pool::{BatchOutcome, DevicePool};
+use fpgaccel_fault::{FaultInjector, RetryPolicy};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::rng::Rng64;
 use fpgaccel_tensor::Tensor;
@@ -87,6 +88,63 @@ pub struct Shed {
     pub reason: ShedReason,
 }
 
+/// A request that failed after exhausting its retry budget (only possible
+/// under fault injection).
+#[derive(Clone, Copy, Debug)]
+pub struct Failure {
+    /// Request id.
+    pub id: u64,
+    /// Model requested.
+    pub model: Model,
+    /// Failure time, seconds.
+    pub time_s: f64,
+    /// Execution attempts made.
+    pub attempts: u32,
+}
+
+/// One entry of a run's recovery log: a fault observed or a recovery
+/// action taken. The log is fully deterministic for a given fault plan.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// When, simulated seconds.
+    pub t_s: f64,
+    /// Who (a device name or `req <id>`).
+    pub subject: String,
+    /// What happened: `hang-detected`, `corrupt`, `reprogram-ok`,
+    /// `reprogram-fail`, `returned`, `lost`, `redistributed`, `failed`.
+    pub action: String,
+    /// Free-form context.
+    pub detail: String,
+}
+
+/// Fault-handling policy: watchdog, retry and reprogram knobs. The default
+/// is inert in fault-free runs — none of these paths execute unless the
+/// pool carries an enabled [`FaultInjector`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPolicy {
+    /// The host watchdog declares a batch hung this many multiples of its
+    /// clean execution time after it started (clamped to ≥ 1).
+    pub timeout_mult: f64,
+    /// Retry/backoff for requests whose batch timed out or corrupted.
+    pub retry: RetryPolicy,
+    /// Simulated seconds one device reprogram attempt takes (§5.2 measures
+    /// reprogramming as a dominant real-host overhead).
+    pub reprogram_s: f64,
+    /// Reprogram attempts before a hung device is declared lost.
+    pub max_reprogram_attempts: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            timeout_mult: 4.0,
+            retry: RetryPolicy::default(),
+            reprogram_s: 0.02,
+            max_reprogram_attempts: 3,
+        }
+    }
+}
+
 /// Everything a serving run produced.
 pub struct RunResult {
     /// Completed requests, in completion order.
@@ -99,6 +157,11 @@ pub struct RunResult {
     /// latency/batch histograms, shed counters, queue-depth peak, cache
     /// hit/miss, per-device busy-fraction utilization).
     pub registry: Registry,
+    /// Requests that failed after exhausting retries (empty without
+    /// fault injection).
+    pub failures: Vec<Failure>,
+    /// Chronological fault/recovery log (empty without fault injection).
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 /// Server configuration.
@@ -108,6 +171,8 @@ pub struct ServeConfig {
     pub batch: BatchPolicy,
     /// Admission-control policy.
     pub admission: AdmissionPolicy,
+    /// Fault-handling policy (inert unless the pool has a fault injector).
+    pub fault: FaultPolicy,
 }
 
 struct ModelState {
@@ -116,6 +181,23 @@ struct ModelState {
     /// Completion times of dispatched-but-unfinished requests; together
     /// with the queue this is the outstanding work admission bounds.
     inflight: Vec<f64>,
+}
+
+/// A request awaiting its retry backoff.
+struct PendingRetry {
+    due_s: f64,
+    /// Insertion order — the deterministic tie-break at equal due times.
+    seq: u64,
+    req: Request,
+}
+
+/// What the next armed timer does.
+#[derive(Clone, Copy)]
+enum Timer {
+    /// Flush the batcher of `states[i]`.
+    Flush(usize),
+    /// Re-enqueue the earliest pending retry.
+    Retry,
 }
 
 /// A multi-device inference server over simulated time.
@@ -135,11 +217,22 @@ pub struct Server {
     tracer: Tracer,
     first_arrival_s: f64,
     last_event_s: f64,
+    injector: FaultInjector,
+    pending_retries: Vec<PendingRetry>,
+    retry_seq: u64,
+    /// Original arrival time per request id — retries re-enter with a later
+    /// `arrival_s`, but latency and deadlines are measured from first sight.
+    first_seen: HashMap<u64, f64>,
+    /// Execution attempts per request id.
+    attempts: HashMap<u64, u32>,
+    failures: Vec<Failure>,
+    recovery: Vec<RecoveryEvent>,
 }
 
 impl Server {
     /// A server over a configured pool.
     pub fn new(pool: DevicePool, cfg: ServeConfig) -> Server {
+        let injector = pool.fault_injector().clone();
         Server {
             pool,
             cfg,
@@ -152,6 +245,13 @@ impl Server {
             tracer: Tracer::disabled(),
             first_arrival_s: f64::INFINITY,
             last_event_s: 0.0,
+            injector,
+            pending_retries: Vec::new(),
+            retry_seq: 0,
+            first_seen: HashMap::new(),
+            attempts: HashMap::new(),
+            failures: Vec::new(),
+            recovery: Vec::new(),
         }
     }
 
@@ -202,26 +302,55 @@ impl Server {
         i
     }
 
-    /// Earliest wait-timer expiry over all non-empty queues (value, index).
-    fn next_timer(&self) -> Option<(f64, usize)> {
-        let mut best: Option<(f64, usize)> = None;
+    /// Earliest armed timer: wait-timer expiries over all non-empty queues
+    /// merged with retry-backoff due times. At equal times the retry fires
+    /// first so the re-enqueued request can join the flushing batch.
+    fn next_timer(&self) -> Option<(f64, Timer)> {
+        let mut best: Option<(f64, Timer)> = None;
         for (i, s) in self.states.iter().enumerate() {
             if let Some(d) = s.batcher.flush_deadline() {
                 if best.is_none_or(|(bd, _)| d < bd) {
-                    best = Some((d, i));
+                    best = Some((d, Timer::Flush(i)));
                 }
+            }
+        }
+        if let Some(p) = self
+            .pending_retries
+            .iter()
+            .min_by(|a, b| a.due_s.total_cmp(&b.due_s).then(a.seq.cmp(&b.seq)))
+        {
+            if best.is_none_or(|(bd, _)| p.due_s <= bd) {
+                best = Some((p.due_s, Timer::Retry));
             }
         }
         best
     }
 
+    fn fire_timer(&mut self, t: f64, timer: Timer) {
+        match timer {
+            Timer::Flush(i) => self.flush(i, t),
+            Timer::Retry => {
+                let idx = self
+                    .pending_retries
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.due_s.total_cmp(&b.1.due_s).then(a.1.seq.cmp(&b.1.seq)))
+                    .map(|(i, _)| i)
+                    .expect("retry timer armed only while retries are pending");
+                let p = self.pending_retries.swap_remove(idx);
+                self.handle_arrival(p.req);
+            }
+        }
+    }
+
     fn handle_arrival(&mut self, req: Request) {
         self.first_arrival_s = self.first_arrival_s.min(req.arrival_s);
         self.last_event_s = self.last_event_s.max(req.arrival_s);
-        if self.pool.dispatch(req.model, 1, req.arrival_s).is_none() {
+        if !self.pool.serves(req.model) {
             self.shed(req.id, req.model, req.arrival_s, ShedReason::Unserved);
             return;
         }
+        self.first_seen.entry(req.id).or_insert(req.arrival_s);
         let t = req.arrival_s;
         let model = req.model;
         let i = self.state_idx(model);
@@ -298,15 +427,21 @@ impl Server {
         }
         // Expected completion from the calibrated latency model drives both
         // device choice and deadline shedding.
-        let d = self
-            .pool
-            .dispatch(model, batch.len(), t)
-            .expect("arrival admitted only when the model is served");
+        let Some(d) = self.pool.dispatch(model, batch.len(), t) else {
+            // Every device serving the model was lost after these requests
+            // were admitted: nothing can ever execute them.
+            for r in batch {
+                let attempts = self.attempts.get(&r.id).copied().unwrap_or(0);
+                self.fail(r.id, model, t, attempts);
+            }
+            return;
+        };
         let adm = self.cfg.admission;
         let before = batch.len();
         let mut kept = Vec::with_capacity(batch.len());
         for r in batch.drain(..) {
-            if adm.deadline_missed(r.arrival_s, r.deadline_s, d.expected_completion_s) {
+            let orig = self.first_seen.get(&r.id).copied().unwrap_or(r.arrival_s);
+            if adm.deadline_missed(orig, r.deadline_s, d.expected_completion_s) {
                 self.shed(r.id, model, t, ShedReason::Deadline);
             } else {
                 kept.push(r);
@@ -323,96 +458,350 @@ impl Server {
         } else {
             d
         };
+        let size = batch.len();
+        let outcome = self.pool.execute_batch(
+            d.device,
+            model,
+            size,
+            d.start_s,
+            self.cfg.fault.timeout_mult,
+        );
         let dev = self.pool.device_mut(d.device);
-        let exec_s = dev.batch_seconds(model, batch.len());
-        let completion_s = d.start_s + exec_s;
         let deployment = dev
             .deployment(model)
             .map(std::sync::Arc::clone)
             .expect("dispatch chose a device serving the model");
         let device_name = dev.name.clone();
-        self.pool.commit(d.device, d.start_s, completion_s);
-        self.last_event_s = self.last_event_s.max(completion_s);
-        self.metrics.record_batch(batch.len());
-        let size = batch.len();
-        self.registry.histogram_observe(
-            "serve_batch_size",
-            "Dispatched batch sizes.",
-            &[("model", model.name())],
-            BATCH_BOUNDS,
-            size as f64,
-        );
-        if self.tracer.is_enabled() {
-            self.tracer.span_args(
-                PID_SERVE,
-                DEVICE_LANE_BASE + d.device as u32,
-                "batch",
-                &format!("{} x{size}", model.name()),
-                d.start_s,
-                completion_s,
-                &[
-                    ("dispatch_s", format!("{t}")),
-                    (
-                        "expected_completion_s",
-                        format!("{}", d.expected_completion_s),
+        match outcome {
+            BatchOutcome::Done { completion_s } => {
+                self.pool.commit(d.device, d.start_s, completion_s);
+                self.last_event_s = self.last_event_s.max(completion_s);
+                self.metrics.record_batch(size);
+                self.registry.histogram_observe(
+                    "serve_batch_size",
+                    "Dispatched batch sizes.",
+                    &[("model", model.name())],
+                    BATCH_BOUNDS,
+                    size as f64,
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.span_args(
+                        PID_SERVE,
+                        DEVICE_LANE_BASE + d.device as u32,
+                        "batch",
+                        &format!("{} x{size}", model.name()),
+                        d.start_s,
+                        completion_s,
+                        &[
+                            ("dispatch_s", format!("{t}")),
+                            (
+                                "expected_completion_s",
+                                format!("{}", d.expected_completion_s),
+                            ),
+                        ],
+                    );
+                }
+                self.states[i]
+                    .inflight
+                    .extend(std::iter::repeat_n(completion_s, size));
+                for r in batch {
+                    let arrival_s = self.first_seen.get(&r.id).copied().unwrap_or(r.arrival_s);
+                    let output = r.input.as_ref().map(|x| deployment.graph.execute(x));
+                    self.metrics.latency.record(completion_s - arrival_s);
+                    self.metrics.completed += 1;
+                    self.registry.counter_inc(
+                        "serve_requests_completed_total",
+                        "Requests completed, by model.",
+                        &[("model", model.name())],
+                    );
+                    self.registry.histogram_observe(
+                        "serve_request_latency_seconds",
+                        "End-to-end request latency (arrival to completion).",
+                        &[("model", model.name())],
+                        LATENCY_BOUNDS_S,
+                        completion_s - arrival_s,
+                    );
+                    if self.tracer.is_enabled() {
+                        self.tracer.span_args(
+                            PID_SERVE,
+                            1 + i as u32,
+                            "request",
+                            &format!("req {}", r.id),
+                            arrival_s,
+                            completion_s,
+                            &[
+                                ("device", device_name.clone()),
+                                ("batch", size.to_string()),
+                                ("dispatch_s", format!("{t}")),
+                            ],
+                        );
+                    }
+                    self.resolutions.push((r.id, completion_s));
+                    self.completions.push(Completion {
+                        id: r.id,
+                        model,
+                        device: d.device,
+                        arrival_s,
+                        completion_s,
+                        batch_size: size,
+                        output,
+                    });
+                }
+            }
+            BatchOutcome::Corrupted { completion_s } => {
+                self.pool.commit(d.device, d.start_s, completion_s);
+                self.last_event_s = self.last_event_s.max(completion_s);
+                self.metrics.record_batch(size);
+                self.registry.counter_inc(
+                    "serve_batches_faulted_total",
+                    "Dispatched batches lost to an injected fault, by kind.",
+                    &[("model", model.name()), ("kind", "corrupt")],
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.span(
+                        PID_SERVE,
+                        DEVICE_LANE_BASE + d.device as u32,
+                        "fault",
+                        &format!("{} x{size} corrupt", model.name()),
+                        d.start_s,
+                        completion_s,
+                    );
+                }
+                self.recovery.push(RecoveryEvent {
+                    t_s: completion_s,
+                    subject: device_name,
+                    action: "corrupt".into(),
+                    detail: format!("{} x{size} read-back failed verification", model.name()),
+                });
+                self.requeue_or_fail(model, batch, completion_s);
+            }
+            BatchOutcome::TimedOut { fail_s, hang_s } => {
+                self.pool.commit(d.device, d.start_s, fail_s);
+                self.last_event_s = self.last_event_s.max(fail_s);
+                self.metrics.record_batch(size);
+                self.registry.counter_inc(
+                    "serve_batches_faulted_total",
+                    "Dispatched batches lost to an injected fault, by kind.",
+                    &[("model", model.name()), ("kind", "timeout")],
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.span(
+                        PID_SERVE,
+                        DEVICE_LANE_BASE + d.device as u32,
+                        "fault",
+                        &format!("{} x{size} timeout", model.name()),
+                        d.start_s,
+                        fail_s,
+                    );
+                }
+                self.recovery.push(RecoveryEvent {
+                    t_s: fail_s,
+                    subject: device_name.clone(),
+                    action: "hang-detected".into(),
+                    detail: format!(
+                        "{} x{size} hung at {:.3} ms, watchdog fired",
+                        model.name(),
+                        hang_s * 1e3
                     ),
-                ],
-            );
+                });
+                let rec = self.pool.quarantine(
+                    d.device,
+                    fail_s,
+                    hang_s,
+                    self.cfg.fault.reprogram_s,
+                    self.cfg.fault.max_reprogram_attempts,
+                );
+                if let Some(rec) = rec {
+                    self.record_recovery(&device_name, d.device, &rec);
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        PID_SERVE,
+                        self.lane(model),
+                        "redistribute",
+                        &format!("redistribute {size} requests off {device_name}"),
+                        fail_s,
+                    );
+                }
+                self.recovery.push(RecoveryEvent {
+                    t_s: fail_s,
+                    subject: device_name,
+                    action: "redistributed".into(),
+                    detail: format!("{size} requests re-enqueued"),
+                });
+                self.requeue_or_fail(model, batch, fail_s);
+            }
         }
-        self.states[i]
-            .inflight
-            .extend(std::iter::repeat_n(completion_s, size));
-        for r in batch {
-            let output = r.input.as_ref().map(|x| deployment.graph.execute(x));
-            self.metrics.latency.record(completion_s - r.arrival_s);
-            self.metrics.completed += 1;
-            self.registry.counter_inc(
-                "serve_requests_completed_total",
-                "Requests completed, by model.",
-                &[("model", model.name())],
-            );
-            self.registry.histogram_observe(
-                "serve_request_latency_seconds",
-                "End-to-end request latency (arrival to completion).",
-                &[("model", model.name())],
-                LATENCY_BOUNDS_S,
-                completion_s - r.arrival_s,
-            );
+    }
+
+    /// Publishes a quarantine's reprogram attempts and outcome: spans on
+    /// the device lane, recovery-log entries and counters.
+    fn record_recovery(&mut self, device_name: &str, device: usize, rec: &crate::pool::Recovery) {
+        let lane = DEVICE_LANE_BASE + device as u32;
+        for (k, &(a0, a1, ok)) in rec.attempts.iter().enumerate() {
             if self.tracer.is_enabled() {
-                self.tracer.span_args(
+                self.tracer.span(
                     PID_SERVE,
-                    1 + i as u32,
-                    "request",
-                    &format!("req {}", r.id),
-                    r.arrival_s,
-                    completion_s,
-                    &[
-                        ("device", device_name.clone()),
-                        ("batch", size.to_string()),
-                        ("dispatch_s", format!("{t}")),
-                    ],
+                    lane,
+                    "reprogram",
+                    &format!(
+                        "reprogram {} attempt {} ({})",
+                        device_name,
+                        k + 1,
+                        if ok { "ok" } else { "fail" }
+                    ),
+                    a0,
+                    a1,
                 );
             }
-            self.resolutions.push((r.id, completion_s));
-            self.completions.push(Completion {
-                id: r.id,
-                model,
-                device: d.device,
-                arrival_s: r.arrival_s,
-                completion_s,
-                batch_size: size,
-                output,
+            self.recovery.push(RecoveryEvent {
+                t_s: a1,
+                subject: device_name.to_string(),
+                action: if ok { "reprogram-ok" } else { "reprogram-fail" }.into(),
+                detail: format!("attempt {}", k + 1),
+            });
+            self.last_event_s = self.last_event_s.max(a1);
+        }
+        match rec.until_s {
+            Some(until_s) => {
+                if self.tracer.is_enabled() {
+                    self.tracer.span(
+                        PID_SERVE,
+                        lane,
+                        "quarantine",
+                        &format!("quarantine {device_name}"),
+                        rec.fail_s,
+                        until_s,
+                    );
+                }
+                self.registry.counter_inc(
+                    "serve_device_quarantines_total",
+                    "Hung devices quarantined and reprogrammed back to service.",
+                    &[("device", device_name)],
+                );
+                self.recovery.push(RecoveryEvent {
+                    t_s: until_s,
+                    subject: device_name.to_string(),
+                    action: "returned".into(),
+                    detail: format!(
+                        "back in service after {:.3} ms quarantine",
+                        (until_s - rec.fail_s) * 1e3
+                    ),
+                });
+            }
+            None => {
+                let lost_s = rec.attempts.last().map_or(rec.fail_s, |a| a.1);
+                if self.tracer.is_enabled() {
+                    self.tracer.instant(
+                        PID_SERVE,
+                        lane,
+                        "fault",
+                        &format!("{device_name} lost"),
+                        lost_s,
+                    );
+                }
+                self.registry.counter_inc(
+                    "serve_devices_lost_total",
+                    "Devices lost after every reprogram attempt failed.",
+                    &[("device", device_name)],
+                );
+                self.recovery.push(RecoveryEvent {
+                    t_s: lost_s,
+                    subject: device_name.to_string(),
+                    action: "lost".into(),
+                    detail: format!(
+                        "{} reprogram attempts failed; device removed from pool",
+                        rec.attempts.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Re-enqueues a faulted batch's requests with backoff, failing any
+    /// whose retry budget is spent.
+    fn requeue_or_fail(&mut self, model: Model, batch: Vec<Request>, t: f64) {
+        let retry = self.cfg.fault.retry;
+        for r in batch {
+            let n = {
+                let e = self.attempts.entry(r.id).or_insert(0);
+                *e += 1;
+                *e
+            };
+            if n > retry.max_attempts {
+                self.fail(r.id, model, t, n);
+                continue;
+            }
+            let due = t + retry.backoff_s(n);
+            self.metrics.retried += 1;
+            self.registry.counter_inc(
+                "serve_requests_retried_total",
+                "Requests re-enqueued after their batch faulted.",
+                &[("model", model.name())],
+            );
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    PID_SERVE,
+                    self.lane(model),
+                    "retry",
+                    &format!("retry req {} (attempt {n})", r.id),
+                    due,
+                );
+            }
+            self.retry_seq += 1;
+            self.pending_retries.push(PendingRetry {
+                due_s: due,
+                seq: self.retry_seq,
+                req: Request {
+                    arrival_s: due,
+                    ..r
+                },
             });
         }
     }
 
-    /// Flushes every queue whose wait timer expires at or before `t`.
+    /// Terminally fails a request: no device can execute it (or its retry
+    /// budget is spent).
+    fn fail(&mut self, id: u64, model: Model, t: f64, attempts: u32) {
+        self.metrics.failed += 1;
+        self.registry.counter_inc(
+            "serve_requests_failed_total",
+            "Requests failed after exhausting retries, by model.",
+            &[("model", model.name())],
+        );
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                PID_SERVE,
+                self.lane(model),
+                "fail",
+                &format!("req {id} failed after {attempts} attempts"),
+                t,
+            );
+        }
+        self.recovery.push(RecoveryEvent {
+            t_s: t,
+            subject: format!("req {id}"),
+            action: "failed".into(),
+            detail: format!("retry budget spent ({attempts} attempts)"),
+        });
+        self.failures.push(Failure {
+            id,
+            model,
+            time_s: t,
+            attempts,
+        });
+        self.resolutions.push((id, t));
+        self.last_event_s = self.last_event_s.max(t);
+    }
+
+    /// Fires every timer (queue flushes and retry re-enqueues) due at or
+    /// before `t`.
     fn advance_until(&mut self, t: f64) {
-        while let Some((deadline, i)) = self.next_timer() {
+        while let Some((deadline, timer)) = self.next_timer() {
             if deadline > t {
                 break;
             }
-            self.flush(i, deadline);
+            self.fire_timer(deadline, timer);
         }
     }
 
@@ -461,11 +850,40 @@ impl Server {
                 util,
             );
         }
+        if self.injector.is_enabled() {
+            for dev in self.pool.devices() {
+                let health = dev.health_at(self.last_event_s);
+                self.registry.gauge_set(
+                    "serve_device_health",
+                    "Device health at end of run (1 healthy, 0.5 quarantined, 0 lost).",
+                    &[("device", &dev.name)],
+                    match health {
+                        crate::pool::DeviceHealth::Healthy => 1.0,
+                        crate::pool::DeviceHealth::Quarantined { .. } => 0.5,
+                        crate::pool::DeviceHealth::Lost => 0.0,
+                    },
+                );
+            }
+            self.registry.counter_add(
+                "serve_faults_injected_total",
+                "Fault injections observed by instrumented components.",
+                &[],
+                self.injector.injected() as f64,
+            );
+            self.registry.counter_add(
+                "serve_synth_flakes_total",
+                "Synthesis flakes absorbed by compile retries.",
+                &[],
+                self.pool.cache().synth_flakes() as f64,
+            );
+        }
         RunResult {
             completions: self.completions,
             sheds: self.sheds,
             metrics: self.metrics,
             registry: self.registry,
+            failures: self.failures,
+            recovery: self.recovery,
         }
     }
 
@@ -538,7 +956,7 @@ impl Server {
                         input: None,
                     });
                 }
-                (_, Some((tt, i))) => self.flush(i, tt),
+                (_, Some((tt, timer))) => self.fire_timer(tt, timer),
                 // No client ready and no queued work: the run is complete
                 // (the guard above always fires when no timer is armed).
                 _ => break,

@@ -32,6 +32,7 @@ fn cfg(max_batch: usize, max_wait_s: f64, capacity: usize) -> ServeConfig {
             queue_capacity: capacity,
             default_deadline_s: None,
         },
+        fault: Default::default(),
     }
 }
 

@@ -130,6 +130,15 @@ impl TuningDb {
         }
     }
 
+    /// Merges every record of `other` into this database, keeping the
+    /// better record per key. Returns how many of `other`'s records won.
+    pub fn merge(&mut self, other: &TuningDb) -> usize {
+        other
+            .iter()
+            .filter(|(k, r)| self.insert((*k).clone(), (*r).clone()))
+            .count()
+    }
+
     /// Renders the database as its canonical JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -245,6 +254,25 @@ impl TuningDb {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuningDb::new()),
             Err(e) => Err(format!("{}: {e}", path.display())),
         }
+    }
+
+    /// Re-reads `path`, merges this database's records into the on-disk
+    /// state (keeping the better record per key), writes the result back,
+    /// and returns the merged database.
+    ///
+    /// This is the lost-update-safe way for concurrent tuners to persist:
+    /// a plain [`TuningDb::save`] overwrites whatever another process
+    /// wrote since this one loaded, while `save_merged` keeps the best
+    /// record per key regardless of write order.
+    ///
+    /// # Errors
+    /// A malformed on-disk database (which is left untouched), or any I/O
+    /// failure.
+    pub fn save_merged(&self, path: &Path) -> Result<TuningDb, String> {
+        let mut merged = TuningDb::load(path)?;
+        merged.merge(self);
+        merged.save(path)?;
+        Ok(merged)
     }
 
     /// Writes the database to `path` (creating parent directories).

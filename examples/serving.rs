@@ -108,6 +108,7 @@ fn main() {
             queue_capacity: 64,
             default_deadline_s: None,
         },
+        fault: Default::default(),
     };
 
     println!(

@@ -27,6 +27,8 @@
 //!   proposal generation, beam + evolutionary search, persistent tuning
 //!   database.
 //! * [`trace`] — span tracing, Perfetto timeline export, metrics registry.
+//! * [`fault`] — seeded deterministic fault injection: fault plans in
+//!   sim-time, the injector handle, retry/backoff policy.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use fpgaccel_aoc as aoc;
 pub use fpgaccel_baseline as baseline;
 pub use fpgaccel_core as core;
 pub use fpgaccel_device as device;
+pub use fpgaccel_fault as fault;
 pub use fpgaccel_runtime as runtime;
 pub use fpgaccel_serve as serve;
 pub use fpgaccel_tensor as tensor;

@@ -465,6 +465,117 @@ fn gemm_conv_matches_direct() {
     }
 }
 
+/// The three execution paths — native host operators chained by hand, the
+/// reference graph executor, and the compiled kernels run through the TIR
+/// interpreter — compute the same function, element-wise, for randomized
+/// small LeNet-like networks under every pipelined schedule tier.
+///
+/// This is the differential oracle behind `verify_deployment`: the native
+/// chain is built *alongside* the graph (not derived from it), so a shared
+/// bug in the graph executor and the kernel builder cannot cancel out.
+#[test]
+fn random_networks_agree_across_native_graph_and_kernel_paths() {
+    use fpgaccel::core::verify::verify_deployment;
+    use fpgaccel::core::{Flow, OptimizationConfig};
+    use fpgaccel::device::FpgaPlatform;
+    use fpgaccel::tensor::graph::{Graph, Op};
+
+    let mut rng = Rng64::seed_from_u64(0xD1FF_0421);
+    let schedules: [fn() -> OptimizationConfig; 4] = [
+        OptimizationConfig::base,
+        OptimizationConfig::unrolling,
+        OptimizationConfig::autorun,
+        OptimizationConfig::tvm_autorun,
+    ];
+    for case in 0..8 {
+        let seed = rng.next_u64() % 1000;
+        let c_in = 1 + rng.below(2) as usize;
+        let hw = 8;
+        let k1 = 2 * (1 + rng.below(2) as usize);
+        let pad = rng.below(2) as usize;
+        let units = 4 + 2 * rng.below(3) as usize;
+        let use_bias = rng.below(2) == 0;
+
+        let x = Tensor::random(Shape::chw(c_in, hw, hw), seed ^ 21, 1.0);
+        let w1 = Tensor::random(Shape::kcff(k1, c_in, 3), seed, 0.5);
+        let conv_hw = hw + 2 * pad - 3 + 1;
+        let pool_hw = (conv_hw - 2) / 2 + 1;
+        let n = k1 * pool_hw * pool_hw;
+
+        // The canned pipelined tiers carry LeNet's dense unroll factors
+        // (40/40/4); this network has one dense layer of width `n`, so
+        // draw a random valid factor instead.
+        let mut schedule = schedules[rng.below(4) as usize]();
+        if !schedule.dense_unroll.is_empty() {
+            schedule.dense_unroll = vec![pick(&mut rng, &divisors(n))];
+        }
+        let w2 = Tensor::random(Shape::d2(units, n), seed ^ 5, 0.5);
+        let bias: Option<Vec<f32>> =
+            use_bias.then(|| (0..units).map(|i| 0.05 * i as f32 - 0.1).collect());
+
+        // Path 1 — native host operators, chained by hand.
+        let native = {
+            let t = ops::conv2d(&x, &w1, &Conv2dParams::plain(1, pad));
+            let t = ops::relu(&t);
+            let t = ops::maxpool2d(&t, 2, 2, 0);
+            let t = ops::dense(&t.flatten(), &w2, bias.as_deref(), Activation::None);
+            ops::softmax(&t)
+        };
+
+        // Path 2 — the reference graph executor on the same network.
+        let mut g = Graph::new("diff", Shape::chw(c_in, hw, hw));
+        let conv = g.push_with_params(
+            "conv",
+            Op::Conv2d {
+                out_channels: k1,
+                kernel: 3,
+                stride: 1,
+                pad,
+                depthwise: false,
+            },
+            vec![0],
+            Some(w1),
+            None,
+            None,
+        );
+        let relu = g.push("relu", Op::Relu, vec![conv]);
+        let pool = g.push(
+            "pool",
+            Op::MaxPool {
+                window: 2,
+                stride: 2,
+                pad: 0,
+            },
+            vec![relu],
+        );
+        let flat = g.push("flat", Op::Flatten, vec![pool]);
+        let fc = g.push_with_params("fc", Op::Dense { units }, vec![flat], Some(w2), bias, None);
+        g.push("softmax", Op::Softmax, vec![fc]);
+
+        let from_graph = g.execute(&x);
+        assert!(
+            allclose(&from_graph, &native, 1e-4, 1e-5),
+            "case {case}: graph executor vs native ops (c_in={c_in} k1={k1} pad={pad} \
+             units={units} bias={use_bias})"
+        );
+
+        // Path 3 — the compiled kernels through the TIR interpreter.
+        // `verify_deployment` compares them element-wise against the
+        // transformed graph's per-node activations; comparing that graph's
+        // output against the native chain closes the triangle.
+        let label = schedule.label.clone();
+        let d = Flow::for_graph(g, FpgaPlatform::Stratix10Sx)
+            .compile(&schedule)
+            .unwrap_or_else(|e| panic!("case {case}: `{label}` fails to compile: {e}"));
+        assert!(
+            allclose(&d.graph.execute(&x), &native, 1e-4, 1e-5),
+            "case {case}: transformed graph vs native ops under `{label}`"
+        );
+        verify_deployment(&d, &x, 1e-3)
+            .unwrap_or_else(|e| panic!("case {case}: kernel interp diverged under `{label}`: {e}"));
+    }
+}
+
 /// AOC resource usage is monotone in the tiling factor (more unrolling
 /// never uses fewer DSPs) and the fit check is consistent with it.
 #[test]
