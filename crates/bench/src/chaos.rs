@@ -101,6 +101,7 @@ fn run_with(plan: Option<FaultPlan>, tracer: &Tracer) -> (usize, RunResult) {
                 default_deadline_s: None,
             },
             fault: Default::default(),
+            brownout: Default::default(),
         },
     )
     .with_tracer(tracer)

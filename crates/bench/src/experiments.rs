@@ -998,6 +998,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("serve", crate::serving::serve),
     ("tune", crate::tune::tune),
     ("chaos", crate::chaos::chaos),
+    ("rollout", crate::rollout::rollout),
 ];
 
 /// Runs one experiment by id.

@@ -132,26 +132,42 @@ fn serve_trace(trace: Vec<Request>, batch: BatchPolicy) -> RunResult {
             batch,
             admission: admission(),
             fault: Default::default(),
+            brownout: Default::default(),
         },
     )
     .run_open_loop(trace)
 }
 
 /// One fully traced serving run — the co-served mix at 1.0x offered
-/// load, deploys included — recording spans on `tracer`. This is the
-/// timeline behind `repro trace serve`.
+/// load, deploys included, plus a clean mid-run MobileNet rollout to the
+/// auto-tuned folded configuration — recording spans on `tracer`. This is
+/// the timeline behind `repro trace serve`: the rollout's drain, canary
+/// and per-wave spans land on their own lane next to the device lanes.
 pub fn traced_run(tracer: &Tracer) -> RunResult {
     let pool = build_pool_traced(tracer);
     let trace = mixed_trace(&pool, 1.0);
+    let mut tuned =
+        fpgaccel_core::OptimizationConfig::folded(fpgaccel_core::TilingPreset::Custom1x1 {
+            tile: (7, 8, 8),
+        });
+    tuned.label = "Folded-Tuned".into();
     Server::new(
         pool,
         ServeConfig {
             batch: batched(),
             admission: admission(),
             fault: Default::default(),
+            brownout: Default::default(),
         },
     )
     .with_tracer(tracer)
+    .with_rollout(fpgaccel_serve::RolloutSpec {
+        at_s: TRACE_S / 2.0,
+        model: Model::MobileNetV1,
+        to: tuned,
+        verify_input: None,
+        policy: fpgaccel_serve::RolloutPolicy::default(),
+    })
     .run_open_loop(trace)
 }
 

@@ -1,0 +1,18 @@
+//! Guard for the rollout refactor of the serving stack: the `chaos`
+//! experiment report (committed fault schedule, default sweep budget)
+//! must stay byte-identical to the committed reference in
+//! `docs/chaos_golden.txt`. Rollout machinery only runs when a rollout
+//! is scheduled, so the chaos report must not move.
+
+#[test]
+fn chaos_report_matches_the_golden_output_byte_for_byte() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/chaos_golden.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden output present");
+    // `repro chaos` prints the report with one trailing println newline.
+    let actual = format!("{}\n", fpgaccel_bench::chaos::chaos());
+    assert_eq!(
+        actual, golden,
+        "the chaos report diverged from docs/chaos_golden.txt — the rollout layer must be \
+         inert when no rollout is scheduled"
+    );
+}

@@ -32,6 +32,48 @@ fn exported_baseline_timeline_reproduces_figure_6_2() {
 }
 
 #[test]
+fn serve_timeline_shows_the_rollout_machinery() {
+    let tracer = fpgaccel_trace::Tracer::enabled();
+    let r = fpgaccel_bench::serving::traced_run(&tracer);
+
+    // The mid-run MobileNet upgrade promotes without disturbing service.
+    assert_eq!(r.rollouts.len(), 1);
+    assert_eq!(
+        r.rollouts[0].outcome,
+        fpgaccel_serve::RolloutOutcome::Promoted
+    );
+    assert!(r.failures.is_empty());
+    assert_eq!(
+        r.registry
+            .value("serve_rollout_state", &[("model", "MobileNetV1")]),
+        Some(4.0),
+        "gauge must park at `promoted`"
+    );
+    assert_eq!(
+        r.registry
+            .value("serve_rollbacks_total", &[("model", "MobileNetV1")]),
+        None,
+        "a clean rollout counts no rollback"
+    );
+
+    // Wave spans on the rollout lane (tid 48), canary + reprogram spans on
+    // the device lanes — all visible in the Perfetto export.
+    let spans = tracer.events();
+    assert!(spans.iter().any(|e| e.cat == "rollout" && e.tid == 48));
+    assert!(spans.iter().any(|e| e.cat == "canary" && e.tid >= 64));
+    assert!(spans.iter().any(|e| e.cat == "reprogram" && e.tid >= 64));
+    let json = fpgaccel_trace::chrome_trace_json(&tracer);
+    let v = Json::parse(&json).expect("valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(events
+        .iter()
+        .any(|e| { e.get("cat").and_then(Json::as_str) == Some("rollout") }));
+}
+
+#[test]
 fn trace_experiment_emits_valid_chrome_json_for_every_traceable_id() {
     for id in tracing::TRACEABLE {
         let json = tracing::trace_experiment(id).expect("traceable");

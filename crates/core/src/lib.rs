@@ -39,3 +39,4 @@ pub use autotune::{conv1x1_shapes, db_key, tune_model, FlowEvaluator};
 pub use deploy::{BatchLatencyModel, BatchStats, Deployment, ExecutionPlan, InferResult};
 pub use flow::{Flow, FlowError};
 pub use options::{ExecMode, OptimizationConfig, TilingPreset};
+pub use verify::{verify_deployment, VerifyError};

@@ -13,6 +13,122 @@ use fpgaccel_tir::interp::Interp;
 use fpgaccel_tir::kernel::{BufRole, Kernel};
 use fpgaccel_tir::Binding;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A structured verification failure: what diverged, where, and by how
+/// much. `Display` renders the same messages the stringly-typed checker
+/// used to produce, so logs and golden files don't churn; consumers that
+/// need the payload (the serving canary, tests) match on the variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// A kernel's input buffer has no upstream output to bind.
+    ProducerUnavailable {
+        /// Name of the node whose producer output is missing.
+        node: String,
+    },
+    /// The node needs weights but the graph carries none.
+    MissingWeights {
+        /// Name of the node missing weights.
+        node: String,
+    },
+    /// A fused residual add references an activation that was never
+    /// computed.
+    ResidualMissing {
+        /// Name of the node whose residual source is missing.
+        node: String,
+    },
+    /// A bound buffer's data length disagrees with its declared extent.
+    BufferLen {
+        /// Name of the node being bound.
+        node: String,
+        /// Name of the mis-sized buffer.
+        buf: String,
+        /// Elements the kernel declares.
+        expected: usize,
+        /// Elements actually bound.
+        got: usize,
+    },
+    /// No kernel wrote the graph's output buffer.
+    NoOutput,
+    /// The kernels produced an output of the wrong length.
+    OutputLen {
+        /// Elements the kernels produced.
+        got: usize,
+        /// Elements the reference graph expects.
+        want: usize,
+    },
+    /// The first element-level divergence between kernels and reference.
+    Mismatch {
+        /// Graph node id of the first diverging node.
+        node_id: NodeId,
+        /// Name of that node.
+        node: String,
+        /// Global buffer the kernel output came out of.
+        buf: String,
+        /// Role of that buffer.
+        role: BufRole,
+        /// Flat element index of the divergence.
+        index: usize,
+        /// Value the kernels computed.
+        got: f32,
+        /// Value the reference execution computed.
+        want: f32,
+    },
+    /// A channel retained elements after the pass — a deadlocked or
+    /// mis-sized pipeline.
+    ChannelResidue {
+        /// Name of the non-empty channel.
+        channel: String,
+        /// Elements left in it.
+        len: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ProducerUnavailable { node } => {
+                write!(f, "`{node}`: producer output unavailable")
+            }
+            VerifyError::MissingWeights { node } => write!(f, "`{node}`: missing weights"),
+            VerifyError::ResidualMissing { node } => {
+                write!(f, "`{node}`: residual source missing")
+            }
+            VerifyError::BufferLen {
+                node,
+                buf,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{node}`: buffer `{buf}` expects {expected} elements, got {got}"
+            ),
+            VerifyError::NoOutput => write!(f, "final kernel produced no global output"),
+            VerifyError::OutputLen { got, want } => {
+                write!(f, "output length mismatch: kernels {got} vs graph {want}")
+            }
+            VerifyError::Mismatch {
+                node_id,
+                node,
+                buf,
+                role,
+                index,
+                got,
+                want,
+            } => write!(
+                f,
+                "node {node_id} (`{node}`): buffer `{buf}` ({role:?}) element {index}: \
+                 kernels {got} vs reference {want}"
+            ),
+            VerifyError::ChannelResidue { channel, len } => write!(
+                f,
+                "channel `{channel}` retained {len} elements after the pass"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
 
 /// Verifies a deployment against the reference graph on one input.
 ///
@@ -20,9 +136,9 @@ use std::collections::HashMap;
 /// network FLOPs — intended for LeNet-scale networks and unit-test graphs).
 ///
 /// # Errors
-/// Returns a description of the first mismatching element, or of a missing
-/// binding/buffer.
-pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<(), String> {
+/// Returns a [`VerifyError`] pinning the first mismatching element, or the
+/// missing binding/buffer.
+pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<(), VerifyError> {
     let activations = d.graph.execute_all(input);
     let expected = &activations[&d.graph.output];
 
@@ -60,12 +176,16 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
             let data: Vec<f32> = match buf.role {
                 BufRole::Input => outputs
                     .get(&node.inputs[0])
-                    .ok_or_else(|| format!("`{}`: producer output unavailable", node.name))?
+                    .ok_or_else(|| VerifyError::ProducerUnavailable {
+                        node: node.name.clone(),
+                    })?
                     .clone(),
                 BufRole::Weights => node
                     .weights
                     .as_ref()
-                    .ok_or_else(|| format!("`{}`: missing weights", node.name))?
+                    .ok_or_else(|| VerifyError::MissingWeights {
+                        node: node.name.clone(),
+                    })?
                     .data()
                     .to_vec(),
                 // Group kernels carry the *union* epilogue; members without
@@ -87,18 +207,20 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
                     Some(src) => activations
                         .get(&src)
                         .map(|t| t.data().to_vec())
-                        .ok_or_else(|| format!("`{}`: residual source missing", node.name))?,
+                        .ok_or_else(|| VerifyError::ResidualMissing {
+                            node: node.name.clone(),
+                        })?,
                     None => vec![0.0; expected_len],
                 },
                 BufRole::Output | BufRole::Scratch => continue,
             };
             if data.len() != expected_len {
-                return Err(format!(
-                    "`{}`: buffer `{}` expects {expected_len} elements, got {}",
-                    node.name,
-                    buf.name,
-                    data.len()
-                ));
+                return Err(VerifyError::BufferLen {
+                    node: node.name.clone(),
+                    buf: buf.name.clone(),
+                    expected: expected_len,
+                    got: data.len(),
+                });
             }
             inputs.insert(buf.name.clone(), data);
         }
@@ -114,15 +236,12 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
         }
     }
 
-    let got = outputs
-        .get(&d.graph.output)
-        .ok_or("final kernel produced no global output")?;
+    let got = outputs.get(&d.graph.output).ok_or(VerifyError::NoOutput)?;
     if got.len() != expected.numel() {
-        return Err(format!(
-            "output length mismatch: kernels {} vs graph {}",
-            got.len(),
-            expected.numel()
-        ));
+        return Err(VerifyError::OutputLen {
+            got: got.len(),
+            want: expected.numel(),
+        });
     }
     // Compare every node's observed output against its reference
     // activation, in graph order, so a mismatch is pinned to the first
@@ -143,11 +262,15 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
         for (i, (&g, &e)) in observed.iter().zip(reference.data()).enumerate() {
             let tol = 1e-4 + rtol * e.abs().max(g.abs());
             if (g - e).abs() > tol {
-                return Err(format!(
-                    "node {node_id} (`{}`): buffer `{buf_name}` ({buf_role:?}) element {i}: \
-                     kernels {g} vs reference {e}",
-                    d.graph.nodes[node_id].name
-                ));
+                return Err(VerifyError::Mismatch {
+                    node_id,
+                    node: d.graph.nodes[node_id].name.clone(),
+                    buf: buf_name.clone(),
+                    role: *buf_role,
+                    index: i,
+                    got: g,
+                    want: e,
+                });
             }
         }
     }
@@ -155,10 +278,10 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
     // or mis-sized pipeline.
     for (name, fifo) in &interp.channels {
         if !fifo.is_empty() {
-            return Err(format!(
-                "channel `{name}` retained {} elements after the pass",
-                fifo.len()
-            ));
+            return Err(VerifyError::ChannelResidue {
+                channel: name.clone(),
+                len: fifo.len(),
+            });
         }
     }
     Ok(())
@@ -199,10 +322,32 @@ mod tests {
         // buffer it came out of, and the flat element index — rather than
         // only being discovered at the network output.
         let err = verify_deployment(&d, &data::synthetic_digit(2, 0), -1.0).unwrap_err();
-        assert!(err.starts_with("node "), "missing node id: {err}");
-        assert!(err.contains("buffer `"), "missing buffer name: {err}");
-        assert!(err.contains("(Output)"), "missing buffer role: {err}");
-        assert!(err.contains("element "), "missing element index: {err}");
+        let msg = err.to_string();
+        assert!(msg.starts_with("node "), "missing node id: {msg}");
+        assert!(msg.contains("buffer `"), "missing buffer name: {msg}");
+        assert!(msg.contains("(Output)"), "missing buffer role: {msg}");
+        assert!(msg.contains("element "), "missing element index: {msg}");
+        // The structured payload carries the same facts as the message.
+        let VerifyError::Mismatch {
+            node_id,
+            node,
+            buf,
+            role,
+            index,
+            got,
+            want,
+        } = err
+        else {
+            panic!("expected Mismatch, got {err:?}");
+        };
+        assert_eq!(role, BufRole::Output);
+        assert_eq!(
+            msg,
+            format!(
+                "node {node_id} (`{node}`): buffer `{buf}` ({role:?}) element {index}: \
+                 kernels {got} vs reference {want}"
+            )
+        );
     }
 
     #[test]

@@ -31,3 +31,16 @@ pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 /// means "the device hung" — real completions are orders of magnitude
 /// shorter.
 pub const HANG_WATCHDOG_S: f64 = 1.0e3;
+
+/// Fault-plan target name for a device's *shadow* (canary) stream.
+///
+/// Rollout canaries execute verification batches alongside production
+/// traffic on the same physical device. A corruption aimed at the device
+/// name could be consumed by whichever batch the scheduler happens to
+/// dispatch first, making "corrupt the canary" plans racy against load.
+/// Plans that want to hit the canary specifically target
+/// `shadow_target(device)` instead; only canary execution consults that
+/// name.
+pub fn shadow_target(device: &str) -> String {
+    format!("{device}#shadow")
+}

@@ -447,6 +447,15 @@ impl Sim {
         self.host_clock = self.host_clock.max(self.agg_last);
     }
 
+    /// Drains the device before a reprogram: blocks the host until every
+    /// enqueued operation completed ([`Sim::finish`]) and returns the
+    /// quiesce time — the earliest simulated second at which the bitstream
+    /// can be safely swapped without killing in-flight work.
+    pub fn drain_barrier(&mut self) -> f64 {
+        self.finish();
+        self.host_clock
+    }
+
     /// Blocks the host until an event completes (`clWaitForEvents`), adding
     /// the completion-processing cost.
     pub fn wait(&mut self, ev: EventId) {
@@ -510,6 +519,20 @@ mod tests {
         let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
         let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[e1], &[]);
         assert!(sim.event(e2).start >= sim.event(e1).end);
+    }
+
+    #[test]
+    fn drain_barrier_returns_the_quiesce_time() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[], &[]);
+        let quiesce = sim.drain_barrier();
+        let last = sim.event(e1).end.max(sim.event(e2).end);
+        assert_eq!(quiesce, last, "barrier waits for the last in-flight op");
+        // Idempotent: nothing new enqueued, nothing more to wait for.
+        assert_eq!(sim.drain_barrier(), quiesce);
     }
 
     #[test]

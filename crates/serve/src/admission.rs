@@ -26,6 +26,54 @@ impl Default for AdmissionPolicy {
     }
 }
 
+/// Precision-brownout policy: when a model sheds persistently, switch it
+/// to a pre-deployed relaxed-precision variant instead of shedding more —
+/// trading arithmetic precision for availability — and promote it back to
+/// the primary deployment once the load subsides.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrownoutPolicy {
+    /// Master switch. Disabled (the default) the serving path is
+    /// byte-identical to a server without brownout support.
+    pub enabled: bool,
+    /// Sheds within [`BrownoutPolicy::window_s`] that trip the brownout.
+    pub trigger_sheds: u32,
+    /// Sliding window the shed trigger counts over, seconds.
+    pub window_s: f64,
+    /// Shed-free seconds after which a browned-out model is promoted back
+    /// to its primary deployment.
+    pub promote_idle_s: f64,
+}
+
+impl Default for BrownoutPolicy {
+    fn default() -> Self {
+        BrownoutPolicy {
+            enabled: false,
+            trigger_sheds: 6,
+            window_s: 0.05,
+            promote_idle_s: 0.1,
+        }
+    }
+}
+
+impl BrownoutPolicy {
+    /// Whether `shed_times` (recent shed timestamps, any order) trips the
+    /// brownout at time `t`.
+    pub fn tripped(&self, shed_times: &[f64], t: f64) -> bool {
+        self.enabled
+            && shed_times
+                .iter()
+                .filter(|&&x| x >= t - self.window_s)
+                .count()
+                >= self.trigger_sheds.max(1) as usize
+    }
+
+    /// Whether a browned-out model whose last shed was at `last_shed_s`
+    /// should be promoted back at time `t`.
+    pub fn promote(&self, last_shed_s: f64, t: f64) -> bool {
+        t - last_shed_s >= self.promote_idle_s
+    }
+}
+
 impl AdmissionPolicy {
     /// Whether a new arrival fits into a queue currently `depth` deep.
     pub fn admit(&self, depth: usize) -> bool {
@@ -99,5 +147,32 @@ mod tests {
     fn no_deadline_never_sheds() {
         let p = AdmissionPolicy::default();
         assert!(!p.deadline_missed(0.0, None, f64::MAX));
+    }
+
+    #[test]
+    fn brownout_trips_on_windowed_sheds_only() {
+        let p = BrownoutPolicy {
+            enabled: true,
+            trigger_sheds: 3,
+            window_s: 1.0,
+            promote_idle_s: 2.0,
+        };
+        // Two recent sheds plus one outside the window: not tripped.
+        assert!(!p.tripped(&[0.0, 9.5, 9.9], 10.0));
+        assert!(p.tripped(&[9.2, 9.5, 9.9], 10.0));
+        // Disabled never trips regardless of pressure.
+        assert!(!BrownoutPolicy::default().tripped(&[9.2, 9.5, 9.9], 10.0));
+    }
+
+    #[test]
+    fn brownout_promotes_after_idle() {
+        let p = BrownoutPolicy {
+            enabled: true,
+            trigger_sheds: 3,
+            window_s: 1.0,
+            promote_idle_s: 2.0,
+        };
+        assert!(!p.promote(10.0, 11.0));
+        assert!(p.promote(10.0, 12.0));
     }
 }

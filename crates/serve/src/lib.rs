@@ -38,14 +38,18 @@ pub mod cache;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
+pub mod rollout;
 pub mod service;
 
-pub use admission::AdmissionPolicy;
+pub use admission::{AdmissionPolicy, BrownoutPolicy};
 pub use batcher::{BatchPolicy, DynamicBatcher};
 pub use cache::DeploymentCache;
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use pool::{BatchOutcome, DeviceHealth, DevicePool, Dispatch, PooledDevice, Recovery};
+pub use rollout::{
+    CanaryFailure, RolloutEvent, RolloutOutcome, RolloutPolicy, RolloutReport, RolloutSpec,
+};
 pub use service::{
-    Completion, Failure, FaultPolicy, RecoveryEvent, Request, RunResult, ServeConfig, Server, Shed,
-    ShedReason,
+    Completion, DeviceSummary, Failure, FaultPolicy, RecoveryEvent, Request, RunResult,
+    ServeConfig, Server, Shed, ShedReason,
 };

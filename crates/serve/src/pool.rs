@@ -27,6 +27,10 @@ pub enum DeviceHealth {
         /// When the reprogram completes, simulated seconds.
         until_s: f64,
     },
+    /// Taken out of dispatch by a rollout: finishing in-flight batches,
+    /// then reprogrammed to the new deployment. Returns to service when the
+    /// rollout promotes (or rolls back) its wave.
+    Draining,
     /// Every reprogram attempt failed; permanently out of the pool.
     Lost,
 }
@@ -37,6 +41,7 @@ impl DeviceHealth {
         match self {
             DeviceHealth::Healthy => "healthy",
             DeviceHealth::Quarantined { .. } => "quarantined",
+            DeviceHealth::Draining => "draining",
             DeviceHealth::Lost => "lost",
         }
     }
@@ -89,9 +94,15 @@ pub struct PooledDevice {
     pub platform: FpgaPlatform,
     deployments: HashMap<Model, Arc<Deployment>>,
     latency_models: HashMap<Model, BatchLatencyModel>,
-    /// Simulated seconds per deployed batch size, memoized — dispatching
-    /// re-runs the same discrete-event simulation for identical sizes.
-    batch_seconds: HashMap<(Model, usize), f64>,
+    /// Pre-deployed relaxed-precision variants (brownout mode): served in
+    /// place of the primary deployment when the server browns the model
+    /// out under sustained overload.
+    brownout_deployments: HashMap<Model, Arc<Deployment>>,
+    brownout_lms: HashMap<Model, BatchLatencyModel>,
+    /// Simulated seconds per deployed batch size (and variant: `true` =
+    /// brownout), memoized — dispatching re-runs the same discrete-event
+    /// simulation for identical sizes.
+    batch_seconds: HashMap<(Model, usize, bool), f64>,
     /// Simulated time until which the device executes already-dispatched
     /// batches.
     busy_until_s: f64,
@@ -110,6 +121,8 @@ impl PooledDevice {
             platform,
             deployments: HashMap::new(),
             latency_models: HashMap::new(),
+            brownout_deployments: HashMap::new(),
+            brownout_lms: HashMap::new(),
             batch_seconds: HashMap::new(),
             busy_until_s: 0.0,
             busy_s: 0.0,
@@ -128,13 +141,43 @@ impl PooledDevice {
         self.latency_models.get(&model).copied()
     }
 
+    /// The pre-deployed brownout (relaxed-precision) variant of `model`,
+    /// if one was staged here.
+    pub fn brownout_deployment(&self, model: Model) -> Option<&Arc<Deployment>> {
+        self.brownout_deployments.get(&model)
+    }
+
+    /// Calibrated latency model of the staged brownout variant, if any.
+    pub fn brownout_latency_model(&self, model: Model) -> Option<BatchLatencyModel> {
+        self.brownout_lms.get(&model).copied()
+    }
+
+    /// The deployment actually serving `model` under the given variant.
+    pub fn serving_deployment(&self, model: Model, brownout: bool) -> Option<&Arc<Deployment>> {
+        if brownout {
+            self.brownout_deployments.get(&model)
+        } else {
+            self.deployments.get(&model)
+        }
+    }
+
     /// Simulated execution seconds for a batch of `n` images of `model`
     /// (exact `simulate_batch` result, memoized per size).
     pub fn batch_seconds(&mut self, model: Model, n: usize) -> f64 {
-        let d = Arc::clone(&self.deployments[&model]);
+        self.batch_seconds_variant(model, n, false)
+    }
+
+    /// [`PooledDevice::batch_seconds`] for either variant (`brownout =
+    /// true` simulates the staged relaxed-precision deployment).
+    pub fn batch_seconds_variant(&mut self, model: Model, n: usize, brownout: bool) -> f64 {
+        let d = if brownout {
+            Arc::clone(&self.brownout_deployments[&model])
+        } else {
+            Arc::clone(&self.deployments[&model])
+        };
         *self
             .batch_seconds
-            .entry((model, n))
+            .entry((model, n, brownout))
             .or_insert_with(|| d.simulate_batch(n).seconds)
     }
 
@@ -147,6 +190,18 @@ impl PooledDevice {
     /// span this is the device's busy-fraction utilization.
     pub fn busy_seconds(&self) -> f64 {
         self.busy_s
+    }
+
+    /// `(model, serving configuration label)` for every primary deployment
+    /// on this device, sorted by model name (deterministic order).
+    pub fn deployed_models(&self) -> Vec<(Model, String)> {
+        let mut out: Vec<(Model, String)> = self
+            .deployments
+            .iter()
+            .map(|(&m, d)| (m, d.config.label.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.name().cmp(b.0.name()));
+        out
     }
 
     /// Current health.
@@ -258,6 +313,34 @@ impl DevicePool {
         let dev = &mut self.devices[device];
         dev.deployments.insert(model, d);
         dev.latency_models.insert(model, lm);
+        // The deployment changed; memoized batch timings for it are stale
+        // (brownout-variant entries belong to a different bitstream and
+        // survive).
+        dev.batch_seconds.retain(|&(m, _, b), _| m != model || b);
+        Ok(())
+    }
+
+    /// Stages a brownout (relaxed-precision) variant of `model` on device
+    /// `device`: compiled through the shared cache with the tuning-database
+    /// fallback ([`DeploymentCache::get_or_compile_tuned`]), calibrated,
+    /// and held ready so an overloaded server can switch to it without a
+    /// reprogram.
+    pub fn deploy_brownout(
+        &mut self,
+        device: usize,
+        model: Model,
+        db: &fpgaccel_tune::TuningDb,
+        fallback: &OptimizationConfig,
+    ) -> Result<(), FlowError> {
+        let platform = self.devices[device].platform;
+        let d = self
+            .cache
+            .get_or_compile_tuned(model, platform, db, fallback)?;
+        let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
+        let dev = &mut self.devices[device];
+        dev.brownout_deployments.insert(model, d);
+        dev.brownout_lms.insert(model, lm);
+        dev.batch_seconds.retain(|&(m, _, b), _| m != model || !b);
         Ok(())
     }
 
@@ -282,12 +365,31 @@ impl DevicePool {
     /// to the lowest index for determinism. `None` if no device serves the
     /// model.
     pub fn dispatch(&self, model: Model, n: usize, now_s: f64) -> Option<Dispatch> {
+        self.dispatch_variant(model, n, now_s, false)
+    }
+
+    /// [`DevicePool::dispatch`] for either deployment variant: with
+    /// `brownout = true` only devices holding the staged relaxed-precision
+    /// variant are considered, weighted by its own calibrated latency.
+    /// Draining devices (mid-rollout) never receive new batches.
+    pub fn dispatch_variant(
+        &self,
+        model: Model,
+        n: usize,
+        now_s: f64,
+        brownout: bool,
+    ) -> Option<Dispatch> {
         let mut best: Option<Dispatch> = None;
         for (i, dev) in self.devices.iter().enumerate() {
-            if dev.health == DeviceHealth::Lost {
+            if dev.health == DeviceHealth::Lost || dev.health == DeviceHealth::Draining {
                 continue;
             }
-            let Some(lm) = dev.latency_models.get(&model) else {
+            let lms = if brownout {
+                &dev.brownout_lms
+            } else {
+                &dev.latency_models
+            };
+            let Some(lm) = lms.get(&model) else {
                 continue;
             };
             let start_s = now_s.max(dev.busy_until_s);
@@ -317,6 +419,40 @@ impl DevicePool {
             .any(|d| d.health != DeviceHealth::Lost && d.latency_models.contains_key(&model))
     }
 
+    /// Whether any device serving `model` is currently draining for a
+    /// rollout. The server defers (rather than fails) batches that find no
+    /// dispatchable device while this holds — the drain is transient.
+    pub fn has_draining(&self, model: Model) -> bool {
+        self.devices
+            .iter()
+            .any(|d| d.health == DeviceHealth::Draining && d.latency_models.contains_key(&model))
+    }
+
+    /// Whether any non-lost device holds a staged brownout variant of
+    /// `model`.
+    pub fn has_brownout(&self, model: Model) -> bool {
+        self.devices
+            .iter()
+            .any(|d| d.health != DeviceHealth::Lost && d.brownout_lms.contains_key(&model))
+    }
+
+    /// Marks a device draining: no new batches are dispatched to it, while
+    /// already-committed work (its `busy_until`) runs to completion.
+    pub(crate) fn begin_drain(&mut self, device: usize) {
+        let d = &mut self.devices[device];
+        if d.health != DeviceHealth::Lost {
+            d.health = DeviceHealth::Draining;
+        }
+    }
+
+    /// Returns a drained/reprogrammed device to dispatch.
+    pub(crate) fn return_to_service(&mut self, device: usize) {
+        let d = &mut self.devices[device];
+        if d.health == DeviceHealth::Draining {
+            d.health = DeviceHealth::Healthy;
+        }
+    }
+
     /// Earliest time at or after `now_s` any non-lost device serving
     /// `model` is free. `None` when no such device exists.
     pub fn earliest_available_s(&self, model: Model, now_s: f64) -> Option<f64> {
@@ -344,8 +480,9 @@ impl DevicePool {
         n: usize,
         start_s: f64,
         timeout_mult: f64,
+        brownout: bool,
     ) -> BatchOutcome {
-        let base = self.devices[device].batch_seconds(model, n);
+        let base = self.devices[device].batch_seconds_variant(model, n, brownout);
         if !self.fault.is_enabled() {
             return BatchOutcome::Done {
                 completion_s: start_s + base,
@@ -360,7 +497,11 @@ impl DevicePool {
                 completion_s: start_s + base,
             };
         }
-        let d = Arc::clone(&self.devices[device].deployments[&model]);
+        let d = Arc::clone(
+            self.devices[device]
+                .serving_deployment(model, brownout)
+                .expect("dispatched variant is deployed"),
+        );
         let stats = d.simulate_batch_faulted(n, &view, &name);
         if stats.seconds >= HANG_WATCHDOG_S {
             let hang_s = view
@@ -431,6 +572,63 @@ impl DevicePool {
             until_s: None,
         })
     }
+
+    /// Reprograms a drained device to a (possibly different) deployment of
+    /// `model` — the rollout path. Up to `max_attempts` reprogram attempts
+    /// of `reprogram_s` each starting at `at_s`, consuming the fault
+    /// plan's pending `ReprogramFail` events exactly like
+    /// [`DevicePool::quarantine`]. On success the new bitstream is
+    /// compiled/fetched through the shared cache, the latency model is
+    /// recalibrated, and pending hangs up to the reprogram completion are
+    /// repaired; if every attempt fails the device is lost. The device's
+    /// `Draining` state is left for the rollout driver to resolve.
+    pub(crate) fn reprogram_to(
+        &mut self,
+        device: usize,
+        model: Model,
+        config: &OptimizationConfig,
+        at_s: f64,
+        reprogram_s: f64,
+        max_attempts: u32,
+    ) -> Result<Reprogram, FlowError> {
+        let name = self.devices[device].name.clone();
+        let mut attempts = Vec::new();
+        let mut t = at_s;
+        for _ in 0..max_attempts.max(1) {
+            let ok = !self.fault.take_reprogram_fail(&name);
+            attempts.push((t, t + reprogram_s, ok));
+            t += reprogram_s;
+            if ok {
+                self.deploy(device, model, config)?;
+                let d = &mut self.devices[device];
+                d.cleared_s = d.cleared_s.max(t);
+                d.busy_until_s = d.busy_until_s.max(t);
+                return Ok(Reprogram {
+                    attempts,
+                    end_s: t,
+                    ok: true,
+                });
+            }
+        }
+        self.devices[device].health = DeviceHealth::Lost;
+        Ok(Reprogram {
+            attempts,
+            end_s: t,
+            ok: false,
+        })
+    }
+}
+
+/// The record of one rollout reprogram on one device.
+#[derive(Clone, Debug)]
+pub struct Reprogram {
+    /// Reprogram attempts as `(start_s, end_s, succeeded)`.
+    pub attempts: Vec<(f64, f64, bool)>,
+    /// When the device holds the new bitstream (or, on failure, when the
+    /// last attempt gave up), simulated seconds.
+    pub end_s: f64,
+    /// Whether any attempt succeeded.
+    pub ok: bool,
 }
 
 #[cfg(test)]

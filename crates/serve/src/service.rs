@@ -1,10 +1,11 @@
 //! The serving event loop: admission → dynamic batching → dispatch over
 //! the device pool, all in deterministic simulated time.
 
-use crate::admission::AdmissionPolicy;
+use crate::admission::{AdmissionPolicy, BrownoutPolicy};
 use crate::batcher::{BatchPolicy, DynamicBatcher};
 use crate::metrics::ServiceMetrics;
 use crate::pool::{BatchOutcome, DevicePool};
+use crate::rollout::{RolloutReport, RolloutRun, RolloutSpec, ROLLOUT_LANE};
 use fpgaccel_fault::{FaultInjector, RetryPolicy};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::rng::Rng64;
@@ -19,7 +20,10 @@ const LATENCY_BOUNDS_S: &[f64] = &[
 /// Batch-size histogram bounds for the metrics registry.
 const BATCH_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 /// Serve-pid track of the first per-device lane (`64 + device index`).
-const DEVICE_LANE_BASE: u32 = 64;
+pub(crate) const DEVICE_LANE_BASE: u32 = 64;
+/// How long a batch that found every serving device draining waits before
+/// it retries dispatch, simulated seconds.
+const DRAIN_DEFER_S: f64 = 1e-3;
 
 /// One inference request.
 #[derive(Clone, Debug)]
@@ -53,6 +57,9 @@ pub struct Completion {
     pub completion_s: f64,
     /// Size of the batch this request rode in.
     pub batch_size: usize,
+    /// Whether the request was served by the model's brownout
+    /// (relaxed-precision) variant rather than its primary deployment.
+    pub brownout: bool,
     /// Network output, when the request carried an input.
     pub output: Option<Tensor>,
 }
@@ -145,6 +152,19 @@ impl Default for FaultPolicy {
     }
 }
 
+/// End-of-run snapshot of one pooled device: what it ended up serving
+/// after any rollouts, rollbacks and quarantines resolved.
+#[derive(Clone, Debug)]
+pub struct DeviceSummary {
+    /// Device name, e.g. `s10sx-0`.
+    pub device: String,
+    /// Health label at end of run (`healthy`, `quarantined`, `draining`,
+    /// `lost`).
+    pub health: &'static str,
+    /// `(model, serving configuration label)` pairs, sorted by model name.
+    pub deployments: Vec<(Model, String)>,
+}
+
 /// Everything a serving run produced.
 pub struct RunResult {
     /// Completed requests, in completion order.
@@ -160,8 +180,14 @@ pub struct RunResult {
     /// Requests that failed after exhausting retries (empty without
     /// fault injection).
     pub failures: Vec<Failure>,
-    /// Chronological fault/recovery log (empty without fault injection).
+    /// Chronological fault/recovery log (empty without fault injection
+    /// and with brownout disabled).
     pub recovery: Vec<RecoveryEvent>,
+    /// Reports of every scheduled rollout, in scheduling order.
+    pub rollouts: Vec<RolloutReport>,
+    /// End-of-run device snapshots: health and serving configuration per
+    /// deployed model (after any rollouts/rollbacks resolved).
+    pub devices: Vec<DeviceSummary>,
 }
 
 /// Server configuration.
@@ -173,6 +199,9 @@ pub struct ServeConfig {
     pub admission: AdmissionPolicy,
     /// Fault-handling policy (inert unless the pool has a fault injector).
     pub fault: FaultPolicy,
+    /// Precision-brownout policy (inert unless enabled *and* the pool
+    /// stages a brownout variant for the model).
+    pub brownout: BrownoutPolicy,
 }
 
 struct ModelState {
@@ -181,6 +210,12 @@ struct ModelState {
     /// Completion times of dispatched-but-unfinished requests; together
     /// with the queue this is the outstanding work admission bounds.
     inflight: Vec<f64>,
+    /// Recent shed timestamps (pruned to the brownout window).
+    shed_times: Vec<f64>,
+    /// Most recent shed, seconds; `-inf` before the first.
+    last_shed_s: f64,
+    /// Whether the model is currently served by its brownout variant.
+    brownout_active: bool,
 }
 
 /// A request awaiting its retry backoff.
@@ -198,6 +233,8 @@ enum Timer {
     Flush(usize),
     /// Re-enqueue the earliest pending retry.
     Retry,
+    /// Step the state machine of `rollouts[k]`.
+    Rollout(usize),
 }
 
 /// A multi-device inference server over simulated time.
@@ -227,6 +264,7 @@ pub struct Server {
     attempts: HashMap<u64, u32>,
     failures: Vec<Failure>,
     recovery: Vec<RecoveryEvent>,
+    rollouts: Vec<RolloutRun>,
 }
 
 impl Server {
@@ -252,7 +290,25 @@ impl Server {
             attempts: HashMap::new(),
             failures: Vec::new(),
             recovery: Vec::new(),
+            rollouts: Vec::new(),
         }
+    }
+
+    /// Schedules a live rollout; the run starts at its `at_s` off the
+    /// server's timer wheel. Several rollouts (of different models) can be
+    /// scheduled on one server.
+    pub fn schedule_rollout(&mut self, spec: RolloutSpec) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .set_thread_name(PID_SERVE, ROLLOUT_LANE, "rollout");
+        }
+        self.rollouts.push(RolloutRun::new(spec));
+    }
+
+    /// Builder form of [`Server::schedule_rollout`].
+    pub fn with_rollout(mut self, spec: RolloutSpec) -> Server {
+        self.schedule_rollout(spec);
+        self
     }
 
     /// Attaches a tracer recording per-request and per-batch spans on the
@@ -267,6 +323,10 @@ impl Server {
                     DEVICE_LANE_BASE + i as u32,
                     &format!("device {}", dev.name),
                 );
+            }
+            if !self.rollouts.is_empty() {
+                self.tracer
+                    .set_thread_name(PID_SERVE, ROLLOUT_LANE, "rollout");
             }
         }
         self
@@ -292,6 +352,9 @@ impl Server {
             model,
             batcher: DynamicBatcher::new(self.cfg.batch),
             inflight: Vec::new(),
+            shed_times: Vec::new(),
+            last_shed_s: f64::NEG_INFINITY,
+            brownout_active: false,
         });
         let i = self.states.len() - 1;
         self.tracer.set_thread_name(
@@ -323,6 +386,26 @@ impl Server {
                 best = Some((p.due_s, Timer::Retry));
             }
         }
+        // Rollout steps lose ties: at equal times batches flush (and
+        // retries re-enqueue) before a drain takes their devices away.
+        // Rollouts run strictly in scheduling order — only the first
+        // unresolved one is eligible, so a rollout whose start time lands
+        // while its predecessor is still converting waits for it instead
+        // of draining the same devices from two state machines at once.
+        // A successor whose start time already passed fires at its
+        // predecessor's finish time, not back-dated.
+        let mut floor = f64::NEG_INFINITY;
+        for (k, r) in self.rollouts.iter().enumerate() {
+            let n = r.next_s();
+            if n.is_finite() {
+                let n = n.max(floor);
+                if best.is_none_or(|(bd, _)| n < bd) {
+                    best = Some((n, Timer::Rollout(k)));
+                }
+                break;
+            }
+            floor = floor.max(r.last_t());
+        }
         best
     }
 
@@ -339,6 +422,18 @@ impl Server {
                     .expect("retry timer armed only while retries are pending");
                 let p = self.pending_retries.swap_remove(idx);
                 self.handle_arrival(p.req);
+            }
+            Timer::Rollout(k) => {
+                let timeout_mult = self.cfg.fault.timeout_mult;
+                let rollout = &mut self.rollouts[k];
+                rollout.step(
+                    t,
+                    &mut self.pool,
+                    &self.tracer,
+                    &mut self.registry,
+                    timeout_mult,
+                );
+                self.last_event_s = self.last_event_s.max(self.rollouts[k].last_t());
             }
         }
     }
@@ -416,18 +511,114 @@ impl Server {
             reason,
         });
         self.resolutions.push((id, time_s));
+        self.note_shed_for_brownout(model, time_s);
+    }
+
+    /// Records a shed against the brownout trigger and browns the model
+    /// out when sustained overload trips the policy (and the pool stages a
+    /// relaxed-precision variant to absorb it).
+    fn note_shed_for_brownout(&mut self, model: Model, t: f64) {
+        let bp = self.cfg.brownout;
+        if !bp.enabled {
+            return;
+        }
+        let Some(i) = self.states.iter().position(|s| s.model == model) else {
+            return;
+        };
+        let s = &mut self.states[i];
+        s.last_shed_s = t;
+        s.shed_times.retain(|&x| x >= t - bp.window_s);
+        s.shed_times.push(t);
+        if !s.brownout_active && bp.tripped(&s.shed_times, t) && self.pool.has_brownout(model) {
+            self.states[i].brownout_active = true;
+            self.registry.counter_inc(
+                "serve_brownout_switches_total",
+                "Models switched between primary and brownout deployments.",
+                &[("model", model.name()), ("direction", "enter")],
+            );
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    PID_SERVE,
+                    1 + i as u32,
+                    "brownout",
+                    &format!("brownout enter {}", model.name()),
+                    t,
+                );
+            }
+            self.recovery.push(RecoveryEvent {
+                t_s: t,
+                subject: model.name().to_string(),
+                action: "brownout-enter".into(),
+                detail: "sustained sheds; serving the relaxed-precision variant".into(),
+            });
+        }
+    }
+
+    /// Promotes a browned-out model back to its primary deployment once
+    /// the load has subsided. Returns whether the model is (still)
+    /// browned out for the batch being flushed at `t`.
+    fn brownout_for_flush(&mut self, i: usize, t: f64) -> bool {
+        let bp = self.cfg.brownout;
+        if !bp.enabled {
+            return false;
+        }
+        let s = &mut self.states[i];
+        if s.brownout_active && bp.promote(s.last_shed_s, t) {
+            s.brownout_active = false;
+            let model = s.model;
+            self.registry.counter_inc(
+                "serve_brownout_switches_total",
+                "Models switched between primary and brownout deployments.",
+                &[("model", model.name()), ("direction", "exit")],
+            );
+            if self.tracer.is_enabled() {
+                self.tracer.instant(
+                    PID_SERVE,
+                    1 + i as u32,
+                    "brownout",
+                    &format!("brownout exit {}", model.name()),
+                    t,
+                );
+            }
+            self.recovery.push(RecoveryEvent {
+                t_s: t,
+                subject: model.name().to_string(),
+                action: "brownout-exit".into(),
+                detail: "load subsided; back on the primary deployment".into(),
+            });
+        }
+        self.states[i].brownout_active
     }
 
     /// Dispatches the batch forming in `states[i]` at simulated time `t`.
     fn flush(&mut self, i: usize, t: f64) {
         let model = self.states[i].model;
+        let brownout = self.brownout_for_flush(i, t);
         let mut batch = self.states[i].batcher.take_batch();
         if batch.is_empty() {
             return;
         }
         // Expected completion from the calibrated latency model drives both
-        // device choice and deadline shedding.
-        let Some(d) = self.pool.dispatch(model, batch.len(), t) else {
+        // device choice and deadline shedding. A browned-out model prefers
+        // its relaxed-precision variant, falling back to the primary
+        // deployment when no variant device is dispatchable.
+        let mut brownout_used = brownout && self.pool.has_brownout(model);
+        let mut dispatched = if brownout_used {
+            self.pool.dispatch_variant(model, batch.len(), t, true)
+        } else {
+            None
+        };
+        if dispatched.is_none() {
+            brownout_used = false;
+            dispatched = self.pool.dispatch(model, batch.len(), t);
+        }
+        let Some(d) = dispatched else {
+            if self.pool.has_draining(model) {
+                // Every serving device is mid-rollout; the drain is
+                // transient, so park the batch instead of failing it.
+                self.defer(batch, t);
+                return;
+            }
             // Every device serving the model was lost after these requests
             // were admitted: nothing can ever execute them.
             for r in batch {
@@ -454,7 +645,9 @@ impl Server {
         // Shedding shrank the batch: re-score so the commitment matches
         // what actually executes.
         let d = if batch.len() != before {
-            self.pool.dispatch(model, batch.len(), t).unwrap()
+            self.pool
+                .dispatch_variant(model, batch.len(), t, brownout_used)
+                .unwrap()
         } else {
             d
         };
@@ -465,12 +658,13 @@ impl Server {
             size,
             d.start_s,
             self.cfg.fault.timeout_mult,
+            brownout_used,
         );
         let dev = self.pool.device_mut(d.device);
         let deployment = dev
-            .deployment(model)
+            .serving_deployment(model, brownout_used)
             .map(std::sync::Arc::clone)
-            .expect("dispatch chose a device serving the model");
+            .expect("dispatch chose a device serving the variant");
         let device_name = dev.name.clone();
         match outcome {
             BatchOutcome::Done { completion_s } => {
@@ -514,6 +708,13 @@ impl Server {
                         "Requests completed, by model.",
                         &[("model", model.name())],
                     );
+                    if brownout_used {
+                        self.registry.counter_inc(
+                            "serve_requests_brownout_total",
+                            "Requests served by a brownout (relaxed-precision) variant.",
+                            &[("model", model.name())],
+                        );
+                    }
                     self.registry.histogram_observe(
                         "serve_request_latency_seconds",
                         "End-to-end request latency (arrival to completion).",
@@ -544,6 +745,7 @@ impl Server {
                         arrival_s,
                         completion_s,
                         batch_size: size,
+                        brownout: brownout_used,
                         output,
                     });
                 }
@@ -718,6 +920,24 @@ impl Server {
         }
     }
 
+    /// Parks a batch that found every serving device draining for a
+    /// rollout: re-enqueued shortly, without charging the retry budget.
+    /// Rollouts finish in bounded sim-time, so deferral terminates.
+    fn defer(&mut self, batch: Vec<Request>, t: f64) {
+        let due = t + DRAIN_DEFER_S;
+        for r in batch {
+            self.retry_seq += 1;
+            self.pending_retries.push(PendingRetry {
+                due_s: due,
+                seq: self.retry_seq,
+                req: Request {
+                    arrival_s: due,
+                    ..r
+                },
+            });
+        }
+    }
+
     /// Re-enqueues a faulted batch's requests with backoff, failing any
     /// whose retry budget is spent.
     fn requeue_or_fail(&mut self, model: Model, batch: Vec<Request>, t: f64) {
@@ -859,7 +1079,8 @@ impl Server {
                     &[("device", &dev.name)],
                     match health {
                         crate::pool::DeviceHealth::Healthy => 1.0,
-                        crate::pool::DeviceHealth::Quarantined { .. } => 0.5,
+                        crate::pool::DeviceHealth::Quarantined { .. }
+                        | crate::pool::DeviceHealth::Draining => 0.5,
                         crate::pool::DeviceHealth::Lost => 0.0,
                     },
                 );
@@ -877,6 +1098,17 @@ impl Server {
                 self.pool.cache().synth_flakes() as f64,
             );
         }
+        let last = self.last_event_s;
+        let devices = self
+            .pool
+            .devices()
+            .iter()
+            .map(|dev| DeviceSummary {
+                device: dev.name.clone(),
+                health: dev.health_at(last).label(),
+                deployments: dev.deployed_models(),
+            })
+            .collect();
         RunResult {
             completions: self.completions,
             sheds: self.sheds,
@@ -884,6 +1116,8 @@ impl Server {
             registry: self.registry,
             failures: self.failures,
             recovery: self.recovery,
+            rollouts: self.rollouts.iter().map(RolloutRun::report).collect(),
+            devices,
         }
     }
 

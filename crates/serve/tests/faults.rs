@@ -32,6 +32,7 @@ fn cfg() -> ServeConfig {
             default_deadline_s: None,
         },
         fault: Default::default(),
+        brownout: Default::default(),
     }
 }
 

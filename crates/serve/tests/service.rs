@@ -33,6 +33,7 @@ fn cfg(max_batch: usize, max_wait_s: f64, capacity: usize) -> ServeConfig {
             default_deadline_s: None,
         },
         fault: Default::default(),
+        brownout: Default::default(),
     }
 }
 

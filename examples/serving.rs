@@ -109,6 +109,7 @@ fn main() {
             default_deadline_s: None,
         },
         fault: Default::default(),
+        brownout: Default::default(),
     };
 
     println!(
