@@ -221,12 +221,14 @@ impl BitstreamReport {
 pub enum SynthesisError {
     /// Chip resources exhausted.
     ResourceOverflow {
-        /// Which resource.
+        /// Which resource (the first limiting one).
         resource: &'static str,
         /// Amount the design needs.
         required: u64,
         /// Amount the chip has.
         available: u64,
+        /// Full structured report: every requested/available pair.
+        over: fpgaccel_device::OverBudget,
     },
     /// Router gave up (LSU fanout beyond platform capacity, Figure 6.8).
     RoutingCongestion {
@@ -244,9 +246,11 @@ impl fmt::Display for SynthesisError {
                 resource,
                 required,
                 available,
+                over,
             } => write!(
                 f,
-                "design does not fit: needs {required} {resource}, device has {available}"
+                "design does not fit: needs {required} {resource}, device has {available} \
+                 ({over})"
             ),
             SynthesisError::RoutingCongestion {
                 fanout_bits,
@@ -511,17 +515,13 @@ pub fn synthesize(
         .fold(Resources::default(), |acc, r| acc.add(r.resources));
     let total = kernel_resources.add(device.static_partition);
 
-    if let Some(resource) = total.first_overflow(device.total) {
-        let (required, available) = match resource {
-            "logic (ALUTs)" => (total.alut, device.total.alut),
-            "registers (FFs)" => (total.ff, device.total.ff),
-            "BRAM" => (total.ram, device.total.ram),
-            _ => (total.dsp, device.total.dsp),
-        };
+    if let Err(over) = total.check_fits(device.total) {
+        let (required, available) = over.limit();
         return Err(SynthesisError::ResourceOverflow {
-            resource,
+            resource: over.limiting,
             required,
             available,
+            over,
         });
     }
 

@@ -999,6 +999,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("tune", crate::tune::tune),
     ("chaos", crate::chaos::chaos),
     ("rollout", crate::rollout::rollout),
+    ("pipeline", crate::pipeline::pipeline),
 ];
 
 /// Runs one experiment by id.

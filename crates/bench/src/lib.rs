@@ -15,6 +15,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod log;
 pub mod paper;
+pub mod pipeline;
 pub mod rollout;
 pub mod serving;
 pub mod table;

@@ -1,0 +1,23 @@
+//! Guard for the streaming dataflow executor: the `pipeline` experiment
+//! report (planner placement decisions, tuned FIFO policies, over-budget
+//! degradations, throughput table) must stay byte-identical to the
+//! committed reference in `docs/pipeline_golden.txt`. Any change to the
+//! segment planner, the channel depth tuner or the AOC resource model
+//! shows up here first.
+
+#[test]
+fn pipeline_report_matches_the_golden_output_byte_for_byte() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/pipeline_golden.txt"
+    );
+    let golden = std::fs::read_to_string(golden_path).expect("golden output present");
+    // `repro pipeline` prints the report with one trailing println newline.
+    let actual = format!("{}\n", fpgaccel_bench::pipeline::pipeline());
+    assert_eq!(
+        actual, golden,
+        "the pipeline report diverged from docs/pipeline_golden.txt — regenerate it with \
+         `cargo run --release -p fpgaccel-bench --bin repro -- pipeline` if the planner \
+         change is intentional"
+    );
+}

@@ -13,12 +13,16 @@ use crate::flow::Flow;
 use crate::options::{OptimizationConfig, TilingPreset};
 use fpgaccel_aoc::{synthesize, AocOptions, Precision};
 use fpgaccel_device::FpgaPlatform;
+use fpgaccel_pipeline::PipelineOpts;
 use fpgaccel_tensor::graph::{Graph, Op};
 use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::PID_TUNE;
 use fpgaccel_trace::{Registry, Tracer};
+use fpgaccel_tune::pipeline::{record_of, EvaluatePipeline, PipelineMeasured};
 use fpgaccel_tune::{
-    shape_signature, Candidate, Conv1x1Shape, DbKey, EvalError, Evaluate, Measured, SearchConfig,
-    SearchSpace, TuneError, TuneOutcome, Tuner, TuningDb,
+    best_pipeline, pipeline_candidates, search_pipeline, shape_signature, Candidate, Conv1x1Shape,
+    DbKey, EvalError, Evaluate, Measured, PipelineRecord, SearchConfig, SearchSpace, TuneError,
+    TuneOutcome, Tuner, TuningDb,
 };
 
 /// Loop extents of every (non-depthwise) 1x1 convolution in a fused,
@@ -203,6 +207,158 @@ impl Flow {
         cfg.aoc = AocOptions::with_precision(key.precision);
         Some(cfg)
     }
+
+    /// `base` with the tuned dataflow planner knobs (FIFO depth policy and
+    /// stage cap) from the database's pipeline section, or `None` when the
+    /// pipeline has not been tuned for this model/platform yet.
+    pub fn with_tuned_pipeline(
+        &self,
+        db: &TuningDb,
+        base: OptimizationConfig,
+    ) -> Option<OptimizationConfig> {
+        let key = db_key(&self.import_graph(), self.platform, Precision::F32);
+        let opts = db.lookup_pipeline(&key)?.opts()?;
+        Some(base.with_pipeline(opts))
+    }
+}
+
+/// Flow-backed dataflow-pipeline evaluator: compiles the model under a
+/// candidate's planner options and simulates a short batch (pipelining
+/// benefits only show across images, so single-image latency would
+/// under-rank deep FIFOs).
+pub struct PipelineEvaluator {
+    flow: Flow,
+    base: OptimizationConfig,
+    /// Images simulated per evaluation.
+    pub batch: usize,
+}
+
+impl PipelineEvaluator {
+    /// An evaluator planning `base` (a dataflow configuration) variants.
+    pub fn new(flow: &Flow, base: OptimizationConfig) -> PipelineEvaluator {
+        PipelineEvaluator {
+            flow: flow.clone(),
+            base,
+            batch: 8,
+        }
+    }
+
+    /// The tuning-database key this evaluator's results belong under.
+    pub fn key(&self) -> DbKey {
+        db_key(
+            &self.flow.import_graph(),
+            self.flow.platform,
+            Precision::F32,
+        )
+    }
+}
+
+impl EvaluatePipeline for PipelineEvaluator {
+    fn evaluate_pipeline(&self, opts: &PipelineOpts) -> Result<PipelineMeasured, EvalError> {
+        let cfg = self.base.clone().with_pipeline(*opts);
+        let d = self
+            .flow
+            .compile(&cfg)
+            .map_err(|e| EvalError(e.to_string()))?;
+        let crate::deploy::ExecutionPlan::Dataflow(plan) = &d.plan else {
+            return Err(EvalError(
+                "pipeline tuning requires a dataflow base configuration".to_string(),
+            ));
+        };
+        let (saved, stages, staged) = (
+            plan.summary.dram_elems_saved,
+            plan.summary.pipelined_nodes,
+            plan.summary.staged_nodes,
+        );
+        let stats = d.simulate_batch(self.batch);
+        Ok(PipelineMeasured {
+            seconds_per_image: stats.seconds / self.batch.max(1) as f64,
+            dram_elems_saved: saved,
+            pipelined_stages: stages,
+            staged_nodes: staged,
+        })
+    }
+}
+
+/// The outcome of [`tune_pipeline`].
+#[derive(Clone, Debug)]
+pub struct PipelineTuneOutcome {
+    /// The winning planner configuration.
+    pub opts: PipelineOpts,
+    /// Its database record (cached or freshly measured).
+    pub record: PipelineRecord,
+    /// True when the database already held the record and no search ran.
+    pub from_cache: bool,
+}
+
+/// Tunes the dataflow planner for a model/platform pair in one call: warm
+/// database lookup, grid search over [`pipeline_candidates`] on a miss,
+/// winner recorded back into `db`. Spans land on the tuner track,
+/// `pipeline_tune_*` metrics in `registry`.
+///
+/// # Errors
+/// [`EvalError`] when no candidate plans and simulates successfully.
+pub fn tune_pipeline(
+    flow: &Flow,
+    base: OptimizationConfig,
+    db: &mut TuningDb,
+    tracer: &Tracer,
+    registry: &Registry,
+) -> Result<PipelineTuneOutcome, EvalError> {
+    let eval = PipelineEvaluator::new(flow, base);
+    let key = eval.key();
+    let labels = &[
+        ("model", key.model.as_str()),
+        ("platform", key.platform.as_str()),
+    ][..];
+    if let Some(rec) = db.lookup_pipeline(&key) {
+        if let Some(opts) = rec.opts() {
+            registry.counter_inc(
+                "pipeline_tune_db_hits_total",
+                "Pipeline tuning-database hits (search skipped)",
+                labels,
+            );
+            let _g = tracer.phase_on(PID_TUNE, "tune", "pipeline-db-hit");
+            return Ok(PipelineTuneOutcome {
+                opts,
+                record: rec.clone(),
+                from_cache: true,
+            });
+        }
+    }
+    let cands = pipeline_candidates();
+    let results = {
+        let _g = tracer.phase_on(PID_TUNE, "tune", "pipeline-search");
+        search_pipeline(&cands, &eval, 0)
+    };
+    registry.counter_add(
+        "pipeline_tune_evaluations_total",
+        "Pipeline candidate evaluations spent",
+        labels,
+        cands.len() as f64,
+    );
+    let best = best_pipeline(&results).ok_or_else(|| {
+        EvalError(
+            results
+                .iter()
+                .find_map(|r| r.as_ref().err().map(|e| e.0.clone()))
+                .unwrap_or_else(|| "no pipeline candidates evaluated".to_string()),
+        )
+    })?;
+    let m = results[best].as_ref().expect("best index is Ok");
+    registry.gauge_set(
+        "pipeline_tune_best_seconds_per_image",
+        "Best simulated seconds/image found by the pipeline search",
+        labels,
+        m.seconds_per_image,
+    );
+    let record = record_of(&cands[best], m, cands.len());
+    db.insert_pipeline(key, record.clone());
+    Ok(PipelineTuneOutcome {
+        opts: cands[best],
+        record,
+        from_cache: false,
+    })
 }
 
 #[cfg(test)]
@@ -259,6 +415,38 @@ mod tests {
         assert_eq!(cfg.label, "Folded-Tuned");
         flow.compile(&cfg)
             .expect("tuned config compiles on the A10");
+    }
+
+    #[test]
+    fn pipeline_tuning_searches_caches_and_redeploys() {
+        let flow = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+        let base = OptimizationConfig::dataflow(TilingPreset::Naive);
+        let mut db = TuningDb::new();
+        assert!(flow.with_tuned_pipeline(&db, base.clone()).is_none());
+
+        let registry = Registry::default();
+        let cold =
+            tune_pipeline(&flow, base.clone(), &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(!cold.from_cache);
+        assert_eq!(db.pipeline_len(), 1);
+        assert!(cold.record.seconds_per_image > 0.0);
+        assert!(cold.record.dram_elems_saved > 0, "LeNet pipelines fully");
+        let labels = &[("model", "lenet5"), ("platform", "Stratix10Sx")][..];
+        assert_eq!(
+            registry.value("pipeline_tune_evaluations_total", labels),
+            Some(fpgaccel_tune::pipeline_candidates().len() as f64)
+        );
+
+        // Warm path: same key hits the cached record without searching.
+        let warm =
+            tune_pipeline(&flow, base.clone(), &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.record, cold.record);
+
+        // And the tuned knobs deploy straight from the database.
+        let cfg = flow.with_tuned_pipeline(&db, base).expect("record present");
+        assert_eq!(cfg.pipeline, cold.opts);
+        flow.compile(&cfg).expect("tuned pipeline config compiles");
     }
 
     #[test]

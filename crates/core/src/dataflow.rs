@@ -1,0 +1,586 @@
+//! Streaming dataflow execution (§4.6–§4.7 taken whole-network): the
+//! `fpgaccel-pipeline` planner maps maximal fused segments of the graph
+//! onto channel-connected stage kernels, charging the whole deployment
+//! against the device inventory at once; layers that do not fit — or cannot
+//! stream — degrade gracefully into staged invocations of the parameterized
+//! folded kernel pool. This module supplies the planner's two missing
+//! halves: the resource [`Estimator`] (lower a node, price it with the AOC
+//! synthesis model) and the materializer that turns the abstract plan into
+//! kernels, channel couplings and an executable step list.
+
+use crate::kernels::{self, Invocation, PlanError};
+use crate::options::OptimizationConfig;
+use fpgaccel_aoc::{synthesize_kernel, Calib};
+use fpgaccel_device::{DeviceModel, Resources};
+use fpgaccel_pipeline::{ChainNode, Estimator, PipelinePlan, PlanItem};
+use fpgaccel_tensor::graph::{Graph, Node, NodeId, Op};
+use fpgaccel_tir::compute::{
+    self, ConvDims, ConvSchedule, ConvSpec, DenseSchedule, DenseSpec, IoMode, PoolKind,
+};
+use fpgaccel_tir::{Dim, Kernel};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// The channel FIFO between a stage and its in-segment producer, as the
+/// runtime needs it: declared depth, elements crossing per image, and the
+/// consumer's lookahead window.
+#[derive(Clone, Copy, Debug)]
+pub struct CouplingSpec {
+    /// Declared FIFO depth in elements.
+    pub depth: usize,
+    /// Elements the producer writes per image.
+    pub produced: usize,
+    /// Elements the consumer must see before its first output.
+    pub fill: usize,
+}
+
+/// One pipeline stage of a dataflow deployment.
+#[derive(Clone, Debug)]
+pub struct DataflowStage {
+    /// Graph node implemented by this stage.
+    pub node_id: NodeId,
+    /// The stage kernel (channel I/O on in-segment edges).
+    pub kernel: Kernel,
+    /// Declared autorun (weight-free, channel-only stages).
+    pub autorun: bool,
+    /// Coupling to the previous stage in the segment (`None` for the
+    /// segment head, which reads global memory).
+    pub coupling: Option<CouplingSpec>,
+}
+
+/// One step of the hybrid execution order.
+#[derive(Clone, Debug)]
+pub enum DataflowStep {
+    /// A channel-connected pipelined segment: all stages concurrently
+    /// resident, overlapped per the coupling model.
+    Segment(Vec<DataflowStage>),
+    /// A run of staged invocations through the folded kernel pool.
+    Staged(Vec<Invocation>),
+}
+
+/// A materialized dataflow plan: the executable steps, every kernel the
+/// bitstream must carry, and the planner's decision record.
+#[derive(Clone, Debug)]
+pub struct DataflowPlan {
+    /// Execution steps in network order.
+    pub steps: Vec<DataflowStep>,
+    /// All kernels (stage kernels + the staged pool) for synthesis.
+    pub kernels: Vec<Kernel>,
+    /// The planner's placement summary: segments, depths, fallbacks with
+    /// structured reasons, channel/DRAM accounting.
+    pub summary: PipelinePlan,
+    /// Elements of activations that still cross DRAM per image (staged
+    /// outputs and segment-boundary outputs, network output included).
+    pub boundary_elems: u64,
+}
+
+impl DataflowPlan {
+    /// Simulated events per image (stages + staged invocations).
+    pub fn ops_per_image(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                DataflowStep::Segment(stages) => stages.len(),
+                DataflowStep::Staged(invs) => invs.len(),
+            })
+            .sum()
+    }
+}
+
+/// Consumer lookahead window: channel elements a stage must have buffered
+/// beyond its consumption point to keep the producer from blocking. This
+/// tracks how [`lower_stage`] actually consumes — activations stream in
+/// `C`-major row-major order:
+///
+/// * Streaming depthwise/pool stages hold an `F`-row ring of *one* channel
+///   and pop `S` rows between output rows: `F` rows (`F · W_1`) of cushion
+///   absorbs the refill burst.
+/// * Full-cache stages (dense convs, dense, softmax — §4.6 staging) pop
+///   every element into local memory the moment it arrives, so one input
+///   row of slack suffices; the FIFO never holds the feature map.
+/// * Streaming pad buffers nothing and pops interleaved with emission.
+fn fill_elems(graph: &Graph, node: &Node) -> usize {
+    let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+    let row = in_shape.dim(in_shape.dims().len().saturating_sub(1));
+    match &node.op {
+        Op::Conv2d {
+            kernel, depthwise, ..
+        } => {
+            if *depthwise {
+                row * *kernel
+            } else {
+                row
+            }
+        }
+        Op::MaxPool { window, .. } | Op::AvgPool { window, .. } => row * *window,
+        // 1-D inputs (flatten output): a fixed small cushion.
+        Op::Dense { .. } | Op::Softmax => row.min(in_shape.numel()),
+        Op::Pad { .. } => row,
+        Op::Flatten => 1,
+        _ => row,
+    }
+}
+
+/// PipeCNN-style `VEC_SIZE` for one dataflow edge: the widest `floatN`
+/// channel word (N ≤ 8) that evenly divides the edge tensor's row, so every
+/// streaming loop that walks rows unrolls by it cleanly. Both endpoints of
+/// an edge see the same tensor and therefore agree on the word width. The
+/// cap bounds the replicated datapath a consumer pays per channel word.
+fn edge_width(graph: &Graph, producer: NodeId) -> usize {
+    let shape = &graph.nodes[producer].out_shape;
+    let row = shape.dim(shape.dims().len().saturating_sub(1));
+    (2..=8usize)
+        .rev()
+        .find(|v| row.is_multiple_of(*v))
+        .unwrap_or(1)
+}
+
+/// Lowers the graph into the planner's chain description. `linear` marks
+/// nodes whose input edge can become a channel: exactly one input, no
+/// residual side input, consuming the immediately preceding kernel node,
+/// and that producer's output having no other consumer.
+pub(crate) fn chain_of(graph: &Graph) -> Vec<ChainNode> {
+    let nodes: Vec<&Node> = graph.kernel_nodes().collect();
+    let mut uses: HashMap<NodeId, usize> = HashMap::new();
+    for n in &nodes {
+        for &i in &n.inputs {
+            *uses.entry(i).or_default() += 1;
+        }
+        if let Some(a) = n.fused.add_from {
+            *uses.entry(a).or_default() += 1;
+        }
+    }
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| ChainNode {
+            id: n.id,
+            name: n.name.clone(),
+            out_numel: n.out_shape.numel(),
+            fill_elems: fill_elems(graph, n),
+            linear: i > 0
+                && n.inputs.len() == 1
+                && n.fused.add_from.is_none()
+                && n.inputs[0] == nodes[i - 1].id
+                && uses.get(&nodes[i - 1].id).copied().unwrap_or(0) == 1,
+        })
+        .collect()
+}
+
+/// Lowers one node as a dedicated pipeline stage. Unlike the per-layer
+/// pipelined lowering (which always uses the fused `F×F`-unrolled
+/// schedule), stages adopt the folded tiling preset when the layer's
+/// dimensions divide it — the pipeline then matches the folded pool's
+/// per-layer speed while dropping the global-memory round trip.
+pub(crate) fn lower_stage(
+    graph: &Graph,
+    node: &Node,
+    io_in: IoMode,
+    io_out: IoMode,
+    config: &OptimizationConfig,
+) -> Result<Kernel, PlanError> {
+    let in_shape = &graph.nodes[node.inputs[0]].out_shape;
+    Ok(match &node.op {
+        Op::Conv2d { .. } => {
+            let (c2, c1, h2, w2, f, s, dw) = kernels::conv_geometry(graph, node);
+            // §4.6 charges a full-fmap local cache for channel-input
+            // kernels — the BRAM wall that kept big-fmap layers out of
+            // pipelines. Depthwise convolution is a per-channel op and
+            // activations stream c-major, so a ring buffer of the last F
+            // input rows is all the reuse window the stage needs.
+            if dw && s <= f && matches!(io_in, IoMode::Channel { .. }) {
+                return Ok(compute::conv2d_dw_stream(&ConvSpec {
+                    name: node.name.clone(),
+                    dims: ConvDims::constant(c2, c1, h2, w2, f, s)
+                        .with_input(Dim::Const(in_shape.dim(1)), Dim::Const(in_shape.dim(2))),
+                    depthwise: true,
+                    epilogue: kernels::epilogue_of(node),
+                    io_in,
+                    io_out,
+                    schedule: ConvSchedule::Fused { unroll_ff: true },
+                    explicit_strides: false,
+                }));
+            }
+            // A dedicated stage does not need the full-fat engine folded
+            // execution amortizes over many layers — it only needs to keep
+            // up with the pipeline bottleneck. Lean schedules (a narrowed
+            // 1x1 tile, plain F x F unrolling for depthwise) cut each
+            // stage's ALUT/BRAM footprint severalfold, which is what lets
+            // more than a couple of layers fit on the chip at once.
+            let schedule = if config.optimized_schedules {
+                if dw {
+                    ConvSchedule::Fused { unroll_ff: true }
+                } else {
+                    match config.tiling.schedule(dw, f, s) {
+                        ConvSchedule::Tiled {
+                            w2vec,
+                            c2vec,
+                            c1vec,
+                        } => {
+                            let (c2vec, c1vec) = (c2vec.min(4), c1vec.min(4));
+                            if w2.is_multiple_of(w2vec)
+                                && c2.is_multiple_of(c2vec)
+                                && c1.is_multiple_of(c1vec)
+                            {
+                                ConvSchedule::Tiled {
+                                    w2vec,
+                                    c2vec,
+                                    c1vec,
+                                }
+                            } else {
+                                ConvSchedule::Fused { unroll_ff: true }
+                            }
+                        }
+                        _ => ConvSchedule::Fused { unroll_ff: true },
+                    }
+                }
+            } else {
+                ConvSchedule::Base
+            };
+            compute::conv2d(&ConvSpec {
+                name: node.name.clone(),
+                dims: ConvDims::constant(c2, c1, h2, w2, f, s)
+                    .with_input(Dim::Const(in_shape.dim(1)), Dim::Const(in_shape.dim(2))),
+                depthwise: dw,
+                epilogue: kernels::epilogue_of(node),
+                io_in,
+                io_out,
+                schedule,
+                explicit_strides: false,
+            })
+        }
+        Op::Dense { units } => {
+            let n = in_shape.dim(0);
+            let schedule = match config.tiling.dense_unroll() {
+                Some(factor) if config.optimized_schedules && n.is_multiple_of(factor) => {
+                    DenseSchedule::Unrolled { factor }
+                }
+                _ => DenseSchedule::Base,
+            };
+            compute::dense(&DenseSpec {
+                name: node.name.clone(),
+                m: Dim::Const(*units),
+                n: Dim::Const(n),
+                epilogue: kernels::epilogue_of(node),
+                io_in,
+                io_out,
+                schedule,
+            })
+        }
+        // Pool and pad are per-channel ops too: the streaming variants
+        // replace the full-fmap cache with an F-row ring (pool) or nothing
+        // at all (pad), and with channel output they are autorun-eligible.
+        Op::MaxPool {
+            window,
+            stride,
+            pad,
+        } if *pad == 0 && *stride <= *window && matches!(io_in, IoMode::Channel { .. }) => {
+            compute::pool_stream(
+                &node.name,
+                PoolKind::Max,
+                in_shape.dim(0),
+                in_shape.dim(1),
+                in_shape.dim(2),
+                *window,
+                *stride,
+                io_in,
+                io_out,
+            )
+        }
+        Op::AvgPool {
+            window,
+            stride,
+            pad,
+        } if *pad == 0 && *stride <= *window && matches!(io_in, IoMode::Channel { .. }) => {
+            compute::pool_stream(
+                &node.name,
+                PoolKind::Avg,
+                in_shape.dim(0),
+                in_shape.dim(1),
+                in_shape.dim(2),
+                *window,
+                *stride,
+                io_in,
+                io_out,
+            )
+        }
+        Op::Pad { pad } if matches!(io_in, IoMode::Channel { .. }) => compute::pad_stream(
+            &node.name,
+            in_shape.dim(0),
+            in_shape.dim(1),
+            in_shape.dim(2),
+            *pad,
+            io_in,
+            io_out,
+        ),
+        _ => kernels::lower_node(graph, node, io_in, io_out, config, &mut 0)?,
+    })
+}
+
+/// Stage-cost memo key: (node id, channel-in depth, channel-out depth).
+type StageKey = (usize, Option<usize>, Option<usize>);
+
+/// Prices placements for the planner by lowering candidate kernels and
+/// running them through the AOC synthesis resource model — the same model
+/// the final [`fpgaccel_aoc::synthesize`] pass charges, so a plan that fits
+/// here fits there.
+struct FlowEstimator<'a> {
+    graph: &'a Graph,
+    config: &'a OptimizationConfig,
+    device: &'a DeviceModel,
+    calib: &'a Calib,
+    stage_cache: RefCell<HashMap<StageKey, Resources>>,
+    staged_cache: RefCell<HashMap<Vec<usize>, Resources>>,
+}
+
+impl Estimator for FlowEstimator<'_> {
+    fn stage_cost(
+        &self,
+        id: usize,
+        chan_in: Option<usize>,
+        chan_out: Option<usize>,
+    ) -> Result<Resources, String> {
+        if let Some(r) = self.stage_cache.borrow().get(&(id, chan_in, chan_out)) {
+            return Ok(*r);
+        }
+        let node = &self.graph.nodes[id];
+        let io_in = chan_in.map_or(IoMode::Global, |d| {
+            IoMode::channel_wide(
+                format!("df_in_{id}"),
+                d,
+                edge_width(self.graph, node.inputs[0]),
+            )
+        });
+        let io_out = chan_out.map_or(IoMode::Global, |d| {
+            IoMode::channel_wide(format!("df_out_{id}"), d, edge_width(self.graph, id))
+        });
+        let kernel =
+            lower_stage(self.graph, node, io_in, io_out, self.config).map_err(|e| e.to_string())?;
+        let res = synthesize_kernel(&kernel, self.device, &self.config.aoc, self.calib).resources;
+        self.stage_cache
+            .borrow_mut()
+            .insert((id, chan_in, chan_out), res);
+        Ok(res)
+    }
+
+    fn staged_cost(&self, ids: &[usize]) -> Result<Resources, String> {
+        let mut key: Vec<usize> = ids.to_vec();
+        key.sort_unstable();
+        if let Some(r) = self.staged_cache.borrow().get(&key) {
+            return Ok(*r);
+        }
+        let include: HashSet<NodeId> = ids.iter().copied().collect();
+        let plan = kernels::build_folded_subset(self.graph, self.config, Some(&include))
+            .map_err(|e| e.to_string())?;
+        let res = plan.kernels.iter().fold(Resources::default(), |acc, k| {
+            acc.add(synthesize_kernel(k, self.device, &self.config.aoc, self.calib).resources)
+        });
+        self.staged_cache.borrow_mut().insert(key, res);
+        Ok(res)
+    }
+}
+
+fn chan_name(producer: NodeId) -> String {
+    format!("dfch_{producer}")
+}
+
+/// Plans and materializes a dataflow deployment: runs the segment planner
+/// against the device's kernel budget, then lowers pipelined segments into
+/// channel-connected stage kernels and demoted layers into one shared
+/// folded kernel pool.
+///
+/// # Errors
+/// Returns [`PlanError`] when a layer cannot be lowered (the planner's
+/// graceful degradation handles resource exhaustion, not lowering failures).
+pub fn build_dataflow(
+    graph: &Graph,
+    config: &OptimizationConfig,
+    device: &DeviceModel,
+    calib: &Calib,
+) -> Result<DataflowPlan, PlanError> {
+    let chain = chain_of(graph);
+    let est = FlowEstimator {
+        graph,
+        config,
+        device,
+        calib,
+        stage_cache: RefCell::new(HashMap::new()),
+        staged_cache: RefCell::new(HashMap::new()),
+    };
+    let summary = fpgaccel_pipeline::plan(&chain, &est, device.kernel_budget(), config.pipeline)
+        .map_err(|e| PlanError(e.0))?;
+
+    let produced: HashMap<NodeId, usize> = chain.iter().map(|c| (c.id, c.out_numel)).collect();
+    let fills: HashMap<NodeId, usize> = chain.iter().map(|c| (c.id, c.fill_elems)).collect();
+
+    // One folded pool shared by every staged run (grouped kernels fold
+    // across all demoted layers, exactly as the planner priced them).
+    let staged_ids: HashSet<NodeId> = summary
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            PlanItem::Staged(ids) => Some(ids.iter().copied()),
+            PlanItem::Pipelined(_) => None,
+        })
+        .flatten()
+        .collect();
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut inv_by_node: HashMap<NodeId, Invocation> = HashMap::new();
+    if !staged_ids.is_empty() {
+        let folded = kernels::build_folded_subset(graph, config, Some(&staged_ids))?;
+        kernels.extend(folded.kernels);
+        for inv in folded.invocations {
+            inv_by_node.insert(inv.node_id, inv);
+        }
+    }
+
+    let mut steps: Vec<DataflowStep> = Vec::new();
+    let mut boundary_elems = 0u64;
+    for item in &summary.items {
+        match item {
+            PlanItem::Pipelined(seg) => {
+                let len = seg.ids.len();
+                let mut stages = Vec::with_capacity(len);
+                for (k, &id) in seg.ids.iter().enumerate() {
+                    let node = &graph.nodes[id];
+                    let io_in = if k > 0 {
+                        let prev = seg.ids[k - 1];
+                        IoMode::channel_wide(
+                            chan_name(prev),
+                            seg.depths[k - 1],
+                            edge_width(graph, prev),
+                        )
+                    } else {
+                        IoMode::Global
+                    };
+                    let io_out = if k + 1 < len {
+                        IoMode::channel_wide(chan_name(id), seg.depths[k], edge_width(graph, id))
+                    } else {
+                        IoMode::Global
+                    };
+                    let mut kernel = lower_stage(graph, node, io_in, io_out, config)?;
+                    let autorun = config.autorun && kernel.autorun_eligible();
+                    if autorun {
+                        kernel.mark_autorun();
+                    }
+                    let coupling = (k > 0).then(|| CouplingSpec {
+                        depth: seg.depths[k - 1],
+                        produced: produced[&seg.ids[k - 1]],
+                        fill: fills[&id],
+                    });
+                    kernels.push(kernel.clone());
+                    stages.push(DataflowStage {
+                        node_id: id,
+                        kernel,
+                        autorun,
+                        coupling,
+                    });
+                }
+                boundary_elems += produced[seg.ids.last().expect("non-empty segment")] as u64;
+                steps.push(DataflowStep::Segment(stages));
+            }
+            PlanItem::Staged(ids) => {
+                let invs: Vec<Invocation> = ids
+                    .iter()
+                    .map(|id| {
+                        boundary_elems += produced[id] as u64;
+                        inv_by_node
+                            .get(id)
+                            .cloned()
+                            .expect("every staged node has an invocation")
+                    })
+                    .collect();
+                steps.push(DataflowStep::Staged(invs));
+            }
+        }
+    }
+
+    Ok(DataflowPlan {
+        steps,
+        kernels,
+        summary,
+        boundary_elems,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{OptimizationConfig, TilingPreset};
+    use fpgaccel_pipeline::FallbackReason;
+    use fpgaccel_tensor::models::Model;
+
+    fn plan_for(model: Model, platform: fpgaccel_device::FpgaPlatform) -> DataflowPlan {
+        let graph = model.build().fuse().materialize_padding();
+        let config = OptimizationConfig::dataflow(match model {
+            Model::MobileNetV1 => TilingPreset::MobileNet {
+                one_by_one: (7, 16, 4),
+            },
+            _ => TilingPreset::Naive,
+        });
+        build_dataflow(&graph, &config, &platform.model(), &Calib::default()).unwrap()
+    }
+
+    #[test]
+    fn lenet_chain_is_fully_linear_after_the_head() {
+        let graph = Model::LeNet5.build().fuse().materialize_padding();
+        let chain = chain_of(&graph);
+        assert!(!chain[0].linear, "the head reads the network input");
+        assert!(chain[1..].iter().all(|c| c.linear), "LeNet is a chain");
+    }
+
+    #[test]
+    fn resnet_chain_breaks_at_residuals() {
+        let graph = Model::ResNet18.build().fuse().materialize_padding();
+        let chain = chain_of(&graph);
+        let broken = chain.iter().filter(|c| !c.linear).count();
+        assert!(broken > 4, "residual joins/forks must break the chain");
+    }
+
+    #[test]
+    fn lenet_pipelines_whole_network_on_the_s10sx() {
+        let plan = plan_for(Model::LeNet5, fpgaccel_device::FpgaPlatform::Stratix10Sx);
+        assert_eq!(plan.summary.staged_nodes, 0, "LeNet fits as one pipeline");
+        assert!(plan.summary.over_budget.is_none());
+        assert!(plan.summary.dram_elems_saved > 0);
+        // Boundary activations: only the network output leaves the chip.
+        let graph = Model::LeNet5.build().fuse().materialize_padding();
+        let out = graph.nodes[graph.output].out_shape.numel() as u64;
+        assert_eq!(plan.boundary_elems, out);
+    }
+
+    #[test]
+    fn mobilenet_degrades_gracefully_on_the_arria10() {
+        let plan = plan_for(Model::MobileNetV1, fpgaccel_device::FpgaPlatform::Arria10Gx);
+        assert!(plan.summary.staged_nodes > 0, "A10 cannot hold all stages");
+        assert!(
+            plan.summary.over_budget.is_none(),
+            "degradation must converge to a fitting plan"
+        );
+        let over =
+            plan.summary.fallbacks.iter().any(
+                |f| matches!(f.reason, FallbackReason::OverBudget(o) if !o.limiting.is_empty()),
+            );
+        assert!(over, "expected a structured over-budget fallback");
+    }
+
+    #[test]
+    fn staged_nodes_share_the_folded_pool() {
+        let plan = plan_for(Model::MobileNetV1, fpgaccel_device::FpgaPlatform::Arria10Gx);
+        let staged: Vec<&Invocation> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                DataflowStep::Staged(invs) => Some(invs.iter()),
+                DataflowStep::Segment(_) => None,
+            })
+            .flatten()
+            .collect();
+        assert!(!staged.is_empty());
+        // Grouped conv invocations reference shared parameterized kernels.
+        let kernel_names: HashSet<&str> = plan.kernels.iter().map(|k| k.name.as_str()).collect();
+        for inv in staged {
+            assert!(kernel_names.contains(inv.kernel_name.as_str()));
+        }
+    }
+}

@@ -1,12 +1,13 @@
 //! Deployments: a synthesized accelerator plus its host execution plan,
 //! coupling real tensor computation with the simulated timeline.
 
+use crate::dataflow::{DataflowPlan, DataflowStep};
 use crate::kernels::{FoldedPlan, PipelinedStage};
 use crate::options::OptimizationConfig;
 use fpgaccel_aoc::{report as aoc_report, BitstreamReport, Calib};
 use fpgaccel_device::DeviceModel;
 use fpgaccel_fault::FaultInjector;
-use fpgaccel_runtime::{Breakdown, EventRetention, LatencyQuantiles, Sim};
+use fpgaccel_runtime::{Breakdown, ChannelCoupling, EventRetention, LatencyQuantiles, Sim};
 use fpgaccel_tensor::flops::node_flops;
 use fpgaccel_tensor::graph::Graph;
 use fpgaccel_tensor::Tensor;
@@ -21,6 +22,9 @@ pub enum ExecutionPlan {
     Pipelined(Vec<PipelinedStage>),
     /// Time-multiplexed parameterized kernels (§6.3.2).
     Folded(FoldedPlan),
+    /// Planner-driven streaming dataflow: channel-connected segments with
+    /// staged fallback through the folded pool.
+    Dataflow(DataflowPlan),
 }
 
 /// One inference result.
@@ -267,6 +271,7 @@ impl Deployment {
         let per_image = 2 + match &self.plan {
             ExecutionPlan::Pipelined(stages) => stages.len(),
             ExecutionPlan::Folded(plan) => plan.invocations.len(),
+            ExecutionPlan::Dataflow(plan) => plan.ops_per_image(),
         };
         if !self.config.profiling {
             sim.retention = EventRetention::Recent((2 * per_image).max(64));
@@ -358,6 +363,119 @@ impl Deployment {
                     let read_ev = sim.enqueue_read(q, "output", out_bytes, &[prev]);
                     latencies.push(sim.event(read_ev).end - sim.event(write_ev).queued);
                     sim.wait(read_ev);
+                }
+            }
+            ExecutionPlan::Dataflow(plan) => {
+                let q_io = sim.create_queue();
+                let q_read = if self.config.concurrent {
+                    sim.create_queue()
+                } else {
+                    q_io
+                };
+                // One queue per concurrently resident stage; each staged
+                // run shares one queue (its invocations serialize through
+                // global memory anyway).
+                let step_queues: Vec<Vec<usize>> = plan
+                    .steps
+                    .iter()
+                    .map(|step| {
+                        let lanes = match step {
+                            DataflowStep::Segment(stages) => stages.len(),
+                            DataflowStep::Staged(_) => 1,
+                        };
+                        (0..lanes)
+                            .map(|_| {
+                                if self.config.concurrent {
+                                    sim.create_queue()
+                                } else {
+                                    q_io
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let serial_sync =
+                    !self.config.concurrent || !self.config.channels || self.config.profiling;
+                for _ in 0..n {
+                    let write_ev = sim.enqueue_write(q_io, "input", in_bytes, &[]);
+                    // Boundary event: the last write into global memory the
+                    // next step must observe.
+                    let mut prev = write_ev;
+                    for (step, queues) in plan.steps.iter().zip(&step_queues) {
+                        match step {
+                            DataflowStep::Segment(stages) => {
+                                let mut prev_ev = prev;
+                                for (stage, &q) in stages.iter().zip(queues) {
+                                    let report = self.bitstream.kernel(&stage.kernel.name);
+                                    let flops =
+                                        node_flops(&self.graph, &self.graph.nodes[stage.node_id]);
+                                    *kernel_flops.entry(stage.kernel.name.clone()).or_default() +=
+                                        flops;
+                                    let ev = match &stage.coupling {
+                                        Some(c) => {
+                                            let coupling = ChannelCoupling {
+                                                producer: prev_ev,
+                                                depth: c.depth,
+                                                produced: c.produced,
+                                                fill: c.fill,
+                                            };
+                                            if stage.autorun {
+                                                sim.autorun_coupled(
+                                                    report,
+                                                    &Binding::empty(),
+                                                    coupling,
+                                                )
+                                            } else {
+                                                sim.enqueue_piped(
+                                                    q,
+                                                    report,
+                                                    &Binding::empty(),
+                                                    &[],
+                                                    coupling,
+                                                )
+                                            }
+                                        }
+                                        // The segment head reads its input
+                                        // from global memory.
+                                        None => sim.enqueue_kernel(
+                                            q,
+                                            report,
+                                            &Binding::empty(),
+                                            &[prev],
+                                            &[],
+                                        ),
+                                    };
+                                    if serial_sync {
+                                        sim.wait(ev);
+                                    }
+                                    prev_ev = ev;
+                                }
+                                prev = prev_ev;
+                            }
+                            DataflowStep::Staged(invs) => {
+                                let q = queues[0];
+                                for inv in invs {
+                                    let report = self.bitstream.kernel(&inv.kernel_name);
+                                    let flops =
+                                        node_flops(&self.graph, &self.graph.nodes[inv.node_id]);
+                                    *kernel_flops.entry(inv.kernel_name.clone()).or_default() +=
+                                        flops;
+                                    prev =
+                                        sim.enqueue_kernel(q, report, &inv.binding, &[prev], &[]);
+                                    if serial_sync {
+                                        sim.wait(prev);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let read_ev = sim.enqueue_read(q_read, "output", out_bytes, &[prev]);
+                    latencies.push(sim.event(read_ev).end - sim.event(write_ev).queued);
+                    if !serial_sync {
+                        sim.host_work(self.calib.task_overhead(self.device.platform));
+                    } else {
+                        sim.wait(read_ev);
+                    }
                 }
             }
         }

@@ -1,5 +1,6 @@
 //! The end-to-end compilation flow (Chapter 3, Figure 3.1).
 
+use crate::dataflow::build_dataflow;
 use crate::deploy::{Deployment, ExecutionPlan};
 use crate::kernels::{build_folded, build_pipelined, PlanError};
 use crate::options::{ExecMode, OptimizationConfig};
@@ -151,6 +152,11 @@ impl Flow {
                     let kernels = plan.kernels.clone();
                     (ExecutionPlan::Folded(plan), kernels)
                 }
+                ExecMode::Dataflow => {
+                    let plan = build_dataflow(&graph, config, &device, &self.calib)?;
+                    let kernels = plan.kernels.clone();
+                    (ExecutionPlan::Dataflow(plan), kernels)
+                }
             }
         };
 
@@ -170,6 +176,15 @@ impl Flow {
                     .kernel_nodes()
                     .map(|n| n.out_shape.numel() as u64)
                     .sum::<u64>()
+            }
+            ExecMode::Dataflow => {
+                // The input plus every segment boundary / staged activation
+                // that still round-trips through global memory.
+                let boundary = match &plan {
+                    ExecutionPlan::Dataflow(p) => p.boundary_elems,
+                    _ => unreachable!("Dataflow mode builds a dataflow plan"),
+                };
+                elem * (graph.input_shape().numel() as u64 + boundary)
             }
         };
         let required = weight_bytes + activation_bytes;

@@ -88,7 +88,10 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-fn conv_geometry(graph: &Graph, node: &Node) -> (usize, usize, usize, usize, usize, usize, bool) {
+pub(crate) fn conv_geometry(
+    graph: &Graph,
+    node: &Node,
+) -> (usize, usize, usize, usize, usize, usize, bool) {
     let Op::Conv2d {
         out_channels,
         kernel,
@@ -115,7 +118,7 @@ fn conv_geometry(graph: &Graph, node: &Node) -> (usize, usize, usize, usize, usi
     )
 }
 
-fn epilogue_of(node: &Node) -> EpilogueSpec {
+pub(crate) fn epilogue_of(node: &Node) -> EpilogueSpec {
     EpilogueSpec {
         bias: node.bias.is_some(),
         bn: node.fused.bn.is_some(),
@@ -185,7 +188,7 @@ pub fn build_pipelined(
     Ok(stages)
 }
 
-fn lower_node(
+pub(crate) fn lower_node(
     graph: &Graph,
     node: &Node,
     io_in: IoMode,
@@ -309,8 +312,21 @@ fn lower_node(
 /// Returns [`PlanError`] when a layer's dimensions are not divisible by the
 /// group's tile factors (§4.11 requirement 2).
 pub fn build_folded(graph: &Graph, config: &OptimizationConfig) -> Result<FoldedPlan, PlanError> {
+    build_folded_subset(graph, config, None)
+}
+
+/// [`build_folded`] restricted to a node subset: only nodes whose id is in
+/// `include` (all kernel nodes when `None`) contribute groups, kernels and
+/// invocations. The dataflow planner uses this to build the staged kernel
+/// pool for the layers it demoted out of the pipeline.
+pub(crate) fn build_folded_subset(
+    graph: &Graph,
+    config: &OptimizationConfig,
+    include: Option<&std::collections::HashSet<NodeId>>,
+) -> Result<FoldedPlan, PlanError> {
+    let included = |id: NodeId| include.is_none_or(|set| set.contains(&id));
     if !config.parameterized {
-        return build_folded_per_layer(graph, config);
+        return build_folded_per_layer(graph, config, &included);
     }
     // Pass 1: collect conv groups and their epilogue unions.
     #[derive(Default, Clone)]
@@ -324,6 +340,9 @@ pub fn build_folded(graph: &Graph, config: &OptimizationConfig) -> Result<Folded
         std::collections::HashMap::new();
     let mut needs_pad = false;
     for node in graph.kernel_nodes() {
+        if !included(node.id) {
+            continue;
+        }
         match &node.op {
             Op::Conv2d {
                 kernel,
@@ -400,6 +419,9 @@ pub fn build_folded(graph: &Graph, config: &OptimizationConfig) -> Result<Folded
     let mut invocations = Vec::new();
     let mut dense_seen = 0usize;
     for node in graph.kernel_nodes() {
+        if !included(node.id) {
+            continue;
+        }
         match &node.op {
             Op::Conv2d {
                 kernel: f,
@@ -508,11 +530,15 @@ pub fn build_folded(graph: &Graph, config: &OptimizationConfig) -> Result<Folded
 fn build_folded_per_layer(
     graph: &Graph,
     config: &OptimizationConfig,
+    included: &impl Fn(NodeId) -> bool,
 ) -> Result<FoldedPlan, PlanError> {
     let mut kernels = Vec::new();
     let mut invocations = Vec::new();
     let mut dense_seen = 0usize;
     for node in graph.kernel_nodes() {
+        if !included(node.id) {
+            continue;
+        }
         let kernel = lower_node(
             graph,
             node,

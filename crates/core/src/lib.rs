@@ -17,6 +17,11 @@
 //!   (operation, filter size, stride) into parameterized symbolic-shape
 //!   kernels that are time-multiplexed across layers through global memory —
 //!   the MobileNet/ResNet deployments of §6.3.2/§6.4.3.
+//! * **Dataflow execution** (`ExecMode::Dataflow`): the `fpgaccel-pipeline`
+//!   planner maps maximal fusable segments onto channel-connected stage
+//!   chains with explicit FIFO depths, charges the AOC resource model for
+//!   the whole pipeline at once, and degrades over-budget segments into
+//!   folded staged execution with a structured per-resource reason.
 //!
 //! [`Deployment`] couples the simulated timeline (the `fpgaccel-runtime`
 //! event simulation driven by the AOC timing model) with real tensor data
@@ -28,6 +33,7 @@
 
 pub mod autotune;
 pub mod bitstreams;
+pub mod dataflow;
 pub mod deploy;
 pub mod dse;
 pub mod flow;
@@ -35,7 +41,11 @@ pub mod kernels;
 pub mod options;
 pub mod verify;
 
-pub use autotune::{conv1x1_shapes, db_key, tune_model, FlowEvaluator};
+pub use autotune::{
+    conv1x1_shapes, db_key, tune_model, tune_pipeline, FlowEvaluator, PipelineEvaluator,
+    PipelineTuneOutcome,
+};
+pub use dataflow::{build_dataflow, CouplingSpec, DataflowPlan, DataflowStage, DataflowStep};
 pub use deploy::{BatchLatencyModel, BatchStats, Deployment, ExecutionPlan, InferResult};
 pub use flow::{Flow, FlowError};
 pub use options::{ExecMode, OptimizationConfig, TilingPreset};

@@ -2,9 +2,11 @@
 //! ladder of Table 6.4.
 
 use fpgaccel_aoc::AocOptions;
+use fpgaccel_pipeline::PipelineOpts;
 use fpgaccel_tir::compute::ConvSchedule;
 
-/// The two execution modes of §3.1.
+/// The execution modes: the two of §3.1 plus the planner-driven dataflow
+/// hybrid.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// One kernel per layer, channel-connected, all kernels concurrently
@@ -13,6 +15,11 @@ pub enum ExecMode {
     /// Parameterized kernels time-multiplexed across layers through global
     /// memory (large networks).
     Folded,
+    /// Planner-driven streaming dataflow: maximal fused segments become
+    /// channel-connected pipelines under the device resource budget; layers
+    /// that do not fit (or cannot stream) degrade gracefully to staged
+    /// execution through the folded kernel pool.
+    Dataflow,
 }
 
 /// Tiling/unroll factor tables for folded deployments (Tables 6.6/6.7/6.13).
@@ -188,6 +195,10 @@ pub struct OptimizationConfig {
     pub parameterized: bool,
     /// Folded-mode tiling table.
     pub tiling: TilingPreset,
+    /// Dataflow-mode planner knobs: inter-stage FIFO sizing and the stage
+    /// cap. Part of the config identity (and therefore of deployment-cache
+    /// keys): two depth policies are two different bitstreams.
+    pub pipeline: PipelineOpts,
     /// Emit parameterized kernels with the raw symbolic strides TVM
     /// generates (Listing 5.10) instead of applying the stride-1 coalescing
     /// workaround (Listing 5.11). AOC then cannot prove accesses contiguous
@@ -217,6 +228,7 @@ impl OptimizationConfig {
             concurrent: false,
             parameterized: false,
             tiling: TilingPreset::Naive,
+            pipeline: PipelineOpts::default(),
             explicit_strides: false,
             aoc: AocOptions::default(),
             profiling: false,
@@ -276,6 +288,7 @@ impl OptimizationConfig {
             concurrent: false,
             parameterized: false,
             tiling: TilingPreset::Naive,
+            pipeline: PipelineOpts::default(),
             explicit_strides: false,
             aoc: AocOptions::default(),
             profiling: false,
@@ -292,6 +305,30 @@ impl OptimizationConfig {
             tiling,
             ..Self::folded_base()
         }
+    }
+
+    /// Streaming dataflow deployment: the planner maps maximal fused
+    /// segments onto channel-connected pipelines (stages tiled per the
+    /// preset), with graceful degradation to staged execution through the
+    /// parameterized folded kernel pool when the device budget runs out.
+    pub fn dataflow(tiling: TilingPreset) -> Self {
+        OptimizationConfig {
+            label: "Dataflow".into(),
+            mode: ExecMode::Dataflow,
+            channels: true,
+            autorun: true,
+            concurrent: true,
+            ..Self::folded(tiling)
+        }
+    }
+
+    /// Overrides the dataflow planner knobs (FIFO depth policy / stage
+    /// cap). The label carries the policy so sibling configurations remain
+    /// distinguishable in reports and cache keys.
+    pub fn with_pipeline(mut self, opts: PipelineOpts) -> Self {
+        self.pipeline = opts;
+        self.label = format!("{} {:?}", self.label, opts.depth);
+        self
     }
 
     /// Enables concurrent execution (the `[CE]` series of Figure 6.1).

@@ -166,6 +166,29 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
                 (inv.node_id, k, inv.binding.clone())
             })
             .collect(),
+        ExecutionPlan::Dataflow(plan) => plan
+            .steps
+            .iter()
+            .flat_map(|step| -> Vec<(NodeId, &Kernel, Binding)> {
+                match step {
+                    crate::dataflow::DataflowStep::Segment(stages) => stages
+                        .iter()
+                        .map(|s| (s.node_id, &s.kernel, Binding::empty()))
+                        .collect(),
+                    crate::dataflow::DataflowStep::Staged(invs) => invs
+                        .iter()
+                        .map(|inv| {
+                            let k = plan
+                                .kernels
+                                .iter()
+                                .find(|k| k.name == inv.kernel_name)
+                                .expect("invocation kernel exists");
+                            (inv.node_id, k, inv.binding.clone())
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
     };
 
     for (node_id, kernel, binding) in runs {

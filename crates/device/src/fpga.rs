@@ -105,6 +105,26 @@ impl Resources {
         }
     }
 
+    /// Component-wise fit check with a structured report: `Ok(())` when the
+    /// vector fits `budget`, otherwise an [`OverBudget`] carrying every
+    /// requested/available pair and naming the first limiting resource (in
+    /// [`Resources::first_overflow`] order). This is what the pipeline
+    /// planner logs when a segment degrades to staged execution and what
+    /// flow fit reports render.
+    ///
+    /// # Errors
+    /// [`OverBudget`] when any component exceeds the budget.
+    pub fn check_fits(self, budget: Resources) -> Result<(), OverBudget> {
+        match self.first_overflow(budget) {
+            None => Ok(()),
+            Some(limiting) => Err(OverBudget {
+                requested: self,
+                available: budget,
+                limiting,
+            }),
+        }
+    }
+
     /// Percentage utilizations against a total, in table order
     /// (logic, ram, dsp), as the thesis fit reports print them.
     pub fn percentages(self, total: Resources) -> (f64, f64, f64) {
@@ -122,6 +142,60 @@ impl Resources {
         )
     }
 }
+
+/// A structured resource-budget violation: what was asked for, what the
+/// device offers, and which resource is the binding constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverBudget {
+    /// The resource vector the design needs.
+    pub requested: Resources,
+    /// The budget it was checked against.
+    pub available: Resources,
+    /// First limiting resource, in the order the thesis reports fit
+    /// failures (BRAM first, §6.4.3).
+    pub limiting: &'static str,
+}
+
+impl OverBudget {
+    /// `(resource name, requested, available)` rows in report order, for
+    /// structured logs and machine-readable artifacts.
+    pub fn rows(&self) -> [(&'static str, u64, u64); 4] {
+        [
+            ("BRAM", self.requested.ram, self.available.ram),
+            ("logic (ALUTs)", self.requested.alut, self.available.alut),
+            ("registers (FFs)", self.requested.ff, self.available.ff),
+            ("DSP blocks", self.requested.dsp, self.available.dsp),
+        ]
+    }
+
+    /// The requested/available pair of the limiting resource.
+    pub fn limit(&self) -> (u64, u64) {
+        self.rows()
+            .iter()
+            .find(|(name, _, _)| *name == self.limiting)
+            .map(|&(_, req, avail)| (req, avail))
+            .expect("limiting resource is one of the four components")
+    }
+}
+
+impl fmt::Display for OverBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (req, avail) = self.limit();
+        write!(
+            f,
+            "over budget on {}: needs {req}, device has {avail}",
+            self.limiting
+        )?;
+        let detail: Vec<String> = self
+            .rows()
+            .iter()
+            .map(|(name, r, a)| format!("{name} {r}/{a}"))
+            .collect();
+        write!(f, " [{}]", detail.join(", "))
+    }
+}
+
+impl std::error::Error for OverBudget {}
 
 /// A complete FPGA platform model.
 #[derive(Clone, Debug)]
@@ -300,6 +374,33 @@ mod tests {
         assert!(!b.fits_in(a));
         assert_eq!(b.first_overflow(a), Some("BRAM"));
         assert_eq!(a.first_overflow(b), None);
+    }
+
+    #[test]
+    fn check_fits_reports_every_component() {
+        let budget = Resources {
+            alut: 100,
+            ff: 200,
+            ram: 10,
+            dsp: 5,
+        };
+        let need = Resources {
+            alut: 150,
+            ff: 100,
+            ram: 12,
+            dsp: 9,
+        };
+        assert!(budget.check_fits(need.scale(2)).is_ok());
+        let err = need.check_fits(budget).unwrap_err();
+        assert_eq!(err.limiting, "BRAM");
+        assert_eq!(err.limit(), (12, 10));
+        let rows = err.rows();
+        assert_eq!(rows[0], ("BRAM", 12, 10));
+        assert_eq!(rows[1], ("logic (ALUTs)", 150, 100));
+        let msg = err.to_string();
+        assert!(msg.contains("over budget on BRAM"), "{msg}");
+        assert!(msg.contains("needs 12, device has 10"), "{msg}");
+        assert!(msg.contains("DSP blocks 9/5"), "{msg}");
     }
 
     #[test]

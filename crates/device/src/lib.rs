@@ -12,5 +12,5 @@ pub mod fpga;
 pub mod hostref;
 pub mod link;
 
-pub use fpga::{DeviceModel, FpgaPlatform, Resources};
+pub use fpga::{DeviceModel, FpgaPlatform, OverBudget, Resources};
 pub use link::{HostLink, TransferDir};

@@ -1,0 +1,32 @@
+//! # fpgaccel-pipeline
+//!
+//! Streaming dataflow planner (§4.6–§4.7 taken whole-network): instead of
+//! launching one kernel per layer through global memory, a *pipeline plan*
+//! maps a maximal fused segment of the network onto a single deployment of
+//! channel-connected autorun stages. Feature maps cross between stages
+//! through on-chip FIFOs — the DRAM round trip between adjacent layers
+//! disappears — at the price of every stage's logic being resident on the
+//! device at once.
+//!
+//! The planner therefore answers a *budget* question: which contiguous runs
+//! of layers stream through channels, at what FIFO depths, and which layers
+//! degrade gracefully to staged (layer-by-layer) execution because the whole
+//! pipeline does not fit the Table 6.2 resource inventory. The split point
+//! is a plan decision: when a segment must shrink, the node whose severed
+//! channel edge re-introduces the *least* DRAM traffic is demoted first.
+//!
+//! The crate is deliberately independent of the compiler core: callers
+//! describe the network as a [`ChainNode`] list and price candidate
+//! placements through the [`Estimator`] trait, mirroring how `fpgaccel-tune`
+//! stays decoupled through its `Evaluate` trait.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod planner;
+
+pub use metrics::record_plan_metrics;
+pub use planner::{
+    plan, ChainNode, DepthPolicy, Estimator, Fallback, FallbackReason, PipelineError, PipelineOpts,
+    PipelinePlan, PlanItem, Segment,
+};

@@ -1,0 +1,109 @@
+//! `pipeline_*` metrics: every plan records its shape and degradations into
+//! the shared [`fpgaccel_trace::metrics::Registry`], so serving dashboards
+//! and experiments see pipeline placement decisions next to latency.
+
+use fpgaccel_trace::metrics::Registry;
+
+use crate::planner::{PipelinePlan, PlanItem};
+
+/// Record the placement decisions of `plan` for `model` into `reg`.
+///
+/// Counters accumulate across plans (one deployment may be planned several
+/// times during a sweep); gauges hold the most recent plan's shape.
+pub fn record_plan_metrics(reg: &Registry, model: &str, plan: &PipelinePlan) {
+    let labels = &[("model", model)][..];
+    let segments = plan.segments().count() as f64;
+    let staged_runs = plan
+        .items
+        .iter()
+        .filter(|it| matches!(it, PlanItem::Staged(_)))
+        .count() as f64;
+    reg.counter_add(
+        "pipeline_segments_total",
+        "Channel-connected pipelined segments planned",
+        labels,
+        segments,
+    );
+    reg.counter_add(
+        "pipeline_stages_total",
+        "Kernel nodes placed as pipeline stages",
+        labels,
+        plan.pipelined_nodes as f64,
+    );
+    reg.counter_add(
+        "pipeline_staged_nodes_total",
+        "Kernel nodes degraded to staged (layer-by-layer) execution",
+        labels,
+        plan.staged_nodes as f64,
+    );
+    reg.counter_add(
+        "pipeline_fallbacks_total",
+        "Degradations from pipelined to staged placement, any reason",
+        labels,
+        plan.fallbacks.len() as f64,
+    );
+    reg.gauge_set(
+        "pipeline_staged_runs",
+        "Staged runs interleaved with pipelined segments in the last plan",
+        labels,
+        staged_runs,
+    );
+    reg.gauge_set(
+        "pipeline_channel_elems",
+        "Elements crossing inter-stage channels per image in the last plan",
+        labels,
+        plan.channel_elems as f64,
+    );
+    reg.gauge_set(
+        "pipeline_dram_elems_saved",
+        "DRAM elements eliminated per image by the last plan",
+        labels,
+        plan.dram_elems_saved as f64,
+    );
+    reg.gauge_set(
+        "pipeline_max_channel_depth",
+        "Deepest inter-stage FIFO (elements) in the last plan",
+        labels,
+        plan.max_channel_depth() as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{Fallback, FallbackReason, PipelinePlan, PlanItem, Segment};
+    use fpgaccel_device::Resources;
+
+    #[test]
+    fn plans_land_in_the_registry() {
+        let plan = PipelinePlan {
+            items: vec![
+                PlanItem::Pipelined(Segment {
+                    ids: vec![0, 1],
+                    depths: vec![128],
+                    cost: Resources::default(),
+                }),
+                PlanItem::Staged(vec![2]),
+            ],
+            fallbacks: vec![Fallback {
+                nodes: vec!["n2".into()],
+                reason: FallbackReason::NotStreamable("fan-out".into()),
+            }],
+            pipelined_nodes: 2,
+            staged_nodes: 1,
+            channel_elems: 1024,
+            dram_elems_saved: 2048,
+            total_cost: Resources::default(),
+            over_budget: None,
+        };
+        let reg = Registry::new();
+        record_plan_metrics(&reg, "lenet", &plan);
+        let labels = &[("model", "lenet")][..];
+        assert_eq!(reg.value("pipeline_segments_total", labels), Some(1.0));
+        assert_eq!(reg.value("pipeline_stages_total", labels), Some(2.0));
+        assert_eq!(reg.value("pipeline_staged_nodes_total", labels), Some(1.0));
+        assert_eq!(reg.value("pipeline_fallbacks_total", labels), Some(1.0));
+        assert_eq!(reg.value("pipeline_channel_elems", labels), Some(1024.0));
+        assert_eq!(reg.value("pipeline_max_channel_depth", labels), Some(128.0));
+    }
+}

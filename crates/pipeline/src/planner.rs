@@ -1,0 +1,750 @@
+//! Segment planner: groups fusable layers into channel-connected pipeline
+//! segments, assigns inter-stage FIFO depths, and charges the whole plan
+//! against the device resource budget at once. Over-budget plans degrade
+//! gracefully — one node at a time, from the end whose severed channel edge
+//! re-introduces the least DRAM traffic — into staged execution.
+
+use fpgaccel_device::{OverBudget, Resources};
+
+/// One kernel node of the (topologically ordered) network chain, as seen by
+/// the planner. Callers lower their graph into this shape; the planner never
+/// inspects ops directly.
+#[derive(Clone, Debug)]
+pub struct ChainNode {
+    /// Stable graph node id, echoed back in the plan.
+    pub id: usize,
+    /// Human-readable layer name for fallback reports.
+    pub name: String,
+    /// Elements the node writes per image (its output feature map).
+    pub out_numel: usize,
+    /// Input elements the node must observe before emitting its first
+    /// output — the consumer lookahead window (e.g. `f` input rows for a
+    /// convolution, the whole input for a dense layer).
+    pub fill_elems: usize,
+    /// Whether this node consumes exactly the previous chain node's output,
+    /// that output has no other consumer, and the node has no side inputs
+    /// (residual adds). Only then can the edge into it become a channel.
+    pub linear: bool,
+}
+
+/// How deep to make each inter-stage FIFO relative to the feature map it
+/// carries. Deeper channels decouple stages fully but cost on-chip RAM;
+/// shallower channels back-pressure the producer and cost throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepthPolicy {
+    /// FIFO holds the producer's whole output: full decoupling, maximum RAM.
+    Full,
+    /// FIFO holds `num/den` of the producer's output (at least one element).
+    Fraction {
+        /// Numerator of the fraction.
+        num: usize,
+        /// Denominator of the fraction (must be non-zero).
+        den: usize,
+    },
+    /// Fixed element count regardless of feature-map size.
+    Fixed(usize),
+    /// FIFO holds `factor` consumer fill windows. `FillMultiple(2)` is the
+    /// double-buffered sweet spot of the runtime's stall model: the consumer
+    /// drains one window while the producer refills the next, so refill
+    /// stalls vanish at minimal RAM. Factors above 2 buy nothing; factor 1
+    /// trades stalls for half the FIFO RAM.
+    FillMultiple(usize),
+}
+
+impl DepthPolicy {
+    /// Depth for an edge whose producer emits `produced` elements and whose
+    /// consumer needs `fill` elements of lookahead. Never below the fill
+    /// window (a starved consumer would deadlock a real FIFO), never above
+    /// the full feature map (deeper buys nothing), never zero.
+    pub fn depth(self, produced: usize, fill: usize) -> usize {
+        let base = produced.max(1);
+        let want = match self {
+            DepthPolicy::Full => base,
+            DepthPolicy::Fraction { num, den } => (base * num / den.max(1)).max(1),
+            DepthPolicy::Fixed(d) => d.max(1),
+            DepthPolicy::FillMultiple(factor) => (fill * factor.max(1)).max(1),
+        };
+        want.max(fill).min(base)
+    }
+}
+
+/// Planner knobs. Both fields are searchable by the auto-tuner: depth trades
+/// BRAM for back-pressure stalls, the stage cap trades segment length for
+/// fit probability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineOpts {
+    /// Inter-stage FIFO sizing rule.
+    pub depth: DepthPolicy,
+    /// Longest run of layers allowed in one pipelined segment.
+    pub max_stages: usize,
+}
+
+impl Default for PipelineOpts {
+    fn default() -> Self {
+        PipelineOpts {
+            depth: DepthPolicy::FillMultiple(2),
+            max_stages: 32,
+        }
+    }
+}
+
+/// Prices candidate placements. Implemented by the compiler core (which can
+/// lower nodes and consult the AOC synthesis model); kept as a trait so this
+/// crate stays independent of the core, mirroring `fpgaccel-tune`'s
+/// `Evaluate` pattern.
+pub trait Estimator {
+    /// Resource cost of running node `id` as a dedicated pipeline stage.
+    /// `chan_in`/`chan_out` give the FIFO depths of its channel endpoints
+    /// (`None` = that side goes through global memory); the cost must
+    /// include the FIFO storage for declared channels.
+    fn stage_cost(
+        &self,
+        id: usize,
+        chan_in: Option<usize>,
+        chan_out: Option<usize>,
+    ) -> Result<Resources, String>;
+
+    /// Resource cost of executing the node set `ids` staged — through the
+    /// shared pool of parameterized, time-multiplexed kernels. Priced as a
+    /// set because staged nodes share grouped kernels.
+    fn staged_cost(&self, ids: &[usize]) -> Result<Resources, String>;
+}
+
+/// A run of chain nodes that streams through channels as one deployment of
+/// concurrently resident stages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Node ids, in execution order.
+    pub ids: Vec<usize>,
+    /// FIFO depth (elements) of each internal edge; `depths.len() == ids.len() - 1`.
+    pub depths: Vec<usize>,
+    /// Estimated resource cost of all stages in this segment.
+    pub cost: Resources,
+}
+
+/// One entry of the final placement, in network order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanItem {
+    /// A channel-connected pipelined segment.
+    Pipelined(Segment),
+    /// A maximal run of consecutive staged (layer-by-layer) node ids.
+    Staged(Vec<usize>),
+}
+
+/// Why a node (or run of nodes) ended up staged instead of pipelined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The pipeline did not fit the device; carries the structured
+    /// per-resource over-budget report at the demotion decision.
+    OverBudget(OverBudget),
+    /// The node cannot stream (fan-out, side inputs, no streamable
+    /// neighbor); the string says which rule failed.
+    NotStreamable(String),
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::OverBudget(over) => write!(f, "{over}"),
+            FallbackReason::NotStreamable(why) => write!(f, "not streamable: {why}"),
+        }
+    }
+}
+
+/// A recorded degradation: which nodes fell back to staged execution, why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fallback {
+    /// Names of the demoted nodes, in chain order.
+    pub nodes: Vec<String>,
+    /// The structured reason.
+    pub reason: FallbackReason,
+}
+
+/// The planner's output: a placement of every chain node, the degradations
+/// taken to reach it, and the aggregate accounting the reports and metrics
+/// are built from.
+#[derive(Clone, Debug)]
+pub struct PipelinePlan {
+    /// Placement in network order (pipelined segments interleaved with
+    /// staged runs).
+    pub items: Vec<PlanItem>,
+    /// Every degradation from pipelined to staged, with structured reasons.
+    pub fallbacks: Vec<Fallback>,
+    /// Nodes executing as pipeline stages.
+    pub pipelined_nodes: usize,
+    /// Nodes executing staged.
+    pub staged_nodes: usize,
+    /// Total elements crossing inter-stage channels per image.
+    pub channel_elems: u64,
+    /// DRAM elements eliminated per image (one write + one read per
+    /// channel-crossing element).
+    pub dram_elems_saved: u64,
+    /// Estimated kernel resource cost of the whole placement (pipeline
+    /// stages plus the staged kernel pool).
+    pub total_cost: Resources,
+    /// `Some` if even the fully degraded plan exceeds the budget (the model
+    /// itself does not fit the device).
+    pub over_budget: Option<OverBudget>,
+}
+
+impl PipelinePlan {
+    /// Pipelined segments, in network order.
+    pub fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.items.iter().filter_map(|it| match it {
+            PlanItem::Pipelined(s) => Some(s),
+            PlanItem::Staged(_) => None,
+        })
+    }
+
+    /// Deepest FIFO in the plan, in elements (0 if nothing is pipelined).
+    pub fn max_channel_depth(&self) -> usize {
+        self.segments()
+            .flat_map(|s| s.depths.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Planner failure (an [`Estimator`] refused to price a placement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineError(pub String);
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline planning failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A candidate segment during planning: a contiguous index range into the
+/// chain, remembering which original run it came from for fallback
+/// coalescing.
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    start: usize,
+    end: usize, // exclusive
+    origin: usize,
+}
+
+fn component(r: Resources, limiting: &str) -> u64 {
+    match limiting {
+        "BRAM" => r.ram,
+        "logic (ALUTs)" => r.alut,
+        "registers (FFs)" => r.ff,
+        _ => r.dsp,
+    }
+}
+
+fn edge_depths(chain: &[ChainNode], start: usize, end: usize, policy: DepthPolicy) -> Vec<usize> {
+    (start..end.saturating_sub(1))
+        .map(|j| policy.depth(chain[j].out_numel, chain[j + 1].fill_elems))
+        .collect()
+}
+
+fn segment_cost(
+    chain: &[ChainNode],
+    cand: &Candidate,
+    depths: &[usize],
+    est: &dyn Estimator,
+) -> Result<Resources, PipelineError> {
+    let mut total = Resources::default();
+    for (k, j) in (cand.start..cand.end).enumerate() {
+        let chan_in = if k > 0 { Some(depths[k - 1]) } else { None };
+        let chan_out = if k + 1 < cand.end - cand.start {
+            Some(depths[k])
+        } else {
+            None
+        };
+        let cost = est
+            .stage_cost(chain[j].id, chan_in, chan_out)
+            .map_err(PipelineError)?;
+        total = total.add(cost);
+    }
+    Ok(total)
+}
+
+/// Plan the placement of `chain` onto a device with `budget` resources left
+/// for kernels. Returns the placement plus the structured degradation trail;
+/// only [`Estimator`] failures are hard errors — an impossible budget yields
+/// a fully staged plan with `over_budget` set, not an `Err`.
+pub fn plan(
+    chain: &[ChainNode],
+    est: &dyn Estimator,
+    budget: Resources,
+    opts: PipelineOpts,
+) -> Result<PipelinePlan, PipelineError> {
+    let max_stages = opts.max_stages.max(1);
+
+    // Phase 1: maximal streamable runs. An edge j -> j+1 can become a
+    // channel iff node j+1 is `linear`; a run breaks wherever it cannot.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for j in 1..=chain.len() {
+        if j == chain.len() || !chain[j].linear {
+            runs.push((start, j));
+            start = j;
+        }
+    }
+
+    // Phase 2: chunk runs at the stage cap (balanced so no chunk is starved)
+    // and separate pipeline candidates from structurally staged nodes.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut staged: Vec<usize> = Vec::new(); // chain indices
+    let mut fallbacks: Vec<Fallback> = Vec::new();
+    for &(s, e) in &runs {
+        let len = e - s;
+        if len < 2 {
+            staged.push(s);
+            fallbacks.push(Fallback {
+                nodes: vec![chain[s].name.clone()],
+                reason: FallbackReason::NotStreamable(
+                    "no streamable neighbor (fan-out, side input, or isolated layer)".into(),
+                ),
+            });
+            continue;
+        }
+        let chunks = len.div_ceil(max_stages);
+        let base = len / chunks;
+        let extra = len % chunks;
+        let mut at = s;
+        for c in 0..chunks {
+            let take = base + usize::from(c < extra);
+            let origin = candidates.len();
+            if take < 2 {
+                staged.push(at);
+                fallbacks.push(Fallback {
+                    nodes: vec![chain[at].name.clone()],
+                    reason: FallbackReason::NotStreamable(
+                        "stage cap left an isolated layer".into(),
+                    ),
+                });
+            } else {
+                candidates.push(Candidate {
+                    start: at,
+                    end: at + take,
+                    origin,
+                });
+            }
+            at += take;
+        }
+    }
+
+    // Phase 3: charge the whole plan at once and demote until it fits. Each
+    // demotion peels one node off the worst segment, from the end whose
+    // severed channel edge carries the fewest elements (least DRAM
+    // re-introduced) — the split point is a plan decision.
+    let mut demoted: Vec<(usize, Vec<String>, OverBudget)> = Vec::new(); // per-origin trail
+    let mut final_over: Option<OverBudget> = None;
+    loop {
+        let mut seg_costs: Vec<Resources> = Vec::with_capacity(candidates.len());
+        for cand in &candidates {
+            let depths = edge_depths(chain, cand.start, cand.end, opts.depth);
+            seg_costs.push(segment_cost(chain, cand, &depths, est)?);
+        }
+        let mut total = Resources::default();
+        for c in &seg_costs {
+            total = total.add(*c);
+        }
+        if !staged.is_empty() {
+            let ids: Vec<usize> = staged.iter().map(|&j| chain[j].id).collect();
+            total = total.add(est.staged_cost(&ids).map_err(PipelineError)?);
+        }
+        let over = match total.check_fits(budget) {
+            Ok(()) => break,
+            Err(over) => over,
+        };
+        if candidates.is_empty() {
+            // Fully degraded and still over budget: the model itself does
+            // not fit. Report it; synthesis downstream will refuse too.
+            final_over = Some(over);
+            break;
+        }
+        // Worst segment by the limiting resource.
+        let worst = (0..candidates.len())
+            .max_by_key(|&i| component(seg_costs[i], over.limiting))
+            .expect("candidates is non-empty");
+        let cand = &mut candidates[worst];
+        let origin = cand.origin;
+        let (idx, emptied) = if cand.end - cand.start <= 2 {
+            // Severing the only edge dissolves the segment; demote both.
+            (cand.start, true)
+        } else {
+            let head_edge = chain[cand.start].out_numel;
+            let tail_edge = chain[cand.end - 2].out_numel;
+            if head_edge < tail_edge {
+                let idx = cand.start;
+                cand.start += 1;
+                (idx, false)
+            } else {
+                cand.end -= 1;
+                (cand.end, false)
+            }
+        };
+        let mut names = vec![chain[idx].name.clone()];
+        staged.push(idx);
+        if emptied {
+            let other = cand.end - 1;
+            names.push(chain[other].name.clone());
+            staged.push(other);
+            candidates.remove(worst);
+        }
+        match demoted.iter_mut().find(|(o, ..)| *o == origin) {
+            Some((_, trail, _)) => trail.extend(names),
+            None => demoted.push((origin, names, over)),
+        }
+    }
+
+    // Phase 3b: the greedy demotion loop can overshoot — the step that
+    // crossed back under the budget line may have dissolved a whole segment,
+    // or ping-ponged between segments and stopped with headroom to spare.
+    // Grow surviving segments back one node at a time while the whole plan
+    // still fits; every regrown node is struck from the fallback trail.
+    if final_over.is_none() {
+        let total_of =
+            |candidates: &[Candidate], staged: &[usize]| -> Result<Resources, PipelineError> {
+                let mut total = Resources::default();
+                for cand in candidates {
+                    let depths = edge_depths(chain, cand.start, cand.end, opts.depth);
+                    total = total.add(segment_cost(chain, cand, &depths, est)?);
+                }
+                if !staged.is_empty() {
+                    let ids: Vec<usize> = staged.iter().map(|&j| chain[j].id).collect();
+                    total = total.add(est.staged_cost(&ids).map_err(PipelineError)?);
+                }
+                Ok(total)
+            };
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for i in 0..candidates.len() {
+                for head in [false, true] {
+                    let cand = candidates[i];
+                    if cand.end - cand.start >= max_stages {
+                        continue;
+                    }
+                    // The candidate edge must be channelizable and the node
+                    // on its far side currently staged (not in a segment).
+                    let idx = if head {
+                        match cand.start.checked_sub(1) {
+                            Some(idx) if chain[cand.start].linear => idx,
+                            _ => continue,
+                        }
+                    } else {
+                        let idx = cand.end;
+                        if idx >= chain.len() || !chain[idx].linear {
+                            continue;
+                        }
+                        idx
+                    };
+                    if !staged.contains(&idx) {
+                        continue;
+                    }
+                    let mut trial = candidates.clone();
+                    if head {
+                        trial[i].start -= 1;
+                    } else {
+                        trial[i].end += 1;
+                    }
+                    let trial_staged: Vec<usize> =
+                        staged.iter().copied().filter(|&j| j != idx).collect();
+                    if total_of(&trial, &trial_staged)?.check_fits(budget).is_ok() {
+                        candidates = trial;
+                        staged = trial_staged;
+                        let name = &chain[idx].name;
+                        for (_, trail, _) in &mut demoted {
+                            trail.retain(|n| n != name);
+                        }
+                        demoted.retain(|(_, trail, _)| !trail.is_empty());
+                        fallbacks.retain(|f| !(f.nodes.len() == 1 && f.nodes[0] == *name));
+                        grew = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Coalesce the demotion trail into one structured fallback per segment
+    // that shrank, carrying the over-budget report that triggered it.
+    for (_, nodes, over) in demoted {
+        fallbacks.push(Fallback {
+            nodes,
+            reason: FallbackReason::OverBudget(over),
+        });
+    }
+
+    // Phase 4: materialize the placement in network order.
+    let mut placement: Vec<Option<usize>> = vec![None; chain.len()]; // index into candidates
+    for (i, cand) in candidates.iter().enumerate() {
+        placement[cand.start..cand.end].fill(Some(i));
+    }
+    let mut items: Vec<PlanItem> = Vec::new();
+    let mut channel_elems = 0u64;
+    let mut total_cost = Resources::default();
+    let mut pipelined_nodes = 0usize;
+    let mut j = 0usize;
+    while j < chain.len() {
+        match placement[j] {
+            Some(i) => {
+                let cand = &candidates[i];
+                let depths = edge_depths(chain, cand.start, cand.end, opts.depth);
+                let cost = segment_cost(chain, cand, &depths, est)?;
+                channel_elems += chain[cand.start..cand.end - 1]
+                    .iter()
+                    .map(|n| n.out_numel as u64)
+                    .sum::<u64>();
+                pipelined_nodes += cand.end - cand.start;
+                total_cost = total_cost.add(cost);
+                items.push(PlanItem::Pipelined(Segment {
+                    ids: (cand.start..cand.end).map(|k| chain[k].id).collect(),
+                    depths,
+                    cost,
+                }));
+                j = cand.end;
+            }
+            None => {
+                let from = j;
+                while j < chain.len() && placement[j].is_none() {
+                    j += 1;
+                }
+                items.push(PlanItem::Staged((from..j).map(|k| chain[k].id).collect()));
+            }
+        }
+    }
+    let staged_nodes = chain.len() - pipelined_nodes;
+    if staged_nodes > 0 {
+        let ids: Vec<usize> = (0..chain.len())
+            .filter(|&k| placement[k].is_none())
+            .map(|k| chain[k].id)
+            .collect();
+        total_cost = total_cost.add(est.staged_cost(&ids).map_err(PipelineError)?);
+    }
+
+    Ok(PipelinePlan {
+        items,
+        fallbacks,
+        pipelined_nodes,
+        staged_nodes,
+        channel_elems,
+        dram_elems_saved: 2 * channel_elems,
+        total_cost,
+        over_budget: final_over,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mock estimator: every stage costs `stage` (plus 1 RAM block per 512
+    /// elements of declared FIFO depth); the staged pool costs `pool` plus
+    /// `per_staged` per node.
+    struct Mock {
+        stage: Resources,
+        pool: Resources,
+        per_staged: Resources,
+    }
+
+    impl Estimator for Mock {
+        fn stage_cost(
+            &self,
+            _id: usize,
+            chan_in: Option<usize>,
+            chan_out: Option<usize>,
+        ) -> Result<Resources, String> {
+            let fifo = (chan_in.unwrap_or(0) + chan_out.unwrap_or(0)) as u64;
+            Ok(self.stage.add(Resources {
+                ram: fifo.div_ceil(512),
+                ..Default::default()
+            }))
+        }
+
+        fn staged_cost(&self, ids: &[usize]) -> Result<Resources, String> {
+            Ok(self.pool.add(self.per_staged.scale(ids.len() as u64)))
+        }
+    }
+
+    fn mock() -> Mock {
+        Mock {
+            stage: Resources {
+                alut: 100,
+                ff: 200,
+                ram: 4,
+                dsp: 8,
+            },
+            pool: Resources {
+                alut: 50,
+                ff: 100,
+                ram: 2,
+                dsp: 4,
+            },
+            per_staged: Resources {
+                alut: 10,
+                ff: 20,
+                ram: 1,
+                dsp: 1,
+            },
+        }
+    }
+
+    fn node(id: usize, out: usize, fill: usize, linear: bool) -> ChainNode {
+        ChainNode {
+            id,
+            name: format!("n{id}"),
+            out_numel: out,
+            fill_elems: fill,
+            linear,
+        }
+    }
+
+    fn big() -> Resources {
+        Resources {
+            alut: 1 << 20,
+            ff: 1 << 21,
+            ram: 1 << 16,
+            dsp: 1 << 14,
+        }
+    }
+
+    #[test]
+    fn whole_chain_becomes_one_segment_under_a_generous_budget() {
+        let chain = vec![
+            node(0, 1024, 96, true),
+            node(1, 512, 64, true),
+            node(2, 10, 512, true),
+        ];
+        let plan = plan(&chain, &mock(), big(), PipelineOpts::default()).unwrap();
+        assert_eq!(plan.items.len(), 1);
+        assert_eq!(plan.pipelined_nodes, 3);
+        assert_eq!(plan.staged_nodes, 0);
+        assert!(plan.fallbacks.is_empty());
+        assert!(plan.over_budget.is_none());
+        match &plan.items[0] {
+            PlanItem::Pipelined(seg) => {
+                assert_eq!(seg.ids, vec![0, 1, 2]);
+                // Edge 0: two 64-element fill windows of node 1.
+                // Edge 1: two 512-element windows, capped at the 512
+                // elements the producer ever emits.
+                assert_eq!(seg.depths, vec![128, 512]);
+            }
+            other => panic!("expected a pipelined segment, got {other:?}"),
+        }
+        assert_eq!(plan.channel_elems, 1024 + 512);
+        assert_eq!(plan.dram_elems_saved, 2 * (1024 + 512));
+    }
+
+    #[test]
+    fn depth_policy_respects_fill_floor_and_full_cap() {
+        assert_eq!(
+            DepthPolicy::Fraction { num: 1, den: 8 }.depth(1024, 96),
+            128
+        );
+        assert_eq!(
+            DepthPolicy::Fraction { num: 1, den: 8 }.depth(1024, 300),
+            300
+        );
+        assert_eq!(DepthPolicy::Fixed(4096).depth(1024, 96), 1024);
+        assert_eq!(DepthPolicy::Full.depth(1024, 96), 1024);
+        assert_eq!(DepthPolicy::Fixed(0).depth(8, 0), 1);
+        assert_eq!(DepthPolicy::FillMultiple(2).depth(1024, 96), 192);
+        assert_eq!(DepthPolicy::FillMultiple(2).depth(1024, 700), 1024);
+        assert_eq!(DepthPolicy::FillMultiple(0).depth(1024, 96), 96);
+    }
+
+    #[test]
+    fn non_streamable_node_splits_the_chain() {
+        // Node 2 has a side input (residual): the run breaks there, but the
+        // downstream pair can still stream between themselves.
+        let chain = vec![
+            node(0, 256, 32, true),
+            node(1, 256, 32, true),
+            node(2, 256, 32, false),
+            node(3, 128, 32, true),
+        ];
+        let plan = plan(&chain, &mock(), big(), PipelineOpts::default()).unwrap();
+        let segs: Vec<_> = plan.segments().collect();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].ids, vec![0, 1]);
+        assert_eq!(segs[1].ids, vec![2, 3]);
+        assert_eq!(plan.staged_nodes, 0);
+    }
+
+    #[test]
+    fn stage_cap_chunks_long_runs_evenly() {
+        let chain: Vec<_> = (0..6).map(|i| node(i, 256, 32, true)).collect();
+        let opts = PipelineOpts {
+            max_stages: 4,
+            ..Default::default()
+        };
+        let plan = plan(&chain, &mock(), big(), opts).unwrap();
+        let sizes: Vec<_> = plan.segments().map(|s| s.ids.len()).collect();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn over_budget_demotes_the_cheaper_dram_edge_first() {
+        // Four stages cost 32 DSPs; budget allows 3 stages + the staged
+        // pool. The tail edge (node 2 -> 3) carries fewer elements than the
+        // head edge (node 0 -> 1), so node 3 is demoted.
+        let chain = vec![
+            node(0, 4096, 32, true),
+            node(1, 2048, 32, true),
+            node(2, 64, 32, true),
+            node(3, 10, 64, true),
+        ];
+        let budget = Resources {
+            alut: 1 << 20,
+            ff: 1 << 21,
+            ram: 1 << 16,
+            dsp: 30,
+        };
+        let plan = plan(&chain, &mock(), budget, PipelineOpts::default()).unwrap();
+        assert_eq!(plan.pipelined_nodes, 3);
+        assert_eq!(plan.staged_nodes, 1);
+        let segs: Vec<_> = plan.segments().collect();
+        assert_eq!(segs[0].ids, vec![0, 1, 2]);
+        assert_eq!(plan.fallbacks.len(), 1);
+        assert_eq!(plan.fallbacks[0].nodes, vec!["n3".to_string()]);
+        match &plan.fallbacks[0].reason {
+            FallbackReason::OverBudget(over) => {
+                assert_eq!(over.limiting, "DSP blocks");
+                assert!(over.requested.dsp > over.available.dsp);
+            }
+            other => panic!("expected an over-budget reason, got {other:?}"),
+        }
+        assert!(plan.over_budget.is_none());
+    }
+
+    #[test]
+    fn hopeless_budget_degrades_to_fully_staged_with_a_report() {
+        let chain: Vec<_> = (0..4).map(|i| node(i, 256, 32, true)).collect();
+        let budget = Resources {
+            alut: 60,
+            ff: 120,
+            ram: 3,
+            dsp: 2,
+        };
+        let plan = plan(&chain, &mock(), budget, PipelineOpts::default()).unwrap();
+        assert_eq!(plan.pipelined_nodes, 0);
+        assert_eq!(plan.staged_nodes, 4);
+        assert_eq!(plan.items.len(), 1);
+        assert!(matches!(plan.items[0], PlanItem::Staged(ref ids) if ids.len() == 4));
+        assert!(plan.over_budget.is_some());
+        assert!(!plan.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn channel_accounting_covers_only_internal_edges() {
+        let chain = vec![
+            node(0, 100, 8, true),
+            node(1, 50, 8, true),
+            node(2, 25, 8, false), // breaks the run
+            node(3, 12, 8, true),
+        ];
+        let plan = plan(&chain, &mock(), big(), PipelineOpts::default()).unwrap();
+        // Internal edges: 0->1 (100 elems) and 2->3 (25 elems).
+        assert_eq!(plan.channel_elems, 125);
+        // Edge 0->1: two 8-element fill windows of node 1.
+        assert_eq!(plan.max_channel_depth(), 16);
+    }
+}

@@ -36,6 +36,6 @@ pub mod stats;
 pub mod timeline;
 
 pub use profile::Breakdown;
-pub use sim::{EventId, EventKind, EventRetention, QueueId, Sim, SimEvent};
+pub use sim::{ChannelCoupling, EventId, EventKind, EventRetention, QueueId, Sim, SimEvent};
 pub use stats::{quantile_sorted, LatencyQuantiles};
 pub use timeline::{export_events, record_event};

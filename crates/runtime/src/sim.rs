@@ -52,6 +52,56 @@ impl SimEvent {
     }
 }
 
+/// A channel-FIFO coupling between a producer stage and the stage being
+/// enqueued (§4.6). Where the plain `piped` dependency only says "may
+/// overlap, cannot finish first", a coupling also models the FIFO itself:
+///
+/// * **Fill latency** — the consumer's first output needs `fill` elements
+///   of lookahead (a convolution needs its first `F` input rows, a dense
+///   layer the whole vector), so it starts `fill / produced` of the
+///   producer's runtime after the producer starts.
+/// * **Drain latency** — the consumer cannot finish before the producer's
+///   last channel write has landed.
+/// * **Refill stalls** — a FIFO shallower than *two* consumer fill windows
+///   cannot double-buffer the producer's next burst against the window
+///   being drained; the consumer idles between windows and its occupancy
+///   stretches by `(2·fill − depth) / produced` of its runtime. The
+///   planner trades FIFO BRAM against this stall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelCoupling {
+    /// The producer stage's event.
+    pub producer: EventId,
+    /// FIFO depth in elements (`__attribute__((depth(N)))`).
+    pub depth: usize,
+    /// Elements the producer writes to the channel in total.
+    pub produced: usize,
+    /// Elements the consumer must see before emitting its first output.
+    pub fill: usize,
+}
+
+impl ChannelCoupling {
+    /// Fraction of the producer's runtime before the consumer can start.
+    fn fill_frac(&self) -> f64 {
+        let produced = self.produced.max(1);
+        self.fill.min(produced) as f64 / produced as f64
+    }
+
+    /// Fraction of the consumer's runtime lost to FIFO refill stalls. A
+    /// channel shallower than *two* consumer fill windows cannot
+    /// double-buffer the producer's next burst against the window being
+    /// drained, so the consumer repeatedly idles waiting for refills; its
+    /// occupancy stretches by `(2·fill − depth) / produced` of its runtime.
+    /// Zero once the FIFO holds two windows (or the whole feature map).
+    fn stall_frac(&self) -> f64 {
+        let produced = self.produced.max(1);
+        let smooth = (2 * self.fill).min(produced);
+        if self.depth >= smooth {
+            return 0.0;
+        }
+        (smooth - self.depth) as f64 / produced as f64
+    }
+}
+
 /// How many completed events the simulation keeps addressable.
 ///
 /// Profiling-style analyses walk the full timeline, but a serving process
@@ -398,6 +448,99 @@ impl Sim {
         })
     }
 
+    /// Timing floors imposed by a channel coupling: `(start floor, end
+    /// floor, stall seconds added to the consumer's occupancy)`.
+    fn coupling_floors(&self, c: &ChannelCoupling, consumer_dur: f64) -> (f64, f64, f64) {
+        let p = self.event(c.producer);
+        let p_dur = p.duration();
+        // Fill: the consumer's first window must have streamed in.
+        let start_floor = p.start + (p_dur * c.fill_frac()).max(1e-7);
+        // Drain: the consumer cannot finish before the producer's last
+        // channel write has landed.
+        let end_floor = p.end + 1e-7;
+        // Refill stalls: a FIFO shallower than two fill windows cannot
+        // overlap the producer's next burst with the window being drained;
+        // the consumer idles between windows, stretching its occupancy.
+        // With compute-unit exclusivity this delays the *next* image's
+        // instance of the consumer — the depth/throughput trade-off.
+        (start_floor, end_floor, c.stall_frac() * consumer_dur)
+    }
+
+    /// Enqueues a kernel stage channel-coupled to `coupling.producer`
+    /// (§4.6): overlapped execution gated by the FIFO's fill latency, with
+    /// refill stalls when the FIFO is shallower than two consumer windows.
+    /// `after` carries any additional global-memory dependencies.
+    pub fn enqueue_piped(
+        &mut self,
+        queue: QueueId,
+        report: &KernelReport,
+        binding: &Binding,
+        after: &[EventId],
+        coupling: ChannelCoupling,
+    ) -> EventId {
+        let queued = self.host_clock;
+        self.host_clock += self.host_enqueue_cost();
+        let (dep_start, _) = self.dep_floor(after, &[]);
+        let submit = self.host_clock;
+        let dispatch_ready = submit + self.calib.task_overhead(self.device.platform);
+        let dur = self.kernel_duration(report, binding);
+        let (fill_floor, end_floor, stall) = self.coupling_floors(&coupling, dur);
+        let busy = self.kernel_busy.get(&report.name).copied().unwrap_or(0.0);
+        let start = dispatch_ready
+            .max(dep_start)
+            .max(fill_floor)
+            .max(busy)
+            .max(self.queue_last_end[queue]);
+        let mut end = (start + dur + stall).max(end_floor);
+        if self.fault.is_enabled() {
+            if let Some(hang_s) = self.fault.hang_before(&self.fault_target, end) {
+                end = start.max(hang_s) + HANG_WATCHDOG_S;
+            }
+        }
+        self.queue_last_end[queue] = end;
+        self.kernel_busy.insert(report.name.clone(), end);
+        self.push(SimEvent {
+            name: report.name.clone(),
+            kind: EventKind::Kernel,
+            queue: Some(queue),
+            queued,
+            submit,
+            start,
+            end,
+        })
+    }
+
+    /// Registers an autorun stage channel-coupled to its producer: the
+    /// [`Sim::autorun_stage`] semantics (no host cost, no dispatch latency)
+    /// under the [`ChannelCoupling`] fill/drain/stall model.
+    pub fn autorun_coupled(
+        &mut self,
+        report: &KernelReport,
+        binding: &Binding,
+        coupling: ChannelCoupling,
+    ) -> EventId {
+        let dur = self.kernel_duration(report, binding);
+        let (fill_floor, end_floor, stall) = self.coupling_floors(&coupling, dur);
+        let busy = self.kernel_busy.get(&report.name).copied().unwrap_or(0.0);
+        let start = fill_floor.max(busy);
+        let mut end = (start + dur + stall).max(end_floor);
+        if self.fault.is_enabled() {
+            if let Some(hang_s) = self.fault.hang_before(&self.fault_target, end) {
+                end = start.max(hang_s) + HANG_WATCHDOG_S;
+            }
+        }
+        self.kernel_busy.insert(report.name.clone(), end);
+        self.push(SimEvent {
+            name: report.name.clone(),
+            kind: EventKind::Autorun,
+            queue: None,
+            queued: start,
+            submit: start,
+            start,
+            end,
+        })
+    }
+
     /// Registers an autorun stage (§4.7): no host cost, no dispatch latency;
     /// it begins when its channel producers begin and runs its duration.
     pub fn autorun_stage(
@@ -544,6 +687,118 @@ mod tests {
         let e2 = sim.enqueue_kernel(q2, &rb, &Binding::empty(), &[], &[e1]);
         assert!(sim.event(e2).start < sim.event(e1).end, "overlap expected");
         assert!(sim.event(e2).end > sim.event(e1).end, "cannot finish first");
+    }
+
+    #[test]
+    fn coupled_stage_starts_after_the_fill_window() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let p = (sim.event(e1).start, sim.event(e1).end);
+        let dur_p = p.1 - p.0;
+        // The consumer needs a quarter of the feature map before its first
+        // output: it starts a quarter of the producer's runtime in.
+        let e2 = sim.enqueue_piped(
+            q2,
+            &rb,
+            &Binding::empty(),
+            &[],
+            ChannelCoupling {
+                producer: e1,
+                depth: 1000,
+                produced: 1000,
+                fill: 250,
+            },
+        );
+        let c = sim.event(e2);
+        assert!(c.start >= p.0 + 0.25 * dur_p - 1e-12, "fill gating");
+        assert!(c.start < p.1, "still overlaps the producer");
+        assert!(c.end > p.1, "cannot finish before the producer");
+    }
+
+    #[test]
+    fn shallow_fifo_backpressures_the_next_image() {
+        // Two images through a 2-stage coupled pipeline; the deep FIFO
+        // decouples the producer, the shallow one stalls it, so the deep
+        // pipeline finishes strictly earlier.
+        let run = |depth: usize| {
+            let (mut sim, ra, rb) = setup();
+            let q1 = sim.create_queue();
+            let q2 = sim.create_queue();
+            let mut last = 0.0;
+            for _ in 0..4 {
+                let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+                let e2 = sim.enqueue_piped(
+                    q2,
+                    &rb,
+                    &Binding::empty(),
+                    &[],
+                    ChannelCoupling {
+                        producer: e1,
+                        depth,
+                        produced: 4096,
+                        fill: 64,
+                    },
+                );
+                last = sim.event(e2).end;
+            }
+            last
+        };
+        let deep = run(4096);
+        let shallow = run(64);
+        assert!(
+            shallow > deep,
+            "shallow FIFO must stall the pipeline: {shallow} <= {deep}"
+        );
+    }
+
+    #[test]
+    fn autorun_coupled_has_no_host_cost_and_respects_the_fill() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let before = sim.now();
+        let e2 = sim.autorun_coupled(
+            &rb,
+            &Binding::empty(),
+            ChannelCoupling {
+                producer: e1,
+                depth: 512,
+                produced: 1024,
+                fill: 512,
+            },
+        );
+        assert_eq!(sim.now(), before, "autorun stages cost the host nothing");
+        let (p, c) = (sim.event(e1).clone(), sim.event(e2).clone());
+        assert!(c.start >= p.start + 0.5 * p.duration() - 1e-12);
+        assert!(c.end > p.end);
+        assert_eq!(c.kind, EventKind::Autorun);
+    }
+
+    #[test]
+    fn full_depth_coupling_leaves_the_producer_unstalled() {
+        let (mut sim, ra, rb) = setup();
+        let q1 = sim.create_queue();
+        let q2 = sim.create_queue();
+        let e1 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        let p_end = sim.event(e1).end;
+        sim.enqueue_piped(
+            q2,
+            &rb,
+            &Binding::empty(),
+            &[],
+            ChannelCoupling {
+                producer: e1,
+                depth: 2048,
+                produced: 2048,
+                fill: 1,
+            },
+        );
+        // Next instance of the producer starts right at its own end (plus
+        // queue order), not at the consumer's pace.
+        let e3 = sim.enqueue_kernel(q1, &ra, &Binding::empty(), &[], &[]);
+        assert!((sim.event(e3).start - p_end).abs() < 1e-9);
     }
 
     #[test]

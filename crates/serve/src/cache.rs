@@ -236,6 +236,43 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_depth_policies_key_distinct_deployments() {
+        use fpgaccel_core::TilingPreset;
+        use fpgaccel_pipeline::{DepthPolicy, PipelineOpts};
+
+        let mut c = DeploymentCache::new();
+        let base = OptimizationConfig::dataflow(TilingPreset::Naive);
+        // Same label, different planner knobs: the config's structural
+        // (Debug) keying must keep the deployments apart — a serving pool
+        // rolling out a retuned FIFO policy must not get the old bitstream.
+        let mut shallow = base.clone();
+        shallow.pipeline = PipelineOpts {
+            depth: DepthPolicy::FillMultiple(1),
+            max_stages: 32,
+        };
+        let mut deep = base.clone();
+        deep.pipeline = PipelineOpts {
+            depth: DepthPolicy::Full,
+            max_stages: 32,
+        };
+        assert_eq!(shallow.label, deep.label);
+        let a = c
+            .get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &shallow)
+            .unwrap();
+        let b = c
+            .get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &deep)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses(), c.len()), (0, 2, 2));
+        // Re-requesting either policy hits its own entry.
+        let a2 = c
+            .get_or_compile(Model::LeNet5, FpgaPlatform::Stratix10Sx, &shallow)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
     fn second_compile_is_at_least_10x_faster() {
         // The acceptance-criteria wall-clock check: a cache hit must beat
         // recompilation by an order of magnitude.

@@ -272,10 +272,12 @@ impl<'a> Cx<'a> {
                 let leaf = self.leaf_for(Some((buf, idx)), val);
                 vec![leaf]
             }
-            Stmt::WriteChannel { val, .. } => {
+            Stmt::WriteChannel { chan, val } => {
                 let mut leaf = self.leaf_for(None, val);
                 if let NestNode::Leaf { channel_ops, .. } = &mut leaf {
-                    *channel_ops += self.unroll_factor();
+                    // Unrolled writes to a vectorized channel coalesce into
+                    // `width`-element words, one transaction per cycle.
+                    *channel_ops += self.unroll_factor().div_ceil(self.chan_width(chan));
                 }
                 vec![leaf]
             }
@@ -286,7 +288,8 @@ impl<'a> Cx<'a> {
         let unroll = self.unroll_factor();
         let mut ops = OpCounts::default();
         let mut load_sites: Vec<(String, IExpr)> = Vec::new();
-        let mut channel_reads = 0u64;
+        let mut reads_by_chan: std::collections::HashMap<String, u64> =
+            std::collections::HashMap::new();
         val.visit(&mut |e| match e {
             VExpr::Bin(op, _, _) => match op {
                 VBinOp::Mul => ops.fmul += 1,
@@ -296,7 +299,7 @@ impl<'a> Cx<'a> {
             },
             VExpr::Exp(_) => ops.fexp += 1,
             VExpr::Load { buf, idx } => load_sites.push((buf.clone(), idx.clone())),
-            VExpr::ReadChannel(_) => channel_reads += 1,
+            VExpr::ReadChannel(c) => *reads_by_chan.entry(c.clone()).or_default() += 1,
             _ => {}
         });
         self.facts.ops.add_scaled(ops, unroll);
@@ -370,15 +373,30 @@ impl<'a> Cx<'a> {
 
         let mut scaled = OpCounts::default();
         scaled.add_scaled(ops, unroll);
+        // Per-channel reads coalesce into `width`-element vector pops.
+        let channel_ops = reads_by_chan
+            .iter()
+            .map(|(c, n)| (n * unroll).div_ceil(self.chan_width(c)))
+            .sum();
         NestNode::Leaf {
             unroll,
             accum,
             global_load_bufs,
             global_store_bufs,
             mem,
-            channel_ops: channel_reads * unroll,
+            channel_ops,
             ops: scaled,
         }
+    }
+
+    fn chan_width(&self, name: &str) -> u64 {
+        self.kernel
+            .chan_in
+            .iter()
+            .chain(&self.kernel.chan_out)
+            .find(|c| c.name == name)
+            .map(|c| c.width.max(1) as u64)
+            .unwrap_or(1)
     }
 
     fn buf_scope(&self, name: &str) -> Option<Scope> {

@@ -27,14 +27,21 @@ pub fn emit_program(kernels: &[&Kernel]) -> String {
     if !chans.is_empty() {
         out.push_str("#pragma OPENCL EXTENSION cl_intel_channels : enable\n\n");
         for c in &chans {
-            if c.depth > 0 {
+            let ty = if c.width > 1 {
+                format!("float{}", c.width)
+            } else {
+                "float".to_string()
+            };
+            // The depth attribute counts channel words, not elements.
+            let words = c.depth.div_ceil(c.width.max(1));
+            if words > 0 {
                 let _ = writeln!(
                     out,
-                    "channel float {} __attribute__((depth({})));",
-                    c.name, c.depth
+                    "channel {ty} {} __attribute__((depth({words})));",
+                    c.name
                 );
             } else {
-                let _ = writeln!(out, "channel float {};", c.name);
+                let _ = writeln!(out, "channel {ty} {};", c.name);
             }
         }
         out.push('\n');
@@ -245,14 +252,8 @@ mod tests {
             },
         );
         k.mark_autorun();
-        k.chan_in.push(ChannelDecl {
-            name: "c0".into(),
-            depth: 0,
-        });
-        k.chan_out.push(ChannelDecl {
-            name: "c1".into(),
-            depth: 8,
-        });
+        k.chan_in.push(ChannelDecl::scalar("c0", 0));
+        k.chan_out.push(ChannelDecl::scalar("c1", 8));
         let src = emit_program(&[&k]);
         assert!(src.contains("__attribute__((max_global_work_dim(0)))"));
         assert!(src.contains("__attribute__((autorun))"));

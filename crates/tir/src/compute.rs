@@ -38,24 +38,47 @@ pub enum IoMode {
         name: String,
         /// FIFO depth in elements.
         depth: usize,
+        /// Elements per channel word (vectorized `floatN` channels); the
+        /// kernel's pop/emit loops unroll by this factor when it divides
+        /// their trip counts.
+        width: usize,
     },
 }
 
 impl IoMode {
-    /// Channel helper.
+    /// Scalar channel helper.
     pub fn channel(name: impl Into<String>, depth: usize) -> IoMode {
         IoMode::Channel {
             name: name.into(),
             depth,
+            width: 1,
+        }
+    }
+
+    /// Vectorized channel helper (`width` elements per channel word).
+    pub fn channel_wide(name: impl Into<String>, depth: usize, width: usize) -> IoMode {
+        IoMode::Channel {
+            name: name.into(),
+            depth,
+            width: width.max(1),
+        }
+    }
+
+    /// Elements per channel word (1 for global I/O and scalar channels).
+    pub fn width(&self) -> usize {
+        match self {
+            IoMode::Global => 1,
+            IoMode::Channel { width, .. } => (*width).max(1),
         }
     }
 
     fn decl(&self) -> Option<ChannelDecl> {
         match self {
             IoMode::Global => None,
-            IoMode::Channel { name, depth } => Some(ChannelDecl {
+            IoMode::Channel { name, depth, width } => Some(ChannelDecl {
                 name: name.clone(),
                 depth: *depth,
+                width: (*width).max(1),
             }),
         }
     }
@@ -292,6 +315,66 @@ pub fn conv2d(spec: &ConvSpec) -> Kernel {
     }
 }
 
+/// §4.6 channel-input staging loop: pops the whole input into a local
+/// cache. On a vectorized channel whose width divides the (constant)
+/// length, the loop splits into `len/width` wide pops — one channel word
+/// per cycle — matching the `floatN` channel the kernel declares.
+fn stage_in(cache: &str, len: &IExpr, chan: &str, width: usize) -> Stmt {
+    if let IExpr::Const(n) = len {
+        if width > 1 && (*n as usize).is_multiple_of(width) {
+            let w = IExpr::Const(width as i64);
+            return Stmt::for_(
+                "i0",
+                IExpr::Const(n / width as i64),
+                Stmt::unrolled(
+                    "i0u",
+                    w.clone(),
+                    Stmt::store(
+                        cache,
+                        IExpr::var("i0").mul(w).add(IExpr::var("i0u")),
+                        VExpr::ReadChannel(chan.to_string()),
+                    ),
+                ),
+            );
+        }
+    }
+    Stmt::for_(
+        "i0",
+        len.clone(),
+        Stmt::store(
+            cache,
+            IExpr::var("i0"),
+            VExpr::ReadChannel(chan.to_string()),
+        ),
+    )
+}
+
+/// A loop over `extent` elements, split into `extent/v` blocks of `v`
+/// unrolled iterations when `v` divides it (vectorized channel access);
+/// plain pipelined loop otherwise. `body` receives the element index.
+fn vec_loop(prefix: &str, extent: usize, v: usize, body: impl Fn(IExpr) -> Stmt) -> Stmt {
+    let outer = format!("{prefix}o");
+    let inner = format!("{prefix}u");
+    if v > 1 && extent.is_multiple_of(v) {
+        let vc = IExpr::Const(v as i64);
+        Stmt::for_(
+            &outer,
+            IExpr::Const((extent / v) as i64),
+            Stmt::unrolled(
+                &inner,
+                vc.clone(),
+                body(IExpr::var(&outer).mul(vc).add(IExpr::var(&inner))),
+            ),
+        )
+    } else {
+        Stmt::for_(
+            &outer,
+            IExpr::Const(extent as i64),
+            body(IExpr::var(&outer)),
+        )
+    }
+}
+
 /// Shared buffer/channel scaffolding for convolution kernels. Returns the
 /// kernel shell plus the name of the buffer input loads should target.
 fn conv_shell(spec: &ConvSpec) -> (Kernel, String) {
@@ -304,19 +387,11 @@ fn conv_shell(spec: &ConvSpec) -> (Kernel, String) {
                 .push(BufferDecl::global("in_fm", BufRole::Input, d.in_len()));
             "in_fm".to_string()
         }
-        IoMode::Channel { .. } => {
+        IoMode::Channel { name, width, .. } => {
             // §4.6: channel data must be staged into local memory for re-use.
             k.bufs.push(BufferDecl::local("in_cache", d.in_len()));
             k.chan_in.push(spec.io_in.decl().unwrap());
-            let chan = match &spec.io_in {
-                IoMode::Channel { name, .. } => name.clone(),
-                IoMode::Global => unreachable!(),
-            };
-            pre.push(Stmt::for_(
-                "i0",
-                d.in_len(),
-                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(chan)),
-            ));
+            pre.push(stage_in("in_cache", &d.in_len(), name, *width));
             "in_cache".to_string()
         }
     };
@@ -777,18 +852,10 @@ pub fn dense(spec: &DenseSpec) -> Kernel {
                 .push(BufferDecl::global("in_v", BufRole::Input, n_len.clone()));
             "in_v".to_string()
         }
-        IoMode::Channel { name, .. } => {
+        IoMode::Channel { name, width, .. } => {
             k.bufs.push(BufferDecl::local("in_cache", n_len.clone()));
             k.chan_in.push(spec.io_in.decl().unwrap());
-            pre.push(Stmt::for_(
-                "i0",
-                n_len.clone(),
-                Stmt::store(
-                    "in_cache",
-                    IExpr::var("i0"),
-                    VExpr::ReadChannel(name.clone()),
-                ),
-            ));
+            pre.push(stage_in("in_cache", &n_len, name, *width));
             "in_cache".to_string()
         }
     };
@@ -917,14 +984,12 @@ pub fn softmax(name: &str, n: usize, io_in: IoMode, io_out: IoMode, optimized: b
                 .push(BufferDecl::global("in_v", BufRole::Input, n_e.clone()));
             "in_v".to_string()
         }
-        IoMode::Channel { name: cn, .. } => {
+        IoMode::Channel {
+            name: cn, width, ..
+        } => {
             k.bufs.push(BufferDecl::local("in_cache", n_e.clone()));
             k.chan_in.push(io_in.decl().unwrap());
-            pre.push(Stmt::for_(
-                "i0",
-                n_e.clone(),
-                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
-            ));
+            pre.push(stage_in("in_cache", &n_e, cn, *width));
             "in_cache".to_string()
         }
     };
@@ -1069,14 +1134,12 @@ pub fn pool(
                 .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
             "in_fm".to_string()
         }
-        IoMode::Channel { name: cn, .. } => {
+        IoMode::Channel {
+            name: cn, width, ..
+        } => {
             k.bufs.push(BufferDecl::local("in_cache", in_len.clone()));
             k.chan_in.push(io_in.decl().unwrap());
-            pre.push(Stmt::for_(
-                "i0",
-                in_len,
-                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
-            ));
+            pre.push(stage_in("in_cache", &in_len, cn, *width));
             "in_cache".to_string()
         }
     };
@@ -1184,14 +1247,12 @@ pub fn pad(
                 .push(BufferDecl::global("in_fm", BufRole::Input, in_len));
             "in_fm".to_string()
         }
-        IoMode::Channel { name: cn, .. } => {
+        IoMode::Channel {
+            name: cn, width, ..
+        } => {
             k.bufs.push(BufferDecl::local("in_cache", in_len.clone()));
             k.chan_in.push(io_in.decl().unwrap());
-            pre.push(Stmt::for_(
-                "i0",
-                in_len,
-                Stmt::store("in_cache", IExpr::var("i0"), VExpr::ReadChannel(cn.clone())),
-            ));
+            pre.push(stage_in("in_cache", &in_len, cn, *width));
             "in_cache".to_string()
         }
     };
@@ -1328,6 +1389,349 @@ pub fn copy(name: &str, n: usize, io_in: IoMode, io_out: IoMode) -> Kernel {
     k
 }
 
+fn const_dim(d: &Dim, what: &str) -> usize {
+    match d {
+        Dim::Const(v) => *v,
+        Dim::Sym(s) => panic!("streaming kernels need constant dims, {what} is symbolic `{s}`"),
+    }
+}
+
+/// Streaming depthwise convolution (the dataflow-pipeline variant of §4.6):
+/// instead of staging the whole input feature map into local memory, the
+/// kernel keeps a ring buffer of the last `F` input rows (`F x W_1`
+/// elements). Depthwise convolution touches each input channel
+/// independently, and the channel stream arrives in c-major row-major
+/// order, so `F` rows are all the reuse window a stage ever needs — this is
+/// what lets large-fmap depthwise stages fit in BRAM and pipeline.
+///
+/// Per channel the kernel pops exactly `H_1 x W_1` elements: `F - S`
+/// prologue rows, `S` rows per output row, and a drain of any input rows
+/// below the last window (strided layers whose input is larger than
+/// `S*(H_2-1)+F`).
+///
+/// # Panics
+/// Panics if the spec is not depthwise, the input is not a channel, any
+/// dim is symbolic, or `S > F` (the ring would overwrite live rows).
+pub fn conv2d_dw_stream(spec: &ConvSpec) -> Kernel {
+    assert!(spec.depthwise, "conv2d_dw_stream requires a depthwise spec");
+    let d = &spec.dims;
+    let c = const_dim(&d.c2, "c2");
+    assert_eq!(c, const_dim(&d.c1, "c1"), "depthwise c2 == c1");
+    let h2 = const_dim(&d.h2, "h2");
+    let w2 = const_dim(&d.w2, "w2");
+    let h1 = const_dim(&d.h1, "h1");
+    let w1 = const_dim(&d.w1, "w1");
+    let (f, s) = (d.f, d.s);
+    assert!(
+        s <= f,
+        "stride {s} > filter {f}: ring rows would be overwritten live"
+    );
+    let chan = match &spec.io_in {
+        IoMode::Channel { name, .. } => name.clone(),
+        IoMode::Global => panic!("conv2d_dw_stream requires channel input"),
+    };
+
+    let mut k = Kernel::new(spec.name.clone(), Stmt::Block(vec![]));
+    k.chan_in.push(spec.io_in.decl().unwrap());
+    k.bufs
+        .push(BufferDecl::local("ring", IExpr::Const((f * w1) as i64)));
+    k.bufs.push(BufferDecl::global(
+        "w",
+        BufRole::Weights,
+        d.weight_len(true),
+    ));
+    spec.epilogue
+        .push_bufs(&mut k.bufs, &IExpr::dim(&d.c2), &d.out_len());
+    if spec.io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_fm", BufRole::Output, d.out_len()));
+    } else {
+        k.chan_out.push(spec.io_out.decl().unwrap());
+    }
+    k.bufs.push(BufferDecl::private("acc", IExpr::Const(1)));
+
+    // Vectorized-channel factors: pops unroll by the input word width,
+    // output columns by the output word width (both divide their rows by
+    // the planner's width choice; `vec_loop` degrades to scalar otherwise).
+    let v_in = spec.io_in.width();
+    let v_out = spec.io_out.width();
+    let w1c = IExpr::Const(w1 as i64);
+    let fc = IExpr::Const(f as i64);
+    let read = |row: IExpr, col: IExpr| {
+        Stmt::store(
+            "ring",
+            row.mul(w1c.clone()).add(col),
+            VExpr::ReadChannel(chan.clone()),
+        )
+    };
+    // Prologue: the first F-S input rows land at ring rows 0..F-S directly.
+    let prologue = Stmt::for_(
+        "pr",
+        IExpr::Const((f - s) as i64),
+        vec_loop("px", w1, v_in, |x| read(IExpr::var("pr"), x)),
+    );
+    // Per output row: pop S fresh rows into ring slot (F-S + oy*S + sr) mod F.
+    let fresh_row = IExpr::var("oy")
+        .mul(IExpr::Const(s as i64))
+        .add(IExpr::Const((f - s) as i64))
+        .add(IExpr::var("sr"))
+        .rem(fc.clone());
+    let fill = Stmt::for_(
+        "sr",
+        IExpr::Const(s as i64),
+        vec_loop("sx", w1, v_in, |x| read(fresh_row.clone(), x)),
+    );
+    // The F x F window over ring rows (oy*S + kh) mod F, columns ox*S + kw.
+    let compute = vec_loop("ox", w2, v_out, |ox| {
+        let ring_idx = IExpr::var("oy")
+            .mul(IExpr::Const(s as i64))
+            .add(IExpr::var("kh"))
+            .rem(fc.clone())
+            .mul(w1c.clone())
+            .add(ox.clone().mul(IExpr::Const(s as i64)).add(IExpr::var("kw")));
+        let w_idx = IExpr::var("ch")
+            .mul(IExpr::Const((f * f) as i64))
+            .add(IExpr::var("kh").mul(fc.clone()).add(IExpr::var("kw")));
+        let macc = Stmt::store(
+            "acc",
+            IExpr::Const(0),
+            VExpr::load("acc", IExpr::Const(0))
+                .add(VExpr::load("ring", ring_idx).mul(VExpr::load("w", w_idx))),
+        );
+        let o_idx = out_idx(d, IExpr::var("ch"), IExpr::var("oy"), ox);
+        let result = spec.epilogue.apply(
+            VExpr::load("acc", IExpr::Const(0)),
+            &IExpr::var("ch"),
+            &o_idx,
+        );
+        Stmt::block(vec![
+            Stmt::store("acc", IExpr::Const(0), VExpr::Const(0.0)),
+            Stmt::unrolled(
+                "kh",
+                IExpr::Const(f as i64),
+                Stmt::unrolled("kw", IExpr::Const(f as i64), macc),
+            ),
+            emit_out(spec, o_idx.clone(), result),
+        ])
+    });
+    let rows = Stmt::for_(
+        "oy",
+        IExpr::Const(h2 as i64),
+        Stmt::block(vec![fill, compute]),
+    );
+    // Drain rows the last window never covers, so the next channel's data
+    // starts aligned (channel pops must total exactly H1*W1 per channel).
+    let extra = h1 - ((f - s) + h2 * s);
+    let drain = Stmt::for_(
+        "dr",
+        IExpr::Const(extra as i64),
+        vec_loop("dx", w1, v_in, |x| read(IExpr::Const(0), x)),
+    );
+    k.body = Stmt::for_(
+        "ch",
+        IExpr::Const(c as i64),
+        Stmt::block(vec![prologue, rows, drain]),
+    );
+    k
+}
+
+/// Streaming pooling: the row-ring analogue of [`conv2d_dw_stream`] for
+/// max/avg pooling. Channel-in is required; with channel-out the kernel has
+/// no global buffers and is autorun-eligible.
+///
+/// # Panics
+/// Panics if the input is not a channel or `stride > window`.
+#[allow(clippy::too_many_arguments)]
+pub fn pool_stream(
+    name: &str,
+    kind: PoolKind,
+    c: usize,
+    h1: usize,
+    w1: usize,
+    window: usize,
+    stride: usize,
+    io_in: IoMode,
+    io_out: IoMode,
+) -> Kernel {
+    let (f, s) = (window, stride);
+    assert!(
+        s <= f,
+        "stride {s} > window {f}: ring rows would be overwritten live"
+    );
+    let h2 = (h1 - f) / s + 1;
+    let w2 = (w1 - f) / s + 1;
+    let chan = match &io_in {
+        IoMode::Channel { name: cn, .. } => cn.clone(),
+        IoMode::Global => panic!("pool_stream requires channel input"),
+    };
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    k.chan_in.push(io_in.decl().unwrap());
+    k.bufs
+        .push(BufferDecl::local("ring", IExpr::Const((f * w1) as i64)));
+    if io_out == IoMode::Global {
+        k.bufs.push(BufferDecl::global(
+            "out_fm",
+            BufRole::Output,
+            IExpr::Const((c * h2 * w2) as i64),
+        ));
+    } else {
+        k.chan_out.push(io_out.decl().unwrap());
+    }
+    k.bufs.push(BufferDecl::private("acc", IExpr::Const(1)));
+
+    let v_in = io_in.width();
+    let v_out = io_out.width();
+    let w1c = IExpr::Const(w1 as i64);
+    let fc = IExpr::Const(f as i64);
+    let read = |row: IExpr, col: IExpr| {
+        Stmt::store(
+            "ring",
+            row.mul(w1c.clone()).add(col),
+            VExpr::ReadChannel(chan.clone()),
+        )
+    };
+    let prologue = Stmt::for_(
+        "pr",
+        IExpr::Const((f - s) as i64),
+        vec_loop("px", w1, v_in, |x| read(IExpr::var("pr"), x)),
+    );
+    let fresh_row = IExpr::var("oy")
+        .mul(IExpr::Const(s as i64))
+        .add(IExpr::Const((f - s) as i64))
+        .add(IExpr::var("sr"))
+        .rem(fc.clone());
+    let fill = Stmt::for_(
+        "sr",
+        IExpr::Const(s as i64),
+        vec_loop("sx", w1, v_in, |x| read(fresh_row.clone(), x)),
+    );
+    let compute = vec_loop("ox", w2, v_out, |ox| {
+        let ring_idx = IExpr::var("oy")
+            .mul(IExpr::Const(s as i64))
+            .add(IExpr::var("kh"))
+            .rem(fc.clone())
+            .mul(w1c.clone())
+            .add(ox.clone().mul(IExpr::Const(s as i64)).add(IExpr::var("kw")));
+        let reduce = match kind {
+            PoolKind::Max => Stmt::store(
+                "acc",
+                IExpr::Const(0),
+                VExpr::load("acc", IExpr::Const(0)).max(VExpr::load("ring", ring_idx)),
+            ),
+            PoolKind::Avg => Stmt::store(
+                "acc",
+                IExpr::Const(0),
+                VExpr::load("acc", IExpr::Const(0)).add(VExpr::load("ring", ring_idx)),
+            ),
+        };
+        let init_val = match kind {
+            PoolKind::Max => VExpr::Const(f32::MIN),
+            PoolKind::Avg => VExpr::Const(0.0),
+        };
+        let result = match kind {
+            PoolKind::Max => VExpr::load("acc", IExpr::Const(0)),
+            PoolKind::Avg => VExpr::load("acc", IExpr::Const(0)).div(VExpr::Const((f * f) as f32)),
+        };
+        let o_idx = IExpr::var("ch")
+            .mul(IExpr::Const((h2 * w2) as i64))
+            .add(IExpr::var("oy").mul(IExpr::Const(w2 as i64)))
+            .add(ox);
+        let emit = match &io_out {
+            IoMode::Global => Stmt::store("out_fm", o_idx, result),
+            IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+                chan: cn.clone(),
+                val: result,
+            },
+        };
+        Stmt::block(vec![
+            Stmt::store("acc", IExpr::Const(0), init_val),
+            Stmt::unrolled(
+                "kh",
+                IExpr::Const(f as i64),
+                Stmt::unrolled("kw", IExpr::Const(f as i64), reduce),
+            ),
+            emit,
+        ])
+    });
+    let rows = Stmt::for_(
+        "oy",
+        IExpr::Const(h2 as i64),
+        Stmt::block(vec![fill, compute]),
+    );
+    let extra = h1 - ((f - s) + h2 * s);
+    let drain = Stmt::for_(
+        "dr",
+        IExpr::Const(extra as i64),
+        vec_loop("dx", w1, v_in, |x| read(IExpr::Const(0), x)),
+    );
+    k.body = Stmt::for_(
+        "ch",
+        IExpr::Const(c as i64),
+        Stmt::block(vec![prologue, rows, drain]),
+    );
+    k
+}
+
+/// Streaming zero-padding: needs no buffering at all. The output scan order
+/// (c-major, row-major) visits in-bounds positions in exactly the input
+/// stream order, so a guarded select pops the channel precisely when the
+/// position is interior — `C*H*W` pops for `C*(H+2P)*(W+2P)` emits. With
+/// channel-out the kernel has no global buffers and is autorun-eligible.
+///
+/// # Panics
+/// Panics if the input is not a channel.
+pub fn pad_stream(
+    name: &str,
+    c: usize,
+    h: usize,
+    w: usize,
+    p: usize,
+    io_in: IoMode,
+    io_out: IoMode,
+) -> Kernel {
+    let (h2, w2) = (h + 2 * p, w + 2 * p);
+    let out_len = IExpr::Const((c * h2 * w2) as i64);
+    let chan = match &io_in {
+        IoMode::Channel { name: cn, .. } => cn.clone(),
+        IoMode::Global => panic!("pad_stream requires channel input"),
+    };
+    let mut k = Kernel::new(name, Stmt::Block(vec![]));
+    k.chan_in.push(io_in.decl().unwrap());
+    if io_out == IoMode::Global {
+        k.bufs
+            .push(BufferDecl::global("out_fm", BufRole::Output, out_len));
+    } else {
+        k.chan_out.push(io_out.decl().unwrap());
+    }
+
+    let v = io_out.width().max(io_in.width());
+    k.body = vec_loop("i", c * h2 * w2, v, |i| {
+        let plane = IExpr::Const((h2 * w2) as i64);
+        let rem = i.clone().rem(plane);
+        let y = rem.clone().div(IExpr::Const(w2 as i64));
+        let x = rem.rem(IExpr::Const(w2 as i64));
+        let pe = IExpr::Const(p as i64);
+        let in_bounds = BExpr::Ge(y.clone(), pe.clone())
+            .and(BExpr::Lt(y, IExpr::Const((h + p) as i64)))
+            .and(BExpr::Ge(x.clone(), pe))
+            .and(BExpr::Lt(x, IExpr::Const((w + p) as i64)));
+        // Select is lazy: the channel pop only happens on interior positions.
+        let val = VExpr::Select(
+            Box::new(in_bounds),
+            Box::new(VExpr::ReadChannel(chan.clone())),
+            Box::new(VExpr::Const(0.0)),
+        );
+        match &io_out {
+            IoMode::Global => Stmt::store("out_fm", i, val),
+            IoMode::Channel { name: cn, .. } => Stmt::WriteChannel {
+                chan: cn.clone(),
+                val,
+            },
+        }
+    });
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1336,7 +1740,7 @@ mod tests {
     use crate::interp::Interp;
     use fpgaccel_tensor::ops::{self, Conv2dParams};
     use fpgaccel_tensor::{Shape, Tensor};
-    use std::collections::HashMap;
+    use std::collections::{HashMap, VecDeque};
 
     fn run_conv(spec: &ConvSpec, input: &Tensor, weights: &Tensor) -> Vec<f32> {
         let k = conv2d(spec);
@@ -1695,5 +2099,159 @@ mod tests {
             .find(|a| a.buf == "in_fm" && !a.is_store)
             .unwrap();
         assert!(in2.width_elems >= 3, "rx+xxi should coalesce");
+    }
+
+    #[test]
+    fn streaming_dw_conv_matches_reference() {
+        // Stride 1 (minimal input) and stride 2 with a non-minimal 8x8
+        // input, which exercises the trailing-row drain.
+        for (c, h2, f, s, h1) in [(3usize, 4usize, 3usize, 1usize, 6usize), (3, 3, 3, 2, 8)] {
+            let input = Tensor::random(Shape::chw(c, h1, h1), 21, 1.0);
+            let weights = Tensor::random(Shape(vec![c, 1, f, f]), 22, 0.5);
+            let expect = ops::depthwise_conv2d(&input, &weights, &Conv2dParams::plain(s, 0));
+            let dims =
+                ConvDims::constant(c, c, h2, h2, f, s).with_input(Dim::Const(h1), Dim::Const(h1));
+            let mut spec = ConvSpec::base("dw_s", dims, true);
+            spec.io_in = IoMode::channel("c_in", 64);
+            let k = conv2d_dw_stream(&spec);
+            let mut interp = Interp::new();
+            interp
+                .channels
+                .insert("c_in".into(), input.data().iter().copied().collect());
+            let mut inputs = HashMap::new();
+            inputs.insert("w".to_string(), weights.data().to_vec());
+            let out = interp.run(&k, &Binding::empty(), &inputs);
+            assert!(
+                interp.channels.values().all(VecDeque::is_empty),
+                "stream must pop exactly H1*W1 per channel (s={s})"
+            );
+            for (g, e) in out["out_fm"].iter().zip(expect.data()) {
+                assert!((g - e).abs() < 1e-4, "s={s}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_channels_preserve_streaming_numerics() {
+        // Same dw case as above but with floatN channels on both sides:
+        // v_in divides W1=6, v_out divides W2=4. Numerics must be
+        // identical to the scalar stream; only cycle accounting changes.
+        let (c, h2, f, s, h1) = (3usize, 4usize, 3usize, 1usize, 6usize);
+        let input = Tensor::random(Shape::chw(c, h1, h1), 21, 1.0);
+        let weights = Tensor::random(Shape(vec![c, 1, f, f]), 22, 0.5);
+        let expect = ops::depthwise_conv2d(&input, &weights, &Conv2dParams::plain(s, 0));
+        let dims =
+            ConvDims::constant(c, c, h2, h2, f, s).with_input(Dim::Const(h1), Dim::Const(h1));
+        let mut spec = ConvSpec::base("dw_v", dims, true);
+        spec.io_in = IoMode::channel_wide("c_in", 64, 3);
+        spec.io_out = IoMode::channel_wide("c_out", 64, 2);
+        let k = conv2d_dw_stream(&spec);
+        assert!(k.chan_in[0].width == 3 && k.chan_out[0].width == 2);
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .insert("c_in".into(), input.data().iter().copied().collect());
+        let mut inputs = HashMap::new();
+        inputs.insert("w".to_string(), weights.data().to_vec());
+        interp.run(&k, &Binding::empty(), &inputs);
+        assert!(interp.channels["c_in"].is_empty());
+        let got: Vec<f32> = interp.channels["c_out"].iter().copied().collect();
+        for (g, e) in got.iter().zip(expect.data()) {
+            assert!((g - e).abs() < 1e-4, "{g} vs {e}");
+        }
+
+        // Vectorized pad: width must divide the padded row (W+2P).
+        let input = Tensor::random(Shape::chw(2, 4, 4), 24, 1.0);
+        let expect = ops::pad2d(&input, 1);
+        let k = pad_stream(
+            "pad_v",
+            2,
+            4,
+            4,
+            1,
+            IoMode::channel("c_in", 16),
+            IoMode::channel_wide("c_out", 16, 6),
+        );
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .insert("c_in".into(), input.data().iter().copied().collect());
+        interp.run(&k, &Binding::empty(), &HashMap::new());
+        assert!(interp.channels["c_in"].is_empty());
+        let got: Vec<f32> = interp.channels["c_out"].iter().copied().collect();
+        assert_eq!(got, expect.data());
+    }
+
+    #[test]
+    fn streaming_pool_matches_reference_and_is_autorun_eligible() {
+        let input = Tensor::random(Shape::chw(2, 6, 6), 23, 1.0);
+        for (window, stride) in [(2usize, 2usize), (3, 3), (3, 2)] {
+            let expect = ops::maxpool2d(&input, window, stride, 0);
+            let k = pool_stream(
+                "mp_s",
+                PoolKind::Max,
+                2,
+                6,
+                6,
+                window,
+                stride,
+                IoMode::channel("c_in", 64),
+                IoMode::channel("c_out", 64),
+            );
+            assert!(k.autorun_eligible(), "channel-to-channel pool_stream");
+            let mut interp = Interp::new();
+            interp
+                .channels
+                .insert("c_in".into(), input.data().iter().copied().collect());
+            interp.run(&k, &Binding::empty(), &HashMap::new());
+            assert!(interp.channels["c_in"].is_empty(), "input fully drained");
+            let got: Vec<f32> = interp.channels["c_out"].iter().copied().collect();
+            assert_eq!(got, expect.data(), "window {window} stride {stride}");
+        }
+        // Avg variant.
+        let k = pool_stream(
+            "ap_s",
+            PoolKind::Avg,
+            2,
+            6,
+            6,
+            3,
+            3,
+            IoMode::channel("c_in", 64),
+            IoMode::Global,
+        );
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .insert("c_in".into(), input.data().iter().copied().collect());
+        let out = interp.run(&k, &Binding::empty(), &HashMap::new());
+        let expect = ops::avgpool2d(&input, 3, 3, 0);
+        for (g, e) in out["out_fm"].iter().zip(expect.data()) {
+            assert!((g - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn streaming_pad_matches_reference_with_no_buffering() {
+        let input = Tensor::random(Shape::chw(2, 4, 5), 24, 1.0);
+        let k = pad_stream(
+            "pd_s",
+            2,
+            4,
+            5,
+            1,
+            IoMode::channel("c_in", 64),
+            IoMode::channel("c_out", 64),
+        );
+        assert!(k.bufs.is_empty(), "pad_stream needs no buffers at all");
+        assert!(k.autorun_eligible());
+        let mut interp = Interp::new();
+        interp
+            .channels
+            .insert("c_in".into(), input.data().iter().copied().collect());
+        interp.run(&k, &Binding::empty(), &HashMap::new());
+        assert!(interp.channels["c_in"].is_empty(), "exactly C*H*W pops");
+        let got: Vec<f32> = interp.channels["c_out"].iter().copied().collect();
+        assert_eq!(got, ops::pad2d(&input, 1).data());
     }
 }

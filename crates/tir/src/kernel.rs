@@ -102,6 +102,21 @@ pub struct ChannelDecl {
     pub name: String,
     /// FIFO depth in elements (`__attribute__((depth(N)))`); 0 = unbuffered.
     pub depth: usize,
+    /// Elements per channel word (PipeCNN-style `floatN` vectorized
+    /// channels): `width` reads or writes coalesce into one channel
+    /// transaction per cycle. 1 = plain scalar `float` channel.
+    pub width: usize,
+}
+
+impl ChannelDecl {
+    /// A scalar `float` channel.
+    pub fn scalar(name: impl Into<String>, depth: usize) -> Self {
+        ChannelDecl {
+            name: name.into(),
+            depth,
+            width: 1,
+        }
+    }
 }
 
 /// A single-work-item OpenCL kernel (§2.4.4).

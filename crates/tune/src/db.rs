@@ -68,6 +68,27 @@ impl TuneRecord {
     }
 }
 
+/// One best-known dataflow-pipeline planner configuration (searched by
+/// [`crate::pipeline::search_pipeline`]), stored alongside the tiling
+/// records under the same key space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineRecord {
+    /// Winning FIFO depth policy in [`crate::pipeline::policy_id`] form.
+    pub depth_policy: String,
+    /// Winning segment stage cap.
+    pub max_stages: usize,
+    /// Simulated full-network seconds per image under the plan.
+    pub seconds_per_image: f64,
+    /// Activation elements per image kept on-chip vs staged execution.
+    pub dram_elems_saved: u64,
+    /// Layers running as channel-connected pipeline stages.
+    pub pipelined_stages: usize,
+    /// Layers demoted to the staged folded pool.
+    pub staged_nodes: usize,
+    /// Candidate evaluations the producing search spent.
+    pub evaluations: usize,
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -89,6 +110,7 @@ fn escape(s: &str) -> String {
 #[derive(Clone, Debug, Default)]
 pub struct TuningDb {
     records: BTreeMap<DbKey, TuneRecord>,
+    pipeline: BTreeMap<DbKey, PipelineRecord>,
 }
 
 impl TuningDb {
@@ -102,9 +124,9 @@ impl TuningDb {
         self.records.len()
     }
 
-    /// True when no records are stored.
+    /// True when no records of either kind are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.records.is_empty() && self.pipeline.is_empty()
     }
 
     /// Best-known record for a key, if any.
@@ -115,6 +137,34 @@ impl TuningDb {
     /// Iterates records in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&DbKey, &TuneRecord)> {
         self.records.iter()
+    }
+
+    /// Number of pipeline records.
+    pub fn pipeline_len(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Best-known pipeline-planner record for a key, if any.
+    pub fn lookup_pipeline(&self, key: &DbKey) -> Option<&PipelineRecord> {
+        self.pipeline.get(key)
+    }
+
+    /// Iterates pipeline records in key order.
+    pub fn iter_pipeline(&self) -> impl Iterator<Item = (&DbKey, &PipelineRecord)> {
+        self.pipeline.iter()
+    }
+
+    /// Inserts a pipeline record, keeping whichever of the existing and new
+    /// record has the lower latency. Returns true when `record` became (or
+    /// stayed) the stored one.
+    pub fn insert_pipeline(&mut self, key: DbKey, record: PipelineRecord) -> bool {
+        match self.pipeline.get(&key) {
+            Some(old) if old.seconds_per_image <= record.seconds_per_image => false,
+            _ => {
+                self.pipeline.insert(key, record);
+                true
+            }
+        }
     }
 
     /// Inserts a record, keeping whichever of the existing and new record
@@ -133,10 +183,15 @@ impl TuningDb {
     /// Merges every record of `other` into this database, keeping the
     /// better record per key. Returns how many of `other`'s records won.
     pub fn merge(&mut self, other: &TuningDb) -> usize {
-        other
+        let tilings = other
             .iter()
             .filter(|(k, r)| self.insert((*k).clone(), (*r).clone()))
-            .count()
+            .count();
+        let pipelines = other
+            .iter_pipeline()
+            .filter(|(k, r)| self.insert_pipeline((*k).clone(), (*r).clone()))
+            .count();
+        tilings + pipelines
     }
 
     /// Renders the database as its canonical JSON document.
@@ -168,7 +223,36 @@ impl TuningDb {
                 r.evaluations
             ));
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ]");
+        // The pipeline section is omitted when empty so tiling-only
+        // databases keep their historical byte-exact rendering.
+        if !self.pipeline.is_empty() {
+            out.push_str(",\n  \"pipeline\": [");
+            for (i, (k, r)) in self.pipeline.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"model\": \"{}\", \"shape_sig\": \"{}\", \"platform\": \"{}\", \
+                     \"precision\": \"{:?}\", \"depth_policy\": \"{}\", \"max_stages\": {}, \
+                     \"seconds_per_image\": {}, \"dram_elems_saved\": {}, \
+                     \"pipelined_stages\": {}, \"staged_nodes\": {}, \"evaluations\": {}}}",
+                    escape(&k.model),
+                    escape(&k.shape_sig),
+                    escape(&k.platform),
+                    k.precision,
+                    escape(&r.depth_policy),
+                    r.max_stages,
+                    r.seconds_per_image,
+                    r.dram_elems_saved,
+                    r.pipelined_stages,
+                    r.staged_nodes,
+                    r.evaluations
+                ));
+            }
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -239,6 +323,51 @@ impl TuningDb {
                 evaluations: num("evaluations")? as usize,
             };
             db.insert(key, record);
+        }
+        // Optional pipeline section (absent in tiling-only databases).
+        if let Some(pipeline) = doc.get("pipeline") {
+            let recs = pipeline.as_array().ok_or("`pipeline` not an array")?;
+            for (i, rec) in recs.iter().enumerate() {
+                let field = |name: &str| -> Result<&Json, String> {
+                    rec.get(name)
+                        .ok_or(format!("pipeline record {i}: missing `{name}`"))
+                };
+                let text = |name: &str| -> Result<String, String> {
+                    field(name)?
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("pipeline record {i}: `{name}` not a string"))
+                };
+                let num = |name: &str| -> Result<f64, String> {
+                    field(name)?
+                        .as_f64()
+                        .ok_or(format!("pipeline record {i}: `{name}` not a number"))
+                };
+                let precision = match text("precision")?.as_str() {
+                    "F32" => Precision::F32,
+                    "Int16" => Precision::Int16,
+                    "Int8" => Precision::Int8,
+                    other => {
+                        return Err(format!("pipeline record {i}: unknown precision `{other}`"))
+                    }
+                };
+                let key = DbKey {
+                    model: text("model")?,
+                    shape_sig: text("shape_sig")?,
+                    platform: text("platform")?,
+                    precision,
+                };
+                let record = PipelineRecord {
+                    depth_policy: text("depth_policy")?,
+                    max_stages: num("max_stages")? as usize,
+                    seconds_per_image: num("seconds_per_image")?,
+                    dram_elems_saved: num("dram_elems_saved")? as u64,
+                    pipelined_stages: num("pipelined_stages")? as usize,
+                    staged_nodes: num("staged_nodes")? as usize,
+                    evaluations: num("evaluations")? as usize,
+                };
+                db.insert_pipeline(key, record);
+            }
         }
         Ok(db)
     }
@@ -358,6 +487,50 @@ mod tests {
         let back = TuningDb::load(&path).unwrap();
         assert_eq!(back.lookup(&key()).unwrap().tile, (7, 8, 8));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn pipeline_record(policy: &str, s: f64) -> PipelineRecord {
+        PipelineRecord {
+            depth_policy: policy.into(),
+            max_stages: 32,
+            seconds_per_image: s,
+            dram_elems_saved: 6_460_928,
+            pipelined_stages: 12,
+            staged_nodes: 33,
+            evaluations: 8,
+        }
+    }
+
+    #[test]
+    fn pipeline_records_round_trip_and_keep_the_better_one() {
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012));
+        assert!(db.insert_pipeline(key(), pipeline_record("fill*2", 0.033)));
+        assert!(
+            !db.insert_pipeline(key(), pipeline_record("full", 0.050)),
+            "worse pipeline record must not replace"
+        );
+        let text = db.to_json();
+        let back = TuningDb::from_json(&text).unwrap();
+        assert_eq!(back.pipeline_len(), 1);
+        assert_eq!(back.lookup_pipeline(&key()), db.lookup_pipeline(&key()));
+        assert_eq!(back.to_json(), text, "canonical rendering is stable");
+        // Merge keeps the better pipeline record per key.
+        let mut better = TuningDb::new();
+        better.insert_pipeline(key(), pipeline_record("fill*4", 0.020));
+        assert_eq!(db.merge(&better), 1);
+        assert_eq!(db.lookup_pipeline(&key()).unwrap().depth_policy, "fill*4");
+    }
+
+    #[test]
+    fn tiling_only_databases_render_without_a_pipeline_section() {
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012));
+        assert!(!db.to_json().contains("\"pipeline\""));
+        // And a pipeline-only database still counts as non-empty.
+        let mut p = TuningDb::new();
+        p.insert_pipeline(key(), pipeline_record("fill*2", 0.033));
+        assert!(!p.is_empty());
     }
 
     #[test]

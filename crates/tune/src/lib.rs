@@ -22,6 +22,10 @@
 //!   (model, layer-shape signature, platform, precision), parsed back with
 //!   `fpgaccel_trace::json`, so flows and serving deployment caches reuse
 //!   tuned configs without re-searching.
+//! * [`pipeline`] — the **dataflow-pipeline search**: ranks the streaming
+//!   planner's FIFO depth policy and segment stage cap the same way the
+//!   tiling search ranks schedules, caching winners in the database's
+//!   pipeline section.
 //! * [`tuner`] — the [`Tuner`] façade gluing warm database lookup, the
 //!   search engine, and `fpgaccel_trace` spans/metrics together.
 //!
@@ -35,6 +39,7 @@
 pub mod candidate;
 pub mod cost;
 pub mod db;
+pub mod pipeline;
 pub mod search;
 pub mod tuner;
 
@@ -42,6 +47,9 @@ pub use candidate::{
     divisors, shape_signature, Candidate, Conv1x1Shape, LegalityError, SearchSpace,
 };
 pub use cost::{CostModel, Observation};
-pub use db::{DbKey, TuneRecord, TuningDb};
+pub use db::{DbKey, PipelineRecord, TuneRecord, TuningDb};
+pub use pipeline::{
+    best_pipeline, pipeline_candidates, search_pipeline, EvaluatePipeline, PipelineMeasured,
+};
 pub use search::{enumerate, EvalError, Evaluate, Measured, SearchConfig};
 pub use tuner::{TuneError, TuneOutcome, Tuner};

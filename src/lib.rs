@@ -26,6 +26,9 @@
 //! * [`tune`] — the cost-model-guided auto-scheduler: legality-checked
 //!   proposal generation, beam + evolutionary search, persistent tuning
 //!   database.
+//! * [`pipeline`] — the streaming dataflow planner: segment selection,
+//!   channel-depth policies, whole-pipeline resource fitting with graceful
+//!   degradation to staged execution.
 //! * [`trace`] — span tracing, Perfetto timeline export, metrics registry.
 //! * [`fault`] — seeded deterministic fault injection: fault plans in
 //!   sim-time, the injector handle, retry/backoff policy.
@@ -56,6 +59,7 @@ pub use fpgaccel_baseline as baseline;
 pub use fpgaccel_core as core;
 pub use fpgaccel_device as device;
 pub use fpgaccel_fault as fault;
+pub use fpgaccel_pipeline as pipeline;
 pub use fpgaccel_runtime as runtime;
 pub use fpgaccel_serve as serve;
 pub use fpgaccel_tensor as tensor;

@@ -140,6 +140,7 @@ fn main() -> ExitCode {
             let kernels: Vec<_> = match &deployment.plan {
                 ExecutionPlan::Pipelined(stages) => stages.iter().map(|s| &s.kernel).collect(),
                 ExecutionPlan::Folded(plan) => plan.kernels.iter().collect(),
+                ExecutionPlan::Dataflow(plan) => plan.kernels.iter().collect(),
             };
             println!("{}", emit_program(&kernels));
         }

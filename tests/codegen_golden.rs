@@ -24,6 +24,10 @@ fn lenet_program(cfg: &OptimizationConfig) -> String {
             let ks: Vec<_> = plan.kernels.iter().collect();
             emit_program(&ks)
         }
+        ExecutionPlan::Dataflow(plan) => {
+            let ks: Vec<_> = plan.kernels.iter().collect();
+            emit_program(&ks)
+        }
     }
 }
 

@@ -602,3 +602,122 @@ fn synthesis_dsps_monotone_in_tiling() {
         assert!(rl.resources.dsp >= (2 * rs.resources.dsp).saturating_sub(64));
     }
 }
+
+/// Streaming dataflow execution == staged execution == host baseline,
+/// element for element, over randomized fusable networks that exercise the
+/// streaming kernel set (padding, depthwise convolution, pooling, dense,
+/// softmax) end to end.
+#[test]
+fn dataflow_pipelines_match_staged_and_host_baselines() {
+    use fpgaccel::core::verify::verify_deployment;
+    use fpgaccel::core::{ExecutionPlan, Flow, OptimizationConfig, TilingPreset};
+    use fpgaccel::device::FpgaPlatform;
+    use fpgaccel::tensor::graph::{Graph, Op};
+
+    let mut rng = Rng64::seed_from_u64(0xF1F0_0806);
+    let mut pipelined_cases = 0usize;
+    for case in 0..6 {
+        let seed = rng.next_u64() % 1000;
+        let c = pick(&mut rng, &[2, 4]);
+        let hw = 8;
+        let pad = rng.below(2) as usize;
+        let units = 4 + 2 * rng.below(3) as usize;
+
+        // conv (pad drawn) -> relu -> depthwise conv (pad 1) -> pool ->
+        // flatten -> dense -> softmax: the depthwise/pad/pool trio lowers
+        // to the streaming ring-buffer kernels when pipelined.
+        let x = Tensor::random(Shape::chw(2, hw, hw), seed ^ 33, 1.0);
+        let mut g = Graph::new("diff_pipe", Shape::chw(2, hw, hw));
+        let w1 = Tensor::random(Shape::kcff(c, 2, 3), seed, 0.5);
+        let conv = g.push_with_params(
+            "conv",
+            Op::Conv2d {
+                out_channels: c,
+                kernel: 3,
+                stride: 1,
+                pad,
+                depthwise: false,
+            },
+            vec![0],
+            Some(w1),
+            None,
+            None,
+        );
+        let relu = g.push("relu", Op::Relu, vec![conv]);
+        let wd = Tensor::random(Shape(vec![c, 1, 3, 3]), seed ^ 7, 0.5);
+        let dw = g.push_with_params(
+            "dw",
+            Op::Conv2d {
+                out_channels: c,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                depthwise: true,
+            },
+            vec![relu],
+            Some(wd),
+            None,
+            None,
+        );
+        let pool = g.push(
+            "pool",
+            Op::MaxPool {
+                window: 2,
+                stride: 2,
+                pad: 0,
+            },
+            vec![dw],
+        );
+        let flat = g.push("flat", Op::Flatten, vec![pool]);
+        let wfc_n = g.nodes[flat].out_shape.numel();
+        let wfc = Tensor::random(Shape::d2(units, wfc_n), seed ^ 11, 0.5);
+        let fc = g.push_with_params("fc", Op::Dense { units }, vec![flat], Some(wfc), None, None);
+        g.push("softmax", Op::Softmax, vec![fc]);
+
+        // Host baseline: the reference graph executor on the untransformed
+        // network.
+        let baseline = g.execute(&x);
+
+        let staged = Flow::for_graph(g.clone(), FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::base())
+            .unwrap_or_else(|e| panic!("case {case}: staged compile failed: {e}"));
+        let dataflow = Flow::for_graph(g, FpgaPlatform::Stratix10Sx)
+            .compile(&OptimizationConfig::dataflow(TilingPreset::Naive))
+            .unwrap_or_else(|e| panic!("case {case}: dataflow compile failed: {e}"));
+
+        // Both deployments against the host baseline...
+        let out_staged = staged.infer(&x).output;
+        let out_pipe = dataflow.infer(&x).output;
+        assert!(
+            allclose(&out_staged, &baseline, 1e-4, 1e-5),
+            "case {case}: staged output vs host baseline (c={c} pad={pad} units={units})"
+        );
+        // ...and element-identical to each other (same fused graph, same
+        // real-arithmetic path).
+        assert_eq!(
+            out_staged.data(),
+            out_pipe.data(),
+            "case {case}: pipelined output != staged output"
+        );
+
+        // The generated kernels themselves — streaming channel kernels for
+        // the pipelined segments, folded pool kernels for the staged plan —
+        // reproduce every per-node activation.
+        verify_deployment(&staged, &x, 1e-3)
+            .unwrap_or_else(|e| panic!("case {case}: staged kernels diverged: {e}"));
+        verify_deployment(&dataflow, &x, 1e-3)
+            .unwrap_or_else(|e| panic!("case {case}: pipelined kernels diverged: {e}"));
+
+        let ExecutionPlan::Dataflow(plan) = &dataflow.plan else {
+            panic!("case {case}: dataflow config must produce a dataflow plan");
+        };
+        if plan.summary.pipelined_nodes >= 2 {
+            pipelined_cases += 1;
+        }
+    }
+    assert!(
+        pipelined_cases >= 4,
+        "only {pipelined_cases}/6 cases actually pipelined a segment — the differential \
+         test is not exercising the streaming path"
+    );
+}
