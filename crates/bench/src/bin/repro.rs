@@ -14,6 +14,12 @@
 
 use fpgaccel_bench::{experiments, log, tracing};
 
+/// Count heap allocations so the hot-path profiler's allocation columns
+/// are live when experiments run under `repro` (library consumers that
+/// don't install it just read zeros).
+#[global_allocator]
+static ALLOC: fpgaccel_trace::alloc::CountingAlloc = fpgaccel_trace::alloc::CountingAlloc;
+
 fn usage() {
     log::error("usage: repro [-q|-v] [--list] [all | <experiment id>...]");
     log::error("       repro [-q|-v] trace <experiment> [output.json]");

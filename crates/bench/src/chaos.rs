@@ -13,13 +13,15 @@
 //!
 //! Environment knobs: `FPGACCEL_CHAOS_BUDGET` sets the number of random
 //! fault plans in the sweep (default 6); `FPGACCEL_CHAOS_REPORT` names a
-//! JSON file to write the machine-readable recovery summary to (for CI).
+//! JSON file to write the machine-readable recovery summary to (for CI);
+//! `FPGACCEL_CHAOS_POSTMORTEM` names a JSON file to write the anomaly
+//! flight recorder's postmortem snapshots of the committed run to.
 
 use crate::serving::{batched, build_pool_injected, mixed_trace};
 use crate::table::Table;
 use fpgaccel_fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec};
 use fpgaccel_serve::{Request, RunResult, ServeConfig, Server};
-use fpgaccel_trace::Tracer;
+use fpgaccel_trace::{FlightRecorder, Tracer};
 
 /// Seed recorded on the committed plan (the schedule itself is
 /// hand-written, not generated, so the seed is provenance only).
@@ -83,6 +85,17 @@ fn chaos_trace(pool: &fpgaccel_serve::DevicePool, mult: f64) -> Vec<Request> {
 const CHAOS_LOAD: f64 = 0.75;
 
 fn run_with(plan: Option<FaultPlan>, tracer: &Tracer) -> (usize, RunResult) {
+    run_with_flight(plan, tracer, &FlightRecorder::disabled())
+}
+
+/// [`run_with`] with an anomaly flight recorder attached: device hangs,
+/// quarantines and losses trigger bounded postmortem snapshots that come
+/// back on [`RunResult::postmortems`].
+fn run_with_flight(
+    plan: Option<FaultPlan>,
+    tracer: &Tracer,
+    flight: &FlightRecorder,
+) -> (usize, RunResult) {
     let injector = match plan {
         Some(p) => FaultInjector::new(p),
         None => FaultInjector::disabled(),
@@ -105,6 +118,7 @@ fn run_with(plan: Option<FaultPlan>, tracer: &Tracer) -> (usize, RunResult) {
         },
     )
     .with_tracer(tracer)
+    .with_flight_recorder(flight)
     .run_open_loop(trace);
     (offered, result)
 }
@@ -208,9 +222,11 @@ pub fn chaos() -> String {
     // Fault-free baseline on the identical workload.
     let (offered, baseline) = run_with(None, &Tracer::disabled());
 
-    // The committed scenario, traced, run twice for the determinism check.
+    // The committed scenario, traced and flight-recorded, run twice for
+    // the determinism check.
     let tracer = Tracer::enabled();
-    let (_, faulted) = run_with(Some(plan.clone()), &tracer);
+    let flight = FlightRecorder::enabled(64);
+    let (_, faulted) = run_with_flight(Some(plan.clone()), &tracer, &flight);
     let (_, second) = run_with(Some(plan.clone()), &Tracer::disabled());
     let deterministic = digest(offered, &faulted) == digest(offered, &second);
 
@@ -250,7 +266,7 @@ pub fn chaos() -> String {
     for name in ["s10sx-0", "s10mx-0", "a10-0"] {
         let h = faulted
             .registry
-            .value("serve_device_health", &[("device", name)]);
+            .value("serve_device_health_state", &[("device", name)]);
         let q = faulted
             .registry
             .value("serve_device_quarantines_total", &[("device", name)])
@@ -339,6 +355,11 @@ pub fn chaos() -> String {
         )
         .expect("chaos report artifact writes");
     }
+    if let Ok(path) = std::env::var("FPGACCEL_CHAOS_POSTMORTEM") {
+        let pms: Vec<String> = faulted.postmortems.iter().map(|p| p.to_json()).collect();
+        std::fs::write(&path, format!("[\n{}]\n", pms.join(",\n")))
+            .expect("chaos postmortem artifact writes");
+    }
 
     format!(
         "Chaos — committed fault schedule (seed {CHAOS_SEED:#x})\n{}\n{}\n{}\n{}\n{span_line}\n\
@@ -416,6 +437,53 @@ mod tests {
     #[test]
     fn chaos_report_is_deterministic() {
         assert_eq!(chaos(), chaos());
+    }
+
+    #[test]
+    fn device_loss_produces_a_postmortem_reconstructing_the_incident() {
+        let flight = FlightRecorder::enabled(64);
+        let (_, r) = run_with_flight(Some(committed_plan()), &Tracer::disabled(), &flight);
+        // The committed schedule loses s10mx-0: the recorder must hold a
+        // device-lost snapshot whose window reconstructs the arc from
+        // hang detection through the failed repair attempts to the loss.
+        let pm = r
+            .postmortems
+            .iter()
+            .find(|p| p.trigger == "device-lost" && p.subject == "s10mx-0")
+            .expect("device loss triggers a postmortem");
+        let kinds: Vec<&str> = pm.events.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"hang-detected"), "window shows the hang");
+        assert!(
+            kinds.contains(&"reprogram-fail"),
+            "window shows the failed repairs"
+        );
+        assert!(
+            pm.events.windows(2).all(|w| w[0].t_s <= w[1].t_s),
+            "window is chronological"
+        );
+        assert!(
+            pm.events.iter().all(|e| e.t_s <= pm.t_s),
+            "window precedes the trigger"
+        );
+        // The snapshot renders as parseable, self-contained JSON.
+        let j = fpgaccel_trace::json::Json::parse(&pm.to_json()).expect("postmortem JSON parses");
+        assert_eq!(
+            j.get("trigger")
+                .and_then(|t| t.get("kind"))
+                .and_then(|k| k.as_str()),
+            Some("device-lost")
+        );
+        // Determinism: the same schedule reproduces the same snapshots.
+        let flight2 = FlightRecorder::enabled(64);
+        let (_, r2) = run_with_flight(Some(committed_plan()), &Tracer::disabled(), &flight2);
+        let render = |res: &RunResult| {
+            res.postmortems
+                .iter()
+                .map(|p| p.to_json())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&r), render(&r2));
     }
 
     /// Nightly-lane soak: a wide seeded sweep of generated fault plans.

@@ -1000,6 +1000,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("chaos", crate::chaos::chaos),
     ("rollout", crate::rollout::rollout),
     ("pipeline", crate::pipeline::pipeline),
+    ("bench", crate::trajectory::bench),
 ];
 
 /// Runs one experiment by id.

@@ -21,4 +21,5 @@ pub mod serving;
 pub mod table;
 pub mod timing;
 pub mod tracing;
+pub mod trajectory;
 pub mod tune;

@@ -1,0 +1,131 @@
+//! The `bench` experiment: the continuous performance trajectory.
+//!
+//! Runs the standardized workload matrix from `fpgaccel-obs` twice (the
+//! second pass is the determinism probe — the record must reproduce byte
+//! for byte), renders every collected metric, and compares the fresh
+//! record against the committed baseline with per-metric tolerance
+//! bands. A regression beyond a metric's band fails the verdict, as does
+//! a baseline metric that the current run no longer produces.
+//!
+//! Environment knobs: `FPGACCEL_BENCH_BASELINE` names the committed
+//! baseline record (default `BENCH_core.json` in the working directory);
+//! `FPGACCEL_BENCH_OUT` names a file to write the fresh record to;
+//! `FPGACCEL_BENCH_VERDICT` names a file to write the machine-readable
+//! comparison verdict to (for CI: `jq .pass`).
+
+use crate::table::Table;
+use fpgaccel_obs::{collect, compare, BenchRecord, BenchVerdict, DeltaStatus};
+
+/// Baseline path (`FPGACCEL_BENCH_BASELINE`, default `BENCH_core.json`).
+fn baseline_path() -> String {
+    std::env::var("FPGACCEL_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_core.json".into())
+}
+
+/// Renders the comparison section of the report.
+fn render_verdict(v: &BenchVerdict) -> String {
+    let mut t = Table::new(
+        "Bench — baseline comparison (per-metric tolerance bands)",
+        &["metric", "baseline", "current", "change", "band", "status"],
+    );
+    for d in &v.deltas {
+        t.row(&[
+            d.id.clone(),
+            format!("{:.6}", d.baseline),
+            format!("{:.6}", d.current),
+            format!("{:+.2}%", 100.0 * d.rel_change),
+            format!("±{:.0}%", 100.0 * d.tolerance),
+            d.status.label().to_string(),
+        ]);
+    }
+    let mut lines = vec![t.render()];
+    for id in &v.missing {
+        lines.push(format!(
+            "MISSING from current run: {id} (coverage loss fails)"
+        ));
+    }
+    for id in &v.added {
+        lines.push(format!("new metric (not in baseline): {id}"));
+    }
+    let within = v
+        .deltas
+        .iter()
+        .filter(|d| d.status == DeltaStatus::Pass)
+        .count();
+    lines.push(format!(
+        "Verdict: {} — {within}/{} within band, {} regressed, {} improved, {} missing.",
+        if v.pass() { "PASS" } else { "REGRESSED" },
+        v.deltas.len(),
+        v.regressions().len(),
+        v.improvements().len(),
+        v.missing.len(),
+    ));
+    lines.join("\n")
+}
+
+/// The `bench` experiment report.
+pub fn bench() -> String {
+    let rec = collect();
+    let rerun = collect();
+    let deterministic = rec.to_json() == rerun.to_json();
+
+    let mut matrix = Table::new(
+        format!(
+            "Bench trajectory — workload {} (schema v{})",
+            rec.workload,
+            fpgaccel_obs::SCHEMA_VERSION
+        ),
+        &["metric", "value", "unit", "direction", "band"],
+    );
+    for m in &rec.metrics {
+        matrix.row(&[
+            m.id.clone(),
+            format!("{:.6}", m.value),
+            m.unit.clone(),
+            m.direction.label().to_string(),
+            format!("±{:.0}%", 100.0 * m.tolerance),
+        ]);
+    }
+
+    let path = baseline_path();
+    let comparison = match std::fs::read_to_string(&path) {
+        Ok(text) => match BenchRecord::parse(&text) {
+            Ok(base) => {
+                let v = compare(&base, &rec);
+                if let Ok(out) = std::env::var("FPGACCEL_BENCH_VERDICT") {
+                    std::fs::write(&out, v.to_json()).expect("bench verdict artifact writes");
+                }
+                render_verdict(&v)
+            }
+            Err(e) => format!("Baseline {path} is unreadable ({e}); comparison skipped."),
+        },
+        Err(_) => format!("Baseline {path} not found; comparison skipped."),
+    };
+
+    if let Ok(out) = std::env::var("FPGACCEL_BENCH_OUT") {
+        std::fs::write(&out, rec.to_json()).expect("bench record artifact writes");
+    }
+
+    format!(
+        "Continuous performance trajectory — standardized bench matrix\n{}\n{comparison}\n\
+         Determinism: collecting the matrix twice is {}.\n\
+         Metrics: {} across compile, pipeline and serve stages; artifact schema v{}.\n",
+        matrix.render(),
+        if deterministic {
+            "byte-identical"
+        } else {
+            "DIVERGENT"
+        },
+        rec.metrics.len(),
+        fpgaccel_obs::SCHEMA_VERSION,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_report_is_deterministic() {
+        assert_eq!(bench(), bench());
+    }
+}

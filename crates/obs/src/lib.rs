@@ -1,0 +1,28 @@
+//! Continuous performance observability: the bench trajectory recorder
+//! and baseline comparator behind `repro bench`.
+//!
+//! The crate answers one question — *did this change make the stack
+//! slower?* — with three pieces:
+//!
+//! - [`runner::collect`] runs a standardized, fully deterministic
+//!   workload matrix (compile, staged-vs-pipelined simulation, serving
+//!   under seeded load) and flattens it into a [`BenchRecord`];
+//! - [`record`] defines the schema-versioned `BENCH_core.json` artifact,
+//!   where every metric carries its own direction-of-better and relative
+//!   tolerance band, making the committed baseline self-describing;
+//! - [`compare`] diffs a fresh record against the committed baseline and
+//!   produces a structured [`BenchVerdict`] (pass / regressed /
+//!   improved per metric, coverage loss fails).
+//!
+//! The hot-path profiler, SLO burn-rate monitor and anomaly flight
+//! recorder — the *runtime* half of the observability story — live in
+//! `fpgaccel-trace` and `fpgaccel-serve`; see `docs/OBSERVABILITY.md`
+//! for the full map.
+
+pub mod compare;
+pub mod record;
+pub mod runner;
+
+pub use compare::{compare, BenchVerdict, DeltaStatus, MetricDelta};
+pub use record::{BenchMetric, BenchRecord, Direction, SCHEMA_VERSION};
+pub use runner::{collect, WORKLOAD};

@@ -1,0 +1,301 @@
+//! The standardized bench workload matrix behind `repro bench`.
+//!
+//! [`collect`] runs three fixed stages and flattens everything into one
+//! [`BenchRecord`]:
+//!
+//! 1. **Compile** — every (model, platform) configuration is compiled
+//!    through [`Flow`] with an enabled tracer; kernel count, synthesized
+//!    fmax and compile-phase span count land in the record.
+//! 2. **Pipeline** — the same configurations are compiled both staged
+//!    (layer-by-layer through global memory) and as a streaming dataflow
+//!    pipeline, and a fixed batch is simulated through each; per-image
+//!    seconds and the pipelined/staged speedup land in the record.
+//! 3. **Serve** — the three-device co-serving pool from the `serve`
+//!    experiment is driven with seeded open-loop Poisson load at 1.0x and
+//!    2.0x of pool capacity; p50/p99, shed rate and achieved throughput
+//!    land in the record.
+//!
+//! Every number is simulated (deterministic clocks, seeded load), so two
+//! [`collect`] calls on the same source tree produce byte-identical
+//! records. Wall-clock profiler counters deliberately stay out — they are
+//! exported through the metrics registry instead.
+
+use crate::record::{BenchRecord, Direction};
+use fpgaccel_core::bitstreams::{mobilenet_tile, optimized_config};
+use fpgaccel_core::{Flow, OptimizationConfig, TilingPreset};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_serve::loadgen::{open_loop_poisson, with_deadline};
+use fpgaccel_serve::{AdmissionPolicy, BatchPolicy, DevicePool, Request, ServeConfig, Server};
+use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::Tracer;
+
+/// Workload identifier stamped into the record; bump when the matrix
+/// itself (configurations, load points, batch size) changes.
+pub const WORKLOAD: &str = "core-v1";
+
+/// Same seed and trace shape as the `serve` experiment, so the bench
+/// record tracks the serving stack the reports describe.
+const SEED: u64 = 0x5E21;
+const TRACE_S: f64 = 0.4;
+const LENET_DEADLINE_S: f64 = 0.05;
+const MOBILENET_DEADLINE_S: f64 = 4.0;
+const SERVED: [Model; 2] = [Model::LeNet5, Model::MobileNetV1];
+
+/// Images per simulated batch in the pipeline stage (smaller than the
+/// `pipeline` experiment's 32: the bench runs this matrix twice for the
+/// determinism probe).
+const BATCH: usize = 16;
+
+/// The evaluated (model, platform) configurations — the same four the
+/// `pipeline` experiment reports on.
+const CONFIGS: [(Model, FpgaPlatform); 4] = [
+    (Model::LeNet5, FpgaPlatform::Stratix10Sx),
+    (Model::MobileNetV1, FpgaPlatform::Stratix10Sx),
+    (Model::MobileNetV1, FpgaPlatform::Stratix10Mx),
+    (Model::MobileNetV1, FpgaPlatform::Arria10Gx),
+];
+
+/// The staged (layer-by-layer) baseline configuration.
+fn staged_config(model: Model, platform: FpgaPlatform) -> OptimizationConfig {
+    match model {
+        Model::LeNet5 => OptimizationConfig::folded(TilingPreset::Naive),
+        _ => optimized_config(model, platform),
+    }
+}
+
+/// The streaming dataflow configuration (default planner knobs — the
+/// bench tracks the un-tuned pipeline so it has no tuner dependency).
+fn dataflow_config(model: Model, platform: FpgaPlatform) -> OptimizationConfig {
+    match model {
+        Model::LeNet5 => OptimizationConfig::dataflow(TilingPreset::Naive),
+        _ => OptimizationConfig::dataflow(TilingPreset::MobileNet {
+            one_by_one: mobilenet_tile(platform),
+        }),
+    }
+}
+
+/// The three-device pool from the `serve` experiment: LeNet everywhere,
+/// MobileNet on the two Stratix 10 parts.
+fn build_pool() -> DevicePool {
+    let mut pool = DevicePool::new();
+    for p in [
+        FpgaPlatform::Stratix10Sx,
+        FpgaPlatform::Stratix10Mx,
+        FpgaPlatform::Arria10Gx,
+    ] {
+        let d = pool.add_device(p);
+        pool.deploy(d, Model::LeNet5, &optimized_config(Model::LeNet5, p))
+            .expect("LeNet deploys everywhere");
+        if p != FpgaPlatform::Arria10Gx {
+            pool.deploy(
+                d,
+                Model::MobileNetV1,
+                &optimized_config(Model::MobileNetV1, p),
+            )
+            .expect("MobileNet deploys on Stratix 10");
+        }
+    }
+    pool
+}
+
+/// Steady-state pool capacity for one model, requests/second, with each
+/// device's time split evenly across the models it serves.
+fn model_capacity_rps(pool: &DevicePool, model: Model) -> f64 {
+    pool.devices()
+        .iter()
+        .filter_map(|d| {
+            let lm = d.latency_model(model)?;
+            let sharing = SERVED
+                .iter()
+                .filter(|&&m| d.latency_model(m).is_some())
+                .count();
+            Some(1.0 / (sharing as f64 * lm.per_image_s))
+        })
+        .sum()
+}
+
+/// One seeded Poisson stream per model at `mult` times that model's
+/// capacity, merged with unique ids and per-model deadlines.
+fn mixed_trace(pool: &DevicePool, mult: f64) -> Vec<Request> {
+    let mut trace = Vec::new();
+    for (slot, (&model, deadline)) in SERVED
+        .iter()
+        .zip([LENET_DEADLINE_S, MOBILENET_DEADLINE_S])
+        .enumerate()
+    {
+        let rate = mult * model_capacity_rps(pool, model);
+        let n = ((rate * TRACE_S).ceil() as usize).max(1);
+        let mut stream = with_deadline(
+            open_loop_poisson(SEED ^ slot as u64, rate, n, &[model]),
+            deadline,
+        );
+        for r in &mut stream {
+            r.id = r.id * SERVED.len() as u64 + slot as u64;
+        }
+        trace.extend(stream);
+    }
+    trace
+}
+
+/// Runs the full workload matrix and returns the bench record.
+pub fn collect() -> BenchRecord {
+    let mut rec = BenchRecord {
+        workload: WORKLOAD.into(),
+        ..BenchRecord::default()
+    };
+
+    // Stages 1+2 — compile and pipeline metrics per configuration.
+    for &(model, platform) in &CONFIGS {
+        let key = format!("{}.{}", model.name(), platform.label());
+
+        let tracer = Tracer::enabled();
+        let staged = Flow::new(model, platform)
+            .with_tracer(&tracer)
+            .compile(&staged_config(model, platform))
+            .expect("staged configuration compiles");
+        // Structural counts are Exact: a changed kernel count or compile
+        // phase shape is a pipeline change, not noise.
+        rec.push(
+            &format!("compile.{key}.kernels"),
+            staged.bitstream.kernels.len() as f64,
+            "count",
+            Direction::Exact,
+            0.0,
+        );
+        rec.push(
+            &format!("compile.{key}.fmax_mhz"),
+            staged.bitstream.fmax_mhz,
+            "mhz",
+            Direction::Higher,
+            0.02,
+        );
+        rec.push(
+            &format!("compile.{key}.phase_events"),
+            tracer.span_count() as f64,
+            "count",
+            Direction::Exact,
+            0.0,
+        );
+
+        let pipelined = Flow::new(model, platform)
+            .compile(&dataflow_config(model, platform))
+            .expect("dataflow configuration compiles");
+        let s = staged.simulate_batch(BATCH);
+        let p = pipelined.simulate_batch(BATCH);
+        rec.push(
+            &format!("pipeline.{key}.staged_seconds_per_image"),
+            s.seconds / BATCH as f64,
+            "s",
+            Direction::Lower,
+            0.02,
+        );
+        rec.push(
+            &format!("pipeline.{key}.pipelined_seconds_per_image"),
+            p.seconds / BATCH as f64,
+            "s",
+            Direction::Lower,
+            0.02,
+        );
+        rec.push(
+            &format!("pipeline.{key}.speedup"),
+            s.seconds / p.seconds,
+            "ratio",
+            Direction::Higher,
+            0.02,
+        );
+    }
+
+    // Stage 3 — the serving pool under seeded load at two operating
+    // points: nominal capacity and 2x overload (the shedding regime).
+    let pool = build_pool();
+    for (tag, mult) in [("load1x", 1.0), ("load2x", 2.0)] {
+        let trace = mixed_trace(&pool, mult);
+        let r = Server::new(
+            build_pool(),
+            ServeConfig {
+                batch: BatchPolicy {
+                    max_batch: 8,
+                    max_wait_s: 2e-3,
+                },
+                admission: AdmissionPolicy {
+                    queue_capacity: 64,
+                    default_deadline_s: None,
+                },
+                fault: Default::default(),
+                brownout: Default::default(),
+            },
+        )
+        .run_open_loop(trace);
+        let key = format!("serve.{tag}");
+        rec.push(
+            &format!("{key}.p50_ms"),
+            r.metrics.latency.quantile(0.50) * 1e3,
+            "ms",
+            Direction::Lower,
+            0.05,
+        );
+        rec.push(
+            &format!("{key}.p99_ms"),
+            r.metrics.latency.quantile(0.99) * 1e3,
+            "ms",
+            Direction::Lower,
+            0.05,
+        );
+        rec.push(
+            &format!("{key}.shed_rate"),
+            r.metrics.shed_rate(),
+            "ratio",
+            Direction::Lower,
+            0.10,
+        );
+        rec.push(
+            &format!("{key}.throughput_rps"),
+            r.metrics.throughput_rps(),
+            "rps",
+            Direction::Higher,
+            0.05,
+        );
+    }
+
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_covered_and_every_value_is_finite() {
+        let rec = collect();
+        // 4 configs x (3 compile + 3 pipeline) + 2 load points x 4.
+        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4);
+        for m in &rec.metrics {
+            assert!(m.value.is_finite(), "{} is not finite", m.id);
+        }
+        for &(model, platform) in &CONFIGS {
+            let sp = rec
+                .get(&format!(
+                    "pipeline.{}.{}.speedup",
+                    model.name(),
+                    platform.label()
+                ))
+                .expect("speedup recorded");
+            assert!(sp.value > 1.0, "pipelined must beat staged: {}", sp.value);
+        }
+        // Poisson arrivals at exact capacity already queue and shed a
+        // little; 2x overload must shed much more.
+        let shed1 = rec.get("serve.load1x.shed_rate").unwrap().value;
+        let shed2 = rec.get("serve.load2x.shed_rate").unwrap().value;
+        assert!(shed1 < 0.2, "1.0x load shed {shed1}");
+        assert!(shed2 > 0.2, "2.0x overload shed {shed2}");
+        assert!(
+            shed2 > 2.0 * shed1,
+            "overload must shed more: {shed1} vs {shed2}"
+        );
+    }
+
+    #[test]
+    fn collect_is_byte_identical_across_runs() {
+        assert_eq!(collect().to_json(), collect().to_json());
+    }
+}

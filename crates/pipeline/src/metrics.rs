@@ -43,25 +43,25 @@ pub fn record_plan_metrics(reg: &Registry, model: &str, plan: &PipelinePlan) {
         plan.fallbacks.len() as f64,
     );
     reg.gauge_set(
-        "pipeline_staged_runs",
+        "pipeline_staged_runs_count",
         "Staged runs interleaved with pipelined segments in the last plan",
         labels,
         staged_runs,
     );
     reg.gauge_set(
-        "pipeline_channel_elems",
+        "pipeline_channel_elements",
         "Elements crossing inter-stage channels per image in the last plan",
         labels,
         plan.channel_elems as f64,
     );
     reg.gauge_set(
-        "pipeline_dram_elems_saved",
+        "pipeline_dram_saved_elements",
         "DRAM elements eliminated per image by the last plan",
         labels,
         plan.dram_elems_saved as f64,
     );
     reg.gauge_set(
-        "pipeline_max_channel_depth",
+        "pipeline_max_channel_depth_elements",
         "Deepest inter-stage FIFO (elements) in the last plan",
         labels,
         plan.max_channel_depth() as f64,
@@ -103,7 +103,10 @@ mod tests {
         assert_eq!(reg.value("pipeline_stages_total", labels), Some(2.0));
         assert_eq!(reg.value("pipeline_staged_nodes_total", labels), Some(1.0));
         assert_eq!(reg.value("pipeline_fallbacks_total", labels), Some(1.0));
-        assert_eq!(reg.value("pipeline_channel_elems", labels), Some(1024.0));
-        assert_eq!(reg.value("pipeline_max_channel_depth", labels), Some(128.0));
+        assert_eq!(reg.value("pipeline_channel_elements", labels), Some(1024.0));
+        assert_eq!(
+            reg.value("pipeline_max_channel_depth_elements", labels),
+            Some(128.0)
+        );
     }
 }

@@ -4,7 +4,7 @@ use fpgaccel_aoc::{kernel_cycles, AocOptions, Calib, KernelReport};
 use fpgaccel_device::{DeviceModel, TransferDir};
 use fpgaccel_fault::{FaultInjector, HANG_WATCHDOG_S};
 use fpgaccel_tir::Binding;
-use fpgaccel_trace::Tracer;
+use fpgaccel_trace::{HotPathProfiler, Tracer};
 use std::collections::HashMap;
 
 /// Index of a command queue.
@@ -136,6 +136,7 @@ pub struct Sim {
     pub retention: EventRetention,
     tracer: Tracer,
     trace_pid: u32,
+    profiler: HotPathProfiler,
     fault: FaultInjector,
     fault_target: String,
     host_clock: f64,
@@ -167,6 +168,7 @@ impl Sim {
             retention: EventRetention::Full,
             tracer: Tracer::disabled(),
             trace_pid: 0,
+            profiler: HotPathProfiler::disabled(),
             fault: FaultInjector::disabled(),
             fault_target: String::new(),
             host_clock: 0.0,
@@ -205,6 +207,20 @@ impl Sim {
     /// The attached tracer (disabled by default).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a hot-path profiler: every event recorded from here on is
+    /// measured for wall-clock cost, allocations and span-recording
+    /// overhead (see [`fpgaccel_trace::profile`]). The profiler measures
+    /// *host* time — it never touches the simulated clock, so simulated
+    /// results stay byte-identical with it attached.
+    pub fn set_profiler(&mut self, profiler: &HotPathProfiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// The attached profiler (disabled by default).
+    pub fn profiler(&self) -> &HotPathProfiler {
+        &self.profiler
     }
 
     /// Attaches a fault injector: from here on transfers consult the plan's
@@ -318,7 +334,12 @@ impl Sim {
     }
 
     fn push(&mut self, ev: SimEvent) -> EventId {
-        crate::timeline::record_event(&self.tracer, self.trace_pid, &ev);
+        // Every recorded event funnels through here, so this one probe
+        // covers the simulation's entire per-event host cost.
+        let probe = self.profiler.begin();
+        self.profiler.measure_span_record(&self.tracer, || {
+            crate::timeline::record_event(&self.tracer, self.trace_pid, &ev);
+        });
         self.agg_first = self.agg_first.min(ev.queued);
         self.agg_last = self.agg_last.max(ev.end);
         match ev.kind {
@@ -338,6 +359,7 @@ impl Sim {
                 self.dropped += excess;
             }
         }
+        self.profiler.end(probe);
         self.dropped + self.events.len() - 1
     }
 
@@ -641,6 +663,32 @@ mod tests {
         let e1 = sim.enqueue_kernel(q, &ra, &Binding::empty(), &[], &[]);
         let e2 = sim.enqueue_kernel(q, &rb, &Binding::empty(), &[], &[]);
         assert!(sim.event(e2).start >= sim.event(e1).end);
+    }
+
+    #[test]
+    fn profiler_counts_every_event_without_perturbing_simulated_time() {
+        let profiler = fpgaccel_trace::HotPathProfiler::enabled();
+        let (mut sim, ra, rb) = setup();
+        sim.set_profiler(&profiler);
+        let q = sim.create_queue();
+        sim.enqueue_write(q, "input", 1024, &[]);
+        sim.enqueue_kernel(q, &ra, &Binding::empty(), &[], &[]);
+        sim.enqueue_kernel(q, &rb, &Binding::empty(), &[], &[]);
+        let profiled: Vec<SimEvent> = sim.events().to_vec();
+        assert_eq!(profiler.events(), 3, "one probe per recorded event");
+        assert!(profiler.busy_seconds() >= 0.0);
+        // No tracer attached: span-record time must stay unmeasured.
+        assert_eq!(profiler.span_seconds(), 0.0);
+        // The simulated timeline is identical with the profiler detached.
+        let (mut bare, ra2, rb2) = setup();
+        let q = bare.create_queue();
+        bare.enqueue_write(q, "input", 1024, &[]);
+        bare.enqueue_kernel(q, &ra2, &Binding::empty(), &[], &[]);
+        bare.enqueue_kernel(q, &rb2, &Binding::empty(), &[], &[]);
+        for (a, b) in profiled.iter().zip(bare.events()) {
+            assert_eq!(a.queued, b.queued);
+            assert_eq!(a.end, b.end);
+        }
     }
 
     #[test]

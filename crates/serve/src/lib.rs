@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod pool;
 pub mod rollout;
 pub mod service;
+pub mod slo;
 
 pub use admission::{AdmissionPolicy, BrownoutPolicy};
 pub use batcher::{BatchPolicy, DynamicBatcher};
@@ -53,3 +54,4 @@ pub use service::{
     Completion, DeviceSummary, Failure, FaultPolicy, RecoveryEvent, Request, RunResult,
     ServeConfig, Server, Shed, ShedReason,
 };
+pub use slo::{SloAlert, SloKind, SloPolicy};

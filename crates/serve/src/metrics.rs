@@ -70,20 +70,28 @@ impl LatencyHistogram {
 
     /// Nearest-rank quantile estimate (bucket upper bound, clamped to the
     /// maximum recorded sample so a lone sample never reports a latency
-    /// above anything observed), seconds. Returns 0.0 when empty.
+    /// above anything observed), seconds. Returns 0.0 when empty — use
+    /// [`Self::quantile_opt`] to distinguish "no samples" from "fast".
     pub fn quantile(&self, q: f64) -> f64 {
+        self.quantile_opt(q).unwrap_or(0.0)
+    }
+
+    /// [`Self::quantile`] that reports `None` instead of a fabricated 0.0
+    /// when no samples have been recorded, so dashboards and comparators
+    /// can tell an idle series from a fast one.
+    pub fn quantile_opt(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
-            return 0.0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::upper_bound(i).min(self.max_s);
+                return Some(Self::upper_bound(i).min(self.max_s));
             }
         }
-        self.max_s
+        Some(self.max_s)
     }
 }
 
@@ -193,6 +201,19 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         assert!((h.max() - 37e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none_not_a_fake_zero() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_opt(q), None);
+            // The legacy accessor keeps its documented 0.0 and never NaN.
+            assert_eq!(h.quantile(q), 0.0);
+        }
+        let mut h = h;
+        h.record(1e-3);
+        assert!(h.quantile_opt(0.5).is_some());
     }
 
     #[test]

@@ -267,6 +267,12 @@ impl RolloutRun {
         self.finished_s
     }
 
+    /// The structured event log so far (the server mirrors new entries
+    /// into its flight recorder after each step).
+    pub(crate) fn events(&self) -> &[RolloutEvent] {
+        &self.events
+    }
+
     fn event(&mut self, t_s: f64, device: &str, action: &str, detail: String) {
         self.finished_s = self.finished_s.max(t_s);
         self.events.push(RolloutEvent {

@@ -6,11 +6,12 @@ use crate::batcher::{BatchPolicy, DynamicBatcher};
 use crate::metrics::ServiceMetrics;
 use crate::pool::{BatchOutcome, DevicePool};
 use crate::rollout::{RolloutReport, RolloutRun, RolloutSpec, ROLLOUT_LANE};
+use crate::slo::{SloAlert, SloMonitor, SloPolicy};
 use fpgaccel_fault::{FaultInjector, RetryPolicy};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::rng::Rng64;
 use fpgaccel_tensor::Tensor;
-use fpgaccel_trace::{Registry, Tracer, PID_SERVE};
+use fpgaccel_trace::{FlightRecorder, HotPathProfiler, Postmortem, Registry, Tracer, PID_SERVE};
 use std::collections::HashMap;
 
 /// Latency-histogram bucket bounds for the metrics registry, seconds.
@@ -188,6 +189,12 @@ pub struct RunResult {
     /// End-of-run device snapshots: health and serving configuration per
     /// deployed model (after any rollouts/rollbacks resolved).
     pub devices: Vec<DeviceSummary>,
+    /// SLO burn-rate alerts raised during the run, in fire order (empty
+    /// without [`Server::with_slo`]).
+    pub slo_alerts: Vec<SloAlert>,
+    /// Flight-recorder postmortems frozen by anomaly triggers (empty
+    /// without [`Server::with_flight_recorder`]).
+    pub postmortems: Vec<Postmortem>,
 }
 
 /// Server configuration.
@@ -265,6 +272,12 @@ pub struct Server {
     failures: Vec<Failure>,
     recovery: Vec<RecoveryEvent>,
     rollouts: Vec<RolloutRun>,
+    /// Rollout events already mirrored into the flight recorder, per
+    /// rollout (parallel to `rollouts`).
+    rollout_flight_seen: Vec<usize>,
+    slos: Vec<SloMonitor>,
+    flight: FlightRecorder,
+    profiler: HotPathProfiler,
 }
 
 impl Server {
@@ -291,6 +304,10 @@ impl Server {
             failures: Vec::new(),
             recovery: Vec::new(),
             rollouts: Vec::new(),
+            rollout_flight_seen: Vec::new(),
+            slos: Vec::new(),
+            flight: FlightRecorder::disabled(),
+            profiler: HotPathProfiler::disabled(),
         }
     }
 
@@ -303,6 +320,7 @@ impl Server {
                 .set_thread_name(PID_SERVE, ROLLOUT_LANE, "rollout");
         }
         self.rollouts.push(RolloutRun::new(spec));
+        self.rollout_flight_seen.push(0);
     }
 
     /// Builder form of [`Server::schedule_rollout`].
@@ -336,6 +354,36 @@ impl Server {
     /// (lets several runs or subsystems share one exposition).
     pub fn with_registry(mut self, registry: &Registry) -> Server {
         self.registry = registry.clone();
+        self
+    }
+
+    /// Monitors a per-model SLO with multi-window burn-rate alerting.
+    /// Alerts land in [`RunResult::slo_alerts`], the recovery log, the
+    /// metrics registry, and trigger flight-recorder postmortems. Several
+    /// policies (for different models) can be attached to one server.
+    pub fn with_slo(mut self, policy: SloPolicy) -> Server {
+        self.slos.push(SloMonitor::new(policy));
+        self
+    }
+
+    /// Attaches an anomaly flight recorder. The server streams
+    /// completions, sheds, retries, recovery actions and rollout events
+    /// into its ring, and freezes a [`Postmortem`] on batch timeouts,
+    /// quarantines, device loss, rollbacks and SLO breaches. The caller
+    /// keeps its own handle (clones share the ring), and the snapshots
+    /// are also returned in [`RunResult::postmortems`].
+    pub fn with_flight_recorder(mut self, flight: &FlightRecorder) -> Server {
+        self.flight = flight.clone();
+        self
+    }
+
+    /// Attaches a hot-path self-profiler measuring the *host* cost of the
+    /// dispatch path (wall time per flush, allocations, span-recording
+    /// overhead). Counters are exported into the registry under the
+    /// `serve_profile_` prefix at end of run; being wall-clock, they are
+    /// for dashboards and logs, never deterministic artifacts.
+    pub fn with_profiler(mut self, profiler: &HotPathProfiler) -> Server {
+        self.profiler = profiler.clone();
         self
     }
 
@@ -434,11 +482,31 @@ impl Server {
                     timeout_mult,
                 );
                 self.last_event_s = self.last_event_s.max(self.rollouts[k].last_t());
+                if self.flight.is_enabled() {
+                    let events = self.rollouts[k].events();
+                    for ev in &events[self.rollout_flight_seen[k]..] {
+                        self.flight
+                            .record(ev.t_s, "rollout", &ev.action, &ev.device, &ev.detail);
+                        if ev.action == "rollback-begin" {
+                            self.flight
+                                .trigger(ev.t_s, "rollback", &ev.device, &ev.detail);
+                        }
+                    }
+                    self.rollout_flight_seen[k] = events.len();
+                }
             }
         }
     }
 
+    /// Admits one request (the profiler measures the host cost of the
+    /// admission half of the dispatch path).
     fn handle_arrival(&mut self, req: Request) {
+        let probe = self.profiler.begin();
+        self.arrival_inner(req);
+        self.profiler.end(probe);
+    }
+
+    fn arrival_inner(&mut self, req: Request) {
         self.first_arrival_s = self.first_arrival_s.min(req.arrival_s);
         self.last_event_s = self.last_event_s.max(req.arrival_s);
         if !self.pool.serves(req.model) {
@@ -462,13 +530,15 @@ impl Server {
         let full = self.states[i].batcher.push(req);
         self.metrics.peak_queue_depth = self.metrics.peak_queue_depth.max(depth + 1);
         self.registry.gauge_max(
-            "serve_queue_depth_peak",
+            "serve_queue_depth_peak_requests",
             "Peak outstanding requests per model (queued + inflight).",
             &[("model", model.name())],
             (depth + 1) as f64,
         );
         if full {
-            self.flush(i, t);
+            // Direct call: this flush is part of the arrival operation
+            // already under the open probe (no double-counting).
+            self.flush_inner(i, t);
         }
     }
 
@@ -478,6 +548,45 @@ impl Server {
             .iter()
             .position(|s| s.model == model)
             .map_or(0, |i| 1 + i as u32)
+    }
+
+    /// Appends to the recovery log, mirroring the entry into the flight
+    /// recorder's ring — every fault/recovery action is incident context.
+    fn record_recovery_event(&mut self, ev: RecoveryEvent) {
+        if self.flight.is_enabled() {
+            self.flight
+                .record(ev.t_s, "recovery", &ev.action, &ev.subject, &ev.detail);
+        }
+        self.recovery.push(ev);
+    }
+
+    /// Feeds one request outcome to every SLO monitoring `model`. A newly
+    /// raised alert lands in the recovery log and freezes a flight
+    /// postmortem.
+    fn observe_slo(&mut self, model: Model, t: f64, latency_s: Option<f64>, available: bool) {
+        let mut raised = Vec::new();
+        for m in &mut self.slos {
+            if m.policy.model == model {
+                raised.extend(m.observe(t, latency_s, available, &self.registry));
+            }
+        }
+        for a in raised {
+            let detail = format!(
+                "{} SLO burning {:.0}x/{:.0}x (fast/slow) of budget, threshold {:.0}x",
+                a.slo.label(),
+                a.fast_burn,
+                a.slow_burn,
+                a.threshold
+            );
+            self.record_recovery_event(RecoveryEvent {
+                t_s: a.t_s,
+                subject: model.name().to_string(),
+                action: "slo-breach".into(),
+                detail: detail.clone(),
+            });
+            self.flight
+                .trigger(a.t_s, "slo-breach", model.name(), &detail);
+        }
     }
 
     fn shed(&mut self, id: u64, model: Model, time_s: f64, reason: ShedReason) {
@@ -511,6 +620,16 @@ impl Server {
             reason,
         });
         self.resolutions.push((id, time_s));
+        if self.flight.is_enabled() {
+            self.flight.record(
+                time_s,
+                "serve",
+                "shed",
+                &format!("req {id}"),
+                &format!("{} ({label})", model.name()),
+            );
+        }
+        self.observe_slo(model, time_s, None, false);
         self.note_shed_for_brownout(model, time_s);
     }
 
@@ -545,7 +664,7 @@ impl Server {
                     t,
                 );
             }
-            self.recovery.push(RecoveryEvent {
+            self.record_recovery_event(RecoveryEvent {
                 t_s: t,
                 subject: model.name().to_string(),
                 action: "brownout-enter".into(),
@@ -580,7 +699,7 @@ impl Server {
                     t,
                 );
             }
-            self.recovery.push(RecoveryEvent {
+            self.record_recovery_event(RecoveryEvent {
                 t_s: t,
                 subject: model.name().to_string(),
                 action: "brownout-exit".into(),
@@ -590,8 +709,16 @@ impl Server {
         self.states[i].brownout_active
     }
 
-    /// Dispatches the batch forming in `states[i]` at simulated time `t`.
+    /// Dispatches the batch forming in `states[i]` at simulated time `t`
+    /// (the profiler measures the host cost of the flush half of the
+    /// dispatch path).
     fn flush(&mut self, i: usize, t: f64) {
+        let probe = self.profiler.begin();
+        self.flush_inner(i, t);
+        self.profiler.end(probe);
+    }
+
+    fn flush_inner(&mut self, i: usize, t: f64) {
         let model = self.states[i].model;
         let brownout = self.brownout_for_flush(i, t);
         let mut batch = self.states[i].batcher.take_batch();
@@ -679,21 +806,24 @@ impl Server {
                     size as f64,
                 );
                 if self.tracer.is_enabled() {
-                    self.tracer.span_args(
-                        PID_SERVE,
-                        DEVICE_LANE_BASE + d.device as u32,
-                        "batch",
-                        &format!("{} x{size}", model.name()),
-                        d.start_s,
-                        completion_s,
-                        &[
-                            ("dispatch_s", format!("{t}")),
-                            (
-                                "expected_completion_s",
-                                format!("{}", d.expected_completion_s),
-                            ),
-                        ],
-                    );
+                    let (profiler, tracer) = (&self.profiler, &self.tracer);
+                    profiler.measure_span_record(tracer, || {
+                        tracer.span_args(
+                            PID_SERVE,
+                            DEVICE_LANE_BASE + d.device as u32,
+                            "batch",
+                            &format!("{} x{size}", model.name()),
+                            d.start_s,
+                            completion_s,
+                            &[
+                                ("dispatch_s", format!("{t}")),
+                                (
+                                    "expected_completion_s",
+                                    format!("{}", d.expected_completion_s),
+                                ),
+                            ],
+                        );
+                    });
                 }
                 self.states[i]
                     .inflight
@@ -723,20 +853,37 @@ impl Server {
                         completion_s - arrival_s,
                     );
                     if self.tracer.is_enabled() {
-                        self.tracer.span_args(
-                            PID_SERVE,
-                            1 + i as u32,
-                            "request",
-                            &format!("req {}", r.id),
-                            arrival_s,
+                        let (profiler, tracer) = (&self.profiler, &self.tracer);
+                        profiler.measure_span_record(tracer, || {
+                            tracer.span_args(
+                                PID_SERVE,
+                                1 + i as u32,
+                                "request",
+                                &format!("req {}", r.id),
+                                arrival_s,
+                                completion_s,
+                                &[
+                                    ("device", device_name.clone()),
+                                    ("batch", size.to_string()),
+                                    ("dispatch_s", format!("{t}")),
+                                ],
+                            );
+                        });
+                    }
+                    if self.flight.is_enabled() {
+                        self.flight.record(
                             completion_s,
-                            &[
-                                ("device", device_name.clone()),
-                                ("batch", size.to_string()),
-                                ("dispatch_s", format!("{t}")),
-                            ],
+                            "serve",
+                            "completion",
+                            &format!("req {}", r.id),
+                            &format!(
+                                "{} x{size} on {device_name}, latency {:.3} ms",
+                                model.name(),
+                                (completion_s - arrival_s) * 1e3
+                            ),
                         );
                     }
+                    self.observe_slo(model, completion_s, Some(completion_s - arrival_s), true);
                     self.resolutions.push((r.id, completion_s));
                     self.completions.push(Completion {
                         id: r.id,
@@ -769,7 +916,7 @@ impl Server {
                         completion_s,
                     );
                 }
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery_event(RecoveryEvent {
                     t_s: completion_s,
                     subject: device_name,
                     action: "corrupt".into(),
@@ -796,7 +943,7 @@ impl Server {
                         fail_s,
                     );
                 }
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery_event(RecoveryEvent {
                     t_s: fail_s,
                     subject: device_name.clone(),
                     action: "hang-detected".into(),
@@ -806,6 +953,12 @@ impl Server {
                         hang_s * 1e3
                     ),
                 });
+                self.flight.trigger(
+                    fail_s,
+                    "timeout",
+                    &device_name,
+                    &format!("{} x{size} watchdog fired", model.name()),
+                );
                 let rec = self.pool.quarantine(
                     d.device,
                     fail_s,
@@ -825,7 +978,7 @@ impl Server {
                         fail_s,
                     );
                 }
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery_event(RecoveryEvent {
                     t_s: fail_s,
                     subject: device_name,
                     action: "redistributed".into(),
@@ -856,7 +1009,7 @@ impl Server {
                     a1,
                 );
             }
-            self.recovery.push(RecoveryEvent {
+            self.record_recovery_event(RecoveryEvent {
                 t_s: a1,
                 subject: device_name.to_string(),
                 action: if ok { "reprogram-ok" } else { "reprogram-fail" }.into(),
@@ -881,7 +1034,7 @@ impl Server {
                     "Hung devices quarantined and reprogrammed back to service.",
                     &[("device", device_name)],
                 );
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery_event(RecoveryEvent {
                     t_s: until_s,
                     subject: device_name.to_string(),
                     action: "returned".into(),
@@ -890,6 +1043,15 @@ impl Server {
                         (until_s - rec.fail_s) * 1e3
                     ),
                 });
+                self.flight.trigger(
+                    until_s,
+                    "quarantine",
+                    device_name,
+                    &format!(
+                        "reprogrammed back to service after {} attempt(s)",
+                        rec.attempts.len()
+                    ),
+                );
             }
             None => {
                 let lost_s = rec.attempts.last().map_or(rec.fail_s, |a| a.1);
@@ -907,7 +1069,7 @@ impl Server {
                     "Devices lost after every reprogram attempt failed.",
                     &[("device", device_name)],
                 );
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery_event(RecoveryEvent {
                     t_s: lost_s,
                     subject: device_name.to_string(),
                     action: "lost".into(),
@@ -916,6 +1078,12 @@ impl Server {
                         rec.attempts.len()
                     ),
                 });
+                self.flight.trigger(
+                    lost_s,
+                    "device-lost",
+                    device_name,
+                    &format!("{} reprogram attempts failed", rec.attempts.len()),
+                );
             }
         }
     }
@@ -968,6 +1136,15 @@ impl Server {
                     due,
                 );
             }
+            if self.flight.is_enabled() {
+                self.flight.record(
+                    due,
+                    "serve",
+                    "retry",
+                    &format!("req {}", r.id),
+                    &format!("{} attempt {n}", model.name()),
+                );
+            }
             self.retry_seq += 1;
             self.pending_retries.push(PendingRetry {
                 due_s: due,
@@ -998,7 +1175,7 @@ impl Server {
                 t,
             );
         }
-        self.recovery.push(RecoveryEvent {
+        self.record_recovery_event(RecoveryEvent {
             t_s: t,
             subject: format!("req {id}"),
             action: "failed".into(),
@@ -1010,6 +1187,7 @@ impl Server {
             time_s: t,
             attempts,
         });
+        self.observe_slo(model, t, None, false);
         self.resolutions.push((id, t));
         self.last_event_s = self.last_event_s.max(t);
     }
@@ -1064,7 +1242,7 @@ impl Server {
                 0.0
             };
             self.registry.gauge_set(
-                "serve_device_utilization",
+                "serve_device_utilization_ratio",
                 "Busy fraction of the run span, per device.",
                 &[("device", &dev.name)],
                 util,
@@ -1074,7 +1252,7 @@ impl Server {
             for dev in self.pool.devices() {
                 let health = dev.health_at(self.last_event_s);
                 self.registry.gauge_set(
-                    "serve_device_health",
+                    "serve_device_health_state",
                     "Device health at end of run (1 healthy, 0.5 quarantined, 0 lost).",
                     &[("device", &dev.name)],
                     match health {
@@ -1109,6 +1287,12 @@ impl Server {
                 deployments: dev.deployed_models(),
             })
             .collect();
+        // Wall-clock profiler counters go to the registry only — never
+        // into deterministic run artifacts.
+        self.profiler.export(&self.registry, "serve");
+        let mut slo_alerts: Vec<SloAlert> =
+            self.slos.iter().flat_map(|m| m.alerts.clone()).collect();
+        slo_alerts.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
         RunResult {
             completions: self.completions,
             sheds: self.sheds,
@@ -1118,6 +1302,8 @@ impl Server {
             recovery: self.recovery,
             rollouts: self.rollouts.iter().map(RolloutRun::report).collect(),
             devices,
+            slo_alerts,
+            postmortems: self.flight.postmortems(),
         }
     }
 

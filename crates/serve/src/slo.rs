@@ -1,0 +1,394 @@
+//! Per-model SLOs with multi-window burn-rate alerting.
+//!
+//! An SLO states an objective over a rolling window ("99% of served
+//! requests complete within 25 ms", "99.9% of admitted requests are not
+//! shed or failed"). The classic alerting failure modes are paging on a
+//! single bad request (too fast) and paging an hour after the error
+//! budget is gone (too slow). The standard fix — and the one implemented
+//! here — is **multi-window burn-rate** evaluation: the *burn rate* is
+//! how fast the error budget is being consumed (`bad_fraction /
+//! (1 − objective)`; burn 1.0 spends exactly the budget), and an alert
+//! fires only when both a fast window (catches the onset quickly) and a
+//! slow window (proves it is sustained, not a blip) burn above the
+//! threshold. The windows are *simulated-time* windows: the defaults are
+//! scaled stand-ins for the canonical 5-minute/1-hour pair, sized to the
+//! sub-second traces the experiments serve.
+//!
+//! Alerts are structured [`SloAlert`]s: they land in the run's metrics
+//! registry (`serve_slo_alerts_total`, `serve_slo_burn_rate_ratio`), the
+//! recovery log, and — via the server's flight recorder — a postmortem
+//! snapshot of the incident.
+
+use fpgaccel_tensor::models::Model;
+use fpgaccel_trace::Registry;
+use std::collections::VecDeque;
+
+/// Which objective an alert refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloKind {
+    /// Fraction of *served* requests completing within the latency
+    /// target.
+    Latency,
+    /// Fraction of *offered* requests that were neither shed nor failed.
+    Availability,
+}
+
+impl SloKind {
+    /// Metric-label form (`latency` / `availability`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SloKind::Latency => "latency",
+            SloKind::Availability => "availability",
+        }
+    }
+}
+
+/// Per-model latency/availability objectives and burn-rate alerting
+/// knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SloPolicy {
+    /// Model the objectives apply to.
+    pub model: Model,
+    /// A served request is latency-good if it completes within this many
+    /// seconds of first arrival.
+    pub latency_target_s: f64,
+    /// Objective fraction of latency-good served requests (e.g. 0.99).
+    pub latency_objective: f64,
+    /// Objective fraction of offered requests neither shed nor failed
+    /// (e.g. 0.999).
+    pub availability_objective: f64,
+    /// Fast evaluation window, simulated seconds (onset detection — the
+    /// 5-minute-equivalent of the canonical pair).
+    pub fast_window_s: f64,
+    /// Slow evaluation window, simulated seconds (sustained-burn proof —
+    /// the 1-hour-equivalent).
+    pub slow_window_s: f64,
+    /// Alert when **both** windows burn at or above this rate.
+    pub burn_threshold: f64,
+    /// Outcomes required in the fast window before it can alert — a
+    /// lone early failure must not page.
+    pub min_samples: usize,
+}
+
+impl SloPolicy {
+    /// Defaults for `model`: p99-style latency SLO at `latency_target_s`,
+    /// 99.9% availability, 20 ms / 200 ms windows, burn threshold 10
+    /// (the canonical fast-page threshold for a 5m/1h pair).
+    pub fn new(model: Model, latency_target_s: f64) -> SloPolicy {
+        SloPolicy {
+            model,
+            latency_target_s,
+            latency_objective: 0.99,
+            availability_objective: 0.999,
+            fast_window_s: 0.02,
+            slow_window_s: 0.2,
+            burn_threshold: 10.0,
+            min_samples: 10,
+        }
+    }
+}
+
+/// A raised burn-rate alert.
+#[derive(Clone, Debug)]
+pub struct SloAlert {
+    /// When the alert fired, simulated seconds.
+    pub t_s: f64,
+    /// Model in breach.
+    pub model: Model,
+    /// Which objective.
+    pub slo: SloKind,
+    /// Burn rate over the fast window at fire time.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at fire time.
+    pub slow_burn: f64,
+    /// The policy threshold both exceeded.
+    pub threshold: f64,
+}
+
+/// One observed request outcome.
+struct Outcome {
+    t_s: f64,
+    /// Within the latency target (`None` for shed/failed requests, which
+    /// have no service latency).
+    latency_ok: Option<bool>,
+    available: bool,
+}
+
+/// The per-model monitor: a pruned outcome window and the alerting state
+/// machine.
+pub(crate) struct SloMonitor {
+    pub(crate) policy: SloPolicy,
+    outcomes: VecDeque<Outcome>,
+    /// Latched per [`SloKind`] while in breach (hysteresis: re-arms only
+    /// once the fast window drops back under the threshold).
+    alerting: [bool; 2],
+    pub(crate) alerts: Vec<SloAlert>,
+}
+
+/// Burn rate of the outcomes in `window` ending at `now`: the fraction
+/// of bad outcomes over the budget `1 − objective`. Windows with fewer
+/// than `min_samples` outcomes report 0 (not enough evidence to page).
+fn burn(
+    outcomes: &VecDeque<Outcome>,
+    now: f64,
+    window_s: f64,
+    objective: f64,
+    min_samples: usize,
+    kind: SloKind,
+) -> f64 {
+    let budget = (1.0 - objective).max(1e-9);
+    let (mut n, mut bad) = (0usize, 0usize);
+    for o in outcomes.iter().rev() {
+        if o.t_s < now - window_s {
+            break;
+        }
+        let verdict = match kind {
+            SloKind::Latency => o.latency_ok,
+            SloKind::Availability => Some(o.available),
+        };
+        if let Some(good) = verdict {
+            n += 1;
+            if !good {
+                bad += 1;
+            }
+        }
+    }
+    if n < min_samples.max(1) {
+        return 0.0;
+    }
+    (bad as f64 / n as f64) / budget
+}
+
+impl SloMonitor {
+    pub(crate) fn new(policy: SloPolicy) -> SloMonitor {
+        SloMonitor {
+            policy,
+            outcomes: VecDeque::new(),
+            alerting: [false; 2],
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Feeds one request outcome — `latency_s` is the end-to-end latency
+    /// of a served request (`None` for shed/failed ones) — and evaluates
+    /// both objectives. Newly raised alerts are returned *and* appended
+    /// to [`Self::alerts`]; burn-rate gauges and alert counters land in
+    /// `registry`.
+    pub(crate) fn observe(
+        &mut self,
+        t_s: f64,
+        latency_s: Option<f64>,
+        available: bool,
+        registry: &Registry,
+    ) -> Vec<SloAlert> {
+        let p = self.policy;
+        self.outcomes.push_back(Outcome {
+            t_s,
+            latency_ok: latency_s.map(|l| l <= p.latency_target_s),
+            available,
+        });
+        while self
+            .outcomes
+            .front()
+            .is_some_and(|o| o.t_s < t_s - p.slow_window_s)
+        {
+            self.outcomes.pop_front();
+        }
+        let mut raised = Vec::new();
+        for (idx, kind) in [SloKind::Latency, SloKind::Availability]
+            .into_iter()
+            .enumerate()
+        {
+            let objective = match kind {
+                SloKind::Latency => p.latency_objective,
+                SloKind::Availability => p.availability_objective,
+            };
+            let fast = burn(
+                &self.outcomes,
+                t_s,
+                p.fast_window_s,
+                objective,
+                p.min_samples,
+                kind,
+            );
+            let slow = burn(
+                &self.outcomes,
+                t_s,
+                p.slow_window_s,
+                objective,
+                p.min_samples,
+                kind,
+            );
+            for (window, value) in [("fast", fast), ("slow", slow)] {
+                registry.gauge_set(
+                    "serve_slo_burn_rate_ratio",
+                    "Error-budget burn rate per SLO and evaluation window.",
+                    &[
+                        ("model", p.model.name()),
+                        ("slo", kind.label()),
+                        ("window", window),
+                    ],
+                    value,
+                );
+            }
+            let breached = fast >= p.burn_threshold && slow >= p.burn_threshold;
+            if breached && !self.alerting[idx] {
+                self.alerting[idx] = true;
+                registry.counter_inc(
+                    "serve_slo_alerts_total",
+                    "Burn-rate SLO alerts raised, by model and objective.",
+                    &[("model", p.model.name()), ("slo", kind.label())],
+                );
+                let alert = SloAlert {
+                    t_s,
+                    model: p.model,
+                    slo: kind,
+                    fast_burn: fast,
+                    slow_burn: slow,
+                    threshold: p.burn_threshold,
+                };
+                self.alerts.push(alert.clone());
+                raised.push(alert);
+            } else if self.alerting[idx] && fast < p.burn_threshold {
+                // Hysteresis: the alert re-arms once the fast window
+                // recovers; the slow window alone keeps it latched.
+                self.alerting[idx] = false;
+            }
+        }
+        raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy {
+            min_samples: 4,
+            ..SloPolicy::new(Model::LeNet5, 0.01)
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let reg = Registry::new();
+        let mut m = SloMonitor::new(policy());
+        for i in 0..200 {
+            let t = i as f64 * 1e-3;
+            assert!(m.observe(t, Some(1e-3), true, &reg).is_empty());
+        }
+        assert!(m.alerts.is_empty());
+        assert_eq!(
+            reg.value(
+                "serve_slo_burn_rate_ratio",
+                &[
+                    ("model", "LeNet-5"),
+                    ("slo", "availability"),
+                    ("window", "fast")
+                ]
+            ),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn sustained_sheds_raise_one_availability_alert_with_hysteresis() {
+        let reg = Registry::new();
+        let mut m = SloMonitor::new(policy());
+        // Warm-up of good traffic, then a sustained full outage.
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += 1e-3;
+            m.observe(t, Some(1e-3), true, &reg);
+        }
+        let mut raised = 0;
+        for _ in 0..100 {
+            t += 1e-3;
+            raised += m.observe(t, None, false, &reg).len();
+        }
+        let avail: Vec<_> = m
+            .alerts
+            .iter()
+            .filter(|a| a.slo == SloKind::Availability)
+            .collect();
+        assert_eq!(avail.len(), 1, "latched: one alert per sustained breach");
+        assert_eq!(raised, avail.len());
+        let a = avail[0];
+        assert!(a.fast_burn >= a.threshold && a.slow_burn >= a.threshold);
+        // Recovery re-arms, a second outage re-alerts.
+        for _ in 0..100 {
+            t += 1e-3;
+            m.observe(t, Some(1e-3), true, &reg);
+        }
+        for _ in 0..100 {
+            t += 1e-3;
+            m.observe(t, None, false, &reg);
+        }
+        assert_eq!(
+            m.alerts
+                .iter()
+                .filter(|a| a.slo == SloKind::Availability)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn slow_latency_raises_a_latency_alert() {
+        let reg = Registry::new();
+        let mut m = SloMonitor::new(policy());
+        let mut t = 0.0;
+        for _ in 0..50 {
+            t += 1e-3;
+            m.observe(t, Some(1e-3), true, &reg);
+        }
+        for _ in 0..100 {
+            t += 1e-3;
+            m.observe(t, Some(0.1), true, &reg);
+        }
+        assert!(m.alerts.iter().any(|a| a.slo == SloKind::Latency));
+        assert!(!m.alerts.iter().any(|a| a.slo == SloKind::Availability));
+        assert_eq!(
+            reg.value(
+                "serve_slo_alerts_total",
+                &[("model", "LeNet-5"), ("slo", "latency")]
+            ),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn a_lone_failure_is_below_min_samples_and_never_pages() {
+        let reg = Registry::new();
+        let mut m = SloMonitor::new(policy());
+        assert!(m.observe(0.0, None, false, &reg).is_empty());
+        assert!(m.alerts.is_empty());
+    }
+
+    #[test]
+    fn blips_shorter_than_the_slow_window_do_not_page() {
+        let reg = Registry::new();
+        // A 1% availability budget: the 10-outcome blip below burns the
+        // fast window at 50x but the slow window at only 5x.
+        let mut m = SloMonitor::new(SloPolicy {
+            availability_objective: 0.99,
+            ..policy()
+        });
+        let mut t = 0.0;
+        // Long good history fills the slow window...
+        for _ in 0..400 {
+            t += 1e-3;
+            m.observe(t, Some(1e-3), true, &reg);
+        }
+        // ...so a fast-window-sized blip burns the fast window only.
+        for _ in 0..10 {
+            t += 1e-3;
+            m.observe(t, None, false, &reg);
+        }
+        assert!(
+            m.alerts.is_empty(),
+            "a blip must not page: slow window still healthy"
+        );
+    }
+}

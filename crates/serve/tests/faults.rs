@@ -106,7 +106,7 @@ fn hang_quarantines_reprograms_and_returns_the_device() {
     // The device came back: health is healthy again by the end of the run.
     let server_pool_health = result
         .registry
-        .value("serve_device_health", &[("device", "s10sx-0")])
+        .value("serve_device_health_state", &[("device", "s10sx-0")])
         .unwrap();
     assert_eq!(server_pool_health, 1.0, "device must return to service");
     // Trace export shows the recovery spans.
@@ -143,13 +143,13 @@ fn exhausted_reprograms_lose_the_device_but_not_the_service() {
     assert_eq!(
         result
             .registry
-            .value("serve_device_health", &[("device", "s10sx-0")]),
+            .value("serve_device_health_state", &[("device", "s10sx-0")]),
         Some(0.0)
     );
     assert_eq!(
         result
             .registry
-            .value("serve_device_health", &[("device", "s10sx-1")]),
+            .value("serve_device_health_state", &[("device", "s10sx-1")]),
         Some(1.0)
     );
     // Degradation is proportional, not a collapse: well over half the
@@ -277,7 +277,7 @@ fn soak_random_fault_plans_never_panic_or_lose_requests() {
             .registry
             .render_prometheus()
             .lines()
-            .filter(|l| l.starts_with("serve_device_health"))
+            .filter(|l| l.starts_with("serve_device_health_state"))
         {
             let v: f64 = dev.rsplit(' ').next().unwrap().parse().unwrap();
             assert!([0.0, 0.5, 1.0].contains(&v), "seed {seed}: health {v}");

@@ -252,14 +252,14 @@ fn traced_run_records_spans_and_registry_agrees_with_metrics() {
         .sum();
     assert_eq!(shed_total, result.metrics.shed() as f64);
     assert_eq!(
-        r.value("serve_queue_depth_peak", &[("model", "LeNet-5")]),
+        r.value("serve_queue_depth_peak_requests", &[("model", "LeNet-5")]),
         Some(result.metrics.peak_queue_depth as f64)
     );
     assert_eq!(r.value("serve_deploy_cache_hits_total", &[]), Some(1.0));
     assert_eq!(r.value("serve_deploy_cache_misses_total", &[]), Some(1.0));
     for dev in ["s10sx-0", "s10sx-1"] {
         let util = r
-            .value("serve_device_utilization", &[("device", dev)])
+            .value("serve_device_utilization_ratio", &[("device", dev)])
             .unwrap();
         assert!(
             (0.0..=1.0).contains(&util) && util > 0.0,

@@ -25,14 +25,30 @@
 //! The [`json`] module is a minimal JSON reader used to validate exported
 //! traces and to recompute profile breakdowns *from the export itself*
 //! (the golden test for the Figure 6.2 timeline).
+//!
+//! Three further instruments make the observability continuous:
+//!
+//! * **[`flight`]** — an anomaly flight recorder: a bounded ring of
+//!   recent operational events that freezes into a JSON [`Postmortem`]
+//!   when a timeout, quarantine, rollback or SLO breach fires.
+//! * **[`profile`]** — a hot-path self-profiler measuring the *host*
+//!   cost (wall time, allocations, span-recording overhead) of the
+//!   simulation and dispatch loops, exported through the [`Registry`].
+//! * **[`alloc`]** — a counting global allocator feeding the profiler's
+//!   allocation columns when installed in a binary.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod tracer;
 
 pub use chrome::chrome_trace_json;
+pub use flight::{FlightEvent, FlightRecorder, Postmortem};
 pub use metrics::Registry;
+pub use profile::HotPathProfiler;
 pub use tracer::{PhaseGuard, TraceEvent, Tracer, PID_FLOW, PID_SERVE, PID_TUNE};

@@ -131,7 +131,9 @@ impl Registry {
         f(series);
     }
 
-    /// Adds `v` (≥ 0) to a counter.
+    /// Adds `v` (≥ 0) to a counter. Non-finite increments are dropped —
+    /// a counter must never become `NaN`/`Inf` (neither has a JSON
+    /// encoding, so it would corrupt the exposition).
     pub fn counter_add(&self, name: &str, help: &str, labels: &[(&str, &str)], v: f64) {
         self.update(
             name,
@@ -140,7 +142,9 @@ impl Registry {
             labels,
             |s| {
                 if let Series::Value(total) = s {
-                    *total += v.max(0.0);
+                    if v.is_finite() {
+                        *total += v.max(0.0);
+                    }
                 }
             },
             || Series::Value(0.0),
@@ -186,7 +190,9 @@ impl Registry {
     }
 
     /// Records an observation into a histogram with the given ascending
-    /// bucket upper bounds (the `+Inf` bucket is implicit).
+    /// bucket upper bounds (the `+Inf` bucket is implicit). Non-finite
+    /// observations are dropped: one stray `NaN` would otherwise poison
+    /// the histogram's `sum` forever and leak into both expositions.
     pub fn histogram_observe(
         &self,
         name: &str,
@@ -195,6 +201,9 @@ impl Registry {
         bounds: &[f64],
         v: f64,
     ) {
+        if !v.is_finite() {
+            return;
+        }
         self.update(
             name,
             help,
@@ -243,9 +252,107 @@ impl Registry {
         }
     }
 
+    /// Nearest-rank quantile estimate from a histogram's cumulative
+    /// buckets (the matching bucket's upper bound). Returns `None` for an
+    /// unknown series — and, crucially, for a histogram with **zero
+    /// samples**, where a quantile is undefined; callers render that as
+    /// absent rather than letting a `NaN` placeholder propagate.
+    pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let (key, _) = label_key(labels);
+        let Series::Histogram(h) = &inner.families.get(name)?.series.get(&key)?.1 else {
+            return None;
+        };
+        if h.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * h.count as f64).ceil().max(1.0) as u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            if c >= rank {
+                // The +Inf bucket has no finite upper bound; report the
+                // mean of the overflow mass instead of infinity.
+                return Some(h.bounds.get(i).copied().unwrap_or(h.sum / h.count as f64));
+            }
+        }
+        None
+    }
+
     /// Number of registered families.
     pub fn family_count(&self) -> usize {
         self.inner.lock().expect("registry poisoned").families.len()
+    }
+
+    /// Audits every registered family name against the repository's
+    /// naming convention and returns one violation string per offence
+    /// (empty when fully conformant):
+    ///
+    /// * names are `snake_case` ASCII (`[a-z][a-z0-9_]*`);
+    /// * every name starts with one of the `prefixes` (the owning
+    ///   subsystem, e.g. `serve_`);
+    /// * counters end in `_total`;
+    /// * histograms end in a base-unit suffix (`_seconds`, `_bytes`,
+    ///   `_size`);
+    /// * gauges end in a unit suffix from a fixed allowlist (`_seconds`,
+    ///   `_ratio`, `_state`, ...), so a reader can always tell what a
+    ///   sample means without consulting HELP text.
+    pub fn audit_names(&self, prefixes: &[&str]) -> Vec<String> {
+        const HISTOGRAM_SUFFIXES: &[&str] = &["_seconds", "_bytes", "_size"];
+        const GAUGE_SUFFIXES: &[&str] = &[
+            "_seconds",
+            "_bytes",
+            "_ratio",
+            "_state",
+            "_count",
+            "_elements",
+            "_requests",
+            "_per_second",
+            "_seconds_per_image",
+            "_mhz",
+        ];
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut violations = Vec::new();
+        for (name, family) in &inner.families {
+            let mut chars = name.chars();
+            let well_formed = chars.next().is_some_and(|c| c.is_ascii_lowercase())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+            if !well_formed {
+                violations.push(format!("{name}: not snake_case ([a-z][a-z0-9_]*)"));
+            }
+            if !prefixes.iter().any(|p| name.starts_with(p)) {
+                violations.push(format!(
+                    "{name}: missing subsystem prefix (one of {})",
+                    prefixes.join(", ")
+                ));
+            }
+            match family.kind {
+                MetricKind::Counter => {
+                    if !name.ends_with("_total") {
+                        violations.push(format!("{name}: counter must end in `_total`"));
+                    }
+                }
+                MetricKind::Histogram => {
+                    if !HISTOGRAM_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+                        violations.push(format!(
+                            "{name}: histogram must end in a unit suffix ({})",
+                            HISTOGRAM_SUFFIXES.join(", ")
+                        ));
+                    }
+                }
+                MetricKind::Gauge => {
+                    if name.ends_with("_total") {
+                        violations.push(format!("{name}: `_total` is reserved for counters"));
+                    } else if !GAUGE_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+                        violations.push(format!(
+                            "{name}: gauge must end in a unit suffix ({})",
+                            GAUGE_SUFFIXES.join(", ")
+                        ));
+                    }
+                }
+            }
+        }
+        violations
     }
 
     /// Prometheus text exposition (format version 0.0.4).
@@ -431,5 +538,106 @@ mod tests {
         let r = Registry::new();
         r.counter_inc("m", "m", &[]);
         r.gauge_set("m", "m", &[], 1.0);
+    }
+
+    #[test]
+    fn non_finite_observations_never_reach_the_exposition() {
+        let r = Registry::new();
+        r.histogram_observe("lat_seconds", "lat", &[], &[1.0], f64::NAN);
+        r.histogram_observe("lat_seconds", "lat", &[], &[1.0], f64::INFINITY);
+        r.histogram_observe("lat_seconds", "lat", &[], &[1.0], 0.5);
+        assert_eq!(r.histogram_sum_count("lat_seconds", &[]), Some((0.5, 1)));
+        r.counter_add("c_total", "c", &[], f64::NAN);
+        r.counter_add("c_total", "c", &[], 2.0);
+        assert_eq!(r.value("c_total", &[]), Some(2.0));
+        let text = r.render_prometheus();
+        let json = r.render_json();
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn zero_sample_quantiles_are_none_not_nan() {
+        let r = Registry::new();
+        assert_eq!(r.histogram_quantile("missing", &[], 0.5), None);
+        // Registered but never observed (e.g. only NaN observations).
+        r.histogram_observe("lat_seconds", "lat", &[], &[1e-3, 1e-2], f64::NAN);
+        assert_eq!(r.histogram_quantile("lat_seconds", &[], 0.5), None);
+        for v in [5e-4, 5e-4, 5e-3] {
+            r.histogram_observe("lat_seconds", "lat", &[], &[1e-3, 1e-2], v);
+        }
+        assert_eq!(r.histogram_quantile("lat_seconds", &[], 0.5), Some(1e-3));
+        assert_eq!(r.histogram_quantile("lat_seconds", &[], 1.0), Some(1e-2));
+        // Mass in the +Inf bucket reports the finite mean, not infinity.
+        r.histogram_observe("lat_seconds", "lat", &[], &[1e-3, 1e-2], 5.0);
+        let q = r.histogram_quantile("lat_seconds", &[], 1.0).unwrap();
+        assert!(q.is_finite());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let r = Registry::new();
+        r.counter_inc("serve_requests_total", "Requests \"served\".", &[]);
+        r.gauge_set(
+            "serve_depth_count",
+            "depth",
+            &[("model", "le\"net\n5")],
+            2.0,
+        );
+        r.histogram_observe("serve_lat_seconds", "lat", &[], &[1.0], 0.5);
+        let text = r.render_prometheus();
+        // Every family gets exactly one HELP and one TYPE line, in order,
+        // immediately before its samples.
+        for family in [
+            "serve_requests_total",
+            "serve_depth_count",
+            "serve_lat_seconds",
+        ] {
+            let help = text.find(&format!("# HELP {family} ")).unwrap();
+            let typ = text.find(&format!("# TYPE {family} ")).unwrap();
+            assert!(help < typ, "{family}: HELP must precede TYPE");
+            assert_eq!(text.matches(&format!("# HELP {family} ")).count(), 1);
+            assert_eq!(text.matches(&format!("# TYPE {family} ")).count(), 1);
+        }
+        // Label values escape quotes and newlines per text format 0.0.4.
+        assert!(text.contains("model=\"le\\\"net\\n5\""));
+        // Histograms expose cumulative buckets with le labels, +Inf last,
+        // then _sum and _count.
+        let b1 = text.find("serve_lat_seconds_bucket{le=\"1\"} 1").unwrap();
+        let binf = text
+            .find("serve_lat_seconds_bucket{le=\"+Inf\"} 1")
+            .unwrap();
+        let sum = text.find("serve_lat_seconds_sum 0.5").unwrap();
+        let count = text.find("serve_lat_seconds_count 1").unwrap();
+        assert!(b1 < binf && binf < sum && sum < count);
+        // Rendering is a pure function of the updates: byte-identical.
+        assert_eq!(text, r.render_prometheus());
+    }
+
+    #[test]
+    fn naming_audit_flags_nonconforming_names() {
+        let r = Registry::new();
+        r.counter_inc("serve_requests_completed_total", "ok", &[]);
+        r.gauge_set("serve_device_utilization_ratio", "ok", &[], 0.5);
+        r.histogram_observe("serve_request_latency_seconds", "ok", &[], &[1.0], 0.5);
+        assert!(r.audit_names(&["serve_"]).is_empty());
+        // One offence per rule.
+        r.counter_inc("serve_requests_completed", "no _total", &[]);
+        r.gauge_set("serve_queue_depth", "no unit", &[], 1.0);
+        r.gauge_set("serve_bad_total", "gauge posing as counter", &[], 1.0);
+        r.histogram_observe("serve_batch", "no unit", &[], &[1.0], 0.5);
+        r.counter_inc("orphan_requests_total", "no subsystem", &[]);
+        let violations = r.audit_names(&["serve_"]);
+        assert_eq!(violations.len(), 5, "{violations:#?}");
+        for needle in [
+            "serve_requests_completed:",
+            "serve_queue_depth:",
+            "serve_bad_total:",
+            "serve_batch:",
+            "orphan_requests_total:",
+        ] {
+            assert!(violations.iter().any(|v| v.starts_with(needle)));
+        }
     }
 }

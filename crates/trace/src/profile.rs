@@ -1,0 +1,286 @@
+//! The hot-path self-profiler: wall-clock and allocation counters around
+//! the per-event work of `runtime::Sim` and the dispatch path of
+//! `serve::Server`, so the cost of the instrumentation layer itself is a
+//! measured quantity rather than folklore.
+//!
+//! Unlike every other instrument in this crate, the profiler reads
+//! `Instant::now` — it measures *host* cost, which is exactly the
+//! quantity simulated clocks cannot see. That makes its numbers
+//! non-deterministic by design, so they are exported **only** through
+//! the [`Registry`] (and diagnostic logging); deterministic artifacts
+//! like experiment stdout and `BENCH_core.json` must never embed them.
+//!
+//! A disabled profiler is a `None` handle: `begin()` is one branch and
+//! no clock is read, so production hot paths pay nothing.
+
+use crate::metrics::Registry;
+use crate::Tracer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Default)]
+struct ProfInner {
+    /// Instrumented operations (simulated events / dispatches).
+    events: AtomicU64,
+    /// Wall nanoseconds inside instrumented operations.
+    busy_ns: AtomicU64,
+    /// Wall nanoseconds spent recording tracer spans within those
+    /// operations — the span-overhead numerator.
+    span_ns: AtomicU64,
+    /// Heap allocations inside instrumented operations (0 unless the
+    /// counting allocator is installed; see [`crate::alloc`]).
+    allocs: AtomicU64,
+}
+
+/// An in-flight operation probe returned by [`HotPathProfiler::begin`].
+pub struct OpProbe {
+    start: Instant,
+    allocs0: u64,
+}
+
+/// Cheap cloneable handle over the hot-path counters. Clones share the
+/// same counters, so a profiler threaded through `Sim` and `Server`
+/// accumulates one coherent cost picture.
+#[derive(Clone, Default)]
+pub struct HotPathProfiler {
+    inner: Option<Arc<ProfInner>>,
+}
+
+impl HotPathProfiler {
+    /// A recording profiler.
+    pub fn enabled() -> HotPathProfiler {
+        HotPathProfiler {
+            inner: Some(Arc::new(ProfInner::default())),
+        }
+    }
+
+    /// A no-op profiler: every call is a single branch.
+    pub fn disabled() -> HotPathProfiler {
+        HotPathProfiler { inner: None }
+    }
+
+    /// Whether costs are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a probe around one hot-path operation (`None` when
+    /// disabled — the clock is not even read).
+    pub fn begin(&self) -> Option<OpProbe> {
+        self.inner.as_ref().map(|_| OpProbe {
+            start: Instant::now(),
+            allocs0: crate::alloc::allocation_count(),
+        })
+    }
+
+    /// Closes a probe: one event, its wall time and its allocations.
+    pub fn end(&self, probe: Option<OpProbe>) {
+        let (Some(i), Some(p)) = (self.inner.as_deref(), probe) else {
+            return;
+        };
+        i.events.fetch_add(1, Ordering::Relaxed);
+        i.busy_ns
+            .fetch_add(p.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        i.allocs.fetch_add(
+            crate::alloc::allocation_count().saturating_sub(p.allocs0),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Times `f` — a tracer-recording call inside an instrumented
+    /// operation — into the span-overhead counter. When the profiler or
+    /// the tracer is disabled, `f` runs unmeasured (no clock read).
+    pub fn measure_span_record<R>(&self, tracer: &Tracer, f: impl FnOnce() -> R) -> R {
+        match self.inner.as_deref() {
+            Some(i) if tracer.is_enabled() => {
+                let t0 = Instant::now();
+                let r = f();
+                i.span_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                r
+            }
+            _ => f(),
+        }
+    }
+
+    /// Instrumented operations so far.
+    pub fn events(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.events.load(Ordering::Relaxed))
+    }
+
+    /// Wall seconds inside instrumented operations so far.
+    pub fn busy_seconds(&self) -> f64 {
+        self.inner
+            .as_deref()
+            .map_or(0.0, |i| i.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9)
+    }
+
+    /// Wall seconds spent recording tracer spans so far.
+    pub fn span_seconds(&self) -> f64 {
+        self.inner
+            .as_deref()
+            .map_or(0.0, |i| i.span_ns.load(Ordering::Relaxed) as f64 * 1e-9)
+    }
+
+    /// Heap allocations inside instrumented operations so far.
+    pub fn allocations(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.allocs.load(Ordering::Relaxed))
+    }
+
+    /// Mean wall seconds per instrumented operation (0.0 before the
+    /// first — never `NaN`).
+    pub fn mean_event_seconds(&self) -> f64 {
+        let n = self.events();
+        if n == 0 {
+            0.0
+        } else {
+            self.busy_seconds() / n as f64
+        }
+    }
+
+    /// Operations per wall second (0.0 before any busy time).
+    pub fn events_per_second(&self) -> f64 {
+        let busy = self.busy_seconds();
+        if busy > 0.0 {
+            self.events() as f64 / busy
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of instrumented wall time spent recording tracer spans
+    /// (0.0 before any busy time — never `NaN`).
+    pub fn span_overhead_fraction(&self) -> f64 {
+        let busy = self.busy_seconds();
+        if busy > 0.0 {
+            (self.span_seconds() / busy).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Publishes the counters into `registry` under `subsys` (e.g.
+    /// `sim`, `serve`), following the repository naming convention.
+    /// These values are wall-clock measurements — export them for
+    /// dashboards and logs, never into deterministic artifacts.
+    pub fn export(&self, registry: &Registry, subsys: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let name = |suffix: &str| format!("{subsys}_profile_{suffix}");
+        registry.counter_add(
+            &name("events_total"),
+            "Hot-path operations instrumented by the self-profiler.",
+            &[],
+            self.events() as f64,
+        );
+        registry.counter_add(
+            &name("busy_seconds_total"),
+            "Wall seconds inside instrumented hot-path operations.",
+            &[],
+            self.busy_seconds(),
+        );
+        registry.counter_add(
+            &name("span_record_seconds_total"),
+            "Wall seconds spent recording tracer spans inside instrumented operations.",
+            &[],
+            self.span_seconds(),
+        );
+        registry.counter_add(
+            &name("allocations_total"),
+            "Heap allocations inside instrumented operations (0 without the counting allocator).",
+            &[],
+            self.allocations() as f64,
+        );
+        registry.gauge_set(
+            &name("event_mean_seconds"),
+            "Mean wall seconds per instrumented operation.",
+            &[],
+            self.mean_event_seconds(),
+        );
+        registry.gauge_set(
+            &name("events_per_second"),
+            "Instrumented operations per wall second.",
+            &[],
+            self.events_per_second(),
+        );
+        registry.gauge_set(
+            &name("span_overhead_ratio"),
+            "Fraction of instrumented wall time spent recording tracer spans.",
+            &[],
+            self.span_overhead_fraction(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_costs_one_branch_and_reports_zeros() {
+        let p = HotPathProfiler::disabled();
+        assert!(p.begin().is_none());
+        p.end(None);
+        assert_eq!(p.events(), 0);
+        assert_eq!(p.mean_event_seconds(), 0.0);
+        assert_eq!(p.events_per_second(), 0.0);
+        assert_eq!(p.span_overhead_fraction(), 0.0);
+        let reg = Registry::new();
+        p.export(&reg, "sim");
+        assert_eq!(reg.family_count(), 0, "disabled profiler exports nothing");
+    }
+
+    #[test]
+    fn probes_accumulate_events_and_busy_time() {
+        let p = HotPathProfiler::enabled();
+        for _ in 0..10 {
+            let probe = p.begin();
+            std::hint::black_box(vec![0u8; 32]);
+            p.end(probe);
+        }
+        assert_eq!(p.events(), 10);
+        assert!(p.busy_seconds() > 0.0);
+        assert!(p.mean_event_seconds() > 0.0);
+        assert!(p.events_per_second() > 0.0);
+    }
+
+    #[test]
+    fn span_overhead_is_a_fraction_of_busy_time() {
+        let p = HotPathProfiler::enabled();
+        let tracer = Tracer::enabled();
+        let probe = p.begin();
+        p.measure_span_record(&tracer, || {
+            tracer.span(1, 0, "kernel", "k", 0.0, 1.0);
+        });
+        p.end(probe);
+        assert!(p.span_seconds() > 0.0);
+        let f = p.span_overhead_fraction();
+        assert!((0.0..=1.0).contains(&f), "overhead fraction {f}");
+        // A disabled tracer is never timed.
+        let q = HotPathProfiler::enabled();
+        q.measure_span_record(&Tracer::disabled(), || {});
+        assert_eq!(q.span_seconds(), 0.0);
+    }
+
+    #[test]
+    fn export_publishes_conformant_metric_names() {
+        let p = HotPathProfiler::enabled();
+        let probe = p.begin();
+        p.end(probe);
+        let reg = Registry::new();
+        p.export(&reg, "sim");
+        HotPathProfiler::enabled().export(&reg, "serve");
+        assert_eq!(reg.value("sim_profile_events_total", &[]), Some(1.0));
+        assert_eq!(reg.value("serve_profile_events_total", &[]), Some(0.0));
+        assert!(
+            reg.audit_names(&["sim_", "serve_"]).is_empty(),
+            "profiler metric names must satisfy the audit"
+        );
+    }
+}

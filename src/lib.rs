@@ -59,6 +59,7 @@ pub use fpgaccel_baseline as baseline;
 pub use fpgaccel_core as core;
 pub use fpgaccel_device as device;
 pub use fpgaccel_fault as fault;
+pub use fpgaccel_obs as obs;
 pub use fpgaccel_pipeline as pipeline;
 pub use fpgaccel_runtime as runtime;
 pub use fpgaccel_serve as serve;
