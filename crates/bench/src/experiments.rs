@@ -1001,6 +1001,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("rollout", crate::rollout::rollout),
     ("pipeline", crate::pipeline::pipeline),
     ("bench", crate::trajectory::bench),
+    ("fleet", crate::fleet::fleet),
 ];
 
 /// Runs one experiment by id.

@@ -13,6 +13,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fleet;
 pub mod log;
 pub mod paper;
 pub mod pipeline;

@@ -291,7 +291,7 @@ fn brownout_run(enabled: bool) -> BrownoutOutcome {
 }
 
 /// Escapes a string for embedding in the JSON artifact.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -108,7 +108,7 @@ pub fn bench() -> String {
     format!(
         "Continuous performance trajectory — standardized bench matrix\n{}\n{comparison}\n\
          Determinism: collecting the matrix twice is {}.\n\
-         Metrics: {} across compile, pipeline and serve stages; artifact schema v{}.\n",
+         Metrics: {} across compile, pipeline, serve and fleet stages; artifact schema v{}.\n",
         matrix.render(),
         if deterministic {
             "byte-identical"

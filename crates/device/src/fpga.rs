@@ -33,6 +33,12 @@ impl FpgaPlatform {
         }
     }
 
+    /// Inverse of [`FpgaPlatform::label`], for round-tripping persisted
+    /// records (e.g. fleet placement plans in the tuning database).
+    pub fn from_label(label: &str) -> Option<FpgaPlatform> {
+        FpgaPlatform::ALL.into_iter().find(|p| p.label() == label)
+    }
+
     /// Full device model.
     pub fn model(self) -> DeviceModel {
         DeviceModel::of(self)

@@ -1,0 +1,726 @@
+//! The fleet façade: placement → sharded pools → routed tenant traffic →
+//! per-shard serving runs → aggregated outcomes.
+//!
+//! [`Fleet::build`] turns a [`FleetSpec`] into `shards` independent
+//! [`DevicePool`]s. Every pool clones one warm template
+//! [`DeploymentCache`], so a 500-device fleet pays for exactly one compile
+//! and one calibration per distinct deployment — the pools share the
+//! `Arc<Deployment>`s and the memoized batch simulations that hang off
+//! them. Devices of each class are dealt round-robin across shards, so
+//! every shard serves (a slice of) every model.
+//!
+//! [`Fleet::run`] is one deterministic pass:
+//!
+//! 1. Per-tenant Poisson streams are merged into one arrival-ordered
+//!    trace (seeded per tenant × model — byte-identical reruns).
+//! 2. Each arrival clears multi-tenant QoS ([`QosController`]) and is
+//!    routed by its model's consistent-hash [`Router`] with bounded-load
+//!    overflow, against an expected-work accounting of each shard's
+//!    backlog.
+//! 3. Each shard's [`Server`] runs its routed sub-trace — with any
+//!    fleet-wide rollouts replayed shard by shard (staggered waves,
+//!    canary/rollback semantics unchanged) and a flight recorder armed
+//!    for postmortems.
+//! 4. Completions and sheds are attributed back to tenants, and
+//!    class-aggregated `fleet_*` metrics are published (per-*device*
+//!    series stay at pool scope — at 500 devices per-device label
+//!    cardinality belongs to the shard registries, not the fleet one).
+
+use crate::hash::{hash2, hash_str};
+use crate::placement::{plan_placement, FleetSpec, PlacementError, PlacementPlan};
+use crate::qos::{QosController, TenantPolicy, Verdict};
+use crate::router::Router;
+use fpgaccel_core::bitstreams::optimized_config;
+use fpgaccel_core::OptimizationConfig;
+use fpgaccel_fault::{FaultInjector, FaultPlan};
+use fpgaccel_serve::{
+    DeploymentCache, DevicePool, LatencyHistogram, Request, RolloutOutcome, RolloutPolicy,
+    RolloutSpec, RunResult, ServeConfig, Server,
+};
+use fpgaccel_tensor::models::Model;
+use fpgaccel_tensor::rng::Rng64;
+use fpgaccel_trace::{FlightRecorder, Registry, Tracer, PID_FLEET};
+use fpgaccel_tune::TuningDb;
+use std::collections::HashMap;
+
+/// Fleet-level knobs.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of shards the fleet's devices are dealt into.
+    pub shards: usize,
+    /// Seed for the routers, the routing keys, and the tenant traces.
+    pub seed: u64,
+    /// Ring points per shard in each model's router.
+    pub vnodes: usize,
+    /// Bounded-load overflow threshold (multiple of the mean shard load).
+    pub load_bound: f64,
+    /// Serving configuration applied to every shard server.
+    pub serve: ServeConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            seed: 0xF1EE7,
+            vnodes: 64,
+            load_bound: 1.25,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// One tenant's offered load.
+#[derive(Clone, Debug)]
+pub struct TenantLoad {
+    /// Admission contract.
+    pub policy: TenantPolicy,
+    /// Offered Poisson rate per model, requests/second.
+    pub offered: Vec<(Model, f64)>,
+}
+
+/// A fleet-wide rollout: every shard serving `model` runs the existing
+/// wave state machine, staggered shard by shard.
+#[derive(Clone, Debug)]
+pub struct FleetRollout {
+    /// The model being upgraded.
+    pub model: Model,
+    /// The target configuration.
+    pub to: OptimizationConfig,
+    /// When shard 0 starts, simulated seconds.
+    pub start_s: f64,
+    /// Delay between successive shards' rollouts.
+    pub stagger_s: f64,
+    /// When sabotaged shards retry the upgrade (same stagger), after
+    /// their first attempt rolled back.
+    pub retry_at_s: f64,
+    /// Per-shard rollout knobs.
+    pub policy: RolloutPolicy,
+}
+
+/// The shards serving one model: shard ids, per-shard aggregate service
+/// rate, and the model's router over those shards.
+struct ModelShards {
+    model: Model,
+    shards: Vec<usize>,
+    rate_rps: Vec<f64>,
+    router: Router,
+}
+
+/// A built fleet, ready to serve one trace.
+pub struct Fleet {
+    cfg: FleetConfig,
+    plan: PlacementPlan,
+    /// `(class label, device count)` from the spec, for the class-scoped
+    /// metrics.
+    classes: Vec<(String, usize)>,
+    pools: Vec<DevicePool>,
+    serving: Vec<ModelShards>,
+    rollouts: Vec<FleetRollout>,
+    sabotaged: Vec<bool>,
+    tracer: Tracer,
+}
+
+/// Per-tenant accounting of one fleet run.
+#[derive(Clone, Debug)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub name: String,
+    /// Requests the tenant offered.
+    pub offered: u64,
+    /// Admitted within budget.
+    pub admitted_in_budget: u64,
+    /// Admitted from the tenant's surplus share.
+    pub admitted_over_budget: u64,
+    /// Shed at the fleet door (QoS).
+    pub shed_fleet: u64,
+    /// Shed inside a shard (queue capacity / deadline).
+    pub shed_shard: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completed requests that were admitted within budget.
+    pub completed_in_budget: u64,
+}
+
+impl TenantOutcome {
+    /// Completed / offered (1.0 for an idle tenant).
+    pub fn completion_rate(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+
+    /// Completed-in-budget / admitted-in-budget — the QoS guarantee
+    /// metric (1.0 for an idle tenant).
+    pub fn in_budget_completion_rate(&self) -> f64 {
+        if self.admitted_in_budget == 0 {
+            1.0
+        } else {
+            self.completed_in_budget as f64 / self.admitted_in_budget as f64
+        }
+    }
+}
+
+/// Everything one fleet run produced.
+pub struct FleetRunResult {
+    /// The placement the fleet was built from.
+    pub plan: PlacementPlan,
+    /// Per-tenant accounting, in tenant order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Each shard's full serving result, in shard order.
+    pub shards: Vec<RunResult>,
+    /// Requests routed to a shard (admitted and served a route).
+    pub routed: u64,
+    /// Routed requests that overflowed past their home shard.
+    pub overflowed: u64,
+    /// Fleet-wide end-to-end latency (arrival → completion).
+    pub latency: LatencyHistogram,
+    /// Class-aggregated fleet metrics (`fleet_*` families).
+    pub registry: Registry,
+    /// Simulated span of the run, seconds.
+    pub span_s: f64,
+}
+
+impl FleetRunResult {
+    /// Shard rollouts that rolled back.
+    pub fn rollbacks(&self) -> usize {
+        self.shard_outcomes(RolloutOutcome::RolledBack)
+    }
+
+    /// Shard rollouts that promoted.
+    pub fn promotions(&self) -> usize {
+        self.shard_outcomes(RolloutOutcome::Promoted)
+    }
+
+    fn shard_outcomes(&self, o: RolloutOutcome) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|r| &r.rollouts)
+            .filter(|rep| rep.outcome == o)
+            .count()
+    }
+
+    /// Flight-recorder postmortems captured across all shards (shard
+    /// rollbacks arm them).
+    pub fn postmortems(&self) -> usize {
+        self.shards.iter().map(|r| r.postmortems.len()).sum()
+    }
+
+    /// A stable single-line digest of the run, for determinism checks:
+    /// two runs of the same fleet on the same trace must produce the same
+    /// string, byte for byte.
+    pub fn digest(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{}:{}/{}/{}/{}/{}/{}/{}",
+                    t.name,
+                    t.offered,
+                    t.admitted_in_budget,
+                    t.admitted_over_budget,
+                    t.shed_fleet,
+                    t.shed_shard,
+                    t.completed,
+                    t.completed_in_budget
+                )
+            })
+            .collect();
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|r| {
+                let rollouts: Vec<String> = r
+                    .rollouts
+                    .iter()
+                    .map(|rep| format!("{}={}", rep.to_label, rep.outcome.label()))
+                    .collect();
+                format!(
+                    "c{}s{}r[{}]",
+                    r.metrics.completed,
+                    r.metrics.shed(),
+                    rollouts.join(",")
+                )
+            })
+            .collect();
+        let replicas: Vec<String> = self
+            .plan
+            .assignments
+            .iter()
+            .map(|a| format!("{}@{}x{}", a.model.name(), a.platform.label(), a.replicas))
+            .collect();
+        format!(
+            "plan=[{}] tenants=[{}] shards=[{}] routed={} overflow={} p99us={}",
+            replicas.join(","),
+            tenants.join(","),
+            shards.join(","),
+            self.routed,
+            self.overflowed,
+            (self.latency.quantile(0.99) * 1e6).round() as u64
+        )
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet: places the spec (cold or from the tuning
+    /// database), compiles one template cache, and deals devices into
+    /// shard pools. Classes must use distinct platforms.
+    pub fn build(
+        spec: &FleetSpec,
+        cfg: FleetConfig,
+        db: &mut TuningDb,
+    ) -> Result<Fleet, PlacementError> {
+        Fleet::build_traced(spec, cfg, db, &Tracer::disabled())
+    }
+
+    /// [`Fleet::build`] recording placement/deal phases on `tracer`.
+    pub fn build_traced(
+        spec: &FleetSpec,
+        cfg: FleetConfig,
+        db: &mut TuningDb,
+        tracer: &Tracer,
+    ) -> Result<Fleet, PlacementError> {
+        assert!(cfg.shards > 0, "a fleet needs at least one shard");
+        let mut cache = DeploymentCache::new();
+        let plan = {
+            let _p = tracer.phase_on(PID_FLEET, "placement", "place fleet spec");
+            plan_placement(spec, db, &mut cache)?
+        };
+
+        let _p = tracer.phase_on(PID_FLEET, "build", "deal devices into shard pools");
+        let mut pools: Vec<DevicePool> = (0..cfg.shards)
+            .map(|_| DevicePool::with_cache(cache.clone()))
+            .collect();
+        // Deal each class round-robin: assignment slots in plan order,
+        // then the spare (idle) boards of the class.
+        let mut mu: HashMap<(usize, Model), f64> = HashMap::new();
+        for c in &spec.classes {
+            let mut cursor = 0usize;
+            for a in plan.assignments.iter().filter(|a| a.platform == c.platform) {
+                for _ in 0..a.replicas {
+                    let shard = cursor % cfg.shards;
+                    cursor += 1;
+                    let idx = pools[shard].add_device(c.platform);
+                    pools[shard]
+                        .deploy(idx, a.model, &optimized_config(a.model, c.platform))
+                        .map_err(|e| PlacementError::NoFeasibleClass {
+                            model: a.model,
+                            reasons: vec![(c.platform, e)],
+                        })?;
+                    *mu.entry((shard, a.model)).or_default() += a.device_rate_rps;
+                }
+            }
+            for spare in cursor..c.count {
+                pools[spare % cfg.shards].add_device(c.platform);
+            }
+        }
+
+        let mut serving = Vec::new();
+        for &model in Model::ALL.iter() {
+            let mut shards = Vec::new();
+            let mut rate_rps = Vec::new();
+            for s in 0..cfg.shards {
+                if let Some(&r) = mu.get(&(s, model)) {
+                    shards.push(s);
+                    rate_rps.push(r);
+                }
+            }
+            if !shards.is_empty() {
+                let router =
+                    Router::new(hash_str(cfg.seed, model.name()), shards.len(), cfg.vnodes);
+                serving.push(ModelShards {
+                    model,
+                    shards,
+                    rate_rps,
+                    router,
+                });
+            }
+        }
+
+        Ok(Fleet {
+            sabotaged: vec![false; cfg.shards],
+            classes: spec
+                .classes
+                .iter()
+                .map(|c| (c.platform.label().to_string(), c.count))
+                .collect(),
+            cfg,
+            plan,
+            pools,
+            serving,
+            rollouts: Vec::new(),
+            tracer: tracer.clone(),
+        })
+    }
+
+    /// The placement the fleet was built from.
+    pub fn plan(&self) -> &PlacementPlan {
+        &self.plan
+    }
+
+    /// Aggregate steady-state serving capacity, requests/second — the
+    /// QoS controller's capacity.
+    pub fn capacity_rps(&self) -> f64 {
+        self.plan.total_rate_rps
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Total devices across all shard pools.
+    pub fn devices(&self) -> usize {
+        self.pools.iter().map(|p| p.devices().len()).sum()
+    }
+
+    /// The shards serving `model`, in shard order.
+    pub fn shards_serving(&self, model: Model) -> Vec<usize> {
+        self.serving
+            .iter()
+            .find(|m| m.model == model)
+            .map(|m| m.shards.clone())
+            .unwrap_or_default()
+    }
+
+    /// Name of the first device on `shard` serving `model` — the natural
+    /// sabotage target for a fault plan.
+    pub fn device_serving(&self, shard: usize, model: Model) -> Option<String> {
+        self.pools[shard]
+            .devices()
+            .iter()
+            .find(|d| d.deployment(model).is_some())
+            .map(|d| d.name.clone())
+    }
+
+    /// Schedules a fleet-wide rollout, replayed shard by shard at `run`.
+    pub fn schedule_rollout(&mut self, rollout: FleetRollout) {
+        self.rollouts.push(rollout);
+    }
+
+    /// Arms `shard` with a committed fault plan (canary sabotage,
+    /// reprogram failures). Sabotaged shards automatically retry
+    /// scheduled rollouts at [`FleetRollout::retry_at_s`].
+    pub fn sabotage_shard(&mut self, shard: usize, plan: FaultPlan) {
+        self.pools[shard].set_fault_injector(&FaultInjector::new(plan));
+        self.sabotaged[shard] = true;
+    }
+
+    /// Runs the fleet for `duration_s` of offered tenant load, consuming
+    /// the fleet. Deterministic: same fleet + same tenants + same
+    /// duration → byte-identical [`FleetRunResult::digest`].
+    ///
+    /// Every model a tenant offers must be served by the placement
+    /// (checked, panics otherwise — that is a spec bug, not a runtime
+    /// condition).
+    pub fn run(self, tenants: &[TenantLoad], duration_s: f64) -> FleetRunResult {
+        // 1. Merged arrival-ordered tenant trace, seeded per
+        //    tenant × model stream.
+        struct Arrival {
+            t: f64,
+            tenant: usize,
+            model: Model,
+        }
+        let mut merged: Vec<Arrival> = Vec::new();
+        {
+            let _p = self
+                .tracer
+                .phase_on(PID_FLEET, "trace", "generate tenant traces");
+            for (ti, tenant) in tenants.iter().enumerate() {
+                for (mi, &(model, rate)) in tenant.offered.iter().enumerate() {
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    assert!(
+                        self.serving.iter().any(|m| m.model == model),
+                        "tenant {} offers {} which the placement does not serve",
+                        tenant.policy.name,
+                        model.name()
+                    );
+                    let mut rng = Rng64::seed_from_u64(hash2(
+                        hash_str(self.cfg.seed, &tenant.policy.name),
+                        mi as u64,
+                    ));
+                    let mut at = 0.0f64;
+                    loop {
+                        at += rng.exponential(rate);
+                        if at > duration_s {
+                            break;
+                        }
+                        merged.push(Arrival {
+                            t: at,
+                            tenant: ti,
+                            model,
+                        });
+                    }
+                }
+            }
+            merged.sort_by(|a, b| {
+                a.t.total_cmp(&b.t)
+                    .then(a.tenant.cmp(&b.tenant))
+                    .then(a.model.name().cmp(b.model.name()))
+            });
+        }
+
+        // 2. QoS admission + bounded-load consistent-hash routing against
+        //    an expected-work model of each shard's backlog.
+        let mut qos = QosController::new(
+            tenants.iter().map(|t| t.policy.clone()).collect(),
+            self.plan.total_rate_rps,
+        );
+        let mut until = vec![0.0f64; self.cfg.shards];
+        let mut shard_traces: Vec<Vec<Request>> = vec![Vec::new(); self.cfg.shards];
+        let mut owner: HashMap<u64, (usize, bool)> = HashMap::new();
+        let (mut routed, mut overflowed) = (0u64, 0u64);
+        {
+            let _p = self
+                .tracer
+                .phase_on(PID_FLEET, "route", "admit + route trace");
+            for (gid, a) in merged.iter().enumerate() {
+                let verdict = qos.admit(a.tenant, a.t);
+                if verdict == Verdict::Shed {
+                    continue;
+                }
+                let ms = self
+                    .serving
+                    .iter()
+                    .find(|m| m.model == a.model)
+                    .expect("asserted served above");
+                let loads: Vec<f64> = ms
+                    .shards
+                    .iter()
+                    .map(|&s| (until[s] - a.t).max(0.0))
+                    .collect();
+                let (slot, over) = ms
+                    .router
+                    .route_bounded(
+                        hash2(self.cfg.seed ^ 0x0F1C_E500, gid as u64),
+                        &loads,
+                        self.cfg.load_bound,
+                    )
+                    .expect("every serving shard is active");
+                let shard = ms.shards[slot];
+                routed += 1;
+                if over {
+                    overflowed += 1;
+                }
+                until[shard] = until[shard].max(a.t) + 1.0 / ms.rate_rps[slot];
+                shard_traces[shard].push(Request {
+                    id: gid as u64,
+                    model: a.model,
+                    arrival_s: a.t,
+                    deadline_s: None,
+                    input: None,
+                });
+                owner.insert(gid as u64, (a.tenant, verdict == Verdict::Admit));
+            }
+        }
+
+        // 3. Expand fleet rollouts into per-shard staggered specs;
+        //    sabotaged shards get the retry attempt too.
+        let mut shard_specs: Vec<Vec<RolloutSpec>> = vec![Vec::new(); self.cfg.shards];
+        for r in &self.rollouts {
+            for ms in self.serving.iter().filter(|m| m.model == r.model) {
+                for (k, &shard) in ms.shards.iter().enumerate() {
+                    shard_specs[shard].push(RolloutSpec {
+                        at_s: r.start_s + k as f64 * r.stagger_s,
+                        model: r.model,
+                        to: r.to.clone(),
+                        verify_input: None,
+                        policy: r.policy,
+                    });
+                    if self.sabotaged[shard] {
+                        shard_specs[shard].push(RolloutSpec {
+                            at_s: r.retry_at_s + k as f64 * r.stagger_s,
+                            model: r.model,
+                            to: r.to.clone(),
+                            verify_input: None,
+                            policy: r.policy,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 4. Run every shard's server on its routed sub-trace.
+        let mut shard_results: Vec<RunResult> = Vec::with_capacity(self.cfg.shards);
+        for (s, (pool, trace)) in self.pools.into_iter().zip(shard_traces).enumerate() {
+            let _p = self
+                .tracer
+                .phase_on(PID_FLEET, "shard", &format!("run shard {s}"));
+            let flight = FlightRecorder::enabled(256);
+            let mut server = Server::new(pool, self.cfg.serve).with_flight_recorder(&flight);
+            for spec in shard_specs[s].drain(..) {
+                server.schedule_rollout(spec);
+            }
+            shard_results.push(server.run_open_loop(trace));
+        }
+
+        // 5. Attribute completions/sheds back to tenants and publish the
+        //    class-aggregated fleet metrics.
+        let mut outcomes: Vec<TenantOutcome> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let (offered, admitted, over, shed) = qos.counters(i);
+                TenantOutcome {
+                    name: t.policy.name.clone(),
+                    offered,
+                    admitted_in_budget: admitted,
+                    admitted_over_budget: over,
+                    shed_fleet: shed,
+                    shed_shard: 0,
+                    completed: 0,
+                    completed_in_budget: 0,
+                }
+            })
+            .collect();
+        let mut latency = LatencyHistogram::new();
+        let registry = Registry::new();
+        let mut span_s = duration_s;
+        for r in &shard_results {
+            for c in &r.completions {
+                let &(tenant, in_budget) = owner.get(&c.id).expect("completion has an owner");
+                outcomes[tenant].completed += 1;
+                if in_budget {
+                    outcomes[tenant].completed_in_budget += 1;
+                }
+                let l = c.completion_s - c.arrival_s;
+                latency.record(l);
+                registry.histogram_observe(
+                    "fleet_request_latency_seconds",
+                    "End-to-end fleet request latency (arrival to completion).",
+                    &[],
+                    LATENCY_BOUNDS,
+                    l,
+                );
+                span_s = span_s.max(c.completion_s);
+            }
+            for shed in &r.sheds {
+                let &(tenant, _) = owner.get(&shed.id).expect("shed has an owner");
+                outcomes[tenant].shed_shard += 1;
+            }
+        }
+
+        registry.gauge_set(
+            "fleet_shards_count",
+            "Shards the fleet's devices are dealt into.",
+            &[],
+            self.cfg.shards as f64,
+        );
+        registry.counter_add(
+            "fleet_routed_total",
+            "Requests admitted and routed to a shard.",
+            &[],
+            routed as f64,
+        );
+        registry.counter_add(
+            "fleet_router_overflow_total",
+            "Routed requests that overflowed past their home shard (bounded load).",
+            &[],
+            overflowed as f64,
+        );
+        for o in &outcomes {
+            let t = o.name.as_str();
+            registry.counter_add(
+                "fleet_admitted_total",
+                "Requests admitted at the fleet door, by tenant and budget bucket.",
+                &[("tenant", t), ("budget", "within")],
+                o.admitted_in_budget as f64,
+            );
+            registry.counter_add(
+                "fleet_admitted_total",
+                "Requests admitted at the fleet door, by tenant and budget bucket.",
+                &[("tenant", t), ("budget", "over")],
+                o.admitted_over_budget as f64,
+            );
+            registry.counter_add(
+                "fleet_shed_total",
+                "Requests shed, by tenant and scope (fleet QoS door vs shard).",
+                &[("tenant", t), ("scope", "fleet")],
+                o.shed_fleet as f64,
+            );
+            registry.counter_add(
+                "fleet_shed_total",
+                "Requests shed, by tenant and scope (fleet QoS door vs shard).",
+                &[("tenant", t), ("scope", "shard")],
+                o.shed_shard as f64,
+            );
+            registry.counter_add(
+                "fleet_completed_total",
+                "Requests completed, by tenant.",
+                &[("tenant", t)],
+                o.completed as f64,
+            );
+        }
+        // Class-scoped device aggregates: the fleet registry carries one
+        // series per device *class*, not per device — per-device busy and
+        // utilization stay in each shard's own registry.
+        publish_class_metrics(&registry, &self.classes, &shard_results, span_s);
+
+        FleetRunResult {
+            plan: self.plan,
+            tenants: outcomes,
+            shards: shard_results,
+            routed,
+            overflowed,
+            latency,
+            registry,
+            span_s,
+        }
+    }
+}
+
+/// Histogram bounds for `fleet_request_latency_seconds` (seconds).
+const LATENCY_BOUNDS: &[f64] = &[
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+fn publish_class_metrics(
+    registry: &Registry,
+    classes: &[(String, usize)],
+    shard_results: &[RunResult],
+    span_s: f64,
+) {
+    for (label, count) in classes {
+        let prefix = format!("{}-", label.to_lowercase());
+        let mut busy = 0.0f64;
+        for r in shard_results {
+            for d in &r.devices {
+                if d.device.starts_with(&prefix) {
+                    busy += r
+                        .registry
+                        .value("serve_device_busy_seconds", &[("device", &d.device)])
+                        .unwrap_or(0.0);
+                }
+            }
+        }
+        let class = label.as_str();
+        registry.gauge_set(
+            "fleet_class_devices_count",
+            "Fleet inventory per device class.",
+            &[("class", class)],
+            *count as f64,
+        );
+        registry.gauge_set(
+            "fleet_class_busy_seconds",
+            "Aggregate simulated batch-execution seconds per device class.",
+            &[("class", class)],
+            busy,
+        );
+        let util = if span_s > 0.0 && *count > 0 {
+            busy / (span_s * *count as f64)
+        } else {
+            0.0
+        };
+        registry.gauge_set(
+            "fleet_class_utilization_ratio",
+            "Class busy-fraction of the run span (aggregated over devices).",
+            &[("class", class)],
+            util,
+        );
+    }
+}

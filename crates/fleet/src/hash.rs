@@ -1,0 +1,54 @@
+//! Seeded hashing shared by the router and the placement digest.
+//!
+//! `std`'s `DefaultHasher` is explicitly unstable across releases, and the
+//! fleet's determinism guarantees (byte-identical reruns, cached placement
+//! digests that survive process restarts) need a fixed function — so the
+//! crate carries its own: the SplitMix64 finalizer, chained over input
+//! words.
+
+/// The SplitMix64 output permutation: a fixed, well-mixed 64-bit
+/// bijection.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes two words into one (seeded combine).
+pub fn hash2(seed: u64, x: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(x))
+}
+
+/// Hashes a string under `seed`, folding 8 bytes at a time through
+/// [`hash2`]. Stable across platforms and releases.
+pub fn hash_str(seed: u64, s: &str) -> u64 {
+    let mut h = splitmix64(seed ^ (s.len() as u64));
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = hash2(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_and_distinct() {
+        assert_eq!(hash_str(1, "a10"), hash_str(1, "a10"));
+        assert_ne!(hash_str(1, "a10"), hash_str(2, "a10"));
+        assert_ne!(hash_str(1, "a10"), hash_str(1, "a10 "));
+        assert_ne!(hash2(0, 1), hash2(0, 2));
+    }
+
+    #[test]
+    fn splitmix_mixes_counter_inputs() {
+        // Successive counters must not land in the same region.
+        let a = splitmix64(1) >> 32;
+        let b = splitmix64(2) >> 32;
+        assert_ne!(a, b);
+    }
+}

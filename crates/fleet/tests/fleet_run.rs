@@ -1,0 +1,247 @@
+//! Integration tests for the fleet driver: QoS isolation under a tenant
+//! surge, fleet-wide rollouts with a sabotaged shard, and byte-identical
+//! reruns.
+
+use fpgaccel_core::bitstreams::optimized_config;
+use fpgaccel_core::{OptimizationConfig, TilingPreset};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fault::{shadow_target, FaultEvent, FaultKind, FaultPlan};
+use fpgaccel_fleet::{
+    DeviceClass, Fleet, FleetConfig, FleetRollout, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
+};
+use fpgaccel_serve::{AdmissionPolicy, DeploymentCache, RolloutPolicy, ServeConfig};
+use fpgaccel_tensor::models::Model;
+use fpgaccel_tune::TuningDb;
+
+/// Calibrated steady-state rate of one device, requests/second, probed
+/// the same way placement probes it.
+fn device_rate(model: Model, platform: FpgaPlatform) -> f64 {
+    let mut cache = DeploymentCache::new();
+    let d = cache
+        .get_or_compile(model, platform, &optimized_config(model, platform))
+        .unwrap();
+    let lm = cache.calibration(&d, 16);
+    16.0 / lm.seconds(16)
+}
+
+/// Deep-queue, no-deadline serving config: admitted traffic completes.
+fn deep_queue() -> ServeConfig {
+    ServeConfig {
+        admission: AdmissionPolicy {
+            queue_capacity: 1 << 14,
+            default_deadline_s: None,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn lenet_spec() -> FleetSpec {
+    let rate = device_rate(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+    FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 6,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::LeNet5,
+            rate_rps: rate * 3.2,
+        }],
+        headroom: 0.25,
+    }
+}
+
+fn surge_tenants(capacity: f64) -> Vec<TenantLoad> {
+    let tenant = |name: &str, budget: f64, offered: f64| TenantLoad {
+        policy: TenantPolicy {
+            name: name.into(),
+            weight: 1.0,
+            budget_rps: budget,
+            burst: 20.0,
+        },
+        offered: vec![(Model::LeNet5, offered)],
+    };
+    vec![
+        tenant("alpha", 0.3 * capacity, 0.15 * capacity),
+        tenant("bravo", 0.3 * capacity, 0.15 * capacity),
+        // Charlie offers 10x its budget: the surge the QoS door absorbs.
+        tenant("charlie", 0.2 * capacity, 2.0 * capacity),
+    ]
+}
+
+#[test]
+fn a_surging_tenant_is_shed_without_touching_its_neighbours() {
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        ..FleetConfig::default()
+    };
+    let mut db = TuningDb::new();
+    let fleet = Fleet::build(&lenet_spec(), cfg, &mut db).unwrap();
+    assert!(!fleet.plan().from_cache);
+    assert!(fleet.plan().evaluations > 0);
+    let capacity = fleet.capacity_rps();
+    let r = fleet.run(&surge_tenants(capacity), 0.25);
+
+    let by_name = |n: &str| r.tenants.iter().find(|t| t.name == n).unwrap();
+    let (alpha, bravo, charlie) = (by_name("alpha"), by_name("bravo"), by_name("charlie"));
+
+    // The surge sheds at the fleet door — weighted-fair, not starvation.
+    assert!(charlie.shed_fleet > 0, "a 10x surge must shed");
+    assert!(
+        charlie.admitted_in_budget + charlie.admitted_over_budget > 0,
+        "the surging tenant keeps its budget + fair share"
+    );
+    // Isolation: the well-behaved tenants never shed, anywhere.
+    for t in [alpha, bravo] {
+        assert_eq!(t.shed_fleet, 0, "{} shed at the fleet door", t.name);
+        assert_eq!(t.shed_shard, 0, "{} shed inside a shard", t.name);
+        assert!(
+            t.completion_rate() >= 0.99,
+            "{}: completion {:.4}",
+            t.name,
+            t.completion_rate()
+        );
+    }
+    // The hard QoS guarantee: every intra-budget admit completes.
+    for t in &r.tenants {
+        assert_eq!(
+            t.in_budget_completion_rate(),
+            1.0,
+            "{}: intra-budget completion",
+            t.name
+        );
+    }
+    // Fleet metrics carry the tenant accounting.
+    assert_eq!(
+        r.registry.value(
+            "fleet_shed_total",
+            &[("tenant", "charlie"), ("scope", "fleet")]
+        ),
+        Some(charlie.shed_fleet as f64)
+    );
+    assert_eq!(r.registry.value("fleet_shards_count", &[]), Some(2.0));
+    assert!(
+        r.registry
+            .value("fleet_class_devices_count", &[("class", "S10SX")])
+            == Some(6.0)
+    );
+}
+
+#[test]
+fn reruns_are_byte_identical_and_warm_builds_reload_the_plan() {
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        ..FleetConfig::default()
+    };
+    let spec = lenet_spec();
+    let mut db = TuningDb::new();
+    let cold = Fleet::build(&spec, cfg.clone(), &mut db).unwrap();
+    let capacity = cold.capacity_rps();
+    let tenants = surge_tenants(capacity);
+    let first = cold.run(&tenants, 0.25);
+
+    // Same database: the plan reloads with zero feasibility probes.
+    let warm = Fleet::build(&spec, cfg, &mut db).unwrap();
+    assert!(warm.plan().from_cache);
+    assert_eq!(warm.plan().evaluations, 0);
+    assert_eq!(warm.capacity_rps(), capacity);
+    let second = warm.run(&tenants, 0.25);
+
+    assert_eq!(first.digest(), second.digest());
+}
+
+#[test]
+fn a_fleet_rollout_upgrades_every_shard_absorbing_one_sabotaged_rollback() {
+    let rate = device_rate(Model::MobileNetV1, FpgaPlatform::Stratix10Sx);
+    let spec = FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 4,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::MobileNetV1,
+            rate_rps: rate * 2.5,
+        }],
+        headroom: 0.2,
+    };
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        ..FleetConfig::default()
+    };
+    let mut db = TuningDb::new();
+    let mut fleet = Fleet::build(&spec, cfg, &mut db).unwrap();
+    let capacity = fleet.capacity_rps();
+
+    // The upgrade target: the auto-tuned folded MobileNet shape.
+    let mut to = OptimizationConfig::folded(TilingPreset::Custom1x1 { tile: (7, 8, 8) });
+    to.label = "Folded-Tuned".into();
+    fleet.schedule_rollout(FleetRollout {
+        model: Model::MobileNetV1,
+        to,
+        start_s: 0.10,
+        stagger_s: 0.05,
+        retry_at_s: 0.45,
+        policy: RolloutPolicy::default(),
+    });
+
+    // Sabotage the first shard serving the model: its first reprogram
+    // fails (absorbed by retry) and its canary shadow batch reads back
+    // corrupt, forcing a rollback — then the scheduled retry promotes.
+    let serving = fleet.shards_serving(Model::MobileNetV1);
+    assert_eq!(serving.len(), 2, "both shards should serve MobileNet");
+    let victim = serving[0];
+    let device = fleet.device_serving(victim, Model::MobileNetV1).unwrap();
+    fleet.sabotage_shard(
+        victim,
+        FaultPlan::new(
+            0x5AB0,
+            vec![
+                FaultEvent {
+                    at_s: 0.10,
+                    target: device.clone(),
+                    kind: FaultKind::ReprogramFail,
+                },
+                FaultEvent {
+                    at_s: 0.10,
+                    target: shadow_target(&device),
+                    kind: FaultKind::TransferCorrupt,
+                },
+            ],
+        ),
+    );
+
+    let tenant = TenantLoad {
+        policy: TenantPolicy {
+            name: "prod".into(),
+            weight: 1.0,
+            budget_rps: capacity,
+            burst: 20.0,
+        },
+        offered: vec![(Model::MobileNetV1, 0.5 * capacity)],
+    };
+    let r = fleet.run(&[tenant], 1.0);
+
+    // Exactly one rollback (the sabotaged first attempt); every serving
+    // shard promoted (the victim through its retry).
+    assert_eq!(r.rollbacks(), 1);
+    assert_eq!(r.promotions(), 2);
+    assert!(
+        r.postmortems() >= 1,
+        "the shard rollback must freeze a flight postmortem"
+    );
+    // Every device serving MobileNet ends on the upgraded deployment.
+    for shard in &r.shards {
+        for d in &shard.devices {
+            for (model, label) in &d.deployments {
+                if *model == Model::MobileNetV1 {
+                    assert_eq!(label, "Folded-Tuned", "{}", d.device);
+                }
+            }
+        }
+    }
+    // Nothing was lost to the sabotage: the tenant's traffic completed.
+    let t = &r.tenants[0];
+    assert_eq!(t.in_budget_completion_rate(), 1.0);
+}

@@ -24,14 +24,21 @@ use crate::record::{BenchRecord, Direction};
 use fpgaccel_core::bitstreams::{mobilenet_tile, optimized_config};
 use fpgaccel_core::{Flow, OptimizationConfig, TilingPreset};
 use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fleet::{
+    DeviceClass, Fleet, FleetConfig, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
+};
 use fpgaccel_serve::loadgen::{open_loop_poisson, with_deadline};
-use fpgaccel_serve::{AdmissionPolicy, BatchPolicy, DevicePool, Request, ServeConfig, Server};
+use fpgaccel_serve::{
+    AdmissionPolicy, BatchPolicy, DeploymentCache, DevicePool, Request, ServeConfig, Server,
+};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_trace::Tracer;
+use fpgaccel_tune::TuningDb;
 
 /// Workload identifier stamped into the record; bump when the matrix
 /// itself (configurations, load points, batch size) changes.
-pub const WORKLOAD: &str = "core-v1";
+/// `core-v2` added the fleet stage (router latency, per-tenant sheds).
+pub const WORKLOAD: &str = "core-v2";
 
 /// Same seed and trace shape as the `serve` experiment, so the bench
 /// record tracks the serving stack the reports describe.
@@ -257,7 +264,106 @@ pub fn collect() -> BenchRecord {
         );
     }
 
+    // Stage 4 — the sharded fleet under two-tenant QoS at 1.0x and 2.0x
+    // of the bursty tenant's nominal point: router latency quantiles and
+    // per-tenant shed rates track the fleet serving stack.
+    fleet_stage(&mut rec);
+
     rec
+}
+
+/// One small two-shard LeNet fleet per load point; the `bursty` tenant
+/// doubles its offered rate at 2x while `steady` stays fixed, so the
+/// shed-rate series shows QoS isolation (steady sheds nothing at either
+/// point).
+fn fleet_stage(rec: &mut BenchRecord) {
+    let rate = {
+        let mut cache = DeploymentCache::new();
+        let p = FpgaPlatform::Stratix10Sx;
+        let d = cache
+            .get_or_compile(Model::LeNet5, p, &optimized_config(Model::LeNet5, p))
+            .expect("LeNet compiles on Stratix 10 SX");
+        let lm = cache.calibration(&d, 16);
+        16.0 / lm.seconds(16)
+    };
+    let spec = FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 6,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::LeNet5,
+            rate_rps: rate * 3.2,
+        }],
+        headroom: 0.25,
+    };
+    let mut db = TuningDb::new();
+    for (tag, mult) in [("load1x", 1.0), ("load2x", 2.0)] {
+        let fleet = Fleet::build(
+            &spec,
+            FleetConfig {
+                shards: 2,
+                serve: ServeConfig {
+                    admission: AdmissionPolicy {
+                        queue_capacity: 1 << 14,
+                        default_deadline_s: None,
+                    },
+                    ..ServeConfig::default()
+                },
+                ..FleetConfig::default()
+            },
+            &mut db,
+        )
+        .expect("the LeNet fleet places");
+        let cap = fleet.capacity_rps();
+        let tenant = |name: &str, budget: f64, offered: f64| TenantLoad {
+            policy: TenantPolicy {
+                name: name.into(),
+                weight: 1.0,
+                budget_rps: budget,
+                burst: 20.0,
+            },
+            offered: vec![(Model::LeNet5, offered)],
+        };
+        let r = fleet.run(
+            &[
+                tenant("steady", 0.45 * cap, 0.30 * cap),
+                tenant("bursty", 0.20 * cap, mult * 0.5 * cap),
+            ],
+            0.2,
+        );
+        let key = format!("fleet.{tag}");
+        rec.push(
+            &format!("{key}.router_p50_ms"),
+            r.latency.quantile(0.50) * 1e3,
+            "ms",
+            Direction::Lower,
+            0.05,
+        );
+        rec.push(
+            &format!("{key}.router_p99_ms"),
+            r.latency.quantile(0.99) * 1e3,
+            "ms",
+            Direction::Lower,
+            0.05,
+        );
+        rec.push(
+            &format!("{key}.overflow_ratio"),
+            r.overflowed as f64 / r.routed.max(1) as f64,
+            "ratio",
+            Direction::Lower,
+            0.25,
+        );
+        for t in &r.tenants {
+            rec.push(
+                &format!("{key}.shed_rate.{}", t.name),
+                (t.shed_fleet + t.shed_shard) as f64 / t.offered.max(1) as f64,
+                "ratio",
+                Direction::Lower,
+                0.10,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,8 +373,9 @@ mod tests {
     #[test]
     fn matrix_is_covered_and_every_value_is_finite() {
         let rec = collect();
-        // 4 configs x (3 compile + 3 pipeline) + 2 load points x 4.
-        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4);
+        // 4 configs x (3 compile + 3 pipeline) + 2 serve load points x 4
+        // + 2 fleet load points x 5.
+        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4 + 2 * 5);
         for m in &rec.metrics {
             assert!(m.value.is_finite(), "{} is not finite", m.id);
         }
@@ -292,6 +399,15 @@ mod tests {
             shed2 > 2.0 * shed1,
             "overload must shed more: {shed1} vs {shed2}"
         );
+        // QoS isolation in the fleet stage: the steady tenant never
+        // sheds, the bursty one sheds more when it doubles its load.
+        for tag in ["load1x", "load2x"] {
+            let steady = rec.get(&format!("fleet.{tag}.shed_rate.steady")).unwrap();
+            assert_eq!(steady.value, 0.0, "steady tenant shed at {tag}");
+        }
+        let b1 = rec.get("fleet.load1x.shed_rate.bursty").unwrap().value;
+        let b2 = rec.get("fleet.load2x.shed_rate.bursty").unwrap().value;
+        assert!(b2 > b1, "doubled burst must shed more: {b1} vs {b2}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (and re-deploys it after reconfiguration). The cache makes every compile
 //! after the first a lookup returning a shared [`Arc<Deployment>`].
 
-use fpgaccel_core::{Deployment, Flow, FlowError, OptimizationConfig};
+use fpgaccel_core::{BatchLatencyModel, Deployment, Flow, FlowError, OptimizationConfig};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_tensor::models::Model;
 use fpgaccel_trace::{Tracer, PID_SERVE};
@@ -14,9 +14,19 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A cache of compiled deployments.
-#[derive(Default)]
+///
+/// Cloning is cheap (shared `Arc`s) and carries the compiled entries and
+/// calibration memos along — a fleet builds one warm template cache and
+/// hands each shard pool a clone, so hundreds of devices cost one compile
+/// and one calibration per deployment.
+#[derive(Clone, Default)]
 pub struct DeploymentCache {
     entries: HashMap<String, Arc<Deployment>>,
+    /// Latency models memoized per (deployment identity, probe size).
+    /// Calibration is a pure function of the deployment, and cached
+    /// deployments are pinned for the cache's lifetime, so the allocation
+    /// address is a stable key.
+    calibrations: HashMap<(usize, usize), BatchLatencyModel>,
     hits: u64,
     misses: u64,
     flakes: u64,
@@ -126,6 +136,18 @@ impl DeploymentCache {
             .with_tuned_config(db)
             .unwrap_or_else(|| fallback.clone());
         self.get_or_compile(model, platform, &config)
+    }
+
+    /// Calibrated [`BatchLatencyModel`] for a cached deployment, memoized
+    /// per (deployment, probe size). The two calibration probes
+    /// (`simulate_batch(1)` and `simulate_batch(probe)`) run once per
+    /// deployment, not once per device the deployment lands on.
+    pub fn calibration(&mut self, d: &Arc<Deployment>, probe: usize) -> BatchLatencyModel {
+        let key = (Arc::as_ptr(d) as usize, probe);
+        *self
+            .calibrations
+            .entry(key)
+            .or_insert_with(|| BatchLatencyModel::calibrate(d, probe))
     }
 
     /// Cache hits so far.

@@ -7,7 +7,8 @@ use fpgaccel_device::FpgaPlatform;
 use fpgaccel_fault::{FaultInjector, HANG_WATCHDOG_S};
 use fpgaccel_tensor::models::Model;
 use fpgaccel_trace::Tracer;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Batch size used to calibrate each deployment's [`BatchLatencyModel`].
@@ -230,12 +231,74 @@ pub struct Dispatch {
     pub expected_completion_s: f64,
 }
 
+/// Order-preserving map from a non-negative `f64` to a totally ordered
+/// integer key (IEEE-754 bit tricks; negative values sort below positives,
+/// `-0.0` below `+0.0` — stricter than `<` but the pool only ever compares
+/// non-negative times, where the two orders agree).
+fn f64_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Devices sharing one calibrated [`BatchLatencyModel`] for a given
+/// (model, variant). Within a group the expected completion of a batch is
+/// a strictly increasing function of `busy_until`, independent of the
+/// batch size — so the group's best candidate is always either the
+/// lowest-indexed idle device or the earliest-free pending one, and both
+/// are O(log n) set lookups instead of a scan.
+struct DispatchGroup {
+    lm: BatchLatencyModel,
+    /// Devices free at or before the key's watermark, by pool index.
+    idle: BTreeSet<usize>,
+    /// Devices still busy past the watermark, by (`f64_key(busy_until)`,
+    /// pool index).
+    pending: BTreeSet<(u64, usize)>,
+}
+
+/// Per-(model, variant) ready index: latency-model groups plus the
+/// watermark time idle/pending classification is relative to.
+struct KeyIndex {
+    watermark_key: u64,
+    groups: Vec<DispatchGroup>,
+}
+
+/// Lazily built ready-heap over the pool, replacing the O(devices) linear
+/// dispatch scan. Structural changes (deploys, health transitions) clear
+/// it wholesale; per-batch `commit`s update it incrementally through the
+/// membership map.
+#[derive(Default)]
+struct DispatchIndex {
+    keys: HashMap<(Model, bool), KeyIndex>,
+    /// `device -> [(model, brownout, group index)]` for every built key the
+    /// device participates in (a device serving several models appears once
+    /// per key).
+    members: HashMap<usize, Vec<(Model, bool, usize)>>,
+}
+
+impl DispatchIndex {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.members.clear();
+    }
+}
+
 /// A pool of FPGAs sharing a deployment cache.
 pub struct DevicePool {
     devices: Vec<PooledDevice>,
     cache: DeploymentCache,
     tracer: Tracer,
     fault: FaultInjector,
+    index: RefCell<DispatchIndex>,
+    /// Simulated batch seconds memoized per (deployment identity, size):
+    /// devices sharing a cached deployment share one discrete-event
+    /// simulation per batch size instead of re-running it per device —
+    /// the difference between O(deployments) and O(devices) simulation
+    /// cost in fleet-sized pools.
+    batch_memo: HashMap<(usize, usize), f64>,
 }
 
 impl Default for DevicePool {
@@ -252,7 +315,27 @@ impl DevicePool {
             cache: DeploymentCache::new(),
             tracer: Tracer::disabled(),
             fault: FaultInjector::disabled(),
+            index: RefCell::new(DispatchIndex::default()),
+            batch_memo: HashMap::new(),
         }
+    }
+
+    /// A pool whose deployment cache starts pre-warmed — a fleet shard
+    /// sharing compiles and calibrations with its sibling shards through a
+    /// cloned template cache.
+    pub fn with_cache(cache: DeploymentCache) -> DevicePool {
+        DevicePool {
+            cache,
+            ..DevicePool::new()
+        }
+    }
+
+    /// Drops the lazily built dispatch index after any structural change
+    /// (deploy, health transition, new device); it rebuilds on the next
+    /// dispatch. Per-batch `commit`s do not come through here — they update
+    /// the index incrementally.
+    fn invalidate_index(&mut self) {
+        self.index.borrow_mut().clear();
     }
 
     /// Attaches a tracer; subsequent [`DevicePool::deploy`] calls record
@@ -284,6 +367,7 @@ impl DevicePool {
             .count();
         let name = format!("{}-{n}", platform.label().to_lowercase());
         self.devices.push(PooledDevice::new(name, platform));
+        self.invalidate_index();
         self.devices.len() - 1
     }
 
@@ -309,7 +393,7 @@ impl DevicePool {
             self.cache
                 .get_or_compile_traced(model, platform, config, &self.tracer)?
         };
-        let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
+        let lm = self.cache.calibration(&d, CALIBRATION_PROBE);
         let dev = &mut self.devices[device];
         dev.deployments.insert(model, d);
         dev.latency_models.insert(model, lm);
@@ -317,6 +401,7 @@ impl DevicePool {
         // (brownout-variant entries belong to a different bitstream and
         // survive).
         dev.batch_seconds.retain(|&(m, _, b), _| m != model || b);
+        self.invalidate_index();
         Ok(())
     }
 
@@ -336,11 +421,12 @@ impl DevicePool {
         let d = self
             .cache
             .get_or_compile_tuned(model, platform, db, fallback)?;
-        let lm = BatchLatencyModel::calibrate(&d, CALIBRATION_PROBE);
+        let lm = self.cache.calibration(&d, CALIBRATION_PROBE);
         let dev = &mut self.devices[device];
         dev.brownout_deployments.insert(model, d);
         dev.brownout_lms.insert(model, lm);
         dev.batch_seconds.retain(|&(m, _, b), _| m != model || !b);
+        self.invalidate_index();
         Ok(())
     }
 
@@ -372,6 +458,13 @@ impl DevicePool {
     /// `brownout = true` only devices holding the staged relaxed-precision
     /// variant are considered, weighted by its own calibrated latency.
     /// Draining devices (mid-rollout) never receive new batches.
+    ///
+    /// Dispatch consults a lazily built ready index: devices sharing a
+    /// calibrated latency model are grouped, and within a group the best
+    /// candidate is the lowest-indexed idle device (or, failing that, the
+    /// earliest-free busy one) — identical to the historical linear scan,
+    /// including its lowest-index tie-break, but O(groups · log devices)
+    /// per request instead of O(devices).
     pub fn dispatch_variant(
         &self,
         model: Model,
@@ -379,7 +472,89 @@ impl DevicePool {
         now_s: f64,
         brownout: bool,
     ) -> Option<Dispatch> {
-        let mut best: Option<Dispatch> = None;
+        let mut index = self.index.borrow_mut();
+        let key = (model, brownout);
+        let now_key = f64_key(now_s);
+        // A dispatch before the key's watermark would mis-read `pending`
+        // devices as busy; rebuild from scratch at the earlier time.
+        if index
+            .keys
+            .get(&key)
+            .is_some_and(|ki| now_key < ki.watermark_key)
+        {
+            let stale: Vec<usize> = index.members.keys().copied().collect();
+            for dev in stale {
+                if let Some(m) = index.members.get_mut(&dev) {
+                    m.retain(|&(km, kb, _)| (km, kb) != key);
+                }
+            }
+            index.keys.remove(&key);
+        }
+        if !index.keys.contains_key(&key) {
+            let ki = self.build_key_index(model, brownout, now_key, &mut index.members);
+            index.keys.insert(key, ki);
+        }
+        let ki = index.keys.get_mut(&key).expect("key index just ensured");
+        // Advance the watermark: devices whose committed work finishes at
+        // or before `now` become idle.
+        if now_key > ki.watermark_key {
+            ki.watermark_key = now_key;
+            for g in &mut ki.groups {
+                while let Some(&(bk, i)) = g.pending.first() {
+                    if bk > now_key {
+                        break;
+                    }
+                    g.pending.pop_first();
+                    g.idle.insert(i);
+                    debug_assert!(self.devices[i].busy_until_s <= now_s || bk == now_key);
+                }
+            }
+        }
+        let mut best: Option<(f64, usize, f64)> = None; // (completion, device, start)
+        for g in &ki.groups {
+            let candidate = if let Some(&i) = g.idle.first() {
+                // All idle devices complete at now + seconds(n); the set
+                // gives the lowest index, matching the scan's tie-break.
+                Some((now_s + g.lm.seconds(n), i, now_s))
+            } else {
+                g.pending.first().map(|&(_, i)| {
+                    let start = now_s.max(self.devices[i].busy_until_s);
+                    (start + g.lm.seconds(n), i, start)
+                })
+            };
+            if let Some((c, i, s)) = candidate {
+                let better = match best {
+                    None => true,
+                    Some((bc, bi, _)) => match c.total_cmp(&bc) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => i < bi,
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if better {
+                    best = Some((c, i, s));
+                }
+            }
+        }
+        best.map(|(c, i, s)| Dispatch {
+            device: i,
+            start_s: s,
+            expected_completion_s: c,
+        })
+    }
+
+    /// Builds the ready index for one (model, variant) key, classifying
+    /// every eligible device as idle or pending relative to `watermark_key`
+    /// and registering group memberships for incremental `commit` updates.
+    fn build_key_index(
+        &self,
+        model: Model,
+        brownout: bool,
+        watermark_key: u64,
+        members: &mut HashMap<usize, Vec<(Model, bool, usize)>>,
+    ) -> KeyIndex {
+        let mut groups: Vec<DispatchGroup> = Vec::new();
+        let mut by_lm: HashMap<(u64, u64), usize> = HashMap::new();
         for (i, dev) in self.devices.iter().enumerate() {
             if dev.health == DeviceHealth::Lost || dev.health == DeviceHealth::Draining {
                 continue;
@@ -389,27 +564,64 @@ impl DevicePool {
             } else {
                 &dev.latency_models
             };
-            let Some(lm) = lms.get(&model) else {
+            let Some(&lm) = lms.get(&model) else {
                 continue;
             };
-            let start_s = now_s.max(dev.busy_until_s);
-            let expected_completion_s = start_s + lm.seconds(n);
-            if best.is_none_or(|b| expected_completion_s < b.expected_completion_s) {
-                best = Some(Dispatch {
-                    device: i,
-                    start_s,
-                    expected_completion_s,
+            let gkey = (lm.base_s.to_bits(), lm.per_image_s.to_bits());
+            let gi = *by_lm.entry(gkey).or_insert_with(|| {
+                groups.push(DispatchGroup {
+                    lm,
+                    idle: BTreeSet::new(),
+                    pending: BTreeSet::new(),
                 });
+                groups.len() - 1
+            });
+            let bk = f64_key(dev.busy_until_s);
+            if bk <= watermark_key {
+                groups[gi].idle.insert(i);
+            } else {
+                groups[gi].pending.insert((bk, i));
             }
+            members.entry(i).or_default().push((model, brownout, gi));
         }
-        best
+        KeyIndex {
+            watermark_key,
+            groups,
+        }
     }
 
     /// Marks a device busy executing from `start_s` until `until_s`.
     pub(crate) fn commit(&mut self, device: usize, start_s: f64, until_s: f64) {
         let d = &mut self.devices[device];
+        let old_b = d.busy_until_s;
         d.busy_until_s = d.busy_until_s.max(until_s);
         d.busy_s += (until_s - start_s).max(0.0);
+        let new_b = d.busy_until_s;
+        if new_b == old_b {
+            return;
+        }
+        // Reclassify the device in every built key it participates in.
+        let index = self.index.get_mut();
+        let Some(memberships) = index.members.get(&device) else {
+            return;
+        };
+        for &(m, b, gi) in memberships {
+            let Some(ki) = index.keys.get_mut(&(m, b)) else {
+                continue;
+            };
+            let g = &mut ki.groups[gi];
+            let (old_key, new_key) = (f64_key(old_b), f64_key(new_b));
+            if old_key <= ki.watermark_key {
+                g.idle.remove(&device);
+            } else {
+                g.pending.remove(&(old_key, device));
+            }
+            if new_key <= ki.watermark_key {
+                g.idle.insert(device);
+            } else {
+                g.pending.insert((new_key, device));
+            }
+        }
     }
 
     /// Whether any non-lost device serves `model`.
@@ -443,6 +655,7 @@ impl DevicePool {
         if d.health != DeviceHealth::Lost {
             d.health = DeviceHealth::Draining;
         }
+        self.invalidate_index();
     }
 
     /// Returns a drained/reprogrammed device to dispatch.
@@ -451,6 +664,7 @@ impl DevicePool {
         if d.health == DeviceHealth::Draining {
             d.health = DeviceHealth::Healthy;
         }
+        self.invalidate_index();
     }
 
     /// Earliest time at or after `now_s` any non-lost device serving
@@ -482,7 +696,7 @@ impl DevicePool {
         timeout_mult: f64,
         brownout: bool,
     ) -> BatchOutcome {
-        let base = self.devices[device].batch_seconds_variant(model, n, brownout);
+        let base = self.batch_seconds_shared(device, model, n, brownout);
         if !self.fault.is_enabled() {
             return BatchOutcome::Done {
                 completion_s: start_s + base,
@@ -520,6 +734,36 @@ impl DevicePool {
         BatchOutcome::Done { completion_s }
     }
 
+    /// Clean batch-execution seconds for `device`, memoized per
+    /// (deployment identity, batch size) at pool scope. Devices sharing an
+    /// `Arc<Deployment>` (the common case — the cache hands the same
+    /// deployment to every device of a class) pay for one discrete-event
+    /// simulation per batch size, not one per device. Values are identical
+    /// to [`PooledDevice::batch_seconds_variant`]: the simulation is a pure
+    /// function of the deployment and the size.
+    fn batch_seconds_shared(
+        &mut self,
+        device: usize,
+        model: Model,
+        n: usize,
+        brownout: bool,
+    ) -> f64 {
+        let d = Arc::clone(
+            self.devices[device]
+                .serving_deployment(model, brownout)
+                .expect("dispatched variant is deployed"),
+        );
+        // The cache pins every compiled deployment for the pool's lifetime,
+        // so the allocation address is a stable identity.
+        let key = (Arc::as_ptr(&d) as usize, n);
+        if let Some(&s) = self.batch_memo.get(&key) {
+            return s;
+        }
+        let s = d.simulate_batch(n).seconds;
+        self.batch_memo.insert(key, s);
+        s
+    }
+
     /// Quarantines a hung device and reprograms it: up to `max_attempts`
     /// reprogram attempts of `reprogram_s` each, consuming the plan's
     /// pending reprogram-failure events. On success the device returns to
@@ -535,6 +779,9 @@ impl DevicePool {
         reprogram_s: f64,
         max_attempts: u32,
     ) -> Option<Recovery> {
+        // Health and busy-time transitions below restructure dispatch
+        // eligibility; drop the ready index wholesale.
+        self.invalidate_index();
         let name = self.devices[device].name.clone();
         {
             let d = &self.devices[device];
@@ -603,6 +850,7 @@ impl DevicePool {
                 let d = &mut self.devices[device];
                 d.cleared_s = d.cleared_s.max(t);
                 d.busy_until_s = d.busy_until_s.max(t);
+                self.invalidate_index();
                 return Ok(Reprogram {
                     attempts,
                     end_s: t,
@@ -611,6 +859,7 @@ impl DevicePool {
             }
         }
         self.devices[device].health = DeviceHealth::Lost;
+        self.invalidate_index();
         Ok(Reprogram {
             attempts,
             end_s: t,
@@ -696,6 +945,69 @@ mod tests {
     fn dispatch_returns_none_for_undeployed_models() {
         let pool = pool_with_two_s10(Model::LeNet5);
         assert!(pool.dispatch(Model::MobileNetV1, 1, 0.0).is_none());
+    }
+
+    /// The historical O(devices) linear scan, kept as the test oracle for
+    /// the ready-index dispatch.
+    fn dispatch_linear(pool: &DevicePool, model: Model, n: usize, now_s: f64) -> Option<Dispatch> {
+        let mut best: Option<Dispatch> = None;
+        for (i, dev) in pool.devices().iter().enumerate() {
+            if dev.health == DeviceHealth::Lost || dev.health == DeviceHealth::Draining {
+                continue;
+            }
+            let Some(lm) = dev.latency_models.get(&model) else {
+                continue;
+            };
+            let start_s = now_s.max(dev.busy_until_s);
+            let expected_completion_s = start_s + lm.seconds(n);
+            if best.is_none_or(|b| expected_completion_s < b.expected_completion_s) {
+                best = Some(Dispatch {
+                    device: i,
+                    start_s,
+                    expected_completion_s,
+                });
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn ready_index_matches_the_linear_scan_under_seeded_churn() {
+        use fpgaccel_tensor::rng::Rng64;
+        let mut pool = DevicePool::new();
+        for p in [
+            FpgaPlatform::Stratix10Sx,
+            FpgaPlatform::Stratix10Sx,
+            FpgaPlatform::Stratix10Mx,
+            FpgaPlatform::Arria10Gx,
+            FpgaPlatform::Arria10Gx,
+            FpgaPlatform::Arria10Gx,
+        ] {
+            let d = pool.add_device(p);
+            pool.deploy(d, Model::LeNet5, &optimized_config(Model::LeNet5, p))
+                .unwrap();
+        }
+        let mut rng = Rng64::seed_from_u64(0xF1EE7);
+        let mut t = 0.0;
+        for step in 0..500 {
+            t += rng.exponential(2000.0);
+            let n = 1 + (rng.below(8) as usize);
+            let expect = dispatch_linear(&pool, Model::LeNet5, n, t);
+            let got = pool.dispatch(Model::LeNet5, n, t);
+            assert_eq!(got, expect, "step {step} diverged from the linear scan");
+            let d = got.unwrap();
+            pool.commit(d.device, d.start_s, d.expected_completion_s);
+            if step % 97 == 0 {
+                // Structural churn: drain and return a device mid-stream.
+                pool.begin_drain(d.device);
+                assert_eq!(
+                    pool.dispatch(Model::LeNet5, n, t),
+                    dispatch_linear(&pool, Model::LeNet5, n, t),
+                    "step {step} diverged while draining"
+                );
+                pool.return_to_service(d.device);
+            }
+        }
     }
 
     #[test]

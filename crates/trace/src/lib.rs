@@ -51,4 +51,4 @@ pub use chrome::chrome_trace_json;
 pub use flight::{FlightEvent, FlightRecorder, Postmortem};
 pub use metrics::Registry;
 pub use profile::HotPathProfiler;
-pub use tracer::{PhaseGuard, TraceEvent, Tracer, PID_FLOW, PID_SERVE, PID_TUNE};
+pub use tracer::{PhaseGuard, TraceEvent, Tracer, PID_FLEET, PID_FLOW, PID_SERVE, PID_TUNE};

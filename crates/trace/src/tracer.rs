@@ -23,6 +23,8 @@ pub const PID_FLOW: u32 = 1;
 pub const PID_SERVE: u32 = 2;
 /// Process id of the auto-tuner track group.
 pub const PID_TUNE: u32 = 3;
+/// Process id of the fleet-layer (placement/routing) track group.
+pub const PID_FLEET: u32 = 4;
 /// First process id handed out by [`Tracer::alloc_pid`] (device sims).
 const PID_DYNAMIC_BASE: u32 = 16;
 

@@ -89,6 +89,23 @@ pub struct PipelineRecord {
     pub evaluations: usize,
 }
 
+/// One cached fleet placement plan, keyed by the digest of the fleet
+/// specification that produced it (device-class inventory + per-model
+/// demand). Placement is deterministic in its spec, so the record is a
+/// pure cache: a digest hit skips every feasibility compile and
+/// calibration probe the optimizer would otherwise spend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlacementRecord {
+    /// Replica counts as `(model name, platform label, replicas)`, in the
+    /// deterministic order the optimizer assigned them.
+    pub replicas: Vec<(String, String, usize)>,
+    /// Aggregate steady-state serving rate of the plan, requests/second.
+    pub total_rate_rps: f64,
+    /// Feasibility evaluations (compile + calibration probes) the
+    /// producing optimization spent.
+    pub evaluations: usize,
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -111,6 +128,7 @@ fn escape(s: &str) -> String {
 pub struct TuningDb {
     records: BTreeMap<DbKey, TuneRecord>,
     pipeline: BTreeMap<DbKey, PipelineRecord>,
+    placements: BTreeMap<String, PlacementRecord>,
 }
 
 impl TuningDb {
@@ -124,9 +142,9 @@ impl TuningDb {
         self.records.len()
     }
 
-    /// True when no records of either kind are stored.
+    /// True when no records of any kind are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty() && self.pipeline.is_empty()
+        self.records.is_empty() && self.pipeline.is_empty() && self.placements.is_empty()
     }
 
     /// Best-known record for a key, if any.
@@ -167,6 +185,34 @@ impl TuningDb {
         }
     }
 
+    /// Number of cached placement plans.
+    pub fn placements_len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Cached placement plan for a fleet-spec digest, if any.
+    pub fn lookup_placement(&self, spec: &str) -> Option<&PlacementRecord> {
+        self.placements.get(spec)
+    }
+
+    /// Iterates placement records in spec-digest order.
+    pub fn iter_placements(&self) -> impl Iterator<Item = (&String, &PlacementRecord)> {
+        self.placements.iter()
+    }
+
+    /// Caches a placement plan under its spec digest. Placement is a pure
+    /// function of its spec, so an existing record is kept (first write
+    /// wins); returns true when `record` was inserted.
+    pub fn insert_placement(&mut self, spec: String, record: PlacementRecord) -> bool {
+        match self.placements.entry(spec) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(record);
+                true
+            }
+        }
+    }
+
     /// Inserts a record, keeping whichever of the existing and new record
     /// has the lower latency. Returns true when `record` became (or stayed)
     /// the stored one because it is at least as good.
@@ -191,7 +237,11 @@ impl TuningDb {
             .iter_pipeline()
             .filter(|(k, r)| self.insert_pipeline((*k).clone(), (*r).clone()))
             .count();
-        tilings + pipelines
+        let placements = other
+            .iter_placements()
+            .filter(|(k, r)| self.insert_placement((*k).clone(), (*r).clone()))
+            .count();
+        tilings + pipelines + placements
     }
 
     /// Renders the database as its canonical JSON document.
@@ -247,6 +297,31 @@ impl TuningDb {
                     r.dram_elems_saved,
                     r.pipelined_stages,
                     r.staged_nodes,
+                    r.evaluations
+                ));
+            }
+            out.push_str("\n  ]");
+        }
+        // Like `pipeline`, the placements section is omitted when empty so
+        // pre-fleet databases keep their historical byte-exact rendering.
+        if !self.placements.is_empty() {
+            out.push_str(",\n  \"placements\": [");
+            for (i, (spec, r)) in self.placements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let replicas = r
+                    .replicas
+                    .iter()
+                    .map(|(m, p, n)| format!("[\"{}\", \"{}\", {}]", escape(m), escape(p), n))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "\n    {{\"spec\": \"{}\", \"replicas\": [{}], \
+                     \"total_rate_rps\": {}, \"evaluations\": {}}}",
+                    escape(spec),
+                    replicas,
+                    r.total_rate_rps,
                     r.evaluations
                 ));
             }
@@ -367,6 +442,49 @@ impl TuningDb {
                     evaluations: num("evaluations")? as usize,
                 };
                 db.insert_pipeline(key, record);
+            }
+        }
+        // Optional placements section (absent in pre-fleet databases).
+        if let Some(placements) = doc.get("placements") {
+            let recs = placements.as_array().ok_or("`placements` not an array")?;
+            for (i, rec) in recs.iter().enumerate() {
+                let spec = rec
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("placement record {i}: missing `spec`"))?
+                    .to_string();
+                let replica_arr = rec
+                    .get("replicas")
+                    .and_then(Json::as_array)
+                    .ok_or(format!("placement record {i}: missing `replicas`"))?;
+                let mut replicas = Vec::new();
+                for (j, triple) in replica_arr.iter().enumerate() {
+                    let parts = triple
+                        .as_array()
+                        .filter(|a| a.len() == 3)
+                        .ok_or(format!("placement record {i}: replicas[{j}] not a triple"))?;
+                    let model = parts[0]
+                        .as_str()
+                        .ok_or(format!("placement record {i}: replicas[{j}] model"))?;
+                    let platform = parts[1]
+                        .as_str()
+                        .ok_or(format!("placement record {i}: replicas[{j}] platform"))?;
+                    let count = parts[2]
+                        .as_f64()
+                        .ok_or(format!("placement record {i}: replicas[{j}] count"))?;
+                    replicas.push((model.to_string(), platform.to_string(), count as usize));
+                }
+                let num = |name: &str| -> Result<f64, String> {
+                    rec.get(name)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("placement record {i}: missing `{name}`"))
+                };
+                let record = PlacementRecord {
+                    replicas,
+                    total_rate_rps: num("total_rate_rps")?,
+                    evaluations: num("evaluations")? as usize,
+                };
+                db.insert_placement(spec, record);
             }
         }
         Ok(db)
@@ -530,6 +648,58 @@ mod tests {
         // And a pipeline-only database still counts as non-empty.
         let mut p = TuningDb::new();
         p.insert_pipeline(key(), pipeline_record("fill*2", 0.033));
+        assert!(!p.is_empty());
+    }
+
+    fn placement_record() -> PlacementRecord {
+        PlacementRecord {
+            replicas: vec![
+                ("MobileNetV1".into(), "S10SX".into(), 120),
+                ("LeNet-5".into(), "A10".into(), 3),
+            ],
+            total_rate_rps: 4812.5,
+            evaluations: 9,
+        }
+    }
+
+    #[test]
+    fn placement_records_round_trip_and_first_write_wins() {
+        let mut db = TuningDb::new();
+        assert!(db.insert_placement("fleet-abc123".into(), placement_record()));
+        assert!(
+            !db.insert_placement(
+                "fleet-abc123".into(),
+                PlacementRecord {
+                    evaluations: 99,
+                    ..placement_record()
+                }
+            ),
+            "a spec digest is a pure cache key; first write wins"
+        );
+        let text = db.to_json();
+        let back = TuningDb::from_json(&text).unwrap();
+        assert_eq!(back.placements_len(), 1);
+        assert_eq!(
+            back.lookup_placement("fleet-abc123"),
+            db.lookup_placement("fleet-abc123")
+        );
+        assert_eq!(back.to_json(), text, "canonical rendering is stable");
+        // Merge carries placements across databases.
+        let mut other = TuningDb::new();
+        other.insert_placement("fleet-def456".into(), placement_record());
+        assert_eq!(db.merge(&other), 1);
+        assert_eq!(db.placements_len(), 2);
+    }
+
+    #[test]
+    fn placement_free_databases_render_without_a_placements_section() {
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012));
+        db.insert_pipeline(key(), pipeline_record("fill*2", 0.033));
+        assert!(!db.to_json().contains("\"placements\""));
+        // And a placement-only database still counts as non-empty.
+        let mut p = TuningDb::new();
+        p.insert_placement("fleet-abc123".into(), placement_record());
         assert!(!p.is_empty());
     }
 

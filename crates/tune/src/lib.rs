@@ -47,7 +47,7 @@ pub use candidate::{
     divisors, shape_signature, Candidate, Conv1x1Shape, LegalityError, SearchSpace,
 };
 pub use cost::{CostModel, Observation};
-pub use db::{DbKey, PipelineRecord, TuneRecord, TuningDb};
+pub use db::{DbKey, PipelineRecord, PlacementRecord, TuneRecord, TuningDb};
 pub use pipeline::{
     best_pipeline, pipeline_candidates, search_pipeline, EvaluatePipeline, PipelineMeasured,
 };

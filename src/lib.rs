@@ -32,6 +32,8 @@
 //! * [`trace`] — span tracing, Perfetto timeline export, metrics registry.
 //! * [`fault`] — seeded deterministic fault injection: fault plans in
 //!   sim-time, the injector handle, retry/backoff policy.
+//! * [`fleet`] — sharded fleet serving: placement optimization,
+//!   consistent-hash routing, multi-tenant QoS, fleet-wide rollouts.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +61,7 @@ pub use fpgaccel_baseline as baseline;
 pub use fpgaccel_core as core;
 pub use fpgaccel_device as device;
 pub use fpgaccel_fault as fault;
+pub use fpgaccel_fleet as fleet;
 pub use fpgaccel_obs as obs;
 pub use fpgaccel_pipeline as pipeline;
 pub use fpgaccel_runtime as runtime;

@@ -11,9 +11,14 @@
 use fpgaccel::core::bitstreams::{mobilenet_tile, optimized_config};
 use fpgaccel::core::{tune_pipeline, ExecutionPlan, Flow, OptimizationConfig, TilingPreset};
 use fpgaccel::device::FpgaPlatform;
+use fpgaccel::fleet::{
+    DeviceClass, Fleet, FleetConfig, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
+};
 use fpgaccel::pipeline::record_plan_metrics;
 use fpgaccel::serve::loadgen::{open_loop_poisson, with_deadline};
-use fpgaccel::serve::{AdmissionPolicy, BatchPolicy, DevicePool, ServeConfig, Server, SloPolicy};
+use fpgaccel::serve::{
+    AdmissionPolicy, BatchPolicy, DeploymentCache, DevicePool, ServeConfig, Server, SloPolicy,
+};
 use fpgaccel::tensor::models::Model;
 use fpgaccel::trace::{HotPathProfiler, Registry, Tracer};
 use fpgaccel::tune::TuningDb;
@@ -94,6 +99,63 @@ fn every_exported_metric_family_conforms_to_the_naming_convention() {
     assert!(
         violations.is_empty(),
         "metric naming violations:\n{}",
+        violations.join("\n")
+    );
+
+    // Fleet: a two-shard LeNet fleet run exports the class-aggregated
+    // fleet_* families into its own registry; they must pass the same
+    // audit (the shard-scoped serve_* families were audited above).
+    let rate = {
+        let mut cache = DeploymentCache::new();
+        let p = FpgaPlatform::Stratix10Sx;
+        let dep = cache
+            .get_or_compile(Model::LeNet5, p, &optimized_config(Model::LeNet5, p))
+            .expect("LeNet compiles");
+        let lm = cache.calibration(&dep, 16);
+        16.0 / lm.seconds(16)
+    };
+    let spec = FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 2,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::LeNet5,
+            rate_rps: 1.2 * rate,
+        }],
+        headroom: 0.2,
+    };
+    let fleet = Fleet::build(
+        &spec,
+        FleetConfig {
+            shards: 2,
+            ..FleetConfig::default()
+        },
+        &mut TuningDb::new(),
+    )
+    .expect("the two-board fleet places");
+    let capacity = fleet.capacity_rps();
+    let r = fleet.run(
+        &[TenantLoad {
+            policy: TenantPolicy {
+                name: "solo".into(),
+                weight: 1.0,
+                budget_rps: capacity,
+                burst: 20.0,
+            },
+            offered: vec![(Model::LeNet5, 0.5 * capacity)],
+        }],
+        0.05,
+    );
+    assert!(
+        r.registry.family_count() >= 8,
+        "expected the fleet_* families, got {}",
+        r.registry.family_count()
+    );
+    let violations = r.registry.audit_names(&["fleet_"]);
+    assert!(
+        violations.is_empty(),
+        "fleet metric naming violations:\n{}",
         violations.join("\n")
     );
 }
