@@ -20,6 +20,9 @@ pub enum Precision {
     /// 32-bit IEEE float (the thesis' deployments).
     #[default]
     F32,
+    /// 16-bit IEEE half float: halves every LSU width and cache footprint
+    /// but the DSP's hard FP block still schedules one MAC per cycle.
+    Fp16,
     /// 16-bit fixed point (DNNWeaver's representation, Table 6.19).
     Int16,
     /// 8-bit integer (the §8.1 future-work target).
@@ -31,17 +34,17 @@ impl Precision {
     pub fn bytes(self) -> u64 {
         match self {
             Precision::F32 => 4,
-            Precision::Int16 => 2,
+            Precision::Fp16 | Precision::Int16 => 2,
             Precision::Int8 => 1,
         }
     }
 
     /// Multiply-accumulates per DSP block (§6.5: "two low-precision integer
     /// operations computed per cycle as opposed to one per DSP for
-    /// floating-point").
+    /// floating-point" — half floats still occupy the hard FP block whole).
     pub fn macs_per_dsp(self) -> u64 {
         match self {
-            Precision::F32 => 1,
+            Precision::F32 | Precision::Fp16 => 1,
             Precision::Int16 | Precision::Int8 => 2,
         }
     }
@@ -509,7 +512,44 @@ pub fn synthesize(
         .iter()
         .map(|k| synthesize_kernel(k, device, opts, calib))
         .collect();
+    assemble_bitstream(reports, device, calib)
+}
 
+/// Synthesizes a bitstream with per-kernel precision overrides — the mixed
+/// layout the §8.1 future work sketches, where accuracy-sensitive layers
+/// keep a wide datapath while the rest quantize. Kernels named in
+/// `precisions` synthesize at their assigned precision; everything else uses
+/// `opts.precision`.
+///
+/// # Errors
+/// Returns [`SynthesisError`] when the design exceeds chip resources or
+/// routing capacity.
+pub fn synthesize_mixed(
+    kernels: &[Kernel],
+    device: &DeviceModel,
+    opts: &AocOptions,
+    precisions: &std::collections::BTreeMap<String, Precision>,
+    calib: &Calib,
+) -> Result<BitstreamReport, SynthesisError> {
+    let reports: Vec<KernelReport> = kernels
+        .iter()
+        .map(|k| {
+            let mut o = *opts;
+            if let Some(p) = precisions.get(&k.name) {
+                o.precision = *p;
+            }
+            synthesize_kernel(k, device, &o, calib)
+        })
+        .collect();
+    assemble_bitstream(reports, device, calib)
+}
+
+/// Shared bitstream assembly: fit check, routing check, fmax model.
+fn assemble_bitstream(
+    reports: Vec<KernelReport>,
+    device: &DeviceModel,
+    calib: &Calib,
+) -> Result<BitstreamReport, SynthesisError> {
     let kernel_resources = reports
         .iter()
         .fold(Resources::default(), |acc, r| acc.add(r.resources));
@@ -791,6 +831,55 @@ mod tests {
         assert!(i8r.resources.dsp <= f32r.resources.dsp / 2 + 2);
         assert!(i8r.resources.ram < f32r.resources.ram);
         assert!(i8r.routing_pressure_bits() < f32r.routing_pressure_bits());
+    }
+
+    #[test]
+    fn fp16_shrinks_lsus_but_not_dsps() {
+        // Half floats halve memory widths but the hard FP block still does
+        // one MAC per cycle — unlike int8/int16 packing.
+        let k = tiled_1x1("h", 64, 64, 28, (7, 4, 8));
+        let d = dev(FpgaPlatform::Stratix10Sx);
+        let calib = Calib::default();
+        let f32r = synthesize_kernel(&k, &d, &AocOptions::default(), &calib);
+        let h16r = synthesize_kernel(&k, &d, &AocOptions::with_precision(Precision::Fp16), &calib);
+        assert_eq!(h16r.resources.dsp, f32r.resources.dsp);
+        assert!(h16r.resources.ram < f32r.resources.ram);
+        assert!(h16r.routing_pressure_bits() < f32r.routing_pressure_bits());
+    }
+
+    #[test]
+    fn mixed_precision_bitstream_sits_between_uniform_extremes() {
+        let d = dev(FpgaPlatform::Stratix10Sx);
+        let calib = Calib::default();
+        let opts = AocOptions::default();
+        let kernels = vec![
+            tiled_1x1("l0", 64, 64, 28, (7, 4, 4)),
+            tiled_1x1("l1", 64, 64, 28, (7, 4, 4)),
+            tiled_1x1("l2", 64, 64, 28, (7, 4, 4)),
+        ];
+        let all_f32 = synthesize(&kernels, &d, &opts, &calib).unwrap();
+        let all_i8 = synthesize(
+            &kernels,
+            &d,
+            &AocOptions::with_precision(Precision::Int8),
+            &calib,
+        )
+        .unwrap();
+        let mut assign = std::collections::BTreeMap::new();
+        assign.insert("l1".to_string(), Precision::Int8);
+        assign.insert("l2".to_string(), Precision::Int8);
+        let mixed = synthesize_mixed(&kernels, &d, &opts, &assign, &calib).unwrap();
+        assert!(mixed.kernel_resources.dsp < all_f32.kernel_resources.dsp);
+        assert!(mixed.kernel_resources.dsp > all_i8.kernel_resources.dsp);
+        // The unnamed kernel keeps the bitstream-wide default.
+        assert_eq!(
+            mixed.kernel("l0").resources.dsp,
+            all_f32.kernel("l0").resources.dsp
+        );
+        assert_eq!(
+            mixed.kernel("l1").resources.dsp,
+            all_i8.kernel("l1").resources.dsp
+        );
     }
 
     #[test]

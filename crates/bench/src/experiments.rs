@@ -992,6 +992,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("tab6_19", tab6_19),
     ("appendix_a", appendix_a),
     ("quantization", quantization),
+    ("quant", crate::quant::quant),
     ("alexnet", alexnet),
     ("ablations", ablations),
     ("host_engine", host_engine),

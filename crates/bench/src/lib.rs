@@ -17,6 +17,7 @@ pub mod fleet;
 pub mod log;
 pub mod paper;
 pub mod pipeline;
+pub mod quant;
 pub mod rollout;
 pub mod serving;
 pub mod table;

@@ -1,0 +1,20 @@
+//! Guard for the quantized-inference flow: the `quant` experiment report —
+//! per-rung differential verdicts, the per-layer worst-case-error table,
+//! the precision ladder, and the mixed-precision search — must stay
+//! byte-identical to the committed reference in `docs/quant_golden.txt`.
+//! Seeded calibration makes every number deterministic; any drift in the
+//! quantizer, the tolerance model, or the narrow-MAC kernels shows up here
+//! as a diff.
+
+#[test]
+fn quant_report_matches_the_golden_output_byte_for_byte() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/quant_golden.txt");
+    let golden = std::fs::read_to_string(golden_path).expect("golden output present");
+    // `repro quant` prints the report with one trailing println newline.
+    let actual = format!("{}\n", fpgaccel_bench::quant::quant());
+    assert_eq!(
+        actual, golden,
+        "the quant report diverged from docs/quant_golden.txt — quantization grids, \
+         tolerances, and the mixed-precision search must stay deterministic"
+    );
+}

@@ -9,21 +9,28 @@
 //! a flow (or the serving layer's deployment cache) deploys the tuned
 //! configuration straight from the database without ever searching.
 
-use crate::flow::Flow;
-use crate::options::{OptimizationConfig, TilingPreset};
-use fpgaccel_aoc::{synthesize, AocOptions, Precision};
+use crate::flow::{Flow, FlowError};
+use crate::options::{OptimizationConfig, QuantSpec, TilingPreset};
+use fpgaccel_aoc::{synthesize, synthesize_mixed, AocOptions, Precision};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_pipeline::PipelineOpts;
 use fpgaccel_tensor::graph::{Graph, Op};
 use fpgaccel_tensor::models::Model;
+use fpgaccel_tensor::quant::{self, Calibration, QuantPrecision, QuantizedGraph};
+use fpgaccel_tensor::Tensor;
+use fpgaccel_tir::Kernel;
 use fpgaccel_trace::PID_TUNE;
 use fpgaccel_trace::{Registry, Tracer};
 use fpgaccel_tune::pipeline::{record_of, EvaluatePipeline, PipelineMeasured};
+use fpgaccel_tune::precision::{
+    precision_record_of, search_precision, EvaluatePrecision, PrecisionCost,
+};
 use fpgaccel_tune::{
     best_pipeline, pipeline_candidates, search_pipeline, shape_signature, Candidate, Conv1x1Shape,
-    DbKey, EvalError, Evaluate, Measured, PipelineRecord, SearchConfig, SearchSpace, TuneError,
-    TuneOutcome, Tuner, TuningDb,
+    DbKey, EvalError, Evaluate, Measured, PipelineRecord, PrecisionRecord, SearchConfig,
+    SearchSpace, TuneError, TuneOutcome, Tuner, TuningDb,
 };
+use std::collections::BTreeMap;
 
 /// Loop extents of every (non-depthwise) 1x1 convolution in a fused,
 /// padding-materialized graph — what the tuner's legality checks and shape
@@ -361,6 +368,196 @@ pub fn tune_pipeline(
     })
 }
 
+/// Flow-backed mixed-precision evaluator: prices per-layer assignments with
+/// [`synthesize_mixed`] over the per-layer kernel set (the AOC model's
+/// per-precision DSP/RAM laws) and measures accuracy by running the tensor
+/// crate's mixed-precision executor against the f32 reference on a probe
+/// covered by the calibration batch.
+pub struct PrecisionEvaluator {
+    flow: Flow,
+    graph: Graph,
+    calib_q: Calibration,
+    kernels: Vec<Kernel>,
+    probe: Tensor,
+    reference: Tensor,
+}
+
+impl PrecisionEvaluator {
+    /// Builds the evaluator: imports the graph, calibrates it on the spec's
+    /// seeded batch, lowers the per-layer kernel set, and records the f32
+    /// reference output on the first calibration sample.
+    ///
+    /// # Errors
+    /// [`FlowError`] when calibration or kernel planning fails.
+    pub fn new(flow: &Flow, spec: &QuantSpec) -> Result<PrecisionEvaluator, FlowError> {
+        let graph = flow.import_graph();
+        let batch = flow.calibration_batch(spec);
+        let calib_q = quant::calibrate(&graph, &batch, spec.percentile)?;
+        // Per-layer kernels (kernel name == node name), exactly what a
+        // quantized compile lowers: shared parameterized kernels cannot
+        // carry per-layer precisions.
+        let mut cfg = OptimizationConfig::folded_base();
+        cfg.parameterized = false;
+        let plan = crate::kernels::build_folded(&graph, &cfg).map_err(FlowError::Plan)?;
+        let probe = batch[0].clone();
+        let reference = graph.execute(&probe);
+        Ok(PrecisionEvaluator {
+            flow: flow.clone(),
+            graph,
+            calib_q,
+            kernels: plan.kernels,
+            probe,
+            reference,
+        })
+    }
+
+    /// The searchable layers: every lowered kernel's node, minus softmax
+    /// (never requantized, so a softmax "demotion" would be a no-op the
+    /// search could bank illusory savings against).
+    pub fn layers(&self) -> Vec<String> {
+        self.kernels
+            .iter()
+            .filter(|k| {
+                self.graph
+                    .nodes
+                    .iter()
+                    .find(|n| n.name == k.name)
+                    .is_none_or(|n| !matches!(n.op, Op::Softmax))
+            })
+            .map(|k| k.name.clone())
+            .collect()
+    }
+
+    /// The tuning-database key this evaluator's results belong under (the
+    /// f32 baseline: the per-layer rungs live inside the record).
+    pub fn key(&self) -> DbKey {
+        db_key(&self.graph, self.flow.platform, Precision::F32)
+    }
+}
+
+impl EvaluatePrecision for PrecisionEvaluator {
+    fn price(&self, assignment: &BTreeMap<String, Precision>) -> Result<PrecisionCost, EvalError> {
+        let device = self.flow.platform.model();
+        let opts = AocOptions::default();
+        let bitstream =
+            synthesize_mixed(&self.kernels, &device, &opts, assignment, &self.flow.calib)
+                .map_err(|e| EvalError(e.to_string()))?;
+        Ok(PrecisionCost {
+            dsps: bitstream.total_resources.dsp,
+            ram_blocks: bitstream.total_resources.ram,
+        })
+    }
+
+    fn accuracy(&self, assignment: &BTreeMap<String, Precision>) -> Result<f64, EvalError> {
+        let by_name: BTreeMap<String, QuantPrecision> = assignment
+            .iter()
+            .filter_map(|(layer, p)| {
+                let q = match p {
+                    Precision::F32 => return None,
+                    Precision::Fp16 => QuantPrecision::Fp16,
+                    Precision::Int16 => QuantPrecision::Int16,
+                    Precision::Int8 => QuantPrecision::Int8,
+                };
+                Some((layer.clone(), q))
+            })
+            .collect();
+        let out = QuantizedGraph::mixed(&self.graph, &self.calib_q, &by_name)
+            .execute(&self.probe)
+            .map_err(|e| EvalError(e.to_string()))?;
+        Ok(out
+            .data()
+            .iter()
+            .zip(self.reference.data())
+            .map(|(a, b)| (a - b).abs() as f64)
+            .fold(0.0, f64::max))
+    }
+}
+
+/// The outcome of [`tune_precision`].
+#[derive(Clone, Debug)]
+pub struct PrecisionTuneOutcome {
+    /// The accepted per-layer assignment.
+    pub assignment: BTreeMap<String, Precision>,
+    /// Its database record (cached or freshly searched).
+    pub record: PrecisionRecord,
+    /// True when the database already held the record and no search ran.
+    pub from_cache: bool,
+}
+
+/// Finds a per-layer mixed-precision assignment for a model/platform pair
+/// in one call: warm database lookup (zero evaluations), greedy-demotion
+/// search under `error_budget` on a miss, winner recorded back into `db`.
+/// `spec` supplies the calibration knobs (its `precision` rung is unused:
+/// the search walks the fixed fp32 → int8 → fp16 demotion ladder).
+///
+/// # Errors
+/// [`EvalError`] when calibration, pricing, or the mixed executor fails.
+pub fn tune_precision(
+    flow: &Flow,
+    spec: &QuantSpec,
+    error_budget: f64,
+    db: &mut TuningDb,
+    tracer: &Tracer,
+    registry: &Registry,
+) -> Result<PrecisionTuneOutcome, EvalError> {
+    let key = db_key(&flow.import_graph(), flow.platform, Precision::F32);
+    let labels = &[
+        ("model", key.model.as_str()),
+        ("platform", key.platform.as_str()),
+    ][..];
+    if let Some(rec) = db.lookup_mixed(&key) {
+        if let Some(assignment) = rec.assignment_map() {
+            registry.counter_inc(
+                "precision_tune_db_hits_total",
+                "Mixed-precision tuning-database hits (search skipped)",
+                labels,
+            );
+            let _g = tracer.phase_on(PID_TUNE, "tune", "precision-db-hit");
+            return Ok(PrecisionTuneOutcome {
+                assignment,
+                record: rec.clone(),
+                from_cache: true,
+            });
+        }
+    }
+    let eval = PrecisionEvaluator::new(flow, spec).map_err(|e| EvalError(e.to_string()))?;
+    let layers = eval.layers();
+    let outcome = {
+        let _g = tracer.phase_on(PID_TUNE, "tune", "precision-search");
+        search_precision(&layers, error_budget, &eval)?
+    };
+    registry.counter_add(
+        "precision_tune_evaluations_total",
+        "Mixed-precision accuracy evaluations spent",
+        labels,
+        outcome.evaluations as f64,
+    );
+    registry.gauge_set(
+        "precision_tune_best_dsps",
+        "Modeled DSPs of the best mixed-precision assignment",
+        labels,
+        outcome.cost.dsps as f64,
+    );
+    let record = precision_record_of(&layers, &outcome, error_budget);
+    db.insert_mixed(key, record.clone());
+    Ok(PrecisionTuneOutcome {
+        assignment: outcome.assignment,
+        record,
+        from_cache: false,
+    })
+}
+
+impl Flow {
+    /// The tuned per-layer precision assignment for this flow's
+    /// model/platform from the database's mixed section, or `None` when the
+    /// precisions have not been tuned yet. The warm path: no calibration,
+    /// no search — just a keyed lookup.
+    pub fn with_tuned_precisions(&self, db: &TuningDb) -> Option<BTreeMap<String, Precision>> {
+        let key = db_key(&self.import_graph(), self.platform, Precision::F32);
+        db.lookup_mixed(&key)?.assignment_map()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +644,107 @@ mod tests {
         let cfg = flow.with_tuned_pipeline(&db, base).expect("record present");
         assert_eq!(cfg.pipeline, cold.opts);
         flow.compile(&cfg).expect("tuned pipeline config compiles");
+    }
+
+    #[test]
+    fn precision_tuning_demotes_caches_and_serves_warm() {
+        let flow = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+        let spec = QuantSpec::new(fpgaccel_tensor::quant::QuantPrecision::Int8);
+        let mut db = TuningDb::new();
+        assert!(flow.with_tuned_precisions(&db).is_none());
+
+        let registry = Registry::default();
+        let cold =
+            tune_precision(&flow, &spec, 0.05, &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(!cold.from_cache);
+        assert_eq!(db.mixed_len(), 1);
+        assert!(
+            cold.record.dsps < cold.record.baseline_dsps,
+            "mixed assignment must save modeled DSPs ({} vs {})",
+            cold.record.dsps,
+            cold.record.baseline_dsps
+        );
+        assert!(cold.record.demoted() > 0);
+        assert!(cold.record.worst_error <= 0.05);
+        assert!(cold.record.evaluations > 0);
+        let labels = &[("model", "lenet5"), ("platform", "Stratix10Sx")][..];
+        let spent = registry
+            .value("precision_tune_evaluations_total", labels)
+            .unwrap();
+        assert_eq!(spent, cold.record.evaluations as f64);
+
+        // Warm path: the cached record serves with zero new evaluations.
+        let warm =
+            tune_precision(&flow, &spec, 0.05, &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.assignment, cold.assignment);
+        assert_eq!(
+            registry.value("precision_tune_evaluations_total", labels),
+            Some(spent),
+            "a cache hit must not spend evaluations"
+        );
+        assert_eq!(
+            registry.value("precision_tune_db_hits_total", labels),
+            Some(1.0)
+        );
+
+        // And the assignment deploys straight from the database.
+        let assignment = flow.with_tuned_precisions(&db).expect("record present");
+        assert_eq!(assignment, cold.assignment);
+    }
+
+    #[test]
+    fn zero_budget_precision_tuning_stays_all_f32() {
+        let flow = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+        let spec = QuantSpec::new(fpgaccel_tensor::quant::QuantPrecision::Int8);
+        let mut db = TuningDb::new();
+        let out = tune_precision(
+            &flow,
+            &spec,
+            0.0,
+            &mut db,
+            &Tracer::disabled(),
+            &Registry::default(),
+        )
+        .unwrap();
+        assert_eq!(out.record.demoted(), 0);
+        assert_eq!(out.record.dsps, out.record.baseline_dsps);
+    }
+
+    /// MobileNet mixed-precision tuning: host f32 + mixed executions over
+    /// 224x224 inputs, so this runs in the nightly `--include-ignored` soak.
+    #[test]
+    #[ignore = "minutes of host-side MobileNet execution; nightly soak covers it"]
+    fn mobilenet_precision_tuning_saves_dsps_within_budget() {
+        let flow = Flow::new(Model::MobileNetV1, FpgaPlatform::Stratix10Sx);
+        let spec = QuantSpec::new(fpgaccel_tensor::quant::QuantPrecision::Int8);
+        let mut db = TuningDb::new();
+        let registry = Registry::default();
+        let cold =
+            tune_precision(&flow, &spec, 0.05, &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(!cold.from_cache);
+        assert!(
+            cold.record.dsps < cold.record.baseline_dsps,
+            "MobileNet mixed assignment must save modeled DSPs"
+        );
+        assert!(cold.record.worst_error <= 0.05);
+        // Warm path serves the MobileNet assignment with zero evaluations.
+        let spent = registry
+            .value(
+                "precision_tune_evaluations_total",
+                &[("model", "mobilenet_v1"), ("platform", "Stratix10Sx")],
+            )
+            .unwrap();
+        let warm =
+            tune_precision(&flow, &spec, 0.05, &mut db, &Tracer::disabled(), &registry).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(
+            registry.value(
+                "precision_tune_evaluations_total",
+                &[("model", "mobilenet_v1"), ("platform", "Stratix10Sx"),]
+            ),
+            Some(spent)
+        );
     }
 
     #[test]

@@ -123,6 +123,17 @@ impl BatchLatencyModel {
     }
 }
 
+/// The quantization state a quantized compile carries into deployment: the
+/// calibrated ranges every kernel's scales were derived from, and the rung.
+/// Verification and the host's quantized executor both need it.
+#[derive(Clone, Debug)]
+pub struct DeploymentQuant {
+    /// Datapath precision rung.
+    pub precision: fpgaccel_tensor::quant::QuantPrecision,
+    /// Calibrated per-tensor ranges (activations and weights).
+    pub calib: fpgaccel_tensor::quant::Calibration,
+}
+
 /// A compiled, synthesized, deployable accelerator.
 #[derive(Debug)]
 pub struct Deployment {
@@ -138,6 +149,9 @@ pub struct Deployment {
     pub config: OptimizationConfig,
     /// Timing calibration.
     pub calib: Calib,
+    /// Quantization state when compiled with [`OptimizationConfig::quant`];
+    /// `None` for f32 deployments.
+    pub quant: Option<DeploymentQuant>,
 }
 
 impl Deployment {
@@ -159,7 +173,17 @@ impl Deployment {
             device,
             config,
             calib,
+            quant: None,
         }
+    }
+
+    /// The host-side quantized executor for a quantized deployment — the
+    /// same grids the compiled kernels carry, run with integer MACs on the
+    /// host. `None` for f32 deployments.
+    pub fn quantized(&self) -> Option<fpgaccel_tensor::quant::QuantizedGraph<'_>> {
+        self.quant.as_ref().map(|q| {
+            fpgaccel_tensor::quant::QuantizedGraph::new(&self.graph, &q.calib, q.precision)
+        })
     }
 
     /// Network FLOPs per forward pass.

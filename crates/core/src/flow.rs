@@ -1,14 +1,18 @@
 //! The end-to-end compilation flow (Chapter 3, Figure 3.1).
 
 use crate::dataflow::build_dataflow;
-use crate::deploy::{Deployment, ExecutionPlan};
+use crate::deploy::{Deployment, DeploymentQuant, ExecutionPlan};
 use crate::kernels::{build_folded, build_pipelined, PlanError};
-use crate::options::{ExecMode, OptimizationConfig};
+use crate::options::{ExecMode, OptimizationConfig, QuantSpec};
 use fpgaccel_aoc::{synthesize, Calib, SynthesisError};
 use fpgaccel_device::FpgaPlatform;
+use fpgaccel_tensor::graph::{Graph, NodeId, Op};
 use fpgaccel_tensor::models::Model;
-use fpgaccel_tir::Kernel;
+use fpgaccel_tensor::quant::{self, Calibration, QuantError};
+use fpgaccel_tensor::Tensor;
+use fpgaccel_tir::{quantize_kernel, Kernel, KernelQuant};
 use fpgaccel_trace::Tracer;
+use std::collections::HashMap;
 
 /// Why a compilation fails.
 #[derive(Clone, Debug)]
@@ -25,6 +29,9 @@ pub enum FlowError {
         /// Device capacity.
         available: u64,
     },
+    /// Calibration/quantization failed (empty batch, zero-range tensor,
+    /// non-finite activation).
+    Quant(QuantError),
 }
 
 impl std::fmt::Display for FlowError {
@@ -40,6 +47,7 @@ impl std::fmt::Display for FlowError {
                 "device global memory exhausted: deployment needs {required} bytes, \
                  device exposes {available}"
             ),
+            FlowError::Quant(e) => write!(f, "quantization failed: {e}"),
         }
     }
 }
@@ -55,6 +63,12 @@ impl From<SynthesisError> for FlowError {
 impl From<PlanError> for FlowError {
     fn from(e: PlanError) -> Self {
         FlowError::Plan(e)
+    }
+}
+
+impl From<QuantError> for FlowError {
+    fn from(e: QuantError) -> Self {
+        FlowError::Quant(e)
     }
 }
 
@@ -139,7 +153,7 @@ impl Flow {
         };
         let device = self.platform.model();
 
-        let (plan, kernel_list): (ExecutionPlan, Vec<Kernel>) = {
+        let (mut plan, mut kernel_list): (ExecutionPlan, Vec<Kernel>) = {
             let _p = self.tracer.phase("flow", "schedule+codegen");
             match config.mode {
                 ExecMode::Pipelined => {
@@ -158,6 +172,29 @@ impl Flow {
                     (ExecutionPlan::Dataflow(plan), kernels)
                 }
             }
+        };
+
+        // Quantization: calibrate per-tensor ranges on the seeded batch and
+        // rewrite every kernel with narrow-MAC loads and requantizing
+        // boundaries (softmax stays f32).
+        let quant_state = match &config.quant {
+            Some(spec) => {
+                let _p = self.tracer.phase("flow", "calibrate+quantize");
+                let batch = self.calibration_batch(spec);
+                let calib = quant::calibrate(&graph, &batch, spec.percentile)?;
+                let qmap = kernel_quant_map(&graph, &plan, spec, &calib)?;
+                for k in kernel_list.iter_mut() {
+                    if let Some(q) = qmap.get(&k.name) {
+                        *k = quantize_kernel(k, q);
+                    }
+                }
+                apply_quant(&mut plan, &qmap);
+                Some(DeploymentQuant {
+                    precision: spec.precision,
+                    calib,
+                })
+            }
+            None => None,
         };
 
         // Device-memory budget: weights stay resident; in folded mode every
@@ -202,14 +239,142 @@ impl Flow {
             let _p = self.tracer.phase("flow", "aoc synthesis");
             synthesize(&kernel_list, &device, &config.aoc, &self.calib)?
         };
-        Ok(Deployment::new(
+        let mut d = Deployment::new(
             graph,
             plan,
             bitstream,
             device,
             config.clone(),
             self.calib.clone(),
-        ))
+        );
+        d.quant = quant_state;
+        Ok(d)
+    }
+
+    /// The seeded synthetic calibration batch a quantized compile of this
+    /// flow uses. Public so verification and benches can probe with inputs
+    /// that are *covered* by the calibration — per-layer error bounds only
+    /// hold for saturation-free inputs.
+    pub fn calibration_batch(&self, spec: &QuantSpec) -> Vec<Tensor> {
+        fpgaccel_tensor::data::calibration_batch(
+            self.import_graph().input_shape(),
+            spec.calibration_samples.max(1),
+            spec.calibration_seed,
+        )
+    }
+}
+
+/// Per-kernel quantization specs derived from the calibration: every kernel
+/// node's input/weight/residual/output grids. Softmax kernels are skipped
+/// (probabilities stay f32).
+///
+/// Quantized compiles require per-layer kernels: a parameterized group
+/// shared across layers would bake one scale set into every member, so a
+/// shared kernel name is a plan error.
+fn kernel_quant_map(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    spec: &QuantSpec,
+    calib: &Calibration,
+) -> Result<HashMap<String, KernelQuant>, FlowError> {
+    let pairs: Vec<(NodeId, &str)> = match plan {
+        ExecutionPlan::Pipelined(stages) => stages
+            .iter()
+            .map(|s| (s.node_id, s.kernel.name.as_str()))
+            .collect(),
+        ExecutionPlan::Folded(p) => p
+            .invocations
+            .iter()
+            .map(|inv| (inv.node_id, inv.kernel_name.as_str()))
+            .collect(),
+        ExecutionPlan::Dataflow(p) => p
+            .steps
+            .iter()
+            .flat_map(|step| -> Vec<(NodeId, &str)> {
+                match step {
+                    crate::dataflow::DataflowStep::Segment(stages) => stages
+                        .iter()
+                        .map(|s| (s.node_id, s.kernel.name.as_str()))
+                        .collect(),
+                    crate::dataflow::DataflowStep::Staged(invs) => invs
+                        .iter()
+                        .map(|inv| (inv.node_id, inv.kernel_name.as_str()))
+                        .collect(),
+                }
+            })
+            .collect(),
+    };
+
+    let mut owner: HashMap<&str, NodeId> = HashMap::new();
+    let mut qmap = HashMap::new();
+    for (node_id, kernel_name) in pairs {
+        if let Some(&prev) = owner.get(kernel_name) {
+            if prev != node_id {
+                return Err(FlowError::Plan(PlanError(format!(
+                    "quantized compiles require per-layer kernels; `{kernel_name}` is shared \
+                     by nodes {prev} and {node_id} (set parameterized = false)"
+                ))));
+            }
+            continue;
+        }
+        owner.insert(kernel_name, node_id);
+        let node = &graph.nodes[node_id];
+        if matches!(node.op, Op::Softmax) {
+            continue;
+        }
+        let q = match spec.precision.qmax() {
+            None => KernelQuant::half(),
+            Some(qmax) => KernelQuant {
+                qmax: Some(qmax),
+                input_scale: calib.activation(&graph.nodes[node.inputs[0]])?.scale(qmax),
+                weight_scale: if node.weights.is_some() {
+                    calib.weight(node)?.scale(qmax)
+                } else {
+                    0.0
+                },
+                residual_scale: match node.fused.add_from {
+                    Some(src) => calib.activation(&graph.nodes[src])?.scale(qmax),
+                    None => 0.0,
+                },
+                output_scale: calib.activation(node)?.scale(qmax),
+            },
+        };
+        qmap.insert(kernel_name.to_string(), q);
+    }
+    Ok(qmap)
+}
+
+/// Rewrites every kernel held inside the plan (plans own kernel clones
+/// separate from the synthesis list).
+fn apply_quant(plan: &mut ExecutionPlan, qmap: &HashMap<String, KernelQuant>) {
+    let rw = |k: &mut Kernel| {
+        if let Some(q) = qmap.get(&k.name) {
+            *k = quantize_kernel(k, q);
+        }
+    };
+    match plan {
+        ExecutionPlan::Pipelined(stages) => {
+            for s in stages {
+                rw(&mut s.kernel);
+            }
+        }
+        ExecutionPlan::Folded(p) => {
+            for k in &mut p.kernels {
+                rw(k);
+            }
+        }
+        ExecutionPlan::Dataflow(p) => {
+            for k in &mut p.kernels {
+                rw(k);
+            }
+            for step in &mut p.steps {
+                if let crate::dataflow::DataflowStep::Segment(stages) = step {
+                    for s in stages {
+                        rw(&mut s.kernel);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -42,11 +42,13 @@ pub mod options;
 pub mod verify;
 
 pub use autotune::{
-    conv1x1_shapes, db_key, tune_model, tune_pipeline, FlowEvaluator, PipelineEvaluator,
-    PipelineTuneOutcome,
+    conv1x1_shapes, db_key, tune_model, tune_pipeline, tune_precision, FlowEvaluator,
+    PipelineEvaluator, PipelineTuneOutcome, PrecisionEvaluator, PrecisionTuneOutcome,
 };
 pub use dataflow::{build_dataflow, CouplingSpec, DataflowPlan, DataflowStage, DataflowStep};
-pub use deploy::{BatchLatencyModel, BatchStats, Deployment, ExecutionPlan, InferResult};
+pub use deploy::{
+    BatchLatencyModel, BatchStats, Deployment, DeploymentQuant, ExecutionPlan, InferResult,
+};
 pub use flow::{Flow, FlowError};
-pub use options::{ExecMode, OptimizationConfig, TilingPreset};
+pub use options::{ExecMode, OptimizationConfig, QuantSpec, TilingPreset};
 pub use verify::{verify_deployment, VerifyError};

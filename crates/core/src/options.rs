@@ -1,8 +1,9 @@
 //! Optimization configurations — the knobs of Table 4.1 and the bitstream
 //! ladder of Table 6.4.
 
-use fpgaccel_aoc::AocOptions;
+use fpgaccel_aoc::{AocOptions, Precision};
 use fpgaccel_pipeline::PipelineOpts;
+use fpgaccel_tensor::quant::QuantPrecision;
 use fpgaccel_tir::compute::ConvSchedule;
 
 /// The execution modes: the two of §3.1 plus the planner-driven dataflow
@@ -165,6 +166,51 @@ impl TilingPreset {
     }
 }
 
+/// Numeric quantization of the deployed datapath (the §8.1 future work made
+/// real): the flow calibrates per-tensor ranges on a seeded batch, rewrites
+/// every kernel with narrow-MAC loads and requantizing stores, and the cost
+/// model prices the reduced precision.
+///
+/// The default percentile is 1.0 (full min/max coverage): per-layer
+/// differential verification requires its probe inputs to fall inside the
+/// calibrated ranges, and the compile-time batch is the only coverage the
+/// flow can promise. Percentile clipping (e.g. 0.999) is an accuracy
+/// deployment knob — outliers saturate by design — and pushes verification
+/// from per-layer bounds to end-metric checks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantSpec {
+    /// Datapath precision rung.
+    pub precision: QuantPrecision,
+    /// Calibration clip percentile over `|x|` (1.0 = exact min/max).
+    pub percentile: f32,
+    /// Seed of the synthetic calibration batch.
+    pub calibration_seed: u64,
+    /// Calibration batch size.
+    pub calibration_samples: usize,
+}
+
+impl QuantSpec {
+    /// A spec at `precision` with saturation-free defaults (percentile 1.0,
+    /// 8 seeded samples).
+    pub fn new(precision: QuantPrecision) -> Self {
+        QuantSpec {
+            precision,
+            percentile: 1.0,
+            calibration_seed: 0x5EED_CA11,
+            calibration_samples: 8,
+        }
+    }
+
+    /// The synthesis-cost precision this rung is priced at.
+    pub fn aoc_precision(&self) -> Precision {
+        match self.precision {
+            QuantPrecision::Fp16 => Precision::Fp16,
+            QuantPrecision::Int16 => Precision::Int16,
+            QuantPrecision::Int8 => Precision::Int8,
+        }
+    }
+}
+
 /// A complete optimization configuration — one "bitstream" of the
 /// evaluation.
 #[derive(Clone, Debug)]
@@ -213,6 +259,11 @@ pub struct OptimizationConfig {
     /// "Asynchronous OpenCL task enqueuing and concurrent execution is
     /// disabled when the ... profiler is enabled".
     pub profiling: bool,
+    /// Quantize the datapath: calibrate ranges, rewrite kernels with
+    /// narrow-MAC loads and requantizing boundaries, price the reduced
+    /// precision in synthesis. `None` keeps the f32 datapath (every thesis
+    /// bitstream).
+    pub quant: Option<QuantSpec>,
 }
 
 impl OptimizationConfig {
@@ -232,6 +283,7 @@ impl OptimizationConfig {
             explicit_strides: false,
             aoc: AocOptions::default(),
             profiling: false,
+            quant: None,
         }
     }
 
@@ -292,6 +344,7 @@ impl OptimizationConfig {
             explicit_strides: false,
             aoc: AocOptions::default(),
             profiling: false,
+            quant: None,
         }
     }
 
@@ -343,6 +396,19 @@ impl OptimizationConfig {
     pub fn with_profiling(mut self) -> Self {
         self.profiling = true;
         self.label = format!("{} [profiled]", self.label);
+        self
+    }
+
+    /// Quantizes the datapath at `spec`. Forces per-layer kernels
+    /// (`parameterized = false`): calibrated scales are compile-time
+    /// constants, so a parameterized group shared across layers would force
+    /// one scale set onto every member. Also retargets the synthesis cost
+    /// model to the rung's precision.
+    pub fn with_quant(mut self, spec: QuantSpec) -> Self {
+        self.aoc.precision = spec.aoc_precision();
+        self.parameterized = false;
+        self.label = format!("{} [{}]", self.label, spec.precision.name());
+        self.quant = Some(spec);
         self
     }
 }
@@ -439,5 +505,20 @@ mod tests {
         let c = OptimizationConfig::autorun().with_concurrent();
         assert!(c.concurrent);
         assert!(c.label.ends_with("[CE]"));
+    }
+
+    #[test]
+    fn quant_rung_reprices_and_unshares_kernels() {
+        let c = OptimizationConfig::folded(TilingPreset::Naive)
+            .with_quant(QuantSpec::new(QuantPrecision::Int8));
+        assert!(!c.parameterized, "scales are compile-time constants");
+        assert_eq!(c.aoc.precision, Precision::Int8);
+        assert!(c.label.ends_with("[int8]"), "{}", c.label);
+        let spec = c.quant.unwrap();
+        assert_eq!(spec.percentile, 1.0);
+        assert_eq!(
+            QuantSpec::new(QuantPrecision::Fp16).aoc_precision(),
+            Precision::Fp16
+        );
     }
 }

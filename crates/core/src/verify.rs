@@ -135,6 +135,14 @@ impl std::error::Error for VerifyError {}
 /// Interprets every kernel in plan order (interpretation cost grows with
 /// network FLOPs — intended for LeNet-scale networks and unit-test graphs).
 ///
+/// For a quantized deployment ([`Deployment::quant`]), the per-element
+/// tolerance comes from the rung's documented policy
+/// (`QuantPrecision::tolerance`) scaled by each layer's calibrated range,
+/// and the f32 reference is clamped onto the calibrated grid span before
+/// comparison (an ideal quantizer saturates out-of-range values by design;
+/// softmax, which is never requantized, is exempt). The probe input must be
+/// covered by the calibration batch — see `Flow::calibration_batch`.
+///
 /// # Errors
 /// Returns a [`VerifyError`] pinning the first mismatching element, or the
 /// missing binding/buffer.
@@ -282,12 +290,33 @@ pub fn verify_deployment(d: &Deployment, input: &Tensor, rtol: f32) -> Result<()
             continue;
         }
         let (buf_name, buf_role) = &out_bufs[&node_id];
+        // Quantized deployments compare under the rung's documented
+        // per-layer tolerance, with the reference clamped onto the
+        // calibrated grid span (softmax excepted — it stays f32).
+        let node = &d.graph.nodes[node_id];
+        let quant_tol = d.quant.as_ref().and_then(|q| {
+            let range = q.calib.activation(node).ok()?;
+            let (q_rtol, q_atol) = q.precision.tolerance(range);
+            let clamp = (q.precision.qmax().is_some()
+                && !matches!(node.op, fpgaccel_tensor::graph::Op::Softmax))
+            .then_some(range.amax_clip);
+            Some((q_rtol, q_atol, clamp))
+        });
         for (i, (&g, &e)) in observed.iter().zip(reference.data()).enumerate() {
-            let tol = 1e-4 + rtol * e.abs().max(g.abs());
+            let (e, tol) = match quant_tol {
+                Some((q_rtol, q_atol, clamp)) => {
+                    let e = match clamp {
+                        Some(c) => e.clamp(-c, c),
+                        None => e,
+                    };
+                    (e, q_atol + q_rtol * e.abs())
+                }
+                None => (e, 1e-4 + rtol * e.abs().max(g.abs())),
+            };
             if (g - e).abs() > tol {
                 return Err(VerifyError::Mismatch {
                     node_id,
-                    node: d.graph.nodes[node_id].name.clone(),
+                    node: node.name.clone(),
                     buf: buf_name.clone(),
                     role: *buf_role,
                     index: i,
@@ -371,6 +400,49 @@ mod tests {
                  kernels {got} vs reference {want}"
             )
         );
+    }
+
+    #[test]
+    fn quantized_lenet_kernels_stay_within_rung_tolerance() {
+        use crate::options::QuantSpec;
+        use fpgaccel_tensor::quant::QuantPrecision;
+        // The compiled narrow-MAC kernels (run through the IR interpreter,
+        // channels and all) agree with the f32 reference within each rung's
+        // documented tolerance — pipelined and staged execution both.
+        for precision in QuantPrecision::ALL {
+            let spec = QuantSpec::new(precision);
+            for cfg in [
+                OptimizationConfig::tvm_autorun().with_quant(spec),
+                OptimizationConfig::folded_base().with_quant(spec),
+            ] {
+                let flow = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+                let d = flow.compile(&cfg).unwrap();
+                assert_eq!(d.quant.as_ref().unwrap().precision, precision);
+                // Probe with a calibration-batch member: per-layer bounds
+                // require saturation-free coverage.
+                let probe = &flow.calibration_batch(&spec)[0];
+                verify_deployment(&d, probe, 1e-3)
+                    .unwrap_or_else(|e| panic!("{precision}/{}: {e}", cfg.label));
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_host_executor_matches_deployment_grids() {
+        use crate::options::QuantSpec;
+        use fpgaccel_tensor::quant::{diff_outputs, QuantPrecision};
+        let spec = QuantSpec::new(QuantPrecision::Int8);
+        let flow = Flow::new(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+        let d = flow
+            .compile(&OptimizationConfig::folded_base().with_quant(spec))
+            .unwrap();
+        let probe = &flow.calibration_batch(&spec)[0];
+        let qg = d.quantized().expect("quantized deployment");
+        let got = qg.execute_all(probe).unwrap();
+        let reference = d.graph.execute_all(probe);
+        let q = d.quant.as_ref().unwrap();
+        let report = diff_outputs(&d.graph, &q.calib, q.precision, &got, &reference);
+        assert!(report.pass(), "{:?}", report.failures());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::record::{BenchRecord, Direction};
 use fpgaccel_core::bitstreams::{mobilenet_tile, optimized_config};
-use fpgaccel_core::{Flow, OptimizationConfig, TilingPreset};
+use fpgaccel_core::{tune_precision, Flow, OptimizationConfig, QuantSpec, TilingPreset};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_fleet::{
     DeviceClass, Fleet, FleetConfig, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
@@ -32,13 +32,16 @@ use fpgaccel_serve::{
     AdmissionPolicy, BatchPolicy, DeploymentCache, DevicePool, Request, ServeConfig, Server,
 };
 use fpgaccel_tensor::models::Model;
+use fpgaccel_tensor::quant::{diff_outputs, QuantPrecision};
 use fpgaccel_trace::Tracer;
 use fpgaccel_tune::TuningDb;
 
 /// Workload identifier stamped into the record; bump when the matrix
 /// itself (configurations, load points, batch size) changes.
-/// `core-v2` added the fleet stage (router latency, per-tenant sheds).
-pub const WORKLOAD: &str = "core-v2";
+/// `core-v2` added the fleet stage (router latency, per-tenant sheds);
+/// `core-v3` added the quant stage (per-rung error ratios and DSP
+/// pressure, mixed-precision search results).
+pub const WORKLOAD: &str = "core-v3";
 
 /// Same seed and trace shape as the `serve` experiment, so the bench
 /// record tracks the serving stack the reports describe.
@@ -269,7 +272,78 @@ pub fn collect() -> BenchRecord {
     // per-tenant shed rates track the fleet serving stack.
     fleet_stage(&mut rec);
 
+    // Stage 5 — quantized inference: per-rung differential error headroom
+    // and DSP pressure on LeNet, plus the mixed-precision search result.
+    quant_stage(&mut rec);
+
     rec
+}
+
+/// Quantized LeNet on the S10SX at every precision rung: the worst
+/// per-layer error as a fraction of its tolerance (the differential
+/// harness' headroom — a regression here means the quantizer or the
+/// tolerance model moved) and the modeled DSP pressure; then the greedy
+/// mixed-precision search's DSP count and demotion tally.
+fn quant_stage(rec: &mut BenchRecord) {
+    let platform = FpgaPlatform::Stratix10Sx;
+    for precision in QuantPrecision::ALL {
+        let spec = QuantSpec::new(precision);
+        let flow = Flow::new(Model::LeNet5, platform);
+        let d = flow
+            .compile(&OptimizationConfig::folded_base().with_quant(spec))
+            .expect("quantized LeNet compiles on the S10SX");
+        let probe = &flow.calibration_batch(&spec)[0];
+        let got = d
+            .quantized()
+            .expect("deployment carries its quantization")
+            .execute_all(probe)
+            .expect("quantized host execution succeeds");
+        let reference = d.graph.execute_all(probe);
+        let q = d.quant.as_ref().expect("quantized deployment");
+        let report = diff_outputs(&d.graph, &q.calib, q.precision, &got, &reference);
+        let w = report.worst().expect("LeNet has layers");
+        let key = format!("quant.lenet5.{}", precision.name());
+        rec.push(
+            &format!("{key}.worst_err_ratio"),
+            f64::from(w.err / w.tol.max(f32::MIN_POSITIVE)),
+            "ratio",
+            Direction::Lower,
+            0.25,
+        );
+        let (_, _, dsp) = d.bitstream.utilization;
+        rec.push(
+            &format!("{key}.dsp_pct"),
+            dsp,
+            "pct",
+            Direction::Lower,
+            0.02,
+        );
+    }
+    let flow = Flow::new(Model::LeNet5, platform);
+    let mut db = TuningDb::new();
+    let mixed = tune_precision(
+        &flow,
+        &QuantSpec::new(QuantPrecision::Int8),
+        0.05,
+        &mut db,
+        &Tracer::disabled(),
+        &fpgaccel_trace::Registry::default(),
+    )
+    .expect("mixed-precision search succeeds on LeNet");
+    rec.push(
+        "quant.lenet5.mixed.dsps",
+        mixed.record.dsps as f64,
+        "count",
+        Direction::Lower,
+        0.0,
+    );
+    rec.push(
+        "quant.lenet5.mixed.demoted",
+        mixed.record.demoted() as f64,
+        "count",
+        Direction::Exact,
+        0.0,
+    );
 }
 
 /// One small two-shard LeNet fleet per load point; the `bursty` tenant
@@ -374,8 +448,8 @@ mod tests {
     fn matrix_is_covered_and_every_value_is_finite() {
         let rec = collect();
         // 4 configs x (3 compile + 3 pipeline) + 2 serve load points x 4
-        // + 2 fleet load points x 5.
-        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4 + 2 * 5);
+        // + 2 fleet load points x 5 + 3 quant rungs x 2 + 2 mixed.
+        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4 + 2 * 5 + 3 * 2 + 2);
         for m in &rec.metrics {
             assert!(m.value.is_finite(), "{} is not finite", m.id);
         }
@@ -408,6 +482,16 @@ mod tests {
         let b1 = rec.get("fleet.load1x.shed_rate.bursty").unwrap().value;
         let b2 = rec.get("fleet.load2x.shed_rate.bursty").unwrap().value;
         assert!(b2 > b1, "doubled burst must shed more: {b1} vs {b2}");
+        // Every quant rung keeps differential headroom and the mixed
+        // search beats the all-f32 DSP count it started from.
+        for rung in ["fp16", "int16", "int8"] {
+            let r = rec
+                .get(&format!("quant.lenet5.{rung}.worst_err_ratio"))
+                .unwrap()
+                .value;
+            assert!((0.0..1.0).contains(&r), "{rung} err ratio {r}");
+        }
+        assert!(rec.get("quant.lenet5.mixed.dsps").unwrap().value > 0.0);
     }
 
     #[test]

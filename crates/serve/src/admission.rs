@@ -30,17 +30,27 @@ impl Default for AdmissionPolicy {
 /// to a pre-deployed relaxed-precision variant instead of shedding more —
 /// trading arithmetic precision for availability — and promote it back to
 /// the primary deployment once the load subsides.
+///
+/// Pools may stage a multi-rung precision *ladder*
+/// ([`crate::DevicePool::deploy_brownout_ladder`], e.g. fp16 → int16 →
+/// int8, widest first). The same trigger then governs every descent: each
+/// further rung needs a fresh window of [`BrownoutPolicy::trigger_sheds`]
+/// sheds after the previous transition, and each ascent needs its own
+/// [`BrownoutPolicy::promote_idle_s`] of quiet — so both degradation and
+/// recovery move one rung at a time. A single-rung ladder behaves exactly
+/// like the original on/off brownout.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BrownoutPolicy {
     /// Master switch. Disabled (the default) the serving path is
     /// byte-identical to a server without brownout support.
     pub enabled: bool,
-    /// Sheds within [`BrownoutPolicy::window_s`] that trip the brownout.
+    /// Sheds within [`BrownoutPolicy::window_s`] that trip the brownout
+    /// (and, browned out, each further descent down the ladder).
     pub trigger_sheds: u32,
     /// Sliding window the shed trigger counts over, seconds.
     pub window_s: f64,
-    /// Shed-free seconds after which a browned-out model is promoted back
-    /// to its primary deployment.
+    /// Shed-free seconds after which a browned-out model is promoted one
+    /// rung back toward its primary deployment.
     pub promote_idle_s: f64,
 }
 

@@ -95,15 +95,17 @@ pub struct PooledDevice {
     pub platform: FpgaPlatform,
     deployments: HashMap<Model, Arc<Deployment>>,
     latency_models: HashMap<Model, BatchLatencyModel>,
-    /// Pre-deployed relaxed-precision variants (brownout mode): served in
-    /// place of the primary deployment when the server browns the model
-    /// out under sustained overload.
-    brownout_deployments: HashMap<Model, Arc<Deployment>>,
-    brownout_lms: HashMap<Model, BatchLatencyModel>,
-    /// Simulated seconds per deployed batch size (and variant: `true` =
-    /// brownout), memoized — dispatching re-runs the same discrete-event
+    /// Pre-deployed relaxed-precision ladder (brownout mode): rung `r ≥ 1`
+    /// lives at index `r - 1`, ordered widest precision first, and is
+    /// served in place of the primary deployment when the server browns
+    /// the model out under sustained overload (descending further down the
+    /// ladder the longer the overload persists).
+    brownout_deployments: HashMap<Model, Vec<Arc<Deployment>>>,
+    brownout_lms: HashMap<Model, Vec<BatchLatencyModel>>,
+    /// Simulated seconds per deployed batch size (and ladder rung; 0 =
+    /// primary), memoized — dispatching re-runs the same discrete-event
     /// simulation for identical sizes.
-    batch_seconds: HashMap<(Model, usize, bool), f64>,
+    batch_seconds: HashMap<(Model, usize, usize), f64>,
     /// Simulated time until which the device executes already-dispatched
     /// batches.
     busy_until_s: f64,
@@ -142,43 +144,55 @@ impl PooledDevice {
         self.latency_models.get(&model).copied()
     }
 
-    /// The pre-deployed brownout (relaxed-precision) variant of `model`,
-    /// if one was staged here.
+    /// The first rung of the staged brownout ladder of `model`, if any —
+    /// the variant a freshly browned-out model serves.
     pub fn brownout_deployment(&self, model: Model) -> Option<&Arc<Deployment>> {
-        self.brownout_deployments.get(&model)
+        self.brownout_deployments
+            .get(&model)
+            .and_then(|v| v.first())
     }
 
-    /// Calibrated latency model of the staged brownout variant, if any.
+    /// Calibrated latency model of the first staged brownout rung, if any.
     pub fn brownout_latency_model(&self, model: Model) -> Option<BatchLatencyModel> {
-        self.brownout_lms.get(&model).copied()
+        self.brownout_lms
+            .get(&model)
+            .and_then(|v| v.first())
+            .copied()
     }
 
-    /// The deployment actually serving `model` under the given variant.
-    pub fn serving_deployment(&self, model: Model, brownout: bool) -> Option<&Arc<Deployment>> {
-        if brownout {
-            self.brownout_deployments.get(&model)
-        } else {
+    /// Rungs of the brownout ladder staged here for `model` (0 when none).
+    pub fn brownout_ladder_len(&self, model: Model) -> usize {
+        self.brownout_lms.get(&model).map_or(0, Vec::len)
+    }
+
+    /// The deployment actually serving `model` at ladder rung `rung`
+    /// (0 = the primary deployment, `r ≥ 1` = staged brownout rung `r`).
+    pub fn serving_deployment(&self, model: Model, rung: usize) -> Option<&Arc<Deployment>> {
+        if rung == 0 {
             self.deployments.get(&model)
+        } else {
+            self.brownout_deployments
+                .get(&model)
+                .and_then(|v| v.get(rung - 1))
         }
     }
 
     /// Simulated execution seconds for a batch of `n` images of `model`
     /// (exact `simulate_batch` result, memoized per size).
     pub fn batch_seconds(&mut self, model: Model, n: usize) -> f64 {
-        self.batch_seconds_variant(model, n, false)
+        self.batch_seconds_variant(model, n, 0)
     }
 
-    /// [`PooledDevice::batch_seconds`] for either variant (`brownout =
-    /// true` simulates the staged relaxed-precision deployment).
-    pub fn batch_seconds_variant(&mut self, model: Model, n: usize, brownout: bool) -> f64 {
-        let d = if brownout {
-            Arc::clone(&self.brownout_deployments[&model])
-        } else {
-            Arc::clone(&self.deployments[&model])
-        };
+    /// [`PooledDevice::batch_seconds`] for any ladder rung (`rung ≥ 1`
+    /// simulates the staged relaxed-precision deployment of that rung).
+    pub fn batch_seconds_variant(&mut self, model: Model, n: usize, rung: usize) -> f64 {
+        let d = Arc::clone(
+            self.serving_deployment(model, rung)
+                .expect("queried rung is deployed"),
+        );
         *self
             .batch_seconds
-            .entry((model, n, brownout))
+            .entry((model, n, rung))
             .or_insert_with(|| d.simulate_batch(n).seconds)
     }
 
@@ -272,11 +286,11 @@ struct KeyIndex {
 /// membership map.
 #[derive(Default)]
 struct DispatchIndex {
-    keys: HashMap<(Model, bool), KeyIndex>,
-    /// `device -> [(model, brownout, group index)]` for every built key the
+    keys: HashMap<(Model, usize), KeyIndex>,
+    /// `device -> [(model, rung, group index)]` for every built key the
     /// device participates in (a device serving several models appears once
     /// per key).
-    members: HashMap<usize, Vec<(Model, bool, usize)>>,
+    members: HashMap<usize, Vec<(Model, usize, usize)>>,
 }
 
 impl DispatchIndex {
@@ -398,18 +412,19 @@ impl DevicePool {
         dev.deployments.insert(model, d);
         dev.latency_models.insert(model, lm);
         // The deployment changed; memoized batch timings for it are stale
-        // (brownout-variant entries belong to a different bitstream and
+        // (brownout-rung entries belong to different bitstreams and
         // survive).
-        dev.batch_seconds.retain(|&(m, _, b), _| m != model || b);
+        dev.batch_seconds
+            .retain(|&(m, _, r), _| m != model || r > 0);
         self.invalidate_index();
         Ok(())
     }
 
-    /// Stages a brownout (relaxed-precision) variant of `model` on device
-    /// `device`: compiled through the shared cache with the tuning-database
-    /// fallback ([`DeploymentCache::get_or_compile_tuned`]), calibrated,
-    /// and held ready so an overloaded server can switch to it without a
-    /// reprogram.
+    /// Stages a single-rung brownout (relaxed-precision) ladder of `model`
+    /// on device `device`: compiled through the shared cache with the
+    /// tuning-database fallback ([`DeploymentCache::get_or_compile_tuned`]),
+    /// calibrated, and held ready so an overloaded server can switch to it
+    /// without a reprogram. Replaces any previously staged ladder.
     pub fn deploy_brownout(
         &mut self,
         device: usize,
@@ -423,9 +438,41 @@ impl DevicePool {
             .get_or_compile_tuned(model, platform, db, fallback)?;
         let lm = self.cache.calibration(&d, CALIBRATION_PROBE);
         let dev = &mut self.devices[device];
-        dev.brownout_deployments.insert(model, d);
-        dev.brownout_lms.insert(model, lm);
-        dev.batch_seconds.retain(|&(m, _, b), _| m != model || !b);
+        dev.brownout_deployments.insert(model, vec![d]);
+        dev.brownout_lms.insert(model, vec![lm]);
+        dev.batch_seconds
+            .retain(|&(m, _, r), _| m != model || r == 0);
+        self.invalidate_index();
+        Ok(())
+    }
+
+    /// Stages a multi-rung brownout precision ladder of `model` on device
+    /// `device`: one configuration per rung, ordered widest precision
+    /// first (rung 1 first). The server descends one rung per sustained
+    /// overload trip and ascends one rung per idle promotion window.
+    /// Replaces any previously staged ladder.
+    pub fn deploy_brownout_ladder(
+        &mut self,
+        device: usize,
+        model: Model,
+        configs: &[OptimizationConfig],
+    ) -> Result<(), FlowError> {
+        let platform = self.devices[device].platform;
+        let mut ds = Vec::with_capacity(configs.len());
+        let mut lms = Vec::with_capacity(configs.len());
+        for config in configs {
+            let d = self
+                .cache
+                .get_or_compile_traced(model, platform, config, &self.tracer)?;
+            let lm = self.cache.calibration(&d, CALIBRATION_PROBE);
+            ds.push(d);
+            lms.push(lm);
+        }
+        let dev = &mut self.devices[device];
+        dev.brownout_deployments.insert(model, ds);
+        dev.brownout_lms.insert(model, lms);
+        dev.batch_seconds
+            .retain(|&(m, _, r), _| m != model || r == 0);
         self.invalidate_index();
         Ok(())
     }
@@ -451,12 +498,12 @@ impl DevicePool {
     /// to the lowest index for determinism. `None` if no device serves the
     /// model.
     pub fn dispatch(&self, model: Model, n: usize, now_s: f64) -> Option<Dispatch> {
-        self.dispatch_variant(model, n, now_s, false)
+        self.dispatch_variant(model, n, now_s, 0)
     }
 
-    /// [`DevicePool::dispatch`] for either deployment variant: with
-    /// `brownout = true` only devices holding the staged relaxed-precision
-    /// variant are considered, weighted by its own calibrated latency.
+    /// [`DevicePool::dispatch`] for any ladder rung: with `rung ≥ 1` only
+    /// devices whose staged brownout ladder reaches that rung are
+    /// considered, weighted by the rung's own calibrated latency.
     /// Draining devices (mid-rollout) never receive new batches.
     ///
     /// Dispatch consults a lazily built ready index: devices sharing a
@@ -470,10 +517,10 @@ impl DevicePool {
         model: Model,
         n: usize,
         now_s: f64,
-        brownout: bool,
+        rung: usize,
     ) -> Option<Dispatch> {
         let mut index = self.index.borrow_mut();
-        let key = (model, brownout);
+        let key = (model, rung);
         let now_key = f64_key(now_s);
         // A dispatch before the key's watermark would mis-read `pending`
         // devices as busy; rebuild from scratch at the earlier time.
@@ -485,13 +532,13 @@ impl DevicePool {
             let stale: Vec<usize> = index.members.keys().copied().collect();
             for dev in stale {
                 if let Some(m) = index.members.get_mut(&dev) {
-                    m.retain(|&(km, kb, _)| (km, kb) != key);
+                    m.retain(|&(km, kr, _)| (km, kr) != key);
                 }
             }
             index.keys.remove(&key);
         }
         if !index.keys.contains_key(&key) {
-            let ki = self.build_key_index(model, brownout, now_key, &mut index.members);
+            let ki = self.build_key_index(model, rung, now_key, &mut index.members);
             index.keys.insert(key, ki);
         }
         let ki = index.keys.get_mut(&key).expect("key index just ensured");
@@ -543,15 +590,15 @@ impl DevicePool {
         })
     }
 
-    /// Builds the ready index for one (model, variant) key, classifying
+    /// Builds the ready index for one (model, rung) key, classifying
     /// every eligible device as idle or pending relative to `watermark_key`
     /// and registering group memberships for incremental `commit` updates.
     fn build_key_index(
         &self,
         model: Model,
-        brownout: bool,
+        rung: usize,
         watermark_key: u64,
-        members: &mut HashMap<usize, Vec<(Model, bool, usize)>>,
+        members: &mut HashMap<usize, Vec<(Model, usize, usize)>>,
     ) -> KeyIndex {
         let mut groups: Vec<DispatchGroup> = Vec::new();
         let mut by_lm: HashMap<(u64, u64), usize> = HashMap::new();
@@ -559,12 +606,15 @@ impl DevicePool {
             if dev.health == DeviceHealth::Lost || dev.health == DeviceHealth::Draining {
                 continue;
             }
-            let lms = if brownout {
-                &dev.brownout_lms
+            let lm = if rung == 0 {
+                dev.latency_models.get(&model).copied()
             } else {
-                &dev.latency_models
+                dev.brownout_lms
+                    .get(&model)
+                    .and_then(|v| v.get(rung - 1))
+                    .copied()
             };
-            let Some(&lm) = lms.get(&model) else {
+            let Some(lm) = lm else {
                 continue;
             };
             let gkey = (lm.base_s.to_bits(), lm.per_image_s.to_bits());
@@ -582,7 +632,7 @@ impl DevicePool {
             } else {
                 groups[gi].pending.insert((bk, i));
             }
-            members.entry(i).or_default().push((model, brownout, gi));
+            members.entry(i).or_default().push((model, rung, gi));
         }
         KeyIndex {
             watermark_key,
@@ -640,12 +690,22 @@ impl DevicePool {
             .any(|d| d.health == DeviceHealth::Draining && d.latency_models.contains_key(&model))
     }
 
-    /// Whether any non-lost device holds a staged brownout variant of
-    /// `model`.
+    /// Whether any non-lost device holds a staged brownout ladder of
+    /// `model` (at least one rung).
     pub fn has_brownout(&self, model: Model) -> bool {
+        self.brownout_rungs(model) > 0
+    }
+
+    /// Deepest brownout ladder rung staged for `model` on any non-lost
+    /// device (0 when no device stages a ladder). The server never
+    /// descends past this.
+    pub fn brownout_rungs(&self, model: Model) -> usize {
         self.devices
             .iter()
-            .any(|d| d.health != DeviceHealth::Lost && d.brownout_lms.contains_key(&model))
+            .filter(|d| d.health != DeviceHealth::Lost)
+            .map(|d| d.brownout_ladder_len(model))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Marks a device draining: no new batches are dispatched to it, while
@@ -694,9 +754,9 @@ impl DevicePool {
         n: usize,
         start_s: f64,
         timeout_mult: f64,
-        brownout: bool,
+        rung: usize,
     ) -> BatchOutcome {
-        let base = self.batch_seconds_shared(device, model, n, brownout);
+        let base = self.batch_seconds_shared(device, model, n, rung);
         if !self.fault.is_enabled() {
             return BatchOutcome::Done {
                 completion_s: start_s + base,
@@ -713,7 +773,7 @@ impl DevicePool {
         }
         let d = Arc::clone(
             self.devices[device]
-                .serving_deployment(model, brownout)
+                .serving_deployment(model, rung)
                 .expect("dispatched variant is deployed"),
         );
         let stats = d.simulate_batch_faulted(n, &view, &name);
@@ -741,16 +801,10 @@ impl DevicePool {
     /// simulation per batch size, not one per device. Values are identical
     /// to [`PooledDevice::batch_seconds_variant`]: the simulation is a pure
     /// function of the deployment and the size.
-    fn batch_seconds_shared(
-        &mut self,
-        device: usize,
-        model: Model,
-        n: usize,
-        brownout: bool,
-    ) -> f64 {
+    fn batch_seconds_shared(&mut self, device: usize, model: Model, n: usize, rung: usize) -> f64 {
         let d = Arc::clone(
             self.devices[device]
-                .serving_deployment(model, brownout)
+                .serving_deployment(model, rung)
                 .expect("dispatched variant is deployed"),
         );
         // The cache pins every compiled deployment for the pool's lifetime,

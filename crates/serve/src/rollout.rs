@@ -411,7 +411,7 @@ impl RolloutRun {
         let model = self.spec.model;
         let name = pool.devices()[device].name.clone();
         let n = pol.canary_shadow.max(1);
-        let outcome = pool.execute_batch(device, model, n, t, timeout_mult, false);
+        let outcome = pool.execute_batch(device, model, n, t, timeout_mult, 0);
         let end = match outcome {
             BatchOutcome::Done { completion_s } | BatchOutcome::Corrupted { completion_s } => {
                 completion_s

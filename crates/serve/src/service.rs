@@ -61,6 +61,9 @@ pub struct Completion {
     /// Whether the request was served by the model's brownout
     /// (relaxed-precision) variant rather than its primary deployment.
     pub brownout: bool,
+    /// Brownout-ladder rung that served the request (0 = the primary
+    /// deployment; `brownout` is exactly `brownout_rung > 0`).
+    pub brownout_rung: usize,
     /// Network output, when the request carried an input.
     pub output: Option<Tensor>,
 }
@@ -221,8 +224,13 @@ struct ModelState {
     shed_times: Vec<f64>,
     /// Most recent shed, seconds; `-inf` before the first.
     last_shed_s: f64,
-    /// Whether the model is currently served by its brownout variant.
-    brownout_active: bool,
+    /// Brownout-ladder rung the model currently serves from (0 = primary;
+    /// deeper rungs trade more precision for more throughput).
+    rung: usize,
+    /// When the model last changed rung, seconds; `-inf` before the first.
+    /// Escalating another rung needs a fresh window of sheds after this,
+    /// and each ascent needs its own idle promotion window.
+    last_transition_s: f64,
 }
 
 /// A request awaiting its retry backoff.
@@ -402,7 +410,8 @@ impl Server {
             inflight: Vec::new(),
             shed_times: Vec::new(),
             last_shed_s: f64::NEG_INFINITY,
-            brownout_active: false,
+            rung: 0,
+            last_transition_s: f64::NEG_INFINITY,
         });
         let i = self.states.len() - 1;
         self.tracer.set_thread_name(
@@ -633,9 +642,11 @@ impl Server {
         self.note_shed_for_brownout(model, time_s);
     }
 
-    /// Records a shed against the brownout trigger and browns the model
-    /// out when sustained overload trips the policy (and the pool stages a
-    /// relaxed-precision variant to absorb it).
+    /// Records a shed against the brownout trigger and descends the model
+    /// one ladder rung when sustained overload trips the policy (and the
+    /// pool stages a deeper relaxed-precision rung to absorb it). Each
+    /// further descent needs a fresh window of sheds after the previous
+    /// transition, so a single burst never skips rungs.
     fn note_shed_for_brownout(&mut self, model: Model, t: f64) {
         let bp = self.cfg.brownout;
         if !bp.enabled {
@@ -648,65 +659,97 @@ impl Server {
         s.last_shed_s = t;
         s.shed_times.retain(|&x| x >= t - bp.window_s);
         s.shed_times.push(t);
-        if !s.brownout_active && bp.tripped(&s.shed_times, t) && self.pool.has_brownout(model) {
-            self.states[i].brownout_active = true;
+        let since: Vec<f64> = s
+            .shed_times
+            .iter()
+            .copied()
+            .filter(|&x| x > s.last_transition_s)
+            .collect();
+        if bp.tripped(&since, t) && s.rung < self.pool.brownout_rungs(model) {
+            let rung = self.states[i].rung + 1;
+            self.states[i].rung = rung;
+            self.states[i].last_transition_s = t;
+            let (direction, action) = if rung == 1 {
+                ("enter", "brownout-enter")
+            } else {
+                ("descend", "brownout-descend")
+            };
             self.registry.counter_inc(
                 "serve_brownout_switches_total",
                 "Models switched between primary and brownout deployments.",
-                &[("model", model.name()), ("direction", "enter")],
+                &[("model", model.name()), ("direction", direction)],
             );
             if self.tracer.is_enabled() {
-                self.tracer.instant(
-                    PID_SERVE,
-                    1 + i as u32,
-                    "brownout",
-                    &format!("brownout enter {}", model.name()),
-                    t,
-                );
+                let label = if rung == 1 {
+                    format!("brownout enter {}", model.name())
+                } else {
+                    format!("brownout descend {} -> rung {rung}", model.name())
+                };
+                self.tracer
+                    .instant(PID_SERVE, 1 + i as u32, "brownout", &label, t);
             }
+            let detail = if rung == 1 {
+                "sustained sheds; serving the relaxed-precision variant".to_string()
+            } else {
+                format!("sustained sheds; descending to ladder rung {rung}")
+            };
             self.record_recovery_event(RecoveryEvent {
                 t_s: t,
                 subject: model.name().to_string(),
-                action: "brownout-enter".into(),
-                detail: "sustained sheds; serving the relaxed-precision variant".into(),
+                action: action.into(),
+                detail,
             });
         }
     }
 
-    /// Promotes a browned-out model back to its primary deployment once
-    /// the load has subsided. Returns whether the model is (still)
-    /// browned out for the batch being flushed at `t`.
-    fn brownout_for_flush(&mut self, i: usize, t: f64) -> bool {
+    /// Promotes a browned-out model one rung back toward its primary
+    /// deployment once the load has subsided — each ascent needs its own
+    /// idle promotion window, so recovery is as staged as the descent.
+    /// Returns the ladder rung serving the batch being flushed at `t`
+    /// (0 = primary).
+    fn brownout_for_flush(&mut self, i: usize, t: f64) -> usize {
         let bp = self.cfg.brownout;
         if !bp.enabled {
-            return false;
+            return 0;
         }
         let s = &mut self.states[i];
-        if s.brownout_active && bp.promote(s.last_shed_s, t) {
-            s.brownout_active = false;
+        if s.rung > 0 && bp.promote(s.last_shed_s.max(s.last_transition_s), t) {
+            let rung = s.rung - 1;
+            s.rung = rung;
+            s.last_transition_s = t;
             let model = s.model;
+            let (direction, action) = if rung == 0 {
+                ("exit", "brownout-exit")
+            } else {
+                ("ascend", "brownout-ascend")
+            };
             self.registry.counter_inc(
                 "serve_brownout_switches_total",
                 "Models switched between primary and brownout deployments.",
-                &[("model", model.name()), ("direction", "exit")],
+                &[("model", model.name()), ("direction", direction)],
             );
             if self.tracer.is_enabled() {
-                self.tracer.instant(
-                    PID_SERVE,
-                    1 + i as u32,
-                    "brownout",
-                    &format!("brownout exit {}", model.name()),
-                    t,
-                );
+                let label = if rung == 0 {
+                    format!("brownout exit {}", model.name())
+                } else {
+                    format!("brownout ascend {} -> rung {rung}", model.name())
+                };
+                self.tracer
+                    .instant(PID_SERVE, 1 + i as u32, "brownout", &label, t);
             }
+            let detail = if rung == 0 {
+                "load subsided; back on the primary deployment".to_string()
+            } else {
+                format!("load subsided; ascending to ladder rung {rung}")
+            };
             self.record_recovery_event(RecoveryEvent {
                 t_s: t,
                 subject: model.name().to_string(),
-                action: "brownout-exit".into(),
-                detail: "load subsided; back on the primary deployment".into(),
+                action: action.into(),
+                detail,
             });
         }
-        self.states[i].brownout_active
+        self.states[i].rung
     }
 
     /// Dispatches the batch forming in `states[i]` at simulated time `t`
@@ -720,23 +763,26 @@ impl Server {
 
     fn flush_inner(&mut self, i: usize, t: f64) {
         let model = self.states[i].model;
-        let brownout = self.brownout_for_flush(i, t);
+        let rung = self.brownout_for_flush(i, t);
         let mut batch = self.states[i].batcher.take_batch();
         if batch.is_empty() {
             return;
         }
         // Expected completion from the calibrated latency model drives both
         // device choice and deadline shedding. A browned-out model prefers
-        // its relaxed-precision variant, falling back to the primary
-        // deployment when no variant device is dispatchable.
-        let mut brownout_used = brownout && self.pool.has_brownout(model);
-        let mut dispatched = if brownout_used {
-            self.pool.dispatch_variant(model, batch.len(), t, true)
-        } else {
-            None
-        };
+        // its current ladder rung, climbing back toward (and falling back
+        // on) the primary deployment when no device stages the rung.
+        let mut rung_used = rung.min(self.pool.brownout_rungs(model));
+        let mut dispatched = None;
+        while rung_used > 0 {
+            dispatched = self.pool.dispatch_variant(model, batch.len(), t, rung_used);
+            if dispatched.is_some() {
+                break;
+            }
+            rung_used -= 1;
+        }
         if dispatched.is_none() {
-            brownout_used = false;
+            rung_used = 0;
             dispatched = self.pool.dispatch(model, batch.len(), t);
         }
         let Some(d) = dispatched else {
@@ -773,7 +819,7 @@ impl Server {
         // what actually executes.
         let d = if batch.len() != before {
             self.pool
-                .dispatch_variant(model, batch.len(), t, brownout_used)
+                .dispatch_variant(model, batch.len(), t, rung_used)
                 .unwrap()
         } else {
             d
@@ -785,11 +831,11 @@ impl Server {
             size,
             d.start_s,
             self.cfg.fault.timeout_mult,
-            brownout_used,
+            rung_used,
         );
         let dev = self.pool.device_mut(d.device);
         let deployment = dev
-            .serving_deployment(model, brownout_used)
+            .serving_deployment(model, rung_used)
             .map(std::sync::Arc::clone)
             .expect("dispatch chose a device serving the variant");
         let device_name = dev.name.clone();
@@ -838,7 +884,7 @@ impl Server {
                         "Requests completed, by model.",
                         &[("model", model.name())],
                     );
-                    if brownout_used {
+                    if rung_used > 0 {
                         self.registry.counter_inc(
                             "serve_requests_brownout_total",
                             "Requests served by a brownout (relaxed-precision) variant.",
@@ -892,7 +938,8 @@ impl Server {
                         arrival_s,
                         completion_s,
                         batch_size: size,
-                        brownout: brownout_used,
+                        brownout: rung_used > 0,
+                        brownout_rung: rung_used,
                         output,
                     });
                 }

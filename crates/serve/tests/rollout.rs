@@ -596,6 +596,128 @@ fn brownout_sheds_strictly_less_than_shedding_through_overload() {
     );
 }
 
+fn precision_variant(model: Model, platform: FpgaPlatform, p: Precision) -> OptimizationConfig {
+    let mut v = optimized_config(model, platform);
+    v.aoc = AocOptions::with_precision(p);
+    v.label = format!("{}-{p:?}", v.label);
+    v
+}
+
+/// Overload heavy enough to shed at every rung walks the whole ladder
+/// down (enter, then one descend per fresh shed window), and the idle
+/// tail climbs back one rung per promotion window (ascend, ascend, exit).
+#[test]
+fn brownout_ladder_descends_and_ascends_one_rung_at_a_time() {
+    let mut pool = DevicePool::new();
+    let d = pool.add_device(FpgaPlatform::Stratix10Mx);
+    let model = Model::MobileNetV1;
+    let cfg = optimized_config(model, FpgaPlatform::Stratix10Mx);
+    pool.deploy(d, model, &cfg).unwrap();
+    let ladder: Vec<OptimizationConfig> = [Precision::Fp16, Precision::Int16, Precision::Int8]
+        .iter()
+        .map(|&p| precision_variant(model, FpgaPlatform::Stratix10Mx, p))
+        .collect();
+    pool.deploy_brownout_ladder(d, model, &ladder).unwrap();
+    assert_eq!(pool.brownout_rungs(model), 3);
+
+    let dev = &pool.devices()[0];
+    let f32_img = dev.latency_model(model).unwrap().seconds(4) / 4.0;
+    // Offer load past even the narrowest rung's capacity: sheds persist at
+    // every rung, so the server descends until the ladder runs out.
+    let spacing = 0.2 * f32_img;
+    let deadline = 8.0 * f32_img;
+    let promote_idle = 60.0 * f32_img;
+    let mut reqs: Vec<Request> = (0..120)
+        .map(|i| Request {
+            id: i as u64,
+            model,
+            arrival_s: i as f64 * spacing,
+            deadline_s: Some(deadline),
+            input: None,
+        })
+        .collect();
+    // Four stragglers, each its own promotion window after the last: the
+    // first three each climb one rung (3 -> 2 -> 1 -> 0), the fourth rides
+    // the restored primary.
+    let burst_end = 120.0 * spacing;
+    for k in 0..4u64 {
+        reqs.push(Request {
+            id: 9000 + k,
+            model,
+            arrival_s: burst_end + 300.0 * f32_img + k as f64 * 1.5 * promote_idle,
+            deadline_s: None,
+            input: None,
+        });
+    }
+    let scfg = ServeConfig {
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_wait_s: spacing,
+        },
+        admission: AdmissionPolicy {
+            queue_capacity: 64,
+            default_deadline_s: None,
+        },
+        fault: Default::default(),
+        brownout: BrownoutPolicy {
+            enabled: true,
+            trigger_sheds: 3,
+            window_s: 40.0 * spacing,
+            promote_idle_s: promote_idle,
+        },
+    };
+    let r = Server::new(pool, scfg).run_open_loop(reqs);
+
+    let m = "MobileNetV1";
+    let switches = |direction: &str| {
+        r.registry
+            .value(
+                "serve_brownout_switches_total",
+                &[("model", m), ("direction", direction)],
+            )
+            .unwrap_or(0.0)
+    };
+    assert_eq!(switches("enter"), 1.0, "one 0 -> 1 transition");
+    assert_eq!(switches("descend"), 2.0, "rungs 2 and 3 reached once each");
+    assert_eq!(switches("ascend"), 2.0, "rungs 2 and 1 on the way back");
+    assert_eq!(switches("exit"), 1.0, "one 1 -> 0 transition");
+    let actions: Vec<&str> = r
+        .recovery
+        .iter()
+        .filter(|e| e.action.starts_with("brownout-"))
+        .map(|e| e.action.as_str())
+        .collect();
+    assert_eq!(
+        actions,
+        [
+            "brownout-enter",
+            "brownout-descend",
+            "brownout-descend",
+            "brownout-ascend",
+            "brownout-ascend",
+            "brownout-exit",
+        ],
+        "transitions move one rung at a time in both directions"
+    );
+    let deepest = r.completions.iter().map(|c| c.brownout_rung).max().unwrap();
+    assert_eq!(deepest, 3, "the narrowest rung served traffic");
+    for c in &r.completions {
+        assert_eq!(c.brownout, c.brownout_rung > 0);
+    }
+    // Stragglers observe the staged ascent: each one rung wider than the
+    // last, the final two on the primary deployment.
+    let straggler_rungs: Vec<usize> = (0..4u64)
+        .map(|k| {
+            r.completions
+                .iter()
+                .find(|c| c.id == 9000 + k)
+                .expect("straggler completes")
+                .brownout_rung
+        })
+        .collect();
+    assert_eq!(straggler_rungs, [2, 1, 0, 0]);
+}
+
 #[test]
 fn brownout_variant_passes_verification_at_relaxed_tolerance() {
     let mut pool = DevicePool::new();

@@ -44,6 +44,22 @@ pub fn digit_batch(n: usize, seed: u64) -> Vec<Tensor> {
         .collect()
 }
 
+/// A seeded batch of uniform random tensors of an arbitrary shape in
+/// `[0, 1]` — the generic calibration input for quantized compiles of
+/// graphs whose input is not MNIST- or ImageNet-shaped.
+pub fn calibration_batch(shape: &Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            let mut rng =
+                Rng64::seed_from_u64(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Tensor::from_vec(
+                shape.clone(),
+                (0..shape.numel()).map(|_| rng.uniform()).collect(),
+            )
+        })
+        .collect()
+}
+
 /// A seeded random 3x224x224 ImageNet-size input in `[0, 1]`.
 pub fn imagenet_input(seed: u64) -> Tensor {
     let mut rng = Rng64::seed_from_u64(seed);

@@ -35,6 +35,7 @@ pub mod graph;
 pub mod models;
 pub mod ops;
 pub mod par;
+pub mod quant;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

@@ -7,7 +7,7 @@
 //! real flow would inspect, and it demonstrates each optimization exactly as
 //! the thesis listings do. See `examples/codegen_tour.rs`.
 
-use crate::expr::{BExpr, IExpr, VBinOp, VExpr};
+use crate::expr::{BExpr, IExpr, QuantMode, VBinOp, VExpr};
 use crate::kernel::{ChannelDecl, Kernel, Scope};
 use crate::stmt::{LoopAttr, Stmt};
 use std::fmt::Write as _;
@@ -16,6 +16,20 @@ use std::fmt::Write as _;
 /// program-scope channel declarations.
 pub fn emit_program(kernels: &[&Kernel]) -> String {
     let mut out = String::new();
+    // Half-precision quantization needs the fp16 extension enabled at
+    // program scope.
+    let uses_half = kernels.iter().any(|k| {
+        let mut found = false;
+        k.body.visit_values(&mut |v| {
+            if matches!(v, VExpr::Quant(_, QuantMode::Half)) {
+                found = true;
+            }
+        });
+        found
+    });
+    if uses_half {
+        out.push_str("#pragma OPENCL EXTENSION cl_khr_fp16 : enable\n\n");
+    }
     let mut chans: Vec<&ChannelDecl> = Vec::new();
     for k in kernels {
         for c in k.chan_in.iter().chain(&k.chan_out) {
@@ -157,15 +171,7 @@ fn iexpr(e: &IExpr) -> String {
 
 fn vexpr(e: &VExpr) -> String {
     match e {
-        VExpr::Const(c) => {
-            if *c == c.trunc() && c.abs() < 1e7 {
-                format!("{c:.1}f")
-            } else if c.abs() >= 1e-3 && c.abs() < 1e7 {
-                format!("{c}f")
-            } else {
-                format!("{c:e}f")
-            }
-        }
+        VExpr::Const(c) => format!("{}f", fmt_f32(*c)),
         VExpr::Load { buf, idx } => format!("{buf}[{}]", iexpr(idx)),
         VExpr::Bin(op, a, b) => {
             let (x, y) = (vexpr(a), vexpr(b));
@@ -184,6 +190,30 @@ fn vexpr(e: &VExpr) -> String {
         }
         VExpr::ReadChannel(chan) => format!("read_channel_intel({chan})"),
         VExpr::FromInt(i) => format!("(float)({})", iexpr(i)),
+        VExpr::Quant(a, mode) => match mode {
+            // Narrow-MAC form: quantize onto the integer grid (int8 kernels
+            // multiply char operands and accumulate in int; the dequantize
+            // multiply happens once at the layer boundary).
+            QuantMode::Fixed { scale, qmax } => format!(
+                "({}f * convert_float(clamp(convert_int_rte(({}) / {}f), -{qmax}, {qmax})))",
+                fmt_f32(*scale),
+                vexpr(a),
+                fmt_f32(*scale)
+            ),
+            QuantMode::Half => format!("((float)((half)({})))", vexpr(a)),
+        },
+    }
+}
+
+/// Formats an `f32` the way [`vexpr`] formats float literals (without the
+/// `f` suffix, which callers append).
+fn fmt_f32(c: f32) -> String {
+    if c == c.trunc() && c.abs() < 1e7 {
+        format!("{c:.1}")
+    } else if c.abs() >= 1e-3 && c.abs() < 1e7 {
+        format!("{c}")
+    } else {
+        format!("{c:e}")
     }
 }
 

@@ -227,6 +227,24 @@ pub enum VBinOp {
     Min,
 }
 
+/// How a [`VExpr::Quant`] node narrows its operand. The narrow-MAC pass
+/// (`crate::quantize`) wraps loads and stores in these; the interpreter
+/// models them as fake quantization (round onto the grid, stay in f32) and
+/// the code generator emits the corresponding OpenCL conversions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantMode {
+    /// Symmetric fixed point: round to `scale`-sized steps, saturate at
+    /// `±qmax` steps (int8 kernels use `qmax = 127` with i32 accumulation).
+    Fixed {
+        /// Grid step (`amax_clip / qmax` from calibration).
+        scale: f32,
+        /// Saturation bound in steps.
+        qmax: i32,
+    },
+    /// IEEE 754 binary16 round trip (half storage, f32 accumulation).
+    Half,
+}
+
 /// Float value expressions.
 #[derive(Clone, Debug, PartialEq)]
 pub enum VExpr {
@@ -251,6 +269,8 @@ pub enum VExpr {
     /// An integer expression converted to float (e.g. average-pool divisor
     /// with symbolic window).
     FromInt(IExpr),
+    /// Quantization of the operand onto a narrow grid (see [`QuantMode`]).
+    Quant(Box<VExpr>, QuantMode),
 }
 
 #[allow(clippy::should_implement_trait)] // builder-style DSL, mirrors TVM's te ops
@@ -293,6 +313,11 @@ impl VExpr {
         VExpr::Bin(VBinOp::Min, Box::new(self), Box::new(rhs))
     }
 
+    /// Wraps `self` in a quantization node.
+    pub fn quant(self, mode: QuantMode) -> VExpr {
+        VExpr::Quant(Box::new(self), mode)
+    }
+
     /// Walks the expression tree, calling `f` on every node.
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a VExpr)) {
         f(self);
@@ -306,6 +331,7 @@ impl VExpr {
                 a.visit(f);
                 b.visit(f);
             }
+            VExpr::Quant(a, _) => a.visit(f),
             VExpr::Const(_) | VExpr::Load { .. } | VExpr::ReadChannel(_) | VExpr::FromInt(_) => {}
         }
     }

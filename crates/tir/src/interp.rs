@@ -167,6 +167,18 @@ impl Interp {
                 .and_then(VecDeque::pop_front)
                 .unwrap_or_else(|| panic!("read from empty channel `{chan}` (hardware deadlock)")),
             VExpr::FromInt(i) => i.eval(env) as f32,
+            VExpr::Quant(a, mode) => {
+                let x = self.eval_v(a, env, store);
+                match mode {
+                    // Fake quantization: round onto the grid, saturate,
+                    // dequantize — the functional model of the integer
+                    // datapath the code generator emits.
+                    crate::expr::QuantMode::Fixed { scale, qmax } => {
+                        fpgaccel_tensor::quant::fake_quant(x, *scale, *qmax)
+                    }
+                    crate::expr::QuantMode::Half => fpgaccel_tensor::quant::f16_round(x),
+                }
+            }
         }
     }
 

@@ -24,6 +24,8 @@
 //! * [`compute`] — the kernel generators: base (TVM default) and optimized
 //!   schedules for every operator, with global or channel I/O.
 //! * [`schedule`] — reusable schedule primitives (`split`, `unroll`).
+//! * [`quantize`] — the narrow-MAC pass: quantized loads, integer multiply
+//!   semantics, requantization at layer boundaries.
 //! * [`codegen`] — OpenCL C emission.
 //! * [`interp`] — the reference interpreter.
 //! * [`analysis`] — the structural facts the AOC simulator consumes.
@@ -37,10 +39,12 @@ pub mod dim;
 pub mod expr;
 pub mod interp;
 pub mod kernel;
+pub mod quantize;
 pub mod schedule;
 pub mod stmt;
 
 pub use dim::{Binding, Dim};
-pub use expr::{BExpr, Coeff, IExpr, VExpr};
+pub use expr::{BExpr, Coeff, IExpr, QuantMode, VExpr};
 pub use kernel::{BufRole, BufferDecl, ChannelDecl, Kernel, Scope};
+pub use quantize::{quantize_kernel, KernelQuant};
 pub use stmt::{LoopAttr, Stmt};

@@ -532,6 +532,7 @@ pub fn subst_stmt(stmt: &Stmt, var: &str, replacement: &IExpr) -> Stmt {
             ),
             VExpr::ReadChannel(c) => VExpr::ReadChannel(c.clone()),
             VExpr::FromInt(i) => VExpr::FromInt(i.subst(var, r)),
+            VExpr::Quant(a, m) => VExpr::Quant(Box::new(subst_v(a, var, r)), *m),
         }
     }
     fn subst_b(b: &BExpr, var: &str, r: &IExpr) -> BExpr {

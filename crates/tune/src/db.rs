@@ -89,6 +89,55 @@ pub struct PipelineRecord {
     pub evaluations: usize,
 }
 
+/// One best-known per-layer mixed-precision assignment (searched by
+/// [`crate::precision::search_precision`]), keyed at the f32 baseline
+/// precision: the per-layer rungs live inside the record itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrecisionRecord {
+    /// `(layer name, precision)` pairs in layer order; the precision is the
+    /// `Debug` rendering of [`Precision`] (`"F32"`, `"Fp16"`, `"Int8"`, ...).
+    pub assignment: Vec<(String, String)>,
+    /// Modeled DSP blocks of the mixed-precision bitstream.
+    pub dsps: u64,
+    /// Modeled DSP blocks of the all-f32 bitstream the search started from.
+    pub baseline_dsps: u64,
+    /// Modeled RAM blocks of the mixed-precision bitstream.
+    pub ram_blocks: u64,
+    /// Worst output error the accepted assignment measured vs f32.
+    pub worst_error: f64,
+    /// Accuracy budget the search ran under.
+    pub error_budget: f64,
+    /// Accuracy evaluations the producing search spent.
+    pub evaluations: usize,
+}
+
+/// Parses the `Debug` rendering of a [`Precision`] back into the enum.
+pub(crate) fn parse_precision(s: &str) -> Option<Precision> {
+    match s {
+        "F32" => Some(Precision::F32),
+        "Fp16" => Some(Precision::Fp16),
+        "Int16" => Some(Precision::Int16),
+        "Int8" => Some(Precision::Int8),
+        _ => None,
+    }
+}
+
+impl PrecisionRecord {
+    /// The per-layer assignment this record deploys, or `None` when a stored
+    /// precision name is from an incompatible future version.
+    pub fn assignment_map(&self) -> Option<BTreeMap<String, Precision>> {
+        self.assignment
+            .iter()
+            .map(|(layer, p)| Some((layer.clone(), parse_precision(p)?)))
+            .collect()
+    }
+
+    /// Layers demoted below f32 by this assignment.
+    pub fn demoted(&self) -> usize {
+        self.assignment.iter().filter(|(_, p)| p != "F32").count()
+    }
+}
+
 /// One cached fleet placement plan, keyed by the digest of the fleet
 /// specification that produced it (device-class inventory + per-model
 /// demand). Placement is deterministic in its spec, so the record is a
@@ -128,6 +177,7 @@ fn escape(s: &str) -> String {
 pub struct TuningDb {
     records: BTreeMap<DbKey, TuneRecord>,
     pipeline: BTreeMap<DbKey, PipelineRecord>,
+    mixed: BTreeMap<DbKey, PrecisionRecord>,
     placements: BTreeMap<String, PlacementRecord>,
 }
 
@@ -144,7 +194,10 @@ impl TuningDb {
 
     /// True when no records of any kind are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty() && self.pipeline.is_empty() && self.placements.is_empty()
+        self.records.is_empty()
+            && self.pipeline.is_empty()
+            && self.mixed.is_empty()
+            && self.placements.is_empty()
     }
 
     /// Best-known record for a key, if any.
@@ -180,6 +233,34 @@ impl TuningDb {
             Some(old) if old.seconds_per_image <= record.seconds_per_image => false,
             _ => {
                 self.pipeline.insert(key, record);
+                true
+            }
+        }
+    }
+
+    /// Number of mixed-precision records.
+    pub fn mixed_len(&self) -> usize {
+        self.mixed.len()
+    }
+
+    /// Best-known mixed-precision assignment for a key, if any.
+    pub fn lookup_mixed(&self, key: &DbKey) -> Option<&PrecisionRecord> {
+        self.mixed.get(key)
+    }
+
+    /// Iterates mixed-precision records in key order.
+    pub fn iter_mixed(&self) -> impl Iterator<Item = (&DbKey, &PrecisionRecord)> {
+        self.mixed.iter()
+    }
+
+    /// Inserts a mixed-precision record, keeping whichever of the existing
+    /// and new record models fewer DSPs (the search objective; ties keep the
+    /// stored one). Returns true when `record` became (or stayed) stored.
+    pub fn insert_mixed(&mut self, key: DbKey, record: PrecisionRecord) -> bool {
+        match self.mixed.get(&key) {
+            Some(old) if old.dsps <= record.dsps => false,
+            _ => {
+                self.mixed.insert(key, record);
                 true
             }
         }
@@ -237,11 +318,15 @@ impl TuningDb {
             .iter_pipeline()
             .filter(|(k, r)| self.insert_pipeline((*k).clone(), (*r).clone()))
             .count();
+        let mixed = other
+            .iter_mixed()
+            .filter(|(k, r)| self.insert_mixed((*k).clone(), (*r).clone()))
+            .count();
         let placements = other
             .iter_placements()
             .filter(|(k, r)| self.insert_placement((*k).clone(), (*r).clone()))
             .count();
-        tilings + pipelines + placements
+        tilings + pipelines + mixed + placements
     }
 
     /// Renders the database as its canonical JSON document.
@@ -297,6 +382,40 @@ impl TuningDb {
                     r.dram_elems_saved,
                     r.pipelined_stages,
                     r.staged_nodes,
+                    r.evaluations
+                ));
+            }
+            out.push_str("\n  ]");
+        }
+        // Like `pipeline`, the mixed-precision section is omitted when empty
+        // so older databases keep their historical byte-exact rendering.
+        if !self.mixed.is_empty() {
+            out.push_str(",\n  \"mixed\": [");
+            for (i, (k, r)) in self.mixed.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let assignment = r
+                    .assignment
+                    .iter()
+                    .map(|(layer, p)| format!("[\"{}\", \"{}\"]", escape(layer), escape(p)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "\n    {{\"model\": \"{}\", \"shape_sig\": \"{}\", \"platform\": \"{}\", \
+                     \"precision\": \"{:?}\", \"assignment\": [{}], \"dsps\": {}, \
+                     \"baseline_dsps\": {}, \"ram_blocks\": {}, \"worst_error\": {}, \
+                     \"error_budget\": {}, \"evaluations\": {}}}",
+                    escape(&k.model),
+                    escape(&k.shape_sig),
+                    escape(&k.platform),
+                    k.precision,
+                    assignment,
+                    r.dsps,
+                    r.baseline_dsps,
+                    r.ram_blocks,
+                    r.worst_error,
+                    r.error_budget,
                     r.evaluations
                 ));
             }
@@ -365,12 +484,8 @@ impl TuningDb {
                     .as_f64()
                     .ok_or(format!("record {i}: `{name}` not a number"))
             };
-            let precision = match text("precision")?.as_str() {
-                "F32" => Precision::F32,
-                "Int16" => Precision::Int16,
-                "Int8" => Precision::Int8,
-                other => return Err(format!("record {i}: unknown precision `{other}`")),
-            };
+            let precision = parse_precision(&text("precision")?)
+                .ok_or(format!("record {i}: unknown precision"))?;
             let tile_arr = field("tile")?
                 .as_array()
                 .ok_or(format!("record {i}: `tile` not an array"))?;
@@ -418,14 +533,8 @@ impl TuningDb {
                         .as_f64()
                         .ok_or(format!("pipeline record {i}: `{name}` not a number"))
                 };
-                let precision = match text("precision")?.as_str() {
-                    "F32" => Precision::F32,
-                    "Int16" => Precision::Int16,
-                    "Int8" => Precision::Int8,
-                    other => {
-                        return Err(format!("pipeline record {i}: unknown precision `{other}`"))
-                    }
-                };
+                let precision = parse_precision(&text("precision")?)
+                    .ok_or(format!("pipeline record {i}: unknown precision"))?;
                 let key = DbKey {
                     model: text("model")?,
                     shape_sig: text("shape_sig")?,
@@ -442,6 +551,62 @@ impl TuningDb {
                     evaluations: num("evaluations")? as usize,
                 };
                 db.insert_pipeline(key, record);
+            }
+        }
+        // Optional mixed-precision section (absent in older databases).
+        if let Some(mixed) = doc.get("mixed") {
+            let recs = mixed.as_array().ok_or("`mixed` not an array")?;
+            for (i, rec) in recs.iter().enumerate() {
+                let field = |name: &str| -> Result<&Json, String> {
+                    rec.get(name)
+                        .ok_or(format!("mixed record {i}: missing `{name}`"))
+                };
+                let text = |name: &str| -> Result<String, String> {
+                    field(name)?
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("mixed record {i}: `{name}` not a string"))
+                };
+                let num = |name: &str| -> Result<f64, String> {
+                    field(name)?
+                        .as_f64()
+                        .ok_or(format!("mixed record {i}: `{name}` not a number"))
+                };
+                let precision = parse_precision(&text("precision")?)
+                    .ok_or(format!("mixed record {i}: unknown precision"))?;
+                let pairs = field("assignment")?
+                    .as_array()
+                    .ok_or(format!("mixed record {i}: `assignment` not an array"))?;
+                let mut assignment = Vec::new();
+                for (j, pair) in pairs.iter().enumerate() {
+                    let parts = pair
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or(format!("mixed record {i}: assignment[{j}] not a pair"))?;
+                    let layer = parts[0]
+                        .as_str()
+                        .ok_or(format!("mixed record {i}: assignment[{j}] layer"))?;
+                    let p = parts[1]
+                        .as_str()
+                        .ok_or(format!("mixed record {i}: assignment[{j}] precision"))?;
+                    assignment.push((layer.to_string(), p.to_string()));
+                }
+                let key = DbKey {
+                    model: text("model")?,
+                    shape_sig: text("shape_sig")?,
+                    platform: text("platform")?,
+                    precision,
+                };
+                let record = PrecisionRecord {
+                    assignment,
+                    dsps: num("dsps")? as u64,
+                    baseline_dsps: num("baseline_dsps")? as u64,
+                    ram_blocks: num("ram_blocks")? as u64,
+                    worst_error: num("worst_error")?,
+                    error_budget: num("error_budget")?,
+                    evaluations: num("evaluations")? as usize,
+                };
+                db.insert_mixed(key, record);
             }
         }
         // Optional placements section (absent in pre-fleet databases).
@@ -649,6 +814,62 @@ mod tests {
         let mut p = TuningDb::new();
         p.insert_pipeline(key(), pipeline_record("fill*2", 0.033));
         assert!(!p.is_empty());
+    }
+
+    fn mixed_record(dsps: u64) -> PrecisionRecord {
+        PrecisionRecord {
+            assignment: vec![
+                ("conv1".into(), "Int8".into()),
+                ("conv2".into(), "Fp16".into()),
+                ("dense1".into(), "F32".into()),
+            ],
+            dsps,
+            baseline_dsps: 600,
+            ram_blocks: 420,
+            worst_error: 0.0125,
+            error_budget: 0.05,
+            evaluations: 6,
+        }
+    }
+
+    #[test]
+    fn mixed_records_round_trip_and_keep_the_fewer_dsps() {
+        let mut db = TuningDb::new();
+        assert!(db.insert_mixed(key(), mixed_record(300)));
+        assert!(
+            !db.insert_mixed(key(), mixed_record(500)),
+            "a record modeling more DSPs must not replace"
+        );
+        let text = db.to_json();
+        let back = TuningDb::from_json(&text).unwrap();
+        assert_eq!(back.mixed_len(), 1);
+        assert_eq!(back.lookup_mixed(&key()), db.lookup_mixed(&key()));
+        assert_eq!(back.to_json(), text, "canonical rendering is stable");
+        // The stored assignment parses back into per-layer precisions.
+        let map = back.lookup_mixed(&key()).unwrap().assignment_map().unwrap();
+        assert_eq!(map["conv1"], Precision::Int8);
+        assert_eq!(map["conv2"], Precision::Fp16);
+        assert_eq!(map["dense1"], Precision::F32);
+        assert_eq!(back.lookup_mixed(&key()).unwrap().demoted(), 2);
+        // Merge keeps the fewer-DSP record per key.
+        let mut better = TuningDb::new();
+        better.insert_mixed(key(), mixed_record(250));
+        assert_eq!(db.merge(&better), 1);
+        assert_eq!(db.lookup_mixed(&key()).unwrap().dsps, 250);
+    }
+
+    #[test]
+    fn mixed_free_databases_render_without_a_mixed_section() {
+        let mut db = TuningDb::new();
+        db.insert(key(), record((7, 8, 8), 0.012));
+        assert!(!db.to_json().contains("\"mixed\""));
+        let mut m = TuningDb::new();
+        m.insert_mixed(key(), mixed_record(300));
+        assert!(!m.is_empty());
+        // A future precision name fails the parse, not the load.
+        let mut rec = mixed_record(300);
+        rec.assignment.push(("conv9".into(), "Int4".into()));
+        assert_eq!(rec.assignment_map(), None);
     }
 
     fn placement_record() -> PlacementRecord {

@@ -26,6 +26,10 @@
 //!   planner's FIFO depth policy and segment stage cap the same way the
 //!   tiling search ranks schedules, caching winners in the database's
 //!   pipeline section.
+//! * [`precision`] — the **mixed-precision search**: greedy per-layer
+//!   demotion (fp32 → fp16 → int8) under an accuracy budget, priced by the
+//!   cost model's per-precision DSP/RAM laws and cached in the database's
+//!   mixed section.
 //! * [`tuner`] — the [`Tuner`] façade gluing warm database lookup, the
 //!   search engine, and `fpgaccel_trace` spans/metrics together.
 //!
@@ -40,6 +44,7 @@ pub mod candidate;
 pub mod cost;
 pub mod db;
 pub mod pipeline;
+pub mod precision;
 pub mod search;
 pub mod tuner;
 
@@ -47,9 +52,13 @@ pub use candidate::{
     divisors, shape_signature, Candidate, Conv1x1Shape, LegalityError, SearchSpace,
 };
 pub use cost::{CostModel, Observation};
-pub use db::{DbKey, PipelineRecord, PlacementRecord, TuneRecord, TuningDb};
+pub use db::{DbKey, PipelineRecord, PlacementRecord, PrecisionRecord, TuneRecord, TuningDb};
 pub use pipeline::{
     best_pipeline, pipeline_candidates, search_pipeline, EvaluatePipeline, PipelineMeasured,
+};
+pub use precision::{
+    precision_record_of, search_precision, EvaluatePrecision, PrecisionCost, PrecisionOutcome,
+    DEMOTION_LADDER,
 };
 pub use search::{enumerate, EvalError, Evaluate, Measured, SearchConfig};
 pub use tuner::{TuneError, TuneOutcome, Tuner};
