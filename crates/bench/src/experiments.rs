@@ -1003,6 +1003,7 @@ pub const ALL_EXPERIMENTS: &[Experiment] = &[
     ("pipeline", crate::pipeline::pipeline),
     ("bench", crate::trajectory::bench),
     ("fleet", crate::fleet::fleet),
+    ("fleetchaos", crate::fleetchaos::fleetchaos),
 ];
 
 /// Runs one experiment by id.

@@ -121,6 +121,7 @@ fn build_spec(devices: usize) -> FleetSpec {
         classes,
         demands,
         headroom: HEADROOM,
+        domains: 1,
     }
 }
 

@@ -1,0 +1,577 @@
+//! The `fleetchaos` experiment: fleet-scale resilience under a seeded
+//! correlated domain outage.
+//!
+//! The same heterogeneous inventory as the `fleet` experiment (2:2:1
+//! Arria 10 GX / Stratix 10 SX / Stratix 10 MX, 500 boards by default) is
+//! placed at ~60% demand so every shard carries standby spares, racked
+//! one failure domain per shard, and driven through a generated fault
+//! plan ([`FaultPlan::generate`]) that lands, mid-run:
+//!
+//! * **one correlated domain burst** — a brownout of clustered transfer
+//!   stalls on the victim rack's boards, then the whole domain goes dark
+//!   ([`FaultKind::DomainOutage`]): every serving board ends `Lost`;
+//! * **two persistent device slowdowns** ([`FaultKind::DeviceSlow`]) on
+//!   other shards — degraded, not hung, so the watchdog never fires.
+//!
+//! The resilience stack must absorb all of it with **zero in-budget
+//! loss**:
+//!
+//! * the victim shard's **circuit breaker** trips on capacity-attributed
+//!   straggler predictions and ejects it from every model's ring
+//!   (bounded-load overflow absorbs its keys);
+//! * the **failover replay** re-issues everything the dead shard had in
+//!   flight to the next ring shard, and **hedged requests** cover the
+//!   detection window and the post-heal guard window;
+//! * **self-healing re-placement** re-runs the placement optimizer over
+//!   the surviving inventory (warm from the tuning database) and adopts
+//!   the victim shard's spare boards through the rollout wave machinery,
+//!   after which the breaker probes the shard half-open and closes;
+//! * batch timeouts on the dying shard freeze **flight-recorder
+//!   postmortems**.
+//!
+//! The whole scenario is a pure function of its seeds: the cold and the
+//! warm run must produce byte-identical digests.
+//!
+//! Environment knobs: `FPGACCEL_FLEETCHAOS_DEVICES` scales the fleet (CI
+//! runs 64), `FPGACCEL_FLEETCHAOS_REPORT` names a JSON file for the
+//! machine-readable summary.
+
+use crate::rollout::json_str;
+use crate::table::Table;
+use fpgaccel_core::bitstreams::optimized_config;
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fault::{FaultKind, FaultPlan, FaultSpec};
+use fpgaccel_fleet::{
+    plan_placement, DeviceClass, Fleet, FleetConfig, FleetRunResult, FleetSpec, HealthPolicy,
+    ModelDemand, PlacementPlan, TenantLoad, TenantPolicy,
+};
+use fpgaccel_serve::{AdmissionPolicy, DeploymentCache, ServeConfig};
+use fpgaccel_tensor::models::Model;
+use fpgaccel_tune::TuningDb;
+
+/// Scenario seed (routers, tenant traces, routing keys).
+const FLEET_SEED: u64 = 0xF1EE7C;
+/// Seed of the generated chaos fault plan (chosen so the correlated
+/// burst lands in the first third of the window — the run must also fit
+/// the quarantine, the heal waves, and the breaker's re-close).
+const FAULT_SEED: u64 = 0xBEEF2;
+
+/// Arrivals the offered load is sized to produce per fleet device — 10×
+/// the `fleet` experiment's, because the simulated span must be long
+/// enough to fit the whole resilience arc (outage → quarantine → heal
+/// waves → breaker re-close) between the first and the last arrival.
+const ARRIVALS_PER_DEVICE: f64 = 600.0;
+
+/// Demand as a fraction of each model's full-fleet capacity — ~60% of the
+/// `fleet` experiment's load, so every shard carries the standby spares
+/// the self-healing re-placement adopts.
+const DEMAND_SHARE: [(Model, f64); 4] = [
+    (Model::LeNet5, 0.18),
+    (Model::MobileNetV1, 0.27),
+    (Model::ResNet18, 0.11),
+    (Model::ResNet34, 0.06),
+];
+/// Capacity slack the placement targets above demand.
+const HEADROOM: f64 = 0.15;
+
+/// Default fleet size; CI smokes the same scenario at 64.
+const DEFAULT_DEVICES: usize = 500;
+
+fn fleet_devices() -> usize {
+    std::env::var("FPGACCEL_FLEETCHAOS_DEVICES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 10)
+        .unwrap_or(DEFAULT_DEVICES)
+}
+
+/// Calibrated steady-state rate of one device, requests/second.
+fn probe_rate(cache: &mut DeploymentCache, model: Model, platform: FpgaPlatform) -> Option<f64> {
+    let d = cache
+        .get_or_compile(model, platform, &optimized_config(model, platform))
+        .ok()?;
+    let lm = cache.calibration(&d, 16);
+    Some(16.0 / lm.seconds(16))
+}
+
+/// The 2:2:1 inventory at ~60% demand, racked one domain per shard.
+fn build_spec(devices: usize, domains: usize) -> FleetSpec {
+    let a10 = devices * 2 / 5;
+    let sx = devices * 2 / 5;
+    let mx = devices - a10 - sx;
+    let classes = vec![
+        DeviceClass {
+            platform: FpgaPlatform::Arria10Gx,
+            count: a10,
+        },
+        DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: sx,
+        },
+        DeviceClass {
+            platform: FpgaPlatform::Stratix10Mx,
+            count: mx,
+        },
+    ];
+    let mut cache = DeploymentCache::new();
+    let demands = DEMAND_SHARE
+        .iter()
+        .map(|&(model, share)| {
+            let capacity: f64 = classes
+                .iter()
+                .filter_map(|c| Some(c.count as f64 * probe_rate(&mut cache, model, c.platform)?))
+                .sum();
+            ModelDemand {
+                model,
+                rate_rps: share * capacity,
+            }
+        })
+        .collect();
+    FleetSpec {
+        classes,
+        demands,
+        headroom: HEADROOM,
+        domains,
+    }
+}
+
+/// Deep-queue, no-deadline shard serving: the acceptance bar is that
+/// every in-budget admit completes *somewhere*, however late the outage
+/// makes it — nothing may be silently dropped inside a shard.
+fn deep_queue() -> ServeConfig {
+    ServeConfig {
+        admission: AdmissionPolicy {
+            queue_capacity: 1 << 14,
+            default_deadline_s: None,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Rate the plan actually placed for one model, requests/second.
+fn placed_rps(plan: &PlacementPlan, model: Model) -> f64 {
+    plan.assignments
+        .iter()
+        .filter(|a| a.model == model)
+        .map(|a| a.replicas as f64 * a.device_rate_rps)
+        .sum()
+}
+
+/// The same three-tenant mix as the `fleet` experiment: two well-behaved
+/// tenants plus one surging 10× its budget — the QoS door must keep
+/// shedding the surge while the outage plays out, and hedged duplicates
+/// must never double-count against anyone's budget.
+fn tenants_for(plan: &PlacementPlan) -> Vec<TenantLoad> {
+    let capacity = plan.total_rate_rps;
+    let anchor_offered: Vec<(Model, f64)> = Model::ALL
+        .iter()
+        .map(|&m| (m, 0.30 * placed_rps(plan, m)))
+        .collect();
+    let batch_offered: Vec<(Model, f64)> = [Model::LeNet5, Model::MobileNetV1]
+        .iter()
+        .map(|&m| (m, 0.20 * placed_rps(plan, m)))
+        .collect();
+    let budget = |offered: &[(Model, f64)]| 1.5 * offered.iter().map(|&(_, r)| r).sum::<f64>();
+    let burst_budget = 0.04 * capacity;
+    vec![
+        TenantLoad {
+            policy: TenantPolicy {
+                name: "anchor".into(),
+                weight: 2.0,
+                budget_rps: budget(&anchor_offered),
+                burst: 60.0,
+            },
+            offered: anchor_offered,
+        },
+        TenantLoad {
+            policy: TenantPolicy {
+                name: "batch".into(),
+                weight: 1.0,
+                budget_rps: budget(&batch_offered),
+                burst: 60.0,
+            },
+            offered: batch_offered,
+        },
+        TenantLoad {
+            policy: TenantPolicy {
+                name: "burst".into(),
+                weight: 1.0,
+                budget_rps: burst_budget,
+                burst: 60.0,
+            },
+            offered: vec![(Model::LeNet5, 10.0 * burst_budget)],
+        },
+    ]
+}
+
+/// The fixed scenario one `fleetchaos_at` call runs twice.
+struct Scenario {
+    devices: usize,
+    spec: FleetSpec,
+    tenants: Vec<TenantLoad>,
+    duration_s: f64,
+    shards: usize,
+}
+
+/// Builds the fleet (warm-reloading the placement), picks the victim
+/// shard, arms the generated chaos plan, and runs the tenant load.
+/// Returns the result, the victim shard, and the outage instant.
+fn run_fleetchaos(sc: &Scenario, db: &mut TuningDb) -> (FleetRunResult, usize, f64) {
+    let cfg = FleetConfig {
+        shards: sc.shards,
+        seed: FLEET_SEED,
+        serve: deep_queue(),
+        // Aggressive re-probing: the run is sub-second, so a breached
+        // shard is probed back every 20 ms instead of the default 250.
+        health: HealthPolicy {
+            cooldown_s: 0.02,
+            ..HealthPolicy::default()
+        },
+        // Long enough for the victim boards' quarantine (batch timeout +
+        // exhausted reprogram budget) to declare them Lost before the
+        // adoption waves start.
+        heal_delay_s: 0.1,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::build(&sc.spec, cfg, db).unwrap();
+    assert!(
+        fleet.plan().from_cache && fleet.plan().evaluations == 0,
+        "every fleet start-up must warm-reload the cached placement"
+    );
+
+    // The victim: a MobileNet-serving shard every one of whose models is
+    // also served elsewhere, so hedges and replays always have a live
+    // ring target.
+    let serving_by_model: Vec<(Model, Vec<usize>)> = Model::ALL
+        .iter()
+        .map(|&m| (m, fleet.shards_serving(m)))
+        .collect();
+    let victim = *serving_by_model
+        .iter()
+        .find(|(m, _)| *m == Model::MobileNetV1)
+        .map(|(_, s)| s)
+        .expect("MobileNet is served")
+        .iter()
+        .find(|&&s| {
+            serving_by_model
+                .iter()
+                .all(|(_, shards)| !shards.contains(&s) || shards.len() >= 2)
+        })
+        .expect("some MobileNet shard has failover targets for all its models");
+    let domain = fleet.domain_of(victim);
+
+    // The generated chaos plan: one correlated burst against the victim
+    // rack, two persistent slowdowns spread over other shards' serving
+    // boards.
+    let slow_targets: Vec<String> = (0..fleet.shards())
+        .filter(|&s| s != victim)
+        .filter_map(|s| fleet.device_serving(s, Model::MobileNetV1))
+        .collect();
+    let plan = FaultPlan::generate(
+        FAULT_SEED,
+        &FaultSpec {
+            targets: slow_targets,
+            duration_s: sc.duration_s,
+            hangs: 0,
+            stalls: 0,
+            corruptions: 0,
+            reprogram_fails: 0,
+            synth_flakes: 0,
+            domains: vec![(domain, fleet.domain_members(&fleet.domain_of(victim)))],
+            domain_bursts: 1,
+            slowdowns: 2,
+        },
+    );
+    let outage_s = plan
+        .events
+        .iter()
+        .find(|e| e.kind == FaultKind::DomainOutage)
+        .map(|e| e.at_s)
+        .expect("the burst schedules a domain outage");
+    fleet.arm(plan);
+    (fleet.run(&sc.tenants, sc.duration_s), victim, outage_s)
+}
+
+/// The machine-readable summary written to `FPGACCEL_FLEETCHAOS_REPORT`
+/// for the CI smoke job.
+fn json_report(
+    sc: &Scenario,
+    r: &FleetRunResult,
+    victim: usize,
+    outage_s: f64,
+    deterministic: bool,
+) -> String {
+    let tenants: Vec<String> = r
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\":{},\"offered\":{},\"admitted_in_budget\":{},\
+                 \"admitted_over_budget\":{},\"shed_fleet\":{},\"shed_shard\":{},\
+                 \"completed\":{},\"in_budget_completion_rate\":{:.6}}}",
+                json_str(&t.name),
+                t.offered,
+                t.admitted_in_budget,
+                t.admitted_over_budget,
+                t.shed_fleet,
+                t.shed_shard,
+                t.completed,
+                t.in_budget_completion_rate(),
+            )
+        })
+        .collect();
+    let heals: Vec<String> = r
+        .heals
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"t_s\":{:.6},\"shard\":{},\"domain\":{},\"lost\":{},\
+                 \"adopted\":{},\"plan_evaluations\":{},\"restore_latency_s\":{:.6},\
+                 \"failed\":{}}}",
+                h.t_s,
+                h.shard,
+                json_str(&h.domain),
+                h.lost.len(),
+                h.adopted.len(),
+                h.plan_evaluations,
+                if h.restore_s.is_finite() {
+                    h.restore_s - h.t_s
+                } else {
+                    -1.0
+                },
+                h.error.is_some(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"seed\": {FLEET_SEED},\n  \"fault_seed\": {FAULT_SEED},\n  \
+         \"devices\": {},\n  \"shards\": {},\n  \"domains\": {},\n  \
+         \"duration_s\": {:.6},\n  \
+         \"outage\": {{\"domain\": \"dom-{}\", \"shard\": {victim}, \"at_s\": {:.6}}},\n  \
+         \"resilience\": {{\"hedges\": {}, \"hedge_wins\": {}, \"hedge_suppressed\": {}, \
+         \"replays\": {}, \"forced_routes\": {}, \
+         \"breaker\": {{\"open\": {}, \"half_open\": {}, \"closed\": {}}}, \
+         \"heals\": [{}], \"postmortems\": {}}},\n  \
+         \"tenants\": [{}],\n  \"deterministic\": {deterministic}\n}}\n",
+        sc.devices,
+        sc.shards,
+        sc.shards,
+        sc.duration_s,
+        victim % sc.shards,
+        outage_s,
+        r.hedges,
+        r.hedge_wins,
+        r.hedge_suppressed,
+        r.replays,
+        r.forced_routes,
+        r.breaker_transitions_to("open"),
+        r.breaker_transitions_to("half-open"),
+        r.breaker_transitions_to("closed"),
+        heals.join(", "),
+        r.postmortems(),
+        tenants.join(", "),
+    )
+}
+
+/// Runs the full scenario at `devices` boards and renders the report.
+fn fleetchaos_at(devices: usize) -> String {
+    let shards = (devices / 16).clamp(2, 20);
+    let spec = build_spec(devices, shards);
+
+    let mut db = TuningDb::new();
+    let cold = plan_placement(&spec, &mut db, &mut DeploymentCache::new()).unwrap();
+    assert!(
+        !cold.from_cache && cold.evaluations > 0,
+        "first plan is cold"
+    );
+
+    let tenants = tenants_for(&cold);
+    let offered_rps: f64 = tenants
+        .iter()
+        .flat_map(|t| t.offered.iter().map(|&(_, r)| r))
+        .sum();
+    let duration_s = ARRIVALS_PER_DEVICE * devices as f64 / offered_rps;
+    let sc = Scenario {
+        devices,
+        spec,
+        tenants,
+        duration_s,
+        shards,
+    };
+
+    let (r, victim, outage_s) = run_fleetchaos(&sc, &mut db);
+    let (second, _, _) = run_fleetchaos(&sc, &mut db);
+    let deterministic = r.digest() == second.digest();
+
+    // The acceptance bars, asserted hard: a fleet that loses in-budget
+    // traffic to the outage must fail the experiment, not render a
+    // plausible table.
+    assert!(deterministic, "cold and warm runs must match byte for byte");
+    for t in &r.tenants {
+        assert_eq!(
+            t.in_budget_completion_rate(),
+            1.0,
+            "{}: every intra-budget admit completes through the outage",
+            t.name
+        );
+    }
+    assert!(
+        r.tenants
+            .iter()
+            .any(|t| t.name == "burst" && t.shed_fleet > 0),
+        "the 10x surge still sheds at the QoS door during the outage"
+    );
+    assert!(r.hedges > 0, "straggler predictions must fire hedges");
+    assert!(
+        r.replays > 0,
+        "the failover replay must re-issue in-flight work"
+    );
+    let heal = r.heals.first().expect("the outage triggers a heal");
+    assert_eq!(heal.shard, victim, "the heal targets the victim shard");
+    assert!(heal.error.is_none(), "surviving inventory fits the demand");
+    assert!(
+        !heal.adopted.is_empty(),
+        "the heal adopts standby spares into serving"
+    );
+    assert!(
+        r.breaker_transitions_to("open") >= 1
+            && r.breaker_transitions_to("half-open") >= 1
+            && r.breaker_transitions_to("closed") >= 1,
+        "the breaker must walk open -> half-open -> closed"
+    );
+    assert!(
+        r.postmortems() >= 1,
+        "shard loss freezes flight-recorder postmortems"
+    );
+
+    let mut resilience = Table::new(
+        format!(
+            "Resilience — dom-{} dark at {:.3} s ({} boards lost, {} spares adopted)",
+            victim % sc.shards,
+            outage_s,
+            heal.lost.len(),
+            heal.adopted.len()
+        ),
+        &["mechanism", "count", "notes"],
+    );
+    resilience.row(&[
+        "hedged requests".into(),
+        r.hedges.to_string(),
+        format!(
+            "{} won, {} duplicates suppressed",
+            r.hedge_wins, r.hedge_suppressed
+        ),
+    ]);
+    resilience.row(&[
+        "failover replays".into(),
+        r.replays.to_string(),
+        "in-flight work re-issued at breaker open".into(),
+    ]);
+    resilience.row(&[
+        "breaker transitions".into(),
+        format!(
+            "{}/{}/{}",
+            r.breaker_transitions_to("open"),
+            r.breaker_transitions_to("half-open"),
+            r.breaker_transitions_to("closed")
+        ),
+        "open / half-open / closed".into(),
+    ]);
+    resilience.row(&[
+        "heals".into(),
+        r.heals.len().to_string(),
+        format!(
+            "restore latency {:.3} s, {} placement probes",
+            heal.restore_s - heal.t_s,
+            heal.plan_evaluations
+        ),
+    ]);
+    resilience.row(&[
+        "postmortems".into(),
+        r.postmortems().to_string(),
+        "frozen on shard-loss batch timeouts".into(),
+    ]);
+
+    let mut qos = Table::new(
+        "Multi-tenant QoS through the outage — hedges never touch budgets",
+        &[
+            "tenant",
+            "offered",
+            "in-budget",
+            "over-budget",
+            "shed@fleet",
+            "shed@shard",
+            "completed",
+            "in-budget completion",
+        ],
+    );
+    for t in &r.tenants {
+        qos.row(&[
+            t.name.clone(),
+            t.offered.to_string(),
+            t.admitted_in_budget.to_string(),
+            t.admitted_over_budget.to_string(),
+            t.shed_fleet.to_string(),
+            t.shed_shard.to_string(),
+            t.completed.to_string(),
+            format!("{:.1}%", 100.0 * t.in_budget_completion_rate()),
+        ]);
+    }
+
+    if let Ok(path) = std::env::var("FPGACCEL_FLEETCHAOS_REPORT") {
+        std::fs::write(&path, json_report(&sc, &r, victim, outage_s, deterministic))
+            .expect("fleetchaos report artifact writes");
+    }
+
+    format!(
+        "Fleetchaos — correlated domain outage, breakers, hedging, and self-healing \
+         re-placement (seed {FLEET_SEED:#x}, fault seed {FAULT_SEED:#x}, {} boards, \
+         {} shards = {} domains)\n{}\n{}\n\
+         Outage: dom-{} (shard {victim}) dark at {:.3} s of {:.3} s; {} serving board(s) \
+         lost, {} spare(s) adopted by the heal, breaker parked open until restore \
+         (+{:.3} s) and probed back closed.\n\
+         Completion: 100% of in-budget traffic for every tenant; {} hedge(s), {} \
+         replay(s), {} suppressed duplicate(s) — none double-counted in any budget.\n\
+         Determinism: the cold and the warm-reloaded runs are {}.",
+        sc.devices,
+        sc.shards,
+        sc.shards,
+        resilience.render(),
+        qos.render(),
+        victim % sc.shards,
+        outage_s,
+        sc.duration_s,
+        heal.lost.len(),
+        heal.adopted.len(),
+        heal.restore_s - heal.t_s,
+        r.hedges,
+        r.replays,
+        r.hedge_suppressed,
+        if deterministic {
+            "identical"
+        } else {
+            "DIVERGENT"
+        },
+    )
+}
+
+/// The `fleetchaos` experiment report.
+pub fn fleetchaos() -> String {
+    fleetchaos_at(fleet_devices())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleetchaos_absorbs_the_outage_at_smoke_scale() {
+        // The experiment self-asserts the acceptance bars — 100%
+        // in-budget completion, the breaker cycle, the heal, and the
+        // cold/warm byte-identity — so rendering without a panic IS the
+        // test.
+        let report = fleetchaos_at(48);
+        assert!(report.contains("100% of in-budget traffic"));
+        assert!(report.contains("identical"));
+    }
+}

@@ -14,6 +14,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod fleet;
+pub mod fleetchaos;
 pub mod log;
 pub mod paper;
 pub mod pipeline;

@@ -85,6 +85,7 @@ fn rollout_specs() -> Vec<RolloutSpec> {
             model: Model::MobileNetV1,
             to: tuned_config(),
             verify_input: None,
+            adopt: Vec::new(),
             policy: RolloutPolicy::default(),
         },
         RolloutSpec {
@@ -92,6 +93,7 @@ fn rollout_specs() -> Vec<RolloutSpec> {
             model: Model::MobileNetV1,
             to: tuned_config(),
             verify_input: None,
+            adopt: Vec::new(),
             policy: RolloutPolicy::default(),
         },
         RolloutSpec {
@@ -99,6 +101,7 @@ fn rollout_specs() -> Vec<RolloutSpec> {
             model: Model::LeNet5,
             to: lenet_v2,
             verify_input: Some(data::synthetic_digit(3, 7)),
+            adopt: Vec::new(),
             policy: RolloutPolicy::default(),
         },
     ]

@@ -166,6 +166,7 @@ pub fn traced_run(tracer: &Tracer) -> RunResult {
         model: Model::MobileNetV1,
         to: tuned,
         verify_input: None,
+        adopt: Vec::new(),
         policy: fpgaccel_serve::RolloutPolicy::default(),
     })
     .run_open_loop(trace)

@@ -32,7 +32,7 @@ fn committed_baseline_schema_is_pinned() {
         j.get("schema_version").and_then(|v| v.as_f64()),
         Some(SCHEMA_VERSION as f64)
     );
-    assert_eq!(j.get("workload").and_then(|v| v.as_str()), Some("core-v3"));
+    assert_eq!(j.get("workload").and_then(|v| v.as_str()), Some("core-v4"));
     let metrics = j
         .get("metrics")
         .and_then(|v| v.as_array())

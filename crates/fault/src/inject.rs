@@ -128,6 +128,28 @@ impl FaultInjector {
         .unwrap_or(1.0)
     }
 
+    /// Multiplier on batch *execution* time for `target` at local time
+    /// `t_s` — the product of every [`FaultKind::DeviceSlow`] that has set
+    /// in by then. Slowdowns are persistent: once a device starts
+    /// straggling it stays degraded until the fleet heals around it.
+    /// 1.0 when the device is at full speed.
+    pub fn compute_scale(&self, target: &str, t_s: f64) -> f64 {
+        let t = t_s + self.offset_s;
+        self.with_inner(|i| {
+            let mut scale = 1.0;
+            for e in &i.plan.events {
+                if let FaultKind::DeviceSlow { factor } = e.kind {
+                    if e.matches(target) && e.at_s <= t {
+                        scale *= factor;
+                        i.injected += 1;
+                    }
+                }
+            }
+            scale
+        })
+        .unwrap_or(1.0)
+    }
+
     /// Earliest unrepaired [`FaultKind::DeviceHang`] against `target` at or
     /// before local time `end_s` (in *local* time), if any. Hangs at or
     /// before the handle's hang floor are masked.
@@ -189,6 +211,12 @@ impl FaultInjector {
     /// Whether any fault could still affect `target` in the local window
     /// `[start_s, end_s]` — a cheap pre-check letting callers keep the
     /// fault-free fast path (memoized timings) when nothing is scheduled.
+    ///
+    /// [`FaultKind::DeviceSlow`] is deliberately excluded: a slowdown
+    /// scales the memoized timing without re-simulation, so callers query
+    /// [`FaultInjector::compute_scale`] separately and keep the fast path.
+    /// [`FaultKind::DomainOutage`] is inert at device level (the fleet
+    /// driver expands it) and is likewise excluded.
     pub fn affects(&self, target: &str, start_s: f64, end_s: f64) -> bool {
         let (lo, hi) = (start_s + self.offset_s, end_s + self.offset_s);
         let floor = self.hang_floor_s;
@@ -327,6 +355,36 @@ mod tests {
             "stall still active after repair"
         );
         assert!(!repaired.affects("dev-a", 0.26, 0.30));
+    }
+
+    #[test]
+    fn slowdowns_are_persistent_and_outside_affects() {
+        let inj = FaultInjector::new(FaultPlan::new(
+            0,
+            vec![
+                FaultEvent {
+                    at_s: 0.5,
+                    target: "dev-a".into(),
+                    kind: FaultKind::DeviceSlow { factor: 2.5 },
+                },
+                FaultEvent {
+                    at_s: 0.2,
+                    target: "rack-0".into(),
+                    kind: FaultKind::DomainOutage,
+                },
+            ],
+        ));
+        assert_eq!(inj.compute_scale("dev-a", 0.4), 1.0, "not yet degraded");
+        assert_eq!(inj.compute_scale("dev-a", 0.5), 2.5);
+        assert_eq!(inj.compute_scale("dev-a", 99.0), 2.5, "persistent");
+        assert_eq!(inj.compute_scale("dev-b", 99.0), 1.0, "other target");
+        // Neither kind engages the slow re-simulation path.
+        assert!(!inj.affects("dev-a", 0.0, 100.0));
+        assert!(!inj.affects("rack-0", 0.0, 100.0));
+        // Views re-base local time onto plan time as for every other kind.
+        let v = inj.view(0.45, f64::NEG_INFINITY);
+        assert_eq!(v.compute_scale("dev-a", 0.0), 1.0);
+        assert_eq!(v.compute_scale("dev-a", 0.1), 2.5);
     }
 
     #[test]

@@ -21,6 +21,20 @@ pub enum FaultKind {
     ReprogramFail,
     /// One synthesis/compile of a deployment flakes and must be retried.
     SynthFlake,
+    /// A whole failure domain (rack / power domain) goes dark at `at_s`
+    /// and never comes back. The target names the *domain*, not a device;
+    /// the fleet driver expands it onto the domain's member devices
+    /// (hangs plus exhausted reprogram budgets, so every member ends
+    /// `Lost`). Device-level injectors treat it as inert.
+    DomainOutage,
+    /// The device keeps serving but every batch takes `factor`× as long
+    /// from `at_s` on — a persistent straggler (thermal throttling, a
+    /// degraded link), degraded rather than hung: the watchdog never
+    /// fires as long as `factor` stays under the timeout multiple.
+    DeviceSlow {
+        /// Multiplier on batch execution time, persistent from `at_s`.
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -32,6 +46,8 @@ impl FaultKind {
             FaultKind::TransferCorrupt => "corrupt",
             FaultKind::ReprogramFail => "reprogram-fail",
             FaultKind::SynthFlake => "synth-flake",
+            FaultKind::DomainOutage => "domain-outage",
+            FaultKind::DeviceSlow { .. } => "slow",
         }
     }
 }
@@ -72,6 +88,18 @@ pub struct FaultSpec {
     pub reprogram_fails: usize,
     /// Synthesis flakes to schedule.
     pub synth_flakes: usize,
+    /// Failure-domain topology: `(domain name, member device targets)`.
+    /// Correlated bursts pick a seeded domain and scope every event of the
+    /// burst inside it.
+    pub domains: Vec<(String, Vec<String>)>,
+    /// Correlated domain bursts to schedule. Each burst picks one domain,
+    /// brownouts its members with clustered transfer stalls just before
+    /// the instant the whole domain goes dark ([`FaultKind::DomainOutage`]
+    /// targeting the domain name).
+    pub domain_bursts: usize,
+    /// Persistent device slowdowns ([`FaultKind::DeviceSlow`]) to
+    /// schedule across `targets` — degraded, not hung.
+    pub slowdowns: usize,
 }
 
 impl FaultSpec {
@@ -87,6 +115,9 @@ impl FaultSpec {
             corruptions: b / 4,
             reprogram_fails: b / 6,
             synth_flakes: b / 8,
+            domains: Vec::new(),
+            domain_bursts: 0,
+            slowdowns: 0,
         }
     }
 }
@@ -157,6 +188,37 @@ impl FaultPlan {
         emit(&mut st, spec.corruptions, &|_| FaultKind::TransferCorrupt);
         emit(&mut st, spec.reprogram_fails, &|_| FaultKind::ReprogramFail);
         emit(&mut st, spec.synth_flakes, &|_| FaultKind::SynthFlake);
+        emit(&mut st, spec.slowdowns, &|st| FaultKind::DeviceSlow {
+            factor: 1.5 + 1.5 * uniform(st),
+        });
+        // Correlated domain bursts: every event of a burst is scoped to
+        // one seeded domain — a brownout of clustered transfer stalls on
+        // the members, then the whole domain goes dark.
+        if !spec.domains.is_empty() {
+            for _ in 0..spec.domain_bursts {
+                let d = (splitmix(&mut st) % spec.domains.len() as u64) as usize;
+                let (name, members) = &spec.domains[d];
+                // Land the outage in the middle 60% of the window so the
+                // run both feels the burst and has room to heal after it.
+                let outage_s = spec.duration_s * (0.2 + 0.6 * uniform(&mut st));
+                events.push(FaultEvent {
+                    at_s: outage_s,
+                    target: name.clone(),
+                    kind: FaultKind::DomainOutage,
+                });
+                for m in members {
+                    let lead_s = spec.duration_s * 0.05 * uniform(&mut st);
+                    events.push(FaultEvent {
+                        at_s: (outage_s - lead_s).max(0.0),
+                        target: m.clone(),
+                        kind: FaultKind::TransferStall {
+                            factor: 2.0 + 2.0 * uniform(&mut st),
+                            for_s: lead_s + spec.duration_s * 0.02,
+                        },
+                    });
+                }
+            }
+        }
         FaultPlan::new(seed, events)
     }
 
@@ -179,6 +241,7 @@ impl FaultPlan {
                 FaultKind::TransferStall { factor, for_s } => {
                     format!("x{factor:.2} for {:.1} ms", for_s * 1e3)
                 }
+                FaultKind::DeviceSlow { factor } => format!("x{factor:.2} persistent"),
                 _ => String::new(),
             };
             out.push_str(&format!(
@@ -206,6 +269,9 @@ mod tests {
             corruptions: 2,
             reprogram_fails: 2,
             synth_flakes: 1,
+            domains: Vec::new(),
+            domain_bursts: 0,
+            slowdowns: 0,
         }
     }
 
@@ -247,6 +313,78 @@ mod tests {
         };
         assert!(d.matches("dev-a"));
         assert!(!d.matches("dev-b"));
+    }
+
+    #[test]
+    fn domain_bursts_are_scoped_and_deterministic() {
+        let mut s = spec();
+        s.domains = vec![
+            ("rack-0".into(), vec!["dev-a".into(), "dev-b".into()]),
+            ("rack-1".into(), vec!["dev-c".into(), "dev-d".into()]),
+        ];
+        s.domain_bursts = 2;
+        s.slowdowns = 1;
+        let a = FaultPlan::generate(99, &s);
+        let b = FaultPlan::generate(99, &s);
+        assert_eq!(a, b, "same seed, same correlated schedule");
+        let outages: Vec<&FaultEvent> = a
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::DomainOutage)
+            .collect();
+        assert_eq!(outages.len(), 2);
+        for o in &outages {
+            let members = s
+                .domains
+                .iter()
+                .find(|(n, _)| *n == o.target)
+                .map(|(_, m)| m.clone())
+                .expect("outage targets a declared domain");
+            // The correlated stalls of the burst cover the outage instant
+            // on the domain's own members.
+            for m in &members {
+                assert!(
+                    a.events.iter().any(|e| e.target == *m
+                        && matches!(e.kind, FaultKind::TransferStall { for_s, .. }
+                            if e.at_s <= o.at_s && o.at_s <= e.at_s + for_s + 1e-9)),
+                    "member {m} of {} lacks a burst stall spanning the outage",
+                    o.target
+                );
+            }
+            assert!(
+                (0.2 * s.duration_s..=0.8 * s.duration_s).contains(&o.at_s),
+                "outage lands mid-window"
+            );
+        }
+        assert_eq!(
+            a.events
+                .iter()
+                .filter(|e| matches!(e.kind, FaultKind::DeviceSlow { .. }))
+                .count(),
+            1
+        );
+        if let Some(e) = a
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::DeviceSlow { .. }))
+        {
+            let FaultKind::DeviceSlow { factor } = e.kind else {
+                unreachable!()
+            };
+            assert!((1.5..=3.0).contains(&factor), "degraded, not hung");
+        }
+    }
+
+    #[test]
+    fn new_knobs_off_leave_generated_plans_unchanged() {
+        let with_fields = FaultPlan::generate(42, &spec());
+        // `spec()` leaves the resilience knobs at zero, so the schedule is
+        // exactly the historical five-kind one.
+        assert_eq!(with_fields.len(), 10);
+        assert!(with_fields.events.iter().all(|e| !matches!(
+            e.kind,
+            FaultKind::DomainOutage | FaultKind::DeviceSlow { .. }
+        )));
     }
 
     #[test]

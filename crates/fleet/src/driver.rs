@@ -7,7 +7,10 @@
 //! and one calibration per distinct deployment — the pools share the
 //! `Arc<Deployment>`s and the memoized batch simulations that hang off
 //! them. Devices of each class are dealt round-robin across shards, so
-//! every shard serves (a slice of) every model.
+//! every shard serves (a slice of) every model. Shards are racked
+//! together: shard `s` lives in failure domain `dom-{s % domains}` of the
+//! spec's topology, and a correlated [`FaultKind::DomainOutage`] takes
+//! every serving board of the domain dark at once.
 //!
 //! [`Fleet::run`] is one deterministic pass:
 //!
@@ -16,32 +19,49 @@
 //! 2. Each arrival clears multi-tenant QoS ([`QosController`]) and is
 //!    routed by its model's consistent-hash [`Router`] with bounded-load
 //!    overflow, against an expected-work accounting of each shard's
-//!    backlog.
+//!    backlog. The accounting is fault-aware: armed domain outages and
+//!    persistent slowdowns degrade a shard's modeled service rate, and
+//!    three resilience mechanisms key off that degradation —
+//!    per-shard **circuit breakers** ([`ShardHealth`]) that eject a
+//!    breached shard from the ring and probe it back half-open,
+//!    **request hedging** that duplicates a predicted straggler to the
+//!    next ring shard (first completion wins, duplicates suppressed in
+//!    the accounting), and **self-healing re-placement** that re-runs the
+//!    placement optimizer over surviving inventory and adopts the victim
+//!    shard's spare boards via the rollout wave machinery, logged as
+//!    structured [`HealEvent`]s. A fleet with no armed domain outages or
+//!    slowdowns routes exactly as it always did — the breaker and hedger
+//!    never fire on pure overload, which QoS owns.
 //! 3. Each shard's [`Server`] runs its routed sub-trace — with any
-//!    fleet-wide rollouts replayed shard by shard (staggered waves,
-//!    canary/rollback semantics unchanged) and a flight recorder armed
-//!    for postmortems.
-//! 4. Completions and sheds are attributed back to tenants, and
-//!    class-aggregated `fleet_*` metrics are published (per-*device*
-//!    series stay at pool scope — at 500 devices per-device label
-//!    cardinality belongs to the shard registries, not the fleet one).
+//!    fleet-wide rollouts (including heal adoptions) replayed shard by
+//!    shard and a flight recorder armed for postmortems.
+//! 4. Completions and sheds are attributed back to tenants
+//!    (first-completion-wins across hedged copies), and class-aggregated
+//!    `fleet_*` metrics are published (per-*device* series stay at pool
+//!    scope — at 500 devices per-device label cardinality belongs to the
+//!    shard registries, not the fleet one).
 
 use crate::hash::{hash2, hash_str};
-use crate::placement::{plan_placement, FleetSpec, PlacementError, PlacementPlan};
+use crate::placement::{plan_placement, FleetSpec, PlacementError, PlacementPlan, PROBE_BATCH};
 use crate::qos::{QosController, TenantPolicy, Verdict};
-use crate::router::Router;
+use crate::router::{BreakerState, BreakerTransition, HealthPolicy, Router, ShardHealth};
 use fpgaccel_core::bitstreams::optimized_config;
 use fpgaccel_core::OptimizationConfig;
-use fpgaccel_fault::{FaultInjector, FaultPlan};
+use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 use fpgaccel_serve::{
-    DeploymentCache, DevicePool, LatencyHistogram, Request, RolloutOutcome, RolloutPolicy,
-    RolloutSpec, RunResult, ServeConfig, Server,
+    DeploymentCache, DeviceHealth, DevicePool, LatencyHistogram, Request, RolloutOutcome,
+    RolloutPolicy, RolloutSpec, RunResult, ServeConfig, Server,
 };
 use fpgaccel_tensor::models::Model;
 use fpgaccel_tensor::rng::Rng64;
 use fpgaccel_trace::{FlightRecorder, Registry, Tracer, PID_FLEET};
 use fpgaccel_tune::TuningDb;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Hedged duplicates carry the original request id with this bit set, so
+/// completion accounting can fold both copies back onto one request.
+pub const HEDGE_BIT: u64 = 1 << 63;
 
 /// Fleet-level knobs.
 #[derive(Clone, Debug)]
@@ -56,6 +76,13 @@ pub struct FleetConfig {
     pub load_bound: f64,
     /// Serving configuration applied to every shard server.
     pub serve: ServeConfig,
+    /// Circuit-breaker and hedging policy applied per shard.
+    pub health: HealthPolicy,
+    /// Delay between a breaker opening on an unrecoverable shard and the
+    /// heal rollout starting — long enough for the dead boards to finish
+    /// their quarantine attempts and be declared lost, so the adoption
+    /// waves only touch the spares.
+    pub heal_delay_s: f64,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +93,8 @@ impl Default for FleetConfig {
             vnodes: 64,
             load_bound: 1.25,
             serve: ServeConfig::default(),
+            health: HealthPolicy::default(),
+            heal_delay_s: 0.15,
         }
     }
 }
@@ -98,6 +127,32 @@ pub struct FleetRollout {
     pub policy: RolloutPolicy,
 }
 
+/// One structured self-healing re-placement, triggered when a domain
+/// outage made a shard's capacity unrecoverable in place.
+#[derive(Clone, Debug)]
+pub struct HealEvent {
+    /// When the breaker opened and the heal was triggered, simulated
+    /// seconds.
+    pub t_s: f64,
+    /// The shard whose capacity was lost.
+    pub shard: usize,
+    /// The failure domain that went dark.
+    pub domain: String,
+    /// Serving devices written off by the outage.
+    pub lost: Vec<String>,
+    /// Spare devices adopted into serving by the heal rollout.
+    pub adopted: Vec<String>,
+    /// Feasibility probes the surviving-inventory re-placement spent.
+    pub plan_evaluations: usize,
+    /// Estimated simulated second the adopted capacity is live — the
+    /// breaker stays parked open until then. Infinite when nothing could
+    /// be adopted.
+    pub restore_s: f64,
+    /// The re-placement's structured failure, when the surviving
+    /// inventory cannot fit the demand. The breaker then stays open.
+    pub error: Option<PlacementError>,
+}
+
 /// The shards serving one model: shard ids, per-shard aggregate service
 /// rate, and the model's router over those shards.
 struct ModelShards {
@@ -110,6 +165,7 @@ struct ModelShards {
 /// A built fleet, ready to serve one trace.
 pub struct Fleet {
     cfg: FleetConfig,
+    spec: FleetSpec,
     plan: PlacementPlan,
     /// `(class label, device count)` from the spec, for the class-scoped
     /// metrics.
@@ -118,6 +174,19 @@ pub struct Fleet {
     serving: Vec<ModelShards>,
     rollouts: Vec<FleetRollout>,
     sabotaged: Vec<bool>,
+    /// Armed per-shard fault plans. Stored as plans — not injectors — so
+    /// every [`Fleet::run`] builds fresh injectors: injector state is
+    /// consumed one-shot during a run, and re-arming a rebuilt fleet (or
+    /// arming a shard twice) must not leak consumed events across runs.
+    fault_plans: Vec<Vec<FaultPlan>>,
+    /// Armed fleet-level fault plans; domain-scoped events are expanded
+    /// onto member shards at run time.
+    fleet_plans: Vec<FaultPlan>,
+    /// Warm copies for self-healing re-placement: the tuning database as
+    /// of build (placements + tilings) and the shared template cache, so
+    /// a heal's feasibility probes hit memoized compiles.
+    heal_db: TuningDb,
+    heal_cache: DeploymentCache,
     tracer: Tracer,
 }
 
@@ -175,6 +244,22 @@ pub struct FleetRunResult {
     pub routed: u64,
     /// Routed requests that overflowed past their home shard.
     pub overflowed: u64,
+    /// Hedged duplicates fired at predicted stragglers.
+    pub hedges: u64,
+    /// Hedged duplicates that completed before their primary.
+    pub hedge_wins: u64,
+    /// Duplicate completions discarded by first-completion-wins.
+    pub hedge_suppressed: u64,
+    /// Primaries re-issued to another ring shard by the failover replay
+    /// when an outage-attributed breaker opened (the dead shard's
+    /// unacknowledged in-flight work).
+    pub replays: u64,
+    /// Requests routed while every serving shard's breaker was open.
+    pub forced_routes: u64,
+    /// Per-shard circuit-breaker transition logs, in shard order.
+    pub breakers: Vec<Vec<BreakerTransition>>,
+    /// Self-healing re-placements, in trigger order.
+    pub heals: Vec<HealEvent>,
     /// Fleet-wide end-to-end latency (arrival → completion).
     pub latency: LatencyHistogram,
     /// Class-aggregated fleet metrics (`fleet_*` families).
@@ -206,6 +291,16 @@ impl FleetRunResult {
     /// rollbacks arm them).
     pub fn postmortems(&self) -> usize {
         self.shards.iter().map(|r| r.postmortems.len()).sum()
+    }
+
+    /// Breaker transitions fleet-wide that entered `to`
+    /// (`"open"`/`"half-open"`/`"closed"`).
+    pub fn breaker_transitions_to(&self, to: &str) -> usize {
+        self.breakers
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|t| t.to == to)
+            .count()
     }
 
     /// A stable single-line digest of the run, for determinism checks:
@@ -252,14 +347,49 @@ impl FleetRunResult {
             .iter()
             .map(|a| format!("{}@{}x{}", a.model.name(), a.platform.label(), a.replicas))
             .collect();
+        let breakers: Vec<String> = self
+            .breakers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(s, b)| {
+                let ts: Vec<String> = b
+                    .iter()
+                    .map(|t| format!("{}@{:.0}us", t.to, t.t_s * 1e6))
+                    .collect();
+                format!("s{s}:{}", ts.join(">"))
+            })
+            .collect();
+        let heals: Vec<String> = self
+            .heals
+            .iter()
+            .map(|h| {
+                format!(
+                    "s{}@{:.0}us:l{}a{}{}",
+                    h.shard,
+                    h.t_s * 1e6,
+                    h.lost.len(),
+                    h.adopted.len(),
+                    if h.error.is_some() { ":err" } else { "" }
+                )
+            })
+            .collect();
         format!(
-            "plan=[{}] tenants=[{}] shards=[{}] routed={} overflow={} p99us={}",
+            "plan=[{}] tenants=[{}] shards=[{}] routed={} overflow={} p99us={} \
+             hedges={}/{}/{} replays={} forced={} breakers=[{}] heals=[{}]",
             replicas.join(","),
             tenants.join(","),
             shards.join(","),
             self.routed,
             self.overflowed,
-            (self.latency.quantile(0.99) * 1e6).round() as u64
+            (self.latency.quantile(0.99) * 1e6).round() as u64,
+            self.hedges,
+            self.hedge_wins,
+            self.hedge_suppressed,
+            self.replays,
+            self.forced_routes,
+            breakers.join(","),
+            heals.join(",")
         )
     }
 }
@@ -342,11 +472,16 @@ impl Fleet {
 
         Ok(Fleet {
             sabotaged: vec![false; cfg.shards],
+            fault_plans: vec![Vec::new(); cfg.shards],
+            fleet_plans: Vec::new(),
             classes: spec
                 .classes
                 .iter()
                 .map(|c| (c.platform.label().to_string(), c.count))
                 .collect(),
+            spec: spec.clone(),
+            heal_db: db.clone(),
+            heal_cache: cache,
             cfg,
             plan,
             pools,
@@ -361,6 +496,11 @@ impl Fleet {
         &self.plan
     }
 
+    /// The spec the fleet was built from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
     /// Aggregate steady-state serving capacity, requests/second — the
     /// QoS controller's capacity.
     pub fn capacity_rps(&self) -> f64 {
@@ -370,6 +510,29 @@ impl Fleet {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.cfg.shards
+    }
+
+    /// Number of failure domains the shards are striped across (at least
+    /// one).
+    pub fn domains(&self) -> usize {
+        self.spec.domains.max(1)
+    }
+
+    /// The failure domain `shard` lives in: shards are racked together,
+    /// striped `dom-{shard % domains}`.
+    pub fn domain_of(&self, shard: usize) -> String {
+        format!("dom-{}", shard % self.domains())
+    }
+
+    /// Device names of every board in `domain`, across its member shards.
+    pub fn domain_members(&self, domain: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for (s, pool) in self.pools.iter().enumerate() {
+            if self.domain_of(s) == domain {
+                out.extend(pool.devices().iter().map(|d| d.name.clone()));
+            }
+        }
+        out
     }
 
     /// Total devices across all shard pools.
@@ -402,11 +565,24 @@ impl Fleet {
     }
 
     /// Arms `shard` with a committed fault plan (canary sabotage,
-    /// reprogram failures). Sabotaged shards automatically retry
-    /// scheduled rollouts at [`FleetRollout::retry_at_s`].
+    /// reprogram failures). Arming the same shard again *adds* the plan;
+    /// all armed plans merge into one fresh injector per run, so reruns
+    /// of a rebuilt fleet stay byte-identical. Sabotaged shards
+    /// automatically retry scheduled rollouts at
+    /// [`FleetRollout::retry_at_s`].
     pub fn sabotage_shard(&mut self, shard: usize, plan: FaultPlan) {
-        self.pools[shard].set_fault_injector(&FaultInjector::new(plan));
+        self.fault_plans[shard].push(plan);
         self.sabotaged[shard] = true;
+    }
+
+    /// Arms a fleet-level fault plan. Device-targeted events are routed
+    /// to the shard owning the device; [`FaultKind::DomainOutage`] events
+    /// (targeting a `dom-*` name) are expanded at run time onto every
+    /// serving board of the domain's member shards — a hang plus an
+    /// exhausted reprogram budget each, so the boards end `Lost` and the
+    /// shard's capacity is unrecoverable in place.
+    pub fn arm(&mut self, plan: FaultPlan) {
+        self.fleet_plans.push(plan);
     }
 
     /// Runs the fleet for `duration_s` of offered tenant load, consuming
@@ -417,6 +593,143 @@ impl Fleet {
     /// (checked, panics otherwise — that is a spec bug, not a runtime
     /// condition).
     pub fn run(self, tenants: &[TenantLoad], duration_s: f64) -> FleetRunResult {
+        let Fleet {
+            cfg,
+            spec,
+            plan,
+            classes,
+            mut pools,
+            mut serving,
+            rollouts,
+            sabotaged,
+            fault_plans,
+            fleet_plans,
+            mut heal_db,
+            mut heal_cache,
+            tracer,
+        } = self;
+        let shards_n = cfg.shards;
+        let domains_n = spec.domains.max(1);
+
+        // 0. Expand the armed fault plans into one fresh injector per
+        //    shard. Injector state is consumed one-shot during the run,
+        //    so the injectors must be rebuilt here — never reused from a
+        //    previous arm or run.
+        let mut shard_events: Vec<Vec<FaultEvent>> = vec![Vec::new(); shards_n];
+        for (s, plans) in fault_plans.iter().enumerate() {
+            for p in plans {
+                shard_events[s].extend(p.events.iter().cloned());
+            }
+        }
+        let mut device_shard: HashMap<String, usize> = HashMap::new();
+        for (s, pool) in pools.iter().enumerate() {
+            for d in pool.devices() {
+                device_shard.insert(d.name.clone(), s);
+            }
+        }
+        // First domain outage per shard, for heal attribution.
+        let mut outages: Vec<Option<(f64, String)>> = vec![None; shards_n];
+        for p in &fleet_plans {
+            for e in &p.events {
+                if e.kind == FaultKind::DomainOutage {
+                    for s in 0..shards_n {
+                        if format!("dom-{}", s % domains_n) != e.target {
+                            continue;
+                        }
+                        if outages[s].is_none() {
+                            outages[s] = Some((e.at_s, e.target.clone()));
+                        }
+                        // Every serving board of the domain goes dark:
+                        // a hang plus an exhausted reprogram budget.
+                        let dark: Vec<String> = pools[s]
+                            .devices()
+                            .iter()
+                            .filter(|d| Model::ALL.iter().any(|&m| d.deployment(m).is_some()))
+                            .map(|d| d.name.clone())
+                            .collect();
+                        for name in dark {
+                            shard_events[s].push(FaultEvent {
+                                at_s: e.at_s,
+                                target: name.clone(),
+                                kind: FaultKind::DeviceHang,
+                            });
+                            for _ in 0..cfg.serve.fault.max_reprogram_attempts {
+                                shard_events[s].push(FaultEvent {
+                                    at_s: e.at_s,
+                                    target: name.clone(),
+                                    kind: FaultKind::ReprogramFail,
+                                });
+                            }
+                        }
+                    }
+                } else if e.target == "*" {
+                    for events in shard_events.iter_mut() {
+                        events.push(e.clone());
+                    }
+                } else if let Some(&s) = device_shard.get(&e.target) {
+                    shard_events[s].push(e.clone());
+                }
+            }
+        }
+        for (s, events) in shard_events.iter().enumerate() {
+            if !events.is_empty() {
+                pools[s].set_fault_injector(&FaultInjector::new(FaultPlan::new(0, events.clone())));
+            }
+        }
+
+        // Fault-aware capacity model: per (model, slot) rate deltas in
+        // simulated time, from armed outages and slowdowns (and, later,
+        // heal restores). With no armed resilience faults every shard
+        // stays at its nominal rate and routing is byte-identical to the
+        // fault-free fleet.
+        let mut cap: Vec<Vec<Vec<(f64, f64)>>> = serving
+            .iter()
+            .map(|ms| vec![Vec::new(); ms.shards.len()])
+            .collect();
+        for (msi, ms) in serving.iter().enumerate() {
+            for (k, &s) in ms.shards.iter().enumerate() {
+                if let Some((t0, _)) = &outages[s] {
+                    cap[msi][k].push((*t0, -ms.rate_rps[k]));
+                }
+            }
+        }
+        for (s, events) in shard_events.iter().enumerate() {
+            for e in events {
+                let FaultKind::DeviceSlow { factor } = e.kind else {
+                    continue;
+                };
+                let Some(dev) = pools[s].devices().iter().find(|d| d.name == e.target) else {
+                    continue;
+                };
+                for (msi, ms) in serving.iter().enumerate() {
+                    if dev.deployment(ms.model).is_none() {
+                        continue;
+                    }
+                    let Some(k) = ms.shards.iter().position(|&x| x == s) else {
+                        continue;
+                    };
+                    let Some(r) = plan
+                        .assignments
+                        .iter()
+                        .find(|a| a.model == ms.model && a.platform == dev.platform)
+                        .map(|a| a.device_rate_rps)
+                    else {
+                        continue;
+                    };
+                    cap[msi][k].push((e.at_s, r * (1.0 / factor - 1.0)));
+                }
+            }
+        }
+        let rate_at = |cap: &[Vec<Vec<(f64, f64)>>], msi: usize, k: usize, nom: f64, t: f64| {
+            let mut r = nom;
+            for &(te, d) in &cap[msi][k] {
+                if te <= t {
+                    r += d;
+                }
+            }
+            r.max(0.0)
+        };
+
         // 1. Merged arrival-ordered tenant trace, seeded per
         //    tenant × model stream.
         struct Arrival {
@@ -426,22 +739,20 @@ impl Fleet {
         }
         let mut merged: Vec<Arrival> = Vec::new();
         {
-            let _p = self
-                .tracer
-                .phase_on(PID_FLEET, "trace", "generate tenant traces");
+            let _p = tracer.phase_on(PID_FLEET, "trace", "generate tenant traces");
             for (ti, tenant) in tenants.iter().enumerate() {
                 for (mi, &(model, rate)) in tenant.offered.iter().enumerate() {
                     if rate <= 0.0 {
                         continue;
                     }
                     assert!(
-                        self.serving.iter().any(|m| m.model == model),
+                        serving.iter().any(|m| m.model == model),
                         "tenant {} offers {} which the placement does not serve",
                         tenant.policy.name,
                         model.name()
                     );
                     let mut rng = Rng64::seed_from_u64(hash2(
-                        hash_str(self.cfg.seed, &tenant.policy.name),
+                        hash_str(cfg.seed, &tenant.policy.name),
                         mi as u64,
                     ));
                     let mut at = 0.0f64;
@@ -466,48 +777,213 @@ impl Fleet {
         }
 
         // 2. QoS admission + bounded-load consistent-hash routing against
-        //    an expected-work model of each shard's backlog.
+        //    the fault-aware expected-work model, with per-shard circuit
+        //    breakers, hedging, and self-healing re-placement.
         let mut qos = QosController::new(
             tenants.iter().map(|t| t.policy.clone()).collect(),
-            self.plan.total_rate_rps,
+            plan.total_rate_rps,
         );
-        let mut until = vec![0.0f64; self.cfg.shards];
-        let mut shard_traces: Vec<Vec<Request>> = vec![Vec::new(); self.cfg.shards];
-        let mut owner: HashMap<u64, (usize, bool)> = HashMap::new();
+        let mut until = vec![0.0f64; shards_n];
+        let mut shard_traces: Vec<Vec<Request>> = vec![Vec::new(); shards_n];
+        let mut owner: HashMap<u64, (usize, bool, f64)> = HashMap::new();
+        let mut health: Vec<ShardHealth> = (0..shards_n)
+            .map(|_| ShardHealth::new(cfg.health))
+            .collect();
+        let mut hedge_until = vec![f64::NEG_INFINITY; shards_n];
+        let mut healed = vec![false; shards_n];
+        let mut heals: Vec<HealEvent> = Vec::new();
+        let mut heal_specs: Vec<Vec<RolloutSpec>> = vec![Vec::new(); shards_n];
+        let mut lost_by_platform: Vec<(FpgaPlatform, usize)> = Vec::new();
+        // Per-shard log of routed primaries `(gid, model idx, slot,
+        // modeled finish)` — the failover replay's working set — plus the
+        // set of requests that already have a duplicate in flight.
+        let mut routed_log: Vec<Vec<(u64, usize, usize, f64)>> = vec![Vec::new(); shards_n];
+        let mut hedged: HashSet<u64> = HashSet::new();
         let (mut routed, mut overflowed) = (0u64, 0u64);
+        let (mut hedges, mut forced_routes, mut replays) = (0u64, 0u64, 0u64);
         {
-            let _p = self
-                .tracer
-                .phase_on(PID_FLEET, "route", "admit + route trace");
+            let _p = tracer.phase_on(PID_FLEET, "route", "admit + route trace");
             for (gid, a) in merged.iter().enumerate() {
                 let verdict = qos.admit(a.tenant, a.t);
                 if verdict == Verdict::Shed {
                     continue;
                 }
-                let ms = self
-                    .serving
+                // Breaker clocks advance with fleet time: cooled-down
+                // open breakers readmit their shard half-open for probes.
+                for (s, h) in health.iter_mut().enumerate() {
+                    if h.tick(a.t) {
+                        set_shard_active(&mut serving, s, true);
+                    }
+                }
+                let msi = serving
                     .iter()
-                    .find(|m| m.model == a.model)
+                    .position(|m| m.model == a.model)
                     .expect("asserted served above");
-                let loads: Vec<f64> = ms
-                    .shards
-                    .iter()
-                    .map(|&s| (until[s] - a.t).max(0.0))
-                    .collect();
-                let (slot, over) = ms
-                    .router
-                    .route_bounded(
-                        hash2(self.cfg.seed ^ 0x0F1C_E500, gid as u64),
-                        &loads,
-                        self.cfg.load_bound,
-                    )
-                    .expect("every serving shard is active");
-                let shard = ms.shards[slot];
+                let key = hash2(cfg.seed ^ 0x0F1C_E500, gid as u64);
+                let (slot, over, forced) = {
+                    let ms = &serving[msi];
+                    let loads: Vec<f64> = ms
+                        .shards
+                        .iter()
+                        .map(|&s| (until[s] - a.t).max(0.0))
+                        .collect();
+                    match ms.router.route_bounded(key, &loads, cfg.load_bound) {
+                        Some((k, o)) => (k, o, false),
+                        // Every serving shard's breaker is open: the
+                        // request must still go somewhere — least
+                        // backlog, deterministic tie-break.
+                        None => {
+                            let k = (0..ms.shards.len())
+                                .min_by(|&x, &y| {
+                                    until[ms.shards[x]]
+                                        .total_cmp(&until[ms.shards[y]])
+                                        .then(x.cmp(&y))
+                                })
+                                .expect("model has at least one shard");
+                            (k, true, true)
+                        }
+                    }
+                };
+                let shard = serving[msi].shards[slot];
+                let nominal = serving[msi].rate_rps[slot];
+                let now_rate = rate_at(&cap, msi, slot, nominal, a.t);
+                let degraded = now_rate < nominal * (1.0 - 1e-9);
+                let interval = if now_rate > 1e-12 {
+                    1.0 / now_rate
+                } else {
+                    f64::INFINITY
+                };
+                let ell = (until[shard] - a.t).max(0.0) + interval;
+                // Calibrated straggler cut: hedge_mult × the shard's
+                // nominal service interval.
+                let straggler = cfg.health.hedge_mult / nominal;
+                // Capacity-attributed timeout signal: predicted latency
+                // breaches the straggler cut *and* the shard is degraded.
+                // Pure overload never trips the breaker — QoS owns it.
+                let slow = degraded && ell > straggler;
+                if forced {
+                    forced_routes += 1;
+                }
+
+                match health[shard].state() {
+                    BreakerState::HalfOpen => {
+                        // The probe: judge the shard's modeled capacity.
+                        if now_rate >= 0.5 * nominal {
+                            health[shard].on_success(a.t);
+                        } else if health[shard].on_timeout(a.t) {
+                            set_shard_active(&mut serving, shard, false);
+                        }
+                    }
+                    BreakerState::Closed => {
+                        if slow {
+                            if health[shard].on_timeout(a.t) {
+                                set_shard_active(&mut serving, shard, false);
+                                // A domain outage made this shard's
+                                // capacity unrecoverable in place:
+                                // re-place on surviving inventory.
+                                let outage = outages[shard].clone();
+                                if let Some((t0, dom)) = outage {
+                                    if !healed[shard] && a.t >= t0 {
+                                        healed[shard] = true;
+                                        let (ev, specs, caps) = heal_shard(
+                                            a.t,
+                                            shard,
+                                            dom,
+                                            &spec,
+                                            &pools[shard],
+                                            &serving,
+                                            &mut lost_by_platform,
+                                            &mut heal_db,
+                                            &mut heal_cache,
+                                            &cfg,
+                                        );
+                                        if ev.error.is_none() && ev.restore_s.is_finite() {
+                                            health[shard].extend_open(ev.restore_s);
+                                            hedge_until[shard] =
+                                                ev.restore_s + 0.5 * (ev.restore_s - a.t);
+                                        }
+                                        for (cm, ck, ct, cd) in caps {
+                                            cap[cm][ck].push((ct, cd));
+                                        }
+                                        heal_specs[shard].extend(specs);
+                                        heals.push(ev);
+                                        // Failover replay: the dead shard
+                                        // never acknowledges what it had
+                                        // in flight, so re-issue every
+                                        // primary whose modeled finish
+                                        // reaches back into the outage
+                                        // (including its brownout lead)
+                                        // to the next ring shard, now.
+                                        let mut replay_from = t0;
+                                        for e in &shard_events[shard] {
+                                            if let FaultKind::TransferStall { for_s, .. } = e.kind {
+                                                if e.at_s <= t0 && e.at_s + for_s >= t0 {
+                                                    replay_from = replay_from.min(e.at_s);
+                                                }
+                                            }
+                                        }
+                                        let log = std::mem::take(&mut routed_log[shard]);
+                                        for (g, lmsi, lslot, fin) in log {
+                                            let lms = &serving[lmsi];
+                                            // The guard must absorb everything the
+                                            // modeled finish cannot see: a batch
+                                            // dispatched just before the outage is
+                                            // watchdog-held for timeout_mult ×
+                                            // its execution before it sheds, and a
+                                            // queued request waits out the batch
+                                            // accumulation window first.
+                                            let guard = (2.0 * cfg.health.hedge_mult
+                                                + cfg.serve.fault.timeout_mult
+                                                    * cfg.serve.batch.max_batch as f64)
+                                                / lms.rate_rps[lslot]
+                                                + cfg.serve.batch.max_wait_s;
+                                            if fin < replay_from - guard || hedged.contains(&g) {
+                                                continue;
+                                            }
+                                            let lkey = hash2(cfg.seed ^ 0x0F1C_E500, g);
+                                            let Some(hk) = lms.router.next_distinct(lkey, lslot)
+                                            else {
+                                                continue;
+                                            };
+                                            let hs = lms.shards[hk];
+                                            let hrate =
+                                                rate_at(&cap, lmsi, hk, lms.rate_rps[hk], a.t);
+                                            until[hs] = until[hs].max(a.t)
+                                                + if hrate > 1e-12 {
+                                                    1.0 / hrate
+                                                } else {
+                                                    1.0 / lms.rate_rps[hk]
+                                                };
+                                            shard_traces[hs].push(Request {
+                                                id: g | HEDGE_BIT,
+                                                model: lms.model,
+                                                arrival_s: a.t,
+                                                deadline_s: None,
+                                                input: None,
+                                            });
+                                            hedged.insert(g);
+                                            replays += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            health[shard].on_success(a.t);
+                        }
+                    }
+                    BreakerState::Open { .. } => {}
+                }
+
                 routed += 1;
                 if over {
                     overflowed += 1;
                 }
-                until[shard] = until[shard].max(a.t) + 1.0 / ms.rate_rps[slot];
+                until[shard] = until[shard].max(a.t)
+                    + if now_rate > 1e-12 {
+                        1.0 / now_rate
+                    } else {
+                        1.0 / nominal
+                    };
                 shard_traces[shard].push(Request {
                     id: gid as u64,
                     model: a.model,
@@ -515,52 +991,87 @@ impl Fleet {
                     deadline_s: None,
                     input: None,
                 });
-                owner.insert(gid as u64, (a.tenant, verdict == Verdict::Admit));
+                owner.insert(gid as u64, (a.tenant, verdict == Verdict::Admit, a.t));
+                routed_log[shard].push((gid as u64, msi, slot, until[shard]));
+
+                // Hedge: a predicted straggler (or any request landing on
+                // a healing shard inside its guard window) is duplicated
+                // to the next distinct ring shard after the straggler
+                // cut. First completion wins; the duplicate never touches
+                // the QoS budgets.
+                if slow || a.t < hedge_until[shard] {
+                    let ms = &serving[msi];
+                    if let Some(hk) = ms.router.next_distinct(key, slot) {
+                        let hs = ms.shards[hk];
+                        let ht = a.t + straggler;
+                        let hrate = rate_at(&cap, msi, hk, ms.rate_rps[hk], ht);
+                        until[hs] = until[hs].max(ht)
+                            + if hrate > 1e-12 {
+                                1.0 / hrate
+                            } else {
+                                1.0 / ms.rate_rps[hk]
+                            };
+                        shard_traces[hs].push(Request {
+                            id: gid as u64 | HEDGE_BIT,
+                            model: a.model,
+                            arrival_s: ht,
+                            deadline_s: None,
+                            input: None,
+                        });
+                        hedged.insert(gid as u64);
+                        hedges += 1;
+                    }
+                }
             }
         }
 
         // 3. Expand fleet rollouts into per-shard staggered specs;
-        //    sabotaged shards get the retry attempt too.
-        let mut shard_specs: Vec<Vec<RolloutSpec>> = vec![Vec::new(); self.cfg.shards];
-        for r in &self.rollouts {
-            for ms in self.serving.iter().filter(|m| m.model == r.model) {
+        //    sabotaged shards get the retry attempt too. Heal adoption
+        //    rollouts ride the same machinery.
+        let mut shard_specs: Vec<Vec<RolloutSpec>> = vec![Vec::new(); shards_n];
+        for r in &rollouts {
+            for ms in serving.iter().filter(|m| m.model == r.model) {
                 for (k, &shard) in ms.shards.iter().enumerate() {
                     shard_specs[shard].push(RolloutSpec {
                         at_s: r.start_s + k as f64 * r.stagger_s,
                         model: r.model,
                         to: r.to.clone(),
                         verify_input: None,
+                        adopt: Vec::new(),
                         policy: r.policy,
                     });
-                    if self.sabotaged[shard] {
+                    if sabotaged[shard] {
                         shard_specs[shard].push(RolloutSpec {
                             at_s: r.retry_at_s + k as f64 * r.stagger_s,
                             model: r.model,
                             to: r.to.clone(),
                             verify_input: None,
+                            adopt: Vec::new(),
                             policy: r.policy,
                         });
                     }
                 }
             }
         }
+        for (s, specs) in heal_specs.iter_mut().enumerate() {
+            shard_specs[s].append(specs);
+        }
 
         // 4. Run every shard's server on its routed sub-trace.
-        let mut shard_results: Vec<RunResult> = Vec::with_capacity(self.cfg.shards);
-        for (s, (pool, trace)) in self.pools.into_iter().zip(shard_traces).enumerate() {
-            let _p = self
-                .tracer
-                .phase_on(PID_FLEET, "shard", &format!("run shard {s}"));
+        let mut shard_results: Vec<RunResult> = Vec::with_capacity(shards_n);
+        for (s, (pool, trace)) in pools.into_iter().zip(shard_traces).enumerate() {
+            let _p = tracer.phase_on(PID_FLEET, "shard", &format!("run shard {s}"));
             let flight = FlightRecorder::enabled(256);
-            let mut server = Server::new(pool, self.cfg.serve).with_flight_recorder(&flight);
+            let mut server = Server::new(pool, cfg.serve).with_flight_recorder(&flight);
             for spec in shard_specs[s].drain(..) {
                 server.schedule_rollout(spec);
             }
             shard_results.push(server.run_open_loop(trace));
         }
 
-        // 5. Attribute completions/sheds back to tenants and publish the
-        //    class-aggregated fleet metrics.
+        // 5. Attribute completions/sheds back to tenants —
+        //    first-completion-wins across hedged copies, duplicates
+        //    suppressed — and publish the class-aggregated fleet metrics.
         let mut outcomes: Vec<TenantOutcome> = tenants
             .iter()
             .enumerate()
@@ -578,17 +1089,47 @@ impl Fleet {
                 }
             })
             .collect();
+        // Winner per original request id: earliest completion; at equal
+        // times the primary copy beats the hedge.
+        let mut winner: HashMap<u64, (f64, u64)> = HashMap::new();
+        let mut completions = 0u64;
+        for r in &shard_results {
+            for c in &r.completions {
+                completions += 1;
+                let base = c.id & !HEDGE_BIT;
+                let e = winner.entry(base).or_insert((c.completion_s, c.id));
+                if c.completion_s < e.0
+                    || (c.completion_s == e.0 && c.id & HEDGE_BIT == 0 && e.1 & HEDGE_BIT != 0)
+                {
+                    *e = (c.completion_s, c.id);
+                }
+            }
+        }
+        let hedge_wins = winner
+            .values()
+            .filter(|(_, id)| id & HEDGE_BIT != 0)
+            .count() as u64;
+        let hedge_suppressed = completions - winner.len() as u64;
+
         let mut latency = LatencyHistogram::new();
         let registry = Registry::new();
         let mut span_s = duration_s;
         for r in &shard_results {
             for c in &r.completions {
-                let &(tenant, in_budget) = owner.get(&c.id).expect("completion has an owner");
+                let base = c.id & !HEDGE_BIT;
+                let &(_, wid) = winner.get(&base).expect("completion recorded above");
+                if wid != c.id {
+                    continue; // suppressed duplicate
+                }
+                let &(tenant, in_budget, arrival_s) =
+                    owner.get(&base).expect("completion has an owner");
                 outcomes[tenant].completed += 1;
                 if in_budget {
                     outcomes[tenant].completed_in_budget += 1;
                 }
-                let l = c.completion_s - c.arrival_s;
+                // End-to-end latency measures from the *original*
+                // arrival, even when the hedge copy won.
+                let l = c.completion_s - arrival_s;
                 latency.record(l);
                 registry.histogram_observe(
                     "fleet_request_latency_seconds",
@@ -599,8 +1140,17 @@ impl Fleet {
                 );
                 span_s = span_s.max(c.completion_s);
             }
+        }
+        // A shed counts only when no copy of the request completed, and
+        // once per request even when both copies shed.
+        let mut shed_seen: HashSet<u64> = HashSet::new();
+        for r in &shard_results {
             for shed in &r.sheds {
-                let &(tenant, _) = owner.get(&shed.id).expect("shed has an owner");
+                let base = shed.id & !HEDGE_BIT;
+                if winner.contains_key(&base) || !shed_seen.insert(base) {
+                    continue;
+                }
+                let &(tenant, _, _) = owner.get(&base).expect("shed has an owner");
                 outcomes[tenant].shed_shard += 1;
             }
         }
@@ -609,7 +1159,13 @@ impl Fleet {
             "fleet_shards_count",
             "Shards the fleet's devices are dealt into.",
             &[],
-            self.cfg.shards as f64,
+            shards_n as f64,
+        );
+        registry.gauge_set(
+            "fleet_domains_count",
+            "Correlated failure domains the shards are striped across.",
+            &[],
+            domains_n as f64,
         );
         registry.counter_add(
             "fleet_routed_total",
@@ -623,6 +1179,105 @@ impl Fleet {
             &[],
             overflowed as f64,
         );
+        registry.counter_add(
+            "fleet_hedges_total",
+            "Hedged duplicates fired at predicted straggler shards.",
+            &[],
+            hedges as f64,
+        );
+        registry.counter_add(
+            "fleet_hedge_wins_total",
+            "Hedged duplicates that completed before their primary copy.",
+            &[],
+            hedge_wins as f64,
+        );
+        registry.counter_add(
+            "fleet_hedge_suppressed_total",
+            "Duplicate completions discarded by first-completion-wins accounting.",
+            &[],
+            hedge_suppressed as f64,
+        );
+        registry.counter_add(
+            "fleet_failover_replays_total",
+            "Primaries re-issued to another shard by the outage failover replay.",
+            &[],
+            replays as f64,
+        );
+        registry.counter_add(
+            "fleet_forced_routes_total",
+            "Requests routed while every serving shard's breaker was open.",
+            &[],
+            forced_routes as f64,
+        );
+        // Register every transition label at zero so the families exist
+        // (and dashboards resolve) even on a fault-free run.
+        for to in ["open", "half-open", "closed"] {
+            registry.counter_add(
+                "fleet_breaker_transitions_total",
+                "Circuit-breaker transitions, by target state.",
+                &[("to", to)],
+                0.0,
+            );
+        }
+        for (s, h) in health.iter().enumerate() {
+            for tr in h.transitions() {
+                registry.counter_inc(
+                    "fleet_breaker_transitions_total",
+                    "Circuit-breaker transitions, by target state.",
+                    &[("to", tr.to)],
+                );
+            }
+            // Health ratio: fraction of the run the breaker was closed.
+            let mut not_closed_s = 0.0f64;
+            let mut left_closed: Option<f64> = None;
+            for tr in h.transitions() {
+                if tr.from == "closed" {
+                    left_closed = Some(tr.t_s);
+                } else if tr.to == "closed" {
+                    if let Some(o) = left_closed.take() {
+                        not_closed_s += tr.t_s - o;
+                    }
+                }
+            }
+            if let Some(o) = left_closed {
+                not_closed_s += span_s.max(o) - o;
+            }
+            let ratio = if span_s > 0.0 {
+                (1.0 - not_closed_s / span_s).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            registry.gauge_set(
+                "fleet_shard_health_ratio",
+                "Fraction of the run the shard's breaker was closed (healthy).",
+                &[("shard", &s.to_string())],
+                ratio,
+            );
+        }
+        let heal_ok = heals.iter().filter(|h| h.error.is_none()).count();
+        registry.counter_add(
+            "fleet_heal_events_total",
+            "Self-healing re-placements, by outcome.",
+            &[("outcome", "replaced")],
+            heal_ok as f64,
+        );
+        registry.counter_add(
+            "fleet_heal_events_total",
+            "Self-healing re-placements, by outcome.",
+            &[("outcome", "failed")],
+            (heals.len() - heal_ok) as f64,
+        );
+        for h in &heals {
+            if h.error.is_none() && h.restore_s.is_finite() {
+                registry.histogram_observe(
+                    "fleet_heal_latency_seconds",
+                    "Outage detection to estimated capacity restore.",
+                    &[],
+                    HEAL_BOUNDS,
+                    h.restore_s - h.t_s,
+                );
+            }
+        }
         for o in &outcomes {
             let t = o.name.as_str();
             registry.counter_add(
@@ -659,14 +1314,21 @@ impl Fleet {
         // Class-scoped device aggregates: the fleet registry carries one
         // series per device *class*, not per device — per-device busy and
         // utilization stay in each shard's own registry.
-        publish_class_metrics(&registry, &self.classes, &shard_results, span_s);
+        publish_class_metrics(&registry, &classes, &shard_results, span_s);
 
         FleetRunResult {
-            plan: self.plan,
+            plan,
             tenants: outcomes,
             shards: shard_results,
             routed,
             overflowed,
+            hedges,
+            hedge_wins,
+            hedge_suppressed,
+            replays,
+            forced_routes,
+            breakers: health.iter().map(|h| h.transitions().to_vec()).collect(),
+            heals,
             latency,
             registry,
             span_s,
@@ -674,10 +1336,197 @@ impl Fleet {
     }
 }
 
+/// Flips `shard`'s ring membership in every model router that serves it.
+fn set_shard_active(serving: &mut [ModelShards], shard: usize, active: bool) {
+    for ms in serving.iter_mut() {
+        if let Some(k) = ms.shards.iter().position(|&x| x == shard) {
+            ms.router.set_active(k, active);
+        }
+    }
+}
+
+/// Calibrated per-device steady-state rate of `model` on `platform`
+/// through the warm heal cache; `None` when the pair is infeasible.
+fn device_rate(model: Model, platform: FpgaPlatform, cache: &mut DeploymentCache) -> Option<f64> {
+    let dep = cache
+        .get_or_compile(model, platform, &optimized_config(model, platform))
+        .ok()?;
+    let lm = cache.calibration(&dep, PROBE_BATCH);
+    Some(PROBE_BATCH as f64 / lm.seconds(PROBE_BATCH))
+}
+
+/// Capacity-model restore deltas `(model index, slot, at, +rate)` a heal
+/// applies once its adopted boards come live.
+type CapacityDeltas = Vec<(usize, usize, f64, f64)>;
+
+/// Self-healing re-placement for a shard whose capacity a domain outage
+/// made unrecoverable: re-plans the demand over the surviving inventory
+/// (warm database and template cache — the probes hit memoized compiles),
+/// then adopts the victim shard's healthy spare boards into serving the
+/// lost models via heal [`RolloutSpec`]s. Returns the structured event,
+/// the rollouts to schedule on the shard, and the capacity-model restore
+/// deltas.
+#[allow(clippy::too_many_arguments)]
+fn heal_shard(
+    t_open: f64,
+    shard: usize,
+    domain: String,
+    spec: &FleetSpec,
+    pool: &DevicePool,
+    serving: &[ModelShards],
+    lost_by_platform: &mut Vec<(FpgaPlatform, usize)>,
+    heal_db: &mut TuningDb,
+    heal_cache: &mut DeploymentCache,
+    cfg: &FleetConfig,
+) -> (HealEvent, Vec<RolloutSpec>, CapacityDeltas) {
+    let mut lost_names = Vec::new();
+    for d in pool.devices() {
+        if Model::ALL.iter().any(|&m| d.deployment(m).is_some()) {
+            lost_names.push(d.name.clone());
+            match lost_by_platform.iter_mut().find(|(p, _)| *p == d.platform) {
+                Some((_, n)) => *n += 1,
+                None => lost_by_platform.push((d.platform, 1)),
+            }
+        }
+    }
+    // The surviving inventory: the spec minus every board written off so
+    // far, fleet-wide.
+    let mut survivor = spec.clone();
+    for c in &mut survivor.classes {
+        if let Some((_, n)) = lost_by_platform.iter().find(|(p, _)| *p == c.platform) {
+            c.count = c.count.saturating_sub(*n);
+        }
+    }
+    let heal_plan = match plan_placement(&survivor, heal_db, heal_cache) {
+        Ok(p) => p,
+        Err(e) => {
+            return (
+                HealEvent {
+                    t_s: t_open,
+                    shard,
+                    domain,
+                    lost: lost_names,
+                    adopted: Vec::new(),
+                    plan_evaluations: 0,
+                    restore_s: f64::INFINITY,
+                    error: Some(e),
+                },
+                Vec::new(),
+                Vec::new(),
+            );
+        }
+    };
+    // Adopt the shard's healthy spare boards (standby capacity outside
+    // the serving cage) to stand in for the lost ones, fastest feasible
+    // spare first, until each lost model's rate is covered.
+    let mut spares: Vec<(String, FpgaPlatform)> = pool
+        .devices()
+        .iter()
+        .filter(|d| {
+            d.health() == DeviceHealth::Healthy
+                && Model::ALL.iter().all(|&m| d.deployment(m).is_none())
+        })
+        .map(|d| (d.name.clone(), d.platform))
+        .collect();
+    let mut specs = Vec::new();
+    let mut caps = Vec::new();
+    let mut adopted_all = Vec::new();
+    let mut at = t_open + cfg.heal_delay_s;
+    for (msi, ms) in serving.iter().enumerate() {
+        let Some(k) = ms.shards.iter().position(|&x| x == shard) else {
+            continue;
+        };
+        let target_rate = ms.rate_rps[k];
+        let mut adopted: Vec<(String, FpgaPlatform)> = Vec::new();
+        let mut got = 0.0f64;
+        while got < target_rate {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (_, p)) in spares.iter().enumerate() {
+                let Some(r) = device_rate(ms.model, *p, heal_cache) else {
+                    continue;
+                };
+                if best.is_none_or(|(_, br)| r > br) {
+                    best = Some((i, r));
+                }
+            }
+            let Some((i, r)) = best else {
+                break;
+            };
+            let (name, p) = spares.remove(i);
+            adopted.push((name, p));
+            got += r;
+        }
+        if adopted.is_empty() {
+            continue;
+        }
+        // One rollout per adopted platform: bitstream configs are
+        // per-platform. Serialized on the shard's rollout machinery.
+        let mut plats: Vec<FpgaPlatform> = Vec::new();
+        for (_, p) in &adopted {
+            if !plats.contains(p) {
+                plats.push(*p);
+            }
+        }
+        for p in plats {
+            let names: Vec<String> = adopted
+                .iter()
+                .filter(|(_, ap)| *ap == p)
+                .map(|(n, _)| n.clone())
+                .collect();
+            // One wave reprograms the whole adoption in parallel — a heal
+            // races the outage, so it must not serialize board by board
+            // the way a cautious upgrade does.
+            let pol = RolloutPolicy {
+                wave_size: names.len().max(1),
+                ..RolloutPolicy::default()
+            };
+            specs.push(RolloutSpec {
+                at_s: at,
+                model: ms.model,
+                to: optimized_config(ms.model, p),
+                verify_input: None,
+                adopt: names,
+                policy: pol,
+            });
+            at += pol.reprogram_s + 0.02;
+        }
+        caps.push((msi, k, got));
+        adopted_all.extend(adopted.into_iter().map(|(n, _)| n));
+    }
+    // Conservative restore estimate: every adoption wave done plus a
+    // guard margin — the breaker stays parked until the boards are live.
+    let restore_s = if adopted_all.is_empty() {
+        f64::INFINITY
+    } else {
+        at + 0.05
+    };
+    let caps = caps
+        .into_iter()
+        .map(|(m, k, r)| (m, k, restore_s, r))
+        .collect();
+    (
+        HealEvent {
+            t_s: t_open,
+            shard,
+            domain,
+            lost: lost_names,
+            adopted: adopted_all,
+            plan_evaluations: heal_plan.evaluations,
+            restore_s,
+            error: None,
+        },
+        specs,
+        caps,
+    )
+}
+
 /// Histogram bounds for `fleet_request_latency_seconds` (seconds).
 const LATENCY_BOUNDS: &[f64] = &[
     1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 ];
+
+/// Histogram bounds for `fleet_heal_latency_seconds` (seconds).
+const HEAL_BOUNDS: &[f64] = &[0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
 
 fn publish_class_metrics(
     registry: &Registry,

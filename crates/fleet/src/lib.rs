@@ -40,9 +40,12 @@ pub mod placement;
 pub mod qos;
 pub mod router;
 
-pub use driver::{Fleet, FleetConfig, FleetRollout, FleetRunResult, TenantLoad, TenantOutcome};
+pub use driver::{
+    Fleet, FleetConfig, FleetRollout, FleetRunResult, HealEvent, TenantLoad, TenantOutcome,
+    HEDGE_BIT,
+};
 pub use placement::{
     plan_placement, Assignment, DeviceClass, FleetSpec, ModelDemand, PlacementError, PlacementPlan,
 };
 pub use qos::{QosController, TenantPolicy, Verdict};
-pub use router::Router;
+pub use router::{BreakerState, BreakerTransition, HealthPolicy, Router, ShardHealth};

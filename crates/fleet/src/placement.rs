@@ -60,6 +60,12 @@ pub struct FleetSpec {
     pub demands: Vec<ModelDemand>,
     /// Capacity slack above demand the plan targets (0.2 = 20%).
     pub headroom: f64,
+    /// Correlated failure domains (racks / power domains) the fleet's
+    /// shards are striped across. Shard `s` lives in domain
+    /// `dom-{s % domains}`; a domain outage takes every board in the
+    /// domain dark at once. `1` models a single-site fleet with no
+    /// correlated-failure isolation.
+    pub domains: usize,
 }
 
 impl FleetSpec {
@@ -78,6 +84,7 @@ impl FleetSpec {
             h = hash2(h, d.rate_rps.to_bits());
         }
         h = hash2(h, self.headroom.to_bits());
+        h = hash2(h, self.domains.max(1) as u64);
         format!("fleet-{h:016x}")
     }
 }
@@ -375,6 +382,7 @@ mod tests {
                 },
             ],
             headroom: 0.2,
+            domains: 1,
         }
     }
 
@@ -388,6 +396,9 @@ mod tests {
         let mut c = spec();
         c.classes[1].count += 1;
         assert_ne!(a.digest(), c.digest());
+        let mut d = spec();
+        d.domains = 4;
+        assert_ne!(a.digest(), d.digest(), "domain topology is structural");
     }
 
     #[test]
@@ -441,6 +452,7 @@ mod tests {
                 rate_rps: 10.0,
             }],
             headroom: 0.0,
+            domains: 1,
         };
         let err =
             plan_placement(&spec, &mut TuningDb::new(), &mut DeploymentCache::new()).unwrap_err();
@@ -466,6 +478,7 @@ mod tests {
                 rate_rps: 1e6,
             }],
             headroom: 0.0,
+            domains: 1,
         };
         let err =
             plan_placement(&spec, &mut TuningDb::new(), &mut DeploymentCache::new()).unwrap_err();

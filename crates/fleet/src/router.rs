@@ -122,6 +122,210 @@ impl Router {
             .expect("at least one active shard");
         Some((least, least != home))
     }
+
+    /// The next distinct *active* shard clockwise of `key`'s home point,
+    /// skipping `exclude` — the hedge target for a request already routed
+    /// to `exclude`. `None` when no other active shard exists.
+    pub fn next_distinct(&self, key: u64, exclude: usize) -> Option<usize> {
+        let start = self.home_position(key);
+        for off in 0..self.ring.len() {
+            let (_, s) = self.ring[(start + off) % self.ring.len()];
+            if s != exclude && self.active[s] {
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+/// Knobs of the per-shard circuit breaker and the request hedger.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Consecutive capacity-attributed timeouts that trip the breaker
+    /// open.
+    pub open_after: usize,
+    /// Simulated seconds an open breaker rests before admitting a
+    /// half-open probe.
+    pub cooldown_s: f64,
+    /// Probe completions a half-open breaker needs before closing.
+    pub probe_successes: usize,
+    /// Hedging trigger: a request predicted to wait longer than
+    /// `hedge_mult ×` the shard's calibrated nominal service interval is
+    /// duplicated to the next ring shard.
+    pub hedge_mult: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            open_after: 3,
+            cooldown_s: 0.25,
+            probe_successes: 1,
+            hedge_mult: 4.0,
+        }
+    }
+}
+
+/// Circuit-breaker state of one shard.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: requests route normally.
+    Closed,
+    /// Ejected from the ring until `until_s`; its keys overflow to ring
+    /// successors.
+    Open {
+        /// Simulated second the cooldown expires and a probe is allowed.
+        until_s: f64,
+    },
+    /// Back on the ring for probe traffic; the next outcome decides.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for transition logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One logged breaker transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerTransition {
+    /// Simulated second of the transition.
+    pub t_s: f64,
+    /// State left.
+    pub from: &'static str,
+    /// State entered.
+    pub to: &'static str,
+}
+
+/// Health score and circuit breaker of one shard, fed by the fleet
+/// driver's completion/timeout signals.
+///
+/// The state machine is the classic three-state breaker: `open_after`
+/// consecutive capacity-attributed timeouts trip **closed → open** (the
+/// shard leaves the ring); after `cooldown_s` the breaker turns
+/// **half-open** and readmits the shard for probe traffic; the probe's
+/// outcome either closes the breaker or re-opens it for another cooldown.
+/// Every transition is timestamped in [`transitions`](Self::transitions).
+#[derive(Clone, Debug)]
+pub struct ShardHealth {
+    policy: HealthPolicy,
+    state: BreakerState,
+    consecutive_timeouts: usize,
+    probe_ok: usize,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl ShardHealth {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: HealthPolicy) -> ShardHealth {
+        ShardHealth {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_timeouts: 0,
+            probe_ok: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// The timestamped transition log, oldest first.
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, t_s: f64, to: BreakerState) {
+        self.transitions.push(BreakerTransition {
+            t_s,
+            from: self.state.label(),
+            to: to.label(),
+        });
+        self.state = to;
+    }
+
+    /// Records a capacity-attributed timeout at `t_s`. Returns `true`
+    /// when this timeout newly opened the breaker (closed → open or a
+    /// failed half-open probe).
+    pub fn on_timeout(&mut self, t_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_timeouts += 1;
+                if self.consecutive_timeouts >= self.policy.open_after {
+                    self.consecutive_timeouts = 0;
+                    self.transition(
+                        t_s,
+                        BreakerState::Open {
+                            until_s: t_s + self.policy.cooldown_s,
+                        },
+                    );
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                self.probe_ok = 0;
+                self.transition(
+                    t_s,
+                    BreakerState::Open {
+                        until_s: t_s + self.policy.cooldown_s,
+                    },
+                );
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Records a completion at `t_s`. Closed: clears the timeout streak.
+    /// Half-open: counts toward `probe_successes` and closes the breaker
+    /// once met.
+    pub fn on_success(&mut self, t_s: f64) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_timeouts = 0,
+            BreakerState::HalfOpen => {
+                self.probe_ok += 1;
+                if self.probe_ok >= self.policy.probe_successes {
+                    self.probe_ok = 0;
+                    self.transition(t_s, BreakerState::Closed);
+                }
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Advances the clock: an open breaker past its cooldown turns
+    /// half-open. Returns `true` on that transition (the caller readmits
+    /// the shard to the ring for probe traffic).
+    pub fn tick(&mut self, t_s: f64) -> bool {
+        if let BreakerState::Open { until_s } = self.state {
+            if t_s >= until_s {
+                self.probe_ok = 0;
+                self.transition(t_s, BreakerState::HalfOpen);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pushes an open breaker's cooldown out to at least `until_s` — the
+    /// self-healing path parks the breaker until the re-placement's
+    /// estimated restore time so probes land on working boards.
+    pub fn extend_open(&mut self, until_s: f64) {
+        if let BreakerState::Open { until_s: cur } = self.state {
+            self.state = BreakerState::Open {
+                until_s: cur.max(until_s),
+            };
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,32 +351,37 @@ mod tests {
     }
 
     #[test]
-    fn draining_a_shard_only_remaps_its_own_keys() {
-        // The consistent-hashing contract: keys not homed on the drained
-        // shard keep their shard, exactly; the drained shard's share of
-        // the ring is O(1/n) with vnode-level concentration bounds.
-        let mut r = Router::new(42, SHARDS, VNODES);
-        let before: Vec<usize> = keys().map(|k| r.route(k).unwrap()).collect();
-        let victim = 3usize;
-        let owned = before.iter().filter(|&&s| s == victim).count();
-        r.set_active(victim, false);
-        let mut moved = 0usize;
-        for (k, &was) in keys().zip(&before) {
-            let now = r.route(k).unwrap();
-            assert_ne!(now, victim, "drained shard must receive nothing");
-            if was != victim {
-                assert_eq!(now, was, "key {k:#x} moved without losing its home");
-            } else {
-                moved += 1;
+    fn draining_any_shard_only_remaps_its_own_keys() {
+        // The consistent-hashing contract, as a property over every
+        // possible victim: keys not homed on the drained shard keep
+        // their shard, exactly; the drained shard's share of the ring is
+        // O(1/n) with vnode-level concentration bounds.
+        let before: Vec<usize> = {
+            let r = Router::new(42, SHARDS, VNODES);
+            keys().map(|k| r.route(k).unwrap()).collect()
+        };
+        for victim in 0..SHARDS {
+            let mut r = Router::new(42, SHARDS, VNODES);
+            let owned = before.iter().filter(|&&s| s == victim).count();
+            r.set_active(victim, false);
+            let mut moved = 0usize;
+            for (k, &was) in keys().zip(&before) {
+                let now = r.route(k).unwrap();
+                assert_ne!(now, victim, "drained shard must receive nothing");
+                if was != victim {
+                    assert_eq!(now, was, "key {k:#x} moved without losing its home");
+                } else {
+                    moved += 1;
+                }
             }
+            assert_eq!(moved, owned);
+            // The victim's share of the keyspace stays near 1/n.
+            let share = owned as f64 / KEYS as f64;
+            assert!(
+                share < 2.5 / SHARDS as f64,
+                "shard {victim} owned {share:.3} of the keyspace"
+            );
         }
-        assert_eq!(moved, owned);
-        // The victim's share of the keyspace stays near 1/n.
-        let share = owned as f64 / KEYS as f64;
-        assert!(
-            share < 2.5 / SHARDS as f64,
-            "shard owned {share:.3} of the keyspace"
-        );
     }
 
     #[test]
@@ -222,5 +431,88 @@ mod tests {
         r.set_active(3, false);
         assert_eq!(r.route(1), None);
         assert_eq!(r.route_bounded(1, &loads, 1.5), None);
+    }
+
+    #[test]
+    fn hedge_target_is_a_distinct_active_shard() {
+        let mut r = Router::new(13, 5, 32);
+        for k in keys().take(500) {
+            let home = r.route(k).unwrap();
+            let hedge = r.next_distinct(k, home).unwrap();
+            assert_ne!(hedge, home, "hedge must leave the primary shard");
+        }
+        // With one shard left there is nowhere to hedge to.
+        for s in 0..4 {
+            r.set_active(s, false);
+        }
+        assert_eq!(r.next_distinct(1, 4), None);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let mut h = ShardHealth::new(HealthPolicy {
+            open_after: 3,
+            cooldown_s: 1.0,
+            probe_successes: 2,
+            hedge_mult: 4.0,
+        });
+        assert_eq!(h.state(), BreakerState::Closed);
+        // Two timeouts then a success: the streak resets, no trip.
+        assert!(!h.on_timeout(0.1));
+        assert!(!h.on_timeout(0.2));
+        h.on_success(0.3);
+        assert!(!h.on_timeout(0.4));
+        assert!(!h.on_timeout(0.5));
+        assert!(h.on_timeout(0.6), "third consecutive timeout trips");
+        assert_eq!(h.state(), BreakerState::Open { until_s: 1.6 });
+        // Open ignores further signals and holds until the cooldown.
+        assert!(!h.on_timeout(0.7));
+        h.on_success(0.8);
+        assert!(!h.tick(1.0), "cooldown not yet elapsed");
+        assert!(h.tick(1.6), "cooldown elapsed: half-open");
+        // One probe success is not enough under probe_successes = 2.
+        h.on_success(1.7);
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        h.on_success(1.8);
+        assert_eq!(h.state(), BreakerState::Closed);
+        let labels: Vec<(&str, &str)> = h.transitions().iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("closed", "open"),
+                ("open", "half-open"),
+                ("half-open", "closed")
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_flapping_closed() {
+        // A shard that keeps timing out must cycle open → half-open →
+        // open, never touching closed, and extend_open must push the
+        // cooldown out instead of resetting state.
+        let policy = HealthPolicy::default();
+        let mut h = ShardHealth::new(policy);
+        for i in 0..policy.open_after {
+            h.on_timeout(0.01 * (i + 1) as f64);
+        }
+        let BreakerState::Open { until_s } = h.state() else {
+            panic!("breaker must be open");
+        };
+        assert!(h.tick(until_s));
+        assert!(h.on_timeout(until_s + 0.01), "failed probe re-opens");
+        h.extend_open(until_s + 10.0);
+        assert_eq!(
+            h.state(),
+            BreakerState::Open {
+                until_s: until_s + 10.0
+            }
+        );
+        assert!(!h.tick(until_s + 5.0), "extended cooldown holds");
+        assert!(
+            h.transitions().iter().all(|t| t.to != "closed"),
+            "breaker never closed: {:?}",
+            h.transitions()
+        );
     }
 }

@@ -1,13 +1,16 @@
 //! Integration tests for the fleet driver: QoS isolation under a tenant
-//! surge, fleet-wide rollouts with a sabotaged shard, and byte-identical
-//! reruns.
+//! surge, fleet-wide rollouts with a sabotaged shard, byte-identical
+//! reruns, and the resilience stack (correlated domain outages, hedging,
+//! failover replay, and self-healing re-placement) on its happy and
+//! negative paths.
 
 use fpgaccel_core::bitstreams::optimized_config;
 use fpgaccel_core::{OptimizationConfig, TilingPreset};
 use fpgaccel_device::FpgaPlatform;
 use fpgaccel_fault::{shadow_target, FaultEvent, FaultKind, FaultPlan};
 use fpgaccel_fleet::{
-    DeviceClass, Fleet, FleetConfig, FleetRollout, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
+    DeviceClass, Fleet, FleetConfig, FleetRollout, FleetSpec, HealthPolicy, ModelDemand,
+    PlacementError, TenantLoad, TenantPolicy,
 };
 use fpgaccel_serve::{AdmissionPolicy, DeploymentCache, RolloutPolicy, ServeConfig};
 use fpgaccel_tensor::models::Model;
@@ -47,6 +50,7 @@ fn lenet_spec() -> FleetSpec {
             rate_rps: rate * 3.2,
         }],
         headroom: 0.25,
+        domains: 1,
     }
 }
 
@@ -164,6 +168,7 @@ fn a_fleet_rollout_upgrades_every_shard_absorbing_one_sabotaged_rollback() {
             rate_rps: rate * 2.5,
         }],
         headroom: 0.2,
+        domains: 1,
     };
     let cfg = FleetConfig {
         shards: 2,
@@ -244,4 +249,210 @@ fn a_fleet_rollout_upgrades_every_shard_absorbing_one_sabotaged_rollback() {
     // Nothing was lost to the sabotage: the tenant's traffic completed.
     let t = &r.tenants[0];
     assert_eq!(t.in_budget_completion_rate(), 1.0);
+}
+
+/// A LeNet spec striped over two failure domains (one per shard).
+fn domained_spec(demand_x: f64, headroom: f64) -> FleetSpec {
+    let rate = device_rate(Model::LeNet5, FpgaPlatform::Stratix10Sx);
+    FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 6,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::LeNet5,
+            rate_rps: rate * demand_x,
+        }],
+        headroom,
+        domains: 2,
+    }
+}
+
+/// Sabotages both shards and runs the surge scenario once; used twice to
+/// prove multi-shard arming and re-arming leak no injector state.
+fn run_doubly_sabotaged(spec: &FleetSpec, db: &mut TuningDb) -> String {
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::build(spec, cfg, db).unwrap();
+    let capacity = fleet.capacity_rps();
+    for shard in 0..2 {
+        let device = fleet.device_serving(shard, Model::LeNet5).unwrap();
+        // Arm the same shard twice: the plans must merge, not replace.
+        fleet.sabotage_shard(
+            shard,
+            FaultPlan::new(
+                0x5AB0 + shard as u64,
+                vec![FaultEvent {
+                    at_s: 0.05,
+                    target: device.clone(),
+                    kind: FaultKind::TransferCorrupt,
+                }],
+            ),
+        );
+        fleet.sabotage_shard(
+            shard,
+            FaultPlan::new(
+                0x5AB1 + shard as u64,
+                vec![FaultEvent {
+                    at_s: 0.10,
+                    target: device,
+                    kind: FaultKind::TransferStall {
+                        factor: 3.0,
+                        for_s: 0.02,
+                    },
+                }],
+            ),
+        );
+    }
+    fleet.run(&surge_tenants(capacity), 0.25).digest()
+}
+
+#[test]
+fn arming_multiple_shards_twice_keeps_reruns_byte_identical() {
+    // Injector state is consumed one-shot during a run; re-arming a
+    // rebuilt fleet must produce the same bytes — nothing may leak from
+    // the first run's injectors into the second.
+    let spec = domained_spec(3.2, 0.25);
+    let mut db = TuningDb::new();
+    let first = run_doubly_sabotaged(&spec, &mut db);
+    let second = run_doubly_sabotaged(&spec, &mut db);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn a_domain_outage_is_absorbed_and_hedges_never_double_count() {
+    // 6 boards, domain dom-0 (shard 0) goes dark mid-run. Demand is sized
+    // so the 3 surviving boards can still fit the whole demand with
+    // headroom — the heal must succeed.
+    let spec = domained_spec(2.2, 0.25);
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        ..FleetConfig::default()
+    };
+    let mut db = TuningDb::new();
+    let mut fleet = Fleet::build(&spec, cfg, &mut db).unwrap();
+    let capacity = fleet.capacity_rps();
+    assert_eq!(fleet.domains(), 2);
+    assert_eq!(fleet.domain_of(0), "dom-0");
+    assert!(!fleet.domain_members("dom-0").is_empty());
+    fleet.arm(FaultPlan::new(
+        0xD0,
+        vec![FaultEvent {
+            at_s: 0.08,
+            target: "dom-0".into(),
+            kind: FaultKind::DomainOutage,
+        }],
+    ));
+    let r = fleet.run(&surge_tenants(capacity), 0.25);
+
+    // The outage triggered the whole chain: breaker, replay, heal.
+    assert!(r.breaker_transitions_to("open") >= 1);
+    assert!(r.hedges + r.replays > 0, "the dead shard's work re-issues");
+    let heal = r.heals.first().expect("the outage triggers a heal");
+    assert_eq!(heal.shard, 0);
+    assert_eq!(heal.domain, "dom-0");
+    assert!(heal.error.is_none());
+    assert!(!heal.lost.is_empty());
+
+    // The QoS ledger must balance request-for-request: duplicates
+    // (hedges and replays) never inflate any tenant's completions past
+    // its admissions, and every intra-budget admit still completes.
+    for t in &r.tenants {
+        assert!(
+            t.completed <= t.admitted_in_budget + t.admitted_over_budget,
+            "{}: {} completed > {} admitted — a duplicate double-counted",
+            t.name,
+            t.completed,
+            t.admitted_in_budget + t.admitted_over_budget
+        );
+        assert_eq!(
+            t.completed_in_budget, t.admitted_in_budget,
+            "{}: every intra-budget admit completes exactly once",
+            t.name
+        );
+    }
+    // Metrics carry the duplicate-suppression accounting.
+    assert_eq!(
+        r.registry.value("fleet_hedges_total", &[]),
+        Some(r.hedges as f64)
+    );
+    assert_eq!(
+        r.registry.value("fleet_failover_replays_total", &[]),
+        Some(r.replays as f64)
+    );
+    assert_eq!(
+        r.registry
+            .value("fleet_heal_events_total", &[("outcome", "replaced")]),
+        Some(1.0)
+    );
+}
+
+#[test]
+fn an_unhealable_outage_reports_a_placement_error_and_keeps_the_breaker_open() {
+    // Demand sized so the cold placement uses every board: the surviving
+    // inventory cannot fit the demand after losing shard 0, so the heal
+    // must return a structured error — no panic — and the breaker must
+    // keep the shard ejected instead of flapping closed.
+    let spec = domained_spec(4.5, 0.02);
+    let cfg = FleetConfig {
+        shards: 2,
+        serve: deep_queue(),
+        health: HealthPolicy {
+            // Re-probe aggressively: every probe must fail against the
+            // dead shard and re-open, never close.
+            cooldown_s: 0.01,
+            ..HealthPolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let mut db = TuningDb::new();
+    let mut fleet = Fleet::build(&spec, cfg, &mut db).unwrap();
+    let capacity = fleet.capacity_rps();
+    fleet.arm(FaultPlan::new(
+        0xD1,
+        vec![FaultEvent {
+            at_s: 0.08,
+            target: "dom-0".into(),
+            kind: FaultKind::DomainOutage,
+        }],
+    ));
+    let r = fleet.run(&surge_tenants(capacity), 0.25);
+
+    let heal = r.heals.first().expect("the outage still triggers a heal");
+    assert!(
+        matches!(
+            heal.error,
+            Some(PlacementError::InsufficientCapacity { .. })
+        ),
+        "heal error: {:?}",
+        heal.error
+    );
+    assert!(heal.adopted.is_empty());
+    assert!(heal.restore_s.is_infinite());
+    assert_eq!(
+        r.registry
+            .value("fleet_heal_events_total", &[("outcome", "failed")]),
+        Some(1.0)
+    );
+    // The victim's breaker cycles open/half-open on failed probes but
+    // never re-closes onto dead capacity.
+    let victim_log = &r.breakers[0];
+    assert!(victim_log.iter().any(|t| t.to == "open"));
+    assert!(
+        !victim_log.iter().any(|t| t.to == "closed"),
+        "breaker must not flap closed onto a dead shard: {victim_log:?}"
+    );
+    // The surviving shard still honours the QoS guarantee.
+    for t in &r.tenants {
+        assert_eq!(
+            t.in_budget_completion_rate(),
+            1.0,
+            "{}: intra-budget completion through an unhealable outage",
+            t.name
+        );
+    }
 }

@@ -24,6 +24,7 @@ use crate::record::{BenchRecord, Direction};
 use fpgaccel_core::bitstreams::{mobilenet_tile, optimized_config};
 use fpgaccel_core::{tune_precision, Flow, OptimizationConfig, QuantSpec, TilingPreset};
 use fpgaccel_device::FpgaPlatform;
+use fpgaccel_fault::{FaultEvent, FaultKind, FaultPlan};
 use fpgaccel_fleet::{
     DeviceClass, Fleet, FleetConfig, FleetSpec, ModelDemand, TenantLoad, TenantPolicy,
 };
@@ -40,8 +41,10 @@ use fpgaccel_tune::TuningDb;
 /// itself (configurations, load points, batch size) changes.
 /// `core-v2` added the fleet stage (router latency, per-tenant sheds);
 /// `core-v3` added the quant stage (per-rung error ratios and DSP
-/// pressure, mixed-precision search results).
-pub const WORKLOAD: &str = "core-v3";
+/// pressure, mixed-precision search results); `core-v4` added the
+/// resilience stage (hedge rate, breaker opens, failover replays, heal
+/// restore latency through a seeded domain outage).
+pub const WORKLOAD: &str = "core-v4";
 
 /// Same seed and trace shape as the `serve` experiment, so the bench
 /// record tracks the serving stack the reports describe.
@@ -276,6 +279,10 @@ pub fn collect() -> BenchRecord {
     // and DSP pressure on LeNet, plus the mixed-precision search result.
     quant_stage(&mut rec);
 
+    // Stage 6 — fleet resilience through a seeded domain outage: hedge
+    // rate, breaker opens, failover replays and heal restore latency.
+    resilience_stage(&mut rec);
+
     rec
 }
 
@@ -351,15 +358,7 @@ fn quant_stage(rec: &mut BenchRecord) {
 /// shed-rate series shows QoS isolation (steady sheds nothing at either
 /// point).
 fn fleet_stage(rec: &mut BenchRecord) {
-    let rate = {
-        let mut cache = DeploymentCache::new();
-        let p = FpgaPlatform::Stratix10Sx;
-        let d = cache
-            .get_or_compile(Model::LeNet5, p, &optimized_config(Model::LeNet5, p))
-            .expect("LeNet compiles on Stratix 10 SX");
-        let lm = cache.calibration(&d, 16);
-        16.0 / lm.seconds(16)
-    };
+    let rate = lenet_rate();
     let spec = FleetSpec {
         classes: vec![DeviceClass {
             platform: FpgaPlatform::Stratix10Sx,
@@ -370,6 +369,7 @@ fn fleet_stage(rec: &mut BenchRecord) {
             rate_rps: rate * 3.2,
         }],
         headroom: 0.25,
+        domains: 1,
     };
     let mut db = TuningDb::new();
     for (tag, mult) in [("load1x", 1.0), ("load2x", 2.0)] {
@@ -440,6 +440,111 @@ fn fleet_stage(rec: &mut BenchRecord) {
     }
 }
 
+/// Calibrated single-board LeNet rate on the Stratix 10 SX — the demand
+/// unit for both fleet stages.
+fn lenet_rate() -> f64 {
+    let mut cache = DeploymentCache::new();
+    let p = FpgaPlatform::Stratix10Sx;
+    let d = cache
+        .get_or_compile(Model::LeNet5, p, &optimized_config(Model::LeNet5, p))
+        .expect("LeNet compiles on Stratix 10 SX");
+    let lm = cache.calibration(&d, 16);
+    16.0 / lm.seconds(16)
+}
+
+/// The same two-shard LeNet fleet, striped over two failure domains and
+/// driven through a seeded domain outage: the record tracks how much of
+/// the routed traffic the resilience machinery duplicated (hedge rate),
+/// the failover replays of the dead shard's in-flight work, the breaker
+/// open count (exactly one — a flapping breaker is a regression) and the
+/// detection-to-restore latency of the self-healing re-placement.
+fn resilience_stage(rec: &mut BenchRecord) {
+    let rate = lenet_rate();
+    let spec = FleetSpec {
+        classes: vec![DeviceClass {
+            platform: FpgaPlatform::Stratix10Sx,
+            count: 6,
+        }],
+        demands: vec![ModelDemand {
+            model: Model::LeNet5,
+            rate_rps: rate * 2.2,
+        }],
+        headroom: 0.25,
+        domains: 2,
+    };
+    let mut db = TuningDb::new();
+    let mut fleet = Fleet::build(
+        &spec,
+        FleetConfig {
+            shards: 2,
+            serve: ServeConfig {
+                admission: AdmissionPolicy {
+                    queue_capacity: 1 << 14,
+                    default_deadline_s: None,
+                },
+                ..ServeConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+        &mut db,
+    )
+    .expect("the domained LeNet fleet places");
+    fleet.arm(FaultPlan::new(
+        0x0B5_0DD,
+        vec![FaultEvent {
+            at_s: 0.08,
+            target: "dom-0".into(),
+            kind: FaultKind::DomainOutage,
+        }],
+    ));
+    let cap = fleet.capacity_rps();
+    let tenant = |name: &str, budget: f64, offered: f64| TenantLoad {
+        policy: TenantPolicy {
+            name: name.into(),
+            weight: 1.0,
+            budget_rps: budget,
+            burst: 20.0,
+        },
+        offered: vec![(Model::LeNet5, offered)],
+    };
+    let r = fleet.run(
+        &[
+            tenant("steady", 0.45 * cap, 0.30 * cap),
+            tenant("bursty", 0.20 * cap, 0.5 * cap),
+        ],
+        0.25,
+    );
+    rec.push(
+        "resilience.outage.hedge_rate",
+        r.hedges as f64 / r.routed.max(1) as f64,
+        "ratio",
+        Direction::Lower,
+        0.25,
+    );
+    rec.push(
+        "resilience.outage.replays",
+        r.replays as f64,
+        "count",
+        Direction::Lower,
+        0.25,
+    );
+    rec.push(
+        "resilience.outage.breaker_opens",
+        r.breaker_transitions_to("open") as f64,
+        "count",
+        Direction::Exact,
+        0.0,
+    );
+    let heal = r.heals.first().expect("the outage triggers a heal");
+    rec.push(
+        "resilience.outage.heal_restore_s",
+        heal.restore_s - heal.t_s,
+        "s",
+        Direction::Lower,
+        0.10,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,8 +553,9 @@ mod tests {
     fn matrix_is_covered_and_every_value_is_finite() {
         let rec = collect();
         // 4 configs x (3 compile + 3 pipeline) + 2 serve load points x 4
-        // + 2 fleet load points x 5 + 3 quant rungs x 2 + 2 mixed.
-        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4 + 2 * 5 + 3 * 2 + 2);
+        // + 2 fleet load points x 5 + 3 quant rungs x 2 + 2 mixed
+        // + 4 resilience.
+        assert_eq!(rec.metrics.len(), 4 * 6 + 2 * 4 + 2 * 5 + 3 * 2 + 2 + 4);
         for m in &rec.metrics {
             assert!(m.value.is_finite(), "{} is not finite", m.id);
         }
@@ -492,6 +598,19 @@ mod tests {
             assert!((0.0..1.0).contains(&r), "{rung} err ratio {r}");
         }
         assert!(rec.get("quant.lenet5.mixed.dsps").unwrap().value > 0.0);
+        // The resilience stage's outage must open the breaker exactly
+        // once, duplicate some traffic, and heal in finite time.
+        assert_eq!(
+            rec.get("resilience.outage.breaker_opens").unwrap().value,
+            1.0
+        );
+        assert!(rec.get("resilience.outage.hedge_rate").unwrap().value > 0.0);
+        assert!(rec.get("resilience.outage.replays").unwrap().value >= 1.0);
+        let restore = rec.get("resilience.outage.heal_restore_s").unwrap().value;
+        assert!(
+            restore > 0.0 && restore.is_finite(),
+            "heal restore latency {restore}"
+        );
     }
 
     #[test]

@@ -765,10 +765,15 @@ impl DevicePool {
         let name = self.devices[device].name.clone();
         let cleared = self.devices[device].cleared_s;
         let timeout = timeout_mult.max(1.0) * base;
+        // A persistent slowdown stretches execution uniformly without
+        // re-simulation: the device is degraded, not hung, so the batch
+        // still completes (just `slow`× later) and the watchdog stays
+        // quiet as long as the factor is under the timeout multiple.
+        let slow = self.fault.compute_scale(&name, start_s);
         let view = self.fault.view(start_s, cleared);
         if !view.affects(&name, 0.0, timeout) {
             return BatchOutcome::Done {
-                completion_s: start_s + base,
+                completion_s: start_s + base * slow,
             };
         }
         let d = Arc::clone(
@@ -787,7 +792,7 @@ impl DevicePool {
                 hang_s,
             };
         }
-        let completion_s = start_s + stats.seconds;
+        let completion_s = start_s + stats.seconds * slow;
         if self.fault.take_corruption(&name, start_s, completion_s) {
             return BatchOutcome::Corrupted { completion_s };
         }

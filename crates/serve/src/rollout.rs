@@ -87,6 +87,15 @@ pub struct RolloutSpec {
     /// the (interpretation-cost) check and relies on the execution and
     /// latency checks.
     pub verify_input: Option<Tensor>,
+    /// Names of devices to *adopt* into serving the model even though
+    /// they do not serve it yet — the self-healing migration path: a
+    /// re-placement lands the model on spare boards, which drain
+    /// (trivially, they carry no traffic for the model), reprogram and
+    /// canary exactly like converting devices. Adopted devices have no
+    /// prior deployment to restore, so a rollback keeps their new
+    /// bitstream (capacity restoration is never reversed) and simply
+    /// returns them to dispatch. Empty for an ordinary rollout.
+    pub adopt: Vec<String>,
     /// Rollout knobs.
     pub policy: RolloutPolicy,
 }
@@ -100,7 +109,7 @@ pub struct RolloutEvent {
     pub device: String,
     /// What happened: `drain-start`, `reprogram-ok`, `reprogram-fail`,
     /// `canary-pass`, `canary-fail`, `promoted`, `rollback-begin`,
-    /// `rolled-back`, `lost`, `config-error`.
+    /// `rolled-back`, `adopt-released`, `lost`, `config-error`.
     pub action: String,
     /// Free-form context.
     pub detail: String,
@@ -513,13 +522,17 @@ impl RolloutRun {
                 self.started_s = t;
                 self.finished_s = t;
                 let pol = self.spec.policy;
+                // Serving devices convert; `adopt`-named devices (the
+                // self-healing migration path) join the waves even though
+                // they do not serve the model yet.
                 let eligible: Vec<usize> = pool
                     .devices()
                     .iter()
                     .enumerate()
                     .filter(|(_, d)| {
                         d.health() != crate::pool::DeviceHealth::Lost
-                            && d.latency_model(model).is_some()
+                            && (d.latency_model(model).is_some()
+                                || self.spec.adopt.contains(&d.name))
                     })
                     .map(|(i, _)| i)
                     .collect();
@@ -535,13 +548,14 @@ impl RolloutRun {
                 }
                 for &d in &eligible {
                     let dev = &pool.devices()[d];
-                    let cfg = dev
-                        .deployment(model)
-                        .expect("eligible device deploys")
-                        .config
-                        .clone();
-                    let per_image = dev.latency_model(model).expect("eligible").seconds(1);
-                    self.old.push((d, cfg, per_image));
+                    // Adopted devices have no prior deployment: nothing to
+                    // capture, no guardband baseline, nothing to roll back
+                    // to.
+                    let (Some(dep), Some(lm)) = (dev.deployment(model), dev.latency_model(model))
+                    else {
+                        continue;
+                    };
+                    self.old.push((d, dep.config.clone(), lm.seconds(1)));
                 }
                 self.waves = eligible
                     .chunks(pol.wave_size.max(1))
@@ -680,12 +694,26 @@ impl RolloutRun {
                 let mut end = t;
                 let mut restored = 0usize;
                 for &d in &converted {
-                    let old_cfg = self
+                    let Some(old_cfg) = self
                         .old
                         .iter()
                         .find(|&&(i, _, _)| i == d)
                         .map(|(_, c, _)| c.clone())
-                        .expect("converted device has a captured config");
+                    else {
+                        // Adopted during a heal: no prior deployment to
+                        // restore. Keep the new bitstream (reversing an
+                        // adoption would shrink capacity) and return the
+                        // device to dispatch.
+                        let name = pool.devices()[d].name.clone();
+                        pool.return_to_service(d);
+                        self.event(
+                            end.max(t),
+                            &name,
+                            "adopt-released",
+                            "no prior deployment; keeping the adopted bitstream".into(),
+                        );
+                        continue;
+                    };
                     let (done, e) = self.reprogram_wave(
                         &[d],
                         &old_cfg,

@@ -844,6 +844,19 @@ impl Server {
                 self.pool.commit(d.device, d.start_s, completion_s);
                 self.last_event_s = self.last_event_s.max(completion_s);
                 self.metrics.record_batch(size);
+                if self.injector.is_enabled()
+                    && self
+                        .pool
+                        .fault_injector()
+                        .compute_scale(&device_name, d.start_s)
+                        > 1.0
+                {
+                    self.registry.counter_inc(
+                        "serve_batches_degraded_total",
+                        "Batches served by a persistently slowed (degraded, not hung) device.",
+                        &[("model", model.name()), ("device", &device_name)],
+                    );
+                }
                 self.registry.histogram_observe(
                     "serve_batch_size",
                     "Dispatched batch sizes.",

@@ -92,6 +92,7 @@ fn clean_rollout_promotes_every_wave() {
         model: Model::LeNet5,
         to: relabeled_optimized(),
         verify_input: Some(data::synthetic_digit(3, 7)),
+        adopt: Vec::new(),
         policy: fast_policy(),
     };
     let r = Server::new(pool, cfg())
@@ -195,6 +196,7 @@ fn latency_regression_rolls_back_to_the_old_deployment() {
         model: Model::LeNet5,
         to: OptimizationConfig::base(),
         verify_input: None,
+        adopt: Vec::new(),
         policy: fast_policy(),
     };
     let r = Server::new(pool, cfg())
@@ -258,6 +260,7 @@ fn shadow_corruption_fails_the_canary_without_touching_production() {
         model: Model::LeNet5,
         to: relabeled_optimized(),
         verify_input: None,
+        adopt: Vec::new(),
         policy: fast_policy(),
     };
     let r = Server::new(pool, cfg())
@@ -286,6 +289,7 @@ fn canary_verification_reports_a_structured_mismatch() {
         model: Model::LeNet5,
         to: relabeled_optimized(),
         verify_input: Some(data::synthetic_digit(1, 5)),
+        adopt: Vec::new(),
         policy: RolloutPolicy {
             verify_rtol: -1.0,
             ..fast_policy()
@@ -317,6 +321,7 @@ fn rollout_without_serving_devices_fails_cleanly() {
         model: Model::LeNet5,
         to: relabeled_optimized(),
         verify_input: None,
+        adopt: Vec::new(),
         policy: fast_policy(),
     };
     let r = Server::new(pool, cfg())
@@ -411,6 +416,7 @@ fn rollout_under_plan(seed: u64, offered: usize) -> (Tracer, RunResult) {
         model: Model::LeNet5,
         to: relabeled_optimized(),
         verify_input: None,
+        adopt: Vec::new(),
         policy: RolloutPolicy {
             wave_size: 1 + (seed as usize % 2),
             ..fast_policy()
@@ -763,6 +769,7 @@ fn rollout_soak_survives_heavier_fault_plans() {
             model: Model::LeNet5,
             to: relabeled_optimized(),
             verify_input: None,
+            adopt: Vec::new(),
             policy: RolloutPolicy {
                 wave_size: 1 + (seed as usize % 3),
                 ..fast_policy()

@@ -47,6 +47,7 @@ fn main() {
             },
         ],
         headroom: 0.2,
+        domains: 1,
     };
 
     let cfg = FleetConfig {

@@ -124,6 +124,7 @@ fn every_exported_metric_family_conforms_to_the_naming_convention() {
             rate_rps: 1.2 * rate,
         }],
         headroom: 0.2,
+        domains: 1,
     };
     let fleet = Fleet::build(
         &spec,
@@ -148,9 +149,36 @@ fn every_exported_metric_family_conforms_to_the_naming_convention() {
         0.05,
     );
     assert!(
-        r.registry.family_count() >= 8,
+        r.registry.family_count() >= 14,
         "expected the fleet_* families, got {}",
         r.registry.family_count()
+    );
+    // The resilience families register (at zero) even in a fault-free
+    // run, so a renamed family fails here — not on a dashboard.
+    for family in [
+        "fleet_domains_count",
+        "fleet_hedges_total",
+        "fleet_hedge_wins_total",
+        "fleet_hedge_suppressed_total",
+        "fleet_failover_replays_total",
+        "fleet_forced_routes_total",
+    ] {
+        assert!(
+            r.registry.value(family, &[]).is_some(),
+            "{family} missing from the fleet registry"
+        );
+    }
+    assert!(
+        r.registry
+            .value("fleet_breaker_transitions_total", &[("to", "open")])
+            .is_some(),
+        "fleet_breaker_transitions_total missing"
+    );
+    assert!(
+        r.registry
+            .value("fleet_heal_events_total", &[("outcome", "replaced")])
+            .is_some(),
+        "fleet_heal_events_total missing"
     );
     let violations = r.registry.audit_names(&["fleet_"]);
     assert!(
